@@ -1,0 +1,99 @@
+//! Ablation benches: how the design choices DESIGN.md calls out move the
+//! bottom line (time to drain a fixed asymmetric all-to-all).
+
+use bgl_core::{run_aa, AaWorkload, CreditConfig, StrategyKind};
+use bgl_model::MachineParams;
+use bgl_sim::SimConfig;
+use bgl_torus::Partition;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn aa_with(shape: &str, strategy: &StrategyKind, m: u64, tweak: impl Fn(&mut SimConfig)) -> u64 {
+    let part: Partition = shape.parse().unwrap();
+    let w = AaWorkload::full(m);
+    let mut cfg = SimConfig::new(part);
+    tweak(&mut cfg);
+    run_aa(part, &w, strategy, &MachineParams::bgl(), cfg).expect("simulation completes").cycles
+}
+
+/// VC FIFO depth sweep under asymmetric load.
+fn bench_vc_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vc_depth");
+    g.sample_size(10);
+    for depth in [16u32, 64, 256] {
+        g.bench_function(format!("vc{depth}_8x4x4"), |b| {
+            b.iter(|| {
+                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                    c.router.vc_fifo_chunks = depth
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Longest-first hint shaping on/off.
+fn bench_bias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_longest_first");
+    g.sample_size(10);
+    for (name, bias) in [("on", Some(true)), ("off", Some(false))] {
+        g.bench_function(format!("bias_{name}_8x4x4"), |b| {
+            b.iter(|| {
+                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                    c.router.longest_first_bias = bias
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// TPS with and without reserved injection FIFOs, and with credit flow
+/// control.
+fn bench_tps_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tps");
+    g.sample_size(10);
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps_credit = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: Some(CreditConfig::default()),
+    };
+    g.bench_function("tps_reserved_fifos", |b| {
+        b.iter(|| black_box(aa_with("8x4x4", &tps, 432, |_| {})))
+    });
+    g.bench_function("tps_shared_fifos", |b| {
+        b.iter(|| {
+            black_box(aa_with("8x4x4", &tps, 432, |c| {
+                c.inj_class_masks = vec![u8::MAX; c.inj_fifo_count as usize]
+            }))
+        })
+    });
+    g.bench_function("tps_credit_window", |b| {
+        b.iter(|| black_box(aa_with("8x4x4", &tps_credit, 432, |_| {})))
+    });
+    g.finish();
+}
+
+/// Equator tie-break policies.
+fn bench_tie_break(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_injection");
+    g.sample_size(10);
+    g.bench_function("transit_priority_on", |b| {
+        b.iter(|| {
+            black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                c.router.transit_priority = true
+            }))
+        })
+    });
+    g.bench_function("transit_priority_off", |b| {
+        b.iter(|| {
+            black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                c.router.transit_priority = false
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(ablations, bench_vc_depth, bench_bias, bench_tps_variants, bench_tie_break);
+criterion_main!(ablations);

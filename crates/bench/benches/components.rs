@@ -1,0 +1,113 @@
+//! Microbenchmarks of the simulator's and library's hot components:
+//! routing math, packetization, schedule generation, virtual-mesh mapping,
+//! raw engine cycle throughput.
+
+use bgl_core::{destination_schedule, packetize};
+use bgl_model::MachineParams;
+use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_torus::{AaLoadAnalysis, Coord, HopPlan, Partition, TieBreak, VirtualMesh, VmeshLayout};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_routing_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_math");
+    let part: Partition = "40x32x16".parse().unwrap();
+    g.bench_function("hop_plan_new", |b| {
+        let src = Coord::new(1, 2, 3);
+        let dst = Coord::new(33, 30, 9);
+        b.iter(|| black_box(HopPlan::new(&part, src, dst, TieBreak::SrcParity)))
+    });
+    g.bench_function("rank_coord_roundtrip", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in (0..part.num_nodes()).step_by(97) {
+                acc += part.rank_of(part.coord_of(r)) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("aa_load_analysis", |b| {
+        b.iter(|| black_box(AaLoadAnalysis::new(part)))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let params = MachineParams::bgl();
+    g.bench_function("packetize_4k", |b| {
+        b.iter(|| black_box(packetize(4096, 48, 64, &params)))
+    });
+    g.bench_function("destination_schedule_4096", |b| {
+        b.iter(|| black_box(destination_schedule(17, 4096, 4095, 42)))
+    });
+    g.bench_function("destination_schedule_sampled", |b| {
+        b.iter(|| black_box(destination_schedule(17, 20480, 320, 42)))
+    });
+    g.finish();
+}
+
+fn bench_vmesh_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vmesh_mapping");
+    let part: Partition = "8x32x16".parse().unwrap();
+    let vm = VirtualMesh::choose(part, VmeshLayout::Auto);
+    g.bench_function("row_pos_roundtrip", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for r in (0..part.num_nodes()).step_by(131) {
+                let c = part.coord_of(r);
+                acc ^= vm.pos_in_row(c) + vm.row_of(c);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Raw engine throughput: a saturated ring stream, reported per full run.
+fn bench_engine_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("ring8_stream_2000_packets", |b| {
+        b.iter(|| {
+            let part: Partition = "8".parse().unwrap();
+            let cfg = SimConfig::new(part);
+            let programs: Vec<Box<dyn NodeProgram>> = (0..8u32)
+                .map(|r| {
+                    let next = (r + 1) % 8;
+                    Box::new(ScriptedProgram::new(
+                        (0..250).map(|_| SendSpec::adaptive(next, 8, 240)).collect(),
+                        250,
+                    )) as Box<dyn NodeProgram>
+                })
+                .collect();
+            black_box(Engine::new(cfg, programs).run().expect("completes"))
+        })
+    });
+    g.bench_function("uniform_4x4x4_one_packet", |b| {
+        b.iter(|| {
+            let part: Partition = "4x4x4".parse().unwrap();
+            let cfg = SimConfig::new(part);
+            let programs: Vec<Box<dyn NodeProgram>> = (0..64u32)
+                .map(|r| {
+                    let sends: Vec<SendSpec> = (0..64u32)
+                        .filter(|&d| d != r)
+                        .map(|d| SendSpec::adaptive(d, 8, 240))
+                        .collect();
+                    Box::new(ScriptedProgram::new(sends, 63)) as Box<dyn NodeProgram>
+                })
+                .collect();
+            black_box(Engine::new(cfg, programs).run().expect("completes"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_routing_math,
+    bench_workload,
+    bench_vmesh_mapping,
+    bench_engine_cycles
+);
+criterion_main!(components);

@@ -1,0 +1,95 @@
+//! One Criterion group per paper *figure*, benchmarking its reduced-scale
+//! simulation kernel (Figure 5 is pure model evaluation).
+
+use bgl_core::{run_aa, AaWorkload, StrategyKind};
+use bgl_model::{direct, vmesh as vmesh_model, MachineParams};
+use bgl_sim::SimConfig;
+use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn aa(shape: &str, strategy: &StrategyKind, m: u64) -> f64 {
+    let part: Partition = shape.parse().unwrap();
+    let w = AaWorkload::full(m);
+    run_aa(part, &w, strategy, &MachineParams::bgl(), SimConfig::new(part))
+        .expect("simulation completes")
+        .percent_of_peak
+}
+
+/// Figures 1 & 2 kernel: AR across message sizes plus the model curve.
+fn bench_fig1_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fig2_ar_vs_model");
+    g.sample_size(10);
+    for m in [64u64, 432] {
+        g.bench_function(format!("ar_4x4x4_m{m}"), |b| {
+            b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, m))
+        });
+    }
+    g.bench_function("model_curve_eval", |b| {
+        let part: Partition = "8x8x8".parse().unwrap();
+        let params = MachineParams::bgl();
+        let sizes: Vec<u64> = (0..20).map(|i| 16 << (i % 10)).collect();
+        b.iter(|| black_box(direct::model_curve(&part, &sizes, &params)))
+    });
+    g.finish();
+}
+
+/// Figure 3 kernel: one-packet AA bandwidth.
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_throughput");
+    g.sample_size(10);
+    g.bench_function("ar_one_packet_4x4x4", |b| {
+        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 192))
+    });
+    g.finish();
+}
+
+/// Figure 4 kernel: the three direct strategies on an asymmetric torus.
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_direct_strategies");
+    g.sample_size(10);
+    g.bench_function("ar_8x4x4", |b| b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432)));
+    g.bench_function("dr_8x4x4", |b| b.iter(|| aa("8x4x4", &StrategyKind::DeterministicRouted, 432)));
+    g.bench_function("throttled_8x4x4", |b| {
+        b.iter(|| aa("8x4x4", &StrategyKind::ThrottledAdaptive { factor: 1.0 }, 432))
+    });
+    g.finish();
+}
+
+/// Figure 5 kernel: Equation-4 model evaluation and crossover solving.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_vmesh_model");
+    let part: Partition = "8x8x8".parse().unwrap();
+    let params = MachineParams::bgl();
+    let vm = VirtualMesh::choose(part, VmeshLayout::Auto);
+    g.bench_function("vmesh_model_curve", |b| {
+        let sizes: Vec<u64> = (1..=64).collect();
+        b.iter(|| black_box(vmesh_model::model_curve(&vm, &sizes, &params)))
+    });
+    g.bench_function("crossover_exact", |b| {
+        b.iter(|| black_box(vmesh_model::crossover_exact(&vm, &params)))
+    });
+    g.finish();
+}
+
+/// Figures 6 & 7 kernel: short-message strategies measured.
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_short_messages");
+    g.sample_size(10);
+    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    g.bench_function("vmesh_4x4x4_m8", |b| b.iter(|| aa("4x4x4", &vmesh, 8)));
+    g.bench_function("ar_4x4x4_m8", |b| b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 8)));
+    g.bench_function("tps_4x8x4_m8", |b| b.iter(|| aa("4x8x4", &tps, 8)));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_fig7
+);
+criterion_main!(figures);

@@ -1,0 +1,69 @@
+//! One Criterion group per paper *table*, benchmarking the simulation
+//! kernel that regenerates it at a reduced scale. (Full-scale regeneration
+//! is `cargo run --release -p bgl-harness --bin repro -- all --scale paper`;
+//! these benches keep each iteration in the tens of milliseconds.)
+
+use bgl_core::{run_aa, AaWorkload, StrategyKind};
+use bgl_model::MachineParams;
+use bgl_sim::SimConfig;
+use bgl_torus::Partition;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn aa(shape: &str, strategy: &StrategyKind, m: u64, cov: f64) -> f64 {
+    let part: Partition = shape.parse().unwrap();
+    let w = if cov >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, cov) };
+    run_aa(part, &w, strategy, &MachineParams::bgl(), SimConfig::new(part))
+        .expect("simulation completes")
+        .percent_of_peak
+}
+
+/// Table 1 kernel: AR on a symmetric plane, large messages.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_ar_symmetric");
+    g.sample_size(10);
+    g.bench_function("ar_8x8_m432", |b| {
+        b.iter(|| aa("8x8", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+    });
+    g.bench_function("ar_line16_m912", |b| {
+        b.iter(|| aa("16", &StrategyKind::AdaptiveRandomized, 912, 1.0))
+    });
+    g.finish();
+}
+
+/// Table 2 kernel: AR on asymmetric shapes (torus and mesh dimensions).
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_ar_asymmetric");
+    g.sample_size(10);
+    g.bench_function("ar_8x4x4_m432", |b| {
+        b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+    });
+    g.bench_function("ar_8x8x2M_m432", |b| {
+        b.iter(|| aa("8x8x2M", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+    });
+    g.finish();
+}
+
+/// Table 3 kernel: the Two Phase Schedule on an asymmetric torus.
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_tps");
+    g.sample_size(10);
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    g.bench_function("tps_8x4x4_m432", |b| b.iter(|| aa("8x4x4", &tps, 432, 1.0)));
+    g.bench_function("tps_4x4x8_m432", |b| b.iter(|| aa("4x4x8", &tps, 432, 1.0)));
+    g.finish();
+}
+
+/// Table 4 kernel: 1-byte-latency runs, TPS vs AR.
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_latency");
+    g.sample_size(10);
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    g.bench_function("ar_4x4x4_m1", |b| {
+        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 1, 1.0))
+    });
+    g.bench_function("tps_4x4x4_m1", |b| b.iter(|| aa("4x4x4", &tps, 1, 1.0)));
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(tables);

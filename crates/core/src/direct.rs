@@ -1,0 +1,290 @@
+//! Direct all-to-all strategies (Section 3): every source sends straight to
+//! every destination. Covers the production-MPI-like baseline, the paper's
+//! low-overhead randomized adaptive scheme (**AR**), deterministic
+//! dimension-order routing (**DR**) and bisection-paced throttling.
+
+use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
+use bgl_model::MachineParams;
+use bgl_sim::{NodeApi, NodeProgram, PacketMeta, RoutingMode, SendSpec};
+use bgl_torus::Partition;
+
+/// Tuning of a direct strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectConfig {
+    /// Adaptive (AR/MPI/throttled) or deterministic (DR) routing.
+    pub routing: RoutingMode,
+    /// Per-destination startup α in CPU cycles (charged on the first packet
+    /// of each message). The AR runtime pays 450; the MPI stack more.
+    pub alpha_cpu_cycles: f64,
+    /// Packets sent per destination before moving on (overrides the
+    /// workload value when set).
+    pub packets_per_visit: Option<u32>,
+    /// Injection pacing in chunks/cycle per node; `None` = unthrottled.
+    /// The throttled strategy paces at the bisection-peak rate.
+    pub pace_chunks_per_cycle: Option<f64>,
+}
+
+impl DirectConfig {
+    /// The paper's AR scheme: randomized order, adaptive routing, low α.
+    pub fn ar(params: &MachineParams) -> DirectConfig {
+        DirectConfig {
+            routing: RoutingMode::Adaptive,
+            alpha_cpu_cycles: params.alpha_direct_cycles,
+            packets_per_visit: None,
+            pace_chunks_per_cycle: None,
+        }
+    }
+
+    /// DR: same schedule but deterministic dimension-order routing on the
+    /// bubble VC.
+    pub fn dr(params: &MachineParams) -> DirectConfig {
+        DirectConfig { routing: RoutingMode::Deterministic, ..DirectConfig::ar(params) }
+    }
+
+    /// Production-MPI-like baseline: adaptive, but with the MPI message
+    /// machinery's higher per-destination overhead and the usual 2-packet
+    /// tuning.
+    pub fn mpi(params: &MachineParams) -> DirectConfig {
+        DirectConfig {
+            alpha_cpu_cycles: params.alpha_message_cycles,
+            packets_per_visit: Some(2),
+            ..DirectConfig::ar(params)
+        }
+    }
+
+    /// AR with injection throttled to `pace` chunks/cycle per node.
+    pub fn throttled(params: &MachineParams, pace: f64) -> DirectConfig {
+        DirectConfig { pace_chunks_per_cycle: Some(pace), ..DirectConfig::ar(params) }
+    }
+}
+
+/// Per-node program implementing a direct all-to-all.
+pub struct DirectProgram {
+    schedule: Vec<u32>,
+    shapes: Vec<PacketShape>,
+    routing: RoutingMode,
+    longest_first: bool,
+    alpha_sim_cycles: f64,
+    packets_per_visit: u32,
+    pace: Option<f64>,
+    // Iteration state: visit-major, destination-minor, packet within visit.
+    visit: u32,
+    n_visits: u32,
+    idx: usize,
+    in_visit: u32,
+    next_allowed: f64,
+    done: bool,
+}
+
+impl DirectProgram {
+    /// Build the program for `rank` on `part` under `workload`/`cfg`.
+    pub fn new(
+        rank: u32,
+        part: &Partition,
+        workload: &AaWorkload,
+        cfg: &DirectConfig,
+        params: &MachineParams,
+    ) -> DirectProgram {
+        let p = part.num_nodes();
+        let dests = workload.dests_per_node(p);
+        let schedule = destination_schedule(rank, p, dests, workload.seed);
+        let shapes = packetize(
+            workload.m_bytes,
+            params.software_header_bytes,
+            params.min_packet_bytes,
+            params,
+        );
+        let k = cfg.packets_per_visit.unwrap_or(workload.packets_per_visit).max(1);
+        let n_visits = (shapes.len() as u32).div_ceil(k);
+        let done = schedule.is_empty();
+        DirectProgram {
+            schedule,
+            shapes,
+            routing: cfg.routing,
+            // Hardware-faithful default: BG/L's adaptive routing has no
+            // longest-dimension preference — that is exactly why asymmetric
+            // tori degrade (Section 3.2). The hint-bit-style shaping is
+            // available as an extension (see RouterConfig) and the
+            // ablation suite shows it mitigates the collapse.
+            longest_first: false,
+            alpha_sim_cycles: cfg.alpha_cpu_cycles / params.cpu_cycles_per_sim_cycle(),
+            packets_per_visit: k,
+            pace: cfg.pace_chunks_per_cycle,
+            visit: 0,
+            n_visits,
+            idx: 0,
+            in_visit: 0,
+            next_allowed: 0.0,
+            done,
+        }
+    }
+
+    /// Total packets this node will inject.
+    pub fn total_packets(&self) -> u64 {
+        self.schedule.len() as u64 * self.shapes.len() as u64
+    }
+
+    fn current_packet_index(&self) -> Option<usize> {
+        let i = (self.visit * self.packets_per_visit + self.in_visit) as usize;
+        (i < self.shapes.len()).then_some(i)
+    }
+
+    fn advance(&mut self) {
+        self.in_visit += 1;
+        let exhausted_visit = self.in_visit >= self.packets_per_visit
+            || self.current_packet_index().is_none();
+        if exhausted_visit {
+            self.in_visit = 0;
+            self.idx += 1;
+            if self.idx >= self.schedule.len() {
+                self.idx = 0;
+                self.visit += 1;
+                if self.visit >= self.n_visits {
+                    self.done = true;
+                }
+            }
+        }
+    }
+}
+
+impl NodeProgram for DirectProgram {
+    fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
+        if self.done {
+            return None;
+        }
+        if let Some(pace) = self.pace {
+            if (api.now as f64) < self.next_allowed {
+                return None;
+            }
+            let chunks = self.shapes[self.current_packet_index()?].chunks as f64;
+            self.next_allowed = self.next_allowed.max(api.now as f64) + chunks / pace;
+        }
+        let pkt_i = self.current_packet_index()?;
+        let dst = self.schedule[self.idx];
+        let shape = self.shapes[pkt_i];
+        let alpha = if pkt_i == 0 { self.alpha_sim_cycles } else { 0.0 };
+        let spec = SendSpec {
+            dst_rank: dst,
+            chunks: shape.chunks,
+            payload_bytes: shape.payload,
+            routing: self.routing,
+            class: 0,
+            meta: PacketMeta { kind: 0, a: 0, b: 0 },
+            longest_first: self.longest_first,
+            cpu_cost_cycles: alpha,
+        };
+        self.advance();
+        Some(spec)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn params() -> MachineParams {
+        MachineParams::bgl()
+    }
+
+    fn drain_schedule(mut prog: DirectProgram, part: &Partition) -> Vec<SendSpec> {
+        // Pull everything through a fake API.
+        let mut out = Vec::new();
+        let mut q = std::collections::VecDeque::new();
+        let mut api = NodeApi::new(0, part.coord_of(0), 0, part, &mut q);
+        while let Some(s) = prog.next_send(&mut api) {
+            out.push(s);
+            assert!(out.len() < 1_000_000, "program never completes");
+        }
+        assert!(prog.is_complete());
+        out
+    }
+
+    #[test]
+    fn sends_m_bytes_to_every_destination() {
+        let part: Partition = "4x4".parse().unwrap();
+        let w = AaWorkload::full(500);
+        let prog = DirectProgram::new(0, &part, &w, &DirectConfig::ar(&params()), &params());
+        let sends = drain_schedule(prog, &part);
+        let mut per_dest: HashMap<u32, u64> = HashMap::new();
+        for s in &sends {
+            *per_dest.entry(s.dst_rank).or_default() += s.payload_bytes as u64;
+        }
+        assert_eq!(per_dest.len(), 15);
+        for (&d, &bytes) in &per_dest {
+            assert_ne!(d, 0);
+            assert_eq!(bytes, 500, "destination {d}");
+        }
+    }
+
+    #[test]
+    fn alpha_charged_once_per_destination() {
+        let part: Partition = "4x4".parse().unwrap();
+        let w = AaWorkload::full(1000); // several packets per destination
+        let prog = DirectProgram::new(3, &part, &w, &DirectConfig::ar(&params()), &params());
+        let sends = drain_schedule(prog, &part);
+        let charged: usize = sends.iter().filter(|s| s.cpu_cost_cycles > 0.0).count();
+        assert_eq!(charged, 15);
+    }
+
+    #[test]
+    fn packets_per_visit_interleaves_destinations() {
+        let part: Partition = "8".parse().unwrap();
+        let w = AaWorkload::full(1000); // 5 packets per message
+        let mut cfg = DirectConfig::ar(&params());
+        cfg.packets_per_visit = Some(1);
+        let prog = DirectProgram::new(0, &part, &w, &cfg, &params());
+        let sends = drain_schedule(prog, &part);
+        // With k=1: first 7 sends go to 7 distinct destinations.
+        let first: std::collections::HashSet<u32> =
+            sends[..7].iter().map(|s| s.dst_rank).collect();
+        assert_eq!(first.len(), 7);
+        // 5 rounds × 7 destinations.
+        assert_eq!(sends.len(), 35);
+    }
+
+    #[test]
+    fn dr_uses_deterministic_routing() {
+        let part: Partition = "8".parse().unwrap();
+        let w = AaWorkload::full(100);
+        let prog = DirectProgram::new(0, &part, &w, &DirectConfig::dr(&params()), &params());
+        let sends = drain_schedule(prog, &part);
+        assert!(sends.iter().all(|s| s.routing == RoutingMode::Deterministic));
+    }
+
+    #[test]
+    fn mpi_baseline_pays_more_alpha() {
+        let p = params();
+        let ar = DirectConfig::ar(&p);
+        let mpi = DirectConfig::mpi(&p);
+        assert!(mpi.alpha_cpu_cycles > ar.alpha_cpu_cycles);
+        assert_eq!(mpi.packets_per_visit, Some(2));
+    }
+
+    #[test]
+    fn throttle_declines_until_pace_allows() {
+        let part: Partition = "8".parse().unwrap();
+        let w = AaWorkload::full(240);
+        let cfg = DirectConfig::throttled(&params(), 0.5);
+        let mut prog = DirectProgram::new(0, &part, &w, &cfg, &params());
+        let mut q = std::collections::VecDeque::new();
+        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
+        assert!(prog.next_send(&mut api).is_some());
+        // Second packet must wait chunks/pace cycles.
+        assert!(prog.next_send(&mut api).is_none());
+        let mut api_later = NodeApi::new(0, part.coord_of(0), 100, &part, &mut q);
+        assert!(prog.next_send(&mut api_later).is_some());
+    }
+
+    #[test]
+    fn sampled_coverage_reduces_schedule() {
+        let part: Partition = "16x16".parse().unwrap();
+        let w = AaWorkload::sampled(100, 0.25);
+        let prog = DirectProgram::new(0, &part, &w, &DirectConfig::ar(&params()), &params());
+        assert_eq!(prog.schedule.len(), 64);
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's contribution: optimized all-to-all strategies for the BG/L
+//! torus, running on the `bgl-sim` network simulator.
+//!
+//! * [`direct`] — direct strategies (Section 3): the MPI-like baseline, the
+//!   randomized adaptive **AR** scheme, deterministic **DR** routing and
+//!   bisection-paced throttling.
+//! * [`tps`] — the **Two Phase Schedule** (Section 4.1): pipelined
+//!   line-then-plane forwarding with reserved injection FIFOs, plus the
+//!   future-work credit-based flow control.
+//! * [`vmesh`] — the 2-D **virtual mesh** message-combining strategy for
+//!   short messages (Section 4.2).
+//! * [`select`] — automatic strategy selection (Section 5's "best
+//!   algorithm" rule).
+//! * [`strategy`] — the [`run_aa`] runner producing percent-of-peak
+//!   reports; [`workload`] — message sizes, packetization, randomized
+//!   schedules.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bgl_core::{run_aa, AaWorkload, StrategyKind};
+//! use bgl_model::MachineParams;
+//! use bgl_sim::SimConfig;
+//!
+//! let part = "4x4x4".parse().unwrap();
+//! let workload = AaWorkload::full(1872); // ~8 full packets per destination
+//! let report = run_aa(
+//!     part,
+//!     &workload,
+//!     &StrategyKind::AdaptiveRandomized,
+//!     &MachineParams::bgl(),
+//!     SimConfig::new(part),
+//! )
+//! .unwrap();
+//! assert!(report.percent_of_peak > 70.0);
+//! ```
+
+pub mod direct;
+pub mod fit;
+pub mod patterns;
+pub mod select;
+pub mod strategy;
+pub mod tps;
+pub mod vmesh;
+pub mod workload;
+pub mod xyz;
+
+pub use direct::{DirectConfig, DirectProgram};
+pub use fit::{fit_ptp_params, FittedModel};
+pub use patterns::{run_pattern, Pattern, PatternReport};
+pub use select::{auto_select, combining_crossover_bytes};
+pub use strategy::{peak_cycles_for, peak_injection_rate, run_aa, AaReport, StrategyKind};
+pub use tps::{choose_linear_dim, tps_inj_class_masks, CreditConfig, TpsConfig, TpsProgram};
+pub use vmesh::{VmeshConfig, VmeshProgram};
+pub use xyz::{xyz_inj_class_masks, XyzProgram};
+pub use workload::{destination_schedule, packetize, total_chunks, AaWorkload, PacketShape};

@@ -1,0 +1,71 @@
+//! Automatic strategy selection — the paper's bottom line (Section 5):
+//! "all-to-all performance in excess of 95 % of peak can be achieved by
+//! using our best algorithm: a direct algorithm on a symmetric torus or the
+//! Two Phase algorithm on an asymmetric torus", with virtual-mesh combining
+//! below the short-message crossover.
+
+use crate::strategy::StrategyKind;
+use bgl_model::MachineParams;
+use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
+
+/// Message size (bytes) below which combining wins. The paper measures the
+/// crossover between 32 and 64 bytes; we use the exact Equation-3/4 model
+/// crossover when it exists, clamped into the paper's observed band.
+pub fn combining_crossover_bytes(part: &Partition, params: &MachineParams) -> u64 {
+    let vm = VirtualMesh::choose(*part, VmeshLayout::Auto);
+    let exact = bgl_model::vmesh::crossover_exact(&vm, params)
+        .unwrap_or(params.software_header_bytes as f64 - 2.0 * params.proto_header_bytes as f64);
+    (exact.round() as u64).clamp(16, 64)
+}
+
+/// Pick the paper's best strategy for `(part, m)`.
+pub fn auto_select(part: &Partition, m: u64, params: &MachineParams) -> StrategyKind {
+    if part.num_nodes() >= 16 && m <= combining_crossover_bytes(part, params) {
+        return StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    }
+    if part.is_symmetric() {
+        StrategyKind::AdaptiveRandomized
+    } else {
+        StrategyKind::TwoPhaseSchedule { linear: None, credit: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(shape: &str, m: u64) -> StrategyKind {
+        auto_select(&shape.parse().unwrap(), m, &MachineParams::bgl())
+    }
+
+    #[test]
+    fn symmetric_large_message_uses_ar() {
+        assert_eq!(sel("8x8x8", 4096), StrategyKind::AdaptiveRandomized);
+        assert_eq!(sel("16x16", 1024), StrategyKind::AdaptiveRandomized);
+    }
+
+    #[test]
+    fn asymmetric_large_message_uses_tps() {
+        assert!(matches!(sel("8x32x16", 4096), StrategyKind::TwoPhaseSchedule { .. }));
+        assert!(matches!(sel("40x32x16", 1024), StrategyKind::TwoPhaseSchedule { .. }));
+        assert!(matches!(sel("8x8x2M", 1024), StrategyKind::TwoPhaseSchedule { .. }));
+    }
+
+    #[test]
+    fn short_messages_use_vmesh() {
+        assert!(matches!(sel("8x8x8", 8), StrategyKind::VirtualMesh { .. }));
+        assert!(matches!(sel("8x32x16", 16), StrategyKind::VirtualMesh { .. }));
+    }
+
+    #[test]
+    fn crossover_in_paper_band() {
+        let c = combining_crossover_bytes(&"8x8x8".parse().unwrap(), &MachineParams::bgl());
+        assert!((16..=64).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn tiny_partitions_never_combine() {
+        // Combining gains nothing on a couple of nodes.
+        assert_eq!(sel("4", 8), StrategyKind::AdaptiveRandomized);
+    }
+}

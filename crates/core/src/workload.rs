@@ -1,0 +1,265 @@
+//! All-to-all workload description: message sizes, packetization and
+//! randomized destination schedules.
+
+use bgl_model::MachineParams;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An all-to-all personalized exchange workload: every node sends
+/// `m_bytes` to each destination in its (possibly sampled) destination set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AaWorkload {
+    /// Application bytes per (source, destination) pair.
+    pub m_bytes: u64,
+    /// Fraction of the `P-1` possible destinations each node actually
+    /// sends to, in `(0, 1]`. `1.0` is the full all-to-all. Values below 1
+    /// sample a spatially uniform destination subset — the instantaneous
+    /// link load distribution is that of the full exchange, the run is just
+    /// shorter. Used to keep simulations of the very large partitions
+    /// tractable (documented per-experiment in EXPERIMENTS.md).
+    pub coverage: f64,
+    /// Packets sent to one destination before moving to the next (the
+    /// production MPI tuning parameter; usually 1 or 2).
+    pub packets_per_visit: u32,
+    /// Workload RNG seed (destination-order randomization).
+    pub seed: u64,
+}
+
+impl AaWorkload {
+    /// Full all-to-all of `m_bytes` per pair.
+    pub fn full(m_bytes: u64) -> AaWorkload {
+        AaWorkload { m_bytes, coverage: 1.0, packets_per_visit: 1, seed: 0xaa11 }
+    }
+
+    /// Sampled all-to-all (see [`coverage`](Self::coverage)).
+    pub fn sampled(m_bytes: u64, coverage: f64) -> AaWorkload {
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0,1]");
+        AaWorkload { coverage, ..AaWorkload::full(m_bytes) }
+    }
+
+    /// Number of destinations per node on a partition of `p` nodes.
+    pub fn dests_per_node(&self, p: u32) -> u32 {
+        let others = p.saturating_sub(1);
+        if self.coverage >= 1.0 {
+            others
+        } else {
+            ((others as f64 * self.coverage).round() as u32).clamp(1, others)
+        }
+    }
+
+    /// Effective per-pair bytes for peak-time computation: the sampled
+    /// exchange moves `dests/(P-1)` of the full traffic.
+    pub fn effective_fraction(&self, p: u32) -> f64 {
+        let others = p.saturating_sub(1).max(1);
+        self.dests_per_node(p) as f64 / others as f64
+    }
+}
+
+/// One packet of a packetized message: wire chunks and application payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketShape {
+    /// Wire size in 32-byte chunks (1..=8).
+    pub chunks: u8,
+    /// Application payload bytes carried.
+    pub payload: u32,
+}
+
+/// Split a message of `m` application bytes plus `header` protocol bytes
+/// into BG/L packets: up to 240 payload-capacity bytes per 256-byte packet,
+/// rounded up to 32-byte chunks, with a floor of `min_packet` bytes.
+///
+/// The direct strategies use `header = 48` (the software header `h`,
+/// carried in the first packet); the combining runtime uses `header = 8`
+/// (`proto`).
+pub fn packetize(m: u64, header: u32, min_packet: u32, params: &MachineParams) -> Vec<PacketShape> {
+    let payload_cap = params.max_packet_payload() as u64;
+    let overhead = params.packet_overhead_bytes as u64;
+    let chunk = params.chunk_bytes as u64;
+    let total = m + header as u64;
+    let n = total.div_ceil(payload_cap).max(1);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut app_left = m;
+    let mut header_left = header as u64;
+    for _ in 0..n {
+        let head_part = header_left.min(payload_cap);
+        header_left -= head_part;
+        let app_part = app_left.min(payload_cap - head_part);
+        app_left -= app_part;
+        let wire = (head_part + app_part + overhead).max(min_packet as u64);
+        let chunks = wire.div_ceil(chunk).min(8);
+        out.push(PacketShape { chunks: chunks as u8, payload: app_part as u32 });
+    }
+    debug_assert_eq!(app_left, 0);
+    out
+}
+
+/// Total wire chunks of a packetized message.
+pub fn total_chunks(shapes: &[PacketShape]) -> u64 {
+    shapes.iter().map(|s| s.chunks as u64).sum()
+}
+
+/// Build this node's randomized destination schedule: `dests` destinations,
+/// spatially uniform (evenly spaced in rank order with jitter when
+/// sampling), visited in a per-node random order.
+pub fn destination_schedule(rank: u32, p: u32, dests: u32, seed: u64) -> Vec<u32> {
+    assert!(p >= 2, "need at least two nodes");
+    let others = p - 1;
+    let dests = dests.clamp(1, others);
+    let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut list: Vec<u32>;
+    if dests == others {
+        list = (0..others).map(|o| (rank + 1 + o) % p).collect();
+    } else {
+        // Evenly spaced offsets with jitter keep the sample spatially
+        // uniform regardless of the partition shape.
+        let step = others as f64 / dests as f64;
+        let mut offsets = Vec::with_capacity(dests as usize);
+        let mut prev: i64 = -1;
+        for i in 0..dests {
+            let mut o = ((i as f64 + rng.gen::<f64>()) * step) as i64;
+            if o <= prev {
+                o = prev + 1;
+            }
+            prev = o;
+            offsets.push(o.min(others as i64 - 1) as u32);
+        }
+        offsets.dedup();
+        list = offsets.into_iter().map(|o| (rank + 1 + o) % p).collect();
+    }
+    // Fisher–Yates: the randomized injection order is what smooths link
+    // contention in the paper's AR scheme.
+    for i in (1..list.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        list.swap(i, j);
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MachineParams {
+        MachineParams::bgl()
+    }
+
+    #[test]
+    fn full_workload_covers_everyone() {
+        let w = AaWorkload::full(1024);
+        assert_eq!(w.dests_per_node(512), 511);
+        assert_eq!(w.effective_fraction(512), 1.0);
+    }
+
+    #[test]
+    fn sampled_workload_scales() {
+        let w = AaWorkload::sampled(1024, 0.25);
+        assert_eq!(w.dests_per_node(4097), 1024);
+        assert!((w.effective_fraction(4097) - 0.25).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn zero_coverage_rejected() {
+        let _ = AaWorkload::sampled(8, 0.0);
+    }
+
+    #[test]
+    fn packetize_one_byte_direct() {
+        // 1 B + 48 B header + 16 B overhead = 65 B → 96 B wire, min 64.
+        let p = packetize(1, 48, 64, &params());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].payload, 1);
+        assert!(p[0].chunks >= 2 && p[0].chunks <= 3);
+    }
+
+    #[test]
+    fn packetize_conserves_payload() {
+        for m in [0u64, 1, 31, 32, 192, 193, 240, 1000, 4096, 65535] {
+            for header in [8u32, 48] {
+                let shapes = packetize(m, header, 32, &params());
+                let total: u64 = shapes.iter().map(|s| s.payload as u64).sum();
+                assert_eq!(total, m, "m={m} header={header}");
+                for s in &shapes {
+                    assert!(s.chunks >= 1 && s.chunks <= 8);
+                    // Wire size must cover its share of payload.
+                    assert!(s.chunks as u32 * 32 >= s.payload);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packetize_large_message_uses_full_packets() {
+        let shapes = packetize(4096, 48, 64, &params());
+        // All but the last packet are full 256-byte (8-chunk) packets.
+        for s in &shapes[..shapes.len() - 1] {
+            assert_eq!(s.chunks, 8);
+        }
+        let n = (4096u64 + 48).div_ceil(240);
+        assert_eq!(shapes.len() as u64, n);
+    }
+
+    #[test]
+    fn packetize_proto_header_is_cheaper() {
+        // Equation 4's point: an 8-byte proto beats a 48-byte h for tiny m.
+        let d = packetize(8, 48, 64, &params());
+        let v = packetize(8, 8, 32, &params());
+        assert!(total_chunks(&v) < total_chunks(&d));
+    }
+
+    #[test]
+    fn schedule_covers_all_destinations_once() {
+        let p = 64;
+        for rank in [0u32, 17, 63] {
+            let s = destination_schedule(rank, p, p - 1, 42);
+            assert_eq!(s.len() as u32, p - 1);
+            let set: std::collections::HashSet<u32> = s.iter().copied().collect();
+            assert_eq!(set.len() as u32, p - 1);
+            assert!(!set.contains(&rank), "schedule must skip self");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_varies_per_rank() {
+        let a = destination_schedule(3, 64, 63, 7);
+        let b = destination_schedule(3, 64, 63, 7);
+        let c = destination_schedule(4, 64, 63, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_schedule_has_distinct_spread_destinations() {
+        let p = 4096;
+        let s = destination_schedule(100, p, 256, 1);
+        let set: std::collections::HashSet<u32> = s.iter().copied().collect();
+        assert_eq!(set.len(), s.len());
+        assert!(!set.contains(&100));
+        assert!(s.len() >= 250);
+        // Spread: destinations should span most of the rank space.
+        let max = *s.iter().max().unwrap();
+        let min = *s.iter().min().unwrap();
+        assert!(max > 3500 && min < 500, "min={min} max={max}");
+    }
+
+    #[test]
+    fn schedules_differ_between_rounds_of_ranks_but_balance_load() {
+        // Aggregated over all sources, each destination appears ~equally
+        // often even in sampled mode (load uniformity).
+        let p = 128u32;
+        let mut counts = vec![0u32; p as usize];
+        for r in 0..p {
+            for d in destination_schedule(r, p, 32, 9) {
+                counts[d as usize] += 1;
+            }
+        }
+        let avg = 32.0;
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > avg * 0.5 && (c as f64) < avg * 1.6,
+                "destination {d} got {c} senders (avg {avg})"
+            );
+        }
+    }
+}

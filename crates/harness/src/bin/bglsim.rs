@@ -1,0 +1,172 @@
+//! `bglsim` — sweep driver for exploratory use.
+//!
+//! ```text
+//! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--csv]
+//! bglsim fit   --shape 8x8x8
+//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
+//! ```
+
+use bgl_core::*;
+use bgl_model::MachineParams;
+use bgl_sim::SimConfig;
+use bgl_torus::{Dim, Partition, VmeshLayout};
+use std::collections::HashMap;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args.get(i + 1).filter(|v| !v.starts_with("--"));
+            match val {
+                Some(v) => {
+                    map.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                None => {
+                    map.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn strategy_by_name(name: &str) -> StrategyKind {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "ar" => StrategyKind::AdaptiveRandomized,
+        "dr" => StrategyKind::DeterministicRouted,
+        "mpi" => StrategyKind::MpiBaseline,
+        "throttle" | "thr" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
+        "tps" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
+        "vmesh" | "vm" => StrategyKind::VirtualMesh { layout: VmeshLayout::Auto },
+        "xyz" => StrategyKind::XyzRouting,
+        "auto" => StrategyKind::Auto,
+        other => panic!("unknown strategy {other:?}"),
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) {
+    let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
+    let part: Partition = shape.parse().expect("valid shape");
+    let params = MachineParams::bgl();
+    let strategies: Vec<StrategyKind> = flags
+        .get("strategies")
+        .map(String::as_str)
+        .unwrap_or("ar,tps")
+        .split(',')
+        .map(strategy_by_name)
+        .collect();
+    let sizes: Vec<u64> = flags
+        .get("sizes")
+        .map(String::as_str)
+        .unwrap_or("64,240,912")
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric size"))
+        .collect();
+    let coverage: f64 = flags.get("coverage").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let csv = flags.contains_key("csv");
+    if csv {
+        println!("shape,strategy,m_bytes,coverage,cycles,ms,percent_of_peak");
+    } else {
+        println!("sweep on {part} (coverage {coverage}):");
+    }
+    for &m in &sizes {
+        for strategy in &strategies {
+            let w = if coverage >= 1.0 {
+                AaWorkload::full(m)
+            } else {
+                AaWorkload::sampled(m, coverage)
+            };
+            match run_aa(part, &w, strategy, &params, SimConfig::new(part)) {
+                Ok(r) => {
+                    let ms = r.time_secs * 1e3 / r.workload.coverage;
+                    if csv {
+                        println!(
+                            "{shape},{},{m},{coverage},{},{ms:.4},{:.2}",
+                            r.strategy.name(),
+                            r.cycles,
+                            r.percent_of_peak
+                        );
+                    } else {
+                        println!(
+                            "  m={m:<7} {:12} {:7.1}% of peak  {ms:9.4} ms",
+                            r.strategy.name(),
+                            r.percent_of_peak
+                        );
+                    }
+                }
+                Err(e) => println!("  m={m:<7} {:12} ERROR {e}", strategy.name()),
+            }
+        }
+    }
+}
+
+fn cmd_fit(flags: &HashMap<String, String>) {
+    let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
+    let part: Partition = shape.parse().expect("valid shape");
+    let params = MachineParams::bgl();
+    let fit = fit_ptp_params(&part, &params);
+    println!("ping-pong fit on {part} (Equation 1, T = α + m·β):");
+    println!("  fitted α  : {:.2} cycles", fit.alpha_cycles);
+    println!(
+        "  fitted β  : {:.3} ns/B   (configured {:.3} ns/B)",
+        fit.beta_ns_per_byte, params.beta_ns_per_byte
+    );
+    println!("  r²        : {:.6}", fit.r_squared);
+    for (m, t) in &fit.samples {
+        println!("    m={m:<7} {t} cycles");
+    }
+}
+
+fn cmd_pattern(flags: &HashMap<String, String>) {
+    let shape = flags.get("shape").map(String::as_str).unwrap_or("4x4x4");
+    let part: Partition = shape.parse().expect("valid shape");
+    let params = MachineParams::bgl();
+    let m: u64 = flags.get("m").and_then(|s| s.parse().ok()).unwrap_or(480);
+    let spec = flags.get("pattern").map(String::as_str).unwrap_or("transpose:8");
+    let (kind, arg) = spec.split_once(':').unwrap_or((spec, ""));
+    let pattern = match kind {
+        "a2a" => Pattern::AllToAll,
+        "shift" => Pattern::Shift { offset: arg.parse().expect("shift offset") },
+        "transpose" => Pattern::Transpose { rows: arg.parse().expect("transpose rows") },
+        "random" => Pattern::RandomPairs { degree: arg.parse().expect("random degree") },
+        "plane" => Pattern::PlaneAllToAll {
+            fixed: match arg {
+                "x" => Dim::X,
+                "y" => Dim::Y,
+                "z" => Dim::Z,
+                _ => panic!("plane:x|y|z"),
+            },
+        },
+        other => panic!("unknown pattern {other:?}"),
+    };
+    let rep = run_pattern(part, &pattern, m, &params, SimConfig::new(part), 7)
+        .expect("pattern completes");
+    println!("{pattern:?} on {part}, m={m} B/pair:");
+    println!("  pairs            : {}", rep.pairs);
+    println!("  completion       : {} cycles", rep.cycles);
+    println!("  generalized peak : {:.0} cycles", rep.peak_cycles);
+    println!("  percent of peak  : {:.1} %", rep.percent_of_peak);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match cmd {
+        "sweep" => cmd_sweep(&flags),
+        "fit" => cmd_fit(&flags),
+        "pattern" => cmd_pattern(&flags),
+        _ => {
+            eprintln!("usage: bglsim sweep|fit|pattern [--flags]");
+            eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--csv]");
+            eprintln!("  fit     --shape 8x8x8");
+            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Scratch calibration binary kept as a handy one-off runner for a single
+//! (shape, strategy, m, coverage) point.
+//!
+//! ```text
+//! calib <shape> <AR|DR|TPS|VM|THR|MPI> <m_bytes> <coverage>
+//! ```
+
+use bgl_core::*;
+use bgl_model::MachineParams;
+use bgl_sim::SimConfig;
+use bgl_torus::{Partition, ALL_DIMS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shape = args.first().cloned().unwrap_or_else(|| "8x8x8".into());
+    let strat = args.get(1).cloned().unwrap_or_else(|| "AR".into());
+    let m: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(912);
+    let cov: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let part: Partition = shape.parse().expect("valid shape");
+    let w = if cov >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, cov) };
+    let strategy = match strat.as_str() {
+        "AR" => StrategyKind::AdaptiveRandomized,
+        "DR" => StrategyKind::DeterministicRouted,
+        "TPS" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
+        "VM" => StrategyKind::VirtualMesh { layout: bgl_torus::VmeshLayout::Auto },
+        "THR" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
+        "MPI" => StrategyKind::MpiBaseline,
+        other => panic!("unknown strategy {other}"),
+    };
+    let t0 = std::time::Instant::now();
+    match run_aa(part, &w, &strategy, &MachineParams::bgl(), SimConfig::new(part)) {
+        Ok(r) => {
+            let utils: Vec<String> = ALL_DIMS
+                .iter()
+                .map(|&d| format!("{}={:.2}", d, r.stats.dim_utilization(&part, d)))
+                .collect();
+            println!(
+                "{shape} {} m={m} cov={cov}: {:.1}% of peak, {} cycles, {} [{:.1?}]",
+                r.strategy.name(),
+                r.percent_of_peak,
+                r.cycles,
+                utils.join(" "),
+                t0.elapsed()
+            );
+        }
+        Err(e) => println!("{shape} {strat}: ERROR {e}"),
+    }
+}

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list
+//! repro <id>... [--scale quick|paper] [--out DIR]
+//! repro all     [--scale quick|paper] [--out DIR]
+//! ```
+//!
+//! Results are printed and, when `--out` is given, written as `<id>.txt`
+//! and `<id>.csv` plus a combined `results.json`.
+
+use bgl_harness::{experiments, run_suite, Runner, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "help" {
+        eprintln!("usage: repro <id>...|all|list [--scale quick|paper] [--out DIR]");
+        eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
+        std::process::exit(2);
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Paper;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?} (quick|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_default())),
+            "list" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    let runner = Runner::new(scale);
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let mut reports = Vec::new();
+    for id in &id_refs {
+        let t0 = std::time::Instant::now();
+        let batch = run_suite(&runner, &[id]);
+        for rep in batch {
+            println!("{}", rep.to_text());
+            println!("  [{} finished in {:.1?}]\n", rep.id, t0.elapsed());
+            reports.push(rep);
+        }
+    }
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        for rep in &reports {
+            std::fs::write(dir.join(format!("{}.txt", rep.id)), rep.to_text()).unwrap();
+            std::fs::write(dir.join(format!("{}.csv", rep.id)), rep.to_csv()).unwrap();
+        }
+        let json = serde_json::to_string_pretty(&reports).expect("serialize");
+        std::fs::write(dir.join("results.json"), json).unwrap();
+        eprintln!("wrote {} reports to {}", reports.len(), dir.display());
+    }
+}

@@ -1,0 +1,130 @@
+//! Experiment report structure and rendering (aligned text tables, CSV,
+//! JSON).
+
+use serde::{Deserialize, Serialize};
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Short id ("table1", "fig6", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rendered rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling substitutions, observations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> ExperimentReport {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (quoting-free cells assumed; commas are replaced).
+    pub fn to_csv(&self) -> String {
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("t", "sample", &["a", "bee"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.push_row(vec!["333".into(), "4".into()]);
+        r.note("hello");
+        r
+    }
+
+    #[test]
+    fn text_render_aligns() {
+        let t = sample().to_text();
+        assert!(t.contains("a    bee"));
+        assert!(t.contains("333  4"));
+        assert!(t.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_render() {
+        let c = sample().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines, vec!["a,bee", "1,2", "333,4"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = ExperimentReport::new("t", "sample", &["a"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn commas_sanitized_in_csv() {
+        let mut r = ExperimentReport::new("t", "s", &["a"]);
+        r.push_row(vec!["x,y".into()]);
+        assert!(r.to_csv().contains("x;y"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 2: AR measured vs model vs peak on a 16×16×16 (4096-node)
+//! partition.
+
+use crate::experiment::ExperimentReport;
+use crate::experiments::fig1::ar_vs_model;
+use crate::runner::{Runner, Scale};
+
+/// The partition this figure sweeps (shrunk for quick scale).
+pub fn shape(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "8x8x4",
+        Scale::Paper => "16x16x16",
+    }
+}
+
+/// Message sizes per scale.
+pub fn sizes(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Quick => vec![240, 912],
+        Scale::Paper => vec![64, 240, 912, 1872, 3792],
+    }
+}
+
+/// Run Figure 2.
+pub fn run(runner: &Runner) -> ExperimentReport {
+    let mut rep = ar_vs_model("fig2", shape(runner.scale), &sizes(runner.scale), runner);
+    if runner.scale == Scale::Quick {
+        rep.note("quick scale substitutes 8x8x4 for the paper's 16x16x16");
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    #[test]
+    fn quick_fig2_runs() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        assert_eq!(rep.rows.len(), 2);
+        assert_eq!(rep.id, "fig2");
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 3: per-node throughput across partitions — the Equation-2 peak
+//! bisection bandwidth per node vs what AR achieves with one packet and
+//! with large messages.
+
+use crate::experiment::ExperimentReport;
+use crate::runner::{Runner, Scale};
+use bgl_core::StrategyKind;
+use bgl_model::peak;
+use bgl_torus::Partition;
+
+/// Partitions plotted per scale (the paper plots its Table 1/2 set).
+pub fn shapes(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Quick => vec!["8", "8x8", "8x8x8", "8x4x4"],
+        Scale::Paper => vec![
+            "8", "16", "8x8", "16x16", "8x8x8", "8x8x16", "8x16x16", "8x32x16", "16x16x16",
+        ],
+    }
+}
+
+/// One 240-byte payload packet per destination (the paper's "1 packet"
+/// series; 240+48 B rides two packets, so we use 192 B = exactly one full
+/// packet with the header).
+pub const ONE_PACKET_M: u64 = 192;
+
+/// Run Figure 3.
+pub fn run(runner: &Runner) -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "fig3",
+        "Per-node throughput: peak vs AR one-packet vs AR large (paper Figure 3)",
+        &["Partition", "Peak MB/s/node", "AR 1-pkt MB/s/node", "AR large MB/s/node", "AR large %"],
+    );
+    for shape in shapes(runner.scale) {
+        let part: Partition = shape.parse().unwrap();
+        let m_large = runner.large_m_for(&part);
+        let peak_bw = peak::peak_per_node_bandwidth(&part, &runner.params) / 1e6;
+        let one = runner.aa(shape, &StrategyKind::AdaptiveRandomized, ONE_PACKET_M);
+        let large = runner.aa(shape, &StrategyKind::AdaptiveRandomized, m_large);
+        let fmt_bw = |r: &Result<bgl_core::AaReport, bgl_sim::SimError>| match r {
+            Ok(r) => format!("{:.1}", r.per_node_bandwidth / 1e6),
+            Err(e) => format!("ERROR: {e}"),
+        };
+        let large_pct = match &large {
+            Ok(r) => format!("{:.1}", r.percent_of_peak),
+            Err(_) => "-".into(),
+        };
+        rep.push_row(vec![
+            shape.to_string(),
+            format!("{peak_bw:.1}"),
+            fmt_bw(&one),
+            fmt_bw(&large),
+            large_pct,
+        ]);
+    }
+    rep.note("peak per-node bandwidth falls as the longest dimension grows (≈ 8/(M·β))");
+    rep.note("a one-packet AA already runs close to the large-message bandwidth");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    #[test]
+    fn quick_fig3_bandwidth_sane() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        for row in &rep.rows {
+            let peak_bw: f64 = row[1].parse().unwrap();
+            let large: f64 = row[3].parse().unwrap();
+            assert!(large <= peak_bw * 1.05, "{row:?}");
+            assert!(large > peak_bw * 0.3, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn peak_bw_drops_with_longest_dimension() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        let bw_of = |shape: &str| -> f64 {
+            rep.rows.iter().find(|row| row[0] == shape).unwrap()[1].parse().unwrap()
+        };
+        // 8-line and 8x8x8 share M=8: peak/node differs only by the
+        // (P-1)/P self-traffic factor, so the cube is slightly higher.
+        let (line, cube) = (bw_of("8"), bw_of("8x8x8"));
+        assert!(cube >= line && cube / line < 1.2, "line {line} cube {cube}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 6: measured VMesh vs AR on 512 nodes across short message
+//! sizes — combining wins below the 32–64-byte crossover.
+
+use crate::experiment::ExperimentReport;
+use crate::runner::{Runner, Scale};
+use bgl_core::StrategyKind;
+use bgl_torus::VmeshLayout;
+
+/// The partition (shrunk for quick scale).
+pub fn shape(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "4x4x4",
+        Scale::Paper => "8x8x8",
+    }
+}
+
+/// Message sizes swept.
+pub fn sizes(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Quick => vec![8, 32, 256],
+        Scale::Paper => vec![1, 8, 16, 32, 64, 128, 256, 512, 1024],
+    }
+}
+
+/// Run Figure 6.
+pub fn run(runner: &Runner) -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "fig6",
+        "Short-message AA: VMesh vs AR measured (paper Figure 6)",
+        &["m (B)", "VMesh ms", "AR ms", "AR/VMesh", "winner"],
+    );
+    let shape = shape(runner.scale);
+    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let ar = StrategyKind::AdaptiveRandomized;
+    for m in sizes(runner.scale) {
+        let v = runner.aa(shape, &vmesh, m);
+        let a = runner.aa(shape, &ar, m);
+        match (v, a) {
+            (Ok(v), Ok(a)) => {
+                let tv = v.time_secs * 1e3 / v.workload.coverage;
+                let ta = a.time_secs * 1e3 / a.workload.coverage;
+                rep.push_row(vec![
+                    m.to_string(),
+                    format!("{tv:.4}"),
+                    format!("{ta:.4}"),
+                    format!("{:.2}", ta / tv),
+                    if tv < ta { "vmesh" } else { "direct" }.to_string(),
+                ]);
+            }
+            (v, a) => rep.push_row(vec![
+                m.to_string(),
+                v.map(|r| format!("{:.4}", r.time_secs * 1e3)).unwrap_or_else(|e| e.to_string()),
+                a.map(|r| format!("{:.4}", r.time_secs * 1e3)).unwrap_or_else(|e| e.to_string()),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    rep.note("paper: VMesh ≈ 2× AR for very short messages; crossover between 32 and 64 B");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    #[test]
+    fn quick_fig6_vmesh_wins_small_loses_large() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        assert_eq!(rep.rows[0][4], "vmesh", "8 B: {:?}", rep.rows[0]);
+        assert_eq!(rep.rows.last().unwrap()[4], "direct", "256 B: {:?}", rep.rows.last());
+    }
+}

@@ -1,0 +1,84 @@
+//! One module per paper table/figure, each producing an
+//! [`ExperimentReport`](crate::experiment::ExperimentReport).
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::experiment::ExperimentReport;
+use crate::runner::Runner;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "fig2", "table1", "table2", "fig3", "fig4", "table3", "table4", "fig5", "fig6",
+    "fig7", "ablations",
+];
+
+/// Run one experiment by id.
+pub fn run_by_id(runner: &Runner, id: &str) -> Option<ExperimentReport> {
+    Some(match id {
+        "table1" => table1::run(runner),
+        "table2" => table2::run(runner),
+        "table3" => table3::run(runner),
+        "table4" => table4::run(runner),
+        "fig1" => fig1::run(runner),
+        "fig2" => fig2::run(runner),
+        "fig3" => fig3::run(runner),
+        "fig4" => fig4::run(runner),
+        "fig5" => fig5::run(runner),
+        "fig6" => fig6::run(runner),
+        "fig7" => fig7::run(runner),
+        "ablations" => ablations::run(runner),
+        _ => return None,
+    })
+}
+
+/// Format a percent cell.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a coverage cell.
+pub(crate) fn cov(x: f64) -> String {
+    if x >= 1.0 {
+        "full".to_string()
+    } else {
+        format!("{:.3}", x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+
+    #[test]
+    fn unknown_id_is_none() {
+        let r = Runner::new(Scale::Quick);
+        assert!(run_by_id(&r, "nope").is_none());
+    }
+
+    #[test]
+    fn fig5_is_model_only_and_fast() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run_by_id(&r, "fig5").unwrap();
+        assert_eq!(rep.id, "fig5");
+        assert!(!rep.rows.is_empty());
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(pct(99.04), "99.0");
+        assert_eq!(cov(1.0), "full");
+        assert_eq!(cov(0.25), "0.250");
+    }
+}

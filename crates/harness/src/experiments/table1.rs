@@ -1,0 +1,68 @@
+//! Table 1: AR percent of peak on symmetric lines, planes and tori for
+//! large messages.
+
+use crate::experiment::ExperimentReport;
+use crate::experiments::{cov, pct};
+use crate::paper::TABLE1_AR_SYMMETRIC;
+use crate::runner::{Runner, Scale};
+use bgl_core::StrategyKind;
+
+/// Partitions evaluated at each scale.
+pub fn shapes(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Quick => vec!["8", "16", "8x8", "8x8x8"],
+        Scale::Paper => TABLE1_AR_SYMMETRIC.iter().map(|(s, _)| *s).collect(),
+    }
+}
+
+/// Run Table 1.
+pub fn run(runner: &Runner) -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "table1",
+        "AR % of peak, symmetric partitions, large messages (paper Table 1)",
+        &["Partition", "AR % (sim)", "AR % (paper)", "m (B)", "coverage"],
+    );
+    for shape in shapes(runner.scale) {
+        let m = runner.large_m_for(&shape.parse().unwrap());
+        let paper = TABLE1_AR_SYMMETRIC
+            .iter()
+            .find(|(s, _)| *s == shape)
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_else(|| "-".into());
+        match runner.aa(shape, &StrategyKind::AdaptiveRandomized, m) {
+            Ok(r) => rep.push_row(vec![
+                shape.to_string(),
+                pct(r.percent_of_peak),
+                paper,
+                m.to_string(),
+                cov(r.workload.coverage),
+            ]),
+            Err(e) => rep.push_row(vec![
+                shape.to_string(),
+                format!("ERROR: {e}"),
+                paper,
+                m.to_string(),
+                "-".into(),
+            ]),
+        }
+    }
+    rep.note("percent of peak is Equation 2 with the measured run time; see EXPERIMENTS.md for coverage sampling");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_shapes_are_symmetric_and_high() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        assert_eq!(rep.rows.len(), 4);
+        for row in &rep.rows {
+            let v: f64 = row[1].parse().expect("numeric percent");
+            assert!(v > 55.0, "{} only reached {v}%", row[0]);
+            assert!(v <= 101.0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 3: Two Phase Schedule percent of peak and chosen phase-1
+//! dimension on partitions from 512 to 20,480 nodes.
+
+use crate::experiment::ExperimentReport;
+use crate::experiments::{cov, pct};
+use crate::paper::TABLE3_TPS;
+use crate::runner::{Runner, Scale};
+use bgl_core::{choose_linear_dim, StrategyKind};
+use bgl_torus::Partition;
+
+/// Partitions evaluated at each scale.
+pub fn shapes(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Quick => vec!["8x4x4", "4x8x4", "8x8x8", "8x8x4M"],
+        Scale::Paper => TABLE3_TPS.iter().map(|(s, _, _)| *s).collect(),
+    }
+}
+
+/// Run Table 3.
+pub fn run(runner: &Runner) -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "table3",
+        "Two Phase Schedule % of peak and phase-1 dimension (paper Table 3)",
+        &["Nodes", "Partition", "TPS % (sim)", "TPS % (paper)", "Phase1 (sim)", "Phase1 (paper)", "coverage"],
+    );
+    let strategy = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    for shape in shapes(runner.scale) {
+        let part: Partition = shape.parse().unwrap();
+        let m = runner.large_m_for(&part);
+        let (paper_pct, paper_dim) = TABLE3_TPS
+            .iter()
+            .find(|(s, _, _)| *s == shape)
+            .map(|(_, v, d)| (pct(*v), d.to_string()))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let linear = choose_linear_dim(&part).to_string();
+        match runner.aa(shape, &strategy, m) {
+            Ok(r) => rep.push_row(vec![
+                part.num_nodes().to_string(),
+                shape.to_string(),
+                pct(r.percent_of_peak),
+                paper_pct,
+                linear,
+                paper_dim,
+                cov(r.workload.coverage),
+            ]),
+            Err(e) => rep.push_row(vec![
+                part.num_nodes().to_string(),
+                shape.to_string(),
+                format!("ERROR: {e}"),
+                paper_pct,
+                linear,
+                paper_dim,
+                "-".into(),
+            ]),
+        }
+    }
+    rep.note("phase-1 dimension chosen automatically: symmetric-plane preference, else the longest dimension");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table3_runs() {
+        let r = Runner::new(Scale::Quick);
+        let rep = run(&r);
+        assert_eq!(rep.rows.len(), 4);
+        for row in &rep.rows {
+            let v: f64 = row[2].parse().expect("numeric percent");
+            assert!(v > 30.0 && v <= 101.0, "{}: {v}", row[1]);
+        }
+        // 8x4x4 must pick X (symmetric-plane rule).
+        let first = &rep.rows[0];
+        assert_eq!(first[4], "X");
+    }
+}

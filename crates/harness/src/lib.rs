@@ -1,0 +1,52 @@
+//! Experiment harness: regenerates every table and figure of the paper
+//! with paper-value comparison columns.
+//!
+//! * [`runner`] — budgeted, memoizing simulation runner (coverage sampling
+//!   for the very large partitions).
+//! * [`experiments`] — one module per table/figure (`table1`–`table4`,
+//!   `fig1`–`fig7`, plus `ablations`).
+//! * [`paper`] — the paper's reported numbers, transcribed.
+//! * [`experiment`] — report rendering (text/CSV/JSON).
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro list                  # show experiment ids
+//! repro table3 --scale paper  # regenerate one table at paper scale
+//! repro all --scale quick     # regenerate everything, scaled down
+//! ```
+
+pub mod experiment;
+pub mod experiments;
+pub mod paper;
+pub mod runner;
+
+pub use experiment::ExperimentReport;
+pub use runner::{Runner, Scale};
+
+/// Run a set of experiment ids, in order, sharing one runner/cache.
+/// Invalid ids are skipped with a stderr warning.
+pub fn run_suite(runner: &Runner, ids: &[&str]) -> Vec<ExperimentReport> {
+    ids.iter()
+        .filter_map(|id| {
+            let rep = experiments::run_by_id(runner, id);
+            if rep.is_none() {
+                eprintln!("warning: unknown experiment id {id:?}");
+            }
+            rep
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_skips_unknown_ids() {
+        let r = Runner::new(Scale::Quick);
+        let reps = run_suite(&r, &["fig5", "bogus"]);
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].id, "fig5");
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's reported numbers, transcribed for side-by-side comparison.
+//!
+//! Every value here comes from the tables and running text of *Performance
+//! Analysis and Optimization of All-to-all Communication on the Blue
+//! Gene/L Supercomputer* (Kumar & Heidelberger). Figures without exact
+//! numbers are represented by the quantitative claims the text makes about
+//! them.
+
+/// Table 1: AR percent of peak on symmetric partitions, large messages.
+pub const TABLE1_AR_SYMMETRIC: &[(&str, f64)] = &[
+    ("8", 98.2),
+    ("16", 97.7),
+    ("8x8", 98.7),
+    ("16x16", 99.7),
+    ("8x8x8", 99.0),
+    ("16x16x16", 99.0),
+];
+
+/// Table 2: AR percent of peak on asymmetric meshes and tori, large
+/// messages. `M` marks a mesh dimension.
+pub const TABLE2_AR_ASYMMETRIC: &[(&str, f64)] = &[
+    ("8x2M", 91.8),
+    ("8x4M", 89.0),
+    ("8x16", 85.7),
+    ("8x32", 84.0),
+    ("8x8x2M", 90.1),
+    ("8x8x4M", 87.7),
+    ("8x8x16", 81.0),
+    ("8x16x16", 87.0),
+    ("8x32x16", 73.3),
+    ("16x32x16", 71.0),
+    ("32x32x16", 73.6),
+];
+
+/// Table 3: Two Phase Schedule percent of peak and chosen phase-1
+/// dimension, long messages: `(shape, percent, linear dimension)`.
+pub const TABLE3_TPS: &[(&str, f64, &str)] = &[
+    ("8x8x8", 77.2, "Z"),
+    ("16x8x8", 99.0, "X"),
+    ("8x16x8", 98.9, "Y"),
+    ("8x8x16", 97.9, "Z"),
+    ("16x16x8", 97.5, "Z"),
+    ("16x8x16", 97.4, "Y"),
+    ("8x16x16", 97.2, "X"),
+    ("8x32x16", 99.5, "Y"),
+    ("16x16x16", 96.1, "X"),
+    ("16x32x16", 99.8, "Y"),
+    ("32x16x16", 99.8, "X"),
+    ("32x32x16", 96.8, "Z"),
+    ("40x32x16", 99.5, "X"),
+];
+
+/// Table 4: one-byte all-to-all latency in milliseconds:
+/// `(shape, TPS ms, AR ms)`.
+pub const TABLE4_LATENCY_MS: &[(&str, f64, f64)] = &[
+    ("8x8x8", 0.81, 0.52),
+    ("8x8x16", 1.64, 1.25),
+    ("16x16x16", 7.5, 4.7),
+    ("8x32x16", 8.1, 12.4),
+    ("32x32x16", 35.9, 65.2),
+];
+
+/// Figure 4's quantified claims about the direct strategies.
+pub mod fig4 {
+    /// DR on 8x32x16 (percent of peak) vs AR on the same partition.
+    pub const DR_8X32X16: f64 = 86.0;
+    /// AR on 8x32x16 as read in the Figure 4 discussion.
+    pub const AR_8X32X16: f64 = 77.0;
+    /// DR on 8x16x16.
+    pub const DR_8X16X16: f64 = 67.0;
+    /// AR on 8x16x16.
+    pub const AR_8X16X16: f64 = 86.0;
+    /// DR exceeds this on 2n×n×n partitions (X longest).
+    pub const DR_2N_N_N_FLOOR: f64 = 90.0;
+    /// Throttling gains only ~2–3 % over plain AR on 1024 nodes.
+    pub const THROTTLE_GAIN_MAX: f64 = 3.0;
+}
+
+/// Figures 6 and 7's quantified claims about short messages.
+pub mod short {
+    /// On 512 nodes, VMesh ≈ 2× AR for very short messages.
+    pub const VMESH_OVER_AR_512: f64 = 2.0;
+    /// On 8×32×16, for 8-byte messages, VMesh ≈ 2× TPS.
+    pub const VMESH_OVER_TPS_4096: f64 = 2.0;
+    /// On 8×32×16, for 8-byte messages, VMesh ≈ 3× AR.
+    pub const VMESH_OVER_AR_4096: f64 = 3.0;
+    /// Measured direct/combining crossover band, bytes.
+    pub const CROSSOVER_BYTES: (u64, u64) = (32, 64);
+}
+
+/// The headline: on 40×32×16, TPS lifts all-to-all from ~72 % to over
+/// 99 % of peak.
+pub mod headline {
+    /// AR on the 20,480-node partition.
+    pub const AR_40X32X16: f64 = 72.0;
+    /// TPS on the same partition.
+    pub const TPS_40X32X16: f64 = 99.5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_torus::Partition;
+
+    #[test]
+    fn all_shapes_parse() {
+        for (s, _) in TABLE1_AR_SYMMETRIC {
+            let _: Partition = s.parse().unwrap();
+        }
+        for (s, _) in TABLE2_AR_ASYMMETRIC {
+            let _: Partition = s.parse().unwrap();
+        }
+        for (s, _, _) in TABLE3_TPS {
+            let _: Partition = s.parse().unwrap();
+        }
+        for (s, _, _) in TABLE4_LATENCY_MS {
+            let _: Partition = s.parse().unwrap();
+        }
+    }
+
+    #[test]
+    fn table3_covers_all_paper_partitions() {
+        assert_eq!(TABLE3_TPS.len(), 13);
+        // Node counts match the paper's partition-size column.
+        let sizes: Vec<u32> = TABLE3_TPS
+            .iter()
+            .map(|(s, _, _)| s.parse::<Partition>().unwrap().num_nodes())
+            .collect();
+        assert_eq!(
+            sizes,
+            vec![512, 1024, 1024, 1024, 2048, 2048, 2048, 4096, 4096, 8192, 8192, 16384, 20480]
+        );
+    }
+
+    #[test]
+    fn table1_shapes_are_symmetric_table2_not() {
+        for (s, _) in TABLE1_AR_SYMMETRIC {
+            assert!(s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
+        }
+        for (s, _) in TABLE2_AR_ASYMMETRIC {
+            assert!(!s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Budgeted, cached simulation runner shared by all experiments.
+//!
+//! Several tables and figures evaluate the same (partition, strategy,
+//! message size) points; the runner memoizes completed runs so the full
+//! suite never repeats work. For large partitions it automatically samples
+//! the all-to-all (uniform destination subsets, see
+//! [`bgl_core::AaWorkload::coverage`]) so a run stays within a node-cycle
+//! budget; every report records the coverage used.
+
+use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
+use bgl_model::MachineParams;
+use bgl_sim::{SimConfig, SimError};
+use bgl_torus::Partition;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How hard to push the simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small budgets for benches/CI: coarse percentages, seconds per
+    /// experiment.
+    Quick,
+    /// Paper-shape partitions with node-cycle budgets sized for a full
+    /// suite run of tens of minutes.
+    Paper,
+}
+
+impl Scale {
+    /// Node-cycle budget per run (nodes × simulated cycles).
+    pub fn node_cycle_budget(self) -> f64 {
+        match self {
+            Scale::Quick => 8.0e6,
+            Scale::Paper => 5.0e7,
+        }
+    }
+
+    /// Minimum destinations per node when sampling.
+    pub fn min_dests(self) -> u32 {
+        match self {
+            Scale::Quick => 16,
+            Scale::Paper => 64,
+        }
+    }
+}
+
+/// The memoizing runner.
+pub struct Runner {
+    /// Machine parameters used for every run.
+    pub params: MachineParams,
+    /// Budget scale.
+    pub scale: Scale,
+    /// Workload/schedule seed.
+    pub seed: u64,
+    cache: Mutex<HashMap<String, AaReport>>,
+}
+
+impl Runner {
+    /// A runner at `scale` with BG/L parameters.
+    pub fn new(scale: Scale) -> Runner {
+        Runner { params: MachineParams::bgl(), scale, seed: 0xaa11, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Pick the coverage that keeps `nodes × estimated cycles` within
+    /// budget. The estimate inflates the payload-based peak by the wire
+    /// overhead ratio, which matters for tiny messages (a 1-byte message
+    /// rides a 64-byte packet).
+    pub fn budget_coverage(&self, part: &Partition, m: u64) -> f64 {
+        let p = part.num_nodes();
+        let m = m.max(1);
+        let full = peak_cycles_for(part, &AaWorkload::full(m), &self.params);
+        let shapes = bgl_core::packetize(
+            m,
+            self.params.software_header_bytes,
+            self.params.min_packet_bytes,
+            &self.params,
+        );
+        let wire_bytes = bgl_core::total_chunks(&shapes) * self.params.chunk_bytes as u64;
+        let wire_factor = (wire_bytes as f64 / m as f64).max(1.0);
+        let budget = self.scale.node_cycle_budget();
+        let mut cov = (budget / (p as f64 * full * wire_factor)).min(1.0);
+        // Keep enough destinations for the sample to look like an AA.
+        let floor = (self.scale.min_dests(), p.saturating_sub(1).max(1));
+        let min_cov = (floor.0.min(floor.1) as f64) / floor.1 as f64;
+        cov = cov.max(min_cov).min(1.0);
+        cov
+    }
+
+    /// Run (or fetch) an all-to-all with automatic coverage.
+    pub fn aa(&self, shape: &str, strategy: &StrategyKind, m: u64) -> Result<AaReport, SimError> {
+        let part: Partition = shape.parse().expect("valid shape");
+        let cov = self.budget_coverage(&part, m);
+        self.aa_with(shape, strategy, m, cov, |_| {})
+    }
+
+    /// Run (or fetch) with explicit coverage and a config tweak. The tweak
+    /// must be captured in `variant_of` keys by callers that use it with
+    /// different closures — here it is keyed by the closure's observable
+    /// effect on the default config, so pass a descriptive `shape` string
+    /// when tweaking (ablations construct their own key suffix via
+    /// [`Runner::aa_variant`]).
+    pub fn aa_with(
+        &self,
+        shape: &str,
+        strategy: &StrategyKind,
+        m: u64,
+        coverage: f64,
+        tweak: impl Fn(&mut SimConfig),
+    ) -> Result<AaReport, SimError> {
+        self.aa_variant(shape, strategy, m, coverage, "", tweak)
+    }
+
+    /// Like [`Runner::aa_with`] but with an explicit cache-key suffix for
+    /// configuration variants (ablations).
+    pub fn aa_variant(
+        &self,
+        shape: &str,
+        strategy: &StrategyKind,
+        m: u64,
+        coverage: f64,
+        variant: &str,
+        tweak: impl Fn(&mut SimConfig),
+    ) -> Result<AaReport, SimError> {
+        let key = format!("{shape}|{strategy:?}|{m}|{coverage:.6}|{variant}");
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Ok(hit.clone());
+        }
+        let part: Partition = shape.parse().expect("valid shape");
+        let mut workload = if coverage >= 1.0 {
+            AaWorkload::full(m)
+        } else {
+            AaWorkload::sampled(m, coverage)
+        };
+        workload.seed = self.seed;
+        let mut cfg = SimConfig::new(part);
+        tweak(&mut cfg);
+        let report = run_aa(part, &workload, strategy, &self.params, cfg)?;
+        self.cache.lock().insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// A large-message size that packs into full 256-byte packets
+    /// (m + h ≡ 0 mod 240), scaled down for `Quick` and for very large
+    /// partitions (where destination sampling already bounds the run and a
+    /// smaller per-pair message keeps wall-clock in budget; 912 B is still
+    /// four full packets per destination — asymptotic for % of peak).
+    pub fn large_m_for(&self, part: &Partition) -> u64 {
+        match self.scale {
+            Scale::Quick => 912,
+            Scale::Paper => {
+                if part.num_nodes() > 4096 {
+                    912
+                } else {
+                    3792
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_coverage_full_for_small() {
+        let r = Runner::new(Scale::Paper);
+        let part: Partition = "8x8x8".parse().unwrap();
+        assert_eq!(r.budget_coverage(&part, 3792), 1.0);
+    }
+
+    #[test]
+    fn budget_coverage_samples_large() {
+        let r = Runner::new(Scale::Paper);
+        let part: Partition = "40x32x16".parse().unwrap();
+        let cov = r.budget_coverage(&part, 3792);
+        assert!(cov < 0.1, "{cov}");
+        // Still at least the destination floor.
+        let w = AaWorkload::sampled(3792, cov);
+        assert!(w.dests_per_node(part.num_nodes()) >= 64);
+    }
+
+    #[test]
+    fn cache_hits_return_identical_reports() {
+        let r = Runner::new(Scale::Quick);
+        let a = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
+        let b = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(r.cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn variants_do_not_collide() {
+        let r = Runner::new(Scale::Quick);
+        let base = r
+            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "", |_| {})
+            .unwrap();
+        let tweaked = r
+            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "vc8", |c| {
+                c.router.vc_fifo_chunks = 8
+            })
+            .unwrap();
+        assert_eq!(r.cache.lock().len(), 2);
+        // Shallow VC FIFOs cannot be faster.
+        assert!(tweaked.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn quick_scale_is_cheap() {
+        let r = Runner::new(Scale::Quick);
+        let rep = r.aa("8x8x8", &StrategyKind::AdaptiveRandomized, 912).unwrap();
+        // Budgeted coverage keeps the run small.
+        assert!(rep.workload.coverage < 1.0);
+    }
+}

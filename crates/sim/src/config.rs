@@ -1,0 +1,222 @@
+//! Simulator configuration: router microarchitecture, buffer geometry and
+//! the node CPU model.
+//!
+//! Time is measured in *cycles*: one cycle is the time a 32-byte chunk takes
+//! to cross one link (~207 ns, ~145 CPU cycles on the real machine — see
+//! `bgl_model::MachineParams` for conversions). All buffer capacities are in
+//! chunks; all CPU costs are in (fractional) cycles.
+
+use bgl_torus::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Number of torus virtual channels the simulator models.
+///
+/// BG/L has four (two dynamic, one bubble-normal, one high-priority); the
+/// high-priority VC is never used by application messaging or by any of the
+/// paper's strategies, so we model the three that matter.
+pub const NUM_VCS: usize = 3;
+
+/// Virtual channel indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Vc {
+    /// First dynamic (adaptively routed) VC.
+    Dynamic0 = 0,
+    /// Second dynamic VC.
+    Dynamic1 = 1,
+    /// The "bubble normal" VC: dimension-ordered, deadlock-free escape.
+    Bubble = 2,
+}
+
+impl Vc {
+    /// Dense index in `0..NUM_VCS`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// VC from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `i >= NUM_VCS`.
+    #[inline]
+    pub fn from_index(i: usize) -> Vc {
+        match i {
+            0 => Vc::Dynamic0,
+            1 => Vc::Dynamic1,
+            2 => Vc::Bubble,
+            _ => panic!("VC index {i} out of range"),
+        }
+    }
+
+    /// Both dynamic VCs.
+    pub const DYNAMIC: [Vc; 2] = [Vc::Dynamic0, Vc::Dynamic1];
+}
+
+/// Node CPU model: the cores inject packets into injection FIFOs, drain
+/// reception FIFOs and perform software copies; BG/L has no DMA engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Sustained CPU data bandwidth, in chunks per cycle, shared between
+    /// injection, reception and copies. The paper's "the processor can only
+    /// keep about four links busy" is 4.0.
+    pub chunks_per_cycle: f64,
+    /// Fixed CPU time per packet injected, cycles (FIFO descriptor writes
+    /// and bookkeeping, separate from the per-message α charged by
+    /// strategies).
+    pub per_packet_inject_cycles: f64,
+    /// Fixed CPU time per packet drained from the reception FIFO, cycles.
+    pub per_packet_receive_cycles: f64,
+    /// Memory-copy bandwidth cost γ for software forwarding/combining, in
+    /// cycles per chunk (the paper's 1.6 ns/B ≈ 0.247 cycles per 32-byte
+    /// chunk).
+    pub copy_cycles_per_chunk: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            chunks_per_cycle: 4.0,
+            per_packet_inject_cycles: 0.35,
+            per_packet_receive_cycles: 0.35,
+            copy_cycles_per_chunk: 0.247,
+        }
+    }
+}
+
+/// Router microarchitecture knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Per-(input port, VC) FIFO capacity in chunks. The default of 64
+    /// chunks (2 KB, eight full packets) calibrates the model against the
+    /// paper's measured asymmetric-torus efficiencies: real BG/L packets
+    /// cut through routers flit by flit, so a packet in flight effectively
+    /// spans several nodes' worth of buffering that this packet-atomic
+    /// model must provide explicitly.
+    pub vc_fifo_chunks: u32,
+    /// Whether in-transit packets win arbitration over injected packets
+    /// (BG/L behaviour: yes).
+    pub transit_priority: bool,
+    /// Extra free space (in chunks) a packet must find downstream when
+    /// *entering* the bubble VC — the bubble rule. BG/L requires one full
+    /// packet of slack (8 chunks) beyond the packet itself; packets
+    /// continuing along the same dimension on the bubble VC need only their
+    /// own space. Set to 0 to disable the rule (ablation).
+    pub bubble_slack_chunks: u32,
+    /// Whether adaptive (dynamic-VC) packets may fall back to the bubble
+    /// escape VC when every dynamic choice is blocked. BG/L behaviour: yes.
+    pub adaptive_bubble_escape: bool,
+    /// Pipeline latency per hop, cycles, added after the last chunk of a
+    /// packet crosses a link before it is visible downstream.
+    pub hop_latency_cycles: u32,
+    /// Machine-wide override of the per-packet longest-first shaping
+    /// (`Packet::longest_first`): `None` honours each packet's flag,
+    /// `Some(true)` forces the shaping on, `Some(false)` disables it —
+    /// the ablation reproducing the full congestion collapse.
+    pub longest_first_bias: Option<bool>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vc_fifo_chunks: 64,
+            transit_priority: true,
+            bubble_slack_chunks: 8,
+            adaptive_bubble_escape: true,
+            hop_latency_cycles: 1,
+            longest_first_bias: None,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The partition to simulate.
+    pub partition: Partition,
+    /// Router knobs.
+    pub router: RouterConfig,
+    /// CPU model.
+    pub cpu: CpuConfig,
+    /// Number of injection FIFOs per node (BG/L has eight; six is enough
+    /// for every strategy here and keeps state small).
+    pub inj_fifo_count: u32,
+    /// Capacity of each injection FIFO, chunks.
+    pub inj_fifo_chunks: u32,
+    /// Reception FIFO capacity, chunks. When full, arriving packets stall
+    /// in their VC FIFOs and back-pressure the network.
+    pub reception_fifo_chunks: u32,
+    /// Per-injection-FIFO class masks: FIFO `f` accepts packets of class
+    /// `c` iff `masks[f] & (1 << c) != 0`. Empty (the default) means every
+    /// FIFO accepts every class. The Two Phase Schedule reserves disjoint
+    /// FIFO subsets for its two phases through this knob.
+    pub inj_class_masks: Vec<u8>,
+    /// RNG seed: identical (config, seed, programs) runs produce identical
+    /// cycle counts.
+    pub seed: u64,
+    /// Abort the run if no packet moves and no CPU work happens for this
+    /// many consecutive cycles while traffic remains (deadlock/livelock
+    /// watchdog).
+    pub watchdog_cycles: u64,
+    /// Hard cycle limit (safety net for miswritten programs).
+    pub max_cycles: u64,
+    /// Collect per-directed-link busy counters (see
+    /// `NetStats::link_busy_per_link`). Off by default: it adds a vector
+    /// of `6·P` counters to every run.
+    pub detailed_link_stats: bool,
+}
+
+impl SimConfig {
+    /// Defaults for a given partition (BG/L-like router and CPU).
+    pub fn new(partition: Partition) -> SimConfig {
+        SimConfig {
+            partition,
+            router: RouterConfig::default(),
+            cpu: CpuConfig::default(),
+            inj_fifo_count: 6,
+            inj_fifo_chunks: 16,
+            reception_fifo_chunks: 64,
+            inj_class_masks: Vec::new(),
+            seed: 0x5eed_b61c,
+            watchdog_cycles: 200_000,
+            max_cycles: 2_000_000_000,
+            detailed_link_stats: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_index_roundtrip() {
+        for i in 0..NUM_VCS {
+            assert_eq!(Vc::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vc_bad_index_panics() {
+        let _ = Vc::from_index(3);
+    }
+
+    #[test]
+    fn defaults_are_bgl_like() {
+        let c = SimConfig::new("8x8x8".parse().unwrap());
+        assert_eq!(c.router.vc_fifo_chunks, 64);
+        assert!(c.router.transit_priority);
+        assert!(c.router.adaptive_bubble_escape);
+        assert_eq!(c.cpu.chunks_per_cycle, 4.0);
+        assert_eq!(c.inj_fifo_count, 6);
+    }
+
+    #[test]
+    fn dynamic_vcs_are_the_first_two() {
+        assert_eq!(Vc::DYNAMIC[0].index(), 0);
+        assert_eq!(Vc::DYNAMIC[1].index(), 1);
+        assert_ne!(Vc::Bubble.index(), 0);
+        assert_ne!(Vc::Bubble.index(), 1);
+    }
+}

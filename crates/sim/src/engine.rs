@@ -1,0 +1,812 @@
+//! The cycle-driven simulation engine.
+//!
+//! One cycle is the time a 32-byte chunk takes to cross a link. Each cycle
+//! runs four phases, in an order fixed for determinism:
+//!
+//! 1. **Arrivals** — packets whose last chunk crossed a link this cycle are
+//!    committed into the downstream VC FIFO (space was reserved at
+//!    arbitration time, so credits are never oversubscribed).
+//! 2. **Deliveries** — VC-FIFO heads that have reached their destination
+//!    move into the reception FIFO (or stall, back-pressuring the network,
+//!    when it is full).
+//! 3. **CPU** — each node's simulated cores drain the reception FIFO
+//!    (running the program's `on_packet` hook), pull new sends from the
+//!    program and pay the injection costs to place packets into injection
+//!    FIFOs. All costs are charged against a single per-node CPU timeline.
+//! 4. **Arbitration** — every idle output link picks, round-robin, a
+//!    feasible head among the 18 transit VC FIFOs and the injection FIFOs.
+//!    Adaptive packets choose a dynamic VC by join-shortest-queue, with an
+//!    optional dimension-ordered bubble-VC escape; deterministic packets
+//!    use the bubble VC only, honouring the bubble deadlock-avoidance rule.
+//!
+//! The run ends when every program reports complete and no packet remains
+//! anywhere; a watchdog aborts with diagnostics if traffic stops moving.
+
+use crate::config::{SimConfig, Vc, NUM_VCS};
+use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
+use crate::packet::{Packet, RoutingMode};
+use crate::program::{NodeApi, NodeProgram};
+use crate::stats::NetStats;
+use bgl_torus::{Coord, Dim, Direction, HopPlan, Partition, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
+
+/// In-flight ring size; must exceed max packet chunks + hop latency.
+const RING: usize = 64;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No packet moved and no CPU work happened for `watchdog_cycles`
+    /// while traffic remained (deadlock or stuck program).
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Packets still alive in FIFOs or flight.
+        live_packets: u64,
+        /// Programs not yet complete.
+        incomplete_programs: usize,
+    },
+    /// `max_cycles` exceeded.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { cycle, live_packets, incomplete_programs } => write!(
+                f,
+                "simulation stalled at cycle {cycle}: {live_packets} live packets, \
+                 {incomplete_programs} incomplete programs"
+            ),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct Arrival {
+    node: u32,
+    port: u8,
+    pkt: Packet,
+}
+
+#[derive(Clone, Copy)]
+enum WinSource {
+    Transit { fifo: u8 },
+    Inject { fifo: u8 },
+}
+
+#[derive(Clone, Copy)]
+struct Win {
+    source: WinSource,
+    vc: Vc,
+}
+
+/// The simulator.
+pub struct Engine {
+    cfg: SimConfig,
+    part: Partition,
+    now: u64,
+    nodes: Vec<NodeState>,
+    programs: Vec<Box<dyn NodeProgram>>,
+    /// `neighbors[n][dir]`: node on the other end of the link, or
+    /// `u32::MAX` at a mesh edge.
+    neighbors: Vec<[u32; 6]>,
+    /// `busy_until[n*6+dir]`.
+    link_busy_until: Vec<u64>,
+    ring: Vec<Vec<Arrival>>,
+    deliver_q: Vec<(u32, u8)>,
+    live_packets: u64,
+    pending_total: u64,
+    done_programs: usize,
+    next_packet_id: u64,
+    stats: NetStats,
+    last_progress: u64,
+    started: bool,
+}
+
+impl Engine {
+    /// Build an engine over `cfg` with one program per node (rank order).
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != partition.num_nodes()` or the
+    /// configuration is internally inconsistent.
+    pub fn new(cfg: SimConfig, programs: Vec<Box<dyn NodeProgram>>) -> Engine {
+        let part = cfg.partition;
+        let p = part.num_nodes() as usize;
+        assert_eq!(programs.len(), p, "need exactly one program per node");
+        assert!(
+            (8 + cfg.router.hop_latency_cycles as usize) < RING,
+            "hop latency too large for the in-flight ring"
+        );
+        assert!(cfg.cpu.chunks_per_cycle > 0.0, "CPU bandwidth must be positive");
+        let nodes: Vec<NodeState> =
+            (0..p as u32).map(|r| NodeState::new(part.coord_of(r), &cfg)).collect();
+        let neighbors: Vec<[u32; 6]> = (0..p as u32)
+            .map(|r| {
+                let c = part.coord_of(r);
+                let mut row = [u32::MAX; 6];
+                for d in ALL_DIRECTIONS {
+                    if let Some(nc) = part.neighbor(c, d) {
+                        row[d.index()] = part.rank_of(nc);
+                    }
+                }
+                row
+            })
+            .collect();
+        let stats = NetStats {
+            latency_histogram: vec![0; crate::stats::LATENCY_BUCKETS],
+            link_busy_per_link: if cfg.detailed_link_stats { vec![0; p * 6] } else { Vec::new() },
+            ..NetStats::default()
+        };
+        Engine {
+            cfg,
+            part,
+            now: 0,
+            nodes,
+            programs,
+            neighbors,
+            link_busy_until: vec![0; p * 6],
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            deliver_q: Vec::new(),
+            live_packets: 0,
+            pending_total: 0,
+            done_programs: 0,
+            next_packet_id: 0,
+            stats,
+            last_progress: 0,
+            started: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Run to completion. Returns the final statistics.
+    pub fn run(&mut self) -> Result<NetStats, SimError> {
+        if !self.started {
+            self.start_programs();
+        }
+        while !self.is_complete() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            if self.now.saturating_sub(self.last_progress) > self.cfg.watchdog_cycles {
+                return Err(SimError::Stalled {
+                    cycle: self.now,
+                    live_packets: self.live_packets + self.pending_total,
+                    incomplete_programs: self.programs.len() - self.done_programs,
+                });
+            }
+            self.step();
+        }
+        Ok(self.stats.clone())
+    }
+
+    /// Whether the simulation has fully drained and every program reports
+    /// complete.
+    pub fn is_complete(&self) -> bool {
+        self.started
+            && self.live_packets == 0
+            && self.pending_total == 0
+            && self.done_programs == self.programs.len()
+    }
+
+    fn start_programs(&mut self) {
+        self.started = true;
+        let mut programs = std::mem::take(&mut self.programs);
+        for (i, prog) in programs.iter_mut().enumerate() {
+            let node = &mut self.nodes[i];
+            let before = node.pending.len();
+            let mut api = NodeApi::new(i as u32, node.coord, 0, &self.part, &mut node.pending);
+            prog.start(&mut api);
+            let extra = api.take_extra_cpu();
+            let after = node.pending.len();
+            node.cpu_free += extra;
+            self.pending_total += (after - before) as u64;
+            if prog.is_complete() {
+                node.program_done = true;
+                self.done_programs += 1;
+            }
+        }
+        self.programs = programs;
+    }
+
+    /// Advance one cycle (starting the programs first if needed).
+    pub fn step(&mut self) {
+        if !self.started {
+            self.start_programs();
+        }
+        let t = self.now;
+        self.phase_arrivals(t);
+        self.phase_deliveries(t);
+        self.phase_cpu(t);
+        self.phase_arbitration(t);
+        self.now = t + 1;
+    }
+
+    // ---- Phase 1: arrivals -------------------------------------------------
+
+    fn phase_arrivals(&mut self, t: u64) {
+        let slot = (t % RING as u64) as usize;
+        let mut arrivals = std::mem::take(&mut self.ring[slot]);
+        for Arrival { node, port, pkt } in arrivals.drain(..) {
+            let n = &mut self.nodes[node as usize];
+            let fi = vc_fifo_index(port as usize, pkt.vc.index());
+            let was_empty = n.vcs[fi].is_empty();
+            let done = pkt.plan.is_done();
+            n.vcs[fi].push_reserved(pkt);
+            n.vc_mask |= 1 << fi;
+            if was_empty && done {
+                self.deliver_q.push((node, fi as u8));
+            }
+            self.last_progress = t;
+        }
+        self.ring[slot] = arrivals; // hand the allocation back
+    }
+
+    // ---- Phase 2: deliveries ----------------------------------------------
+
+    fn phase_deliveries(&mut self, t: u64) {
+        if self.deliver_q.is_empty() {
+            return;
+        }
+        let mut dq = std::mem::take(&mut self.deliver_q);
+        for (node, fi) in dq.drain(..) {
+            self.try_deliver(node as usize, fi as usize, t);
+        }
+        // Keep the allocation; new entries queued during the loop live in
+        // self.deliver_q already (try_deliver pushes there).
+        if self.deliver_q.is_empty() {
+            self.deliver_q = dq;
+        }
+    }
+
+    /// Move deliverable head packets of `fifo` into the reception FIFO.
+    fn try_deliver(&mut self, node: usize, fifo: usize, t: u64) {
+        loop {
+            let n = &mut self.nodes[node];
+            let Some(head) = n.vcs[fifo].head() else { return };
+            if !head.plan.is_done() {
+                return;
+            }
+            let chunks = head.chunks as u32;
+            if n.reception.free_chunks() < chunks {
+                self.stats.reception_stall_events += 1;
+                if !n.blocked_deliveries.contains(&(fifo as u8)) {
+                    n.blocked_deliveries.push(fifo as u8);
+                }
+                return;
+            }
+            let pkt = n.vcs[fifo].pop().expect("head exists");
+            if n.vcs[fifo].is_empty() {
+                n.vc_mask &= !(1 << fifo);
+            }
+            n.reception.try_push(pkt).ok().expect("space checked");
+            self.last_progress = t;
+        }
+    }
+
+    // ---- Phase 3: CPU ------------------------------------------------------
+
+    fn phase_cpu(&mut self, t: u64) {
+        let mut programs = std::mem::take(&mut self.programs);
+        let horizon = (t + 1) as f64;
+        for i in 0..self.nodes.len() {
+            {
+                let n = &self.nodes[i];
+                if n.cpu_free >= horizon {
+                    continue;
+                }
+                if n.reception.is_empty()
+                    && n.pending.is_empty()
+                    && n.pulled.is_empty()
+                    && n.program_done
+                {
+                    continue;
+                }
+            }
+            self.cpu_node(i, &mut programs[i], t);
+        }
+        self.programs = programs;
+    }
+
+    /// Below this pending-queue depth the engine keeps pulling the
+    /// program's own sends, so reactive sends waiting for FIFO space do not
+    /// starve a node's proactive schedule.
+    const PULL_THRESHOLD: usize = 8;
+
+    fn cpu_node(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
+        let horizon = (t + 1) as f64;
+        let mut declined = false;
+        for _guard in 0..64 {
+            if self.nodes[i].cpu_free >= horizon {
+                break;
+            }
+            // Reception drain has priority: it keeps the network moving.
+            if !self.nodes[i].reception.is_empty() {
+                self.cpu_drain_one(i, prog, t);
+                continue;
+            }
+            // Top up the pulled queue from the program's schedule.
+            if self.nodes[i].pulled.len() < Self::PULL_THRESHOLD
+                && !self.nodes[i].program_done
+                && !declined
+            {
+                let node = &mut self.nodes[i];
+                let before = node.pending.len();
+                let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending);
+                let spec = prog.next_send(&mut api);
+                let extra = api.take_extra_cpu();
+                let after = node.pending.len();
+                node.cpu_free += extra;
+                self.stats.cpu_busy_cycles += extra;
+                self.pending_total += (after - before) as u64;
+                match spec {
+                    Some(s) => {
+                        self.nodes[i].pulled.push_back(s);
+                        self.pending_total += 1;
+                    }
+                    None => {
+                        declined = true;
+                        if prog.is_complete() && !self.nodes[i].program_done {
+                            self.nodes[i].program_done = true;
+                            self.done_programs += 1;
+                        }
+                    }
+                }
+            }
+            if self.nodes[i].pending.is_empty() && self.nodes[i].pulled.is_empty() {
+                break;
+            }
+            if !self.cpu_inject_one(i, t) {
+                break; // no injection FIFO can take any queued packet now
+            }
+        }
+    }
+
+    /// Drain one packet from the reception FIFO and run `on_packet`.
+    fn cpu_drain_one(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
+        let cpu = &self.cfg.cpu;
+        let node = &mut self.nodes[i];
+        let pkt = node.reception.pop().expect("checked non-empty");
+        let cost = cpu.per_packet_receive_cycles + pkt.chunks as f64 / cpu.chunks_per_cycle;
+        node.cpu_free = node.cpu_free.max(t as f64) + cost;
+        self.stats.cpu_busy_cycles += cost;
+        self.stats.packets_delivered += 1;
+        self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
+        let latency = t - pkt.injected_at;
+        self.stats.total_latency_cycles += latency;
+        self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
+            .min(crate::stats::LATENCY_BUCKETS - 1);
+        self.stats.latency_histogram[bucket] += 1;
+        self.stats.completion_cycle = t;
+        let before = node.pending.len();
+        let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending);
+        prog.on_packet(&mut api, &pkt);
+        let extra = api.take_extra_cpu();
+        let after = node.pending.len();
+        node.cpu_free += extra;
+        self.stats.cpu_busy_cycles += extra;
+        self.pending_total += (after - before) as u64;
+        self.live_packets -= 1;
+        if !node.program_done && prog.is_complete() {
+            node.program_done = true;
+            self.done_programs += 1;
+        }
+        // Freed reception space: retry stalled deliveries.
+        let blocked = std::mem::take(&mut self.nodes[i].blocked_deliveries);
+        self.deliver_q.extend(blocked.into_iter().map(|f| (i as u32, f)));
+        self.last_progress = t;
+    }
+
+    /// How far into the pending queue the injector looks for a packet whose
+    /// class FIFO has room: without this, one full class FIFO would
+    /// head-of-line block packets of other classes (e.g. TPS phase-1
+    /// packets stuck behind a congested phase-2 forward).
+    const INJECT_SCAN: usize = 16;
+
+    /// Pay for and inject the first injectable pending send. Returns false
+    /// if no injection FIFO currently accepts any of the first
+    /// [`INJECT_SCAN`](Self::INJECT_SCAN) pending packets.
+    fn cpu_inject_one(&mut self, i: usize, t: u64) -> bool {
+        let nfifos = self.nodes[i].inj.len();
+        let mut chosen = None;
+        let reactive_len = self.nodes[i].pending.len().min(Self::INJECT_SCAN);
+        let pulled_len = self.nodes[i].pulled.len().min(Self::INJECT_SCAN);
+        'scan: for qi in 0..reactive_len + pulled_len {
+            let spec = if qi < reactive_len {
+                &self.nodes[i].pending[qi]
+            } else {
+                &self.nodes[i].pulled[qi - reactive_len]
+            };
+            let chunks = spec.chunks;
+            let class = spec.class;
+            debug_assert!(chunks >= 1 && chunks <= 8, "packet must be 1..=8 chunks");
+            // Direction-affine placement: BG/L messaging software binds
+            // injection FIFOs to link directions so one FIFO's blocked head
+            // never starves an idle link of a different direction. Map the
+            // packet's first route direction onto the FIFOs of its class,
+            // falling back to any class FIFO with space.
+            let dst = self.part.coord_of(spec.dst_rank);
+            let plan =
+                HopPlan::new(&self.part, self.nodes[i].coord, dst, TieBreak::SrcParity);
+            let primary = plan.dimension_order_next().map_or(0, |d| d.index());
+            let mask = 1u8 << class;
+            let node = &self.nodes[i];
+            let eligible_count =
+                (0..nfifos).filter(|&f| node.inj_class[f] & mask != 0).count();
+            if eligible_count == 0 {
+                continue;
+            }
+            let target = primary % eligible_count;
+            let pref = (0..nfifos)
+                .filter(|&f| node.inj_class[f] & mask != 0)
+                .nth(target)
+                .expect("target < eligible_count");
+            if node.inj[pref].free_chunks() >= chunks as u32 {
+                chosen = Some((qi, pref));
+                break 'scan;
+            }
+            for f in 0..nfifos {
+                if node.inj_class[f] & mask != 0 && node.inj[f].free_chunks() >= chunks as u32 {
+                    chosen = Some((qi, f));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((qi, f)) = chosen else { return false };
+        let node = &mut self.nodes[i];
+        let spec = if qi < reactive_len {
+            node.pending.remove(qi).expect("scanned index exists")
+        } else {
+            node.pulled.remove(qi - reactive_len).expect("scanned index exists")
+        };
+        self.pending_total -= 1;
+        let cpu = &self.cfg.cpu;
+        let cost = spec.cpu_cost_cycles
+            + cpu.per_packet_inject_cycles
+            + spec.chunks as f64 / cpu.chunks_per_cycle;
+        node.cpu_free = node.cpu_free.max(t as f64) + cost;
+        self.stats.cpu_busy_cycles += cost;
+        let dst = self.part.coord_of(spec.dst_rank);
+        assert_ne!(dst, node.coord, "programs must not send to themselves");
+        let pkt = Packet {
+            id: self.next_packet_id,
+            src_rank: i as u32,
+            dst,
+            chunks: spec.chunks,
+            payload_bytes: spec.payload_bytes,
+            plan: HopPlan::new(&self.part, node.coord, dst, TieBreak::SrcParity),
+            routing: spec.routing,
+            vc: Vc::Dynamic0,
+            class: spec.class,
+            meta: spec.meta,
+            longest_first: spec.longest_first,
+            injected_at: t,
+        };
+        self.next_packet_id += 1;
+        node.inj[f].try_push(pkt).ok().expect("space checked");
+        self.live_packets += 1;
+        self.stats.packets_injected += 1;
+        self.last_progress = t;
+        true
+    }
+
+    // ---- Phase 4: arbitration ----------------------------------------------
+
+    fn phase_arbitration(&mut self, t: u64) {
+        let num_nodes = self.nodes.len();
+        for n in 0..num_nodes {
+            // Quick skip: nothing to move out of this node.
+            if self.nodes[n].vc_mask == 0 && self.nodes[n].inj.iter().all(|f| f.is_empty()) {
+                continue;
+            }
+            for d in ALL_DIRECTIONS {
+                let link = n * 6 + d.index();
+                if self.link_busy_until[link] > t {
+                    continue;
+                }
+                let nb = self.neighbors[n][d.index()];
+                if nb == u32::MAX {
+                    continue;
+                }
+                if let Some(win) = self.arbitrate_output(n, d, nb as usize, t) {
+                    self.apply_win(n, d, nb as usize, win, t);
+                }
+            }
+        }
+    }
+
+    /// Pick a winner for output `d` of node `n`, or `None`.
+    fn arbitrate_output(&self, n: usize, d: Direction, nb: usize, t: u64) -> Option<Win> {
+        let inject_first = !self.cfg.router.transit_priority && (t & 1) == 1;
+        if inject_first {
+            if let Some(w) = self.arbitrate_inject(n, d, nb) {
+                return Some(w);
+            }
+        }
+        if let Some(w) = self.arbitrate_transit(n, d, nb) {
+            return Some(w);
+        }
+        if !inject_first {
+            return self.arbitrate_inject(n, d, nb);
+        }
+        None
+    }
+
+    fn arbitrate_transit(&self, n: usize, d: Direction, nb: usize) -> Option<Win> {
+        let node = &self.nodes[n];
+        if node.vc_mask == 0 {
+            return None;
+        }
+        let total = NUM_PORTS * NUM_VCS;
+        let start = node.rr[d.index()] as usize % total;
+        for k in 0..total {
+            let f = (start + k) % total;
+            if node.vc_mask & (1 << f) == 0 {
+                continue;
+            }
+            let pkt = node.vcs[f].head().expect("mask says non-empty");
+            if !self.wants(pkt, d) {
+                continue;
+            }
+            let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
+            if let Some(vc) = self.feasible_vc(pkt, n, from_dim, d, nb) {
+                return Some(Win { source: WinSource::Transit { fifo: f as u8 }, vc });
+            }
+        }
+        None
+    }
+
+    fn arbitrate_inject(&self, n: usize, d: Direction, nb: usize) -> Option<Win> {
+        let node = &self.nodes[n];
+        for (f, fifo) in node.inj.iter().enumerate() {
+            let Some(pkt) = fifo.head() else { continue };
+            if !self.wants(pkt, d) {
+                continue;
+            }
+            if let Some(vc) = self.feasible_vc(pkt, n, None, d, nb) {
+                return Some(Win { source: WinSource::Inject { fifo: f as u8 }, vc });
+            }
+        }
+        None
+    }
+
+    /// Whether this packet routes with the longest-first shaping (its own
+    /// flag unless the router config overrides it).
+    fn shaped(&self, pkt: &Packet) -> bool {
+        self.cfg.router.longest_first_bias.unwrap_or(pkt.longest_first)
+    }
+
+    /// Longest-remaining-dimension preference: true when no other dimension
+    /// has more hops left than `d.dim`. With the bias enabled, adaptive
+    /// packets move only along their longest remaining dimension(s): on an
+    /// asymmetric torus they spend bottleneck-dimension hops while
+    /// bottleneck links are reachable instead of burning the short
+    /// dimensions first and piling up behind the long one — the tree
+    /// saturation Section 3.2 of the paper describes. On a symmetric torus
+    /// hop counts stay balanced, so near-full adaptivity is retained.
+    fn prefers(pkt: &Packet, d: Direction) -> bool {
+        let here = pkt.plan.hops(d.dim);
+        ALL_DIMS.iter().all(|&o| pkt.plan.hops(o) <= here)
+    }
+
+    /// True when every preferred direction of `pkt` at node `n` lacks
+    /// dynamic-VC credit downstream — the precondition for taking the
+    /// dimension-ordered escape from a non-preferred output.
+    fn preferred_blocked(&self, n: usize, pkt: &Packet) -> bool {
+        let chunks = pkt.chunks as u32;
+        for dir in pkt.plan.minimal_directions() {
+            if !Self::prefers(pkt, dir) {
+                continue;
+            }
+            let nb = self.neighbors[n][dir.index()];
+            if nb == u32::MAX {
+                continue;
+            }
+            let nb_node = &self.nodes[nb as usize];
+            let nb_port = dir.opposite().index();
+            for vc in 0..2 {
+                if nb_node.vcs[vc_fifo_index(nb_port, vc)].free_chunks() >= chunks {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Does `pkt`'s routing allow it to take output `d`? Adaptive packets
+    /// under the longest-first bias move only along preferred (longest
+    /// remaining) dimensions, plus the dimension-ordered direction, which
+    /// stays available as the deadlock-free bubble escape.
+    fn wants(&self, pkt: &Packet, d: Direction) -> bool {
+        match pkt.routing {
+            RoutingMode::Adaptive => {
+                if pkt.plan.direction(d.dim) != Some(d) {
+                    return false;
+                }
+                if !self.shaped(pkt) {
+                    return true;
+                }
+                Self::prefers(pkt, d) || pkt.plan.dimension_order_next() == Some(d)
+            }
+            RoutingMode::Deterministic => pkt.plan.dimension_order_next() == Some(d),
+        }
+    }
+
+    /// Choose the downstream VC for `pkt` over output `d`, or `None` if no
+    /// VC has credit. `from_dim` is the dimension of the input port the
+    /// packet currently occupies (`None` for injection).
+    fn feasible_vc(
+        &self,
+        pkt: &Packet,
+        n: usize,
+        from_dim: Option<usize>,
+        d: Direction,
+        nb: usize,
+    ) -> Option<Vc> {
+        let chunks = pkt.chunks as u32;
+        let nb_port = d.opposite().index();
+        let nb_node = &self.nodes[nb];
+        match pkt.routing {
+            RoutingMode::Adaptive => {
+                // Under the bias, a non-preferred (dimension-order-only)
+                // direction is an escape path: bubble VC only, and only
+                // once every preferred direction is credit-blocked —
+                // otherwise the escape becomes a side door that leaks
+                // short-dimension hops and recreates the congestion it
+                // exists to break.
+                if self.shaped(pkt) && !Self::prefers(pkt, d) {
+                    if self.cfg.router.adaptive_bubble_escape
+                        && pkt.plan.dimension_order_next() == Some(d)
+                        && self.preferred_blocked(n, pkt)
+                    {
+                        return self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port);
+                    }
+                    return None;
+                }
+                let f0 = nb_node.vcs[vc_fifo_index(nb_port, 0)].free_chunks();
+                let f1 = nb_node.vcs[vc_fifo_index(nb_port, 1)].free_chunks();
+                let c0 = f0 >= chunks;
+                let c1 = f1 >= chunks;
+                match (c0, c1) {
+                    // Join the shorter queue = the FIFO with more free space.
+                    (true, true) => Some(match f0.cmp(&f1) {
+                        std::cmp::Ordering::Greater => Vc::Dynamic0,
+                        std::cmp::Ordering::Less => Vc::Dynamic1,
+                        std::cmp::Ordering::Equal => {
+                            if pkt.id & 1 == 0 {
+                                Vc::Dynamic0
+                            } else {
+                                Vc::Dynamic1
+                            }
+                        }
+                    }),
+                    (true, false) => Some(Vc::Dynamic0),
+                    (false, true) => Some(Vc::Dynamic1),
+                    (false, false) => {
+                        // Escape onto the bubble VC, dimension-ordered only.
+                        if self.cfg.router.adaptive_bubble_escape
+                            && pkt.plan.dimension_order_next() == Some(d)
+                        {
+                            self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            RoutingMode::Deterministic => self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port),
+        }
+    }
+
+    /// The bubble rule: a packet *continuing* along the same dimension on
+    /// the bubble VC needs space for itself; a packet *entering* the bubble
+    /// VC (from injection, from a dynamic VC, or turning a dimension) must
+    /// additionally leave `bubble_slack_chunks` free.
+    fn bubble_feasible(
+        &self,
+        pkt: &Packet,
+        from_dim: Option<usize>,
+        d: Direction,
+        nb_node: &NodeState,
+        nb_port: usize,
+    ) -> Option<Vc> {
+        let chunks = pkt.chunks as u32;
+        let continuing = pkt.vc == Vc::Bubble && from_dim == Some(d.dim.index());
+        let required =
+            chunks + if continuing { 0 } else { self.cfg.router.bubble_slack_chunks };
+        if nb_node.vcs[vc_fifo_index(nb_port, Vc::Bubble.index())].free_chunks() >= required {
+            Some(Vc::Bubble)
+        } else {
+            None
+        }
+    }
+
+    fn apply_win(&mut self, n: usize, d: Direction, nb: usize, win: Win, t: u64) {
+        // Pop the winner from its source FIFO.
+        let mut pkt = match win.source {
+            WinSource::Transit { fifo } => {
+                let f = fifo as usize;
+                let node = &mut self.nodes[n];
+                node.rr[d.index()] = fifo.wrapping_add(1);
+                let pkt = node.vcs[f].pop().expect("winner exists");
+                if node.vcs[f].is_empty() {
+                    node.vc_mask &= !(1 << f);
+                } else if node.vcs[f].head().expect("non-empty").plan.is_done() {
+                    self.deliver_q.push((n as u32, fifo));
+                }
+                pkt
+            }
+            WinSource::Inject { fifo } => {
+                self.nodes[n].inj[fifo as usize].pop().expect("winner exists")
+            }
+        };
+        // Reserve downstream space and launch.
+        let nb_port = d.opposite().index();
+        let chunks = pkt.chunks as u32;
+        self.nodes[nb].vcs[vc_fifo_index(nb_port, win.vc.index())].reserve(chunks);
+        pkt.vc = win.vc;
+        pkt.plan.advance(d.dim);
+        let arrive = t + chunks as u64 + self.cfg.router.hop_latency_cycles as u64;
+        self.ring[(arrive % RING as u64) as usize].push(Arrival {
+            node: nb as u32,
+            port: nb_port as u8,
+            pkt,
+        });
+        self.link_busy_until[n * 6 + d.index()] = t + chunks as u64;
+        let di = d.dim.index();
+        self.stats.link_busy_chunks[di] += chunks as u64;
+        if self.cfg.detailed_link_stats {
+            self.stats.link_busy_per_link[n * 6 + d.index()] += chunks as u64;
+        }
+        self.stats.hops_taken[di] += 1;
+        match win.vc {
+            Vc::Bubble => self.stats.bubble_hops += 1,
+            _ => self.stats.dynamic_hops += 1,
+        }
+        self.last_progress = t;
+    }
+
+    /// Diagnostic: dimension utilization snapshot helper.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Diagnostic: where packets currently are (for stall reports/tests).
+    pub fn live_packet_count(&self) -> u64 {
+        self.live_packets + self.pending_total
+    }
+
+    /// Diagnostic: coordinate of a rank.
+    pub fn coord_of(&self, rank: u32) -> Coord {
+        self.part.coord_of(rank)
+    }
+
+    /// Diagnostic: hops between two ranks under the engine's partition.
+    pub fn hops_between(&self, a: u32, b: u32) -> u32 {
+        self.part.hops(self.part.coord_of(a), self.part.coord_of(b))
+    }
+
+    /// Diagnostic: per-dimension utilization so far.
+    pub fn dim_utilization(&self, dim: Dim) -> f64 {
+        self.stats.dim_utilization(&self.part, dim)
+    }
+}

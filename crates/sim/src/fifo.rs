@@ -1,0 +1,214 @@
+//! Chunk-accounted packet FIFOs with space reservation (credit) support.
+//!
+//! Used for VC FIFOs, injection FIFOs and reception FIFOs. Capacity is in
+//! chunks, not packets, matching the byte-granular BG/L buffers. Space for
+//! an in-flight packet is *reserved* when its upstream arbitration wins and
+//! *committed* when the packet physically arrives, so credits are never
+//! oversubscribed.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// A packet FIFO with chunk-granular occupancy and reservations.
+#[derive(Debug, Default)]
+pub struct ChunkFifo {
+    queue: VecDeque<Packet>,
+    capacity_chunks: u32,
+    occupied_chunks: u32,
+    reserved_chunks: u32,
+}
+
+impl ChunkFifo {
+    /// An empty FIFO holding up to `capacity_chunks` chunks.
+    pub fn new(capacity_chunks: u32) -> ChunkFifo {
+        ChunkFifo { queue: VecDeque::new(), capacity_chunks, occupied_chunks: 0, reserved_chunks: 0 }
+    }
+
+    /// Chunks neither occupied nor reserved.
+    #[inline]
+    pub fn free_chunks(&self) -> u32 {
+        self.capacity_chunks - self.occupied_chunks - self.reserved_chunks
+    }
+
+    /// Chunks physically present.
+    #[inline]
+    pub fn occupied_chunks(&self) -> u32 {
+        self.occupied_chunks
+    }
+
+    /// Total capacity in chunks.
+    #[inline]
+    pub fn capacity_chunks(&self) -> u32 {
+        self.capacity_chunks
+    }
+
+    /// Whether the FIFO holds no packets (reservations may still exist).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of packets physically present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reserve space for an in-flight packet of `chunks`.
+    ///
+    /// # Panics
+    /// Panics if insufficient free space — callers must check
+    /// [`free_chunks`](Self::free_chunks) first; reservation is the credit
+    /// the upstream arbiter spends.
+    #[inline]
+    pub fn reserve(&mut self, chunks: u32) {
+        assert!(chunks <= self.free_chunks(), "FIFO credit oversubscribed");
+        self.reserved_chunks += chunks;
+    }
+
+    /// Cancel a reservation (packet rerouted or dropped before arrival).
+    #[inline]
+    pub fn unreserve(&mut self, chunks: u32) {
+        debug_assert!(self.reserved_chunks >= chunks);
+        self.reserved_chunks -= chunks;
+    }
+
+    /// Commit a previously reserved packet that has now arrived.
+    #[inline]
+    pub fn push_reserved(&mut self, pkt: Packet) {
+        let chunks = pkt.chunks as u32;
+        debug_assert!(self.reserved_chunks >= chunks, "push without reservation");
+        self.reserved_chunks -= chunks;
+        self.occupied_chunks += chunks;
+        self.queue.push_back(pkt);
+    }
+
+    /// Push without a prior reservation (injection-side use). Returns the
+    /// packet back if there is no space.
+    pub fn try_push(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let chunks = pkt.chunks as u32;
+        if chunks > self.free_chunks() {
+            return Err(pkt);
+        }
+        self.occupied_chunks += chunks;
+        self.queue.push_back(pkt);
+        Ok(())
+    }
+
+    /// The head packet, if any.
+    #[inline]
+    pub fn head(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Mutable head access (the router updates `plan`/`vc` in place).
+    #[inline]
+    pub fn head_mut(&mut self) -> Option<&mut Packet> {
+        self.queue.front_mut()
+    }
+
+    /// Remove and return the head packet, freeing its chunks.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.occupied_chunks -= pkt.chunks as u32;
+        Some(pkt)
+    }
+
+    /// Iterate packets head-first (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Vc;
+    use crate::packet::{PacketMeta, RoutingMode};
+    use bgl_torus::{Coord, HopPlan, Partition, TieBreak};
+
+    fn pkt(id: u64, chunks: u8) -> Packet {
+        let part = Partition::torus(4, 4, 4);
+        Packet {
+            id,
+            src_rank: 0,
+            dst: Coord::new(1, 0, 0),
+            chunks,
+            payload_bytes: chunks as u32 * 32,
+            plan: HopPlan::new(&part, Coord::new(0, 0, 0), Coord::new(1, 0, 0), TieBreak::SrcParity),
+            routing: RoutingMode::Adaptive,
+            vc: Vc::Dynamic0,
+            class: 0,
+            meta: PacketMeta::default(),
+            longest_first: false,
+            injected_at: 0,
+        }
+    }
+
+    #[test]
+    fn push_pop_accounting() {
+        let mut f = ChunkFifo::new(16);
+        assert!(f.is_empty());
+        f.try_push(pkt(1, 8)).unwrap();
+        f.try_push(pkt(2, 4)).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.occupied_chunks(), 12);
+        assert_eq!(f.free_chunks(), 4);
+        assert_eq!(f.pop().unwrap().id, 1);
+        assert_eq!(f.free_chunks(), 12);
+        assert_eq!(f.pop().unwrap().id, 2);
+        assert!(f.pop().is_none());
+        assert_eq!(f.free_chunks(), 16);
+    }
+
+    #[test]
+    fn try_push_rejects_overflow_without_losing_packet() {
+        let mut f = ChunkFifo::new(8);
+        f.try_push(pkt(1, 8)).unwrap();
+        let back = f.try_push(pkt(2, 1)).unwrap_err();
+        assert_eq!(back.id, 2);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn reservation_holds_space() {
+        let mut f = ChunkFifo::new(16);
+        f.reserve(8);
+        assert_eq!(f.free_chunks(), 8);
+        assert!(f.try_push(pkt(1, 12)).is_err());
+        f.try_push(pkt(1, 8)).unwrap();
+        assert_eq!(f.free_chunks(), 0);
+        f.push_reserved(pkt(2, 8));
+        assert_eq!(f.occupied_chunks(), 16);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unreserve_returns_credit() {
+        let mut f = ChunkFifo::new(8);
+        f.reserve(8);
+        assert_eq!(f.free_chunks(), 0);
+        f.unreserve(8);
+        assert_eq!(f.free_chunks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn over_reservation_panics() {
+        let mut f = ChunkFifo::new(8);
+        f.reserve(6);
+        f.reserve(6);
+    }
+
+    #[test]
+    fn head_is_fifo_order() {
+        let mut f = ChunkFifo::new(32);
+        for i in 0..4 {
+            f.try_push(pkt(i, 2)).unwrap();
+        }
+        assert_eq!(f.head().unwrap().id, 0);
+        f.pop();
+        assert_eq!(f.head().unwrap().id, 1);
+        assert_eq!(f.iter().count(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-node simulator state: VC FIFOs, injection FIFOs, reception FIFO and
+//! CPU accounting.
+
+use crate::config::{SimConfig, NUM_VCS};
+use crate::fifo::ChunkFifo;
+use crate::packet::SendSpec;
+use bgl_torus::Coord;
+use std::collections::VecDeque;
+
+/// Number of input ports per node (one per incoming link direction).
+pub const NUM_PORTS: usize = 6;
+
+/// Index of the VC FIFO for (input port, VC).
+#[inline]
+pub fn vc_fifo_index(port: usize, vc: usize) -> usize {
+    port * NUM_VCS + vc
+}
+
+/// All simulator state for one node.
+pub struct NodeState {
+    /// Node coordinate.
+    pub coord: Coord,
+    /// Input VC FIFOs, indexed by [`vc_fifo_index`].
+    pub vcs: Vec<ChunkFifo>,
+    /// Bitmask of non-empty VC FIFOs (bit `i` ⇔ `vcs[i]` non-empty).
+    pub vc_mask: u32,
+    /// Injection FIFOs.
+    pub inj: Vec<ChunkFifo>,
+    /// Per-injection-FIFO class masks: FIFO `f` accepts class `c` iff
+    /// `inj_class[f] & (1 << c) != 0`.
+    pub inj_class: Vec<u8>,
+    /// Reception FIFO.
+    pub reception: ChunkFifo,
+    /// Reactive sends queued by the program (api.send from hooks), not yet
+    /// paid for / injected.
+    pub pending: VecDeque<SendSpec>,
+    /// Sends pulled from the program's own schedule (`next_send`), kept
+    /// separate so a backlog of reactive forwards can never starve a
+    /// node's proactive stream (and vice versa).
+    pub pulled: VecDeque<SendSpec>,
+    /// Absolute time (cycles, fractional) the CPU becomes free.
+    pub cpu_free: f64,
+    /// Round-robin arbitration pointers, one per output direction.
+    pub rr: [u8; 6],
+    /// Round-robin pointer over injection FIFOs for placement.
+    pub inj_rr: u8,
+    /// VC FIFO indices whose head is deliverable but found the reception
+    /// FIFO full; retried after the CPU drains a packet.
+    pub blocked_deliveries: Vec<u8>,
+    /// Cached program completion flag.
+    pub program_done: bool,
+}
+
+impl NodeState {
+    /// Fresh state per `cfg`.
+    pub fn new(coord: Coord, cfg: &SimConfig) -> NodeState {
+        let vcs = (0..NUM_PORTS * NUM_VCS)
+            .map(|_| ChunkFifo::new(cfg.router.vc_fifo_chunks))
+            .collect();
+        let inj = (0..cfg.inj_fifo_count).map(|_| ChunkFifo::new(cfg.inj_fifo_chunks)).collect();
+        let inj_class = if cfg.inj_class_masks.is_empty() {
+            vec![u8::MAX; cfg.inj_fifo_count as usize]
+        } else {
+            assert_eq!(
+                cfg.inj_class_masks.len(),
+                cfg.inj_fifo_count as usize,
+                "inj_class_masks length must equal inj_fifo_count"
+            );
+            cfg.inj_class_masks.clone()
+        };
+        NodeState {
+            coord,
+            vcs,
+            vc_mask: 0,
+            inj,
+            inj_class,
+            reception: ChunkFifo::new(cfg.reception_fifo_chunks),
+            pending: VecDeque::new(),
+            pulled: VecDeque::new(),
+            cpu_free: 0.0,
+            rr: [0; 6],
+            inj_rr: 0,
+            blocked_deliveries: Vec::new(),
+            program_done: false,
+        }
+    }
+
+    /// Whether any packet sits anywhere in this node (diagnostics /
+    /// completion checking).
+    pub fn holds_packets(&self) -> bool {
+        self.vc_mask != 0
+            || !self.pending.is_empty()
+            || !self.pulled.is_empty()
+            || !self.reception.is_empty()
+            || self.inj.iter().any(|f| !f.is_empty())
+    }
+}

@@ -1,0 +1,161 @@
+//! Packets and send specifications.
+
+use crate::config::Vc;
+use bgl_torus::{Coord, HopPlan};
+use serde::{Deserialize, Serialize};
+
+/// How a packet is routed through the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Minimal adaptive routing on the dynamic VCs (join-shortest-queue
+    /// direction/VC choice), with optional bubble-VC escape.
+    Adaptive,
+    /// Dimension-ordered (X→Y→Z) deterministic routing on the bubble VC.
+    Deterministic,
+}
+
+/// Strategy-defined metadata carried end-to-end in a packet's software
+/// header. The simulator never interprets it; node programs use it to
+/// implement forwarding and combining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// Discriminator (e.g. phase number).
+    pub kind: u8,
+    /// First word (e.g. final destination rank for forwarded packets).
+    pub a: u32,
+    /// Second word (e.g. source rank or byte count).
+    pub b: u32,
+}
+
+/// A packet in flight or in a FIFO.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id (assigned at injection, monotonically increasing).
+    pub id: u64,
+    /// Injecting node's rank.
+    pub src_rank: u32,
+    /// Torus destination.
+    pub dst: Coord,
+    /// Size on the wire in 32-byte chunks (1..=8 on BG/L).
+    pub chunks: u8,
+    /// Payload bytes (accounting only; excludes headers and padding).
+    pub payload_bytes: u32,
+    /// Remaining route.
+    pub plan: HopPlan,
+    /// Adaptive or deterministic.
+    pub routing: RoutingMode,
+    /// The VC the packet currently occupies (meaningful once in a VC FIFO).
+    pub vc: Vc,
+    /// Injection-FIFO class: programs may reserve injection FIFOs for a
+    /// class (the Two Phase Schedule pipelining trick). Class `c` packets
+    /// only use injection FIFOs whose class mask includes `c`.
+    pub class: u8,
+    /// Strategy metadata.
+    pub meta: PacketMeta,
+    /// Adaptive-routing restriction: move only along the longest remaining
+    /// dimension(s) (hint-bit style software shaping; see
+    /// `RouterConfig::longest_first_bias`). Ignored for deterministic
+    /// packets.
+    pub longest_first: bool,
+    /// Cycle the packet entered an injection FIFO.
+    pub injected_at: u64,
+}
+
+/// What a node program asks the runtime to send.
+#[derive(Debug, Clone)]
+pub struct SendSpec {
+    /// Destination rank.
+    pub dst_rank: u32,
+    /// Wire size in chunks (1..=8).
+    pub chunks: u8,
+    /// Payload bytes for delivery accounting.
+    pub payload_bytes: u32,
+    /// Routing mode.
+    pub routing: RoutingMode,
+    /// Injection class (see [`Packet::class`]).
+    pub class: u8,
+    /// Metadata delivered to the destination program.
+    pub meta: PacketMeta,
+    /// Restrict adaptive routing to the longest remaining dimension(s);
+    /// the anti-tree-saturation shaping strategies enable on asymmetric
+    /// partitions.
+    pub longest_first: bool,
+    /// Extra CPU cycles to charge before this packet can be injected
+    /// (per-message α, software-copy γ, …). Charged once.
+    pub cpu_cost_cycles: f64,
+}
+
+impl SendSpec {
+    /// A plain adaptive data packet with no extra CPU cost.
+    pub fn adaptive(dst_rank: u32, chunks: u8, payload_bytes: u32) -> SendSpec {
+        SendSpec {
+            dst_rank,
+            chunks,
+            payload_bytes,
+            routing: RoutingMode::Adaptive,
+            class: 0,
+            meta: PacketMeta::default(),
+            longest_first: false,
+            cpu_cost_cycles: 0.0,
+        }
+    }
+
+    /// A plain deterministically routed data packet.
+    pub fn deterministic(dst_rank: u32, chunks: u8, payload_bytes: u32) -> SendSpec {
+        SendSpec { routing: RoutingMode::Deterministic, ..SendSpec::adaptive(dst_rank, chunks, payload_bytes) }
+    }
+
+    /// Builder: set metadata.
+    pub fn with_meta(mut self, meta: PacketMeta) -> SendSpec {
+        self.meta = meta;
+        self
+    }
+
+    /// Builder: set the injection class.
+    pub fn with_class(mut self, class: u8) -> SendSpec {
+        self.class = class;
+        self
+    }
+
+    /// Builder: add CPU cost (α, γ) to charge before injection.
+    pub fn with_cpu_cost(mut self, cycles: f64) -> SendSpec {
+        self.cpu_cost_cycles = cycles;
+        self
+    }
+
+    /// Builder: restrict adaptive routing to the longest remaining
+    /// dimension(s) (see [`SendSpec::longest_first`]).
+    pub fn with_longest_first(mut self, on: bool) -> SendSpec {
+        self.longest_first = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_spec_builders() {
+        let s = SendSpec::adaptive(7, 8, 240)
+            .with_meta(PacketMeta { kind: 2, a: 11, b: 22 })
+            .with_class(1)
+            .with_cpu_cost(3.5);
+        assert_eq!(s.dst_rank, 7);
+        assert_eq!(s.chunks, 8);
+        assert_eq!(s.routing, RoutingMode::Adaptive);
+        assert_eq!(s.class, 1);
+        assert_eq!(s.meta.a, 11);
+        assert_eq!(s.cpu_cost_cycles, 3.5);
+
+        let d = SendSpec::deterministic(3, 2, 64);
+        assert_eq!(d.routing, RoutingMode::Deterministic);
+        assert_eq!(d.class, 0);
+    }
+
+    #[test]
+    fn packet_is_reasonably_small() {
+        // Packets are copied through FIFOs constantly; keep them compact.
+        assert!(std::mem::size_of::<Packet>() <= 64, "{}", std::mem::size_of::<Packet>());
+    }
+}

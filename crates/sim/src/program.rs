@@ -1,0 +1,170 @@
+//! Node programs: the "software" running on each simulated node.
+//!
+//! The BG/L cores do all communication work themselves (no DMA): they build
+//! packets, stuff injection FIFOs, drain reception FIFOs, and — for the
+//! indirect strategies — forward or combine data in software. A
+//! [`NodeProgram`] models exactly that: the engine charges CPU time for
+//! every action and calls the program's hooks from the simulated CPU.
+
+use crate::packet::{Packet, SendSpec};
+use bgl_torus::{Coord, Partition};
+use std::collections::VecDeque;
+
+/// Per-node software hooks. One boxed instance per node; all calls run "on"
+/// the node's simulated CPU.
+pub trait NodeProgram: Send {
+    /// Called once at cycle 0, before any traffic moves. May enqueue sends
+    /// via [`NodeApi::send`].
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        let _ = api;
+    }
+
+    /// A packet addressed to this node has been drained from the reception
+    /// FIFO. The engine has already charged the drain cost; charge any
+    /// additional software cost (forwarding, copies) via
+    /// [`NodeApi::charge_cpu`] or by attaching `cpu_cost_cycles` to sends.
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
+        let _ = (api, pkt);
+    }
+
+    /// Pull the next packet to inject. Called whenever the node's pending
+    /// queue is empty and the CPU has injection capacity. Return `None` to
+    /// decline this cycle (the engine polls again next cycle), e.g. for
+    /// paced/throttled injection.
+    fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
+        let _ = api;
+        None
+    }
+
+    /// `true` once this node will neither send nor expects to receive
+    /// anything further. The simulation ends when every program is complete
+    /// *and* the network has fully drained.
+    fn is_complete(&self) -> bool;
+}
+
+/// The runtime interface a [`NodeProgram`] sees.
+pub struct NodeApi<'a> {
+    /// This node's rank.
+    pub rank: u32,
+    /// This node's coordinate.
+    pub coord: Coord,
+    /// Current simulation cycle.
+    pub now: u64,
+    part: &'a Partition,
+    sends: &'a mut VecDeque<SendSpec>,
+    extra_cpu: f64,
+}
+
+impl<'a> NodeApi<'a> {
+    /// Construct an API view. Used by the engine each time it runs a hook;
+    /// public so strategy crates can drive programs directly in their tests.
+    pub fn new(
+        rank: u32,
+        coord: Coord,
+        now: u64,
+        part: &'a Partition,
+        sends: &'a mut VecDeque<SendSpec>,
+    ) -> NodeApi<'a> {
+        NodeApi { rank, coord, now, part, sends, extra_cpu: 0.0 }
+    }
+
+    /// The partition being simulated.
+    pub fn partition(&self) -> &Partition {
+        self.part
+    }
+
+    /// Enqueue a packet for injection. Packets are injected in FIFO order,
+    /// after their `cpu_cost_cycles` (if any) plus the standard per-packet
+    /// injection cost has been paid.
+    pub fn send(&mut self, spec: SendSpec) {
+        self.sends.push_back(spec);
+    }
+
+    /// Charge additional CPU time (cycles) to this node right now —
+    /// software copies, message bookkeeping, etc.
+    pub fn charge_cpu(&mut self, cycles: f64) {
+        debug_assert!(cycles >= 0.0 && cycles.is_finite());
+        self.extra_cpu += cycles;
+    }
+
+    /// Total extra CPU charged during this hook invocation (engine use).
+    pub(crate) fn take_extra_cpu(&mut self) -> f64 {
+        std::mem::take(&mut self.extra_cpu)
+    }
+}
+
+/// A trivial program that sends a fixed list of packets and counts
+/// deliveries; used by the simulator's own tests and micro-benchmarks.
+#[derive(Debug)]
+pub struct ScriptedProgram {
+    /// Packets still to send, in order.
+    pub to_send: VecDeque<SendSpec>,
+    /// Number of packets this node expects to receive.
+    pub expect: u64,
+    /// Packets received so far.
+    pub received: u64,
+    /// Payload bytes received so far.
+    pub received_bytes: u64,
+}
+
+impl ScriptedProgram {
+    /// A program sending `sends` and expecting `expect` deliveries.
+    pub fn new(sends: Vec<SendSpec>, expect: u64) -> ScriptedProgram {
+        ScriptedProgram { to_send: sends.into(), expect, received: 0, received_bytes: 0 }
+    }
+
+    /// A silent node: sends nothing, expects nothing.
+    pub fn idle() -> ScriptedProgram {
+        ScriptedProgram::new(Vec::new(), 0)
+    }
+}
+
+impl NodeProgram for ScriptedProgram {
+    fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: &Packet) {
+        self.received += 1;
+        self.received_bytes += pkt.payload_bytes as u64;
+    }
+
+    fn next_send(&mut self, _api: &mut NodeApi<'_>) -> Option<SendSpec> {
+        self.to_send.pop_front()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.to_send.is_empty() && self.received >= self.expect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SendSpec;
+
+    #[test]
+    fn scripted_program_completes_when_sent_and_received() {
+        let mut p = ScriptedProgram::new(vec![SendSpec::adaptive(1, 1, 32)], 2);
+        assert!(!p.is_complete());
+        let part: Partition = "2".parse().unwrap();
+        let mut q = VecDeque::new();
+        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
+        assert!(p.next_send(&mut api).is_some());
+        assert!(p.next_send(&mut api).is_none());
+        assert!(!p.is_complete());
+        p.received = 2;
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn api_send_enqueues_and_charge_accumulates() {
+        let part: Partition = "4".parse().unwrap();
+        let mut q = VecDeque::new();
+        let mut api = NodeApi::new(1, part.coord_of(1), 7, &part, &mut q);
+        api.send(SendSpec::adaptive(2, 4, 100));
+        api.send(SendSpec::adaptive(3, 4, 100));
+        api.charge_cpu(1.5);
+        api.charge_cpu(2.0);
+        assert_eq!(api.take_extra_cpu(), 3.5);
+        assert_eq!(api.take_extra_cpu(), 0.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].dst_rank, 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation statistics: completion time, per-dimension link utilization,
+//! latency distribution and stall accounting.
+
+use bgl_torus::{Dim, Direction, Partition, ALL_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency histogram buckets (bucket `i` counts
+/// deliveries with latency in `[2^i, 2^(i+1))` cycles).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Statistics accumulated by a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Cycle at which the last payload packet was delivered (== total
+    /// all-to-all time in cycles).
+    pub completion_cycle: u64,
+    /// Packets injected into the network.
+    pub packets_injected: u64,
+    /// Packets delivered to their destination programs.
+    pub packets_delivered: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes_delivered: u64,
+    /// Chunk-cycles each dimension's links spent transmitting (x, y, z).
+    pub link_busy_chunks: [u64; 3],
+    /// Packet-hops taken per dimension.
+    pub hops_taken: [u64; 3],
+    /// Hops taken on the bubble (escape/deterministic) VC.
+    pub bubble_hops: u64,
+    /// Hops taken on the dynamic VCs.
+    pub dynamic_hops: u64,
+    /// Sum over delivered packets of (delivery − injection) cycles.
+    pub total_latency_cycles: u64,
+    /// Worst single-packet latency.
+    pub max_latency_cycles: u64,
+    /// Cycles some delivery was blocked on a full reception FIFO.
+    pub reception_stall_events: u64,
+    /// CPU-cycles (in simulation-cycle units) the node CPUs were busy.
+    pub cpu_busy_cycles: f64,
+    /// Power-of-two latency histogram (see [`LATENCY_BUCKETS`]).
+    pub latency_histogram: Vec<u64>,
+    /// Per-directed-link busy chunk-cycles, indexed `node·6 + direction`;
+    /// empty unless `SimConfig::detailed_link_stats` was set.
+    pub link_busy_per_link: Vec<u64>,
+}
+
+impl NetStats {
+    /// Mean delivered-packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Mean utilization of the links of `dim` over the run: busy
+    /// chunk-cycles divided by (directed links × completion cycles).
+    pub fn dim_utilization(&self, part: &Partition, dim: Dim) -> f64 {
+        let links = part.directed_links(dim);
+        if links == 0 || self.completion_cycle == 0 {
+            return 0.0;
+        }
+        self.link_busy_chunks[dim.index()] as f64 / (links as f64 * self.completion_cycle as f64)
+    }
+
+    /// Utilization of the busiest dimension.
+    pub fn peak_dim_utilization(&self, part: &Partition) -> f64 {
+        ALL_DIMS
+            .into_iter()
+            .map(|d| self.dim_utilization(part, d))
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate latency percentile (cycles) from the power-of-two
+    /// histogram: returns the upper bound of the bucket containing the
+    /// `q`-quantile delivery (`q` in `[0,1]`).
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.latency_histogram.iter().enumerate() {
+            seen += c;
+            if seen >= want {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// The `n` busiest directed links as `(node, direction, utilization)`,
+    /// sorted hottest first. Empty unless detailed link stats were
+    /// collected.
+    pub fn hottest_links(&self, n: usize) -> Vec<(u32, Direction, f64)> {
+        if self.completion_cycle == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<(u32, Direction, f64)> = self
+            .link_busy_per_link
+            .iter()
+            .enumerate()
+            .filter(|&(_, &busy)| busy > 0)
+            .map(|(i, &busy)| {
+                (
+                    (i / 6) as u32,
+                    Direction::from_index(i % 6),
+                    busy as f64 / self.completion_cycle as f64,
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+        v.truncate(n);
+        v
+    }
+
+    /// Fraction of delivered hops that used the bubble VC.
+    pub fn bubble_fraction(&self) -> f64 {
+        let total = self.bubble_hops + self.dynamic_hops;
+        if total == 0 {
+            0.0
+        } else {
+            self.bubble_hops as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_handles_zero_packets() {
+        let s = NetStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn mean_latency_divides() {
+        let s = NetStats { packets_delivered: 4, total_latency_cycles: 100, ..Default::default() };
+        assert_eq!(s.mean_latency(), 25.0);
+    }
+
+    #[test]
+    fn utilization_accounts_links_and_cycles() {
+        let part: Partition = "8x8x8".parse().unwrap();
+        let s = NetStats {
+            completion_cycle: 100,
+            link_busy_chunks: [51_200, 0, 0], // half of 1024 X-links × 100 cycles
+            ..Default::default()
+        };
+        assert!((s.dim_utilization(&part, Dim::X) - 0.5).abs() < 1e-12);
+        assert_eq!(s.dim_utilization(&part, Dim::Y), 0.0);
+        assert_eq!(s.peak_dim_utilization(&part), s.dim_utilization(&part, Dim::X));
+    }
+
+    #[test]
+    fn utilization_zero_for_degenerate_cases() {
+        let part: Partition = "8".parse().unwrap();
+        let s = NetStats::default();
+        assert_eq!(s.dim_utilization(&part, Dim::Y), 0.0); // no links
+        assert_eq!(s.dim_utilization(&part, Dim::X), 0.0); // no cycles
+    }
+
+    #[test]
+    fn latency_percentile_from_histogram() {
+        let mut h = vec![0u64; LATENCY_BUCKETS];
+        h[3] = 50; // latencies 8..16
+        h[6] = 50; // latencies 64..128
+        let s = NetStats { latency_histogram: h, ..Default::default() };
+        assert_eq!(s.latency_percentile(0.25), 16);
+        assert_eq!(s.latency_percentile(0.75), 128);
+        assert_eq!(NetStats::default().latency_percentile(0.5), 0);
+    }
+
+    #[test]
+    fn hottest_links_sorted() {
+        let mut per_link = vec![0u64; 12];
+        per_link[3] = 90;
+        per_link[7] = 100;
+        let s = NetStats {
+            completion_cycle: 100,
+            link_busy_per_link: per_link,
+            ..Default::default()
+        };
+        let hot = s.hottest_links(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 1); // link index 7 = node 1
+        assert!((hot[0].2 - 1.0).abs() < 1e-12);
+        assert_eq!(hot[1].0, 0);
+    }
+
+    #[test]
+    fn bubble_fraction() {
+        let s = NetStats { bubble_hops: 1, dynamic_hops: 3, ..Default::default() };
+        assert_eq!(s.bubble_fraction(), 0.25);
+        assert_eq!(NetStats::default().bubble_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Coordinates, dimensions and link directions on a 3-D partition.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three torus dimensions.
+///
+/// BG/L routes deterministically in the order X, then Y, then Z; the
+/// `u8` discriminants give that order, so `Dim::X < Dim::Y < Dim::Z`
+/// iterates dimension-ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Dim {
+    /// The X dimension (routed first under dimension order).
+    X = 0,
+    /// The Y dimension.
+    Y = 1,
+    /// The Z dimension (routed last).
+    Z = 2,
+}
+
+/// All dimensions in dimension (X, Y, Z) order.
+pub const ALL_DIMS: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+
+impl Dim {
+    /// Index of the dimension (X=0, Y=1, Z=2), for indexing `[T; 3]` state.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Dimension from an index in `0..3`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 3`.
+    #[inline]
+    pub fn from_index(i: usize) -> Dim {
+        match i {
+            0 => Dim::X,
+            1 => Dim::Y,
+            2 => Dim::Z,
+            _ => panic!("dimension index {i} out of range 0..3"),
+        }
+    }
+
+    /// Short lowercase name ("x", "y" or "z").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dim::X => "x",
+            Dim::Y => "y",
+            Dim::Z => "z",
+        }
+    }
+
+    /// The two dimensions other than `self`, in (X, Y, Z) order.
+    #[inline]
+    pub const fn others(self) -> [Dim; 2] {
+        match self {
+            Dim::X => [Dim::Y, Dim::Z],
+            Dim::Y => [Dim::X, Dim::Z],
+            Dim::Z => [Dim::X, Dim::Y],
+        }
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name().to_uppercase().as_str())
+    }
+}
+
+/// Direction of travel along a dimension: towards higher (`Plus`) or lower
+/// (`Minus`) coordinates. On a torus dimension travel wraps around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Sign {
+    /// Towards increasing coordinate (with wrap on a torus dimension).
+    Plus = 0,
+    /// Towards decreasing coordinate (with wrap on a torus dimension).
+    Minus = 1,
+}
+
+impl Sign {
+    /// The opposite sign.
+    #[inline]
+    pub const fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// One of the six link directions leaving a node (`X+`, `X-`, `Y+`, `Y-`,
+/// `Z+`, `Z-`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Direction {
+    /// Dimension the link runs along.
+    pub dim: Dim,
+    /// Orientation along that dimension.
+    pub sign: Sign,
+}
+
+/// All six directions, ordered X+, X-, Y+, Y-, Z+, Z- (matching
+/// [`Direction::index`]).
+pub const ALL_DIRECTIONS: [Direction; 6] = [
+    Direction { dim: Dim::X, sign: Sign::Plus },
+    Direction { dim: Dim::X, sign: Sign::Minus },
+    Direction { dim: Dim::Y, sign: Sign::Plus },
+    Direction { dim: Dim::Y, sign: Sign::Minus },
+    Direction { dim: Dim::Z, sign: Sign::Plus },
+    Direction { dim: Dim::Z, sign: Sign::Minus },
+];
+
+impl Direction {
+    /// Construct a direction.
+    #[inline]
+    pub const fn new(dim: Dim, sign: Sign) -> Direction {
+        Direction { dim, sign }
+    }
+
+    /// Dense index in `0..6` (X+=0, X-=1, Y+=2, Y-=3, Z+=4, Z-=5), used to
+    /// index per-port state in the simulator.
+    #[inline]
+    pub const fn index(self) -> usize {
+        (self.dim as usize) * 2 + (self.sign as usize)
+    }
+
+    /// Direction from a dense index in `0..6`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 6`.
+    #[inline]
+    pub fn from_index(i: usize) -> Direction {
+        assert!(i < 6, "direction index {i} out of range 0..6");
+        ALL_DIRECTIONS[i]
+    }
+
+    /// The reverse direction (the direction a packet *arrives from* when it
+    /// was sent in `self` from the neighbour).
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        Direction { dim: self.dim, sign: self.sign.flip() }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self.sign {
+            Sign::Plus => "+",
+            Sign::Minus => "-",
+        };
+        write!(f, "{}{}", self.dim, s)
+    }
+}
+
+/// A node coordinate on a 3-D partition.
+///
+/// Coordinates are `u16` per dimension; BG/L partitions never exceeded 64
+/// nodes per dimension, and `u16` keeps [`Coord`] at 6 bytes so packet
+/// headers in the simulator stay small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// X coordinate.
+    pub x: u16,
+    /// Y coordinate.
+    pub y: u16,
+    /// Z coordinate.
+    pub z: u16,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    #[inline]
+    pub const fn new(x: u16, y: u16, z: u16) -> Coord {
+        Coord { x, y, z }
+    }
+
+    /// Component along `dim`.
+    #[inline]
+    pub const fn get(self, dim: Dim) -> u16 {
+        match dim {
+            Dim::X => self.x,
+            Dim::Y => self.y,
+            Dim::Z => self.z,
+        }
+    }
+
+    /// Return a copy with the component along `dim` replaced by `v`.
+    #[inline]
+    pub fn with(self, dim: Dim, v: u16) -> Coord {
+        let mut c = self;
+        c.set(dim, v);
+        c
+    }
+
+    /// Set the component along `dim`.
+    #[inline]
+    pub fn set(&mut self, dim: Dim, v: u16) {
+        match dim {
+            Dim::X => self.x = v,
+            Dim::Y => self.y = v,
+            Dim::Z => self.z = v,
+        }
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_indices_roundtrip() {
+        for (i, d) in ALL_DIMS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn dim_order_is_dimension_order() {
+        assert!(Dim::X < Dim::Y);
+        assert!(Dim::Y < Dim::Z);
+    }
+
+    #[test]
+    fn dim_others_excludes_self() {
+        for d in ALL_DIMS {
+            let o = d.others();
+            assert_ne!(o[0], d);
+            assert_ne!(o[1], d);
+            assert_ne!(o[0], o[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dim_from_bad_index_panics() {
+        let _ = Dim::from_index(3);
+    }
+
+    #[test]
+    fn direction_indices_roundtrip() {
+        for (i, d) in ALL_DIRECTIONS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Direction::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn direction_opposite_is_involution() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.opposite().dim, d.dim);
+            assert_ne!(d.opposite().sign, d.sign);
+        }
+    }
+
+    #[test]
+    fn sign_flip() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.flip(), Sign::Plus);
+    }
+
+    #[test]
+    fn coord_get_set_with() {
+        let mut c = Coord::new(1, 2, 3);
+        assert_eq!(c.get(Dim::X), 1);
+        assert_eq!(c.get(Dim::Y), 2);
+        assert_eq!(c.get(Dim::Z), 3);
+        c.set(Dim::Y, 9);
+        assert_eq!(c, Coord::new(1, 9, 3));
+        assert_eq!(c.with(Dim::Z, 7), Coord::new(1, 9, 7));
+        // `with` does not mutate.
+        assert_eq!(c.z, 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dim::X.to_string(), "X");
+        assert_eq!(Direction::new(Dim::Y, Sign::Minus).to_string(), "Y-");
+        assert_eq!(Coord::new(4, 0, 15).to_string(), "(4,0,15)");
+    }
+
+    #[test]
+    fn coord_is_small() {
+        assert_eq!(std::mem::size_of::<Coord>(), 6);
+    }
+}

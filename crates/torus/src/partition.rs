@@ -1,0 +1,468 @@
+//! Partition shapes: 1-D lines, 2-D planes and 3-D blocks whose dimensions
+//! are independently torus (wrapped) or mesh (unwrapped).
+
+use crate::coord::{Coord, Dim, Direction, Sign, ALL_DIMS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A node's linear rank within a partition (X varies fastest, then Y, then Z).
+pub type Rank = u32;
+
+/// A BG/L partition: a 3-D block of nodes with per-dimension sizes and
+/// per-dimension wrap (torus) flags.
+///
+/// Lower-dimensional partitions (lines, planes) are represented with the
+/// unused dimensions set to size 1. The paper's `"8x8x2M"` notation parses
+/// via [`FromStr`]: an `M` suffix marks that dimension as a mesh, all other
+/// dimensions of size ≥ 2 are tori. Dimensions of size 1 carry no links at
+/// all, so their wrap flag is normalised to `false`.
+///
+/// ```
+/// use bgl_torus::{Partition, Dim};
+/// let p: Partition = "8x8x2M".parse().unwrap();
+/// assert_eq!(p.num_nodes(), 128);
+/// assert!(p.is_torus_dim(Dim::X));
+/// assert!(!p.is_torus_dim(Dim::Z));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    dims: [u16; 3],
+    wrap: [bool; 3],
+}
+
+impl Partition {
+    /// A full torus (every dimension of size ≥ 2 wraps).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn torus(x: u16, y: u16, z: u16) -> Partition {
+        Partition::new([x, y, z], [true, true, true])
+    }
+
+    /// A full mesh (no dimension wraps).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn mesh(x: u16, y: u16, z: u16) -> Partition {
+        Partition::new([x, y, z], [false, false, false])
+    }
+
+    /// A partition with explicit per-dimension sizes and wrap flags.
+    ///
+    /// Wrap flags on dimensions of size 1 are normalised to `false` (a
+    /// single-node dimension has no links).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(dims: [u16; 3], wrap: [bool; 3]) -> Partition {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "partition dimensions must be positive, got {dims:?}"
+        );
+        let mut wrap = wrap;
+        for i in 0..3 {
+            if dims[i] == 1 {
+                wrap[i] = false;
+            }
+        }
+        Partition { dims, wrap }
+    }
+
+    /// Size along `dim`.
+    #[inline]
+    pub fn size(&self, dim: Dim) -> u16 {
+        self.dims[dim.index()]
+    }
+
+    /// All three sizes `[x, y, z]`.
+    #[inline]
+    pub fn sizes(&self) -> [u16; 3] {
+        self.dims
+    }
+
+    /// Whether `dim` wraps (torus) — always `false` for size-1 dimensions.
+    #[inline]
+    pub fn is_torus_dim(&self, dim: Dim) -> bool {
+        self.wrap[dim.index()]
+    }
+
+    /// Total number of nodes `P = Px · Py · Pz`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.dims.iter().map(|&d| d as u32).product()
+    }
+
+    /// Dimensions with more than one node, in (X, Y, Z) order.
+    pub fn active_dims(&self) -> Vec<Dim> {
+        ALL_DIMS.into_iter().filter(|d| self.size(*d) > 1).collect()
+    }
+
+    /// Number of active (size > 1) dimensions: 0 for a single node, 1 for a
+    /// line, 2 for a plane, 3 for a block.
+    pub fn dimensionality(&self) -> usize {
+        self.active_dims().len()
+    }
+
+    /// The dimension with the most nodes, the paper's `M = max(Px,Py,Pz)`
+    /// bottleneck dimension. Ties go to the earlier dimension (X before Y
+    /// before Z), matching the paper's convention of naming X first.
+    pub fn longest_dim(&self) -> Dim {
+        let mut best = Dim::X;
+        for d in [Dim::Y, Dim::Z] {
+            if self.size(d) > self.size(best) {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// `M = max(Px, Py, Pz)`.
+    #[inline]
+    pub fn max_dim_size(&self) -> u16 {
+        *self.dims.iter().max().expect("three dims")
+    }
+
+    /// Whether this partition is *symmetric* in the paper's sense: every
+    /// active dimension has the same size, and every active dimension is a
+    /// torus. A line is symmetric; `8x8` and `16x16x16` are symmetric;
+    /// `16x8x8` and `8x8x2M` are not.
+    pub fn is_symmetric(&self) -> bool {
+        let active = self.active_dims();
+        if active.is_empty() {
+            return true;
+        }
+        let s0 = self.size(active[0]);
+        active.iter().all(|&d| self.size(d) == s0 && self.is_torus_dim(d))
+    }
+
+    /// Linear rank of a coordinate (X fastest, then Y, then Z).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the coordinate is out of range.
+    #[inline]
+    pub fn rank_of(&self, c: Coord) -> Rank {
+        debug_assert!(self.contains(c), "coordinate {c} outside partition {self}");
+        c.x as Rank
+            + self.dims[0] as Rank * (c.y as Rank + self.dims[1] as Rank * c.z as Rank)
+    }
+
+    /// Coordinate of a linear rank.
+    ///
+    /// # Panics
+    /// Panics if `rank >= num_nodes()`.
+    #[inline]
+    pub fn coord_of(&self, rank: Rank) -> Coord {
+        assert!(rank < self.num_nodes(), "rank {rank} outside partition {self}");
+        let x = (rank % self.dims[0] as Rank) as u16;
+        let rest = rank / self.dims[0] as Rank;
+        let y = (rest % self.dims[1] as Rank) as u16;
+        let z = (rest / self.dims[1] as Rank) as u16;
+        Coord::new(x, y, z)
+    }
+
+    /// Whether the coordinate lies inside the partition.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.dims[0] && c.y < self.dims[1] && c.z < self.dims[2]
+    }
+
+    /// Iterate over every coordinate in rank order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.num_nodes()).map(|r| self.coord_of(r))
+    }
+
+    /// The neighbour of `c` in direction `dir`, or `None` when the move
+    /// falls off the edge of a mesh dimension (or the dimension has size 1).
+    pub fn neighbor(&self, c: Coord, dir: Direction) -> Option<Coord> {
+        let s = self.size(dir.dim);
+        if s <= 1 {
+            return None;
+        }
+        let v = c.get(dir.dim);
+        let nv = match dir.sign {
+            Sign::Plus => {
+                if v + 1 < s {
+                    v + 1
+                } else if self.is_torus_dim(dir.dim) {
+                    0
+                } else {
+                    return None;
+                }
+            }
+            Sign::Minus => {
+                if v > 0 {
+                    v - 1
+                } else if self.is_torus_dim(dir.dim) {
+                    s - 1
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(c.with(dir.dim, nv))
+    }
+
+    /// Minimal hop count from `a` to `b` along `dim` (wrapping if torus).
+    #[inline]
+    pub fn dim_hops(&self, dim: Dim, a: u16, b: u16) -> u16 {
+        let s = self.size(dim);
+        let fwd = (b as i32 - a as i32).rem_euclid(s as i32) as u16;
+        if self.is_torus_dim(dim) {
+            fwd.min(s - fwd)
+        } else {
+            (b as i32 - a as i32).unsigned_abs() as u16
+        }
+    }
+
+    /// Total minimal hop count between two coordinates.
+    pub fn hops(&self, a: Coord, b: Coord) -> u32 {
+        ALL_DIMS
+            .iter()
+            .map(|&d| self.dim_hops(d, a.get(d), b.get(d)) as u32)
+            .sum()
+    }
+
+    /// Number of *directed* links along `dim`: `2·P` for a torus dimension,
+    /// `2·P·(S-1)/S` for a mesh dimension, `0` for a size-1 dimension.
+    pub fn directed_links(&self, dim: Dim) -> u64 {
+        let s = self.size(dim) as u64;
+        if s <= 1 {
+            return 0;
+        }
+        let lines = self.num_nodes() as u64 / s;
+        let per_line = if self.is_torus_dim(dim) { s } else { s - 1 };
+        2 * lines * per_line
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for d in ALL_DIMS {
+            let s = self.size(d);
+            // Trailing size-1 dimensions are omitted ("8x8", not "8x8x1"),
+            // but interior ones are kept so the shape stays unambiguous.
+            if s == 1 && ALL_DIMS.iter().skip(d.index()).all(|&e| self.size(e) == 1) && !first {
+                break;
+            }
+            if !first {
+                write!(f, "x")?;
+            }
+            write!(f, "{}", s)?;
+            if s > 1 && !self.is_torus_dim(d) {
+                write!(f, "M")?;
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a partition string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionParseError(String);
+
+impl fmt::Display for PartitionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid partition string: {}", self.0)
+    }
+}
+
+impl std::error::Error for PartitionParseError {}
+
+impl FromStr for Partition {
+    type Err = PartitionParseError;
+
+    /// Parse the paper's partition notation: `"8"`, `"16x16"`,
+    /// `"40x32x16"`, `"8x8x2M"` (the `M` suffix marks a mesh dimension).
+    /// Whitespace around tokens is ignored (`"8 x 2M"` works too).
+    fn from_str(s: &str) -> Result<Partition, PartitionParseError> {
+        let mut dims = [1u16; 3];
+        let mut wrap = [true; 3];
+        let tokens: Vec<&str> = s.split('x').map(str::trim).collect();
+        if tokens.is_empty() || tokens.len() > 3 {
+            return Err(PartitionParseError(format!(
+                "expected 1..=3 'x'-separated sizes, got {s:?}"
+            )));
+        }
+        for (i, tok) in tokens.iter().enumerate() {
+            let (num, mesh) = match tok.strip_suffix(['M', 'm']) {
+                Some(rest) => (rest.trim(), true),
+                None => (*tok, false),
+            };
+            let size: u16 = num
+                .parse()
+                .map_err(|_| PartitionParseError(format!("bad size {tok:?} in {s:?}")))?;
+            if size == 0 {
+                return Err(PartitionParseError(format!("zero size in {s:?}")));
+            }
+            dims[i] = size;
+            wrap[i] = !mesh;
+        }
+        Ok(Partition::new(dims, wrap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::ALL_DIRECTIONS;
+
+    #[test]
+    fn parse_paper_notation() {
+        let p: Partition = "40x32x16".parse().unwrap();
+        assert_eq!(p.sizes(), [40, 32, 16]);
+        assert_eq!(p.num_nodes(), 20480);
+        assert!(p.is_torus_dim(Dim::X));
+
+        let p: Partition = "8x8x2M".parse().unwrap();
+        assert_eq!(p.sizes(), [8, 8, 2]);
+        assert!(p.is_torus_dim(Dim::Y));
+        assert!(!p.is_torus_dim(Dim::Z));
+
+        let p: Partition = "8 x 4M".parse().unwrap();
+        assert_eq!(p.sizes(), [8, 4, 1]);
+        assert!(!p.is_torus_dim(Dim::Y));
+
+        let p: Partition = "16".parse().unwrap();
+        assert_eq!(p.num_nodes(), 16);
+        assert_eq!(p.dimensionality(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Partition>().is_err());
+        assert!("8x".parse::<Partition>().is_err());
+        assert!("8x8x8x8".parse::<Partition>().is_err());
+        assert!("0x8".parse::<Partition>().is_err());
+        assert!("8xqx8".parse::<Partition>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["8", "16x16", "8x8x8", "40x32x16", "8x8x2M", "8x4M", "1x8x8"] {
+            let p: Partition = s.parse().unwrap();
+            let shown = p.to_string();
+            let q: Partition = shown.parse().unwrap();
+            assert_eq!(p, q, "roundtrip failed for {s} -> {shown}");
+        }
+    }
+
+    #[test]
+    fn size_one_dim_never_wraps() {
+        let p = Partition::torus(8, 1, 8);
+        assert!(!p.is_torus_dim(Dim::Y));
+        assert_eq!(p.directed_links(Dim::Y), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = Partition::torus(0, 8, 8);
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let p = Partition::torus(4, 3, 5);
+        for r in 0..p.num_nodes() {
+            assert_eq!(p.rank_of(p.coord_of(r)), r);
+        }
+        // X varies fastest.
+        assert_eq!(p.coord_of(1), Coord::new(1, 0, 0));
+        assert_eq!(p.coord_of(4), Coord::new(0, 1, 0));
+        assert_eq!(p.coord_of(12), Coord::new(0, 0, 1));
+    }
+
+    #[test]
+    fn coords_iterator_covers_all_nodes_once() {
+        let p = Partition::torus(3, 4, 2);
+        let all: Vec<Coord> = p.coords().collect();
+        assert_eq!(all.len(), 24);
+        let set: std::collections::HashSet<Coord> = all.iter().copied().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn neighbor_wraps_on_torus_only() {
+        let t = Partition::torus(8, 8, 8);
+        let m = Partition::mesh(8, 8, 8);
+        let edge = Coord::new(7, 0, 3);
+        assert_eq!(
+            t.neighbor(edge, Direction::new(Dim::X, Sign::Plus)),
+            Some(Coord::new(0, 0, 3))
+        );
+        assert_eq!(m.neighbor(edge, Direction::new(Dim::X, Sign::Plus)), None);
+        assert_eq!(
+            t.neighbor(edge, Direction::new(Dim::Y, Sign::Minus)),
+            Some(Coord::new(7, 7, 3))
+        );
+        assert_eq!(m.neighbor(edge, Direction::new(Dim::Y, Sign::Minus)), None);
+    }
+
+    #[test]
+    fn neighbor_relation_is_mutual() {
+        let p: Partition = "4x3Mx2".parse().unwrap();
+        for c in p.coords() {
+            for dir in ALL_DIRECTIONS {
+                if let Some(n) = p.neighbor(c, dir) {
+                    assert_eq!(p.neighbor(n, dir.opposite()), Some(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_torus_vs_mesh() {
+        let t = Partition::torus(8, 8, 8);
+        let m = Partition::mesh(8, 8, 8);
+        let a = Coord::new(0, 0, 0);
+        let b = Coord::new(7, 7, 7);
+        // Torus: one wrap hop per dimension. Mesh: seven hops per dimension.
+        assert_eq!(t.hops(a, b), 3);
+        assert_eq!(m.hops(a, b), 21);
+        // Max torus distance is S/2 per dimension.
+        assert_eq!(t.dim_hops(Dim::X, 0, 4), 4);
+        assert_eq!(t.dim_hops(Dim::X, 0, 5), 3);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let p: Partition = "6x5Mx4".parse().unwrap();
+        for a in p.coords() {
+            for b in p.coords() {
+                assert_eq!(p.hops(a, b), p.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn longest_dim_and_ties() {
+        assert_eq!("40x32x16".parse::<Partition>().unwrap().longest_dim(), Dim::X);
+        assert_eq!("8x32x16".parse::<Partition>().unwrap().longest_dim(), Dim::Y);
+        assert_eq!("8x8x16".parse::<Partition>().unwrap().longest_dim(), Dim::Z);
+        // Ties go to the earlier dimension.
+        assert_eq!("16x16x16".parse::<Partition>().unwrap().longest_dim(), Dim::X);
+        assert_eq!("8x16x16".parse::<Partition>().unwrap().longest_dim(), Dim::Y);
+    }
+
+    #[test]
+    fn symmetry_classification() {
+        for s in ["8", "16", "8x8", "16x16", "8x8x8", "16x16x16"] {
+            assert!(s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
+        }
+        for s in ["16x8x8", "8x32x16", "8x8x2M", "8x4M", "40x32x16"] {
+            assert!(!s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
+        }
+    }
+
+    #[test]
+    fn directed_link_counts() {
+        let p = Partition::torus(8, 8, 8);
+        // 2 directed links per node per dimension on a torus.
+        assert_eq!(p.directed_links(Dim::X), 1024);
+        let m: Partition = "8Mx8x8".parse().unwrap();
+        // Mesh: (S-1) links per line per direction, 64 lines.
+        assert_eq!(m.directed_links(Dim::X), 2 * 64 * 7);
+    }
+}

@@ -1,0 +1,305 @@
+//! Minimal-path routing math: per-dimension hop plans, tie-breaking on the
+//! torus "equator", and dimension-ordered (X→Y→Z) next-hop selection.
+//!
+//! The simulator's routers consume [`HopPlan`]s carried in packet headers:
+//! the plan fixes, at injection time, the travel *sign* per dimension and the
+//! number of hops remaining, exactly like BG/L's hint bits. Adaptive routing
+//! may service the dimensions in any order; deterministic routing services
+//! them in X, Y, Z order.
+
+use crate::coord::{Coord, Dim, Direction, Sign, ALL_DIMS};
+use crate::partition::Partition;
+use serde::{Deserialize, Serialize};
+
+/// How to break the direction tie on an even-sized torus dimension when the
+/// destination is exactly `S/2` hops away (both directions are minimal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Always travel in the plus direction. Simple but loads plus links
+    /// ~`S/(S-2)`× more than minus links on even tori.
+    AlwaysPlus,
+    /// Always travel in the minus direction.
+    AlwaysMinus,
+    /// Travel plus from even source coordinates and minus from odd ones.
+    /// Deterministic, and balances the two directions across sources — this
+    /// is what production randomized all-to-alls achieve statistically.
+    SrcParity,
+}
+
+impl Default for TieBreak {
+    fn default() -> Self {
+        TieBreak::SrcParity
+    }
+}
+
+/// A packet's routing state: travel sign and remaining hops per dimension.
+///
+/// `hops[d] == 0` means the packet needs no movement along `d` (and `sign[d]`
+/// is meaningless there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HopPlan {
+    signs: [Sign; 3],
+    hops: [u16; 3],
+}
+
+impl HopPlan {
+    /// Build the minimal plan from `src` to `dst` on `part`.
+    ///
+    /// On torus dimensions the shorter way around is chosen, with `tie`
+    /// deciding exact-half distances; mesh dimensions always travel directly
+    /// towards the destination.
+    pub fn new(part: &Partition, src: Coord, dst: Coord, tie: TieBreak) -> HopPlan {
+        let mut signs = [Sign::Plus; 3];
+        let mut hops = [0u16; 3];
+        for d in ALL_DIMS {
+            let (sign, h) = dim_route(part, d, src.get(d), dst.get(d), tie);
+            signs[d.index()] = sign;
+            hops[d.index()] = h;
+        }
+        HopPlan { signs, hops }
+    }
+
+    /// Remaining hops along `dim`.
+    #[inline]
+    pub fn hops(&self, dim: Dim) -> u16 {
+        self.hops[dim.index()]
+    }
+
+    /// Travel sign along `dim` (only meaningful while `hops(dim) > 0`).
+    #[inline]
+    pub fn sign(&self, dim: Dim) -> Sign {
+        self.signs[dim.index()]
+    }
+
+    /// The outgoing direction along `dim`, or `None` if that dimension is
+    /// already satisfied.
+    #[inline]
+    pub fn direction(&self, dim: Dim) -> Option<Direction> {
+        if self.hops(dim) > 0 {
+            Some(Direction::new(dim, self.sign(dim)))
+        } else {
+            None
+        }
+    }
+
+    /// Total hops remaining across all dimensions.
+    #[inline]
+    pub fn total_hops(&self) -> u32 {
+        self.hops.iter().map(|&h| h as u32).sum()
+    }
+
+    /// Whether the packet has arrived (no hops remaining anywhere).
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.hops == [0, 0, 0]
+    }
+
+    /// All directions the packet may minimally take from here (dimensions
+    /// with hops remaining), in X, Y, Z order.
+    pub fn minimal_directions(&self) -> impl Iterator<Item = Direction> + '_ {
+        ALL_DIMS.into_iter().filter_map(|d| self.direction(d))
+    }
+
+    /// Consume one hop along `dim`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if no hops remain along `dim`.
+    #[inline]
+    pub fn advance(&mut self, dim: Dim) {
+        debug_assert!(self.hops(dim) > 0, "advancing exhausted dimension {dim}");
+        self.hops[dim.index()] -= 1;
+    }
+
+    /// The next direction under dimension-ordered (X, then Y, then Z)
+    /// deterministic routing, or `None` on arrival.
+    #[inline]
+    pub fn dimension_order_next(&self) -> Option<Direction> {
+        self.minimal_directions().next()
+    }
+}
+
+/// Minimal route along a single dimension: `(sign, hops)`.
+fn dim_route(part: &Partition, dim: Dim, a: u16, b: u16, tie: TieBreak) -> (Sign, u16) {
+    let s = part.size(dim);
+    if a == b {
+        return (Sign::Plus, 0);
+    }
+    if !part.is_torus_dim(dim) {
+        let sign = if b > a { Sign::Plus } else { Sign::Minus };
+        return (sign, (b as i32 - a as i32).unsigned_abs() as u16);
+    }
+    let fwd = (b as i32 - a as i32).rem_euclid(s as i32) as u16;
+    let bwd = s - fwd;
+    match fwd.cmp(&bwd) {
+        std::cmp::Ordering::Less => (Sign::Plus, fwd),
+        std::cmp::Ordering::Greater => (Sign::Minus, bwd),
+        std::cmp::Ordering::Equal => {
+            let sign = match tie {
+                TieBreak::AlwaysPlus => Sign::Plus,
+                TieBreak::AlwaysMinus => Sign::Minus,
+                TieBreak::SrcParity => {
+                    if a % 2 == 0 {
+                        Sign::Plus
+                    } else {
+                        Sign::Minus
+                    }
+                }
+            };
+            (sign, fwd)
+        }
+    }
+}
+
+/// Dimension-ordered route enumeration, mainly for tests and debugging: the
+/// exact sequence of coordinates a deterministically routed packet visits.
+#[derive(Debug, Clone)]
+pub struct DimensionOrder;
+
+impl DimensionOrder {
+    /// Full node path (inclusive of both endpoints) from `src` to `dst`
+    /// under X→Y→Z dimension order.
+    pub fn path(part: &Partition, src: Coord, dst: Coord, tie: TieBreak) -> Vec<Coord> {
+        let mut plan = HopPlan::new(part, src, dst, tie);
+        let mut here = src;
+        let mut out = vec![src];
+        while let Some(dir) = plan.dimension_order_next() {
+            here = part
+                .neighbor(here, dir)
+                .expect("minimal plan stepped off the partition");
+            plan.advance(dir.dim);
+            out.push(here);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t888() -> Partition {
+        Partition::torus(8, 8, 8)
+    }
+
+    #[test]
+    fn plan_hops_match_partition_hops() {
+        let p = t888();
+        let a = Coord::new(1, 2, 3);
+        let b = Coord::new(6, 2, 0);
+        let plan = HopPlan::new(&p, a, b, TieBreak::SrcParity);
+        assert_eq!(plan.total_hops(), p.hops(a, b));
+    }
+
+    #[test]
+    fn plan_to_self_is_done() {
+        let p = t888();
+        let c = Coord::new(3, 3, 3);
+        let plan = HopPlan::new(&p, c, c, TieBreak::SrcParity);
+        assert!(plan.is_done());
+        assert_eq!(plan.dimension_order_next(), None);
+        assert_eq!(plan.minimal_directions().count(), 0);
+    }
+
+    #[test]
+    fn torus_takes_short_way_round() {
+        let p = t888();
+        let plan = HopPlan::new(&p, Coord::new(7, 0, 0), Coord::new(1, 0, 0), TieBreak::AlwaysPlus);
+        assert_eq!(plan.hops(Dim::X), 2);
+        assert_eq!(plan.sign(Dim::X), Sign::Plus);
+        let plan = HopPlan::new(&p, Coord::new(1, 0, 0), Coord::new(7, 0, 0), TieBreak::AlwaysPlus);
+        assert_eq!(plan.hops(Dim::X), 2);
+        assert_eq!(plan.sign(Dim::X), Sign::Minus);
+    }
+
+    #[test]
+    fn mesh_never_wraps() {
+        let p: Partition = "8Mx8x8".parse().unwrap();
+        let plan = HopPlan::new(&p, Coord::new(7, 0, 0), Coord::new(0, 0, 0), TieBreak::AlwaysPlus);
+        assert_eq!(plan.hops(Dim::X), 7);
+        assert_eq!(plan.sign(Dim::X), Sign::Minus);
+    }
+
+    #[test]
+    fn tie_break_variants() {
+        let p = t888();
+        let even = Coord::new(0, 0, 0);
+        let odd = Coord::new(1, 0, 0);
+        let half_even = Coord::new(4, 0, 0);
+        let half_odd = Coord::new(5, 0, 0);
+        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::AlwaysPlus).sign(Dim::X), Sign::Plus);
+        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::AlwaysMinus).sign(Dim::X), Sign::Minus);
+        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::SrcParity).sign(Dim::X), Sign::Plus);
+        assert_eq!(HopPlan::new(&p, odd, half_odd, TieBreak::SrcParity).sign(Dim::X), Sign::Minus);
+    }
+
+    #[test]
+    fn src_parity_balances_equator_traffic() {
+        // On an even torus line, SrcParity sends exactly half the
+        // equator-distance pairs each way.
+        let p: Partition = "8".parse().unwrap();
+        let mut plus = 0;
+        let mut minus = 0;
+        for a in 0..8u16 {
+            let b = (a + 4) % 8;
+            let plan = HopPlan::new(
+                &p,
+                Coord::new(a, 0, 0),
+                Coord::new(b, 0, 0),
+                TieBreak::SrcParity,
+            );
+            match plan.sign(Dim::X) {
+                Sign::Plus => plus += 1,
+                Sign::Minus => minus += 1,
+            }
+        }
+        assert_eq!(plus, 4);
+        assert_eq!(minus, 4);
+    }
+
+    #[test]
+    fn advance_consumes_hops() {
+        let p = t888();
+        let mut plan = HopPlan::new(&p, Coord::new(0, 0, 0), Coord::new(2, 1, 0), TieBreak::SrcParity);
+        assert_eq!(plan.total_hops(), 3);
+        plan.advance(Dim::X);
+        plan.advance(Dim::Y);
+        assert_eq!(plan.total_hops(), 1);
+        assert_eq!(plan.direction(Dim::Y), None);
+        plan.advance(Dim::X);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn dimension_order_path_visits_x_then_y_then_z() {
+        let p = t888();
+        let path = DimensionOrder::path(&p, Coord::new(0, 0, 0), Coord::new(2, 2, 1), TieBreak::SrcParity);
+        assert_eq!(
+            path,
+            vec![
+                Coord::new(0, 0, 0),
+                Coord::new(1, 0, 0),
+                Coord::new(2, 0, 0),
+                Coord::new(2, 1, 0),
+                Coord::new(2, 2, 0),
+                Coord::new(2, 2, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn dimension_order_path_length_is_minimal() {
+        let p: Partition = "4x6Mx3".parse().unwrap();
+        for src in p.coords() {
+            for dst in p.coords() {
+                let path = DimensionOrder::path(&p, src, dst, TieBreak::SrcParity);
+                assert_eq!(path.len() as u32, p.hops(src, dst) + 1);
+                assert_eq!(*path.first().unwrap(), src);
+                assert_eq!(*path.last().unwrap(), dst);
+                // Consecutive nodes are neighbours.
+                for w in path.windows(2) {
+                    assert_eq!(p.hops(w[0], w[1]), 1);
+                }
+            }
+        }
+    }
+}

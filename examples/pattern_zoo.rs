@@ -1,0 +1,50 @@
+//! Pattern zoo: the paper's closing hope — that its analysis carries over
+//! to "more complex many-to-many communication patterns" — made runnable.
+//!
+//! For each pattern the generalized Equation-2 bottleneck (computed
+//! numerically from minimal hop counts) is compared with the simulated
+//! completion time.
+//!
+//! ```text
+//! cargo run --release --example pattern_zoo [shape] [m_bytes]
+//! ```
+
+use bgl_alltoall::core::{run_pattern, Pattern};
+use bgl_alltoall::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shape = args.first().map(String::as_str).unwrap_or("4x4x4");
+    let m: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(480);
+    let part: Partition = shape.parse().expect("valid shape");
+    let params = MachineParams::bgl();
+    let p = part.num_nodes();
+
+    let patterns: Vec<(String, Pattern)> = vec![
+        ("all-to-all".into(), Pattern::AllToAll),
+        ("shift(+1)".into(), Pattern::Shift { offset: 1 }),
+        (format!("shift(+{})", p / 2), Pattern::Shift { offset: p / 2 }),
+        (format!("transpose({}x{})", p / 4, 4), Pattern::Transpose { rows: p / 4 }),
+        ("random(deg 8)".into(), Pattern::RandomPairs { degree: 8 }),
+        ("plane-a2a(Z)".into(), Pattern::PlaneAllToAll { fixed: Dim::Z }),
+    ];
+
+    println!("many-to-many patterns on {part}, {m} B per pair\n");
+    println!(
+        "{:>18} {:>8} {:>12} {:>12} {:>9}",
+        "pattern", "pairs", "cycles", "peak (cyc)", "% peak"
+    );
+    for (name, pattern) in patterns {
+        match run_pattern(part, &pattern, m, &params, SimConfig::new(part), 7) {
+            Ok(r) => println!(
+                "{:>18} {:>8} {:>12} {:>12.0} {:>8.1}%",
+                name, r.pairs, r.cycles, r.peak_cycles, r.percent_of_peak
+            ),
+            Err(e) => println!("{name:>18}  ERROR {e}"),
+        }
+    }
+    println!("\nPermutations (shift/transpose) have far lower aggregate load than the");
+    println!("all-to-all, but skewed patterns concentrate on fewer links, so their");
+    println!("percent-of-(their-own)-peak is lower — exactly the contention story the");
+    println!("paper tells for the all-to-all, replayed on sparser traffic.");
+}
