@@ -1,19 +1,25 @@
 //! Ablation benches: how the design choices DESIGN.md calls out move the
 //! bottom line (time to drain a fixed asymmetric all-to-all).
 
-use bgl_core::{run_aa, AaWorkload, CreditConfig, StrategyKind};
-use bgl_model::MachineParams;
+use bgl_core::{AaRun, AaWorkload, CreditConfig, StrategyKind};
 use bgl_sim::SimConfig;
 use bgl_torus::Partition;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn aa_with(shape: &str, strategy: &StrategyKind, m: u64, tweak: impl Fn(&mut SimConfig)) -> u64 {
+fn aa_with(
+    shape: &str,
+    strategy: &StrategyKind,
+    m: u64,
+    tweak: impl FnOnce(&mut SimConfig) + 'static,
+) -> u64 {
     let part: Partition = shape.parse().unwrap();
-    let w = AaWorkload::full(m);
-    let mut cfg = SimConfig::new(part);
-    tweak(&mut cfg);
-    run_aa(part, &w, strategy, &MachineParams::bgl(), cfg).expect("simulation completes").cycles
+    AaRun::builder(part, AaWorkload::full(m))
+        .strategy(strategy.clone())
+        .sim(tweak)
+        .run()
+        .expect("simulation completes")
+        .cycles
 }
 
 /// VC FIFO depth sweep under asymmetric load.
@@ -23,7 +29,7 @@ fn bench_vc_depth(c: &mut Criterion) {
     for depth in [16u32, 64, 256] {
         g.bench_function(format!("vc{depth}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, move |c| {
                     c.router.vc_fifo_chunks = depth
                 }))
             })
@@ -39,7 +45,7 @@ fn bench_bias(c: &mut Criterion) {
     for (name, bias) in [("on", Some(true)), ("off", Some(false))] {
         g.bench_function(format!("bias_{name}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
+                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, move |c| {
                     c.router.longest_first_bias = bias
                 }))
             })

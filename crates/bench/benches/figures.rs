@@ -1,17 +1,17 @@
 //! One Criterion group per paper *figure*, benchmarking its reduced-scale
 //! simulation kernel (Figure 5 is pure model evaluation).
 
-use bgl_core::{run_aa, AaWorkload, StrategyKind};
+use bgl_core::{AaRun, AaWorkload, StrategyKind};
 use bgl_model::{direct, vmesh as vmesh_model, MachineParams};
-use bgl_sim::SimConfig;
 use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn aa(shape: &str, strategy: &StrategyKind, m: u64) -> f64 {
     let part: Partition = shape.parse().unwrap();
-    let w = AaWorkload::full(m);
-    run_aa(part, &w, strategy, &MachineParams::bgl(), SimConfig::new(part))
+    AaRun::builder(part, AaWorkload::full(m))
+        .strategy(strategy.clone())
+        .run()
         .expect("simulation completes")
         .percent_of_peak
 }

@@ -3,16 +3,16 @@
 //! is `cargo run --release -p bgl-harness --bin repro -- all --scale paper`;
 //! these benches keep each iteration in the tens of milliseconds.)
 
-use bgl_core::{run_aa, AaWorkload, StrategyKind};
-use bgl_model::MachineParams;
-use bgl_sim::SimConfig;
+use bgl_core::{AaRun, AaWorkload, StrategyKind};
 use bgl_torus::Partition;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn aa(shape: &str, strategy: &StrategyKind, m: u64, cov: f64) -> f64 {
     let part: Partition = shape.parse().unwrap();
     let w = if cov >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, cov) };
-    run_aa(part, &w, strategy, &MachineParams::bgl(), SimConfig::new(part))
+    AaRun::builder(part, w)
+        .strategy(strategy.clone())
+        .run()
         .expect("simulation completes")
         .percent_of_peak
 }

@@ -17,22 +17,33 @@
 //!
 //! # Quickstart
 //!
+//! Runs are constructed through the [`AaRun`] builder — partition and
+//! workload up front, everything else (strategy, machine parameters,
+//! simulator tweaks) optional:
+//!
 //! ```
-//! use bgl_core::{run_aa, AaWorkload, StrategyKind};
-//! use bgl_model::MachineParams;
-//! use bgl_sim::SimConfig;
+//! use bgl_core::{AaRun, AaWorkload, StrategyKind};
 //!
 //! let part = "4x4x4".parse().unwrap();
-//! let workload = AaWorkload::full(1872); // ~8 full packets per destination
-//! let report = run_aa(
-//!     part,
-//!     &workload,
-//!     &StrategyKind::AdaptiveRandomized,
-//!     &MachineParams::bgl(),
-//!     SimConfig::new(part),
-//! )
-//! .unwrap();
+//! let report = AaRun::builder(part, AaWorkload::full(1872)) // ~8 full packets/destination
+//!     .strategy(StrategyKind::AdaptiveRandomized)
+//!     .run()
+//!     .unwrap();
 //! assert!(report.percent_of_peak > 70.0);
+//! ```
+//!
+//! Simulator ablations chain a config tweak:
+//!
+//! ```
+//! use bgl_core::{AaRun, AaWorkload, StrategyKind};
+//!
+//! let part = "4x4".parse().unwrap();
+//! let report = AaRun::builder(part, AaWorkload::full(240))
+//!     .strategy(StrategyKind::DeterministicRouted)
+//!     .sim(|cfg| cfg.router.vc_fifo_chunks = 64)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.cycles > 0);
 //! ```
 
 pub mod direct;
@@ -49,7 +60,9 @@ pub use direct::{DirectConfig, DirectProgram};
 pub use fit::{fit_ptp_params, FittedModel};
 pub use patterns::{run_pattern, Pattern, PatternReport};
 pub use select::{auto_select, combining_crossover_bytes};
-pub use strategy::{peak_cycles_for, peak_injection_rate, run_aa, AaReport, StrategyKind};
+pub use strategy::{
+    peak_cycles_for, peak_injection_rate, run_aa, AaReport, AaRun, AaRunBuilder, StrategyKind,
+};
 pub use tps::{choose_linear_dim, tps_inj_class_masks, CreditConfig, TpsConfig, TpsProgram};
 pub use vmesh::{VmeshConfig, VmeshProgram};
 pub use xyz::{xyz_inj_class_masks, XyzProgram};

@@ -64,7 +64,7 @@ impl Pattern {
                 }
             }
             Pattern::Transpose { rows } => {
-                assert!(p % rows == 0, "rows must divide node count");
+                assert!(p.is_multiple_of(*rows), "rows must divide node count");
                 let cols = p / rows;
                 let (i, j) = (rank / cols, rank % cols);
                 let d = j * rows + i;

@@ -10,7 +10,11 @@ use bgl_sim::{Engine, NetStats, NodeProgram, SimConfig, SimError};
 use bgl_torus::{AaLoadAnalysis, Dim, Partition, VmeshLayout};
 
 /// The all-to-all strategies of the paper (plus automatic selection).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are implemented manually (the throttling factor is hashed
+/// by bit pattern) so a strategy can key caches and deduplicated run sets;
+/// a NaN factor is not meaningful and must not be constructed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum StrategyKind {
     /// Production-MPI-like randomized direct baseline.
     MpiBaseline,
@@ -44,6 +48,29 @@ pub enum StrategyKind {
     Auto,
 }
 
+impl Eq for StrategyKind {}
+
+impl std::hash::Hash for StrategyKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            StrategyKind::MpiBaseline
+            | StrategyKind::AdaptiveRandomized
+            | StrategyKind::DeterministicRouted
+            | StrategyKind::XyzRouting
+            | StrategyKind::Auto => {}
+            // `+ 0.0` collapses -0.0 onto 0.0 so Hash stays consistent
+            // with the derived PartialEq.
+            StrategyKind::ThrottledAdaptive { factor } => (factor + 0.0).to_bits().hash(state),
+            StrategyKind::TwoPhaseSchedule { linear, credit } => {
+                linear.hash(state);
+                credit.hash(state);
+            }
+            StrategyKind::VirtualMesh { layout } => layout.hash(state),
+        }
+    }
+}
+
 impl StrategyKind {
     /// Canonical short name for reports.
     pub fn name(&self) -> &'static str {
@@ -70,7 +97,7 @@ impl StrategyKind {
 }
 
 /// Result of one all-to-all run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AaReport {
     /// The partition.
     pub partition: Partition,
@@ -92,18 +119,144 @@ pub struct AaReport {
     pub stats: NetStats,
 }
 
+/// A fully specified all-to-all run; build one with [`AaRun::builder`].
+///
+/// The builder is the one typed entry point through which strategy code,
+/// experiments and binaries construct runs:
+///
+/// ```
+/// use bgl_core::{AaRun, AaWorkload, StrategyKind};
+///
+/// let part = "4x4".parse().unwrap();
+/// let report = AaRun::builder(part, AaWorkload::full(240))
+///     .strategy(StrategyKind::AdaptiveRandomized)
+///     .sim(|cfg| cfg.router.vc_fifo_chunks = 64)
+///     .run()
+///     .unwrap();
+/// assert!(report.cycles > 0);
+/// ```
+pub struct AaRun {
+    part: Partition,
+    workload: AaWorkload,
+    strategy: StrategyKind,
+    params: MachineParams,
+    config: SimConfig,
+}
+
+/// A queued simulator-configuration tweak; see [`AaRunBuilder::sim`].
+type ConfigTweak = Box<dyn FnOnce(&mut SimConfig)>;
+
+/// Builder for [`AaRun`]; see [`AaRun::builder`].
+pub struct AaRunBuilder {
+    part: Partition,
+    workload: AaWorkload,
+    strategy: StrategyKind,
+    params: Option<MachineParams>,
+    config: Option<SimConfig>,
+    tweaks: Vec<ConfigTweak>,
+}
+
+impl AaRun {
+    /// Start building a run of `workload` on `part`. Defaults: strategy
+    /// [`StrategyKind::Auto`], BG/L machine parameters, the default
+    /// simulator configuration for `part`.
+    pub fn builder(part: Partition, workload: AaWorkload) -> AaRunBuilder {
+        AaRunBuilder {
+            part,
+            workload,
+            strategy: StrategyKind::Auto,
+            params: None,
+            config: None,
+            tweaks: Vec::new(),
+        }
+    }
+
+    /// Execute the run.
+    pub fn run(self) -> Result<AaReport, SimError> {
+        execute(self.part, &self.workload, &self.strategy, &self.params, Some(self.config))
+    }
+}
+
+impl AaRunBuilder {
+    /// Set the strategy (default [`StrategyKind::Auto`]).
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the machine parameters (default [`MachineParams::bgl`]).
+    pub fn params(mut self, params: MachineParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Replace the base simulator configuration wholesale (default
+    /// `SimConfig::new(part)`). Tweaks queued via [`Self::sim`] are still
+    /// applied on top.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Queue a simulator-configuration tweak (FIFO depths, CPU model,
+    /// ablation switches). Tweaks run in the order added, after the base
+    /// configuration is in place.
+    pub fn sim(mut self, tweak: impl FnOnce(&mut SimConfig) + 'static) -> Self {
+        self.tweaks.push(Box::new(tweak));
+        self
+    }
+
+    /// Set the workload seed (destination-order randomization).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.workload.seed = seed;
+        self
+    }
+
+    /// Finalize into an [`AaRun`].
+    pub fn build(self) -> AaRun {
+        let mut config = self.config.unwrap_or_else(|| SimConfig::new(self.part));
+        for tweak in self.tweaks {
+            tweak(&mut config);
+        }
+        AaRun {
+            part: self.part,
+            workload: self.workload,
+            strategy: self.strategy,
+            params: self.params.unwrap_or_else(MachineParams::bgl),
+            config,
+        }
+    }
+
+    /// Finalize and execute in one step.
+    pub fn run(self) -> Result<AaReport, SimError> {
+        self.build().run()
+    }
+}
+
 /// Run an all-to-all of `workload` on `part` with `strategy`.
 ///
 /// `base` lets callers tweak the simulator (FIFO depths, CPU model,
 /// ablations); pass `SimConfig::new(part)` for the defaults. Strategy
 /// requirements (TPS injection-FIFO reservation) are applied on top.
+/// Equivalent to the [`AaRun::builder`] chain with an explicit config.
 pub fn run_aa(
     part: Partition,
     workload: &AaWorkload,
     strategy: &StrategyKind,
     params: &MachineParams,
-    mut base: SimConfig,
+    base: SimConfig,
 ) -> Result<AaReport, SimError> {
+    execute(part, workload, strategy, params, Some(base))
+}
+
+fn execute(
+    part: Partition,
+    workload: &AaWorkload,
+    strategy: &StrategyKind,
+    params: &MachineParams,
+    config: Option<SimConfig>,
+) -> Result<AaReport, SimError> {
+    let mut base = config.unwrap_or_else(|| SimConfig::new(part));
     let strategy = strategy.resolve(&part, workload.m_bytes);
     let p = part.num_nodes();
     assert!(p >= 2, "all-to-all needs at least two nodes");
@@ -313,6 +466,73 @@ mod tests {
         let ph = peak_cycles_for(&part, &half, &params());
         // 63 destinations at full coverage, round(31.5) = 32 at half.
         assert!((pf / ph - 63.0 / 32.0).abs() < 0.01, "{pf} {ph}");
+    }
+
+    #[test]
+    fn builder_matches_run_aa() {
+        let part: Partition = "4x4".parse().unwrap();
+        let w = AaWorkload::full(240);
+        let s = StrategyKind::AdaptiveRandomized;
+        let direct = run_aa(part, &w, &s, &params(), SimConfig::new(part)).unwrap();
+        let built = AaRun::builder(part, w)
+            .strategy(s)
+            .params(params())
+            .run()
+            .unwrap();
+        assert_eq!(direct.cycles, built.cycles);
+        assert_eq!(direct.stats, built.stats);
+    }
+
+    #[test]
+    fn builder_sim_tweaks_apply_in_order() {
+        let part: Partition = "4x4".parse().unwrap();
+        // Two queued tweaks of the same knob: the later one wins, so the
+        // run must be cycle-identical to setting only the final value.
+        let chained = AaRun::builder(part, AaWorkload::full(240))
+            .strategy(StrategyKind::AdaptiveRandomized)
+            .sim(|c| c.router.vc_fifo_chunks = 256)
+            .sim(|c| c.router.vc_fifo_chunks = 8)
+            .run()
+            .unwrap();
+        let last_only = AaRun::builder(part, AaWorkload::full(240))
+            .strategy(StrategyKind::AdaptiveRandomized)
+            .sim(|c| c.router.vc_fifo_chunks = 8)
+            .run()
+            .unwrap();
+        assert_eq!(chained.cycles, last_only.cycles);
+        assert_eq!(chained.stats, last_only.stats);
+    }
+
+    #[test]
+    fn strategy_hash_matches_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
+        set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
+        set.insert(StrategyKind::ThrottledAdaptive { factor: 0.5 });
+        set.insert(StrategyKind::TwoPhaseSchedule { linear: None, credit: None });
+        set.insert(StrategyKind::TwoPhaseSchedule { linear: None, credit: None });
+        assert_eq!(set.len(), 3);
+        // -0.0 and 0.0 compare equal and must hash equal.
+        set.clear();
+        set.insert(StrategyKind::ThrottledAdaptive { factor: 0.0 });
+        assert!(set.contains(&StrategyKind::ThrottledAdaptive { factor: -0.0 }));
+    }
+
+    #[test]
+    fn strategy_and_report_round_trip_json() {
+        let s = StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: Some(CreditConfig::default()),
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StrategyKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let r = quick("4x4", 240, StrategyKind::AdaptiveRandomized);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AaReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r.cycles, back.cycles);
+        assert_eq!(r.stats, back.stats);
     }
 
     #[test]

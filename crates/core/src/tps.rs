@@ -31,7 +31,7 @@ const KIND_CREDIT: u8 = 3;
 /// `window_packets` unacknowledged phase-1 packets outstanding per
 /// intermediate; intermediates return one small credit packet per
 /// `credit_every` packets received from a source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct CreditConfig {
     /// Max unacknowledged phase-1 packets per (source, intermediate) pair.
     pub window_packets: u32,
@@ -48,7 +48,7 @@ impl Default for CreditConfig {
 }
 
 /// TPS tuning.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TpsConfig {
     /// Linear (phase-1) dimension; `None` picks automatically via
     /// [`choose_linear_dim`].
@@ -57,11 +57,6 @@ pub struct TpsConfig {
     pub credit: Option<CreditConfig>,
 }
 
-impl Default for TpsConfig {
-    fn default() -> Self {
-        TpsConfig { linear: None, credit: None }
-    }
-}
 
 /// The paper's linear-dimension choice: prefer the dimension whose removal
 /// leaves a *symmetric* plane (the odd-one-out size); otherwise the longest
@@ -242,7 +237,7 @@ impl NodeProgram for TpsProgram {
                     let src = pkt.meta.b;
                     let c = self.recv_counts.entry(src).or_insert(0);
                     *c += 1;
-                    if *c % cr.credit_every == 0 {
+                    if (*c).is_multiple_of(cr.credit_every) {
                         api.send(SendSpec {
                             dst_rank: src,
                             chunks: 1,

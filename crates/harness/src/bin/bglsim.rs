@@ -1,12 +1,17 @@
 //! `bglsim` — sweep driver for exploratory use.
 //!
 //! ```text
-//! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--csv]
+//! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--jobs N] [--csv|--json]
 //! bglsim fit   --shape 8x8x8
 //! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
 //! ```
+//!
+//! Sweep points run across `--jobs` worker threads (default: all
+//! cores); results are identical for any thread count. `--json` emits
+//! the full [`AaReport`](bgl_core::AaReport) per point.
 
 use bgl_core::*;
+use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_model::MachineParams;
 use bgl_sim::SimConfig;
 use bgl_torus::{Dim, Partition, VmeshLayout};
@@ -52,7 +57,6 @@ fn strategy_by_name(name: &str) -> StrategyKind {
 fn cmd_sweep(flags: &HashMap<String, String>) {
     let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
     let part: Partition = shape.parse().expect("valid shape");
-    let params = MachineParams::bgl();
     let strategies: Vec<StrategyKind> = flags
         .get("strategies")
         .map(String::as_str)
@@ -69,38 +73,50 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
         .collect();
     let coverage: f64 = flags.get("coverage").and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let csv = flags.contains_key("csv");
+    let json = flags.contains_key("json");
+    let mut runner = Runner::new(Scale::Paper);
+    if let Some(n) = flags.get("jobs") {
+        runner = runner.with_jobs(n.parse().expect("--jobs needs a positive integer"));
+    }
+    let points: Vec<RunPoint> = sizes
+        .iter()
+        .flat_map(|&m| {
+            strategies.iter().map(move |s| RunPoint::new(part, s.clone(), m, coverage))
+        })
+        .collect();
+    runner.run_points(&points);
+    if json {
+        let reports: Vec<AaReport> =
+            points.iter().filter_map(|p| runner.report(p).ok()).collect();
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        return;
+    }
     if csv {
         println!("shape,strategy,m_bytes,coverage,cycles,ms,percent_of_peak");
     } else {
         println!("sweep on {part} (coverage {coverage}):");
     }
-    for &m in &sizes {
-        for strategy in &strategies {
-            let w = if coverage >= 1.0 {
-                AaWorkload::full(m)
-            } else {
-                AaWorkload::sampled(m, coverage)
-            };
-            match run_aa(part, &w, strategy, &params, SimConfig::new(part)) {
-                Ok(r) => {
-                    let ms = r.time_secs * 1e3 / r.workload.coverage;
-                    if csv {
-                        println!(
-                            "{shape},{},{m},{coverage},{},{ms:.4},{:.2}",
-                            r.strategy.name(),
-                            r.cycles,
-                            r.percent_of_peak
-                        );
-                    } else {
-                        println!(
-                            "  m={m:<7} {:12} {:7.1}% of peak  {ms:9.4} ms",
-                            r.strategy.name(),
-                            r.percent_of_peak
-                        );
-                    }
+    for point in &points {
+        let m = point.key.m;
+        match runner.report(point) {
+            Ok(r) => {
+                let ms = r.time_secs * 1e3 / r.workload.coverage;
+                if csv {
+                    println!(
+                        "{shape},{},{m},{coverage},{},{ms:.4},{:.2}",
+                        r.strategy.name(),
+                        r.cycles,
+                        r.percent_of_peak
+                    );
+                } else {
+                    println!(
+                        "  m={m:<7} {:12} {:7.1}% of peak  {ms:9.4} ms",
+                        r.strategy.name(),
+                        r.percent_of_peak
+                    );
                 }
-                Err(e) => println!("  m={m:<7} {:12} ERROR {e}", strategy.name()),
             }
+            Err(e) => println!("  m={m:<7} {:12} ERROR {e}", point.key.strategy.name()),
         }
     }
 }
@@ -163,7 +179,7 @@ fn main() {
         "pattern" => cmd_pattern(&flags),
         _ => {
             eprintln!("usage: bglsim sweep|fit|pattern [--flags]");
-            eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--csv]");
+            eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
             eprintln!("  fit     --shape 8x8x8");
             eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
             std::process::exit(2);

@@ -1,48 +1,77 @@
-//! Scratch calibration binary kept as a handy one-off runner for a single
-//! (shape, strategy, m, coverage) point.
+//! Scratch calibration binary kept as a handy one-off runner for a
+//! single (shape, strategies, m, coverage) point set.
 //!
 //! ```text
-//! calib <shape> <AR|DR|TPS|VM|THR|MPI> <m_bytes> <coverage>
+//! calib <shape> <AR|DR|TPS|VM|THR|MPI>[,<...>] <m_bytes> <coverage> [--jobs N] [--json]
 //! ```
+//!
+//! Several strategies (comma-separated) run concurrently across
+//! `--jobs` worker threads; results are identical for any thread
+//! count. `--json` emits the full [`AaReport`](bgl_core::AaReport)
+//! per strategy.
 
 use bgl_core::*;
-use bgl_model::MachineParams;
-use bgl_sim::SimConfig;
+use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_torus::{Partition, ALL_DIMS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let shape = args.first().cloned().unwrap_or_else(|| "8x8x8".into());
-    let strat = args.get(1).cloned().unwrap_or_else(|| "AR".into());
-    let m: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(912);
-    let cov: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let shape = positional.first().map(|s| s.as_str()).unwrap_or("8x8x8").to_string();
+    let strats = positional.get(1).map(|s| s.as_str()).unwrap_or("AR").to_string();
+    let m: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(912);
+    let cov: f64 = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--jobs needs a positive integer"));
     let part: Partition = shape.parse().expect("valid shape");
-    let w = if cov >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, cov) };
-    let strategy = match strat.as_str() {
-        "AR" => StrategyKind::AdaptiveRandomized,
-        "DR" => StrategyKind::DeterministicRouted,
-        "TPS" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
-        "VM" => StrategyKind::VirtualMesh { layout: bgl_torus::VmeshLayout::Auto },
-        "THR" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-        "MPI" => StrategyKind::MpiBaseline,
-        other => panic!("unknown strategy {other}"),
-    };
+    let strategies: Vec<StrategyKind> = strats
+        .split(',')
+        .map(|s| match s.trim() {
+            "AR" => StrategyKind::AdaptiveRandomized,
+            "DR" => StrategyKind::DeterministicRouted,
+            "TPS" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
+            "VM" => StrategyKind::VirtualMesh { layout: bgl_torus::VmeshLayout::Auto },
+            "THR" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
+            "MPI" => StrategyKind::MpiBaseline,
+            other => panic!("unknown strategy {other}"),
+        })
+        .collect();
+    let mut runner = Runner::new(Scale::Paper);
+    if let Some(n) = jobs {
+        runner = runner.with_jobs(n);
+    }
+    let points: Vec<RunPoint> =
+        strategies.iter().map(|s| RunPoint::new(part, s.clone(), m, cov)).collect();
     let t0 = std::time::Instant::now();
-    match run_aa(part, &w, &strategy, &MachineParams::bgl(), SimConfig::new(part)) {
-        Ok(r) => {
-            let utils: Vec<String> = ALL_DIMS
-                .iter()
-                .map(|&d| format!("{}={:.2}", d, r.stats.dim_utilization(&part, d)))
-                .collect();
-            println!(
-                "{shape} {} m={m} cov={cov}: {:.1}% of peak, {} cycles, {} [{:.1?}]",
-                r.strategy.name(),
-                r.percent_of_peak,
-                r.cycles,
-                utils.join(" "),
-                t0.elapsed()
-            );
+    runner.run_points(&points);
+    let elapsed = t0.elapsed();
+    if json {
+        let reports: Vec<AaReport> =
+            points.iter().filter_map(|p| runner.report(p).ok()).collect();
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        return;
+    }
+    for point in &points {
+        match runner.report(point) {
+            Ok(r) => {
+                let utils: Vec<String> = ALL_DIMS
+                    .iter()
+                    .map(|&d| format!("{}={:.2}", d, r.stats.dim_utilization(&part, d)))
+                    .collect();
+                println!(
+                    "{shape} {} m={m} cov={cov}: {:.1}% of peak, {} cycles, {} [{:.1?}]",
+                    r.strategy.name(),
+                    r.percent_of_peak,
+                    r.cycles,
+                    utils.join(" "),
+                    elapsed
+                );
+            }
+            Err(e) => println!("{shape} {}: ERROR {e}", point.key.strategy.name()),
         }
-        Err(e) => println!("{shape} {strat}: ERROR {e}"),
     }
 }

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! repro list
-//! repro <id>... [--scale quick|paper] [--out DIR]
-//! repro all     [--scale quick|paper] [--out DIR]
+//! repro <id>... [--scale quick|paper] [--jobs N] [--json] [--out DIR]
+//! repro all     [--scale quick|paper] [--jobs N] [--json] [--out DIR]
 //! ```
 //!
-//! Results are printed and, when `--out` is given, written as `<id>.txt`
-//! and `<id>.csv` plus a combined `results.json`.
+//! All experiments' simulation points are executed as one deduplicated
+//! batch across `--jobs` worker threads (default: all cores); results
+//! are identical for any thread count. `--json` replaces the text
+//! tables on stdout with a machine-readable JSON array. With `--out`,
+//! each report is written as `<id>.txt` and `<id>.csv` plus a combined
+//! `results.json`.
 
 use bgl_harness::{experiments, run_suite, Runner, Scale};
 use std::path::PathBuf;
@@ -15,12 +19,14 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
-        eprintln!("usage: repro <id>...|all|list [--scale quick|paper] [--out DIR]");
+        eprintln!("usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR]");
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         std::process::exit(2);
     }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Paper;
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
     let mut out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -36,6 +42,17 @@ fn main() {
                     }
                 };
             }
+            "--jobs" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => json = true,
             "--out" => out = Some(PathBuf::from(it.next().unwrap_or_default())),
             "list" => {
                 for id in experiments::ALL_IDS {
@@ -47,16 +64,25 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    let runner = Runner::new(scale);
+    let mut runner = Runner::new(scale);
+    if let Some(n) = jobs {
+        runner = runner.with_jobs(n);
+    }
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    let mut reports = Vec::new();
-    for id in &id_refs {
-        let t0 = std::time::Instant::now();
-        let batch = run_suite(&runner, &[id]);
-        for rep in batch {
-            println!("{}", rep.to_text());
-            println!("  [{} finished in {:.1?}]\n", rep.id, t0.elapsed());
-            reports.push(rep);
+    let t0 = std::time::Instant::now();
+    let reports = run_suite(&runner, &id_refs);
+    eprintln!(
+        "[{} experiments, {} simulation runs, {} jobs, {:.1?}]",
+        reports.len(),
+        runner.cached_runs(),
+        runner.jobs(),
+        t0.elapsed()
+    );
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+    } else {
+        for rep in &reports {
+            println!("{}\n", rep.to_text());
         }
     }
     if let Some(dir) = out {

@@ -73,14 +73,22 @@ impl ExperimentReport {
         out
     }
 
-    /// Render as CSV (quoting-free cells assumed; commas are replaced).
+    /// Render as CSV with RFC 4180 quoting: cells containing commas,
+    /// quotes, or line breaks are wrapped in double quotes with inner
+    /// quotes doubled, so no cell content is ever altered.
     pub fn to_csv(&self) -> String {
-        let clean = |s: &str| s.replace(',', ";");
+        let quote = |s: &str| -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+        out.push_str(&self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -122,9 +130,26 @@ mod tests {
     }
 
     #[test]
-    fn commas_sanitized_in_csv() {
-        let mut r = ExperimentReport::new("t", "s", &["a"]);
-        r.push_row(vec!["x,y".into()]);
-        assert!(r.to_csv().contains("x;y"));
+    fn csv_quotes_commas_per_rfc4180() {
+        let mut r = ExperimentReport::new("t", "s", &["a", "b"]);
+        r.push_row(vec!["x,y".into(), "plain".into()]);
+        let lines: Vec<String> = r.to_csv().lines().map(String::from).collect();
+        assert_eq!(lines[1], "\"x,y\",plain");
+    }
+
+    #[test]
+    fn csv_doubles_inner_quotes_and_wraps_newlines() {
+        let mut r = ExperimentReport::new("t", "s", &["a", "b"]);
+        r.push_row(vec!["say \"hi\"".into(), "two\nlines".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"say \"\"hi\"\"\""), "{csv}");
+        assert!(csv.contains("\"two\nlines\""), "{csv}");
+    }
+
+    #[test]
+    fn csv_leaves_clean_cells_unquoted() {
+        let mut r = ExperimentReport::new("t", "s", &["m (B)"]);
+        r.push_row(vec!["8x8x8".into()]);
+        assert_eq!(r.to_csv(), "m (B)\n8x8x8\n");
     }
 }

@@ -15,9 +15,11 @@
 
 use crate::experiment::ExperimentReport;
 use crate::experiments::pct;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::{CreditConfig, StrategyKind};
 use bgl_sim::SimConfig;
+use bgl_torus::Partition;
+use std::sync::Arc;
 
 /// The asymmetric testbed partition per scale.
 pub fn shape(scale: Scale) -> &'static str {
@@ -27,8 +29,116 @@ pub fn shape(scale: Scale) -> &'static str {
     }
 }
 
+/// A shareable config tweak (the same closure backs the declared
+/// [`RunPoint`] and the sequential fetch in [`run`]).
+type Tweak = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
+
+fn tweak(f: impl Fn(&mut SimConfig) + Send + Sync + 'static) -> Tweak {
+    Arc::new(f)
+}
+
+/// One ablation case: variant label, row label, strategy, config tweak.
+struct Case {
+    variant: &'static str,
+    row: &'static str,
+    strategy: StrategyKind,
+    tweak: Tweak,
+}
+
+impl Case {
+    fn new(label: &'static str, strategy: StrategyKind, tweak: Tweak) -> Case {
+        Case { variant: label, row: label, strategy, tweak }
+    }
+}
+
+/// The budgeted sweep on the scale-dependent asymmetric testbed.
+fn budget_cases() -> Vec<Case> {
+    let ar = StrategyKind::AdaptiveRandomized;
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps_credit = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: Some(CreditConfig::default()),
+    };
+    vec![
+        Case::new("baseline", ar.clone(), tweak(|_| {})),
+        Case::new("no-bubble-rule (slack=0)", ar.clone(), tweak(|c| {
+            c.router.bubble_slack_chunks = 0
+        })),
+        Case::new("no-escape-vc", ar.clone(), tweak(|c| {
+            c.router.adaptive_bubble_escape = false
+        })),
+        Case::new("vc-fifo-8-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 8)),
+        Case::new("vc-fifo-16-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 16)),
+        Case::new("vc-fifo-256-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 256)),
+        Case::new("longest-first-shaping", ar.clone(), tweak(|c| {
+            c.router.longest_first_bias = Some(true)
+        })),
+        Case::new("injection-priority", ar, tweak(|c| c.router.transit_priority = false)),
+        Case::new("tps-baseline", tps.clone(), tweak(|_| {})),
+        Case::new("tps-shared-inj-fifos", tps, tweak(|c| {
+            c.inj_class_masks = vec![u8::MAX; 6]
+        })),
+        Case::new("tps-credit-flow-control", tps_credit, tweak(|_| {})),
+        // The HPCC-Randomaccess-style three-phase scheme the paper argues
+        // TPS beats ("gains from lower overheads as it has only one
+        // forwarding phase"): two software forwarding hops instead of one.
+        Case::new("xyz-three-phase", StrategyKind::XyzRouting, tweak(|_| {})),
+    ]
+}
+
+/// The pinned high-pressure cases: full (unsampled) exchanges on 8x4x4
+/// at any scale. The congestion collapse of classical adaptivity, its
+/// longest-first mitigation, and the textbook deadlock (no bubble slack,
+/// tight VC FIFOs) all need the full pressure to show at small scale.
+fn pinned_cases() -> Vec<Case> {
+    let ar = StrategyKind::AdaptiveRandomized;
+    let mut cases: Vec<Case> = [("pinned-baseline (full AA 8x4x4)", false),
+        ("pinned-shaped (full AA 8x4x4)", true)]
+        .into_iter()
+        .map(|(label, bias)| {
+            Case::new(label, ar.clone(), tweak(move |c| {
+                c.router.longest_first_bias = Some(bias);
+                c.router.vc_fifo_chunks = 32; // BG/L's literal 1 KB VC FIFOs
+            }))
+        })
+        .collect();
+    cases.push(Case {
+        variant: "deadlock-demo",
+        row: "no-bubble-rule, vc=32, full AA on 8x4x4",
+        strategy: ar,
+        tweak: tweak(|c| {
+            c.router.bubble_slack_chunks = 0;
+            c.router.vc_fifo_chunks = 32;
+            c.watchdog_cycles = 100_000;
+        }),
+    });
+    cases
+}
+
+/// The pinned testbed: partition, message size, coverage.
+const PINNED: (&str, u64, f64) = ("8x4x4", 1872, 1.0);
+
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let part: Partition = shape(runner.scale).parse().unwrap();
+    let m = runner.large_m_for(&part);
+    let cov = runner.budget_coverage(&part, m);
+    let pinned_part: Partition = PINNED.0.parse().unwrap();
+    let budget = budget_cases().into_iter().map(move |case| {
+        let t = case.tweak;
+        RunPoint::new(part, case.strategy, m, cov).variant(case.variant, move |c| t(c))
+    });
+    let pinned = pinned_cases().into_iter().map(move |case| {
+        let t = case.tweak;
+        RunPoint::new(pinned_part, case.strategy, PINNED.1, PINNED.2)
+            .variant(case.variant, move |c| t(c))
+    });
+    budget.chain(pinned).collect()
+}
+
 /// Run the ablation suite.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "ablations",
         "Design-choice ablations on an asymmetric torus",
@@ -37,75 +147,20 @@ pub fn run(runner: &Runner) -> ExperimentReport {
     let shape = shape(runner.scale);
     let m = runner.large_m_for(&shape.parse().unwrap());
     let cov = runner.budget_coverage(&shape.parse().unwrap(), m);
-    let ar = StrategyKind::AdaptiveRandomized;
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
-    let tps_credit = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: Some(CreditConfig::default()),
-    };
-
-    let mut case = |label: &str, strategy: &StrategyKind, tweak: &dyn Fn(&mut SimConfig)| {
-        let cell = match runner.aa_variant(shape, strategy, m, cov, label, tweak) {
+    let mut case = |case: &Case, shape: &str, m: u64, cov: f64| {
+        let t = &case.tweak;
+        let cell = match runner.aa_variant(shape, &case.strategy, m, cov, case.variant, |c| t(c)) {
             Ok(r) => pct(r.percent_of_peak),
             Err(e) => format!("{e}"),
         };
-        rep.push_row(vec![label.to_string(), strategy.name().to_string(), cell]);
+        rep.push_row(vec![case.row.to_string(), case.strategy.name().to_string(), cell]);
     };
-
-    case("baseline", &ar, &|_| {});
-    case("no-bubble-rule (slack=0)", &ar, &|c| c.router.bubble_slack_chunks = 0);
-    case("no-escape-vc", &ar, &|c| c.router.adaptive_bubble_escape = false);
-    case("vc-fifo-8-chunks", &ar, &|c| c.router.vc_fifo_chunks = 8);
-    case("vc-fifo-16-chunks", &ar, &|c| c.router.vc_fifo_chunks = 16);
-    case("vc-fifo-256-chunks", &ar, &|c| c.router.vc_fifo_chunks = 256);
-    case("longest-first-shaping", &ar, &|c| c.router.longest_first_bias = Some(true));
-    case("injection-priority", &ar, &|c| c.router.transit_priority = false);
-    case("tps-baseline", &tps, &|_| {});
-    case("tps-shared-inj-fifos", &tps, &|c| c.inj_class_masks = vec![u8::MAX; 6]);
-    case("tps-credit-flow-control", &tps_credit, &|_| {});
-    // The HPCC-Randomaccess-style three-phase scheme the paper argues TPS
-    // beats ("gains from lower overheads as it has only one forwarding
-    // phase"): two software forwarding hops instead of one.
-    case("xyz-three-phase", &StrategyKind::XyzRouting, &|_| {});
-    // Pinned high-pressure pair: the congestion collapse of classical
-    // adaptivity needs a full (unsampled) exchange to show at small scale.
-    for (label, bias) in [
-        ("pinned-baseline (full AA 8x4x4)", false),
-        ("pinned-shaped (full AA 8x4x4)", true),
-    ] {
-        let cell = match runner.aa_variant("8x4x4", &ar, 1872, 1.0, label, |c| {
-            c.router.longest_first_bias = Some(bias);
-            c.router.vc_fifo_chunks = 32; // BG/L's literal 1 KB VC FIFOs
-        }) {
-            Ok(r) => pct(r.percent_of_peak),
-            Err(e) => format!("{e}"),
-        };
-        rep.push_row(vec![label.to_string(), ar.name().to_string(), cell]);
+    for c in &budget_cases() {
+        case(c, shape, m, cov);
     }
-    // The textbook deadlock: classical fully adaptive routing, no bubble
-    // slack, tight (one-packet-deep headroom) VC FIFOs, under a full
-    // unsampled exchange. Run pinned rather than budgeted so the pressure
-    // is high enough to close the cycles at any scale.
-    let deadlock = match runner.aa_variant(
-        "8x4x4",
-        &ar,
-        1872,
-        1.0,
-        "deadlock-demo",
-        |c| {
-            c.router.bubble_slack_chunks = 0;
-            c.router.vc_fifo_chunks = 32;
-            c.watchdog_cycles = 100_000;
-        },
-    ) {
-        Ok(r) => pct(r.percent_of_peak),
-        Err(e) => format!("{e}"),
-    };
-    rep.push_row(vec![
-        "no-bubble-rule, vc=32, full AA on 8x4x4".into(),
-        ar.name().to_string(),
-        deadlock,
-    ]);
+    for c in &pinned_cases() {
+        case(c, PINNED.0, PINNED.1, PINNED.2);
+    }
     rep.note("a Stalled outcome is the expected deadlock when the bubble machinery is disabled");
     rep.note("tps-shared-inj-fifos removes the per-phase reservation that enables phase pipelining");
     rep
@@ -139,5 +194,15 @@ mod tests {
         // TPS with credits still completes at a sane fraction of peak.
         let credit: f64 = get("tps-credit-flow-control").parse().unwrap();
         assert!(credit > 30.0, "{credit}");
+    }
+
+    #[test]
+    fn declared_points_cover_every_row() {
+        let r = Runner::new(Scale::Quick);
+        // One point per case, all distinct keys.
+        let pts = points(&r);
+        assert_eq!(pts.len(), budget_cases().len() + pinned_cases().len());
+        let keys: std::collections::HashSet<_> = pts.iter().map(|p| p.key.clone()).collect();
+        assert_eq!(keys.len(), pts.len());
     }
 }

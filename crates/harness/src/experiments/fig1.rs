@@ -3,7 +3,7 @@
 
 use crate::experiment::ExperimentReport;
 use crate::experiments::{cov, pct};
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
 use bgl_model::{direct, peak, MachineParams};
 use bgl_torus::Partition;
@@ -17,6 +17,14 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
         Scale::Quick => vec![64, 240, 912],
         Scale::Paper => vec![16, 64, 192, 432, 912, 1872, 3792, 7632],
     }
+}
+
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    sizes(runner.scale)
+        .iter()
+        .map(|&m| runner.point(SHAPE, &StrategyKind::AdaptiveRandomized, m))
+        .collect()
 }
 
 /// Shared implementation for Figures 1 and 2.
@@ -64,6 +72,7 @@ pub(crate) fn ar_vs_model(
 
 /// Run Figure 1.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     ar_vs_model("fig1", SHAPE, &sizes(runner.scale), runner)
 }
 

@@ -3,7 +3,8 @@
 
 use crate::experiment::ExperimentReport;
 use crate::experiments::fig1::ar_vs_model;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
+use bgl_core::StrategyKind;
 
 /// The partition this figure sweeps (shrunk for quick scale).
 pub fn shape(scale: Scale) -> &'static str {
@@ -21,8 +22,17 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    sizes(runner.scale)
+        .iter()
+        .map(|&m| runner.point(shape(runner.scale), &StrategyKind::AdaptiveRandomized, m))
+        .collect()
+}
+
 /// Run Figure 2.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ar_vs_model("fig2", shape(runner.scale), &sizes(runner.scale), runner);
     if runner.scale == Scale::Quick {
         rep.note("quick scale substitutes 8x8x4 for the paper's 16x16x16");

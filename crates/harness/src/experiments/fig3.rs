@@ -3,7 +3,7 @@
 //! with large messages.
 
 use crate::experiment::ExperimentReport;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
 use bgl_model::peak;
 use bgl_torus::Partition;
@@ -23,8 +23,24 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
 /// packet with the header).
 pub const ONE_PACKET_M: u64 = 192;
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let ar = StrategyKind::AdaptiveRandomized;
+    shapes(runner.scale)
+        .iter()
+        .flat_map(|shape| {
+            let part: Partition = shape.parse().unwrap();
+            [
+                runner.point(shape, &ar, ONE_PACKET_M),
+                runner.point(shape, &ar, runner.large_m_for(&part)),
+            ]
+        })
+        .collect()
+}
+
 /// Run Figure 3.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "fig3",
         "Per-node throughput: peak vs AR one-packet vs AR large (paper Figure 3)",

@@ -3,8 +3,17 @@
 
 use crate::experiment::ExperimentReport;
 use crate::experiments::pct;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
+
+/// The three direct strategies this figure compares.
+fn strategies() -> [StrategyKind; 3] {
+    [
+        StrategyKind::AdaptiveRandomized,
+        StrategyKind::DeterministicRouted,
+        StrategyKind::ThrottledAdaptive { factor: 1.0 },
+    ]
+}
 
 /// Partitions compared per scale.
 pub fn shapes(scale: Scale) -> Vec<&'static str> {
@@ -16,8 +25,20 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    shapes(runner.scale)
+        .iter()
+        .flat_map(|shape| {
+            let m = runner.large_m_for(&shape.parse().unwrap());
+            strategies().map(|s| runner.point(shape, &s, m))
+        })
+        .collect()
+}
+
 /// Run Figure 4.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "fig4",
         "Direct strategies, % of peak, large messages (paper Figure 4)",

@@ -9,6 +9,11 @@ use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
 /// Message sizes plotted.
 pub const SIZES: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
+/// This figure is pure model evaluation: no simulation points.
+pub fn points(_runner: &Runner) -> Vec<crate::runner::RunPoint> {
+    Vec::new()
+}
+
 /// Run Figure 5.
 pub fn run(_runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(

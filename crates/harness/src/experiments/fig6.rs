@@ -2,7 +2,7 @@
 //! sizes — combining wins below the 32–64-byte crossover.
 
 use crate::experiment::ExperimentReport;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
 use bgl_torus::VmeshLayout;
 
@@ -22,8 +22,20 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let shape = shape(runner.scale);
+    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let ar = StrategyKind::AdaptiveRandomized;
+    sizes(runner.scale)
+        .iter()
+        .flat_map(|&m| [runner.point(shape, &vmesh, m), runner.point(shape, &ar, m)])
+        .collect()
+}
+
 /// Run Figure 6.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "fig6",
         "Short-message AA: VMesh vs AR measured (paper Figure 6)",

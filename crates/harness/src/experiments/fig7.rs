@@ -3,7 +3,7 @@
 //! ~64 bytes, AR trails throughout because of asymmetric contention.
 
 use crate::experiment::ExperimentReport;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 
 use bgl_core::StrategyKind;
 use bgl_torus::VmeshLayout;
@@ -24,27 +24,51 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     }
 }
 
+/// The strategies compared, in column order.
+fn strategies() -> [(&'static str, StrategyKind); 3] {
+    [
+        ("AR", StrategyKind::AdaptiveRandomized),
+        ("TPS", StrategyKind::TwoPhaseSchedule { linear: None, credit: None }),
+        ("VMesh", StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }),
+    ]
+}
+
+/// Whether a (strategy, size) cell is simulated at this scale. The
+/// congestion-collapsed AR runs are the slowest to simulate and the
+/// paper only needs AR's (bad) level: sample it at two sizes at paper
+/// scale.
+fn simulated(name: &str, m: u64, scale: Scale) -> bool {
+    !(name == "AR" && scale == Scale::Paper && !(m == 8 || m == 64))
+}
+
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let shape = shape(runner.scale);
+    sizes(runner.scale)
+        .iter()
+        .flat_map(|&m| {
+            strategies()
+                .into_iter()
+                .filter(move |(name, _)| simulated(name, m, runner.scale))
+                .map(move |(_, s)| runner.point(shape, &s, m))
+        })
+        .collect()
+}
+
 /// Run Figure 7.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "fig7",
         "Short-message AA on asymmetric torus: AR vs TPS vs VMesh (paper Figure 7)",
         &["m (B)", "AR ms", "TPS ms", "VMesh ms", "best"],
     );
     let shape = shape(runner.scale);
-    let strategies = [
-        ("AR", StrategyKind::AdaptiveRandomized),
-        ("TPS", StrategyKind::TwoPhaseSchedule { linear: None, credit: None }),
-        ("VMesh", StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }),
-    ];
     for m in sizes(runner.scale) {
         let mut cells = vec![m.to_string()];
         let mut best = ("-", f64::INFINITY);
-        for (name, s) in &strategies {
-            // The congestion-collapsed AR runs are the slowest to simulate
-            // and the paper only needs AR's (bad) level: sample it at two
-            // sizes at paper scale.
-            if *name == "AR" && runner.scale == Scale::Paper && !(m == 8 || m == 64) {
+        for (name, s) in &strategies() {
+            if !simulated(name, m, runner.scale) {
                 cells.push("-".into());
                 continue;
             }

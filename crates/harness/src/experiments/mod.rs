@@ -15,13 +15,35 @@ pub mod table3;
 pub mod table4;
 
 use crate::experiment::ExperimentReport;
-use crate::runner::Runner;
+use crate::runner::{RunPoint, Runner};
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "table1", "table2", "fig3", "fig4", "table3", "table4", "fig5", "fig6",
     "fig7", "ablations",
 ];
+
+/// The simulation points one experiment needs, by id. Feeding these to
+/// [`Runner::run_points`](crate::runner::Runner::run_points) ahead of
+/// `run_by_id` lets a whole suite's point set execute on the thread
+/// pool at once instead of experiment by experiment.
+pub fn points_by_id(runner: &Runner, id: &str) -> Option<Vec<RunPoint>> {
+    Some(match id {
+        "table1" => table1::points(runner),
+        "table2" => table2::points(runner),
+        "table3" => table3::points(runner),
+        "table4" => table4::points(runner),
+        "fig1" => fig1::points(runner),
+        "fig2" => fig2::points(runner),
+        "fig3" => fig3::points(runner),
+        "fig4" => fig4::points(runner),
+        "fig5" => fig5::points(runner),
+        "fig6" => fig6::points(runner),
+        "fig7" => fig7::points(runner),
+        "ablations" => ablations::points(runner),
+        _ => return None,
+    })
+}
 
 /// Run one experiment by id.
 pub fn run_by_id(runner: &Runner, id: &str) -> Option<ExperimentReport> {

@@ -4,7 +4,7 @@
 use crate::experiment::ExperimentReport;
 use crate::experiments::{cov, pct};
 use crate::paper::TABLE1_AR_SYMMETRIC;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
 
 /// Partitions evaluated at each scale.
@@ -15,8 +15,20 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    shapes(runner.scale)
+        .iter()
+        .map(|shape| {
+            let m = runner.large_m_for(&shape.parse().unwrap());
+            runner.point(shape, &StrategyKind::AdaptiveRandomized, m)
+        })
+        .collect()
+}
+
 /// Run Table 1.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "table1",
         "AR % of peak, symmetric partitions, large messages (paper Table 1)",

@@ -4,7 +4,7 @@
 use crate::experiment::ExperimentReport;
 use crate::experiments::{cov, pct};
 use crate::paper::TABLE3_TPS;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::{choose_linear_dim, StrategyKind};
 use bgl_torus::Partition;
 
@@ -16,8 +16,21 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let strategy = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    shapes(runner.scale)
+        .iter()
+        .map(|shape| {
+            let m = runner.large_m_for(&shape.parse().unwrap());
+            runner.point(shape, &strategy, m)
+        })
+        .collect()
+}
+
 /// Run Table 3.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "table3",
         "Two Phase Schedule % of peak and phase-1 dimension (paper Table 3)",

@@ -6,7 +6,7 @@
 
 use crate::experiment::ExperimentReport;
 use crate::paper::TABLE4_LATENCY_MS;
-use crate::runner::{Runner, Scale};
+use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
 
 /// Partitions evaluated at each scale.
@@ -17,8 +17,19 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
     }
 }
 
+/// Declare every simulation point this experiment needs.
+pub fn points(runner: &Runner) -> Vec<RunPoint> {
+    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let ar = StrategyKind::AdaptiveRandomized;
+    shapes(runner.scale)
+        .iter()
+        .flat_map(|shape| [runner.point(shape, &tps, 1), runner.point(shape, &ar, 1)])
+        .collect()
+}
+
 /// Run Table 4.
 pub fn run(runner: &Runner) -> ExperimentReport {
+    runner.run_points(&points(runner));
     let mut rep = ExperimentReport::new(
         "table4",
         "1-byte all-to-all latency in ms, TPS vs AR (paper Table 4)",

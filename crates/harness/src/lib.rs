@@ -26,7 +26,15 @@ pub use runner::{Runner, Scale};
 
 /// Run a set of experiment ids, in order, sharing one runner/cache.
 /// Invalid ids are skipped with a stderr warning.
+///
+/// Every experiment's declared simulation points are gathered first and
+/// executed as one deduplicated batch on the runner's thread pool, so
+/// points shared across experiments run once and the pool stays full
+/// across experiment boundaries.
 pub fn run_suite(runner: &Runner, ids: &[&str]) -> Vec<ExperimentReport> {
+    let points: Vec<_> =
+        ids.iter().filter_map(|id| experiments::points_by_id(runner, id)).flatten().collect();
+    runner.run_points(&points);
     ids.iter()
         .filter_map(|id| {
             let rep = experiments::run_by_id(runner, id);

@@ -1,18 +1,39 @@
-//! Budgeted, cached simulation runner shared by all experiments.
+//! Budgeted, cached, parallel simulation runner shared by all experiments.
 //!
 //! Several tables and figures evaluate the same (partition, strategy,
 //! message size) points; the runner memoizes completed runs so the full
-//! suite never repeats work. For large partitions it automatically samples
-//! the all-to-all (uniform destination subsets, see
-//! [`bgl_core::AaWorkload::coverage`]) so a run stays within a node-cycle
-//! budget; every report records the coverage used.
+//! suite never repeats work. Runs are identified by a structured
+//! [`RunKey`] (partition, strategy, message size, coverage in parts per
+//! million, variant label) rather than a formatted string, so lookups
+//! allocate nothing and cannot collide on formatting.
+//!
+//! Experiments declare their simulation points up front as [`RunPoint`]s;
+//! [`Runner::run_points`] deduplicates them and executes the remainder
+//! across a scoped thread pool ([`Runner::with_jobs`]). Each run is
+//! independent and fully deterministic given its key, so results are
+//! byte-identical regardless of the number of threads or completion
+//! order.
+//!
+//! For large partitions the runner automatically samples the all-to-all
+//! (uniform destination subsets, see [`bgl_core::AaWorkload::coverage`])
+//! so a run stays within a node-cycle budget; every report records the
+//! coverage used.
 
 use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
 use bgl_sim::{SimConfig, SimError};
 use bgl_torus::Partition;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Coverage is stored in parts per million: f64 never enters the key.
+pub const COVERAGE_PPM_FULL: u32 = 1_000_000;
+
+/// Cache shard count (a power of two; shards cut lock contention when
+/// many worker threads finish runs at once).
+const SHARDS: usize = 16;
 
 /// How hard to push the simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +64,98 @@ impl Scale {
     }
 }
 
-/// The memoizing runner.
+/// Structured identity of one simulation run. Hash/Eq-safe: coverage is
+/// quantized to integer parts per million (the same quantized value is
+/// used to build the workload, so the key exactly describes the run).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// The partition simulated.
+    pub part: Partition,
+    /// The all-to-all strategy.
+    pub strategy: StrategyKind,
+    /// Message size per destination, bytes.
+    pub m: u64,
+    /// Destination coverage in parts per million (1_000_000 = full AA).
+    pub coverage_ppm: u32,
+    /// Configuration-variant label ("" for the default config). Distinct
+    /// config tweaks must carry distinct labels.
+    pub variant: &'static str,
+}
+
+impl RunKey {
+    /// Key for a run at `coverage` with the default config.
+    pub fn new(part: Partition, strategy: StrategyKind, m: u64, coverage: f64) -> RunKey {
+        RunKey { part, strategy, m, coverage_ppm: RunKey::quantize(coverage), variant: "" }
+    }
+
+    /// Quantize a coverage fraction to parts per million.
+    pub fn quantize(coverage: f64) -> u32 {
+        let ppm = (coverage.clamp(0.0, 1.0) * COVERAGE_PPM_FULL as f64).round() as u32;
+        // A budgeted coverage never rounds to zero destinations.
+        ppm.max(1)
+    }
+
+    /// The coverage fraction this key runs at.
+    pub fn coverage(&self) -> f64 {
+        self.coverage_ppm as f64 / COVERAGE_PPM_FULL as f64
+    }
+
+    /// Whether this is a full (unsampled) all-to-all.
+    pub fn is_full(&self) -> bool {
+        self.coverage_ppm >= COVERAGE_PPM_FULL
+    }
+}
+
+/// A shareable simulator-configuration tweak, as carried by a
+/// [`RunPoint`] variant.
+pub type SharedTweak = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
+
+/// A declared simulation point: a [`RunKey`] plus the configuration
+/// tweak the variant label stands for. Cheap to clone (the tweak is
+/// shared), and `Send + Sync` so point sets can fan out across threads.
+#[derive(Clone)]
+pub struct RunPoint {
+    /// The identity of the run.
+    pub key: RunKey,
+    tweak: Option<SharedTweak>,
+}
+
+impl RunPoint {
+    /// A point with the default simulator configuration.
+    pub fn new(part: Partition, strategy: StrategyKind, m: u64, coverage: f64) -> RunPoint {
+        RunPoint { key: RunKey::new(part, strategy, m, coverage), tweak: None }
+    }
+
+    /// Attach a configuration variant. `label` must uniquely describe
+    /// `tweak` — it is the part of the cache key that distinguishes this
+    /// point from the default config.
+    pub fn variant(
+        mut self,
+        label: &'static str,
+        tweak: impl Fn(&mut SimConfig) + Send + Sync + 'static,
+    ) -> RunPoint {
+        self.key.variant = label;
+        self.tweak = Some(Arc::new(tweak));
+        self
+    }
+
+    fn apply(&self, cfg: &mut SimConfig) {
+        if let Some(tweak) = &self.tweak {
+            tweak(cfg);
+        }
+    }
+}
+
+impl std::fmt::Debug for RunPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunPoint")
+            .field("key", &self.key)
+            .field("tweak", &self.tweak.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// The memoizing parallel runner.
 pub struct Runner {
     /// Machine parameters used for every run.
     pub params: MachineParams,
@@ -51,13 +163,34 @@ pub struct Runner {
     pub scale: Scale,
     /// Workload/schedule seed.
     pub seed: u64,
-    cache: Mutex<HashMap<String, AaReport>>,
+    jobs: usize,
+    shards: [Mutex<HashMap<RunKey, Result<AaReport, SimError>>>; SHARDS],
 }
 
 impl Runner {
-    /// A runner at `scale` with BG/L parameters.
+    /// A runner at `scale` with BG/L parameters, using every available
+    /// core for [`Runner::run_points`].
     pub fn new(scale: Scale) -> Runner {
-        Runner { params: MachineParams::bgl(), scale, seed: 0xaa11, cache: Mutex::new(HashMap::new()) }
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Runner {
+            params: MachineParams::bgl(),
+            scale,
+            seed: 0xaa11,
+            jobs,
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Set the worker-thread count for [`Runner::run_points`] (clamped
+    /// to at least 1). Results do not depend on this.
+    pub fn with_jobs(mut self, jobs: usize) -> Runner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The worker-thread count used by [`Runner::run_points`].
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Pick the coverage that keeps `nodes × estimated cycles` within
@@ -85,19 +218,22 @@ impl Runner {
         cov
     }
 
-    /// Run (or fetch) an all-to-all with automatic coverage.
-    pub fn aa(&self, shape: &str, strategy: &StrategyKind, m: u64) -> Result<AaReport, SimError> {
+    /// Declare a point with automatic (budgeted) coverage.
+    pub fn point(&self, shape: &str, strategy: &StrategyKind, m: u64) -> RunPoint {
         let part: Partition = shape.parse().expect("valid shape");
         let cov = self.budget_coverage(&part, m);
-        self.aa_with(shape, strategy, m, cov, |_| {})
+        RunPoint::new(part, strategy.clone(), m, cov)
     }
 
-    /// Run (or fetch) with explicit coverage and a config tweak. The tweak
-    /// must be captured in `variant_of` keys by callers that use it with
-    /// different closures — here it is keyed by the closure's observable
-    /// effect on the default config, so pass a descriptive `shape` string
-    /// when tweaking (ablations construct their own key suffix via
-    /// [`Runner::aa_variant`]).
+    /// Run (or fetch) an all-to-all with automatic coverage.
+    pub fn aa(&self, shape: &str, strategy: &StrategyKind, m: u64) -> Result<AaReport, SimError> {
+        self.report(&self.point(shape, strategy, m))
+    }
+
+    /// Run (or fetch) with explicit coverage and a config tweak. Callers
+    /// that pass a real tweak must use [`Runner::aa_variant`] with a
+    /// distinct label instead — an unlabeled tweak shares the default
+    /// config's cache slot.
     pub fn aa_with(
         &self,
         shape: &str,
@@ -109,33 +245,74 @@ impl Runner {
         self.aa_variant(shape, strategy, m, coverage, "", tweak)
     }
 
-    /// Like [`Runner::aa_with`] but with an explicit cache-key suffix for
-    /// configuration variants (ablations).
+    /// Like [`Runner::aa_with`] but with an explicit variant label that
+    /// keys the configuration tweak (ablations).
     pub fn aa_variant(
         &self,
         shape: &str,
         strategy: &StrategyKind,
         m: u64,
         coverage: f64,
-        variant: &str,
+        variant: &'static str,
         tweak: impl Fn(&mut SimConfig),
     ) -> Result<AaReport, SimError> {
-        let key = format!("{shape}|{strategy:?}|{m}|{coverage:.6}|{variant}");
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return Ok(hit.clone());
-        }
         let part: Partition = shape.parse().expect("valid shape");
-        let mut workload = if coverage >= 1.0 {
-            AaWorkload::full(m)
-        } else {
-            AaWorkload::sampled(m, coverage)
+        let key = RunKey {
+            part,
+            strategy: strategy.clone(),
+            m,
+            coverage_ppm: RunKey::quantize(coverage),
+            variant,
         };
-        workload.seed = self.seed;
-        let mut cfg = SimConfig::new(part);
-        tweak(&mut cfg);
-        let report = run_aa(part, &workload, strategy, &self.params, cfg)?;
-        self.cache.lock().insert(key, report.clone());
-        Ok(report)
+        self.run_keyed(&key, &tweak)
+    }
+
+    /// Run (or fetch) a declared point.
+    pub fn report(&self, point: &RunPoint) -> Result<AaReport, SimError> {
+        self.run_keyed(&point.key, &|cfg| point.apply(cfg))
+    }
+
+    /// Execute a point set: deduplicate by key, drop what the cache
+    /// already holds, and run the rest across `jobs` worker threads.
+    /// Results land in the cache (including errors, so a failing
+    /// configuration is never re-simulated); fetch them afterwards with
+    /// [`Runner::report`] or the `aa*` methods. Thread count affects
+    /// wall-clock only — every run is deterministic given its key.
+    pub fn run_points(&self, points: &[RunPoint]) {
+        let mut seen = HashSet::new();
+        let todo: Vec<&RunPoint> = points
+            .iter()
+            .filter(|p| seen.insert(p.key.clone()) && self.lookup(&p.key).is_none())
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let jobs = self.jobs.min(todo.len()).max(1);
+        if jobs == 1 {
+            for p in todo {
+                let _ = self.report(p);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    match todo.get(i) {
+                        Some(p) => {
+                            let _ = self.report(p);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    /// How many distinct runs the cache holds (completed or failed).
+    pub fn cached_runs(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache lock").len()).sum()
     }
 
     /// A large-message size that packs into full 256-byte packets
@@ -154,6 +331,47 @@ impl Runner {
                 }
             }
         }
+    }
+
+    fn shard(&self, key: &RunKey) -> &Mutex<HashMap<RunKey, Result<AaReport, SimError>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn lookup(&self, key: &RunKey) -> Option<Result<AaReport, SimError>> {
+        self.shard(key).lock().expect("cache lock").get(key).cloned()
+    }
+
+    fn run_keyed(
+        &self,
+        key: &RunKey,
+        tweak: &dyn Fn(&mut SimConfig),
+    ) -> Result<AaReport, SimError> {
+        if let Some(hit) = self.lookup(key) {
+            return hit;
+        }
+        let result = self.execute(key, tweak);
+        self.shard(key)
+            .lock()
+            .expect("cache lock")
+            .insert(key.clone(), result.clone());
+        result
+    }
+
+    /// One deterministic run: the workload is rebuilt from the key (the
+    /// quantized coverage, not the caller's f64) and the runner's fixed
+    /// seed, so identical keys produce identical reports on any thread.
+    fn execute(&self, key: &RunKey, tweak: &dyn Fn(&mut SimConfig)) -> Result<AaReport, SimError> {
+        let mut workload = if key.is_full() {
+            AaWorkload::full(key.m)
+        } else {
+            AaWorkload::sampled(key.m, key.coverage())
+        };
+        workload.seed = self.seed;
+        let mut cfg = SimConfig::new(key.part);
+        tweak(&mut cfg);
+        run_aa(key.part, &workload, &key.strategy, &self.params, cfg)
     }
 }
 
@@ -185,7 +403,7 @@ mod tests {
         let a = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
         let b = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
         assert_eq!(a.cycles, b.cycles);
-        assert_eq!(r.cache.lock().len(), 1);
+        assert_eq!(r.cached_runs(), 1);
     }
 
     #[test]
@@ -199,9 +417,20 @@ mod tests {
                 c.router.vc_fifo_chunks = 8
             })
             .unwrap();
-        assert_eq!(r.cache.lock().len(), 2);
-        // Shallow VC FIFOs cannot be faster.
-        assert!(tweaked.cycles >= base.cycles);
+        assert_eq!(r.cached_runs(), 2);
+        // Each label re-fetches its own cached result.
+        let base2 = r
+            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "", |_| {})
+            .unwrap();
+        let tweaked2 = r
+            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "vc8", |c| {
+                c.router.vc_fifo_chunks = 8
+            })
+            .unwrap();
+        assert_eq!(base.cycles, base2.cycles);
+        assert_eq!(tweaked.cycles, tweaked2.cycles);
+        assert_ne!(base.cycles, tweaked.cycles, "vc8 tweak must change the run");
+        assert_eq!(r.cached_runs(), 2);
     }
 
     #[test]
@@ -210,5 +439,67 @@ mod tests {
         let rep = r.aa("8x8x8", &StrategyKind::AdaptiveRandomized, 912).unwrap();
         // Budgeted coverage keeps the run small.
         assert!(rep.workload.coverage < 1.0);
+    }
+
+    #[test]
+    fn keys_quantize_coverage_to_ppm() {
+        let part: Partition = "4x4".parse().unwrap();
+        let a = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, 0.2500004);
+        let b = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, 0.2499996);
+        // Sub-ppm noise maps to the same key — and the same workload.
+        assert_eq!(a, b);
+        assert_eq!(a.coverage_ppm, 250_000);
+        assert!(!a.is_full());
+        assert!(RunKey::new(part, StrategyKind::Auto, 240, 1.0).is_full());
+    }
+
+    #[test]
+    fn run_points_dedups_and_fills_cache() {
+        let r = Runner::new(Scale::Quick).with_jobs(2);
+        let p1 = r.point("4x4", &StrategyKind::AdaptiveRandomized, 240);
+        let p2 = r.point("4x4", &StrategyKind::AdaptiveRandomized, 240);
+        let p3 = r.point("4x4", &StrategyKind::DeterministicRouted, 240);
+        r.run_points(&[p1.clone(), p2, p3]);
+        assert_eq!(r.cached_runs(), 2);
+        // The sequential fetch is now a pure cache hit.
+        let warm = r.report(&p1).unwrap();
+        let direct = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
+        assert_eq!(warm.cycles, direct.cycles);
+        assert_eq!(r.cached_runs(), 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_results_match() {
+        let strategies =
+            [StrategyKind::AdaptiveRandomized, StrategyKind::DeterministicRouted, StrategyKind::XyzRouting];
+        let serial = Runner::new(Scale::Quick).with_jobs(1);
+        let parallel = Runner::new(Scale::Quick).with_jobs(4);
+        for r in [&serial, &parallel] {
+            let pts: Vec<RunPoint> =
+                strategies.iter().map(|s| r.point("4x4", s, 240)).collect();
+            r.run_points(&pts);
+        }
+        for s in &strategies {
+            let a = serial.aa("4x4", s, 240).unwrap();
+            let b = parallel.aa("4x4", s, 240).unwrap();
+            assert_eq!(a.cycles, b.cycles, "{}", s.name());
+            assert_eq!(a.stats, b.stats, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let r = Runner::new(Scale::Quick);
+        let point = r
+            .point("4x4", &StrategyKind::AdaptiveRandomized, 240)
+            .variant("deadlock", |c| {
+                c.router.bubble_slack_chunks = 0;
+                c.router.vc_fifo_chunks = 32;
+                c.watchdog_cycles = 50_000;
+            });
+        let first = r.report(&point);
+        let second = r.report(&point);
+        assert_eq!(first, second);
+        assert_eq!(r.cached_runs(), 1);
     }
 }

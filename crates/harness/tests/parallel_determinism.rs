@@ -1,0 +1,69 @@
+//! The tentpole guarantee of the parallel runner: executing the same
+//! declared point set with one worker thread and with many produces
+//! byte-identical reports — cycle counts, network statistics, and the
+//! rendered experiment rows.
+
+use bgl_core::StrategyKind;
+use bgl_harness::runner::{RunPoint, Runner, Scale};
+use bgl_harness::run_suite;
+use bgl_torus::VmeshLayout;
+
+/// A point set that crosses shapes, strategies, message sizes, sampled
+/// coverage, and a config variant — the kinds of runs a real suite mixes.
+fn point_set(runner: &Runner) -> Vec<RunPoint> {
+    let mut pts = vec![
+        runner.point("4x4", &StrategyKind::AdaptiveRandomized, 240),
+        runner.point("4x4", &StrategyKind::DeterministicRouted, 240),
+        runner.point("4x4x2", &StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 240),
+        runner.point("4x4", &StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }, 32),
+        runner.point("4x4x4", &StrategyKind::XyzRouting, 64),
+        runner.point("8x8x8", &StrategyKind::AdaptiveRandomized, 912), // coverage-sampled at Quick
+    ];
+    pts.push(
+        runner
+            .point("4x4", &StrategyKind::AdaptiveRandomized, 240)
+            .variant("vc8", |c| c.router.vc_fifo_chunks = 8),
+    );
+    pts
+}
+
+#[test]
+fn one_thread_and_many_threads_agree_exactly() {
+    let serial = Runner::new(Scale::Quick).with_jobs(1);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    let parallel = Runner::new(Scale::Quick).with_jobs(threads);
+    serial.run_points(&point_set(&serial));
+    parallel.run_points(&point_set(&parallel));
+    assert_eq!(serial.cached_runs(), parallel.cached_runs());
+    for (a, b) in point_set(&serial).iter().zip(point_set(&parallel).iter()) {
+        let ra = serial.report(a).expect("serial run completes");
+        let rb = parallel.report(b).expect("parallel run completes");
+        assert_eq!(ra.cycles, rb.cycles, "{:?}", a.key);
+        assert_eq!(ra.stats, rb.stats, "{:?}", a.key);
+        assert_eq!(ra, rb, "{:?}", a.key);
+    }
+}
+
+#[test]
+fn suite_rows_identical_across_thread_counts() {
+    let ids = ["fig5", "fig6", "table4"];
+    let serial = Runner::new(Scale::Quick).with_jobs(1);
+    let parallel = Runner::new(Scale::Quick).with_jobs(8);
+    let a = run_suite(&serial, &ids);
+    let b = run_suite(&parallel, &ids);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.rows, rb.rows, "{}", ra.id);
+        assert_eq!(ra.to_csv(), rb.to_csv(), "{}", ra.id);
+    }
+}
+
+#[test]
+fn repeated_batches_reuse_the_cache() {
+    let runner = Runner::new(Scale::Quick).with_jobs(4);
+    let pts = point_set(&runner);
+    runner.run_points(&pts);
+    let n = runner.cached_runs();
+    runner.run_points(&pts);
+    assert_eq!(runner.cached_runs(), n, "second batch must be pure cache hits");
+}

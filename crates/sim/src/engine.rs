@@ -297,7 +297,7 @@ impl Engine {
             if n.vcs[fifo].is_empty() {
                 n.vc_mask &= !(1 << fifo);
             }
-            n.reception.try_push(pkt).ok().expect("space checked");
+            assert!(n.reception.try_push(pkt).is_ok(), "space checked");
             self.last_progress = t;
         }
     }
@@ -307,7 +307,7 @@ impl Engine {
     fn phase_cpu(&mut self, t: u64) {
         let mut programs = std::mem::take(&mut self.programs);
         let horizon = (t + 1) as f64;
-        for i in 0..self.nodes.len() {
+        for (i, prog) in programs.iter_mut().enumerate() {
             {
                 let n = &self.nodes[i];
                 if n.cpu_free >= horizon {
@@ -321,7 +321,7 @@ impl Engine {
                     continue;
                 }
             }
-            self.cpu_node(i, &mut programs[i], t);
+            self.cpu_node(i, prog, t);
         }
         self.programs = programs;
     }
@@ -438,7 +438,7 @@ impl Engine {
             };
             let chunks = spec.chunks;
             let class = spec.class;
-            debug_assert!(chunks >= 1 && chunks <= 8, "packet must be 1..=8 chunks");
+            debug_assert!((1..=8).contains(&chunks), "packet must be 1..=8 chunks");
             // Direction-affine placement: BG/L messaging software binds
             // injection FIFOs to link directions so one FIFO's blocked head
             // never starves an idle link of a different direction. Map the
@@ -502,7 +502,7 @@ impl Engine {
             injected_at: t,
         };
         self.next_packet_id += 1;
-        node.inj[f].try_push(pkt).ok().expect("space checked");
+        assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
         self.live_packets += 1;
         self.stats.packets_injected += 1;
         self.last_progress = t;

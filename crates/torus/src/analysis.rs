@@ -86,7 +86,7 @@ impl AaLoadAnalysis {
             let torus = partition.is_torus_dim(d);
             let (sum_hops, load_factor) = if torus {
                 // Sum of minimal distances over all S² ordered coordinate pairs.
-                let sum = if partition.size(d) % 2 == 0 {
+                let sum = if partition.size(d).is_multiple_of(2) {
                     s * s * s / 4.0
                 } else {
                     s * (s * s - 1.0) / 4.0
@@ -102,7 +102,7 @@ impl AaLoadAnalysis {
                 // direction, (P/S)² node pairs each, across P/S lines.
                 let sum = s * (s * s - 1.0) / 3.0;
                 let s_half_lo = (partition.size(d) / 2) as f64;
-                let s_half_hi = ((partition.size(d) + 1) / 2) as f64;
+                let s_half_hi = partition.size(d).div_ceil(2) as f64;
                 (sum, s_half_lo * s_half_hi * (p / s))
             };
             DimLoad {

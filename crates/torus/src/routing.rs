@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// How to break the direction tie on an even-sized torus dimension when the
 /// destination is exactly `S/2` hops away (both directions are minimal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum TieBreak {
     /// Always travel in the plus direction. Simple but loads plus links
     /// ~`S/(S-2)`× more than minus links on even tori.
@@ -23,14 +23,10 @@ pub enum TieBreak {
     /// Travel plus from even source coordinates and minus from odd ones.
     /// Deterministic, and balances the two directions across sources — this
     /// is what production randomized all-to-alls achieve statistically.
+    #[default]
     SrcParity,
 }
 
-impl Default for TieBreak {
-    fn default() -> Self {
-        TieBreak::SrcParity
-    }
-}
 
 /// A packet's routing state: travel sign and remaining hops per dimension.
 ///
@@ -138,7 +134,7 @@ fn dim_route(part: &Partition, dim: Dim, a: u16, b: u16, tie: TieBreak) -> (Sign
                 TieBreak::AlwaysPlus => Sign::Plus,
                 TieBreak::AlwaysMinus => Sign::Minus,
                 TieBreak::SrcParity => {
-                    if a % 2 == 0 {
+                    if a.is_multiple_of(2) {
                         Sign::Plus
                     } else {
                         Sign::Minus

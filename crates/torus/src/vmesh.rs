@@ -20,7 +20,7 @@ use crate::partition::{Partition, Rank};
 use serde::{Deserialize, Serialize};
 
 /// How to lay the virtual mesh onto the physical partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum VmeshLayout {
     /// Pick automatically: plane-aligned on asymmetric 3-D partitions,
     /// otherwise the most nearly square contiguous factorisation
@@ -64,7 +64,7 @@ impl VirtualMesh {
             return Err(format!("{perm:?} is not a permutation of X, Y, Z"));
         }
         let p = part.num_nodes();
-        if pvx == 0 || p % pvx != 0 {
+        if pvx == 0 || !p.is_multiple_of(pvx) {
             return Err(format!("row length {pvx} does not divide node count {p}"));
         }
         Ok(VirtualMesh { part, perm, pvx, pvy: p / pvx })
@@ -109,14 +109,13 @@ impl VirtualMesh {
         let p = part.num_nodes();
         let mut best: Option<u32> = None;
         let mut prefix = 1u32;
-        for i in 0..=3 {
-            let next = if i < 3 { sizes[i] } else { 1 };
+        for (i, &next) in sizes.iter().chain(std::iter::once(&1)).enumerate() {
             for d in 1..=next {
-                if next % d != 0 {
+                if !next.is_multiple_of(d) {
                     continue;
                 }
                 let pvx = prefix * d;
-                if p % pvx != 0 {
+                if !p.is_multiple_of(pvx) {
                     continue;
                 }
                 let pvy = p / pvx;
@@ -132,7 +131,7 @@ impl VirtualMesh {
                 }
             }
             if i < 3 {
-                prefix *= sizes[i];
+                prefix *= next;
             }
         }
         let pvx = best.unwrap_or(p);

@@ -181,3 +181,31 @@ fn mixed_routing_modes_coexist() {
 fn facade_exposes_routing_mode() {
     assert_ne!(RoutingMode::Adaptive, RoutingMode::Deterministic);
 }
+
+/// The `AaRun` builder is exactly equivalent to calling `run_aa` with
+/// the same pieces — including config tweaks applied through `.sim`.
+#[test]
+fn builder_matches_run_aa() {
+    let part: Partition = "4x4x2".parse().unwrap();
+    let strategy = StrategyKind::AdaptiveRandomized;
+    let direct = {
+        let mut cfg = SimConfig::new(part);
+        cfg.router.vc_fifo_chunks = 16;
+        run_aa(part, &AaWorkload::full(240), &strategy, &MachineParams::bgl(), cfg).unwrap()
+    };
+    let built = AaRun::builder(part, AaWorkload::full(240))
+        .strategy(strategy)
+        .sim(|cfg| cfg.router.vc_fifo_chunks = 16)
+        .run()
+        .unwrap();
+    assert_eq!(direct.cycles, built.cycles);
+    assert_eq!(direct.stats, built.stats);
+}
+
+/// Builder defaults: Auto strategy selection and BG/L parameters.
+#[test]
+fn builder_defaults_dispatch_auto() {
+    let part: Partition = "4x4x4".parse().unwrap();
+    let r = AaRun::builder(part, AaWorkload::full(432)).run().unwrap();
+    assert_eq!(r.strategy.name(), "AR");
+}

@@ -1,0 +1,312 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or have named fields.
+//!
+//! Tuple structs, tuple variants, generics and `#[serde(...)]` attributes
+//! are rejected with a compile error. Generated code targets the sibling
+//! `serde` crate's `Value`-tree traits. The input token stream is parsed
+//! by hand (no `syn`/`quote` — the build container is offline) and the
+//! output is assembled as a string, then re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+struct Definition {
+    name: String,
+    body: Body,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_definition(input) {
+        Ok(def) => generate_serialize(&def).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_definition(input) {
+        Ok(def) => generate_deserialize(&def).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error tokens parse")
+}
+
+/// Parse `struct Name { .. }` / `enum Name { .. }` out of the derive input.
+fn parse_definition(input: TokenStream) -> Result<Definition, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde stand-in: generic type `{name}` is not supported"))
+        }
+        other => {
+            return Err(format!(
+                "serde stand-in: `{name}` must have a braced body (tuple/unit types \
+                 are not supported), got {other:?}"
+            ))
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(group.stream())?),
+        "enum" => Body::Enum(parse_variants(group.stream())?),
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    Ok(Definition { name, body })
+}
+
+fn skip_attributes_and_visibility(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed group
+            }
+            // `pub`, optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, skipping attributes, visibility
+/// and the type tokens (only names are needed; commas inside `<...>` are
+/// tracked by angle-bracket depth, other nesting hides inside groups).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Some(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in: tuple variant `{name}` is not supported"
+                ))
+            }
+            _ => None,
+        };
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant (`Variant = 3`): skip to comma.
+                for tok in tokens.by_ref() {
+                    if let TokenTree::Punct(p) = &tok {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+/// `vec![("a", ser(a)), ...]` expression for a named-field list, with
+/// each field rendered by `access` (e.g. `&self.a` or the binding `a`).
+fn object_expr(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({:?}), ::serde::Serialize::to_value({})),",
+                f.name,
+                access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(""))
+}
+
+fn generate_serialize(def: &Definition) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::Struct(fields) => object_expr(fields, |f| format!("&self.{f}")),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        format!(
+                            "{name}::{v} {{ {bind} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),",
+                            v = v.name,
+                            bind = bindings.join(", "),
+                            inner = object_expr(fields, |f| f.to_string()),
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+fn generate_deserialize(def: &Definition) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{0}: ::serde::de_field(v, {0:?})?,", f.name))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(""))
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{0}: ::serde::de_field(inner, {0:?})?,", f.name))
+                        .collect();
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                        v = v.name,
+                        inits = inits.join("")
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\
+                     ::serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                     }},\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                         let (variant, inner) = &fields[0];\
+                         match variant.as_str() {{\
+                             {struct_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                         }}\
+                     }}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {name}, got {{other:?}}\"))),\
+                 }}",
+                unit_arms = unit_arms.join(""),
+                struct_arms = struct_arms.join(""),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                 {body}\
+             }}\
+         }}"
+    )
+}
