@@ -29,9 +29,12 @@ fn bench_vc_depth(c: &mut Criterion) {
     for depth in [16u32, 64, 256] {
         g.bench_function(format!("vc{depth}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, move |c| {
-                    c.router.vc_fifo_chunks = depth
-                }))
+                black_box(aa_with(
+                    "8x4x4",
+                    &StrategyKind::AdaptiveRandomized,
+                    432,
+                    move |c| c.router.vc_fifo_chunks = depth,
+                ))
             })
         });
     }
@@ -45,9 +48,12 @@ fn bench_bias(c: &mut Criterion) {
     for (name, bias) in [("on", Some(true)), ("off", Some(false))] {
         g.bench_function(format!("bias_{name}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, move |c| {
-                    c.router.longest_first_bias = bias
-                }))
+                black_box(aa_with(
+                    "8x4x4",
+                    &StrategyKind::AdaptiveRandomized,
+                    432,
+                    move |c| c.router.longest_first_bias = bias,
+                ))
             })
         });
     }
@@ -59,7 +65,10 @@ fn bench_bias(c: &mut Criterion) {
 fn bench_tps_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_tps");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     let tps_credit = StrategyKind::TwoPhaseSchedule {
         linear: None,
         credit: Some(CreditConfig::default()),
@@ -86,20 +95,32 @@ fn bench_tie_break(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("transit_priority_on", |b| {
         b.iter(|| {
-            black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
-                c.router.transit_priority = true
-            }))
+            black_box(aa_with(
+                "8x4x4",
+                &StrategyKind::AdaptiveRandomized,
+                432,
+                |c| c.router.transit_priority = true,
+            ))
         })
     });
     g.bench_function("transit_priority_off", |b| {
         b.iter(|| {
-            black_box(aa_with("8x4x4", &StrategyKind::AdaptiveRandomized, 432, |c| {
-                c.router.transit_priority = false
-            }))
+            black_box(aa_with(
+                "8x4x4",
+                &StrategyKind::AdaptiveRandomized,
+                432,
+                |c| c.router.transit_priority = false,
+            ))
         })
     });
     g.finish();
 }
 
-criterion_group!(ablations, bench_vc_depth, bench_bias, bench_tps_variants, bench_tie_break);
+criterion_group!(
+    ablations,
+    bench_vc_depth,
+    bench_bias,
+    bench_tps_variants,
+    bench_tie_break
+);
 criterion_main!(ablations);

@@ -48,10 +48,20 @@ fn bench_fig3(c: &mut Criterion) {
 fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_direct_strategies");
     g.sample_size(10);
-    g.bench_function("ar_8x4x4", |b| b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432)));
-    g.bench_function("dr_8x4x4", |b| b.iter(|| aa("8x4x4", &StrategyKind::DeterministicRouted, 432)));
+    g.bench_function("ar_8x4x4", |b| {
+        b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432))
+    });
+    g.bench_function("dr_8x4x4", |b| {
+        b.iter(|| aa("8x4x4", &StrategyKind::DeterministicRouted, 432))
+    });
     g.bench_function("throttled_8x4x4", |b| {
-        b.iter(|| aa("8x4x4", &StrategyKind::ThrottledAdaptive { factor: 1.0 }, 432))
+        b.iter(|| {
+            aa(
+                "8x4x4",
+                &StrategyKind::ThrottledAdaptive { factor: 1.0 },
+                432,
+            )
+        })
     });
     g.finish();
 }
@@ -76,10 +86,17 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_fig7_short_messages");
     g.sample_size(10);
-    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let vmesh = StrategyKind::VirtualMesh {
+        layout: VmeshLayout::Auto,
+    };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     g.bench_function("vmesh_4x4x4_m8", |b| b.iter(|| aa("4x4x4", &vmesh, 8)));
-    g.bench_function("ar_4x4x4_m8", |b| b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 8)));
+    g.bench_function("ar_4x4x4_m8", |b| {
+        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 8))
+    });
     g.bench_function("tps_4x8x4_m8", |b| b.iter(|| aa("4x8x4", &tps, 8)));
     g.finish();
 }

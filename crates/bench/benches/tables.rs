@@ -9,7 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn aa(shape: &str, strategy: &StrategyKind, m: u64, cov: f64) -> f64 {
     let part: Partition = shape.parse().unwrap();
-    let w = if cov >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, cov) };
+    let w = if cov >= 1.0 {
+        AaWorkload::full(m)
+    } else {
+        AaWorkload::sampled(m, cov)
+    };
     AaRun::builder(part, w)
         .strategy(strategy.clone())
         .run()
@@ -47,7 +51,10 @@ fn bench_table2(c: &mut Criterion) {
 fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_tps");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     g.bench_function("tps_8x4x4_m432", |b| b.iter(|| aa("8x4x4", &tps, 432, 1.0)));
     g.bench_function("tps_4x4x8_m432", |b| b.iter(|| aa("4x4x8", &tps, 432, 1.0)));
     g.finish();
@@ -57,7 +64,10 @@ fn bench_table3(c: &mut Criterion) {
 fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4_latency");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     g.bench_function("ar_4x4x4_m1", |b| {
         b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 1, 1.0))
     });
@@ -65,5 +75,11 @@ fn bench_table4(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4
+);
 criterion_main!(tables);

@@ -1,0 +1,245 @@
+//! `engine-bench` — before/after wall-clock comparison of the engine's
+//! reference full-scan mode (`SimConfig::full_scan_engine = true`)
+//! against the default active-set mode, on workloads spanning the sparse
+//! regime (where per-cycle cost should scale with *active* nodes) and
+//! the dense regime (where the bookkeeping must not regress).
+//!
+//! ```text
+//! engine-bench [--reps N] [--out FILE]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_engine.json` in the current
+//! directory): per workload, the minimum-of-`reps` wall-clock for each
+//! mode, the speedup, and the (identical) simulated cycle counts.
+
+use bgl_core::{run_aa, AaWorkload, StrategyKind};
+use bgl_model::MachineParams;
+use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_torus::{Coord, Partition};
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("engine-bench: {msg}");
+    std::process::exit(2);
+}
+
+struct Outcome {
+    name: &'static str,
+    description: &'static str,
+    cycles: u64,
+    full_scan_secs: f64,
+    active_set_secs: f64,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.full_scan_secs / self.active_set_secs
+    }
+}
+
+/// Minimum wall-clock over `reps` runs plus the simulated cycle count
+/// (asserted stable across repetitions).
+fn time_runs(reps: u32, mut run: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0u64;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let c = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        if rep == 0 {
+            cycles = c;
+        } else {
+            assert_eq!(c, cycles, "nondeterministic cycle count");
+        }
+    }
+    (best, cycles)
+}
+
+/// Time one workload in both engine modes and check they simulate the
+/// exact same number of cycles (the equivalence tests pin full stats;
+/// here the cycle count guards against benchmarking two different runs).
+fn compare(
+    name: &'static str,
+    description: &'static str,
+    reps: u32,
+    run: impl Fn(bool) -> u64,
+) -> Outcome {
+    let (full_scan_secs, full_cycles) = time_runs(reps, || run(true));
+    let (active_set_secs, active_cycles) = time_runs(reps, || run(false));
+    assert_eq!(
+        active_cycles, full_cycles,
+        "{name}: modes disagree on cycles"
+    );
+    eprintln!(
+        "  {name}: full-scan {full_scan_secs:.3}s  active-set {active_set_secs:.3}s  \
+         ({:.2}x, {full_cycles} cycles)",
+        full_scan_secs / active_set_secs
+    );
+    Outcome {
+        name,
+        description,
+        cycles: full_cycles,
+        full_scan_secs,
+        active_set_secs,
+    }
+}
+
+fn aa_cycles(shape: &str, strategy: &StrategyKind, workload: &AaWorkload, full_scan: bool) -> u64 {
+    let part: Partition = shape.parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.full_scan_engine = full_scan;
+    run_aa(part, workload, strategy, &MachineParams::bgl(), cfg)
+        .expect("run completes")
+        .cycles
+}
+
+/// A handful of long point-to-point streams on an otherwise idle 16x8x8
+/// partition: the extreme sparse case (8 of 1024 nodes ever active).
+fn stream_cycles(full_scan: bool) -> u64 {
+    let part: Partition = "16x8x8".parse().unwrap();
+    let p = part.num_nodes();
+    let mut cfg = SimConfig::new(part);
+    cfg.full_scan_engine = full_scan;
+    let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
+        .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+        .collect();
+    let pairs = [(0u32, p - 1), (1, p - 2), (p / 2, 2), (p / 2 + 1, 3)];
+    for (src, dst) in pairs {
+        programs[src as usize] = Box::new(ScriptedProgram::new(
+            (0..400).map(|_| SendSpec::adaptive(dst, 8, 240)).collect(),
+            0,
+        ));
+        programs[dst as usize] = Box::new(ScriptedProgram::new(vec![], 400));
+    }
+    Engine::new(cfg, programs)
+        .run()
+        .expect("completes")
+        .completion_cycle
+}
+
+/// Table 4-style latency shape: a 1-byte all-to-all among an 8-node
+/// subcommunicator (the paper's smallest Table 4 partition) embedded in
+/// an otherwise idle 2048-node machine, repeated 200 times back-to-back
+/// the way latency benchmarks measure — long run, 8 active nodes.
+fn subcomm_aa_cycles(full_scan: bool) -> u64 {
+    let part: Partition = "16x16x8".parse().unwrap();
+    let p = part.num_nodes();
+    let mut cfg = SimConfig::new(part);
+    cfg.full_scan_engine = full_scan;
+    let comm: Vec<u32> = (0..8u16)
+        .map(|x| part.rank_of(Coord::new(x, 0, 0)))
+        .collect();
+    let programs: Vec<Box<dyn NodeProgram>> = (0..p)
+        .map(|r| {
+            if comm.contains(&r) {
+                let sends: Vec<SendSpec> = (0..200)
+                    .flat_map(|_| {
+                        comm.iter()
+                            .filter(move |&&d| d != r)
+                            .map(|&d| SendSpec::adaptive(d, 1, 1))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                Box::new(ScriptedProgram::new(sends, 7 * 200)) as Box<dyn NodeProgram>
+            } else {
+                Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>
+            }
+        })
+        .collect();
+    Engine::new(cfg, programs)
+        .run()
+        .expect("completes")
+        .completion_cycle
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 3u32;
+    let mut out = "BENCH_engine.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => {
+                let v = it.next().unwrap_or_default();
+                reps = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail(&format!("--reps needs a positive integer, got {v:?}")),
+                };
+            }
+            "--out" => match it.next() {
+                Some(p) if !p.is_empty() && !p.starts_with("--") => out = p,
+                _ => fail("--out needs a file path"),
+            },
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!("engine-bench: {reps} reps per mode, min wall-clock reported");
+    let ar = StrategyKind::AdaptiveRandomized;
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
+    let results = [
+        compare(
+            "sparse_streams_16x8x8",
+            "4 long adaptive streams on an idle 1024-node partition (8 nodes ever active)",
+            reps,
+            stream_cycles,
+        ),
+        compare(
+            "subcomm_aa_1byte_16x16x8",
+            "Table 4 latency shape: 200 back-to-back 1-byte all-to-alls among an \
+             8-node subcommunicator of an idle 2048-node machine",
+            reps,
+            subcomm_aa_cycles,
+        ),
+        compare(
+            "aa_1byte_8x8x8_ar",
+            "Table 4 shape: 1-byte all-to-all on 8x8x8, adaptive randomized",
+            reps,
+            |fs| aa_cycles("8x8x8", &ar, &AaWorkload::full(1), fs),
+        ),
+        compare(
+            "aa_sampled_8x8x8_m912_tps",
+            "sampled Table 3 shape: m=912 on 8x8x8 at 1/16 coverage, two-phase schedule",
+            reps,
+            |fs| aa_cycles("8x8x8", &tps, &AaWorkload::sampled(912, 1.0 / 16.0), fs),
+        ),
+        compare(
+            "aa_dense_8x8x8_m912_ar",
+            "dense regression guard: full-coverage m=912 all-to-all on 8x8x8",
+            reps,
+            |fs| aa_cycles("8x8x8", &ar, &AaWorkload::full(912), fs),
+        ),
+    ];
+
+    let mut body = String::from("{\n");
+    body.push_str("  \"benchmark\": \"engine full-scan vs active-set\",\n");
+    body.push_str("  \"tool\": \"engine-bench\",\n");
+    body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
+    body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
+    body.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"description\": \"{}\", \"cycles\": {}, \
+             \"full_scan_secs\": {:.4}, \"active_set_secs\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            json_escape(r.name),
+            json_escape(r.description),
+            r.cycles,
+            r.full_scan_secs,
+            r.active_set_secs,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &body) {
+        fail(&format!("cannot write {out}: {e}"));
+    }
+    eprintln!("wrote {out}");
+}

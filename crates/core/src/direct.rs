@@ -38,7 +38,10 @@ impl DirectConfig {
     /// DR: same schedule but deterministic dimension-order routing on the
     /// bubble VC.
     pub fn dr(params: &MachineParams) -> DirectConfig {
-        DirectConfig { routing: RoutingMode::Deterministic, ..DirectConfig::ar(params) }
+        DirectConfig {
+            routing: RoutingMode::Deterministic,
+            ..DirectConfig::ar(params)
+        }
     }
 
     /// Production-MPI-like baseline: adaptive, but with the MPI message
@@ -54,7 +57,10 @@ impl DirectConfig {
 
     /// AR with injection throttled to `pace` chunks/cycle per node.
     pub fn throttled(params: &MachineParams, pace: f64) -> DirectConfig {
-        DirectConfig { pace_chunks_per_cycle: Some(pace), ..DirectConfig::ar(params) }
+        DirectConfig {
+            pace_chunks_per_cycle: Some(pace),
+            ..DirectConfig::ar(params)
+        }
     }
 }
 
@@ -94,7 +100,10 @@ impl DirectProgram {
             params.min_packet_bytes,
             params,
         );
-        let k = cfg.packets_per_visit.unwrap_or(workload.packets_per_visit).max(1);
+        let k = cfg
+            .packets_per_visit
+            .unwrap_or(workload.packets_per_visit)
+            .max(1);
         let n_visits = (shapes.len() as u32).div_ceil(k);
         let done = schedule.is_empty();
         DirectProgram {
@@ -131,8 +140,8 @@ impl DirectProgram {
 
     fn advance(&mut self) {
         self.in_visit += 1;
-        let exhausted_visit = self.in_visit >= self.packets_per_visit
-            || self.current_packet_index().is_none();
+        let exhausted_visit =
+            self.in_visit >= self.packets_per_visit || self.current_packet_index().is_none();
         if exhausted_visit {
             self.in_visit = 0;
             self.idx += 1;
@@ -162,14 +171,22 @@ impl NodeProgram for DirectProgram {
         let pkt_i = self.current_packet_index()?;
         let dst = self.schedule[self.idx];
         let shape = self.shapes[pkt_i];
-        let alpha = if pkt_i == 0 { self.alpha_sim_cycles } else { 0.0 };
+        let alpha = if pkt_i == 0 {
+            self.alpha_sim_cycles
+        } else {
+            0.0
+        };
         let spec = SendSpec {
             dst_rank: dst,
             chunks: shape.chunks,
             payload_bytes: shape.payload,
             routing: self.routing,
             class: 0,
-            meta: PacketMeta { kind: 0, a: 0, b: 0 },
+            meta: PacketMeta {
+                kind: 0,
+                a: 0,
+                b: 0,
+            },
             longest_first: self.longest_first,
             cpu_cost_cycles: alpha,
         };
@@ -240,8 +257,7 @@ mod tests {
         let prog = DirectProgram::new(0, &part, &w, &cfg, &params());
         let sends = drain_schedule(prog, &part);
         // With k=1: first 7 sends go to 7 distinct destinations.
-        let first: std::collections::HashSet<u32> =
-            sends[..7].iter().map(|s| s.dst_rank).collect();
+        let first: std::collections::HashSet<u32> = sends[..7].iter().map(|s| s.dst_rank).collect();
         assert_eq!(first.len(), 7);
         // 5 rounds × 7 destinations.
         assert_eq!(sends.len(), 35);
@@ -253,7 +269,9 @@ mod tests {
         let w = AaWorkload::full(100);
         let prog = DirectProgram::new(0, &part, &w, &DirectConfig::dr(&params()), &params());
         let sends = drain_schedule(prog, &part);
-        assert!(sends.iter().all(|s| s.routing == RoutingMode::Deterministic));
+        assert!(sends
+            .iter()
+            .all(|s| s.routing == RoutingMode::Deterministic));
     }
 
     #[test]

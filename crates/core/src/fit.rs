@@ -34,24 +34,37 @@ pub struct FittedModel {
 pub fn one_way_message_cycles(part: &Partition, m: u64, params: &MachineParams) -> u64 {
     let p = part.num_nodes();
     assert!(p >= 2, "need two nodes");
-    let shapes = packetize(m, params.software_header_bytes, params.min_packet_bytes, params);
+    let shapes = packetize(
+        m,
+        params.software_header_bytes,
+        params.min_packet_bytes,
+        params,
+    );
     let alpha = params.alpha_direct_cycles / params.cpu_cycles_per_sim_cycle();
     let n = shapes.len() as u64;
     let sends: Vec<SendSpec> = shapes
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            SendSpec::adaptive(1, s.chunks, s.payload)
-                .with_cpu_cost(if i == 0 { alpha } else { 0.0 })
+            SendSpec::adaptive(1, s.chunks, s.payload).with_cpu_cost(if i == 0 {
+                alpha
+            } else {
+                0.0
+            })
         })
         .collect();
-    let mut programs: Vec<Box<dyn NodeProgram>> =
-        vec![Box::new(ScriptedProgram::new(sends, 0)), Box::new(ScriptedProgram::new(vec![], n))];
+    let mut programs: Vec<Box<dyn NodeProgram>> = vec![
+        Box::new(ScriptedProgram::new(sends, 0)),
+        Box::new(ScriptedProgram::new(vec![], n)),
+    ];
     for _ in 2..p {
         programs.push(Box::new(ScriptedProgram::idle()));
     }
     let cfg = SimConfig::new(*part);
-    Engine::new(cfg, programs).run().expect("idle-network message completes").completion_cycle
+    Engine::new(cfg, programs)
+        .run()
+        .expect("idle-network message completes")
+        .completion_cycle
 }
 
 /// Least-squares fit of `T(m) = α' + m·β` over one-way latencies measured
@@ -59,8 +72,10 @@ pub fn one_way_message_cycles(part: &Partition, m: u64, params: &MachineParams) 
 /// as the paper's ping-pong fit does).
 pub fn fit_ptp_params(part: &Partition, params: &MachineParams) -> FittedModel {
     let sizes: Vec<u64> = vec![192, 432, 912, 1872, 3792, 7632, 15312];
-    let samples: Vec<(u64, u64)> =
-        sizes.iter().map(|&m| (m, one_way_message_cycles(part, m, params))).collect();
+    let samples: Vec<(u64, u64)> = sizes
+        .iter()
+        .map(|&m| (m, one_way_message_cycles(part, m, params)))
+        .collect();
     let n = samples.len() as f64;
     let sx: f64 = samples.iter().map(|&(m, _)| m as f64).sum();
     let sy: f64 = samples.iter().map(|&(_, t)| t as f64).sum();
@@ -70,12 +85,19 @@ pub fn fit_ptp_params(part: &Partition, params: &MachineParams) -> FittedModel {
     let intercept = (sy - slope * sx) / n;
     // R².
     let mean_y = sy / n;
-    let ss_tot: f64 = samples.iter().map(|&(_, t)| (t as f64 - mean_y).powi(2)).sum();
+    let ss_tot: f64 = samples
+        .iter()
+        .map(|&(_, t)| (t as f64 - mean_y).powi(2))
+        .sum();
     let ss_res: f64 = samples
         .iter()
         .map(|&(m, t)| (t as f64 - (intercept + slope * m as f64)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     FittedModel {
         alpha_cycles: intercept,
         beta_ns_per_byte: slope * params.secs_per_sim_cycle() * 1e9,
@@ -106,7 +128,12 @@ mod tests {
         let params = MachineParams::bgl();
         let fit = fit_ptp_params(&part, &params);
         let err = (fit.beta_ns_per_byte - params.beta_ns_per_byte).abs() / params.beta_ns_per_byte;
-        assert!(err < 0.10, "fitted β = {} ns/B (configured {})", fit.beta_ns_per_byte, params.beta_ns_per_byte);
+        assert!(
+            err < 0.10,
+            "fitted β = {} ns/B (configured {})",
+            fit.beta_ns_per_byte,
+            params.beta_ns_per_byte
+        );
         assert!(fit.r_squared > 0.999, "r² = {}", fit.r_squared);
     }
 

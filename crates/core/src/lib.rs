@@ -65,5 +65,5 @@ pub use strategy::{
 };
 pub use tps::{choose_linear_dim, tps_inj_class_masks, CreditConfig, TpsConfig, TpsProgram};
 pub use vmesh::{VmeshConfig, VmeshProgram};
-pub use xyz::{xyz_inj_class_masks, XyzProgram};
 pub use workload::{destination_schedule, packetize, total_chunks, AaWorkload, PacketShape};
+pub use xyz::{xyz_inj_class_masks, XyzProgram};

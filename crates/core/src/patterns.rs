@@ -75,8 +75,9 @@ impl Pattern {
                 }
             }
             Pattern::RandomPairs { degree } => {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (rank as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
                 let degree = (*degree).min(p - 1);
                 let mut set = std::collections::HashSet::new();
                 while (set.len() as u32) < degree {
@@ -109,8 +110,7 @@ impl Pattern {
             for dst in self.destinations(part, src, seed) {
                 let b = part.coord_of(dst);
                 for d in ALL_DIMS {
-                    dim_bytes[d.index()] +=
-                        part.dim_hops(d, a.get(d), b.get(d)) as f64 * m as f64;
+                    dim_bytes[d.index()] += part.dim_hops(d, a.get(d), b.get(d)) as f64 * m as f64;
                 }
             }
         }
@@ -127,7 +127,7 @@ impl Pattern {
     /// Total (src, dst) pairs in this pattern.
     pub fn pair_count(&self, part: &Partition, seed: u64) -> u64 {
         (0..part.num_nodes())
-            .map(|r| self.destinations(part, r, seed) .len() as u64)
+            .map(|r| self.destinations(part, r, seed).len() as u64)
             .sum()
     }
 }
@@ -157,7 +157,12 @@ pub fn run_pattern(
     base: SimConfig,
     seed: u64,
 ) -> Result<PatternReport, SimError> {
-    let shapes = packetize(m, params.software_header_bytes, params.min_packet_bytes, params);
+    let shapes = packetize(
+        m,
+        params.software_header_bytes,
+        params.min_packet_bytes,
+        params,
+    );
     let alpha = params.alpha_direct_cycles / params.cpu_cycles_per_sim_cycle();
     let programs: Vec<Box<dyn NodeProgram>> = (0..part.num_nodes())
         .map(|r| {
@@ -173,8 +178,11 @@ pub fn run_pattern(
             for (pi, s) in shapes.iter().enumerate() {
                 for &d in &dests {
                     sends.push(
-                        SendSpec::adaptive(d, s.chunks, s.payload)
-                            .with_cpu_cost(if pi == 0 { alpha } else { 0.0 }),
+                        SendSpec::adaptive(d, s.chunks, s.payload).with_cpu_cost(if pi == 0 {
+                            alpha
+                        } else {
+                            0.0
+                        }),
                     );
                 }
             }
@@ -210,7 +218,10 @@ mod tests {
         let params = MachineParams::bgl();
         let numeric = Pattern::AllToAll.peak_cycles(&p, 480, &params, 0);
         let analytic = crate::peak_cycles_for(&p, &crate::AaWorkload::full(480), &params);
-        assert!((numeric - analytic).abs() / analytic < 1e-9, "{numeric} vs {analytic}");
+        assert!(
+            (numeric - analytic).abs() / analytic < 1e-9,
+            "{numeric} vs {analytic}"
+        );
     }
 
     #[test]
@@ -221,7 +232,9 @@ mod tests {
             assert_eq!(d.len(), 1);
         }
         // Offset 0 sends nothing.
-        assert!(Pattern::Shift { offset: 0 }.destinations(&p, 3, 0).is_empty());
+        assert!(Pattern::Shift { offset: 0 }
+            .destinations(&p, 3, 0)
+            .is_empty());
     }
 
     #[test]

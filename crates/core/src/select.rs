@@ -21,12 +21,17 @@ pub fn combining_crossover_bytes(part: &Partition, params: &MachineParams) -> u6
 /// Pick the paper's best strategy for `(part, m)`.
 pub fn auto_select(part: &Partition, m: u64, params: &MachineParams) -> StrategyKind {
     if part.num_nodes() >= 16 && m <= combining_crossover_bytes(part, params) {
-        return StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+        return StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        };
     }
     if part.is_symmetric() {
         StrategyKind::AdaptiveRandomized
     } else {
-        StrategyKind::TwoPhaseSchedule { linear: None, credit: None }
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        }
     }
 }
 
@@ -46,15 +51,27 @@ mod tests {
 
     #[test]
     fn asymmetric_large_message_uses_tps() {
-        assert!(matches!(sel("8x32x16", 4096), StrategyKind::TwoPhaseSchedule { .. }));
-        assert!(matches!(sel("40x32x16", 1024), StrategyKind::TwoPhaseSchedule { .. }));
-        assert!(matches!(sel("8x8x2M", 1024), StrategyKind::TwoPhaseSchedule { .. }));
+        assert!(matches!(
+            sel("8x32x16", 4096),
+            StrategyKind::TwoPhaseSchedule { .. }
+        ));
+        assert!(matches!(
+            sel("40x32x16", 1024),
+            StrategyKind::TwoPhaseSchedule { .. }
+        ));
+        assert!(matches!(
+            sel("8x8x2M", 1024),
+            StrategyKind::TwoPhaseSchedule { .. }
+        ));
     }
 
     #[test]
     fn short_messages_use_vmesh() {
         assert!(matches!(sel("8x8x8", 8), StrategyKind::VirtualMesh { .. }));
-        assert!(matches!(sel("8x32x16", 16), StrategyKind::VirtualMesh { .. }));
+        assert!(matches!(
+            sel("8x32x16", 16),
+            StrategyKind::VirtualMesh { .. }
+        ));
     }
 
     #[test]

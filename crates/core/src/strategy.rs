@@ -173,7 +173,13 @@ impl AaRun {
 
     /// Execute the run.
     pub fn run(self) -> Result<AaReport, SimError> {
-        execute(self.part, &self.workload, &self.strategy, &self.params, Some(self.config))
+        execute(
+            self.part,
+            &self.workload,
+            &self.strategy,
+            &self.params,
+            Some(self.config),
+        )
     }
 }
 
@@ -274,11 +280,19 @@ fn execute(
         }
         StrategyKind::ThrottledAdaptive { factor } => {
             let pace = peak_injection_rate(&part, workload, params) * factor;
-            build_direct(&part, workload, &DirectConfig::throttled(params, pace), params)
+            build_direct(
+                &part,
+                workload,
+                &DirectConfig::throttled(params, pace),
+                params,
+            )
         }
         StrategyKind::TwoPhaseSchedule { linear, credit } => {
             base.inj_class_masks = tps_inj_class_masks(base.inj_fifo_count);
-            let cfg = TpsConfig { linear: *linear, credit: *credit };
+            let cfg = TpsConfig {
+                linear: *linear,
+                credit: *credit,
+            };
             (0..p)
                 .map(|r| {
                     Box::new(TpsProgram::new(r, &part, workload, &cfg, params))
@@ -287,7 +301,10 @@ fn execute(
                 .collect()
         }
         StrategyKind::VirtualMesh { layout } => {
-            let cfg = VmeshConfig { layout: *layout, ..VmeshConfig::default() };
+            let cfg = VmeshConfig {
+                layout: *layout,
+                ..VmeshConfig::default()
+            };
             (0..p)
                 .map(|r| {
                     Box::new(VmeshProgram::new(r, &part, workload, &cfg, params))
@@ -311,8 +328,7 @@ fn execute(
     let peak_cycles = peak_cycles_for(&part, workload, params);
     let cycles = stats.completion_cycle;
     let time_secs = cycles as f64 * params.secs_per_sim_cycle();
-    let sent_per_node =
-        workload.dests_per_node(p) as u64 * workload.m_bytes;
+    let sent_per_node = workload.dests_per_node(p) as u64 * workload.m_bytes;
     Ok(AaReport {
         partition: part,
         workload: workload.clone(),
@@ -321,7 +337,11 @@ fn execute(
         peak_cycles,
         percent_of_peak: bgl_model::percent_of_peak(peak_cycles, cycles as f64),
         time_secs,
-        per_node_bandwidth: if time_secs > 0.0 { sent_per_node as f64 / time_secs } else { 0.0 },
+        per_node_bandwidth: if time_secs > 0.0 {
+            sent_per_node as f64 / time_secs
+        } else {
+            0.0
+        },
         stats,
     })
 }
@@ -406,7 +426,14 @@ mod tests {
 
     #[test]
     fn tps_on_small_torus_delivers_everything() {
-        let r = quick("4x2x2", 240, StrategyKind::TwoPhaseSchedule { linear: None, credit: None });
+        let r = quick(
+            "4x2x2",
+            240,
+            StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+        );
         // Payload is delivered once via phase 1/direct and once more after
         // forwarding, so delivered bytes ≥ the application total.
         assert!(r.stats.payload_bytes_delivered >= 16 * 15 * 240);
@@ -420,7 +447,10 @@ mod tests {
             960,
             StrategyKind::TwoPhaseSchedule {
                 linear: None,
-                credit: Some(CreditConfig { window_packets: 4, credit_every: 2 }),
+                credit: Some(CreditConfig {
+                    window_packets: 4,
+                    credit_every: 2,
+                }),
             },
         );
         assert!(r.cycles > 0);
@@ -428,7 +458,13 @@ mod tests {
 
     #[test]
     fn vmesh_on_small_plane_completes() {
-        let r = quick("4x4", 8, StrategyKind::VirtualMesh { layout: VmeshLayout::Auto });
+        let r = quick(
+            "4x4",
+            8,
+            StrategyKind::VirtualMesh {
+                layout: VmeshLayout::Auto,
+            },
+        );
         assert!(r.cycles > 0);
         assert_eq!(r.stats.packets_delivered, r.stats.packets_injected);
     }
@@ -436,8 +472,15 @@ mod tests {
     #[test]
     fn throttled_completes_and_is_not_faster_than_ar() {
         let ar = quick("4x4x2", 480, StrategyKind::AdaptiveRandomized);
-        let th = quick("4x4x2", 480, StrategyKind::ThrottledAdaptive { factor: 1.0 });
-        assert_eq!(th.stats.payload_bytes_delivered, ar.stats.payload_bytes_delivered);
+        let th = quick(
+            "4x4x2",
+            480,
+            StrategyKind::ThrottledAdaptive { factor: 1.0 },
+        );
+        assert_eq!(
+            th.stats.payload_bytes_delivered,
+            ar.stats.payload_bytes_delivered
+        );
         // Pacing at the peak rate can't beat the unthrottled run by much.
         assert!(th.cycles as f64 >= ar.cycles as f64 * 0.5);
     }
@@ -446,7 +489,12 @@ mod tests {
     fn mpi_baseline_is_slower_than_ar_for_short_messages() {
         let ar = quick("4x4", 64, StrategyKind::AdaptiveRandomized);
         let mpi = quick("4x4", 64, StrategyKind::MpiBaseline);
-        assert!(mpi.cycles > ar.cycles, "MPI {} vs AR {}", mpi.cycles, ar.cycles);
+        assert!(
+            mpi.cycles > ar.cycles,
+            "MPI {} vs AR {}",
+            mpi.cycles,
+            ar.cycles
+        );
     }
 
     #[test]
@@ -510,8 +558,14 @@ mod tests {
         set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
         set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
         set.insert(StrategyKind::ThrottledAdaptive { factor: 0.5 });
-        set.insert(StrategyKind::TwoPhaseSchedule { linear: None, credit: None });
-        set.insert(StrategyKind::TwoPhaseSchedule { linear: None, credit: None });
+        set.insert(StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        });
+        set.insert(StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        });
         assert_eq!(set.len(), 3);
         // -0.0 and 0.0 compare equal and must hash equal.
         set.clear();
@@ -539,7 +593,11 @@ mod tests {
     fn strategy_names() {
         assert_eq!(StrategyKind::AdaptiveRandomized.name(), "AR");
         assert_eq!(
-            StrategyKind::TwoPhaseSchedule { linear: None, credit: None }.name(),
+            StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None
+            }
+            .name(),
             "TPS"
         );
     }

@@ -43,7 +43,10 @@ pub struct CreditConfig {
 
 impl Default for CreditConfig {
     fn default() -> Self {
-        CreditConfig { window_packets: 40, credit_every: 10 }
+        CreditConfig {
+            window_packets: 40,
+            credit_every: 10,
+        }
     }
 }
 
@@ -56,7 +59,6 @@ pub struct TpsConfig {
     /// Optional credit-based flow control.
     pub credit: Option<CreditConfig>,
 }
-
 
 /// The paper's linear-dimension choice: prefer the dimension whose removal
 /// leaves a *symmetric* plane (the odd-one-out size); otherwise the longest
@@ -77,7 +79,13 @@ pub fn choose_linear_dim(part: &Partition) -> Dim {
     // dimension is the bottleneck and must be the pipelined line.
     active
         .into_iter()
-        .reduce(|best, d| if part.size(d) > part.size(best) { d } else { best })
+        .reduce(|best, d| {
+            if part.size(d) > part.size(best) {
+                d
+            } else {
+                best
+            }
+        })
         .unwrap_or(Dim::X)
 }
 
@@ -87,7 +95,13 @@ pub fn choose_linear_dim(part: &Partition) -> Dim {
 pub fn tps_inj_class_masks(fifo_count: u32) -> Vec<u8> {
     let half = (fifo_count / 2).max(1);
     (0..fifo_count)
-        .map(|f| if f < half { 1 << CLASS_LINEAR } else { 1 << CLASS_PLANAR })
+        .map(|f| {
+            if f < half {
+                1 << CLASS_LINEAR
+            } else {
+                1 << CLASS_PLANAR
+            }
+        })
         .collect()
 }
 
@@ -190,7 +204,11 @@ impl NodeProgram for TpsProgram {
         let dst = part.coord_of(dst_rank);
         let inter = self.intermediate_for(dst);
         let shape = self.shapes[self.pkt_i];
-        let alpha = if self.pkt_i == 0 { self.alpha_sim_cycles } else { 0.0 };
+        let alpha = if self.pkt_i == 0 {
+            self.alpha_sim_cycles
+        } else {
+            0.0
+        };
         let spec = if inter == self.coord {
             // Destination lies in this node's own plane: a direct planar send.
             SendSpec {
@@ -199,7 +217,11 @@ impl NodeProgram for TpsProgram {
                 payload_bytes: shape.payload,
                 routing: RoutingMode::Adaptive,
                 class: CLASS_PLANAR,
-                meta: PacketMeta { kind: KIND_PHASE2, a: dst_rank, b: self.rank },
+                meta: PacketMeta {
+                    kind: KIND_PHASE2,
+                    a: dst_rank,
+                    b: self.rank,
+                },
                 longest_first: self.planar_longest_first,
                 cpu_cost_cycles: alpha,
             }
@@ -219,7 +241,11 @@ impl NodeProgram for TpsProgram {
                 payload_bytes: shape.payload,
                 routing: RoutingMode::Adaptive,
                 class: CLASS_LINEAR,
-                meta: PacketMeta { kind: KIND_PHASE1, a: dst_rank, b: self.rank },
+                meta: PacketMeta {
+                    kind: KIND_PHASE1,
+                    a: dst_rank,
+                    b: self.rank,
+                },
                 longest_first: false,
                 cpu_cost_cycles: alpha,
             }
@@ -263,7 +289,11 @@ impl NodeProgram for TpsProgram {
                         payload_bytes: pkt.payload_bytes,
                         routing: RoutingMode::Adaptive,
                         class: CLASS_PLANAR,
-                        meta: PacketMeta { kind: KIND_PHASE2, a: pkt.meta.a, b: pkt.meta.b },
+                        meta: PacketMeta {
+                            kind: KIND_PHASE2,
+                            a: pkt.meta.a,
+                            b: pkt.meta.b,
+                        },
                         longest_first: self.planar_longest_first,
                         cpu_cost_cycles: self.copy_cycles_per_chunk * pkt.chunks as f64,
                     });
@@ -331,7 +361,10 @@ mod tests {
     fn phase1_packets_travel_linear_dimension_only() {
         let part: Partition = "4x2x2".parse().unwrap();
         let w = AaWorkload::full(100);
-        let cfg = TpsConfig { linear: Some(Dim::X), credit: None };
+        let cfg = TpsConfig {
+            linear: Some(Dim::X),
+            credit: None,
+        };
         let mut prog = TpsProgram::new(0, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
         let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
@@ -360,7 +393,10 @@ mod tests {
     fn intermediate_forwards_phase1() {
         let part: Partition = "4x2x2".parse().unwrap();
         let w = AaWorkload::full(64);
-        let cfg = TpsConfig { linear: Some(Dim::X), credit: None };
+        let cfg = TpsConfig {
+            linear: Some(Dim::X),
+            credit: None,
+        };
         // Node 1 acts as intermediate for a packet whose final dest is 5.
         let mut prog = TpsProgram::new(1, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
@@ -380,7 +416,11 @@ mod tests {
             routing: RoutingMode::Adaptive,
             vc: bgl_sim::Vc::Dynamic0,
             class: CLASS_LINEAR,
-            meta: PacketMeta { kind: KIND_PHASE1, a: 5, b: 0 },
+            meta: PacketMeta {
+                kind: KIND_PHASE1,
+                a: 5,
+                b: 0,
+            },
             longest_first: false,
             injected_at: 0,
         };
@@ -390,18 +430,28 @@ mod tests {
         assert_eq!(fwd.dst_rank, 5);
         assert_eq!(fwd.class, CLASS_PLANAR);
         assert_eq!(fwd.meta.kind, KIND_PHASE2);
-        assert!(fwd.cpu_cost_cycles > 0.0, "forwarding must pay the copy cost");
+        assert!(
+            fwd.cpu_cost_cycles > 0.0,
+            "forwarding must pay the copy cost"
+        );
     }
 
     #[test]
     fn phase1_to_final_destination_is_not_forwarded() {
         let part: Partition = "4x2x2".parse().unwrap();
         let w = AaWorkload::full(64);
-        let cfg = TpsConfig { linear: Some(Dim::X), credit: None };
+        let cfg = TpsConfig {
+            linear: Some(Dim::X),
+            credit: None,
+        };
         let mut prog = TpsProgram::new(1, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
         let mut api = NodeApi::new(1, part.coord_of(1), 10, &part, &mut q);
-        let pkt_meta = PacketMeta { kind: KIND_PHASE1, a: 1, b: 0 };
+        let pkt_meta = PacketMeta {
+            kind: KIND_PHASE1,
+            a: 1,
+            b: 0,
+        };
         let pkt = Packet {
             id: 0,
             src_rank: 0,
@@ -431,7 +481,10 @@ mod tests {
         let w = AaWorkload::full(240 * 20); // many packets per destination
         let cfg = TpsConfig {
             linear: Some(Dim::X),
-            credit: Some(CreditConfig { window_packets: 3, credit_every: 1 }),
+            credit: Some(CreditConfig {
+                window_packets: 3,
+                credit_every: 1,
+            }),
         };
         let mut prog = TpsProgram::new(0, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
@@ -462,11 +515,18 @@ mod tests {
             routing: RoutingMode::Adaptive,
             vc: bgl_sim::Vc::Dynamic0,
             class: CLASS_LINEAR,
-            meta: PacketMeta { kind: KIND_CREDIT, a: blocked_dst, b: 1 },
+            meta: PacketMeta {
+                kind: KIND_CREDIT,
+                a: blocked_dst,
+                b: 1,
+            },
             longest_first: false,
             injected_at: 0,
         };
         prog.on_packet(&mut api, &credit);
-        assert!(prog.next_send(&mut api).is_some(), "credit must reopen the window");
+        assert!(
+            prog.next_send(&mut api).is_some(),
+            "credit must reopen the window"
+        );
     }
 }

@@ -35,7 +35,10 @@ pub struct VmeshConfig {
 
 impl Default for VmeshConfig {
     fn default() -> Self {
-        VmeshConfig { layout: VmeshLayout::Auto, min_packet_bytes: 32 }
+        VmeshConfig {
+            layout: VmeshLayout::Auto,
+            min_packet_bytes: 32,
+        }
     }
 }
 
@@ -127,7 +130,11 @@ impl NodeProgram for VmeshProgram {
         if !self.p1_done() {
             let dst = self.p1_targets[self.p1_idx];
             let shape = self.p1_shapes[self.p1_pkt];
-            let alpha = if self.p1_pkt == 0 { self.alpha_sim_cycles } else { 0.0 };
+            let alpha = if self.p1_pkt == 0 {
+                self.alpha_sim_cycles
+            } else {
+                0.0
+            };
             self.p1_pkt += 1;
             if self.p1_pkt >= self.p1_shapes.len() {
                 self.p1_pkt = 0;
@@ -139,7 +146,11 @@ impl NodeProgram for VmeshProgram {
                 payload_bytes: shape.payload,
                 routing: RoutingMode::Adaptive,
                 class: 0,
-                meta: PacketMeta { kind: KIND_ROW, a: self.rank, b: 0 },
+                meta: PacketMeta {
+                    kind: KIND_ROW,
+                    a: self.rank,
+                    b: 0,
+                },
                 longest_first: false,
                 cpu_cost_cycles: alpha,
             });
@@ -157,7 +168,11 @@ impl NodeProgram for VmeshProgram {
         let shape = self.p2_shapes[self.p2_pkt];
         // α per column message on its first packet, plus the γ sort/copy
         // cost spread across the message's packets.
-        let alpha = if self.p2_pkt == 0 { self.alpha_sim_cycles } else { 0.0 };
+        let alpha = if self.p2_pkt == 0 {
+            self.alpha_sim_cycles
+        } else {
+            0.0
+        };
         let copy = self.copy_cycles_per_chunk * shape.chunks as f64;
         self.p2_pkt += 1;
         if self.p2_pkt >= self.p2_shapes.len() {
@@ -170,7 +185,11 @@ impl NodeProgram for VmeshProgram {
             payload_bytes: shape.payload,
             routing: RoutingMode::Adaptive,
             class: 0,
-            meta: PacketMeta { kind: KIND_COL, a: self.rank, b: 0 },
+            meta: PacketMeta {
+                kind: KIND_COL,
+                a: self.rank,
+                b: 0,
+            },
             longest_first: false,
             cpu_cost_cycles: alpha + copy,
         })
@@ -221,7 +240,11 @@ mod tests {
             routing: RoutingMode::Adaptive,
             vc: bgl_sim::Vc::Dynamic0,
             class: 0,
-            meta: PacketMeta { kind: KIND_ROW, a: from, b: 0 },
+            meta: PacketMeta {
+                kind: KIND_ROW,
+                a: from,
+                b: 0,
+            },
             longest_first: false,
             injected_at: 0,
         }
@@ -256,7 +279,10 @@ mod tests {
         let mut q = VecDeque::new();
         for (i, &src) in sources.iter().enumerate() {
             // Still blocked with one message missing.
-            assert!(pull(&mut prog, &part, 5).is_none(), "blocked before message {i}");
+            assert!(
+                pull(&mut prog, &part, 5).is_none(),
+                "blocked before message {i}"
+            );
             let mut api = NodeApi::new(0, part.coord_of(0), 5, &part, &mut q);
             for _ in 0..per_msg {
                 prog.on_packet(&mut api, &fake_row_packet(&part, src, 0));

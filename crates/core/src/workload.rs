@@ -29,13 +29,24 @@ pub struct AaWorkload {
 impl AaWorkload {
     /// Full all-to-all of `m_bytes` per pair.
     pub fn full(m_bytes: u64) -> AaWorkload {
-        AaWorkload { m_bytes, coverage: 1.0, packets_per_visit: 1, seed: 0xaa11 }
+        AaWorkload {
+            m_bytes,
+            coverage: 1.0,
+            packets_per_visit: 1,
+            seed: 0xaa11,
+        }
     }
 
     /// Sampled all-to-all (see [`coverage`](Self::coverage)).
     pub fn sampled(m_bytes: u64, coverage: f64) -> AaWorkload {
-        assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0,1]");
-        AaWorkload { coverage, ..AaWorkload::full(m_bytes) }
+        assert!(
+            coverage > 0.0 && coverage <= 1.0,
+            "coverage must be in (0,1]"
+        );
+        AaWorkload {
+            coverage,
+            ..AaWorkload::full(m_bytes)
+        }
     }
 
     /// Number of destinations per node on a partition of `p` nodes.
@@ -88,7 +99,10 @@ pub fn packetize(m: u64, header: u32, min_packet: u32, params: &MachineParams) -
         app_left -= app_part;
         let wire = (head_part + app_part + overhead).max(min_packet as u64);
         let chunks = wire.div_ceil(chunk).min(8);
-        out.push(PacketShape { chunks: chunks as u8, payload: app_part as u32 });
+        out.push(PacketShape {
+            chunks: chunks as u8,
+            payload: app_part as u32,
+        });
     }
     debug_assert_eq!(app_left, 0);
     out

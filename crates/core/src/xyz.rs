@@ -123,7 +123,11 @@ impl NodeProgram for XyzProgram {
         let dst_rank = self.schedule[self.idx];
         let dst = part.coord_of(dst_rank);
         let shape = self.shapes[self.pkt_i];
-        let alpha = if self.pkt_i == 0 { self.alpha_sim_cycles } else { 0.0 };
+        let alpha = if self.pkt_i == 0 {
+            self.alpha_sim_cycles
+        } else {
+            0.0
+        };
         let (hop, class, kind) =
             Self::next_leg(&part, self.coord, dst).expect("schedule never includes self");
         self.advance();
@@ -133,7 +137,11 @@ impl NodeProgram for XyzProgram {
             payload_bytes: shape.payload,
             routing: RoutingMode::Adaptive,
             class,
-            meta: PacketMeta { kind, a: dst_rank, b: self.rank },
+            meta: PacketMeta {
+                kind,
+                a: dst_rank,
+                b: self.rank,
+            },
             longest_first: false,
             cpu_cost_cycles: alpha,
         })
@@ -154,7 +162,11 @@ impl NodeProgram for XyzProgram {
             payload_bytes: pkt.payload_bytes,
             routing: RoutingMode::Adaptive,
             class,
-            meta: PacketMeta { kind, a: pkt.meta.a, b: pkt.meta.b },
+            meta: PacketMeta {
+                kind,
+                a: pkt.meta.a,
+                b: pkt.meta.b,
+            },
             longest_first: false,
             cpu_cost_cycles: self.copy_cycles_per_chunk * pkt.chunks as f64,
         });
@@ -238,7 +250,11 @@ mod tests {
             routing: RoutingMode::Adaptive,
             vc: bgl_sim::Vc::Dynamic0,
             class: CLASS_X,
-            meta: PacketMeta { kind: 1, a: final_dst, b: 0 },
+            meta: PacketMeta {
+                kind: 1,
+                a: final_dst,
+                b: 0,
+            },
             longest_first: false,
             injected_at: 0,
         };

@@ -9,6 +9,9 @@
 //! Sweep points run across `--jobs` worker threads (default: all
 //! cores); results are identical for any thread count. `--json` emits
 //! the full [`AaReport`](bgl_core::AaReport) per point.
+//!
+//! Malformed input never panics: every parse failure prints a one-line
+//! error to stderr and exits with status 2. Unknown flags are rejected.
 
 use bgl_core::*;
 use bgl_harness::runner::{RunPoint, Runner, Scale};
@@ -17,27 +20,47 @@ use bgl_sim::SimConfig;
 use bgl_torus::{Dim, Partition, VmeshLayout};
 use std::collections::HashMap;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Print a one-line error and exit with the conventional usage status.
+fn fail(msg: &str) -> ! {
+    eprintln!("bglsim: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse `--flag value` / `--flag` pairs against the declared flag sets.
+/// Anything not listed — including bare positionals — is an error, as is
+/// a value flag without a following value.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> HashMap<String, String> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            let val = args.get(i + 1).filter(|v| !v.starts_with("--"));
-            match val {
-                Some(v) => {
+        let Some(key) = args[i].strip_prefix("--") else {
+            fail(&format!("unexpected argument {:?}", args[i]));
+        };
+        if bool_flags.contains(&key) {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else if value_flags.contains(&key) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
                     map.insert(key.to_string(), v.clone());
                     i += 2;
                 }
-                None => {
-                    map.insert(key.to_string(), "true".to_string());
-                    i += 1;
-                }
+                _ => fail(&format!("--{key} needs a value")),
             }
         } else {
-            i += 1;
+            fail(&format!("unknown flag --{key}"));
         }
     }
     map
+}
+
+fn parse_shape(s: &str) -> Partition {
+    s.parse()
+        .unwrap_or_else(|e| fail(&format!("invalid shape {s:?}: {e}")))
 }
 
 fn strategy_by_name(name: &str) -> StrategyKind {
@@ -46,17 +69,24 @@ fn strategy_by_name(name: &str) -> StrategyKind {
         "dr" => StrategyKind::DeterministicRouted,
         "mpi" => StrategyKind::MpiBaseline,
         "throttle" | "thr" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-        "tps" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
-        "vmesh" | "vm" => StrategyKind::VirtualMesh { layout: VmeshLayout::Auto },
+        "tps" => StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        "vmesh" | "vm" => StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
         "xyz" => StrategyKind::XyzRouting,
         "auto" => StrategyKind::Auto,
-        other => panic!("unknown strategy {other:?}"),
+        other => fail(&format!(
+            "unknown strategy {other:?} (ar|dr|mpi|thr|tps|vmesh|xyz|auto)"
+        )),
     }
 }
 
 fn cmd_sweep(flags: &HashMap<String, String>) {
     let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
-    let part: Partition = shape.parse().expect("valid shape");
+    let part = parse_shape(shape);
     let strategies: Vec<StrategyKind> = flags
         .get("strategies")
         .map(String::as_str)
@@ -69,26 +99,48 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
         .map(String::as_str)
         .unwrap_or("64,240,912")
         .split(',')
-        .map(|s| s.trim().parse().expect("numeric size"))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("--sizes needs numeric bytes, got {s:?}")))
+        })
         .collect();
-    let coverage: f64 = flags.get("coverage").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let coverage: f64 = flags.get("coverage").map_or(1.0, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("--coverage needs a fraction, got {s:?}")))
+    });
+    if !(0.0..=1.0).contains(&coverage) {
+        fail(&format!("--coverage must be within 0..=1, got {coverage}"));
+    }
     let csv = flags.contains_key("csv");
     let json = flags.contains_key("json");
     let mut runner = Runner::new(Scale::Paper);
     if let Some(n) = flags.get("jobs") {
-        runner = runner.with_jobs(n.parse().expect("--jobs needs a positive integer"));
+        let jobs = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| fail(&format!("--jobs needs a positive integer, got {n:?}")));
+        runner = runner.with_jobs(jobs);
     }
     let points: Vec<RunPoint> = sizes
         .iter()
         .flat_map(|&m| {
-            strategies.iter().map(move |s| RunPoint::new(part, s.clone(), m, coverage))
+            strategies
+                .iter()
+                .map(move |s| RunPoint::new(part, s.clone(), m, coverage))
         })
         .collect();
     runner.run_points(&points);
     if json {
-        let reports: Vec<AaReport> =
-            points.iter().filter_map(|p| runner.report(p).ok()).collect();
-        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        let reports: Vec<AaReport> = points
+            .iter()
+            .filter_map(|p| runner.report(p).ok())
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("serialize")
+        );
         return;
     }
     if csv {
@@ -123,7 +175,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
 
 fn cmd_fit(flags: &HashMap<String, String>) {
     let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
-    let part: Partition = shape.parse().expect("valid shape");
+    let part = parse_shape(shape);
     let params = MachineParams::bgl();
     let fit = fit_ptp_params(&part, &params);
     println!("ping-pong fit on {part} (Equation 1, T = α + m·β):");
@@ -140,43 +192,68 @@ fn cmd_fit(flags: &HashMap<String, String>) {
 
 fn cmd_pattern(flags: &HashMap<String, String>) {
     let shape = flags.get("shape").map(String::as_str).unwrap_or("4x4x4");
-    let part: Partition = shape.parse().expect("valid shape");
+    let part = parse_shape(shape);
     let params = MachineParams::bgl();
-    let m: u64 = flags.get("m").and_then(|s| s.parse().ok()).unwrap_or(480);
-    let spec = flags.get("pattern").map(String::as_str).unwrap_or("transpose:8");
+    let m: u64 = flags.get("m").map_or(480, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("--m needs numeric bytes, got {s:?}")))
+    });
+    let spec = flags
+        .get("pattern")
+        .map(String::as_str)
+        .unwrap_or("transpose:8");
     let (kind, arg) = spec.split_once(':').unwrap_or((spec, ""));
+    let numeric = |what: &str| -> u32 {
+        arg.parse()
+            .unwrap_or_else(|_| fail(&format!("{kind}:{what} needs a number, got {arg:?}")))
+    };
     let pattern = match kind {
         "a2a" => Pattern::AllToAll,
-        "shift" => Pattern::Shift { offset: arg.parse().expect("shift offset") },
-        "transpose" => Pattern::Transpose { rows: arg.parse().expect("transpose rows") },
-        "random" => Pattern::RandomPairs { degree: arg.parse().expect("random degree") },
+        "shift" => Pattern::Shift {
+            offset: numeric("offset"),
+        },
+        "transpose" => Pattern::Transpose {
+            rows: numeric("rows"),
+        },
+        "random" => Pattern::RandomPairs {
+            degree: numeric("degree"),
+        },
         "plane" => Pattern::PlaneAllToAll {
             fixed: match arg {
                 "x" => Dim::X,
                 "y" => Dim::Y,
                 "z" => Dim::Z,
-                _ => panic!("plane:x|y|z"),
+                _ => fail(&format!("plane pattern needs plane:x|y|z, got {arg:?}")),
             },
         },
-        other => panic!("unknown pattern {other:?}"),
+        other => fail(&format!(
+            "unknown pattern {other:?} (a2a|shift|transpose|random|plane)"
+        )),
     };
-    let rep = run_pattern(part, &pattern, m, &params, SimConfig::new(part), 7)
-        .expect("pattern completes");
-    println!("{pattern:?} on {part}, m={m} B/pair:");
-    println!("  pairs            : {}", rep.pairs);
-    println!("  completion       : {} cycles", rep.cycles);
-    println!("  generalized peak : {:.0} cycles", rep.peak_cycles);
-    println!("  percent of peak  : {:.1} %", rep.percent_of_peak);
+    match run_pattern(part, &pattern, m, &params, SimConfig::new(part), 7) {
+        Ok(rep) => {
+            println!("{pattern:?} on {part}, m={m} B/pair:");
+            println!("  pairs            : {}", rep.pairs);
+            println!("  completion       : {} cycles", rep.cycles);
+            println!("  generalized peak : {:.0} cycles", rep.peak_cycles);
+            println!("  percent of peak  : {:.1} %", rep.percent_of_peak);
+        }
+        Err(e) => fail(&format!("pattern run failed: {e}")),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let flags = parse_flags(&args[1.min(args.len())..]);
+    let rest = &args[1.min(args.len())..];
     match cmd {
-        "sweep" => cmd_sweep(&flags),
-        "fit" => cmd_fit(&flags),
-        "pattern" => cmd_pattern(&flags),
+        "sweep" => cmd_sweep(&parse_flags(
+            rest,
+            &["shape", "strategies", "sizes", "coverage", "jobs"],
+            &["csv", "json"],
+        )),
+        "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
+        "pattern" => cmd_pattern(&parse_flags(rest, &["shape", "pattern", "m"], &[])),
         _ => {
             eprintln!("usage: bglsim sweep|fit|pattern [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");

@@ -9,50 +9,97 @@
 //! `--jobs` worker threads; results are identical for any thread
 //! count. `--json` emits the full [`AaReport`](bgl_core::AaReport)
 //! per strategy.
+//!
+//! Malformed input never panics: every parse failure prints a one-line
+//! error to stderr and exits with status 2. Unknown flags are rejected.
 
 use bgl_core::*;
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_torus::{Partition, ALL_DIMS};
 
+fn fail(msg: &str) -> ! {
+    eprintln!("calib: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let shape = positional.first().map(|s| s.as_str()).unwrap_or("8x8x8").to_string();
-    let strats = positional.get(1).map(|s| s.as_str()).unwrap_or("AR").to_string();
-    let m: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(912);
-    let cov: f64 = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let json = args.iter().any(|a| a == "--json");
-    let jobs = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse::<usize>().expect("--jobs needs a positive integer"));
-    let part: Partition = shape.parse().expect("valid shape");
+    let mut positional: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--jobs" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => fail(&format!("--jobs needs a positive integer, got {v:?}")),
+                }
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() > 4 {
+        fail(&format!("unexpected argument {:?}", positional[4]));
+    }
+    let shape = positional.first().map(String::as_str).unwrap_or("8x8x8");
+    let strats = positional.get(1).map(String::as_str).unwrap_or("AR");
+    let m: u64 = positional.get(2).map_or(912, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("m_bytes needs a number, got {s:?}")))
+    });
+    let cov: f64 = positional.get(3).map_or(1.0, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("coverage needs a fraction, got {s:?}")))
+    });
+    if !(0.0..=1.0).contains(&cov) {
+        fail(&format!("coverage must be within 0..=1, got {cov}"));
+    }
+    let part: Partition = shape
+        .parse()
+        .unwrap_or_else(|e| fail(&format!("invalid shape {shape:?}: {e}")));
     let strategies: Vec<StrategyKind> = strats
         .split(',')
         .map(|s| match s.trim() {
             "AR" => StrategyKind::AdaptiveRandomized,
             "DR" => StrategyKind::DeterministicRouted,
-            "TPS" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
-            "VM" => StrategyKind::VirtualMesh { layout: bgl_torus::VmeshLayout::Auto },
+            "TPS" => StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+            "VM" => StrategyKind::VirtualMesh {
+                layout: bgl_torus::VmeshLayout::Auto,
+            },
             "THR" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
             "MPI" => StrategyKind::MpiBaseline,
-            other => panic!("unknown strategy {other}"),
+            other => fail(&format!(
+                "unknown strategy {other:?} (AR|DR|TPS|VM|THR|MPI)"
+            )),
         })
         .collect();
     let mut runner = Runner::new(Scale::Paper);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }
-    let points: Vec<RunPoint> =
-        strategies.iter().map(|s| RunPoint::new(part, s.clone(), m, cov)).collect();
+    let points: Vec<RunPoint> = strategies
+        .iter()
+        .map(|s| RunPoint::new(part, s.clone(), m, cov))
+        .collect();
     let t0 = std::time::Instant::now();
     runner.run_points(&points);
     let elapsed = t0.elapsed();
     if json {
-        let reports: Vec<AaReport> =
-            points.iter().filter_map(|p| runner.report(p).ok()).collect();
-        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        let reports: Vec<AaReport> = points
+            .iter()
+            .filter_map(|p| runner.report(p).ok())
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("serialize")
+        );
         return;
     }
     for point in &points {

@@ -16,10 +16,17 @@
 use bgl_harness::{experiments, run_suite, Runner, Scale};
 use std::path::PathBuf;
 
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
-        eprintln!("usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR]");
+        eprintln!(
+            "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR]"
+        );
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         std::process::exit(2);
     }
@@ -36,24 +43,23 @@ fn main() {
                 scale = match v.as_str() {
                     "quick" => Scale::Quick,
                     "paper" => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale {other:?} (quick|paper)");
-                        std::process::exit(2);
-                    }
+                    other => fail(&format!("unknown scale {other:?} (quick|paper)")),
                 };
             }
             "--jobs" => {
                 let v = it.next().unwrap_or_default();
                 match v.parse::<usize>() {
                     Ok(n) if n >= 1 => jobs = Some(n),
-                    _ => {
-                        eprintln!("--jobs needs a positive integer, got {v:?}");
-                        std::process::exit(2);
-                    }
+                    _ => fail(&format!("--jobs needs a positive integer, got {v:?}")),
                 }
             }
             "--json" => json = true,
-            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_default())),
+            "--out" => match it.next() {
+                Some(dir) if !dir.is_empty() && !dir.starts_with("--") => {
+                    out = Some(PathBuf::from(dir));
+                }
+                _ => fail("--out needs a directory"),
+            },
             "list" => {
                 for id in experiments::ALL_IDS {
                     println!("{id}");
@@ -61,6 +67,7 @@ fn main() {
                 return;
             }
             "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
             other => ids.push(other.to_string()),
         }
     }
@@ -79,20 +86,31 @@ fn main() {
         t0.elapsed()
     );
     if json {
-        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("serialize")
+        );
     } else {
         for rep in &reports {
             println!("{}\n", rep.to_text());
         }
     }
     if let Some(dir) = out {
-        std::fs::create_dir_all(&dir).expect("create output dir");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            fail(&format!("cannot create output dir {}: {e}", dir.display()));
+        }
+        let write = |name: String, body: String| {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                fail(&format!("cannot write {}: {e}", path.display()));
+            }
+        };
         for rep in &reports {
-            std::fs::write(dir.join(format!("{}.txt", rep.id)), rep.to_text()).unwrap();
-            std::fs::write(dir.join(format!("{}.csv", rep.id)), rep.to_csv()).unwrap();
+            write(format!("{}.txt", rep.id), rep.to_text());
+            write(format!("{}.csv", rep.id), rep.to_csv());
         }
         let json = serde_json::to_string_pretty(&reports).expect("serialize");
-        std::fs::write(dir.join("results.json"), json).unwrap();
+        write("results.json".to_string(), json);
         eprintln!("wrote {} reports to {}", reports.len(), dir.display());
     }
 }

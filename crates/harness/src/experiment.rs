@@ -32,7 +32,12 @@ impl ExperimentReport {
 
     /// Append a row (must match the column count).
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -85,7 +90,14 @@ impl ExperimentReport {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

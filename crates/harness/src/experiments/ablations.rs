@@ -47,37 +47,69 @@ struct Case {
 
 impl Case {
     fn new(label: &'static str, strategy: StrategyKind, tweak: Tweak) -> Case {
-        Case { variant: label, row: label, strategy, tweak }
+        Case {
+            variant: label,
+            row: label,
+            strategy,
+            tweak,
+        }
     }
 }
 
 /// The budgeted sweep on the scale-dependent asymmetric testbed.
 fn budget_cases() -> Vec<Case> {
     let ar = StrategyKind::AdaptiveRandomized;
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     let tps_credit = StrategyKind::TwoPhaseSchedule {
         linear: None,
         credit: Some(CreditConfig::default()),
     };
     vec![
         Case::new("baseline", ar.clone(), tweak(|_| {})),
-        Case::new("no-bubble-rule (slack=0)", ar.clone(), tweak(|c| {
-            c.router.bubble_slack_chunks = 0
-        })),
-        Case::new("no-escape-vc", ar.clone(), tweak(|c| {
-            c.router.adaptive_bubble_escape = false
-        })),
-        Case::new("vc-fifo-8-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 8)),
-        Case::new("vc-fifo-16-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 16)),
-        Case::new("vc-fifo-256-chunks", ar.clone(), tweak(|c| c.router.vc_fifo_chunks = 256)),
-        Case::new("longest-first-shaping", ar.clone(), tweak(|c| {
-            c.router.longest_first_bias = Some(true)
-        })),
-        Case::new("injection-priority", ar, tweak(|c| c.router.transit_priority = false)),
+        Case::new(
+            "no-bubble-rule (slack=0)",
+            ar.clone(),
+            tweak(|c| c.router.bubble_slack_chunks = 0),
+        ),
+        Case::new(
+            "no-escape-vc",
+            ar.clone(),
+            tweak(|c| c.router.adaptive_bubble_escape = false),
+        ),
+        Case::new(
+            "vc-fifo-8-chunks",
+            ar.clone(),
+            tweak(|c| c.router.vc_fifo_chunks = 8),
+        ),
+        Case::new(
+            "vc-fifo-16-chunks",
+            ar.clone(),
+            tweak(|c| c.router.vc_fifo_chunks = 16),
+        ),
+        Case::new(
+            "vc-fifo-256-chunks",
+            ar.clone(),
+            tweak(|c| c.router.vc_fifo_chunks = 256),
+        ),
+        Case::new(
+            "longest-first-shaping",
+            ar.clone(),
+            tweak(|c| c.router.longest_first_bias = Some(true)),
+        ),
+        Case::new(
+            "injection-priority",
+            ar,
+            tweak(|c| c.router.transit_priority = false),
+        ),
         Case::new("tps-baseline", tps.clone(), tweak(|_| {})),
-        Case::new("tps-shared-inj-fifos", tps, tweak(|c| {
-            c.inj_class_masks = vec![u8::MAX; 6]
-        })),
+        Case::new(
+            "tps-shared-inj-fifos",
+            tps,
+            tweak(|c| c.inj_class_masks = vec![u8::MAX; 6]),
+        ),
         Case::new("tps-credit-flow-control", tps_credit, tweak(|_| {})),
         // The HPCC-Randomaccess-style three-phase scheme the paper argues
         // TPS beats ("gains from lower overheads as it has only one
@@ -92,16 +124,22 @@ fn budget_cases() -> Vec<Case> {
 /// tight VC FIFOs) all need the full pressure to show at small scale.
 fn pinned_cases() -> Vec<Case> {
     let ar = StrategyKind::AdaptiveRandomized;
-    let mut cases: Vec<Case> = [("pinned-baseline (full AA 8x4x4)", false),
-        ("pinned-shaped (full AA 8x4x4)", true)]
-        .into_iter()
-        .map(|(label, bias)| {
-            Case::new(label, ar.clone(), tweak(move |c| {
+    let mut cases: Vec<Case> = [
+        ("pinned-baseline (full AA 8x4x4)", false),
+        ("pinned-shaped (full AA 8x4x4)", true),
+    ]
+    .into_iter()
+    .map(|(label, bias)| {
+        Case::new(
+            label,
+            ar.clone(),
+            tweak(move |c| {
                 c.router.longest_first_bias = Some(bias);
                 c.router.vc_fifo_chunks = 32; // BG/L's literal 1 KB VC FIFOs
-            }))
-        })
-        .collect();
+            }),
+        )
+    })
+    .collect();
     cases.push(Case {
         variant: "deadlock-demo",
         row: "no-bubble-rule, vc=32, full AA on 8x4x4",
@@ -153,7 +191,11 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             Ok(r) => pct(r.percent_of_peak),
             Err(e) => format!("{e}"),
         };
-        rep.push_row(vec![case.row.to_string(), case.strategy.name().to_string(), cell]);
+        rep.push_row(vec![
+            case.row.to_string(),
+            case.strategy.name().to_string(),
+            cell,
+        ]);
     };
     for c in &budget_cases() {
         case(c, shape, m, cov);
@@ -162,7 +204,9 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         case(c, PINNED.0, PINNED.1, PINNED.2);
     }
     rep.note("a Stalled outcome is the expected deadlock when the bubble machinery is disabled");
-    rep.note("tps-shared-inj-fifos removes the per-phase reservation that enables phase pipelining");
+    rep.note(
+        "tps-shared-inj-fifos removes the per-phase reservation that enables phase pipelining",
+    );
     rep
 }
 

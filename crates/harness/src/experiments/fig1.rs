@@ -37,7 +37,14 @@ pub(crate) fn ar_vs_model(
     let mut rep = ExperimentReport::new(
         id,
         &format!("AR measured vs Equation-3 model vs Equation-2 peak on {shape}"),
-        &["m (B)", "AA time sim (ms)", "model (ms)", "peak (ms)", "% of peak", "coverage"],
+        &[
+            "m (B)",
+            "AA time sim (ms)",
+            "model (ms)",
+            "peak (ms)",
+            "% of peak",
+            "coverage",
+        ],
     );
     let part: Partition = shape.parse().unwrap();
     let params = MachineParams::bgl();

@@ -44,7 +44,13 @@ pub fn run(runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "fig3",
         "Per-node throughput: peak vs AR one-packet vs AR large (paper Figure 3)",
-        &["Partition", "Peak MB/s/node", "AR 1-pkt MB/s/node", "AR large MB/s/node", "AR large %"],
+        &[
+            "Partition",
+            "Peak MB/s/node",
+            "AR 1-pkt MB/s/node",
+            "AR large MB/s/node",
+            "AR large %",
+        ],
     );
     for shape in shapes(runner.scale) {
         let part: Partition = shape.parse().unwrap();
@@ -95,7 +101,9 @@ mod tests {
         let r = Runner::new(Scale::Quick);
         let rep = run(&r);
         let bw_of = |shape: &str| -> f64 {
-            rep.rows.iter().find(|row| row[0] == shape).unwrap()[1].parse().unwrap()
+            rep.rows.iter().find(|row| row[0] == shape).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         // 8-line and 8x8x8 share M=8: peak/node differs only by the
         // (P-1)/P self-traffic factor, so the cube is slightly higher.

@@ -19,9 +19,7 @@ fn strategies() -> [StrategyKind; 3] {
 pub fn shapes(scale: Scale) -> Vec<&'static str> {
     match scale {
         Scale::Quick => vec!["8x4x4", "4x4x8", "4x4x4"],
-        Scale::Paper => vec![
-            "8x8x8", "16x8x8", "8x16x8", "8x8x16", "8x16x16", "8x32x16",
-        ],
+        Scale::Paper => vec!["8x8x8", "16x8x8", "8x16x8", "8x8x16", "8x16x16", "8x32x16"],
     }
 }
 
@@ -58,7 +56,9 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         ]);
     }
     rep.note("DR is best when X is the longest dimension (packets start on the bottleneck links)");
-    rep.note("throttling at the bisection rate changes little — congestion happens inside the network");
+    rep.note(
+        "throttling at the bisection rate changes little — congestion happens inside the network",
+    );
     rep
 }
 
@@ -72,7 +72,9 @@ mod tests {
         let r = Runner::new(Scale::Quick);
         let rep = run(&r);
         let dr = |shape: &str| -> f64 {
-            rep.rows.iter().find(|row| row[0] == shape).unwrap()[2].parse().unwrap()
+            rep.rows.iter().find(|row| row[0] == shape).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         // DR on 8x4x4 (X longest) beats DR on 4x4x8 (Z longest): the
         // paper's dimension-order asymmetry.

@@ -19,7 +19,12 @@ pub fn run(_runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "fig5",
         "VMesh Equation-4 prediction, 32x16 virtual mesh on 8x8x8 (paper Figure 5)",
-        &["m (B)", "T_vmesh model (ms)", "T_direct model (ms)", "winner"],
+        &[
+            "m (B)",
+            "T_vmesh model (ms)",
+            "T_direct model (ms)",
+            "winner",
+        ],
     );
     let params = MachineParams::bgl();
     let part: Partition = "8x8x8".parse().unwrap();
@@ -51,8 +56,14 @@ mod tests {
     fn winner_flips_once_from_vmesh_to_direct() {
         let rep = run(&Runner::new(Scale::Quick));
         let winners: Vec<&str> = rep.rows.iter().map(|r| r[3].as_str()).collect();
-        let first_direct = winners.iter().position(|&w| w == "direct").expect("direct wins large");
+        let first_direct = winners
+            .iter()
+            .position(|&w| w == "direct")
+            .expect("direct wins large");
         assert!(first_direct > 0, "vmesh must win the smallest sizes");
-        assert!(winners[first_direct..].iter().all(|&w| w == "direct"), "single crossover");
+        assert!(
+            winners[first_direct..].iter().all(|&w| w == "direct"),
+            "single crossover"
+        );
     }
 }

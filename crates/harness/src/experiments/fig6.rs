@@ -25,7 +25,9 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
     let shape = shape(runner.scale);
-    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let vmesh = StrategyKind::VirtualMesh {
+        layout: VmeshLayout::Auto,
+    };
     let ar = StrategyKind::AdaptiveRandomized;
     sizes(runner.scale)
         .iter()
@@ -42,7 +44,9 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         &["m (B)", "VMesh ms", "AR ms", "AR/VMesh", "winner"],
     );
     let shape = shape(runner.scale);
-    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let vmesh = StrategyKind::VirtualMesh {
+        layout: VmeshLayout::Auto,
+    };
     let ar = StrategyKind::AdaptiveRandomized;
     for m in sizes(runner.scale) {
         let v = runner.aa(shape, &vmesh, m);
@@ -61,8 +65,10 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             }
             (v, a) => rep.push_row(vec![
                 m.to_string(),
-                v.map(|r| format!("{:.4}", r.time_secs * 1e3)).unwrap_or_else(|e| e.to_string()),
-                a.map(|r| format!("{:.4}", r.time_secs * 1e3)).unwrap_or_else(|e| e.to_string()),
+                v.map(|r| format!("{:.4}", r.time_secs * 1e3))
+                    .unwrap_or_else(|e| e.to_string()),
+                a.map(|r| format!("{:.4}", r.time_secs * 1e3))
+                    .unwrap_or_else(|e| e.to_string()),
                 "-".into(),
                 "-".into(),
             ]),
@@ -82,6 +88,11 @@ mod tests {
         let r = Runner::new(Scale::Quick);
         let rep = run(&r);
         assert_eq!(rep.rows[0][4], "vmesh", "8 B: {:?}", rep.rows[0]);
-        assert_eq!(rep.rows.last().unwrap()[4], "direct", "256 B: {:?}", rep.rows.last());
+        assert_eq!(
+            rep.rows.last().unwrap()[4],
+            "direct",
+            "256 B: {:?}",
+            rep.rows.last()
+        );
     }
 }

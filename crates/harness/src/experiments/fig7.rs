@@ -28,8 +28,19 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
 fn strategies() -> [(&'static str, StrategyKind); 3] {
     [
         ("AR", StrategyKind::AdaptiveRandomized),
-        ("TPS", StrategyKind::TwoPhaseSchedule { linear: None, credit: None }),
-        ("VMesh", StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }),
+        (
+            "TPS",
+            StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+        ),
+        (
+            "VMesh",
+            StrategyKind::VirtualMesh {
+                layout: VmeshLayout::Auto,
+            },
+        ),
     ]
 }
 

@@ -19,8 +19,18 @@ use crate::runner::{RunPoint, Runner};
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "fig2", "table1", "table2", "fig3", "fig4", "table3", "table4", "fig5", "fig6",
-    "fig7", "ablations",
+    "fig1",
+    "fig2",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablations",
 ];
 
 /// The simulation points one experiment needs, by id. Feeding these to

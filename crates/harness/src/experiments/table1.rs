@@ -32,7 +32,13 @@ pub fn run(runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "table1",
         "AR % of peak, symmetric partitions, large messages (paper Table 1)",
-        &["Partition", "AR % (sim)", "AR % (paper)", "m (B)", "coverage"],
+        &[
+            "Partition",
+            "AR % (sim)",
+            "AR % (paper)",
+            "m (B)",
+            "coverage",
+        ],
     );
     for shape in shapes(runner.scale) {
         let m = runner.large_m_for(&shape.parse().unwrap());

@@ -32,7 +32,13 @@ pub fn run(runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "table2",
         "AR % of peak, asymmetric meshes and tori, large messages (paper Table 2)",
-        &["Partition", "AR % (sim)", "AR % (paper)", "m (B)", "coverage"],
+        &[
+            "Partition",
+            "AR % (sim)",
+            "AR % (paper)",
+            "m (B)",
+            "coverage",
+        ],
     );
     for shape in shapes(runner.scale) {
         let m = runner.large_m_for(&shape.parse().unwrap());

@@ -18,7 +18,10 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
 
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
-    let strategy = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let strategy = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     shapes(runner.scale)
         .iter()
         .map(|shape| {
@@ -34,9 +37,20 @@ pub fn run(runner: &Runner) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "table3",
         "Two Phase Schedule % of peak and phase-1 dimension (paper Table 3)",
-        &["Nodes", "Partition", "TPS % (sim)", "TPS % (paper)", "Phase1 (sim)", "Phase1 (paper)", "coverage"],
+        &[
+            "Nodes",
+            "Partition",
+            "TPS % (sim)",
+            "TPS % (paper)",
+            "Phase1 (sim)",
+            "Phase1 (paper)",
+            "coverage",
+        ],
     );
-    let strategy = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let strategy = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     for shape in shapes(runner.scale) {
         let part: Partition = shape.parse().unwrap();
         let m = runner.large_m_for(&part);

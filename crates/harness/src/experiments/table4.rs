@@ -19,7 +19,10 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
 
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     let ar = StrategyKind::AdaptiveRandomized;
     shapes(runner.scale)
         .iter()
@@ -42,7 +45,10 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             "TPS/AR (sim)",
         ],
     );
-    let tps = StrategyKind::TwoPhaseSchedule { linear: None, credit: None };
+    let tps = StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    };
     let ar = StrategyKind::AdaptiveRandomized;
     for shape in shapes(runner.scale) {
         let (p_tps, p_ar) = TABLE4_LATENCY_MS
@@ -76,7 +82,9 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             ]),
         }
     }
-    rep.note("1-byte payload rides the 64-byte minimum packet; sampled runs extrapolated by 1/coverage");
+    rep.note(
+        "1-byte payload rides the 64-byte minimum packet; sampled runs extrapolated by 1/coverage",
+    );
     rep
 }
 

@@ -32,8 +32,11 @@ pub use runner::{Runner, Scale};
 /// points shared across experiments run once and the pool stays full
 /// across experiment boundaries.
 pub fn run_suite(runner: &Runner, ids: &[&str]) -> Vec<ExperimentReport> {
-    let points: Vec<_> =
-        ids.iter().filter_map(|id| experiments::points_by_id(runner, id)).flatten().collect();
+    let points: Vec<_> = ids
+        .iter()
+        .filter_map(|id| experiments::points_by_id(runner, id))
+        .flatten()
+        .collect();
     runner.run_points(&points);
     ids.iter()
         .filter_map(|id| {

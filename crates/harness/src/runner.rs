@@ -85,7 +85,13 @@ pub struct RunKey {
 impl RunKey {
     /// Key for a run at `coverage` with the default config.
     pub fn new(part: Partition, strategy: StrategyKind, m: u64, coverage: f64) -> RunKey {
-        RunKey { part, strategy, m, coverage_ppm: RunKey::quantize(coverage), variant: "" }
+        RunKey {
+            part,
+            strategy,
+            m,
+            coverage_ppm: RunKey::quantize(coverage),
+            variant: "",
+        }
     }
 
     /// Quantize a coverage fraction to parts per million.
@@ -123,7 +129,10 @@ pub struct RunPoint {
 impl RunPoint {
     /// A point with the default simulator configuration.
     pub fn new(part: Partition, strategy: StrategyKind, m: u64, coverage: f64) -> RunPoint {
-        RunPoint { key: RunKey::new(part, strategy, m, coverage), tweak: None }
+        RunPoint {
+            key: RunKey::new(part, strategy, m, coverage),
+            tweak: None,
+        }
     }
 
     /// Attach a configuration variant. `label` must uniquely describe
@@ -171,7 +180,9 @@ impl Runner {
     /// A runner at `scale` with BG/L parameters, using every available
     /// core for [`Runner::run_points`].
     pub fn new(scale: Scale) -> Runner {
-        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Runner {
             params: MachineParams::bgl(),
             scale,
@@ -312,7 +323,10 @@ impl Runner {
 
     /// How many distinct runs the cache holds (completed or failed).
     pub fn cached_runs(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache lock").len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").len())
+            .sum()
     }
 
     /// A large-message size that packs into full 256-byte packets
@@ -340,7 +354,11 @@ impl Runner {
     }
 
     fn lookup(&self, key: &RunKey) -> Option<Result<AaReport, SimError>> {
-        self.shard(key).lock().expect("cache lock").get(key).cloned()
+        self.shard(key)
+            .lock()
+            .expect("cache lock")
+            .get(key)
+            .cloned()
     }
 
     fn run_keyed(
@@ -410,22 +428,46 @@ mod tests {
     fn variants_do_not_collide() {
         let r = Runner::new(Scale::Quick);
         let base = r
-            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "", |_| {})
+            .aa_variant(
+                "4x4",
+                &StrategyKind::AdaptiveRandomized,
+                240,
+                1.0,
+                "",
+                |_| {},
+            )
             .unwrap();
         let tweaked = r
-            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "vc8", |c| {
-                c.router.vc_fifo_chunks = 8
-            })
+            .aa_variant(
+                "4x4",
+                &StrategyKind::AdaptiveRandomized,
+                240,
+                1.0,
+                "vc8",
+                |c| c.router.vc_fifo_chunks = 8,
+            )
             .unwrap();
         assert_eq!(r.cached_runs(), 2);
         // Each label re-fetches its own cached result.
         let base2 = r
-            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "", |_| {})
+            .aa_variant(
+                "4x4",
+                &StrategyKind::AdaptiveRandomized,
+                240,
+                1.0,
+                "",
+                |_| {},
+            )
             .unwrap();
         let tweaked2 = r
-            .aa_variant("4x4", &StrategyKind::AdaptiveRandomized, 240, 1.0, "vc8", |c| {
-                c.router.vc_fifo_chunks = 8
-            })
+            .aa_variant(
+                "4x4",
+                &StrategyKind::AdaptiveRandomized,
+                240,
+                1.0,
+                "vc8",
+                |c| c.router.vc_fifo_chunks = 8,
+            )
             .unwrap();
         assert_eq!(base.cycles, base2.cycles);
         assert_eq!(tweaked.cycles, tweaked2.cycles);
@@ -436,9 +478,40 @@ mod tests {
     #[test]
     fn quick_scale_is_cheap() {
         let r = Runner::new(Scale::Quick);
-        let rep = r.aa("8x8x8", &StrategyKind::AdaptiveRandomized, 912).unwrap();
+        let rep = r
+            .aa("8x8x8", &StrategyKind::AdaptiveRandomized, 912)
+            .unwrap();
         // Budgeted coverage keeps the run small.
         assert!(rep.workload.coverage < 1.0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+        /// `quantize` → `coverage` → `quantize` is a fixed point: the
+        /// fraction a key reports re-keys to the same key, so cache
+        /// lookups through a report's coverage can never alias or miss.
+        #[test]
+        fn quantize_coverage_round_trips(ppm in 1u32..=COVERAGE_PPM_FULL) {
+            let part: Partition = "4x4".parse().unwrap();
+            let coverage = ppm as f64 / COVERAGE_PPM_FULL as f64;
+            let key = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, coverage);
+            proptest::prop_assert_eq!(key.coverage_ppm, ppm);
+            let rekeyed =
+                RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, key.coverage());
+            proptest::prop_assert_eq!(&rekeyed, &key);
+        }
+
+        /// Arbitrary (even denormal-ish or out-of-range) fractions
+        /// quantize into 1..=PPM_FULL and stabilize after one round.
+        #[test]
+        fn quantize_is_idempotent_for_raw_fractions(bits in proptest::arbitrary::any::<u64>()) {
+            let raw = (bits as f64 / u64::MAX as f64) * 1.5 - 0.25; // spans [-0.25, 1.25]
+            let ppm = RunKey::quantize(raw);
+            proptest::prop_assert!((1..=COVERAGE_PPM_FULL).contains(&ppm));
+            let again = RunKey::quantize(ppm as f64 / COVERAGE_PPM_FULL as f64);
+            proptest::prop_assert_eq!(again, ppm);
+        }
     }
 
     #[test]
@@ -470,13 +543,15 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_results_match() {
-        let strategies =
-            [StrategyKind::AdaptiveRandomized, StrategyKind::DeterministicRouted, StrategyKind::XyzRouting];
+        let strategies = [
+            StrategyKind::AdaptiveRandomized,
+            StrategyKind::DeterministicRouted,
+            StrategyKind::XyzRouting,
+        ];
         let serial = Runner::new(Scale::Quick).with_jobs(1);
         let parallel = Runner::new(Scale::Quick).with_jobs(4);
         for r in [&serial, &parallel] {
-            let pts: Vec<RunPoint> =
-                strategies.iter().map(|s| r.point("4x4", s, 240)).collect();
+            let pts: Vec<RunPoint> = strategies.iter().map(|s| r.point("4x4", s, 240)).collect();
             r.run_points(&pts);
         }
         for s in &strategies {

@@ -1,0 +1,106 @@
+//! CLI hardening tests: malformed input to `bglsim`, `repro`, and
+//! `calib` must produce a one-line stderr message and exit status 2 —
+//! never a panic (which would exit 101 with a backtrace).
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn CLI binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The failure contract: exit 2 (not a 101 panic), exactly one line on
+/// stderr, and that line mentions the offending input.
+fn assert_clean_failure(bin: &str, args: &[&str], needle: &str) {
+    let (code, _stdout, stderr) = run(bin, args);
+    assert_eq!(
+        code,
+        Some(2),
+        "{bin} {args:?} should exit 2, stderr: {stderr}"
+    );
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{bin} {args:?} stderr: {stderr:?}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{bin} {args:?} stderr {stderr:?} lacks {needle:?}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{bin} {args:?} panicked: {stderr}"
+    );
+}
+
+#[test]
+fn bglsim_rejects_malformed_input() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    assert_clean_failure(bin, &["sweep", "--shape", "8xbogus"], "invalid shape");
+    assert_clean_failure(bin, &["sweep", "--sizes", "12,notanumber"], "numeric bytes");
+    assert_clean_failure(bin, &["sweep", "--strategies", "warp"], "unknown strategy");
+    assert_clean_failure(bin, &["sweep", "--coverage", "1.5"], "within 0..=1");
+    assert_clean_failure(bin, &["sweep", "--jobs", "0"], "positive integer");
+    assert_clean_failure(bin, &["sweep", "--frobnicate"], "unknown flag");
+    assert_clean_failure(bin, &["sweep", "--shape"], "needs a value");
+    assert_clean_failure(bin, &["sweep", "--shape", "--csv"], "needs a value");
+    assert_clean_failure(bin, &["sweep", "stray"], "unexpected argument");
+    assert_clean_failure(bin, &["pattern", "--pattern", "plane:w"], "plane:x|y|z");
+    assert_clean_failure(bin, &["pattern", "--pattern", "swirl:3"], "unknown pattern");
+    assert_clean_failure(bin, &["pattern", "--m", "many"], "numeric bytes");
+}
+
+#[test]
+fn bglsim_usage_exits_2_without_panicking() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let (code, _stdout, stderr) = run(bin, &[]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn calib_rejects_malformed_input() {
+    let bin = env!("CARGO_BIN_EXE_calib");
+    assert_clean_failure(bin, &["8xbogus"], "invalid shape");
+    assert_clean_failure(bin, &["4x4", "WARP"], "unknown strategy");
+    assert_clean_failure(bin, &["4x4", "AR", "lots"], "needs a number");
+    assert_clean_failure(bin, &["4x4", "AR", "64", "2.0"], "within 0..=1");
+    assert_clean_failure(
+        bin,
+        &["4x4", "AR", "64", "1.0", "--jobs", "zero"],
+        "positive integer",
+    );
+    assert_clean_failure(bin, &["4x4", "--frobnicate"], "unknown flag");
+    assert_clean_failure(
+        bin,
+        &["4x4", "AR", "64", "1.0", "extra"],
+        "unexpected argument",
+    );
+}
+
+#[test]
+fn repro_rejects_malformed_input() {
+    let bin = env!("CARGO_BIN_EXE_repro");
+    assert_clean_failure(bin, &["table3", "--scale", "huge"], "unknown scale");
+    assert_clean_failure(bin, &["table3", "--jobs", "-1"], "positive integer");
+    assert_clean_failure(bin, &["table3", "--out"], "needs a directory");
+    assert_clean_failure(bin, &["table3", "--out", "--json"], "needs a directory");
+    assert_clean_failure(bin, &["table3", "--frobnicate"], "unknown flag");
+}
+
+/// A tiny happy-path smoke so the suite also proves the binaries still
+/// *work* after the flag-parsing rewrite (quick fit, no simulation).
+#[test]
+fn bglsim_fit_happy_path() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let (code, stdout, stderr) = run(bin, &["fit", "--shape", "4x4x4"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("ping-pong fit"), "{stdout}");
+}

@@ -4,8 +4,8 @@
 //! rendered experiment rows.
 
 use bgl_core::StrategyKind;
-use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_harness::run_suite;
+use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_torus::VmeshLayout;
 
 /// A point set that crosses shapes, strategies, message sizes, sampled
@@ -14,8 +14,21 @@ fn point_set(runner: &Runner) -> Vec<RunPoint> {
     let mut pts = vec![
         runner.point("4x4", &StrategyKind::AdaptiveRandomized, 240),
         runner.point("4x4", &StrategyKind::DeterministicRouted, 240),
-        runner.point("4x4x2", &StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 240),
-        runner.point("4x4", &StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }, 32),
+        runner.point(
+            "4x4x2",
+            &StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+            240,
+        ),
+        runner.point(
+            "4x4",
+            &StrategyKind::VirtualMesh {
+                layout: VmeshLayout::Auto,
+            },
+            32,
+        ),
         runner.point("4x4x4", &StrategyKind::XyzRouting, 64),
         runner.point("8x8x8", &StrategyKind::AdaptiveRandomized, 912), // coverage-sampled at Quick
     ];
@@ -30,7 +43,10 @@ fn point_set(runner: &Runner) -> Vec<RunPoint> {
 #[test]
 fn one_thread_and_many_threads_agree_exactly() {
     let serial = Runner::new(Scale::Quick).with_jobs(1);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4);
     let parallel = Runner::new(Scale::Quick).with_jobs(threads);
     serial.run_points(&point_set(&serial));
     parallel.run_points(&point_set(&parallel));
@@ -65,5 +81,9 @@ fn repeated_batches_reuse_the_cache() {
     runner.run_points(&pts);
     let n = runner.cached_runs();
     runner.run_points(&pts);
-    assert_eq!(runner.cached_runs(), n, "second batch must be pure cache hits");
+    assert_eq!(
+        runner.cached_runs(),
+        n,
+        "second batch must be pure cache hits"
+    );
 }

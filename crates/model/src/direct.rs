@@ -24,7 +24,10 @@ pub fn aa_direct_time_secs(part: &Partition, m: u64, params: &MachineParams) -> 
 /// time. Approaches `m/(m+h)` (header overhead) for large `m`, collapses
 /// for small `m` where the `P·α` term dominates.
 pub fn predicted_percent_of_peak(part: &Partition, m: u64, params: &MachineParams) -> f64 {
-    crate::percent_of_peak(aa_peak_time_secs(part, m, params), aa_direct_time_secs(part, m, params))
+    crate::percent_of_peak(
+        aa_peak_time_secs(part, m, params),
+        aa_direct_time_secs(part, m, params),
+    )
 }
 
 /// The model curve for Figures 1 and 2: `(m, T_model_secs, T_peak_secs)`
@@ -36,7 +39,13 @@ pub fn model_curve(
 ) -> Vec<(u64, f64, f64)> {
     sizes
         .iter()
-        .map(|&m| (m, aa_direct_time_secs(part, m, params), aa_peak_time_secs(part, m, params)))
+        .map(|&m| {
+            (
+                m,
+                aa_direct_time_secs(part, m, params),
+                aa_peak_time_secs(part, m, params),
+            )
+        })
         .collect()
 }
 

@@ -151,7 +151,11 @@ impl MachineParams {
         let n = self.packets_for_message(m);
         debug_assert!(i < n);
         let payload_per = self.max_packet_payload() as u64;
-        let this_payload = if i + 1 < n { payload_per } else { total - payload_per * (n - 1) };
+        let this_payload = if i + 1 < n {
+            payload_per
+        } else {
+            total - payload_per * (n - 1)
+        };
         let raw = this_payload as u32 + self.packet_overhead_bytes;
         let rounded = raw.div_ceil(self.chunk_bytes) * self.chunk_bytes;
         rounded.clamp(self.min_packet_bytes, self.max_packet_bytes)

@@ -81,8 +81,7 @@ mod tests {
         let small: Partition = "8x8x8".parse().unwrap();
         let large: Partition = "16x16x16".parse().unwrap();
         assert!(
-            aa_peak_time_secs(&large, 1024, &params)
-                > aa_peak_time_secs(&small, 1024, &params)
+            aa_peak_time_secs(&large, 1024, &params) > aa_peak_time_secs(&small, 1024, &params)
         );
     }
 }

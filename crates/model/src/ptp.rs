@@ -84,6 +84,8 @@ mod tests {
         let near = m.pair_time_secs(&part, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 100);
         let far = m.pair_time_secs(&part, Coord::new(0, 0, 0), Coord::new(4, 4, 4), 100);
         let extra_hops = 11.0;
-        assert!((far - near - extra_hops * p.hop_latency_cycles * p.secs_per_cpu_cycle()).abs() < 1e-15);
+        assert!(
+            (far - near - extra_hops * p.hop_latency_cycles * p.secs_per_cpu_cycle()).abs() < 1e-15
+        );
     }
 }

@@ -35,7 +35,10 @@ pub fn predicted_percent_of_peak(vm: &VirtualMesh, m: u64, params: &MachineParam
 
 /// The prediction curve for Figure 5: `(m, T_vmesh_secs)` per message size.
 pub fn model_curve(vm: &VirtualMesh, sizes: &[u64], params: &MachineParams) -> Vec<(u64, f64)> {
-    sizes.iter().map(|&m| (m, aa_vmesh_time_secs(vm, m, params))).collect()
+    sizes
+        .iter()
+        .map(|&m| (m, aa_vmesh_time_secs(vm, m, params)))
+        .collect()
 }
 
 /// The paper's simplified crossover estimate between direct and combining:
@@ -56,8 +59,7 @@ pub fn crossover_exact(vm: &VirtualMesh, params: &MachineParams) -> Option<f64> 
     let beta = params.beta_secs_per_byte();
     let gamma = params.gamma_secs_per_byte();
     // direct(m) = a_d + b_d·m ; vmesh(m) = a_v + b_v·m
-    let a_d = p * params.alpha_direct_secs()
-        + p * c * params.software_header_bytes as f64 * beta;
+    let a_d = p * params.alpha_direct_secs() + p * c * params.software_header_bytes as f64 * beta;
     let b_d = p * c * beta;
     let a_v = (vm.pvx() + vm.pvy()) as f64 * params.alpha_message_secs()
         + 2.0 * p * params.proto_header_bytes as f64 * (c * beta + gamma);
@@ -85,7 +87,9 @@ mod tests {
         let vm = vm512();
         let m = 64u64;
         let want = (32.0 + 16.0) * params.alpha_message_secs()
-            + 2.0 * 512.0 * (64.0 + 8.0)
+            + 2.0
+                * 512.0
+                * (64.0 + 8.0)
                 * (1.0 * params.beta_secs_per_byte() + params.gamma_secs_per_byte());
         assert!((aa_vmesh_time_secs(&vm, m, &params) - want).abs() / want < 1e-12);
     }

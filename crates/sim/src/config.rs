@@ -164,6 +164,13 @@ pub struct SimConfig {
     /// `NetStats::link_busy_per_link`). Off by default: it adds a vector
     /// of `6·P` counters to every run.
     pub detailed_link_stats: bool,
+    /// Validation/benchmark knob: disable the active-node worklists and
+    /// scan every node in every phase of every cycle (the reference
+    /// full-scan engine). Results are byte-identical either way — the
+    /// active-set engine only skips nodes that provably have no work —
+    /// so this exists for equivalence tests and before/after
+    /// benchmarking, never for correctness.
+    pub full_scan_engine: bool,
 }
 
 impl SimConfig {
@@ -181,6 +188,7 @@ impl SimConfig {
             watchdog_cycles: 200_000,
             max_cycles: 2_000_000_000,
             detailed_link_stats: false,
+            full_scan_engine: false,
         }
     }
 }

@@ -55,7 +55,11 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Stalled { cycle, live_packets, incomplete_programs } => write!(
+            SimError::Stalled {
+                cycle,
+                live_packets,
+                incomplete_programs,
+            } => write!(
                 f,
                 "simulation stalled at cycle {cycle}: {live_packets} live packets, \
                  {incomplete_programs} incomplete programs"
@@ -85,6 +89,44 @@ struct Win {
     vc: Vc,
 }
 
+/// A lazily-cleared bitset over node indices, scanned in ascending index
+/// order (never hash order) so the active-set engine visits nodes in
+/// exactly the sequence the full scan would.
+///
+/// The engine maintains the invariant that every node with work is marked;
+/// a marked node that turns out to be idle is cleared when visited. Bits
+/// are only ever *set* for other nodes between phases (arrivals mark
+/// arbitration work, deliveries mark CPU work), so a phase can iterate a
+/// snapshot of each word without missing work.
+struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// A set over `n` nodes with every node marked (the engine prunes
+    /// lazily from the conservative side).
+    fn all(n: usize) -> ActiveSet {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        ActiveSet { words }
+    }
+
+    #[inline]
+    fn mark(&mut self, i: usize) {
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+}
+
 /// The simulator.
 pub struct Engine {
     cfg: SimConfig,
@@ -99,6 +141,15 @@ pub struct Engine {
     link_busy_until: Vec<u64>,
     ring: Vec<Vec<Arrival>>,
     deliver_q: Vec<(u32, u8)>,
+    /// Nodes that may have CPU work (non-empty reception/pending/pulled
+    /// queues, or a program that has not declared completion).
+    cpu_active: ActiveSet,
+    /// Nodes that may have a packet to arbitrate out (non-zero `vc_mask`
+    /// or `inj_mask`).
+    arb_active: ActiveSet,
+    /// Reference mode: scan every node every cycle (see
+    /// `SimConfig::full_scan_engine`).
+    full_scan: bool,
     live_packets: u64,
     pending_total: u64,
     done_programs: usize,
@@ -122,9 +173,14 @@ impl Engine {
             (8 + cfg.router.hop_latency_cycles as usize) < RING,
             "hop latency too large for the in-flight ring"
         );
-        assert!(cfg.cpu.chunks_per_cycle > 0.0, "CPU bandwidth must be positive");
-        let nodes: Vec<NodeState> =
-            (0..p as u32).map(|r| NodeState::new(part.coord_of(r), &cfg)).collect();
+        assert!(
+            cfg.cpu.chunks_per_cycle > 0.0,
+            "CPU bandwidth must be positive"
+        );
+        assert!(cfg.inj_fifo_count <= 32, "inj_mask is a u32 bitmask");
+        let nodes: Vec<NodeState> = (0..p as u32)
+            .map(|r| NodeState::new(part.coord_of(r), &cfg))
+            .collect();
         let neighbors: Vec<[u32; 6]> = (0..p as u32)
             .map(|r| {
                 let c = part.coord_of(r);
@@ -139,9 +195,14 @@ impl Engine {
             .collect();
         let stats = NetStats {
             latency_histogram: vec![0; crate::stats::LATENCY_BUCKETS],
-            link_busy_per_link: if cfg.detailed_link_stats { vec![0; p * 6] } else { Vec::new() },
+            link_busy_per_link: if cfg.detailed_link_stats {
+                vec![0; p * 6]
+            } else {
+                Vec::new()
+            },
             ..NetStats::default()
         };
+        let full_scan = cfg.full_scan_engine;
         Engine {
             cfg,
             part,
@@ -152,6 +213,9 @@ impl Engine {
             link_busy_until: vec![0; p * 6],
             ring: (0..RING).map(|_| Vec::new()).collect(),
             deliver_q: Vec::new(),
+            cpu_active: ActiveSet::all(p),
+            arb_active: ActiveSet::all(p),
+            full_scan,
             live_packets: 0,
             pending_total: 0,
             done_programs: 0,
@@ -184,7 +248,9 @@ impl Engine {
         }
         while !self.is_complete() {
             if self.now >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
             }
             if self.now.saturating_sub(self.last_progress) > self.cfg.watchdog_cycles {
                 return Err(SimError::Stalled {
@@ -217,6 +283,8 @@ impl Engine {
             prog.start(&mut api);
             let extra = api.take_extra_cpu();
             let after = node.pending.len();
+            // Anchoring at `max(cpu_free, now)` is implicit here: `start`
+            // runs at cycle 0 with every `cpu_free` still 0.0.
             node.cpu_free += extra;
             self.pending_total += (after - before) as u64;
             if prog.is_complete() {
@@ -252,6 +320,7 @@ impl Engine {
             let done = pkt.plan.is_done();
             n.vcs[fi].push_reserved(pkt);
             n.vc_mask |= 1 << fi;
+            self.arb_active.mark(node as usize);
             if was_empty && done {
                 self.deliver_q.push((node, fi as u8));
             }
@@ -270,18 +339,21 @@ impl Engine {
         for (node, fi) in dq.drain(..) {
             self.try_deliver(node as usize, fi as usize, t);
         }
-        // Keep the allocation; new entries queued during the loop live in
-        // self.deliver_q already (try_deliver pushes there).
-        if self.deliver_q.is_empty() {
-            self.deliver_q = dq;
-        }
+        // Hand the allocation back. `try_deliver` parks stalled FIFOs in
+        // the node's `blocked_deliveries` (re-queued here only after the
+        // CPU frees reception space), so nothing lands in `deliver_q`
+        // during the loop above.
+        debug_assert!(self.deliver_q.is_empty());
+        self.deliver_q = dq;
     }
 
     /// Move deliverable head packets of `fifo` into the reception FIFO.
     fn try_deliver(&mut self, node: usize, fifo: usize, t: u64) {
         loop {
             let n = &mut self.nodes[node];
-            let Some(head) = n.vcs[fifo].head() else { return };
+            let Some(head) = n.vcs[fifo].head() else {
+                return;
+            };
             if !head.plan.is_done() {
                 return;
             }
@@ -298,6 +370,7 @@ impl Engine {
                 n.vc_mask &= !(1 << fifo);
             }
             assert!(n.reception.try_push(pkt).is_ok(), "space checked");
+            self.cpu_active.mark(node);
             self.last_progress = t;
         }
     }
@@ -306,24 +379,51 @@ impl Engine {
 
     fn phase_cpu(&mut self, t: u64) {
         let mut programs = std::mem::take(&mut self.programs);
-        let horizon = (t + 1) as f64;
-        for (i, prog) in programs.iter_mut().enumerate() {
-            {
-                let n = &self.nodes[i];
-                if n.cpu_free >= horizon {
-                    continue;
-                }
-                if n.reception.is_empty()
-                    && n.pending.is_empty()
-                    && n.pulled.is_empty()
-                    && n.program_done
-                {
-                    continue;
+        if self.full_scan {
+            for (i, prog) in programs.iter_mut().enumerate() {
+                self.cpu_visit(i, prog, t, false);
+            }
+        } else {
+            // A node acquires CPU work only through a reception-FIFO push
+            // (which marks it) or through its own hooks (it is being
+            // visited), so iterating a snapshot of each word misses
+            // nothing. Idle marked nodes are cleared as they are visited.
+            for w in 0..self.cpu_active.words.len() {
+                let mut bits = self.cpu_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.cpu_visit(i, &mut programs[i], t, true);
                 }
             }
-            self.cpu_node(i, prog, t);
         }
         self.programs = programs;
+    }
+
+    /// Run one node's CPU for cycle `t` if it has work; with `prune`,
+    /// drop provably workless nodes from the active set.
+    fn cpu_visit(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64, prune: bool) {
+        let horizon = (t + 1) as f64;
+        {
+            let n = &self.nodes[i];
+            if n.cpu_free >= horizon {
+                // Still booked into the future: keep it marked.
+                return;
+            }
+            if n.reception.is_empty()
+                && n.pending.is_empty()
+                && n.pulled.is_empty()
+                && n.program_done
+            {
+                if prune {
+                    // Only a delivery can give this node CPU work again,
+                    // and deliveries re-mark it.
+                    self.cpu_active.clear(i);
+                }
+                return;
+            }
+        }
+        self.cpu_node(i, prog, t);
     }
 
     /// Below this pending-queue depth the engine keeps pulling the
@@ -354,8 +454,13 @@ impl Engine {
                 let spec = prog.next_send(&mut api);
                 let extra = api.take_extra_cpu();
                 let after = node.pending.len();
-                node.cpu_free += extra;
-                self.stats.cpu_busy_cycles += extra;
+                if extra > 0.0 {
+                    // Anchor at now: a node idle since an earlier cycle
+                    // must not absorb the charge retroactively (its stale
+                    // `cpu_free` may lie far in the past).
+                    node.cpu_free = node.cpu_free.max(t as f64) + extra;
+                    self.stats.cpu_busy_cycles += extra;
+                }
                 self.pending_total += (after - before) as u64;
                 match spec {
                     Some(s) => {
@@ -412,7 +517,8 @@ impl Engine {
         }
         // Freed reception space: retry stalled deliveries.
         let blocked = std::mem::take(&mut self.nodes[i].blocked_deliveries);
-        self.deliver_q.extend(blocked.into_iter().map(|f| (i as u32, f)));
+        self.deliver_q
+            .extend(blocked.into_iter().map(|f| (i as u32, f)));
         self.last_progress = t;
     }
 
@@ -445,13 +551,13 @@ impl Engine {
             // packet's first route direction onto the FIFOs of its class,
             // falling back to any class FIFO with space.
             let dst = self.part.coord_of(spec.dst_rank);
-            let plan =
-                HopPlan::new(&self.part, self.nodes[i].coord, dst, TieBreak::SrcParity);
+            let plan = HopPlan::new(&self.part, self.nodes[i].coord, dst, TieBreak::SrcParity);
             let primary = plan.dimension_order_next().map_or(0, |d| d.index());
             let mask = 1u8 << class;
             let node = &self.nodes[i];
-            let eligible_count =
-                (0..nfifos).filter(|&f| node.inj_class[f] & mask != 0).count();
+            let eligible_count = (0..nfifos)
+                .filter(|&f| node.inj_class[f] & mask != 0)
+                .count();
             if eligible_count == 0 {
                 continue;
             }
@@ -461,22 +567,26 @@ impl Engine {
                 .nth(target)
                 .expect("target < eligible_count");
             if node.inj[pref].free_chunks() >= chunks as u32 {
-                chosen = Some((qi, pref));
+                chosen = Some((qi, pref, plan));
                 break 'scan;
             }
             for f in 0..nfifos {
                 if node.inj_class[f] & mask != 0 && node.inj[f].free_chunks() >= chunks as u32 {
-                    chosen = Some((qi, f));
+                    chosen = Some((qi, f, plan));
                     break 'scan;
                 }
             }
         }
-        let Some((qi, f)) = chosen else { return false };
+        let Some((qi, f, plan)) = chosen else {
+            return false;
+        };
         let node = &mut self.nodes[i];
         let spec = if qi < reactive_len {
             node.pending.remove(qi).expect("scanned index exists")
         } else {
-            node.pulled.remove(qi - reactive_len).expect("scanned index exists")
+            node.pulled
+                .remove(qi - reactive_len)
+                .expect("scanned index exists")
         };
         self.pending_total -= 1;
         let cpu = &self.cfg.cpu;
@@ -493,7 +603,8 @@ impl Engine {
             dst,
             chunks: spec.chunks,
             payload_bytes: spec.payload_bytes,
-            plan: HopPlan::new(&self.part, node.coord, dst, TieBreak::SrcParity),
+            // The plan computed for FIFO affinity during the scan, reused.
+            plan,
             routing: spec.routing,
             vc: Vc::Dynamic0,
             class: spec.class,
@@ -503,6 +614,8 @@ impl Engine {
         };
         self.next_packet_id += 1;
         assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
+        node.inj_mask |= 1 << f;
+        self.arb_active.mark(i);
         self.live_packets += 1;
         self.stats.packets_injected += 1;
         self.last_progress = t;
@@ -512,26 +625,133 @@ impl Engine {
     // ---- Phase 4: arbitration ----------------------------------------------
 
     fn phase_arbitration(&mut self, t: u64) {
-        let num_nodes = self.nodes.len();
-        for n in 0..num_nodes {
-            // Quick skip: nothing to move out of this node.
-            if self.nodes[n].vc_mask == 0 && self.nodes[n].inj.iter().all(|f| f.is_empty()) {
-                continue;
+        if self.full_scan {
+            for n in 0..self.nodes.len() {
+                // Quick skip: nothing to move out of this node.
+                if self.nodes[n].vc_mask == 0 && self.nodes[n].inj_mask == 0 {
+                    continue;
+                }
+                self.arbitrate_node(n, t, false);
             }
-            for d in ALL_DIRECTIONS {
-                let link = n * 6 + d.index();
-                if self.link_busy_until[link] > t {
-                    continue;
-                }
-                let nb = self.neighbors[n][d.index()];
-                if nb == u32::MAX {
-                    continue;
-                }
-                if let Some(win) = self.arbitrate_output(n, d, nb as usize, t) {
-                    self.apply_win(n, d, nb as usize, win, t);
+        } else {
+            // A node acquires arbitration work only through an arrival
+            // commit (which marks it) or its own injections (phase 3
+            // marks it), never from another node's arbitration — wins
+            // hand packets to the in-flight ring, not directly to the
+            // neighbour's FIFOs — so a snapshot scan misses nothing.
+            for w in 0..self.arb_active.words.len() {
+                let mut bits = self.arb_active.words[w];
+                while bits != 0 {
+                    let n = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if self.nodes[n].vc_mask == 0 && self.nodes[n].inj_mask == 0 {
+                        self.arb_active.clear(n);
+                        continue;
+                    }
+                    self.arbitrate_node(n, t, true);
                 }
             }
         }
+    }
+
+    /// Occupied-FIFO count above which the sendable-directions summary is
+    /// skipped. Building the summary costs one pass over every head; the
+    /// per-direction probes it can skip are passes that *stop at the
+    /// first winner*. With many heads queued, probes win almost
+    /// immediately and the full build costs more than it saves — the
+    /// summary pays off exactly in the sparse regime it exists for.
+    const SUMMARY_MAX_HEADS: u32 = 6;
+
+    /// Arbitrate every output link of node `n`. With `use_summary`, probe
+    /// only the directions some queued head actually wants (a 6-bit
+    /// summary built from the FIFO heads, extended when a win exposes a
+    /// new head) instead of scanning all FIFOs per link. The summary is
+    /// built lazily, on the first *free* link: under saturation most
+    /// links are mid-transmission and the busy check alone disposes of
+    /// them, so an eager build would cost a head scan per node-cycle for
+    /// nothing. Nodes with many occupied FIFOs skip it entirely (see
+    /// [`SUMMARY_MAX_HEADS`](Self::SUMMARY_MAX_HEADS)).
+    fn arbitrate_node(&mut self, n: usize, t: u64, use_summary: bool) {
+        let use_summary = use_summary && {
+            let node = &self.nodes[n];
+            node.vc_mask.count_ones() + node.inj_mask.count_ones() <= Self::SUMMARY_MAX_HEADS
+        };
+        let mut summary: Option<u8> = if use_summary { None } else { Some(0x3f) };
+        for d in ALL_DIRECTIONS {
+            let link = n * 6 + d.index();
+            if self.link_busy_until[link] > t {
+                continue;
+            }
+            let nb = self.neighbors[n][d.index()];
+            if nb == u32::MAX {
+                continue;
+            }
+            let s = match summary {
+                Some(s) => s,
+                None => {
+                    let s = self.sendable_dirs(n);
+                    summary = Some(s);
+                    s
+                }
+            };
+            if s & (1 << d.index()) == 0 {
+                continue;
+            }
+            if let Some(win) = self.arbitrate_output(n, d, nb as usize, t) {
+                self.apply_win(n, d, nb as usize, win, t);
+                if use_summary && s != 0x3f {
+                    // The pop exposed a new head whose wanted directions
+                    // the start-of-visit summary may not cover.
+                    let head = match win.source {
+                        WinSource::Transit { fifo } => self.nodes[n].vcs[fifo as usize].head(),
+                        WinSource::Inject { fifo } => self.nodes[n].inj[fifo as usize].head(),
+                    };
+                    if let Some(pkt) = head {
+                        summary = Some(s | Self::wanted_dirs(pkt));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Union of [`wanted_dirs`](Self::wanted_dirs) over every FIFO head of
+    /// node `n`: the only output directions arbitration could possibly
+    /// assign this cycle. Stops as soon as all six directions are covered
+    /// — under saturation a couple of heads suffice, so the build stays
+    /// O(1) in the dense regime where the summary cannot skip anything.
+    fn sendable_dirs(&self, n: usize) -> u8 {
+        const ALL: u8 = 0x3f;
+        let node = &self.nodes[n];
+        let mut dirs = 0u8;
+        let mut vcs = node.vc_mask;
+        while vcs != 0 && dirs != ALL {
+            let f = vcs.trailing_zeros() as usize;
+            vcs &= vcs - 1;
+            dirs |= Self::wanted_dirs(node.vcs[f].head().expect("mask says non-empty"));
+        }
+        let mut inj = node.inj_mask;
+        while inj != 0 && dirs != ALL {
+            let f = inj.trailing_zeros() as usize;
+            inj &= inj - 1;
+            dirs |= Self::wanted_dirs(node.inj[f].head().expect("mask says non-empty"));
+        }
+        dirs
+    }
+
+    /// Bitmask of output directions `pkt` may take: a conservative
+    /// superset of the directions [`wants`](Self::wants) approves. Every
+    /// direction `wants` can return true for — preferred, unshaped
+    /// minimal, dimension-ordered escape, deterministic next hop — lies
+    /// along the packet's remaining minimal quadrant, so the quadrant
+    /// bits suffice. Over-inclusion only costs a wasted probe (identical
+    /// to what the full scan does on every direction); under-inclusion
+    /// would change results, so this must stay a superset of `wants`.
+    fn wanted_dirs(pkt: &Packet) -> u8 {
+        let mut dirs = 0u8;
+        for d in pkt.plan.minimal_directions() {
+            dirs |= 1 << d.index();
+        }
+        dirs
     }
 
     /// Pick a winner for output `d` of node `n`, or `None`.
@@ -558,18 +778,24 @@ impl Engine {
         }
         let total = NUM_PORTS * NUM_VCS;
         let start = node.rr[d.index()] as usize % total;
-        for k in 0..total {
-            let f = (start + k) % total;
-            if node.vc_mask & (1 << f) == 0 {
-                continue;
-            }
-            let pkt = node.vcs[f].head().expect("mask says non-empty");
-            if !self.wants(pkt, d) {
-                continue;
-            }
-            let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
-            if let Some(vc) = self.feasible_vc(pkt, n, from_dim, d, nb) {
-                return Some(Win { source: WinSource::Transit { fifo: f as u8 }, vc });
+        // Visit only the set bits, in round-robin order from `start`:
+        // first the bits at indices >= start (ascending), then the wrap.
+        let below_start = node.vc_mask & ((1u32 << start) - 1);
+        for mut half in [node.vc_mask ^ below_start, below_start] {
+            while half != 0 {
+                let f = half.trailing_zeros() as usize;
+                half &= half - 1;
+                let pkt = node.vcs[f].head().expect("mask says non-empty");
+                if !self.wants(pkt, d) {
+                    continue;
+                }
+                let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
+                if let Some(vc) = self.feasible_vc(pkt, n, from_dim, d, nb) {
+                    return Some(Win {
+                        source: WinSource::Transit { fifo: f as u8 },
+                        vc,
+                    });
+                }
             }
         }
         None
@@ -577,13 +803,19 @@ impl Engine {
 
     fn arbitrate_inject(&self, n: usize, d: Direction, nb: usize) -> Option<Win> {
         let node = &self.nodes[n];
-        for (f, fifo) in node.inj.iter().enumerate() {
-            let Some(pkt) = fifo.head() else { continue };
+        let mut mask = node.inj_mask;
+        while mask != 0 {
+            let f = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let pkt = node.inj[f].head().expect("mask says non-empty");
             if !self.wants(pkt, d) {
                 continue;
             }
             if let Some(vc) = self.feasible_vc(pkt, n, None, d, nb) {
-                return Some(Win { source: WinSource::Inject { fifo: f as u8 }, vc });
+                return Some(Win {
+                    source: WinSource::Inject { fifo: f as u8 },
+                    vc,
+                });
             }
         }
         None
@@ -592,7 +824,10 @@ impl Engine {
     /// Whether this packet routes with the longest-first shaping (its own
     /// flag unless the router config overrides it).
     fn shaped(&self, pkt: &Packet) -> bool {
-        self.cfg.router.longest_first_bias.unwrap_or(pkt.longest_first)
+        self.cfg
+            .router
+            .longest_first_bias
+            .unwrap_or(pkt.longest_first)
     }
 
     /// Longest-remaining-dimension preference: true when no other dimension
@@ -731,8 +966,12 @@ impl Engine {
     ) -> Option<Vc> {
         let chunks = pkt.chunks as u32;
         let continuing = pkt.vc == Vc::Bubble && from_dim == Some(d.dim.index());
-        let required =
-            chunks + if continuing { 0 } else { self.cfg.router.bubble_slack_chunks };
+        let required = chunks
+            + if continuing {
+                0
+            } else {
+                self.cfg.router.bubble_slack_chunks
+            };
         if nb_node.vcs[vc_fifo_index(nb_port, Vc::Bubble.index())].free_chunks() >= required {
             Some(Vc::Bubble)
         } else {
@@ -756,7 +995,12 @@ impl Engine {
                 pkt
             }
             WinSource::Inject { fifo } => {
-                self.nodes[n].inj[fifo as usize].pop().expect("winner exists")
+                let node = &mut self.nodes[n];
+                let pkt = node.inj[fifo as usize].pop().expect("winner exists");
+                if node.inj[fifo as usize].is_empty() {
+                    node.inj_mask &= !(1 << fifo);
+                }
+                pkt
             }
         };
         // Reserve downstream space and launch.

@@ -21,7 +21,12 @@ pub struct ChunkFifo {
 impl ChunkFifo {
     /// An empty FIFO holding up to `capacity_chunks` chunks.
     pub fn new(capacity_chunks: u32) -> ChunkFifo {
-        ChunkFifo { queue: VecDeque::new(), capacity_chunks, occupied_chunks: 0, reserved_chunks: 0 }
+        ChunkFifo {
+            queue: VecDeque::new(),
+            capacity_chunks,
+            occupied_chunks: 0,
+            reserved_chunks: 0,
+        }
     }
 
     /// Chunks neither occupied nor reserved.
@@ -135,7 +140,12 @@ mod tests {
             dst: Coord::new(1, 0, 0),
             chunks,
             payload_bytes: chunks as u32 * 32,
-            plan: HopPlan::new(&part, Coord::new(0, 0, 0), Coord::new(1, 0, 0), TieBreak::SrcParity),
+            plan: HopPlan::new(
+                &part,
+                Coord::new(0, 0, 0),
+                Coord::new(1, 0, 0),
+                TieBreak::SrcParity,
+            ),
             routing: RoutingMode::Adaptive,
             vc: Vc::Dynamic0,
             class: 0,

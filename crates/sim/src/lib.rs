@@ -123,8 +123,10 @@ mod tests {
         let cfg = SimConfig::new(part);
         let mut programs: Vec<Box<dyn NodeProgram>> =
             (0..64).map(|_| boxed(ScriptedProgram::idle())).collect();
-        programs[src as usize] =
-            boxed(ScriptedProgram::new(vec![SendSpec::deterministic(dst, 2, 64)], 0));
+        programs[src as usize] = boxed(ScriptedProgram::new(
+            vec![SendSpec::deterministic(dst, 2, 64)],
+            0,
+        ));
         programs[dst as usize] = boxed(ScriptedProgram::new(vec![], 1));
         let stats = Engine::new(cfg, programs).run().unwrap();
         assert_eq!(stats.hops_taken, [1, 2, 1]);
@@ -141,7 +143,10 @@ mod tests {
         let cfg = SimConfig::new(part);
         let mut programs: Vec<Box<dyn NodeProgram>> =
             (0..64).map(|_| boxed(ScriptedProgram::idle())).collect();
-        programs[0] = boxed(ScriptedProgram::new(vec![SendSpec::adaptive(dst, 2, 64)], 0));
+        programs[0] = boxed(ScriptedProgram::new(
+            vec![SendSpec::adaptive(dst, 2, 64)],
+            0,
+        ));
         programs[dst as usize] = boxed(ScriptedProgram::new(vec![], 1));
         let stats = Engine::new(cfg, programs).run().unwrap();
         assert_eq!(stats.hops_taken.iter().sum::<u64>(), 6);
@@ -176,9 +181,15 @@ mod tests {
     fn watchdog_fires_on_stuck_program() {
         let mut cfg = SimConfig::new("2".parse().unwrap());
         cfg.watchdog_cycles = 500;
-        let programs = vec![boxed(ScriptedProgram::idle()), boxed(ScriptedProgram::new(vec![], 1))];
+        let programs = vec![
+            boxed(ScriptedProgram::idle()),
+            boxed(ScriptedProgram::new(vec![], 1)),
+        ];
         match Engine::new(cfg, programs).run() {
-            Err(SimError::Stalled { incomplete_programs, .. }) => {
+            Err(SimError::Stalled {
+                incomplete_programs,
+                ..
+            }) => {
                 assert_eq!(incomplete_programs, 1);
             }
             other => panic!("expected stall, got {other:?}"),
@@ -237,7 +248,9 @@ mod tests {
             .map(|r| {
                 let next = (r + 1) % 8;
                 boxed(ScriptedProgram::new(
-                    (0..npkts).map(|_| SendSpec::adaptive(next, 8, 240)).collect(),
+                    (0..npkts)
+                        .map(|_| SendSpec::adaptive(next, 8, 240))
+                        .collect(),
                     npkts,
                 ))
             })

@@ -26,6 +26,10 @@ pub struct NodeState {
     pub vc_mask: u32,
     /// Injection FIFOs.
     pub inj: Vec<ChunkFifo>,
+    /// Bitmask of non-empty injection FIFOs (bit `f` ⇔ `inj[f]` non-empty),
+    /// mirroring [`vc_mask`](Self::vc_mask) so arbitration never probes
+    /// empty FIFOs.
+    pub inj_mask: u32,
     /// Per-injection-FIFO class masks: FIFO `f` accepts class `c` iff
     /// `inj_class[f] & (1 << c) != 0`.
     pub inj_class: Vec<u8>,
@@ -57,7 +61,9 @@ impl NodeState {
         let vcs = (0..NUM_PORTS * NUM_VCS)
             .map(|_| ChunkFifo::new(cfg.router.vc_fifo_chunks))
             .collect();
-        let inj = (0..cfg.inj_fifo_count).map(|_| ChunkFifo::new(cfg.inj_fifo_chunks)).collect();
+        let inj = (0..cfg.inj_fifo_count)
+            .map(|_| ChunkFifo::new(cfg.inj_fifo_chunks))
+            .collect();
         let inj_class = if cfg.inj_class_masks.is_empty() {
             vec![u8::MAX; cfg.inj_fifo_count as usize]
         } else {
@@ -73,6 +79,7 @@ impl NodeState {
             vcs,
             vc_mask: 0,
             inj,
+            inj_mask: 0,
             inj_class,
             reception: ChunkFifo::new(cfg.reception_fifo_chunks),
             pending: VecDeque::new(),
@@ -89,9 +96,9 @@ impl NodeState {
     /// completion checking).
     pub fn holds_packets(&self) -> bool {
         self.vc_mask != 0
+            || self.inj_mask != 0
             || !self.pending.is_empty()
             || !self.pulled.is_empty()
             || !self.reception.is_empty()
-            || self.inj.iter().any(|f| !f.is_empty())
     }
 }

@@ -102,7 +102,10 @@ impl SendSpec {
 
     /// A plain deterministically routed data packet.
     pub fn deterministic(dst_rank: u32, chunks: u8, payload_bytes: u32) -> SendSpec {
-        SendSpec { routing: RoutingMode::Deterministic, ..SendSpec::adaptive(dst_rank, chunks, payload_bytes) }
+        SendSpec {
+            routing: RoutingMode::Deterministic,
+            ..SendSpec::adaptive(dst_rank, chunks, payload_bytes)
+        }
     }
 
     /// Builder: set metadata.
@@ -138,7 +141,11 @@ mod tests {
     #[test]
     fn send_spec_builders() {
         let s = SendSpec::adaptive(7, 8, 240)
-            .with_meta(PacketMeta { kind: 2, a: 11, b: 22 })
+            .with_meta(PacketMeta {
+                kind: 2,
+                a: 11,
+                b: 22,
+            })
             .with_class(1)
             .with_cpu_cost(3.5);
         assert_eq!(s.dst_rank, 7);
@@ -156,6 +163,10 @@ mod tests {
     #[test]
     fn packet_is_reasonably_small() {
         // Packets are copied through FIFOs constantly; keep them compact.
-        assert!(std::mem::size_of::<Packet>() <= 64, "{}", std::mem::size_of::<Packet>());
+        assert!(
+            std::mem::size_of::<Packet>() <= 64,
+            "{}",
+            std::mem::size_of::<Packet>()
+        );
     }
 }

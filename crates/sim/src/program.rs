@@ -65,7 +65,14 @@ impl<'a> NodeApi<'a> {
         part: &'a Partition,
         sends: &'a mut VecDeque<SendSpec>,
     ) -> NodeApi<'a> {
-        NodeApi { rank, coord, now, part, sends, extra_cpu: 0.0 }
+        NodeApi {
+            rank,
+            coord,
+            now,
+            part,
+            sends,
+            extra_cpu: 0.0,
+        }
     }
 
     /// The partition being simulated.
@@ -110,7 +117,12 @@ pub struct ScriptedProgram {
 impl ScriptedProgram {
     /// A program sending `sends` and expecting `expect` deliveries.
     pub fn new(sends: Vec<SendSpec>, expect: u64) -> ScriptedProgram {
-        ScriptedProgram { to_send: sends.into(), expect, received: 0, received_bytes: 0 }
+        ScriptedProgram {
+            to_send: sends.into(),
+            expect,
+            received: 0,
+            received_bytes: 0,
+        }
     }
 
     /// A silent node: sends nothing, expects nothing.

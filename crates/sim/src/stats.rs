@@ -138,7 +138,11 @@ mod tests {
 
     #[test]
     fn mean_latency_divides() {
-        let s = NetStats { packets_delivered: 4, total_latency_cycles: 100, ..Default::default() };
+        let s = NetStats {
+            packets_delivered: 4,
+            total_latency_cycles: 100,
+            ..Default::default()
+        };
         assert_eq!(s.mean_latency(), 25.0);
     }
 
@@ -152,7 +156,10 @@ mod tests {
         };
         assert!((s.dim_utilization(&part, Dim::X) - 0.5).abs() < 1e-12);
         assert_eq!(s.dim_utilization(&part, Dim::Y), 0.0);
-        assert_eq!(s.peak_dim_utilization(&part), s.dim_utilization(&part, Dim::X));
+        assert_eq!(
+            s.peak_dim_utilization(&part),
+            s.dim_utilization(&part, Dim::X)
+        );
     }
 
     #[test]
@@ -168,7 +175,10 @@ mod tests {
         let mut h = vec![0u64; LATENCY_BUCKETS];
         h[3] = 50; // latencies 8..16
         h[6] = 50; // latencies 64..128
-        let s = NetStats { latency_histogram: h, ..Default::default() };
+        let s = NetStats {
+            latency_histogram: h,
+            ..Default::default()
+        };
         assert_eq!(s.latency_percentile(0.25), 16);
         assert_eq!(s.latency_percentile(0.75), 128);
         assert_eq!(NetStats::default().latency_percentile(0.5), 0);
@@ -193,7 +203,11 @@ mod tests {
 
     #[test]
     fn bubble_fraction() {
-        let s = NetStats { bubble_hops: 1, dynamic_hops: 3, ..Default::default() };
+        let s = NetStats {
+            bubble_hops: 1,
+            dynamic_hops: 3,
+            ..Default::default()
+        };
         assert_eq!(s.bubble_fraction(), 0.25);
         assert_eq!(NetStats::default().bubble_fraction(), 0.0);
     }

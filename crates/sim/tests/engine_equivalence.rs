@@ -1,0 +1,123 @@
+//! The active-set engine must be a pure optimization: for any workload,
+//! every statistic it produces — cycle counts, histograms, per-link
+//! counters — is byte-identical to the reference full-scan engine
+//! (`SimConfig::full_scan_engine`).
+
+use bgl_sim::{Engine, NetStats, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_torus::Partition;
+
+fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box<dyn NodeProgram>> {
+    let p = part.num_nodes();
+    (0..p)
+        .map(|r| {
+            let sends: Vec<SendSpec> = (0..p)
+                .filter(|&d| d != r)
+                .flat_map(|d| {
+                    (0..k).map(move |_| {
+                        if deterministic {
+                            SendSpec::deterministic(d, chunks, chunks as u32 * 30)
+                        } else {
+                            SendSpec::adaptive(d, chunks, chunks as u32 * 30)
+                        }
+                    })
+                })
+                .collect();
+            let expect = (p as u64 - 1) * k;
+            Box::new(ScriptedProgram::new(sends, expect)) as Box<dyn NodeProgram>
+        })
+        .collect()
+}
+
+fn run_both(
+    cfg: &SimConfig,
+    programs: impl Fn() -> Vec<Box<dyn NodeProgram>>,
+) -> (NetStats, NetStats) {
+    let active = Engine::new(cfg.clone(), programs())
+        .run()
+        .expect("active-set run completes");
+    let mut full = cfg.clone();
+    full.full_scan_engine = true;
+    let reference = Engine::new(full, programs())
+        .run()
+        .expect("full-scan run completes");
+    (active, reference)
+}
+
+/// Scripted all-to-alls across symmetric and asymmetric shapes, adaptive
+/// and deterministic routing, sparse and saturating load: identical stats.
+#[test]
+fn scripted_workloads_match_full_scan() {
+    let grid: [(&str, u64, u8, bool); 5] = [
+        ("4x4x4", 1, 8, false), // symmetric, one round, adaptive
+        ("8x4x4", 4, 8, false), // asymmetric, saturating, adaptive
+        ("8x4x4", 2, 8, true),  // asymmetric, deterministic (bubble VC)
+        ("8", 8, 8, false),     // ring
+        ("4x3x2", 1, 2, false), // odd shape, small packets
+    ];
+    for (shape, k, chunks, det) in grid {
+        let part: Partition = shape.parse().unwrap();
+        let cfg = SimConfig::new(part);
+        let (active, reference) = run_both(&cfg, || uniform(&part, k, chunks, det));
+        assert_eq!(active, reference, "{shape} k={k} chunks={chunks} det={det}");
+    }
+}
+
+/// Extremely sparse traffic — the regime the active sets exist for — with
+/// detailed per-link stats enabled so the comparison covers every counter.
+#[test]
+fn sparse_point_traffic_matches_full_scan() {
+    let part: Partition = "8x8x4".parse().unwrap();
+    let p = part.num_nodes();
+    let mut cfg = SimConfig::new(part);
+    cfg.detailed_link_stats = true;
+    let programs = || {
+        let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
+            .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+            .collect();
+        // Three long streams in an otherwise silent partition (all six
+        // endpoints distinct).
+        let pairs = [(0u32, p - 1), (1, p - 2), (p / 2, 2)];
+        for (src, dst) in pairs {
+            programs[src as usize] = Box::new(ScriptedProgram::new(
+                (0..20).map(|_| SendSpec::adaptive(dst, 8, 240)).collect(),
+                0,
+            ));
+            programs[dst as usize] = Box::new(ScriptedProgram::new(vec![], 20));
+        }
+        programs
+    };
+    let (active, reference) = run_both(&cfg, programs);
+    assert_eq!(active, reference);
+    assert_eq!(active.packets_delivered, 60);
+    assert!(
+        !active.link_busy_per_link.is_empty(),
+        "detailed stats compared"
+    );
+}
+
+/// Backpressure corner: a hot sink with a tiny reception FIFO exercises
+/// blocked-delivery retries and CPU re-activation; stats stay identical.
+#[test]
+fn hotspot_backpressure_matches_full_scan() {
+    let part: Partition = "4x4".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.reception_fifo_chunks = 8;
+    cfg.cpu.chunks_per_cycle = 0.5;
+    let programs = || {
+        (0..16u32)
+            .map(|r| {
+                if r == 0 {
+                    Box::new(ScriptedProgram::new(vec![], 15 * 10)) as Box<dyn NodeProgram>
+                } else {
+                    Box::new(ScriptedProgram::new(
+                        (0..10).map(|_| SendSpec::adaptive(0, 8, 240)).collect(),
+                        0,
+                    ))
+                }
+            })
+            .collect()
+    };
+    let (active, reference) = run_both(&cfg, programs);
+    assert_eq!(active, reference);
+    assert!(active.reception_stall_events > 0);
+}

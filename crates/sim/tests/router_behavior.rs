@@ -1,9 +1,7 @@
 //! Router microarchitecture behavior tests: bubble rule, escape usage,
 //! backpressure, shaping, and watchdog diagnostics.
 
-use bgl_sim::{
-    Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError,
-};
+use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError};
 use bgl_torus::{Coord, Partition};
 
 fn boxed(p: ScriptedProgram) -> Box<dyn NodeProgram> {
@@ -18,7 +16,9 @@ fn uniform(part: &Partition, k: u64, chunks: u8) -> Vec<Box<dyn NodeProgram>> {
         .map(|r| {
             let sends: Vec<SendSpec> = (0..p)
                 .filter(|&d| d != r)
-                .flat_map(|d| (0..k).map(move |_| SendSpec::adaptive(d, chunks, chunks as u32 * 30)))
+                .flat_map(|d| {
+                    (0..k).map(move |_| SendSpec::adaptive(d, chunks, chunks as u32 * 30))
+                })
                 .collect();
             boxed(ScriptedProgram::new(sends, (p as u64 - 1) * k))
         })
@@ -45,9 +45,14 @@ fn reception_backpressure_throttles_not_deadlocks() {
             }
         })
         .collect();
-    let stats = Engine::new(cfg, programs).run().expect("drains under backpressure");
+    let stats = Engine::new(cfg, programs)
+        .run()
+        .expect("drains under backpressure");
     assert_eq!(stats.packets_delivered, 150);
-    assert!(stats.reception_stall_events > 0, "backpressure must be visible");
+    assert!(
+        stats.reception_stall_events > 0,
+        "backpressure must be visible"
+    );
 }
 
 /// The bubble escape carries traffic when the dynamic VCs are squeezed.
@@ -59,9 +64,17 @@ fn escape_vc_used_under_pressure() {
     // dynamic VCs to sustained fullness — the regime the escape exists for.
     let part: Partition = "8x4x4".parse().unwrap();
     let cfg = SimConfig::new(part);
-    let stats = Engine::new(cfg, uniform(&part, 4, 8)).run().expect("drains");
-    assert!(stats.bubble_hops > 0, "escape should engage when dynamics are full");
-    assert!(stats.dynamic_hops > stats.bubble_hops, "escape stays the minority path");
+    let stats = Engine::new(cfg, uniform(&part, 4, 8))
+        .run()
+        .expect("drains");
+    assert!(
+        stats.bubble_hops > 0,
+        "escape should engage when dynamics are full"
+    );
+    assert!(
+        stats.dynamic_hops > stats.bubble_hops,
+        "escape stays the minority path"
+    );
 }
 
 /// With FIFOs shallower than packet+slack, the bubble rule can never admit
@@ -72,7 +85,9 @@ fn sub_slack_fifos_close_the_escape() {
     let part: Partition = "8".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.router.vc_fifo_chunks = 8;
-    let stats = Engine::new(cfg, uniform(&part, 8, 8)).run().expect("drains");
+    let stats = Engine::new(cfg, uniform(&part, 8, 8))
+        .run()
+        .expect("drains");
     assert_eq!(stats.bubble_hops, 0);
     assert_eq!(stats.packets_delivered, 8 * 7 * 8);
 }
@@ -94,7 +109,9 @@ fn deterministic_ring_congestion_drains() {
             boxed(ScriptedProgram::new(sends, (p as u64 - 1) * 6))
         })
         .collect();
-    let stats = Engine::new(cfg, programs).run().expect("bubble rule keeps the ring live");
+    let stats = Engine::new(cfg, programs)
+        .run()
+        .expect("bubble rule keeps the ring live");
     assert_eq!(stats.dynamic_hops, 0);
     assert_eq!(stats.packets_delivered, (p as u64) * (p as u64 - 1) * 6);
 }
@@ -109,7 +126,9 @@ fn shaping_override_preserves_delivery() {
     let run = |bias: Option<bool>| {
         let mut cfg = SimConfig::new(part);
         cfg.router.longest_first_bias = bias;
-        Engine::new(cfg, uniform(&part, 2, 8)).run().expect("drains")
+        Engine::new(cfg, uniform(&part, 2, 8))
+            .run()
+            .expect("drains")
     };
     let off = run(Some(false));
     let on = run(Some(true));
@@ -126,9 +145,16 @@ fn watchdog_reports_live_packets() {
     let mut cfg = SimConfig::new(part);
     cfg.watchdog_cycles = 200;
     // Node 1 expects a packet nobody sends.
-    let programs = vec![boxed(ScriptedProgram::idle()), boxed(ScriptedProgram::new(vec![], 3))];
+    let programs = vec![
+        boxed(ScriptedProgram::idle()),
+        boxed(ScriptedProgram::new(vec![], 3)),
+    ];
     match Engine::new(cfg, programs).run() {
-        Err(SimError::Stalled { cycle, live_packets, incomplete_programs }) => {
+        Err(SimError::Stalled {
+            cycle,
+            live_packets,
+            incomplete_programs,
+        }) => {
             assert!(cycle >= 200);
             assert_eq!(live_packets, 0);
             assert_eq!(incomplete_programs, 1);
@@ -157,7 +183,9 @@ fn cycle_limit_enforced() {
 fn hop_statistics_match_minimal_routing() {
     let part: Partition = "4x3x2".parse().unwrap();
     let cfg = SimConfig::new(part);
-    let stats = Engine::new(cfg, uniform(&part, 1, 2)).run().expect("drains");
+    let stats = Engine::new(cfg, uniform(&part, 1, 2))
+        .run()
+        .expect("drains");
     let mut want = [0u64; 3];
     for a in part.coords() {
         for b in part.coords() {
@@ -182,7 +210,10 @@ fn mesh_corner_latency_reflects_diameter() {
     let cfg = SimConfig::new(part);
     let mut programs: Vec<Box<dyn NodeProgram>> =
         (0..16).map(|_| boxed(ScriptedProgram::idle())).collect();
-    programs[src as usize] = boxed(ScriptedProgram::new(vec![SendSpec::adaptive(dst, 1, 30)], 0));
+    programs[src as usize] = boxed(ScriptedProgram::new(
+        vec![SendSpec::adaptive(dst, 1, 30)],
+        0,
+    ));
     programs[dst as usize] = boxed(ScriptedProgram::new(vec![], 1));
     let stats = Engine::new(cfg, programs).run().expect("drains");
     assert_eq!(stats.hops_taken.iter().sum::<u64>(), 6);

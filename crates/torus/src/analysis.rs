@@ -81,7 +81,13 @@ impl AaLoadAnalysis {
         let dims = ALL_DIMS.map(|d| {
             let s = partition.size(d) as f64;
             if partition.size(d) <= 1 {
-                return DimLoad { dim: d, size: partition.size(d), torus: false, avg_hops: 0.0, load_factor: 0.0 };
+                return DimLoad {
+                    dim: d,
+                    size: partition.size(d),
+                    torus: false,
+                    avg_hops: 0.0,
+                    load_factor: 0.0,
+                };
             }
             let torus = partition.is_torus_dim(d);
             let (sum_hops, load_factor) = if torus {
@@ -123,7 +129,13 @@ impl AaLoadAnalysis {
         // convention resolves ties towards X.
         self.dims
             .iter()
-            .reduce(|best, d| if d.load_factor > best.load_factor { d } else { best })
+            .reduce(|best, d| {
+                if d.load_factor > best.load_factor {
+                    d
+                } else {
+                    best
+                }
+            })
             .expect("three dims")
     }
 
@@ -218,7 +230,10 @@ mod tests {
     fn avg_hops() {
         let a = analyse("8x8x8");
         for d in &a.dims {
-            assert!((d.avg_hops - 2.0).abs() < 1e-12, "even torus avg hops = S/4");
+            assert!(
+                (d.avg_hops - 2.0).abs() < 1e-12,
+                "even torus avg hops = S/4"
+            );
         }
         // Mesh avg hops = (S²-1)/(3S).
         let a = analyse("8Mx8x8");
@@ -246,7 +261,10 @@ mod tests {
     #[test]
     fn peak_time_scales_linearly_in_m() {
         let a = analyse("8x8x8");
-        assert_eq!(a.peak_time_byte_times(2048), 2.0 * a.peak_time_byte_times(1024));
+        assert_eq!(
+            a.peak_time_byte_times(2048),
+            2.0 * a.peak_time_byte_times(1024)
+        );
     }
 
     #[test]

@@ -103,12 +103,30 @@ pub struct Direction {
 /// All six directions, ordered X+, X-, Y+, Y-, Z+, Z- (matching
 /// [`Direction::index`]).
 pub const ALL_DIRECTIONS: [Direction; 6] = [
-    Direction { dim: Dim::X, sign: Sign::Plus },
-    Direction { dim: Dim::X, sign: Sign::Minus },
-    Direction { dim: Dim::Y, sign: Sign::Plus },
-    Direction { dim: Dim::Y, sign: Sign::Minus },
-    Direction { dim: Dim::Z, sign: Sign::Plus },
-    Direction { dim: Dim::Z, sign: Sign::Minus },
+    Direction {
+        dim: Dim::X,
+        sign: Sign::Plus,
+    },
+    Direction {
+        dim: Dim::X,
+        sign: Sign::Minus,
+    },
+    Direction {
+        dim: Dim::Y,
+        sign: Sign::Plus,
+    },
+    Direction {
+        dim: Dim::Y,
+        sign: Sign::Minus,
+    },
+    Direction {
+        dim: Dim::Z,
+        sign: Sign::Plus,
+    },
+    Direction {
+        dim: Dim::Z,
+        sign: Sign::Minus,
+    },
 ];
 
 impl Direction {
@@ -139,7 +157,10 @@ impl Direction {
     /// was sent in `self` from the neighbour).
     #[inline]
     pub const fn opposite(self) -> Direction {
-        Direction { dim: self.dim, sign: self.sign.flip() }
+        Direction {
+            dim: self.dim,
+            sign: self.sign.flip(),
+        }
     }
 }
 
@@ -158,7 +179,9 @@ impl std::fmt::Display for Direction {
 /// Coordinates are `u16` per dimension; BG/L partitions never exceeded 64
 /// nodes per dimension, and `u16` keeps [`Coord`] at 6 bytes so packet
 /// headers in the simulator stay small.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Coord {
     /// X coordinate.
     pub x: u16,

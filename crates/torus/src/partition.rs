@@ -133,7 +133,9 @@ impl Partition {
             return true;
         }
         let s0 = self.size(active[0]);
-        active.iter().all(|&d| self.size(d) == s0 && self.is_torus_dim(d))
+        active
+            .iter()
+            .all(|&d| self.size(d) == s0 && self.is_torus_dim(d))
     }
 
     /// Linear rank of a coordinate (X fastest, then Y, then Z).
@@ -143,8 +145,7 @@ impl Partition {
     #[inline]
     pub fn rank_of(&self, c: Coord) -> Rank {
         debug_assert!(self.contains(c), "coordinate {c} outside partition {self}");
-        c.x as Rank
-            + self.dims[0] as Rank * (c.y as Rank + self.dims[1] as Rank * c.z as Rank)
+        c.x as Rank + self.dims[0] as Rank * (c.y as Rank + self.dims[1] as Rank * c.z as Rank)
     }
 
     /// Coordinate of a linear rank.
@@ -153,7 +154,10 @@ impl Partition {
     /// Panics if `rank >= num_nodes()`.
     #[inline]
     pub fn coord_of(&self, rank: Rank) -> Coord {
-        assert!(rank < self.num_nodes(), "rank {rank} outside partition {self}");
+        assert!(
+            rank < self.num_nodes(),
+            "rank {rank} outside partition {self}"
+        );
         let x = (rank % self.dims[0] as Rank) as u16;
         let rest = rank / self.dims[0] as Rank;
         let y = (rest % self.dims[1] as Rank) as u16;
@@ -438,12 +442,24 @@ mod tests {
 
     #[test]
     fn longest_dim_and_ties() {
-        assert_eq!("40x32x16".parse::<Partition>().unwrap().longest_dim(), Dim::X);
-        assert_eq!("8x32x16".parse::<Partition>().unwrap().longest_dim(), Dim::Y);
+        assert_eq!(
+            "40x32x16".parse::<Partition>().unwrap().longest_dim(),
+            Dim::X
+        );
+        assert_eq!(
+            "8x32x16".parse::<Partition>().unwrap().longest_dim(),
+            Dim::Y
+        );
         assert_eq!("8x8x16".parse::<Partition>().unwrap().longest_dim(), Dim::Z);
         // Ties go to the earlier dimension.
-        assert_eq!("16x16x16".parse::<Partition>().unwrap().longest_dim(), Dim::X);
-        assert_eq!("8x16x16".parse::<Partition>().unwrap().longest_dim(), Dim::Y);
+        assert_eq!(
+            "16x16x16".parse::<Partition>().unwrap().longest_dim(),
+            Dim::X
+        );
+        assert_eq!(
+            "8x16x16".parse::<Partition>().unwrap().longest_dim(),
+            Dim::Y
+        );
     }
 
     #[test]

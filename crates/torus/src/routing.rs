@@ -27,7 +27,6 @@ pub enum TieBreak {
     SrcParity,
 }
 
-
 /// A packet's routing state: travel sign and remaining hops per dimension.
 ///
 /// `hops[d] == 0` means the packet needs no movement along `d` (and `sign[d]`
@@ -199,10 +198,20 @@ mod tests {
     #[test]
     fn torus_takes_short_way_round() {
         let p = t888();
-        let plan = HopPlan::new(&p, Coord::new(7, 0, 0), Coord::new(1, 0, 0), TieBreak::AlwaysPlus);
+        let plan = HopPlan::new(
+            &p,
+            Coord::new(7, 0, 0),
+            Coord::new(1, 0, 0),
+            TieBreak::AlwaysPlus,
+        );
         assert_eq!(plan.hops(Dim::X), 2);
         assert_eq!(plan.sign(Dim::X), Sign::Plus);
-        let plan = HopPlan::new(&p, Coord::new(1, 0, 0), Coord::new(7, 0, 0), TieBreak::AlwaysPlus);
+        let plan = HopPlan::new(
+            &p,
+            Coord::new(1, 0, 0),
+            Coord::new(7, 0, 0),
+            TieBreak::AlwaysPlus,
+        );
         assert_eq!(plan.hops(Dim::X), 2);
         assert_eq!(plan.sign(Dim::X), Sign::Minus);
     }
@@ -210,7 +219,12 @@ mod tests {
     #[test]
     fn mesh_never_wraps() {
         let p: Partition = "8Mx8x8".parse().unwrap();
-        let plan = HopPlan::new(&p, Coord::new(7, 0, 0), Coord::new(0, 0, 0), TieBreak::AlwaysPlus);
+        let plan = HopPlan::new(
+            &p,
+            Coord::new(7, 0, 0),
+            Coord::new(0, 0, 0),
+            TieBreak::AlwaysPlus,
+        );
         assert_eq!(plan.hops(Dim::X), 7);
         assert_eq!(plan.sign(Dim::X), Sign::Minus);
     }
@@ -222,10 +236,22 @@ mod tests {
         let odd = Coord::new(1, 0, 0);
         let half_even = Coord::new(4, 0, 0);
         let half_odd = Coord::new(5, 0, 0);
-        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::AlwaysPlus).sign(Dim::X), Sign::Plus);
-        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::AlwaysMinus).sign(Dim::X), Sign::Minus);
-        assert_eq!(HopPlan::new(&p, even, half_even, TieBreak::SrcParity).sign(Dim::X), Sign::Plus);
-        assert_eq!(HopPlan::new(&p, odd, half_odd, TieBreak::SrcParity).sign(Dim::X), Sign::Minus);
+        assert_eq!(
+            HopPlan::new(&p, even, half_even, TieBreak::AlwaysPlus).sign(Dim::X),
+            Sign::Plus
+        );
+        assert_eq!(
+            HopPlan::new(&p, even, half_even, TieBreak::AlwaysMinus).sign(Dim::X),
+            Sign::Minus
+        );
+        assert_eq!(
+            HopPlan::new(&p, even, half_even, TieBreak::SrcParity).sign(Dim::X),
+            Sign::Plus
+        );
+        assert_eq!(
+            HopPlan::new(&p, odd, half_odd, TieBreak::SrcParity).sign(Dim::X),
+            Sign::Minus
+        );
     }
 
     #[test]
@@ -255,7 +281,12 @@ mod tests {
     #[test]
     fn advance_consumes_hops() {
         let p = t888();
-        let mut plan = HopPlan::new(&p, Coord::new(0, 0, 0), Coord::new(2, 1, 0), TieBreak::SrcParity);
+        let mut plan = HopPlan::new(
+            &p,
+            Coord::new(0, 0, 0),
+            Coord::new(2, 1, 0),
+            TieBreak::SrcParity,
+        );
         assert_eq!(plan.total_hops(), 3);
         plan.advance(Dim::X);
         plan.advance(Dim::Y);
@@ -268,7 +299,12 @@ mod tests {
     #[test]
     fn dimension_order_path_visits_x_then_y_then_z() {
         let p = t888();
-        let path = DimensionOrder::path(&p, Coord::new(0, 0, 0), Coord::new(2, 2, 1), TieBreak::SrcParity);
+        let path = DimensionOrder::path(
+            &p,
+            Coord::new(0, 0, 0),
+            Coord::new(2, 2, 1),
+            TieBreak::SrcParity,
+        );
         assert_eq!(
             path,
             vec![

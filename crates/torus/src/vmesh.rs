@@ -51,11 +51,7 @@ impl VirtualMesh {
     /// # Errors
     /// Returns `Err` if `perm` is not a permutation of X, Y, Z or `pvx` does
     /// not divide the node count.
-    pub fn with_layout(
-        part: Partition,
-        perm: [Dim; 3],
-        pvx: u32,
-    ) -> Result<VirtualMesh, String> {
+    pub fn with_layout(part: Partition, perm: [Dim; 3], pvx: u32) -> Result<VirtualMesh, String> {
         let mut seen = [false; 3];
         for d in perm {
             seen[d.index()] = true;
@@ -67,7 +63,12 @@ impl VirtualMesh {
         if pvx == 0 || !p.is_multiple_of(pvx) {
             return Err(format!("row length {pvx} does not divide node count {p}"));
         }
-        Ok(VirtualMesh { part, perm, pvx, pvy: p / pvx })
+        Ok(VirtualMesh {
+            part,
+            perm,
+            pvx,
+            pvy: p / pvx,
+        })
     }
 
     /// Choose a layout per `layout` (see [`VmeshLayout`]).
@@ -78,8 +79,9 @@ impl VirtualMesh {
     /// factorisation is used (32×16 on 8×8×8).
     pub fn choose(part: Partition, layout: VmeshLayout) -> VirtualMesh {
         match layout {
-            VmeshLayout::Explicit { perm, pvx } => VirtualMesh::with_layout(part, perm, pvx)
-                .expect("explicit vmesh layout invalid"),
+            VmeshLayout::Explicit { perm, pvx } => {
+                VirtualMesh::with_layout(part, perm, pvx).expect("explicit vmesh layout invalid")
+            }
             VmeshLayout::PlaneAligned => Self::plane_aligned(part),
             VmeshLayout::Balanced => Self::balanced(part),
             VmeshLayout::Auto => {
@@ -105,7 +107,11 @@ impl VirtualMesh {
         // Enumerate contiguous rectangular row blocks under the identity
         // permutation: pvx = (product of a prefix of dims) × (divisor of the
         // next dim). Pick the factorisation with pvx ≥ pvy closest to square.
-        let sizes = [part.size(Dim::X) as u32, part.size(Dim::Y) as u32, part.size(Dim::Z) as u32];
+        let sizes = [
+            part.size(Dim::X) as u32,
+            part.size(Dim::Y) as u32,
+            part.size(Dim::Z) as u32,
+        ];
         let p = part.num_nodes();
         let mut best: Option<u32> = None;
         let mut prefix = 1u32;
@@ -312,7 +318,10 @@ mod tests {
         let part: Partition = "8x8x8".parse().unwrap();
         let vm = VirtualMesh::choose(
             part,
-            VmeshLayout::Explicit { perm: [Dim::Y, Dim::Z, Dim::X], pvx: 64 },
+            VmeshLayout::Explicit {
+                perm: [Dim::Y, Dim::Z, Dim::X],
+                pvx: 64,
+            },
         );
         assert_eq!((vm.pvx(), vm.pvy()), (64, 8));
         // Rows are YZ planes (constant X).

@@ -14,28 +14,46 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let shape = args.first().map(String::as_str).unwrap_or("8x8x16");
     let part: Partition = shape.parse().expect("valid shape");
-    assert!(!part.is_symmetric(), "pick an asymmetric shape (e.g. 8x8x16, 16x8x8, 8x32x16)");
+    assert!(
+        !part.is_symmetric(),
+        "pick an asymmetric shape (e.g. 8x8x16, 16x8x8, 8x32x16)"
+    );
     let params = MachineParams::bgl();
     let p = part.num_nodes();
     let m = 1872; // packs into full 256-byte packets (1872+48 = 8×240)
     let coverage = (120_000.0 / p as f64).clamp(0.02, 1.0);
-    let workload =
-        if coverage >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, coverage) };
+    let workload = if coverage >= 1.0 {
+        AaWorkload::full(m)
+    } else {
+        AaWorkload::sampled(m, coverage)
+    };
 
     let analysis = AaLoadAnalysis::new(part);
-    println!("partition {part}: bottleneck dimension {}, contention factor C = {:.2}",
-        analysis.bottleneck().dim, analysis.contention_factor());
+    println!(
+        "partition {part}: bottleneck dimension {}, contention factor C = {:.2}",
+        analysis.bottleneck().dim,
+        analysis.contention_factor()
+    );
     println!("(Equation 2: C = M/8 on a torus whose longest dimension is M)\n");
 
     for strategy in [
         StrategyKind::AdaptiveRandomized,
         StrategyKind::DeterministicRouted,
-        StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
-        StrategyKind::TwoPhaseSchedule { linear: None, credit: Some(CreditConfig::default()) },
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: Some(CreditConfig::default()),
+        },
     ] {
         let credit = matches!(
             strategy,
-            StrategyKind::TwoPhaseSchedule { credit: Some(_), .. }
+            StrategyKind::TwoPhaseSchedule {
+                credit: Some(_),
+                ..
+            }
         );
         let report = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
             .expect("simulation completes");
@@ -45,7 +63,11 @@ fn main() {
             .collect();
         println!(
             "{:22} {:6.1}% of peak   link utilization {}",
-            format!("{}{}", report.strategy.name(), if credit { "+credits" } else { "" }),
+            format!(
+                "{}{}",
+                report.strategy.name(),
+                if credit { "+credits" } else { "" }
+            ),
             report.percent_of_peak,
             utils.join(" ")
         );

@@ -49,8 +49,11 @@ fn main() {
         let strategy = StrategyKind::Auto;
         // Sample destinations on large machines to keep the demo quick.
         let coverage = (150_000.0 / p as f64).clamp(0.02, 1.0);
-        let workload =
-            if coverage >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, coverage) };
+        let workload = if coverage >= 1.0 {
+            AaWorkload::full(m)
+        } else {
+            AaWorkload::sampled(m, coverage)
+        };
         let report = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
             .expect("simulation completes");
         // One FFT does two transposes; extrapolate sampled runs.

@@ -23,10 +23,19 @@ fn main() {
     let patterns: Vec<(String, Pattern)> = vec![
         ("all-to-all".into(), Pattern::AllToAll),
         ("shift(+1)".into(), Pattern::Shift { offset: 1 }),
-        (format!("shift(+{})", p / 2), Pattern::Shift { offset: p / 2 }),
-        (format!("transpose({}x{})", p / 4, 4), Pattern::Transpose { rows: p / 4 }),
+        (
+            format!("shift(+{})", p / 2),
+            Pattern::Shift { offset: p / 2 },
+        ),
+        (
+            format!("transpose({}x{})", p / 4, 4),
+            Pattern::Transpose { rows: p / 4 },
+        ),
         ("random(deg 8)".into(), Pattern::RandomPairs { degree: 8 }),
-        ("plane-a2a(Z)".into(), Pattern::PlaneAllToAll { fixed: Dim::Z }),
+        (
+            "plane-a2a(Z)".into(),
+            Pattern::PlaneAllToAll { fixed: Dim::Z },
+        ),
     ];
 
     println!("many-to-many patterns on {part}, {m} B per pair\n");

@@ -14,8 +14,13 @@ fn parse_strategy(name: &str) -> StrategyKind {
         "dr" => StrategyKind::DeterministicRouted,
         "mpi" => StrategyKind::MpiBaseline,
         "throttle" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-        "tps" => StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
-        "vmesh" => StrategyKind::VirtualMesh { layout: VmeshLayout::Auto },
+        "tps" => StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        "vmesh" => StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
         "xyz" => StrategyKind::XyzRouting,
         "auto" => StrategyKind::Auto,
         other => panic!("unknown strategy {other:?} (ar|dr|mpi|throttle|tps|vmesh|xyz|auto)"),
@@ -34,18 +39,29 @@ fn main() {
     // Keep the demo snappy on big shapes by sampling destinations.
     let p = part.num_nodes();
     let coverage = (200_000.0 / p as f64).clamp(0.02, 1.0).min(1.0);
-    let workload =
-        if coverage >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, coverage) };
+    let workload = if coverage >= 1.0 {
+        AaWorkload::full(m)
+    } else {
+        AaWorkload::sampled(m, coverage)
+    };
 
     println!(
         "partition {part} ({p} nodes, {}), {m} B per destination, strategy {}",
-        if part.is_symmetric() { "symmetric" } else { "asymmetric" },
+        if part.is_symmetric() {
+            "symmetric"
+        } else {
+            "asymmetric"
+        },
         strategy.name(),
     );
     let report = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
         .expect("simulation completes");
     println!("  resolved strategy : {}", report.strategy.name());
-    println!("  completion        : {} cycles = {:.3} ms", report.cycles, report.time_secs * 1e3);
+    println!(
+        "  completion        : {} cycles = {:.3} ms",
+        report.cycles,
+        report.time_secs * 1e3
+    );
     println!("  percent of peak   : {:.1} %", report.percent_of_peak);
     println!(
         "  per-node bandwidth: {:.1} MB/s (peak {:.1})",

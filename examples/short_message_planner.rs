@@ -25,7 +25,11 @@ fn main() {
         "partition {part}: virtual mesh {}x{} ({})",
         vm.pvx(),
         vm.pvy(),
-        if part.is_symmetric() { "balanced blocks" } else { "plane-aligned" }
+        if part.is_symmetric() {
+            "balanced blocks"
+        } else {
+            "plane-aligned"
+        }
     );
     if let Some(x) = vmesh_model::crossover_exact(&vm, &params) {
         println!("model crossover (Eq 3 = Eq 4): m ≈ {x:.0} B\n");
@@ -34,9 +38,14 @@ fn main() {
     let direct_pick = if part.is_symmetric() {
         StrategyKind::AdaptiveRandomized
     } else {
-        StrategyKind::TwoPhaseSchedule { linear: None, credit: None }
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        }
     };
-    let vmesh = StrategyKind::VirtualMesh { layout: VmeshLayout::Auto };
+    let vmesh = StrategyKind::VirtualMesh {
+        layout: VmeshLayout::Auto,
+    };
     let coverage = (150_000.0 / p as f64).clamp(0.05, 1.0);
 
     println!(
@@ -44,8 +53,11 @@ fn main() {
         "m (B)", "direct (ms)", "vmesh (ms)", "winner", "auto"
     );
     for m in [1u64, 4, 8, 16, 32, 64, 128, 256] {
-        let workload =
-            if coverage >= 1.0 { AaWorkload::full(m) } else { AaWorkload::sampled(m, coverage) };
+        let workload = if coverage >= 1.0 {
+            AaWorkload::full(m)
+        } else {
+            AaWorkload::sampled(m, coverage)
+        };
         let run = |s: &StrategyKind| {
             run_aa(part, &workload, s, &params, SimConfig::new(part))
                 .map(|r| r.time_secs * 1e3 / r.workload.coverage)

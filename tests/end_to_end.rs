@@ -6,8 +6,14 @@ use bgl_alltoall::sim::RoutingMode;
 
 fn report(shape: &str, strategy: &StrategyKind, m: u64) -> AaReport {
     let part: Partition = shape.parse().unwrap();
-    run_aa(part, &AaWorkload::full(m), strategy, &MachineParams::bgl(), SimConfig::new(part))
-        .expect("simulation completes")
+    run_aa(
+        part,
+        &AaWorkload::full(m),
+        strategy,
+        &MachineParams::bgl(),
+        SimConfig::new(part),
+    )
+    .expect("simulation completes")
 }
 
 /// Every strategy moves exactly the right number of application bytes on a
@@ -22,10 +28,21 @@ fn all_strategies_conserve_payload() {
         ("AR", StrategyKind::AdaptiveRandomized, 1.0),
         ("DR", StrategyKind::DeterministicRouted, 1.0),
         ("MPI", StrategyKind::MpiBaseline, 1.0),
-        ("throttled", StrategyKind::ThrottledAdaptive { factor: 1.0 }, 1.0),
+        (
+            "throttled",
+            StrategyKind::ThrottledAdaptive { factor: 1.0 },
+            1.0,
+        ),
         // TPS delivers forwarded bytes twice (once at the intermediate,
         // once at the destination); only a fraction are forwarded.
-        ("TPS", StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 1.0),
+        (
+            "TPS",
+            StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+            1.0,
+        ),
     ] {
         let r = report(shape, &strategy, m);
         assert!(
@@ -33,7 +50,10 @@ fn all_strategies_conserve_payload() {
             "{name}: delivered {} < {app_bytes}",
             r.stats.payload_bytes_delivered
         );
-        assert_eq!(r.stats.packets_injected, r.stats.packets_delivered, "{name}");
+        assert_eq!(
+            r.stats.packets_injected, r.stats.packets_delivered,
+            "{name}"
+        );
     }
 }
 
@@ -41,7 +61,13 @@ fn all_strategies_conserve_payload() {
 /// application byte once.
 #[test]
 fn vmesh_moves_each_byte_twice() {
-    let r = report("4x4", &StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }, 64);
+    let r = report(
+        "4x4",
+        &StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
+        64,
+    );
     // Phase 1: P·(pvx-1)/pvx ... easier from program structure: every node
     // sends (pvx-1) row messages of pvy·m plus (pvy-1) column messages of
     // pvx·m. For 4x4 → vmesh 4x4: 16 nodes × (3·4·64 + 3·4·64).
@@ -64,11 +90,23 @@ fn strategy_ordering_matches_paper_shape() {
         dr_sym.percent_of_peak
     );
     // Short messages: combining beats direct.
-    let vm_short = report("4x4x4", &StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }, 8);
+    let vm_short = report(
+        "4x4x4",
+        &StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
+        8,
+    );
     let ar_short = report("4x4x4", &StrategyKind::AdaptiveRandomized, 8);
     assert!(vm_short.cycles < ar_short.cycles);
     // Large messages: direct beats combining.
-    let vm_large = report("4x4x4", &StrategyKind::VirtualMesh { layout: VmeshLayout::Auto }, 432);
+    let vm_large = report(
+        "4x4x4",
+        &StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
+        432,
+    );
     assert!(ar_sym.cycles < vm_large.cycles);
 }
 
@@ -110,12 +148,22 @@ fn vc_discipline() {
 /// and costs only a small slowdown.
 #[test]
 fn credit_flow_control_overhead_is_small() {
-    let tps = report("4x4x2", &StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 432);
+    let tps = report(
+        "4x4x2",
+        &StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        432,
+    );
     let credit = report(
         "4x4x2",
         &StrategyKind::TwoPhaseSchedule {
             linear: None,
-            credit: Some(CreditConfig { window_packets: 40, credit_every: 10 }),
+            credit: Some(CreditConfig {
+                window_packets: 40,
+                credit_every: 10,
+            }),
         },
         432,
     );
@@ -127,8 +175,22 @@ fn credit_flow_control_overhead_is_small() {
 /// reproducible across the whole stack.
 #[test]
 fn end_to_end_determinism() {
-    let a = report("4x4x2", &StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 240);
-    let b = report("4x4x2", &StrategyKind::TwoPhaseSchedule { linear: None, credit: None }, 240);
+    let a = report(
+        "4x4x2",
+        &StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        240,
+    );
+    let b = report(
+        "4x4x2",
+        &StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        240,
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.stats, b.stats);
 }
@@ -170,7 +232,9 @@ fn mixed_routing_modes_coexist() {
             Box::new(ScriptedProgram::new(sends, 15)) as Box<dyn NodeProgram>
         })
         .collect();
-    let stats = Engine::new(cfg, programs).run().expect("mixed traffic completes");
+    let stats = Engine::new(cfg, programs)
+        .run()
+        .expect("mixed traffic completes");
     assert_eq!(stats.packets_delivered, 16 * 15);
     assert!(stats.bubble_hops > 0);
     assert!(stats.dynamic_hops > 0);
@@ -191,7 +255,14 @@ fn builder_matches_run_aa() {
     let direct = {
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = 16;
-        run_aa(part, &AaWorkload::full(240), &strategy, &MachineParams::bgl(), cfg).unwrap()
+        run_aa(
+            part,
+            &AaWorkload::full(240),
+            &strategy,
+            &MachineParams::bgl(),
+            cfg,
+        )
+        .unwrap()
     };
     let built = AaRun::builder(part, AaWorkload::full(240))
         .strategy(strategy)

@@ -1,0 +1,76 @@
+//! Determinism pin for the active-set engine across the real strategy
+//! stack: on a grid of (partition, strategy, m) configurations spanning
+//! symmetric/asymmetric shapes and full/sampled coverage, the active-set
+//! engine produces byte-identical `NetStats` — cycle counts, latency
+//! histograms, per-dimension link counters — to the reference full-scan
+//! path (`SimConfig::full_scan_engine = true`).
+
+use bgl_alltoall::prelude::*;
+
+fn assert_modes_match(shape: &str, strategy: StrategyKind, m: u64, coverage: f64) {
+    let part: Partition = shape.parse().unwrap();
+    let workload = if coverage >= 1.0 {
+        AaWorkload::full(m)
+    } else {
+        AaWorkload::sampled(m, coverage)
+    };
+    let params = MachineParams::bgl();
+    let active = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
+        .expect("active-set run completes");
+    let mut cfg = SimConfig::new(part);
+    cfg.full_scan_engine = true;
+    let reference =
+        run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
+    let label = format!("{shape} {} m={m} cov={coverage}", strategy.name());
+    assert_eq!(active.cycles, reference.cycles, "{label}");
+    assert_eq!(active.stats, reference.stats, "{label}");
+}
+
+/// Direct strategies, symmetric and asymmetric, full coverage.
+#[test]
+fn direct_strategies_full_coverage() {
+    assert_modes_match("4x4x4", StrategyKind::AdaptiveRandomized, 240, 1.0);
+    assert_modes_match("8x4x4", StrategyKind::AdaptiveRandomized, 912, 1.0);
+    assert_modes_match("4x4x4", StrategyKind::DeterministicRouted, 240, 1.0);
+}
+
+/// Indirect (forwarding) strategies: software forwarding exercises
+/// reactive sends, injection classes and the CPU re-activation paths.
+#[test]
+fn indirect_strategies_full_coverage() {
+    assert_modes_match(
+        "8x4x4",
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        240,
+        1.0,
+    );
+    assert_modes_match(
+        "4x4",
+        StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+        },
+        240,
+        1.0,
+    );
+}
+
+/// Sampled coverage on a larger partition — the sparse regime where the
+/// active sets actually skip work — for both a direct and an indirect
+/// strategy, plus a 1-byte (latency-bound) point.
+#[test]
+fn sampled_coverage_sparse_regime() {
+    assert_modes_match("8x8x8", StrategyKind::AdaptiveRandomized, 912, 0.125);
+    assert_modes_match(
+        "8x8x8",
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            credit: None,
+        },
+        64,
+        0.125,
+    );
+    assert_modes_match("8x8x4", StrategyKind::AdaptiveRandomized, 1, 0.25);
+}

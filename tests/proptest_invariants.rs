@@ -11,7 +11,9 @@ use proptest::prelude::*;
 /// flags, at least 2 nodes.
 fn small_partition() -> impl Strategy<Value = Partition> {
     (1u16..=6, 1u16..=6, 1u16..=6, any::<[bool; 3]>())
-        .prop_filter("need two nodes", |(x, y, z, _)| (*x as u32) * (*y as u32) * (*z as u32) >= 2)
+        .prop_filter("need two nodes", |(x, y, z, _)| {
+            (*x as u32) * (*y as u32) * (*z as u32) >= 2
+        })
         .prop_map(|(x, y, z, wrap)| Partition::new([x, y, z], wrap))
 }
 

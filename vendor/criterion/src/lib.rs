@@ -22,7 +22,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         eprintln!("group {name}");
-        BenchmarkGroup { _criterion: self, name }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
     }
 
     /// Run a single stand-alone benchmark.

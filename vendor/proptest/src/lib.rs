@@ -99,7 +99,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason, pred }
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
         }
 
         /// Transform generated values with `f`.
@@ -135,7 +139,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 10000 consecutive samples: {}", self.reason);
+            panic!(
+                "prop_filter rejected 10000 consecutive samples: {}",
+                self.reason
+            );
         }
     }
 
@@ -314,7 +321,11 @@ pub mod collection {
     /// Vectors of `element` samples with length in `size` (half-open).
     pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
         assert!(size.start < size.end, "empty vec size range");
-        VecStrategy { element, min: size.start, max_exclusive: size.end }
+        VecStrategy {
+            element,
+            min: size.start,
+            max_exclusive: size.end,
+        }
     }
 }
 

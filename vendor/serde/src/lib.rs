@@ -314,7 +314,10 @@ mod tests {
         assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
         assert!(bool::from_value(&true.to_value()).unwrap());
-        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
     }
 
     #[test]

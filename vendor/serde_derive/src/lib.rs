@@ -37,7 +37,9 @@ struct Definition {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_definition(input) {
-        Ok(def) => generate_serialize(&def).parse().expect("generated code parses"),
+        Ok(def) => generate_serialize(&def)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -46,13 +48,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_definition(input) {
-        Ok(def) => generate_deserialize(&def).parse().expect("generated code parses"),
+        Ok(def) => generate_deserialize(&def)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({:?});", msg).parse().expect("error tokens parse")
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("error tokens parse")
 }
 
 /// Parse `struct Name { .. }` / `enum Name { .. }` out of the derive input.
@@ -70,7 +76,9 @@ fn parse_definition(input: TokenStream) -> Result<Definition, String> {
     let group = match tokens.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-            return Err(format!("serde stand-in: generic type `{name}` is not supported"))
+            return Err(format!(
+                "serde stand-in: generic type `{name}` is not supported"
+            ))
         }
         other => {
             return Err(format!(
@@ -186,7 +194,11 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
                 }
                 variants.push(Variant { name, fields });
             }
-            other => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
         }
     }
     Ok(variants)
@@ -221,8 +233,7 @@ fn generate_serialize(def: &Definition) -> String {
                         v = v.name
                     ),
                     Some(fields) => {
-                        let bindings: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         format!(
                             "{name}::{v} {{ {bind} }} => ::serde::Value::Object(::std::vec![\
                              (::std::string::String::from({v:?}), {inner})]),",

@@ -48,7 +48,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Deserialize a `T` from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -314,10 +317,7 @@ impl<'a> Parser<'a> {
                             s.push(c);
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -352,8 +352,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             text.parse::<f64>()
                 .map(Value::F64)
@@ -394,7 +394,10 @@ mod tests {
             compact,
             r#"{"name":"8x8x8","cycles":123456,"frac":0.25,"neg":-3,"flag":true,"gone":null,"xs":[1,2]}"#
         );
-        let mut p = Parser { bytes: compact.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: compact.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.value().unwrap(), v);
     }
 
@@ -411,11 +414,17 @@ mod tests {
         let original = "a\"b\\c\nd\te\u{1}f\u{1F600}";
         let mut out = String::new();
         write_string(&mut out, original);
-        let mut p = Parser { bytes: out.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: out.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.string().unwrap(), original);
         // Surrogate-pair escapes parse too.
         let escaped = "\"\\ud83d\\ude00\"";
-        let mut p = Parser { bytes: escaped.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: escaped.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.string().unwrap(), "\u{1F600}");
     }
 
