@@ -1,0 +1,105 @@
+//! `trace-bench` — wall-clock cost of the time-series tracer on the
+//! dense 8x8x8 adaptive-randomized all-to-all (m = 912 B, full
+//! coverage): trace disabled vs sampling every 1000 cycles. The
+//! acceptance bar is that the *disabled* path costs nothing measurable
+//! (≤ 2 % vs the pre-tracer engine — it adds one predictable branch per
+//! cycle), and the JSON also records what enabling sampling costs.
+//!
+//! ```text
+//! trace-bench [--reps N] [--out FILE]
+//! ```
+//!
+//! Writes `BENCH_trace.json` (default) with min-of-`reps` wall-clock
+//! per variant; methodology in EXPERIMENTS.md.
+
+use bgl_core::{run_aa, AaWorkload, StrategyKind};
+use bgl_model::MachineParams;
+use bgl_sim::{SimConfig, TraceConfig};
+use bgl_torus::Partition;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace-bench: {msg}");
+    std::process::exit(2);
+}
+
+/// One dense AR all-to-all; returns (cycles, samples recorded).
+fn run_once(trace_interval: Option<u64>) -> (u64, usize) {
+    let part: Partition = "8x8x8".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.trace = trace_interval.map(TraceConfig::every);
+    let report = run_aa(
+        part,
+        &AaWorkload::full(912),
+        &StrategyKind::AdaptiveRandomized,
+        &MachineParams::bgl(),
+        cfg,
+    )
+    .expect("run completes");
+    let samples = report.trace.as_ref().map_or(0, |t| t.samples.len());
+    (report.cycles, samples)
+}
+
+/// Min wall-clock over `reps`, with the cycle count asserted stable.
+fn time_runs(reps: u32, interval: Option<u64>) -> (f64, u64, usize) {
+    let mut best = f64::INFINITY;
+    let (mut cycles, mut samples) = (0u64, 0usize);
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let (c, s) = run_once(interval);
+        best = best.min(t0.elapsed().as_secs_f64());
+        if rep == 0 {
+            (cycles, samples) = (c, s);
+        } else {
+            assert_eq!(c, cycles, "nondeterministic cycle count");
+        }
+    }
+    (best, cycles, samples)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 5u32;
+    let mut out = "BENCH_trace.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => {
+                let v = it.next().unwrap_or_default();
+                reps = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail(&format!("--reps needs a positive integer, got {v:?}")),
+                };
+            }
+            "--out" => match it.next() {
+                Some(p) if !p.is_empty() && !p.starts_with("--") => out = p,
+                _ => fail("--out needs a file path"),
+            },
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!("trace-bench: dense 8x8x8 AR all-to-all (m=912, full coverage), {reps} reps");
+    let (disabled_secs, cycles, _) = time_runs(reps, None);
+    eprintln!("  trace disabled : {disabled_secs:.3}s ({cycles} cycles)");
+    let (traced_secs, traced_cycles, samples) = time_runs(reps, Some(1000));
+    eprintln!("  every 1k cycles: {traced_secs:.3}s ({samples} samples)");
+    assert_eq!(cycles, traced_cycles, "tracing must not change the run");
+    let overhead = 100.0 * (traced_secs / disabled_secs - 1.0);
+    eprintln!("  sampling overhead: {overhead:+.1} %");
+
+    let body = format!(
+        "{{\n  \"benchmark\": \"tracer overhead, dense 8x8x8 AR all-to-all m=912\",\n  \
+         \"tool\": \"trace-bench\",\n  \"reps_per_variant\": {reps},\n  \
+         \"metric\": \"min wall-clock seconds per full simulation\",\n  \
+         \"simulated_cycles\": {cycles},\n  \"variants\": [\n    \
+         {{\"name\": \"trace_disabled\", \"secs\": {disabled_secs:.4}}},\n    \
+         {{\"name\": \"trace_interval_1000\", \"secs\": {traced_secs:.4}, \
+         \"samples\": {samples}}}\n  ],\n  \
+         \"sampling_overhead_percent\": {overhead:.2}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out, &body) {
+        fail(&format!("cannot write {out}: {e}"));
+    }
+    eprintln!("wrote {out}");
+}

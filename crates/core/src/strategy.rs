@@ -117,6 +117,10 @@ pub struct AaReport {
     pub per_node_bandwidth: f64,
     /// Raw simulator statistics.
     pub stats: NetStats,
+    /// Time-series trace, present iff `SimConfig::trace` was set (see
+    /// [`bgl_sim::trace`]). Purely observational: `stats` is
+    /// byte-identical whether or not a trace was recorded.
+    pub trace: Option<bgl_sim::Trace>,
 }
 
 /// A fully specified all-to-all run; build one with [`AaRun::builder`].
@@ -324,7 +328,9 @@ fn execute(
         StrategyKind::Auto => unreachable!("Auto resolved above"),
     };
 
-    let stats = Engine::new(base, programs).run()?;
+    let mut engine = Engine::new(base, programs);
+    let stats = engine.run()?;
+    let trace = engine.take_trace();
     let peak_cycles = peak_cycles_for(&part, workload, params);
     let cycles = stats.completion_cycle;
     let time_secs = cycles as f64 * params.secs_per_sim_cycle();
@@ -343,6 +349,7 @@ fn execute(
             0.0
         },
         stats,
+        trace,
     })
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--jobs N] [--csv|--json]
+//!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
 //! bglsim fit   --shape 8x8x8
 //! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
 //! ```
@@ -9,6 +10,13 @@
 //! Sweep points run across `--jobs` worker threads (default: all
 //! cores); results are identical for any thread count. `--json` emits
 //! the full [`AaReport`](bgl_core::AaReport) per point.
+//!
+//! Tracing: `--trace-out` / `--report` / `--trace-interval` enable the
+//! simulator's time-series tracer (default interval 1024 cycles).
+//! `--trace-out` exports the traced reports as JSON, or one trace as
+//! RFC-4180 CSV when the path ends in `.csv`; `--report` prints the
+//! human-readable run report (utilization timeline, phase boundaries,
+//! FIFO highlights, hottest links) per point.
 //!
 //! Malformed input never panics: every parse failure prints a one-line
 //! error to stderr and exits with status 2. Unknown flags are rejected.
@@ -114,6 +122,18 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     }
     let csv = flags.contains_key("csv");
     let json = flags.contains_key("json");
+    let report = flags.contains_key("report");
+    let trace_out = flags.get("trace-out").cloned();
+    let trace_interval: u64 = flags.get("trace-interval").map_or(1024, |s| {
+        s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            fail(&format!(
+                "--trace-interval needs a positive cycle count, got {s:?}"
+            ))
+        })
+    });
+    // --trace-out and --report both imply tracing; --trace-interval alone
+    // also enables it (the trace then rides the --json output).
+    let tracing = trace_out.is_some() || report || flags.contains_key("trace-interval");
     let mut runner = Runner::new(Scale::Paper);
     if let Some(n) = flags.get("jobs") {
         let jobs = n
@@ -126,12 +146,23 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     let points: Vec<RunPoint> = sizes
         .iter()
         .flat_map(|&m| {
-            strategies
-                .iter()
-                .map(move |s| RunPoint::new(part, s.clone(), m, coverage))
+            strategies.iter().map(move |s| {
+                let mut p = RunPoint::new(part, s.clone(), m, coverage);
+                if tracing {
+                    p = p.traced(trace_interval);
+                }
+                if report {
+                    // The hottest-links table needs per-link counters.
+                    p = p.variant("detailed-links", |c| c.detailed_link_stats = true);
+                }
+                p
+            })
         })
         .collect();
     runner.run_points(&points);
+    if let Some(path) = &trace_out {
+        write_traces(path, &points, &runner);
+    }
     if json {
         let reports: Vec<AaReport> = points
             .iter()
@@ -171,6 +202,43 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
             Err(e) => println!("  m={m:<7} {:12} ERROR {e}", point.key.strategy.name()),
         }
     }
+    if report {
+        for point in &points {
+            if let Ok(r) = runner.report(point) {
+                println!();
+                print!("{}", bgl_harness::render_run_report(&r));
+            }
+        }
+    }
+}
+
+/// Write traced runs to `path`: RFC-4180 CSV for a `.csv` path (exactly
+/// one point — CSV has no framing for several series), JSON (the full
+/// reports, traces included) otherwise.
+fn write_traces(path: &str, points: &[RunPoint], runner: &Runner) {
+    let reports: Vec<AaReport> = points
+        .iter()
+        .filter_map(|p| runner.report(p).ok())
+        .collect();
+    let body = if path.ends_with(".csv") {
+        match &reports[..] {
+            [one] => one
+                .trace
+                .as_ref()
+                .unwrap_or_else(|| fail("--trace-out: run recorded no trace"))
+                .to_csv(),
+            _ => fail(&format!(
+                "--trace-out {path:?}: CSV export needs exactly one point \
+                 (one strategy, one size); got {}",
+                reports.len()
+            )),
+        }
+    } else {
+        serde_json::to_string_pretty(&reports).expect("serialize traces")
+    };
+    std::fs::write(path, body)
+        .unwrap_or_else(|e| fail(&format!("--trace-out: cannot write {path:?}: {e}")));
+    eprintln!("bglsim: wrote {} traced run(s) to {path}", reports.len());
 }
 
 fn cmd_fit(flags: &HashMap<String, String>) {
@@ -249,14 +317,25 @@ fn main() {
     match cmd {
         "sweep" => cmd_sweep(&parse_flags(
             rest,
-            &["shape", "strategies", "sizes", "coverage", "jobs"],
-            &["csv", "json"],
+            &[
+                "shape",
+                "strategies",
+                "sizes",
+                "coverage",
+                "jobs",
+                "trace-interval",
+                "trace-out",
+            ],
+            &["csv", "json", "report"],
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(rest, &["shape", "pattern", "m"], &[])),
         _ => {
             eprintln!("usage: bglsim sweep|fit|pattern [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
+            eprintln!(
+                "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
+            );
             eprintln!("  fit     --shape 8x8x8");
             eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
             std::process::exit(2);

@@ -20,9 +20,11 @@ pub mod experiment;
 pub mod experiments;
 pub mod paper;
 pub mod runner;
+pub mod trace_report;
 
 pub use experiment::ExperimentReport;
 pub use runner::{Runner, Scale};
+pub use trace_report::render_run_report;
 
 /// Run a set of experiment ids, in order, sharing one runner/cache.
 /// Invalid ids are skipped with a stderr warning.

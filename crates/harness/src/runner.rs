@@ -21,7 +21,7 @@
 
 use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{SimConfig, SimError};
+use bgl_sim::{SimConfig, SimError, TraceConfig};
 use bgl_torus::Partition;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -80,6 +80,11 @@ pub struct RunKey {
     /// Configuration-variant label ("" for the default config). Distinct
     /// config tweaks must carry distinct labels.
     pub variant: &'static str,
+    /// Trace sampling interval in cycles, 0 = tracing off. Part of the
+    /// key so traced and untraced runs never share a cache slot (their
+    /// `NetStats` are identical by construction, but only the former
+    /// carries an `AaReport::trace`).
+    pub trace_interval: u64,
 }
 
 impl RunKey {
@@ -91,6 +96,7 @@ impl RunKey {
             m,
             coverage_ppm: RunKey::quantize(coverage),
             variant: "",
+            trace_interval: 0,
         }
     }
 
@@ -145,6 +151,20 @@ impl RunPoint {
     ) -> RunPoint {
         self.key.variant = label;
         self.tweak = Some(Arc::new(tweak));
+        self
+    }
+
+    /// Enable time-series tracing for this point: record a `TraceSample`
+    /// every `interval_cycles` cycles and surface the series as
+    /// `AaReport::trace`. The interval is part of the cache key, so a
+    /// traced point never aliases its untraced twin; `NetStats` is
+    /// byte-identical either way.
+    ///
+    /// # Panics
+    /// Panics if `interval_cycles` is zero.
+    pub fn traced(mut self, interval_cycles: u64) -> RunPoint {
+        assert!(interval_cycles > 0, "trace interval must be positive");
+        self.key.trace_interval = interval_cycles;
         self
     }
 
@@ -274,6 +294,7 @@ impl Runner {
             m,
             coverage_ppm: RunKey::quantize(coverage),
             variant,
+            trace_interval: 0,
         };
         self.run_keyed(&key, &tweak)
     }
@@ -389,6 +410,11 @@ impl Runner {
         workload.seed = self.seed;
         let mut cfg = SimConfig::new(key.part);
         tweak(&mut cfg);
+        // The key's trace interval wins over any tweak: the key is the
+        // identity of the run, so what it says must be what executes.
+        if key.trace_interval > 0 {
+            cfg.trace = Some(TraceConfig::every(key.trace_interval));
+        }
         run_aa(key.part, &workload, &key.strategy, &self.params, cfg)
     }
 }

@@ -104,3 +104,117 @@ fn bglsim_fit_happy_path() {
     assert_eq!(code, Some(0), "stderr: {stderr}");
     assert!(stdout.contains("ping-pong fit"), "{stdout}");
 }
+
+#[test]
+fn bglsim_rejects_malformed_trace_flags() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    assert_clean_failure(
+        bin,
+        &["sweep", "--trace-interval", "0"],
+        "positive cycle count",
+    );
+    assert_clean_failure(
+        bin,
+        &["sweep", "--trace-interval", "often"],
+        "positive cycle count",
+    );
+    assert_clean_failure(bin, &["sweep", "--trace-out"], "needs a value");
+    // --report is a bool flag; a stray value after it is rejected.
+    assert_clean_failure(bin, &["sweep", "--report", "stray"], "unexpected argument");
+    // These flags only exist under `sweep`.
+    assert_clean_failure(bin, &["fit", "--report"], "unknown flag");
+}
+
+/// `--report` on a tiny sweep prints every report section.
+#[test]
+fn bglsim_report_happy_path() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let (code, stdout, stderr) = run(
+        bin,
+        &[
+            "sweep",
+            "--shape",
+            "4x4",
+            "--strategies",
+            "ar",
+            "--sizes",
+            "240",
+            "--trace-interval",
+            "200",
+            "--report",
+        ],
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("run report: AR on 4x4"), "{stdout}");
+    assert!(stdout.contains("timeline ("), "{stdout}");
+    assert!(stdout.contains("FIFO highlights:"), "{stdout}");
+    assert!(stdout.contains("hottest links"), "{stdout}");
+}
+
+/// `--trace-out` writes parseable exports: RFC-4180 CSV for `.csv`
+/// paths, JSON that round-trips through the serde stubs otherwise.
+#[test]
+fn bglsim_trace_out_writes_csv_and_json() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let dir = std::env::temp_dir().join(format!("bglsim-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let csv_path = dir.join("trace.csv");
+    let json_path = dir.join("trace.json");
+
+    let base = [
+        "sweep",
+        "--shape",
+        "4x4",
+        "--strategies",
+        "ar",
+        "--sizes",
+        "240",
+    ];
+    let mut csv_args: Vec<&str> = base.to_vec();
+    let csv_s = csv_path.to_str().unwrap();
+    csv_args.extend(["--trace-out", csv_s]);
+    let (code, _stdout, stderr) = run(bin, &csv_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+    assert!(csv.starts_with("cycle,busy_x"), "{csv}");
+    assert!(csv.contains("\r\n"), "RFC-4180 wants CRLF");
+
+    let mut json_args: Vec<&str> = base.to_vec();
+    let json_s = json_path.to_str().unwrap();
+    json_args.extend(["--trace-out", json_s]);
+    let (code, _stdout, stderr) = run(bin, &json_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    let reports: Vec<bgl_core::AaReport> = serde_json::from_str(&json).expect("round-trips");
+    assert_eq!(reports.len(), 1);
+    let trace = reports[0].trace.as_ref().expect("trace present");
+    assert!(!trace.samples.is_empty());
+    assert_eq!(trace.link_busy_totals(), reports[0].stats.link_busy_chunks);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CSV export is single-series by design: two points must fail cleanly.
+#[test]
+fn bglsim_trace_out_csv_rejects_multiple_points() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let dir = std::env::temp_dir().join(format!("bglsim-trace-multi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let path = dir.join("two.csv");
+    assert_clean_failure(
+        bin,
+        &[
+            "sweep",
+            "--shape",
+            "4x4",
+            "--strategies",
+            "ar,dr",
+            "--sizes",
+            "240",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ],
+        "exactly one point",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,6 +6,7 @@
 //! `bgl_model::MachineParams` for conversions). All buffer capacities are in
 //! chunks; all CPU costs are in (fractional) cycles.
 
+use crate::trace::TraceConfig;
 use bgl_torus::Partition;
 use serde::{Deserialize, Serialize};
 
@@ -164,6 +165,13 @@ pub struct SimConfig {
     /// `NetStats::link_busy_per_link`). Off by default: it adds a vector
     /// of `6·P` counters to every run.
     pub detailed_link_stats: bool,
+    /// Time-series tracing: `Some(cfg)` records a [`TraceSample`]
+    /// (see [`crate::trace`]) every `cfg.interval_cycles` cycles,
+    /// retrievable after the run via `Engine::take_trace`. `None` (the
+    /// default) costs one predictable branch per cycle and nothing else.
+    /// Tracing never perturbs results: `NetStats` is byte-identical with
+    /// tracing on or off.
+    pub trace: Option<TraceConfig>,
     /// Validation/benchmark knob: disable the active-node worklists and
     /// scan every node in every phase of every cycle (the reference
     /// full-scan engine). Results are byte-identical either way — the
@@ -188,6 +196,7 @@ impl SimConfig {
             watchdog_cycles: 200_000,
             max_cycles: 2_000_000_000,
             detailed_link_stats: false,
+            trace: None,
             full_scan_engine: false,
         }
     }

@@ -38,6 +38,7 @@ pub mod node;
 pub mod packet;
 pub mod program;
 pub mod stats;
+pub mod trace;
 
 pub use config::{CpuConfig, RouterConfig, SimConfig, Vc, NUM_VCS};
 pub use engine::{Engine, SimError};
@@ -45,6 +46,7 @@ pub use fifo::ChunkFifo;
 pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec};
 pub use program::{NodeApi, NodeProgram, ScriptedProgram};
 pub use stats::NetStats;
+pub use trace::{OccStat, Trace, TraceConfig, TraceSample};
 
 #[cfg(test)]
 mod tests {

@@ -96,6 +96,7 @@ fn stuck_program_reports_stalled_with_accurate_counts() {
             cycle,
             live_packets,
             incomplete_programs,
+            ..
         }) => {
             assert!(cycle > 1_000, "watchdog fired early at {cycle}");
             assert_eq!(live_packets, 1, "exactly the class-3 packet is stuck");

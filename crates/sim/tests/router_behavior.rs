@@ -154,6 +154,7 @@ fn watchdog_reports_live_packets() {
             cycle,
             live_packets,
             incomplete_programs,
+            ..
         }) => {
             assert!(cycle >= 200);
             assert_eq!(live_packets, 0);

@@ -3,9 +3,14 @@
 //! symmetric/asymmetric shapes and full/sampled coverage, the active-set
 //! engine produces byte-identical `NetStats` — cycle counts, latency
 //! histograms, per-dimension link counters — to the reference full-scan
-//! path (`SimConfig::full_scan_engine = true`).
+//! path (`SimConfig::full_scan_engine = true`). The same grid also pins
+//! that time-series tracing is purely observational: enabling
+//! `SimConfig::trace` changes nothing in `NetStats`, in either engine
+//! mode, and the recorded per-dimension link-busy deltas sum exactly to
+//! the run's `link_busy_chunks` totals.
 
 use bgl_alltoall::prelude::*;
+use bgl_sim::TraceConfig;
 
 fn assert_modes_match(shape: &str, strategy: StrategyKind, m: u64, coverage: f64) {
     let part: Partition = shape.parse().unwrap();
@@ -15,15 +20,35 @@ fn assert_modes_match(shape: &str, strategy: StrategyKind, m: u64, coverage: f64
         AaWorkload::sampled(m, coverage)
     };
     let params = MachineParams::bgl();
+    let label = format!("{shape} {} m={m} cov={coverage}", strategy.name());
     let active = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
         .expect("active-set run completes");
     let mut cfg = SimConfig::new(part);
     cfg.full_scan_engine = true;
     let reference =
         run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
-    let label = format!("{shape} {} m={m} cov={coverage}", strategy.name());
     assert_eq!(active.cycles, reference.cycles, "{label}");
     assert_eq!(active.stats, reference.stats, "{label}");
+
+    // Tracing on, both engine modes: NetStats must stay byte-identical,
+    // and the trace's busy deltas must telescope to the run totals.
+    for full_scan in [false, true] {
+        let mut cfg = SimConfig::new(part);
+        cfg.full_scan_engine = full_scan;
+        cfg.trace = Some(TraceConfig::every(500));
+        let traced =
+            run_aa(part, &workload, &strategy, &params, cfg).expect("traced run completes");
+        assert_eq!(
+            traced.stats, active.stats,
+            "{label} traced full_scan={full_scan}"
+        );
+        let trace = traced.trace.expect("trace recorded");
+        assert_eq!(
+            trace.link_busy_totals(),
+            traced.stats.link_busy_chunks,
+            "{label} busy deltas must sum to totals (full_scan={full_scan})"
+        );
+    }
 }
 
 /// Direct strategies, symmetric and asymmetric, full coverage.
