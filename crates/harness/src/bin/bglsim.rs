@@ -5,6 +5,7 @@
 //!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
 //! bglsim fit   --shape 8x8x8
 //! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
+//! bglsim validate [--tier quick|full] [--jobs N] [--bless]
 //! ```
 //!
 //! Sweep points run across `--jobs` worker threads (default: all
@@ -18,10 +19,17 @@
 //! human-readable run report (utilization timeline, phase boundaries,
 //! FIFO highlights, hottest links) per point.
 //!
+//! `validate` runs the paper-conformance suite (DESIGN.md §7 targets as
+//! machine-checked assertions, plus the golden `NetStats` fingerprints):
+//! it renders a PASS/FAIL table and exits 1 if any check fails. The
+//! `quick` tier is CI-sized; `full` uses paper-scale shapes. `--bless`
+//! rewrites the committed golden fingerprints from the measured runs.
+//!
 //! Malformed input never panics: every parse failure prints a one-line
 //! error to stderr and exits with status 2. Unknown flags are rejected.
 
 use bgl_core::*;
+use bgl_harness::conformance::{run_validation, Tier};
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_model::MachineParams;
 use bgl_sim::SimConfig;
@@ -310,6 +318,26 @@ fn cmd_pattern(flags: &HashMap<String, String>) {
     }
 }
 
+fn cmd_validate(flags: &HashMap<String, String>) {
+    let tier = flags.get("tier").map_or(Tier::Quick, |s| {
+        Tier::parse(s).unwrap_or_else(|| fail(&format!("--tier must be quick or full, got {s:?}")))
+    });
+    let mut runner = Runner::new(tier.scale());
+    if let Some(n) = flags.get("jobs") {
+        let jobs = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| fail(&format!("--jobs needs a positive integer, got {n:?}")));
+        runner = runner.with_jobs(jobs);
+    }
+    let report = run_validation(&runner, tier, flags.contains_key("bless"));
+    print!("{}", report.render());
+    if report.failures() > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -330,14 +358,16 @@ fn main() {
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(rest, &["shape", "pattern", "m"], &[])),
+        "validate" => cmd_validate(&parse_flags(rest, &["tier", "jobs"], &["bless"])),
         _ => {
-            eprintln!("usage: bglsim sweep|fit|pattern [--flags]");
+            eprintln!("usage: bglsim sweep|fit|pattern|validate [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
             eprintln!(
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
             eprintln!("  fit     --shape 8x8x8");
             eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
+            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless]");
             std::process::exit(2);
         }
     }

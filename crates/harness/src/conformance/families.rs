@@ -1,0 +1,488 @@
+//! The five DESIGN.md §7 validation-target families, plus the
+//! engine-mode/oracle equivalence family, as tier-parameterized checks.
+//!
+//! All thresholds assert *shape* — orderings, bands, crossover
+//! directions — not absolute paper numbers: the quick tier is calibrated
+//! against the committed quick-scale results in EXPERIMENTS.md, the full
+//! tier against the paper-scale runs and spot checks recorded there.
+//! Floors carry a few points of slack below the committed measurements so
+//! the suite flags real regressions, not formatting noise; orderings are
+//! asserted exactly (the simulator is deterministic).
+//!
+//! Every point runs with the simulator's invariant oracle enabled
+//! (`SimConfig::check_invariants`), so each PASS also certifies packet,
+//! byte, hop and credit conservation on that configuration.
+
+use super::{CheckResult, Tier};
+use crate::runner::{RunPoint, Runner};
+use bgl_core::StrategyKind;
+use bgl_torus::{Partition, VmeshLayout};
+
+/// Variant label for the invariant-checked runs the grid is made of.
+pub const INVARIANTS: &str = "invariants";
+/// Variant label for the reference-engine twin of a grid point.
+pub const INVARIANTS_FULL_SCAN: &str = "invariants-fullscan";
+
+fn ar() -> StrategyKind {
+    StrategyKind::AdaptiveRandomized
+}
+fn dr() -> StrategyKind {
+    StrategyKind::DeterministicRouted
+}
+fn thr() -> StrategyKind {
+    StrategyKind::ThrottledAdaptive { factor: 1.0 }
+}
+fn tps() -> StrategyKind {
+    StrategyKind::TwoPhaseSchedule {
+        linear: None,
+        credit: None,
+    }
+}
+fn vmesh() -> StrategyKind {
+    StrategyKind::VirtualMesh {
+        layout: VmeshLayout::Auto,
+    }
+}
+
+/// A budgeted point with the invariant oracle enabled.
+pub fn checked(runner: &Runner, shape: &str, strategy: &StrategyKind, m: u64) -> RunPoint {
+    runner
+        .point(shape, strategy, m)
+        .variant(INVARIANTS, |c| c.check_invariants = true)
+}
+
+/// An invariant-checked point pinned at full coverage. VMesh combining
+/// ignores destination sampling (a combined message carries data for the
+/// receiver's whole column), so its runs are full-exchange regardless of
+/// the budgeted coverage — pinning 1.0 makes the recorded coverage, and
+/// therefore the extrapolated latency, honest.
+pub fn checked_full_cov(shape: &str, strategy: &StrategyKind, m: u64) -> RunPoint {
+    let part: Partition = shape.parse().expect("valid shape");
+    RunPoint::new(part, strategy.clone(), m, 1.0).variant(INVARIANTS, |c| c.check_invariants = true)
+}
+
+/// The same point under the reference full-scan engine (oracle still on).
+pub fn checked_full_scan(
+    runner: &Runner,
+    shape: &str,
+    strategy: &StrategyKind,
+    m: u64,
+) -> RunPoint {
+    runner
+        .point(shape, strategy, m)
+        .variant(INVARIANTS_FULL_SCAN, |c| {
+            c.check_invariants = true;
+            c.full_scan_engine = true;
+        })
+}
+
+/// The tier-specific fixture grid, named by what each slot is for.
+struct Grid {
+    /// §7.1 symmetric ladder (efficiency must rise with dimensionality).
+    sym_ladder: [&'static str; 3],
+    /// §7.1/§7.3 asymmetric reference shape (AR band, throttle delta).
+    asym: &'static str,
+    /// §7.2 orientation sweep: longest dimension X, then Y, then Z.
+    dr_orient: [&'static str; 3],
+    /// §7.2 symmetric shape where DR must trail AR.
+    dr_sym: &'static str,
+    /// §7.4 midplane (CPU-forwarding-bound TPS) vs a TPS-friendly shape.
+    tps_mid: &'static str,
+    tps_good: &'static str,
+    /// §7.4 Table-4 latency pair: small symmetric, larger asymmetric.
+    lat_pair: [&'static str; 2],
+    /// §7.5 VMesh-vs-AR crossover shape and the two probe sizes.
+    vm_shape: &'static str,
+    vm_small: u64,
+    vm_large: u64,
+    /// §7.5 three-strategy short-message shape (Figure 7). VMesh runs at
+    /// full coverage here, so the shape must keep a full combining
+    /// exchange tractable (see the stall note on [`grid`]).
+    vm_tri: &'static str,
+    /// §7.5 full-tier only: the paper's 4096-node Figure-7 shape, where
+    /// TPS beats AR at 8 B (AR and TPS run budget-sampled).
+    tps_rescue_8b: Option<&'static str>,
+}
+
+/// The tier grids.
+///
+/// Known limitation, found by this suite: a full-coverage VMesh exchange
+/// on the paper's 4096-node 8x32x16 stalls the simulated network
+/// (watchdog: ~390 k live packets frozen near cycle 200 k) — the unpaced
+/// phase-1 burst of 63 combined messages per node wedges the dynamic-VC
+/// FIFOs. VMesh cannot be destination-sampled (a combined message carries
+/// a whole column's data), so the three-strategy Figure-7 comparison runs
+/// on the 1024-node 8x16x8 instead, and the 4096-node shape contributes
+/// the budget-sampled TPS-vs-AR half of the ordering. Tracked in
+/// ROADMAP.md; EXPERIMENTS.md has the stall diagnostics.
+fn grid(tier: Tier) -> Grid {
+    match tier {
+        Tier::Quick => Grid {
+            sym_ladder: ["8", "8x8", "8x8x8"],
+            asym: "8x4x4",
+            dr_orient: ["8x4x4", "4x8x4", "4x4x8"],
+            dr_sym: "4x4x4",
+            tps_mid: "8x8x8",
+            tps_good: "8x8x4M",
+            lat_pair: ["8x8x8", "8x8x16"],
+            vm_shape: "4x4x4",
+            vm_small: 8,
+            vm_large: 256,
+            vm_tri: "4x8x4",
+            tps_rescue_8b: None,
+        },
+        Tier::Full => Grid {
+            sym_ladder: ["8", "8x8", "8x8x8"],
+            asym: "8x4x4",
+            dr_orient: ["16x8x8", "8x16x8", "8x8x16"],
+            dr_sym: "8x8x8",
+            tps_mid: "8x8x8",
+            tps_good: "16x8x8",
+            lat_pair: ["8x8x8", "8x8x16"],
+            vm_shape: "8x8x8",
+            vm_small: 8,
+            vm_large: 256,
+            vm_tri: "8x16x8",
+            tps_rescue_8b: Some("8x32x16"),
+        },
+    }
+}
+
+/// The engine-equivalence slice: every strategy class once, on shapes
+/// cheap enough to double-run under the full-scan reference engine.
+fn equivalence_grid(runner: &Runner) -> Vec<(&'static str, StrategyKind, u64)> {
+    let m = |shape: &str| runner.large_m_for(&shape.parse::<Partition>().expect("valid shape"));
+    vec![
+        ("8x4x4", ar(), m("8x4x4")),
+        ("4x4x8", dr(), m("4x4x8")),
+        ("8x8x8", tps(), m("8x8x8")),
+        ("4x4x4", vmesh(), 8),
+    ]
+}
+
+fn large_m(runner: &Runner, shape: &str) -> u64 {
+    runner.large_m_for(&shape.parse::<Partition>().expect("valid shape"))
+}
+
+/// Every simulation point the families need, for one batched
+/// [`Runner::run_points`] call.
+pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
+    let g = grid(tier);
+    let mut pts = Vec::new();
+    // F1: AR on the symmetric ladder and the asymmetric reference.
+    for shape in g.sym_ladder {
+        pts.push(checked(runner, shape, &ar(), large_m(runner, shape)));
+    }
+    pts.push(checked(runner, g.asym, &ar(), 912));
+    // F2: DR orientation sweep + the symmetric DR-vs-AR pair.
+    for shape in g.dr_orient {
+        pts.push(checked(runner, shape, &dr(), 912));
+        pts.push(checked(runner, shape, &ar(), 912));
+    }
+    pts.push(checked(runner, g.dr_sym, &dr(), large_m(runner, g.dr_sym)));
+    // F3: throttled twin of the asymmetric reference.
+    pts.push(checked(runner, g.asym, &thr(), 912));
+    // F4: TPS midplane caveat + Table-4 latency pairs.
+    pts.push(checked(
+        runner,
+        g.tps_mid,
+        &tps(),
+        large_m(runner, g.tps_mid),
+    ));
+    pts.push(checked(
+        runner,
+        g.tps_good,
+        &tps(),
+        large_m(runner, g.tps_good),
+    ));
+    for shape in g.lat_pair {
+        pts.push(checked(runner, shape, &tps(), 1));
+        pts.push(checked(runner, shape, &ar(), 1));
+    }
+    // F5: VMesh crossover probes + the three-strategy short-message shape.
+    // VMesh points are pinned at full coverage (see `checked_full_cov`).
+    for m in [g.vm_small, g.vm_large] {
+        pts.push(checked_full_cov(g.vm_shape, &vmesh(), m));
+        pts.push(checked(runner, g.vm_shape, &ar(), m));
+    }
+    pts.push(checked_full_cov(g.vm_tri, &vmesh(), g.vm_small));
+    for s in [ar(), tps()] {
+        pts.push(checked(runner, g.vm_tri, &s, g.vm_small));
+    }
+    if let Some(shape) = g.tps_rescue_8b {
+        pts.push(checked(runner, shape, &ar(), g.vm_small));
+        pts.push(checked(runner, shape, &tps(), g.vm_small));
+    }
+    // F6: active-set and full-scan twins of the equivalence slice.
+    for (shape, strategy, m) in equivalence_grid(runner) {
+        pts.push(checked(runner, shape, &strategy, m));
+        pts.push(checked_full_scan(runner, shape, &strategy, m));
+    }
+    pts
+}
+
+/// Fetch helpers: percent of peak and coverage-extrapolated latency for
+/// a grid point; `NAN` for a failed run, which fails every comparison it
+/// enters (a crashed fixture must surface as FAIL, not as a panic).
+struct Fetch<'a> {
+    runner: &'a Runner,
+}
+
+impl Fetch<'_> {
+    fn pct(&self, shape: &str, strategy: &StrategyKind, m: u64) -> f64 {
+        self.runner
+            .report(&checked(self.runner, shape, strategy, m))
+            .map(|r| r.percent_of_peak)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn ms(&self, shape: &str, strategy: &StrategyKind, m: u64) -> f64 {
+        self.runner
+            .report(&checked(self.runner, shape, strategy, m))
+            .map(|r| r.time_secs * 1e3 / r.workload.coverage)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Latency of a full-coverage (VMesh) grid point — no extrapolation.
+    fn ms_full(&self, shape: &str, strategy: &StrategyKind, m: u64) -> f64 {
+        self.runner
+            .report(&checked_full_cov(shape, strategy, m))
+            .map(|r| r.time_secs * 1e3)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+fn p1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Evaluate every family against the (cached) grid runs.
+pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
+    let g = grid(tier);
+    let f = Fetch { runner };
+    let mut out = Vec::new();
+
+    // ---- F1: AR efficiency (§7.1) -------------------------------------
+    let fam = "F1 ar-efficiency";
+    let ladder: Vec<f64> = g
+        .sym_ladder
+        .iter()
+        .map(|s| f.pct(s, &ar(), large_m(runner, s)))
+        .collect();
+    out.push(CheckResult::new(
+        fam,
+        format!(
+            "symmetric ladder {} < {} < {}",
+            g.sym_ladder[0], g.sym_ladder[1], g.sym_ladder[2]
+        ),
+        ladder[0] < ladder[1] && ladder[1] < ladder[2],
+        format!("{} < {} < {}", p1(ladder[0]), p1(ladder[1]), p1(ladder[2])),
+        "strictly increasing with dimensionality",
+    ));
+    let floor_cube = match tier {
+        Tier::Quick => 85.0,
+        Tier::Full => 93.0,
+    };
+    out.push(CheckResult::new(
+        fam,
+        format!("AR near peak on {}", g.sym_ladder[2]),
+        ladder[2] >= floor_cube,
+        p1(ladder[2]),
+        format!("≥ {floor_cube} % of peak"),
+    ));
+    let asym_ar = f.pct(g.asym, &ar(), 912);
+    out.push(CheckResult::new(
+        fam,
+        format!("AR asymmetric band on {}", g.asym),
+        (70.0..=92.0).contains(&asym_ar),
+        p1(asym_ar),
+        "within 70–92 % of peak",
+    ));
+
+    // ---- F2: DR dimension-order asymmetry (§7.2) ----------------------
+    let fam = "F2 dr-orientation";
+    let dro: Vec<f64> = g.dr_orient.iter().map(|s| f.pct(s, &dr(), 912)).collect();
+    out.push(CheckResult::new(
+        fam,
+        format!(
+            "orientation order {} > {} ≥ {}",
+            g.dr_orient[0], g.dr_orient[1], g.dr_orient[2]
+        ),
+        dro[0] > dro[1] && dro[1] >= dro[2] - 1.0,
+        format!("{} > {} ≥ {}", p1(dro[0]), p1(dro[1]), p1(dro[2])),
+        "best when X is longest, worst when Z is",
+    ));
+    out.push(CheckResult::new(
+        fam,
+        format!("X-longest beats Z-longest by a gap on {}", g.dr_orient[0]),
+        dro[0] - dro[2] >= 5.0,
+        format!("gap {}", p1(dro[0] - dro[2])),
+        "≥ 5 points",
+    ));
+    if tier == Tier::Full {
+        // Paper-scale spot checks: DR rides the schedule while unshaped
+        // AR tree-saturates on the elongated torus.
+        let ar_x = f.pct(g.dr_orient[0], &ar(), 912);
+        out.push(CheckResult::new(
+            fam,
+            format!("DR beats collapsed AR on {}", g.dr_orient[0]),
+            dro[0] > ar_x,
+            format!("DR {} vs AR {}", p1(dro[0]), p1(ar_x)),
+            "DR > AR when X is the longest dimension",
+        ));
+    }
+    let sym_dr = f.pct(g.dr_sym, &dr(), large_m(runner, g.dr_sym));
+    let sym_ar = f.pct(g.dr_sym, &ar(), large_m(runner, g.dr_sym));
+    out.push(CheckResult::new(
+        fam,
+        format!("DR trails AR on symmetric {}", g.dr_sym),
+        sym_dr < sym_ar,
+        format!("DR {} vs AR {}", p1(sym_dr), p1(sym_ar)),
+        "DR < AR on symmetric tori",
+    ));
+
+    // ---- F3: throttling delta (§7.3) ----------------------------------
+    let fam = "F3 throttle-delta";
+    let thr_pct = f.pct(g.asym, &thr(), 912);
+    let delta = thr_pct - asym_ar;
+    out.push(CheckResult::new(
+        fam,
+        format!("bisection throttle ≈ AR on {}", g.asym),
+        delta.abs() <= 5.0,
+        format!(
+            "throttled {} vs AR {} (Δ {:+.1})",
+            p1(thr_pct),
+            p1(asym_ar),
+            delta
+        ),
+        "|Δ| ≤ 5 points where AR holds up",
+    ));
+
+    // ---- F4: TPS (§7.4) -----------------------------------------------
+    let fam = "F4 tps";
+    let tps_mid = f.pct(g.tps_mid, &tps(), large_m(runner, g.tps_mid));
+    let tps_good = f.pct(g.tps_good, &tps(), large_m(runner, g.tps_good));
+    out.push(CheckResult::new(
+        fam,
+        format!("midplane {} CPU-bound vs {}", g.tps_mid, g.tps_good),
+        tps_mid < tps_good,
+        format!("{} vs {}", p1(tps_mid), p1(tps_good)),
+        "TPS noticeably lower on the symmetric midplane",
+    ));
+    let mid_ar = f.pct(g.tps_mid, &ar(), large_m(runner, g.tps_mid));
+    out.push(CheckResult::new(
+        fam,
+        format!("TPS trails AR on the {} midplane", g.tps_mid),
+        tps_mid < mid_ar,
+        format!("TPS {} vs AR {}", p1(tps_mid), p1(mid_ar)),
+        "direct beats forwarding on symmetric tori",
+    ));
+    if tier == Tier::Full {
+        out.push(CheckResult::new(
+            fam,
+            format!("TPS rescues the {} collapse", g.tps_good),
+            tps_good >= 75.0 && tps_good > f.pct(g.tps_good, &ar(), large_m(runner, g.tps_good)),
+            format!(
+                "TPS {} vs AR {}",
+                p1(tps_good),
+                p1(f.pct(g.tps_good, &ar(), large_m(runner, g.tps_good)))
+            ),
+            "TPS ≥ 75 % and above AR on the elongated torus",
+        ));
+    }
+    let ratio: Vec<f64> = g
+        .lat_pair
+        .iter()
+        .map(|s| f.ms(s, &tps(), 1) / f.ms(s, &ar(), 1))
+        .collect();
+    out.push(CheckResult::new(
+        fam,
+        format!("1-byte latency: TPS pays forwarding on {}", g.lat_pair[0]),
+        ratio[0] > 1.1,
+        format!("TPS/AR = {:.2}", ratio[0]),
+        "ratio > 1.1 on the small partition",
+    ));
+    out.push(CheckResult::new(
+        fam,
+        format!(
+            "Table-4 crossover direction {} → {}",
+            g.lat_pair[0], g.lat_pair[1]
+        ),
+        ratio[1] < ratio[0] - 0.2,
+        format!("TPS/AR {:.2} → {:.2}", ratio[0], ratio[1]),
+        "ratio falls toward the larger asymmetric partition",
+    ));
+
+    // ---- F5: VMesh short-message crossover (§7.5) ---------------------
+    let fam = "F5 vmesh-crossover";
+    let gain_small =
+        f.ms(g.vm_shape, &ar(), g.vm_small) / f.ms_full(g.vm_shape, &vmesh(), g.vm_small);
+    let gain_large =
+        f.ms(g.vm_shape, &ar(), g.vm_large) / f.ms_full(g.vm_shape, &vmesh(), g.vm_large);
+    out.push(CheckResult::new(
+        fam,
+        format!("VMesh wins at {} B on {}", g.vm_small, g.vm_shape),
+        gain_small >= 1.3,
+        format!("AR/VMesh time = {gain_small:.2}"),
+        "≥ 1.3× (paper: ≈2× for very short messages)",
+    ));
+    out.push(CheckResult::new(
+        fam,
+        format!("direct wins at {} B on {}", g.vm_large, g.vm_shape),
+        gain_large <= 1.0,
+        format!("AR/VMesh time = {gain_large:.2}"),
+        "≤ 1.0× (crossover sits below 256 B)",
+    ));
+    let tri_vm = f.ms_full(g.vm_tri, &vmesh(), g.vm_small);
+    let tri_ar = f.ms(g.vm_tri, &ar(), g.vm_small);
+    let tri_tps = f.ms(g.vm_tri, &tps(), g.vm_small);
+    // TPS's forwarding overhead amortizes only at the paper's 4096-node
+    // scale, so "VMesh fastest" is the stable assertion on this shape;
+    // the TPS-vs-AR half of the Figure-7 ordering is checked on the
+    // 4096-node shape below (where VMesh itself stalls — see `grid`).
+    out.push(CheckResult::new(
+        fam,
+        format!("{} B ordering on {}", g.vm_small, g.vm_tri),
+        tri_vm < tri_ar && tri_vm < tri_tps,
+        format!("VMesh {tri_vm:.3} ms, TPS {tri_tps:.3} ms, AR {tri_ar:.3} ms"),
+        "VMesh fastest",
+    ));
+    if let Some(shape) = g.tps_rescue_8b {
+        let rescue_ar = f.ms(shape, &ar(), g.vm_small);
+        let rescue_tps = f.ms(shape, &tps(), g.vm_small);
+        out.push(CheckResult::new(
+            fam,
+            format!("TPS beats AR at {} B on {}", g.vm_small, shape),
+            rescue_tps < rescue_ar,
+            format!("TPS {rescue_tps:.3} ms vs AR {rescue_ar:.3} ms"),
+            "forwarding wins over collapsed AR at 4096 nodes",
+        ));
+    }
+
+    // ---- F6: engine-mode/oracle equivalence ---------------------------
+    let fam = "F6 engine-equivalence";
+    for (shape, strategy, m) in equivalence_grid(runner) {
+        let active = runner.report(&checked(runner, shape, &strategy, m));
+        let reference = runner.report(&checked_full_scan(runner, shape, &strategy, m));
+        let (passed, measured) = match (&active, &reference) {
+            (Ok(a), Ok(r)) if a.stats == r.stats => (true, "identical NetStats".to_string()),
+            (Ok(a), Ok(r)) => (
+                false,
+                format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+            ),
+            (a, r) => (
+                false,
+                format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+            ),
+        };
+        out.push(CheckResult::new(
+            fam,
+            format!("{} {} m={m}", shape, strategy.name()),
+            passed,
+            measured,
+            "active-set == full-scan under the oracle",
+        ));
+    }
+
+    out
+}

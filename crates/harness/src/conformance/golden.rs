@@ -1,0 +1,256 @@
+//! Golden-snapshot tier: committed `NetStats` fingerprints for a small
+//! pinned grid.
+//!
+//! The families in [`super::families`] assert *shape*; this tier pins
+//! *bits*. Every run in the golden grid is fully deterministic, so its
+//! complete `NetStats` — cycle counts, latency histogram, per-dimension
+//! link counters — serializes to the same JSON on every machine and
+//! thread count, and a 64-bit FNV-1a fingerprint of that JSON detects
+//! any behavioral drift in the simulator or the strategy stack.
+//!
+//! Fingerprints live in `crates/harness/golden/netstats.json`, keyed by
+//! the serialized [`RunKey`] (the proptest suite pins that the key's
+//! serde round-trips exactly, so the file's identity is stable). After
+//! an intentional behavior change, refresh with
+//! `bglsim validate --bless` and commit the diff — the review of that
+//! diff is the point of the tier.
+
+use super::CheckResult;
+use crate::runner::{RunKey, RunPoint, Runner};
+use bgl_core::StrategyKind;
+use bgl_sim::NetStats;
+use bgl_torus::VmeshLayout;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The committed fingerprint file (crate-relative, so the binary and the
+/// tests resolve the same path from any working directory).
+pub const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/netstats.json");
+
+/// The pinned grid: one point per strategy class, small shapes at full
+/// coverage so the tier costs seconds and is identical at both tiers.
+fn grid() -> Vec<RunPoint> {
+    let pt = |shape: &str, strategy: StrategyKind, m: u64| {
+        RunPoint::new(shape.parse().expect("valid shape"), strategy, m, 1.0)
+    };
+    vec![
+        pt("4x4", StrategyKind::AdaptiveRandomized, 240),
+        pt("4x2x2", StrategyKind::DeterministicRouted, 240),
+        pt(
+            "8",
+            StrategyKind::TwoPhaseSchedule {
+                linear: None,
+                credit: None,
+            },
+            64,
+        ),
+        pt(
+            "4x4x4",
+            StrategyKind::VirtualMesh {
+                layout: VmeshLayout::Auto,
+            },
+            8,
+        ),
+        pt("4x4", StrategyKind::ThrottledAdaptive { factor: 1.0 }, 240),
+        pt("3x3x2", StrategyKind::XyzRouting, 64),
+    ]
+}
+
+/// 64-bit FNV-1a over the canonical JSON serialization of the stats.
+pub fn fingerprint(stats: &NetStats) -> u64 {
+    let json = serde_json::to_string(stats).expect("NetStats serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One committed fingerprint, keyed by the structured run identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenEntry {
+    key: RunKey,
+    /// Hex `NetStats` fingerprint (string: JSON readers need not carry
+    /// u64 precision).
+    fingerprint: String,
+}
+
+fn hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+fn label(key: &RunKey) -> String {
+    format!("{} {} m={}", key.part, key.strategy.name(), key.m)
+}
+
+fn load(path: &Path) -> Result<HashMap<RunKey, String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let entries: Vec<GoldenEntry> =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    Ok(entries
+        .into_iter()
+        .map(|e| (e.key, e.fingerprint))
+        .collect())
+}
+
+/// The golden grid's simulation points (for the batched run).
+pub fn points() -> Vec<RunPoint> {
+    grid()
+}
+
+/// Compare the measured grid against the committed file — or, with
+/// `bless`, rewrite the file from the measured runs.
+pub fn evaluate(runner: &Runner, bless: bool) -> Vec<CheckResult> {
+    evaluate_at(runner, bless, Path::new(GOLDEN_PATH))
+}
+
+fn evaluate_at(runner: &Runner, bless: bool, path: &Path) -> Vec<CheckResult> {
+    const FAM: &str = "G golden-snapshot";
+    let measured: Vec<(RunKey, Option<u64>)> = grid()
+        .iter()
+        .map(|p| {
+            (
+                p.key.clone(),
+                runner.report(p).ok().map(|r| fingerprint(&r.stats)),
+            )
+        })
+        .collect();
+
+    if bless {
+        let entries: Vec<GoldenEntry> = measured
+            .iter()
+            .filter_map(|(key, fp)| {
+                fp.map(|fp| GoldenEntry {
+                    key: key.clone(),
+                    fingerprint: hex(fp),
+                })
+            })
+            .collect();
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return vec![CheckResult::new(
+                    FAM,
+                    "bless golden file",
+                    false,
+                    format!("cannot create {}: {e}", dir.display()),
+                    "writable golden directory",
+                )];
+            }
+        }
+        let body = serde_json::to_string_pretty(&entries).expect("entries serialize");
+        return match std::fs::write(path, body + "\n") {
+            Ok(()) => measured
+                .iter()
+                .map(|(key, fp)| {
+                    CheckResult::new(
+                        FAM,
+                        label(key),
+                        fp.is_some(),
+                        fp.map(hex).unwrap_or_else(|| "run failed".into()),
+                        "(blessed)",
+                    )
+                })
+                .collect(),
+            Err(e) => vec![CheckResult::new(
+                FAM,
+                "bless golden file",
+                false,
+                format!("cannot write {}: {e}", path.display()),
+                "writable golden file",
+            )],
+        };
+    }
+
+    let golden = match load(path) {
+        Ok(map) => map,
+        Err(e) => {
+            return vec![CheckResult::new(
+                FAM,
+                "load golden file",
+                false,
+                e,
+                "committed fingerprints (regenerate with --bless)",
+            )]
+        }
+    };
+    measured
+        .iter()
+        .map(|(key, fp)| {
+            let want = golden.get(key);
+            let got = fp.map(hex);
+            let (passed, measured, expected) = match (&got, want) {
+                (Some(g), Some(w)) => (g == w, g.clone(), w.clone()),
+                (Some(g), None) => (false, g.clone(), "missing entry (--bless)".into()),
+                (None, w) => (
+                    false,
+                    "run failed".into(),
+                    w.cloned().unwrap_or_else(|| "missing entry".into()),
+                ),
+            };
+            CheckResult::new(FAM, label(key), passed, measured, expected)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Runner, Scale};
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = NetStats {
+            completion_cycle: 100,
+            packets_delivered: 7,
+            ..NetStats::default()
+        };
+        let mut b = a.clone();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        b.packets_delivered = 8;
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn golden_entries_round_trip_through_json() {
+        let entries: Vec<GoldenEntry> = grid()
+            .iter()
+            .map(|p| GoldenEntry {
+                key: p.key.clone(),
+                fingerprint: hex(0xdead_beef_0123_4567),
+            })
+            .collect();
+        let json = serde_json::to_string_pretty(&entries).unwrap();
+        let back: Vec<GoldenEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    /// Bless-then-verify on a temp file: blessing writes every grid
+    /// entry and an immediate re-evaluation passes bit-for-bit.
+    #[test]
+    fn bless_then_verify_round_trips() {
+        let runner = Runner::new(Scale::Quick);
+        runner.run_points(&points());
+        let dir = std::env::temp_dir().join("bgl-golden-test");
+        let path = dir.join("netstats.json");
+        let blessed = evaluate_at(&runner, true, &path);
+        assert!(blessed.iter().all(|r| r.passed), "{blessed:?}");
+        let verified = evaluate_at(&runner, false, &path);
+        assert_eq!(verified.len(), grid().len());
+        assert!(verified.iter().all(|r| r.passed), "{verified:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A missing golden file is a structured FAIL, not a panic.
+    #[test]
+    fn missing_golden_file_fails_cleanly() {
+        let runner = Runner::new(Scale::Quick);
+        runner.run_points(&points());
+        let res = evaluate_at(&runner, false, Path::new("/nonexistent/golden.json"));
+        assert_eq!(res.len(), 1);
+        assert!(!res[0].passed);
+        assert!(res[0].expected.contains("--bless"));
+    }
+}

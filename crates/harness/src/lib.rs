@@ -7,6 +7,8 @@
 //!   `fig1`–`fig7`, plus `ablations`).
 //! * [`paper`] — the paper's reported numbers, transcribed.
 //! * [`experiment`] — report rendering (text/CSV/JSON).
+//! * [`conformance`] — the DESIGN.md §7 validation targets as a
+//!   machine-checked PASS/FAIL suite (`bglsim validate`).
 //!
 //! The `repro` binary drives everything:
 //!
@@ -16,12 +18,14 @@
 //! repro all --scale quick     # regenerate everything, scaled down
 //! ```
 
+pub mod conformance;
 pub mod experiment;
 pub mod experiments;
 pub mod paper;
 pub mod runner;
 pub mod trace_report;
 
+pub use conformance::{run_validation, Tier, ValidationReport};
 pub use experiment::ExperimentReport;
 pub use runner::{Runner, Scale};
 pub use trace_report::render_run_report;

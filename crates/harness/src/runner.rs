@@ -118,6 +118,53 @@ impl RunKey {
     }
 }
 
+/// Intern a variant label as `&'static str` (deserialization support:
+/// `RunKey::variant` borrows statically, so parsed labels are leaked into
+/// a small process-lifetime pool, deduplicated by content — bounded by
+/// the number of distinct variant labels ever parsed).
+fn intern_variant(s: &str) -> &'static str {
+    if s.is_empty() {
+        return "";
+    }
+    static POOL: std::sync::OnceLock<Mutex<Vec<&'static str>>> = std::sync::OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("intern pool lock");
+    if let Some(&existing) = pool.iter().find(|&&e| e == s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+impl serde::Serialize for RunKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("part".to_string(), self.part.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("m".to_string(), self.m.to_value()),
+            ("coverage_ppm".to_string(), self.coverage_ppm.to_value()),
+            ("variant".to_string(), self.variant.to_value()),
+            ("trace_interval".to_string(), self.trace_interval.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RunKey {
+    fn from_value(v: &serde::Value) -> Result<RunKey, serde::Error> {
+        Ok(RunKey {
+            part: serde::de_field(v, "part")?,
+            strategy: serde::de_field(v, "strategy")?,
+            m: serde::de_field(v, "m")?,
+            coverage_ppm: serde::de_field(v, "coverage_ppm")?,
+            variant: intern_variant(&serde::de_field::<String>(v, "variant")?),
+            trace_interval: serde::de_field(v, "trace_interval")?,
+        })
+    }
+}
+
 /// A shareable simulator-configuration tweak, as carried by a
 /// [`RunPoint`] variant.
 pub type SharedTweak = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
@@ -538,6 +585,48 @@ mod tests {
             let again = RunKey::quantize(ppm as f64 / COVERAGE_PPM_FULL as f64);
             proptest::prop_assert_eq!(again, ppm);
         }
+
+        /// Parse what we print: random keys survive JSON serialization
+        /// exactly, including the interned variant label and strategies
+        /// with payload (the golden-snapshot tier keys its fingerprints
+        /// by serialized `RunKey`, so this is a load-bearing identity).
+        #[test]
+        fn runkey_serde_round_trips(
+            shape_i in 0usize..4,
+            strat_i in 0usize..5,
+            variant_i in 0usize..3,
+            m in 1u64..100_000,
+            ppm in 1u32..=COVERAGE_PPM_FULL,
+            interval in 0u64..5000,
+        ) {
+            let shapes = ["4x4", "8x4x4", "8", "3x3x2"];
+            let strategies = [
+                StrategyKind::AdaptiveRandomized,
+                StrategyKind::DeterministicRouted,
+                StrategyKind::ThrottledAdaptive { factor: 1.25 },
+                StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
+                StrategyKind::Auto,
+            ];
+            let key = RunKey {
+                part: shapes[shape_i].parse().unwrap(),
+                strategy: strategies[strat_i].clone(),
+                m,
+                coverage_ppm: ppm,
+                variant: ["", "invariants", "vc8"][variant_i],
+                trace_interval: interval,
+            };
+            let json = serde_json::to_string(&key).expect("serializes");
+            let back: RunKey = serde_json::from_str(&json).expect("parses");
+            proptest::prop_assert_eq!(back, key);
+        }
+    }
+
+    #[test]
+    fn interned_variants_deduplicate() {
+        let a = intern_variant("some-label");
+        let b = intern_variant("some-label");
+        assert!(std::ptr::eq(a, b), "same label must intern to one str");
+        assert_eq!(intern_variant(""), "");
     }
 
     #[test]

@@ -66,6 +66,21 @@ fn bglsim_usage_exits_2_without_panicking() {
 }
 
 #[test]
+fn bglsim_validate_rejects_malformed_input() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    assert_clean_failure(bin, &["validate", "--tier", "paper"], "quick or full");
+    assert_clean_failure(bin, &["validate", "--tier"], "needs a value");
+    assert_clean_failure(bin, &["validate", "--jobs", "0"], "positive integer");
+    assert_clean_failure(bin, &["validate", "--frobnicate"], "unknown flag");
+    // --bless is a bool flag; a stray value after it is rejected.
+    assert_clean_failure(
+        bin,
+        &["validate", "--bless", "stray"],
+        "unexpected argument",
+    );
+}
+
+#[test]
 fn calib_rejects_malformed_input() {
     let bin = env!("CARGO_BIN_EXE_calib");
     assert_clean_failure(bin, &["8xbogus"], "invalid shape");

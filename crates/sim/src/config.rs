@@ -179,6 +179,16 @@ pub struct SimConfig {
     /// so this exists for equivalence tests and before/after
     /// benchmarking, never for correctness.
     pub full_scan_engine: bool,
+    /// Invariant oracle: independently re-derive the simulator's
+    /// conservation laws and panic on the first violation — every injected
+    /// packet delivered exactly once, payload bytes conserved end-to-end,
+    /// hops taken equal to the packet's `HopPlan` length, FIFO occupancy
+    /// plus outstanding reservations within capacity at every cycle
+    /// boundary, and all injection/reception credit counters telescoped
+    /// back to zero at quiesce. Composes with both engine modes and with
+    /// tracing; never perturbs results. Off (the default) it costs one
+    /// predictable branch per cycle, like the tracer.
+    pub check_invariants: bool,
 }
 
 impl SimConfig {
@@ -198,6 +208,7 @@ impl SimConfig {
             detailed_link_stats: false,
             trace: None,
             full_scan_engine: false,
+            check_invariants: false,
         }
     }
 }

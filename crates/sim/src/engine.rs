@@ -148,6 +148,101 @@ impl Tracer {
     }
 }
 
+/// Independent re-derivation of the simulator's conservation laws, enabled
+/// by [`SimConfig::check_invariants`]. Per-packet state lives in flat
+/// vectors indexed by the engine's sequential packet ids (`Packet` itself
+/// stays untouched — its size is pinned). Boxed behind an `Option` on the
+/// engine like the tracer: disabled, the whole oracle costs one predictable
+/// branch per cycle and per packet event.
+///
+/// Violations panic immediately with the cycle number, because a broken
+/// invariant means every statistic after that point is untrustworthy.
+struct Oracle {
+    /// Per packet id: minimal hop count of its `HopPlan` at injection.
+    planned_hops: Vec<u32>,
+    /// Per packet id: link crossings observed so far.
+    taken_hops: Vec<u32>,
+    /// Per packet id: payload bytes recorded at injection.
+    payload_bytes: Vec<u32>,
+    /// Per packet id: whether it has been drained from a reception FIFO.
+    delivered: Vec<bool>,
+    delivered_count: u64,
+    injected_payload: u64,
+    delivered_payload: u64,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            planned_hops: Vec::new(),
+            taken_hops: Vec::new(),
+            payload_bytes: Vec::new(),
+            delivered: Vec::new(),
+            delivered_count: 0,
+            injected_payload: 0,
+            delivered_payload: 0,
+        }
+    }
+
+    /// Record a freshly injected packet (plan not yet advanced).
+    fn on_inject(&mut self, pkt: &Packet) {
+        assert_eq!(
+            pkt.id as usize,
+            self.planned_hops.len(),
+            "invariant violated: packet ids must be dense and sequential"
+        );
+        self.planned_hops.push(pkt.plan.total_hops());
+        self.taken_hops.push(0);
+        self.payload_bytes.push(pkt.payload_bytes);
+        self.delivered.push(false);
+        self.injected_payload += pkt.payload_bytes as u64;
+    }
+
+    /// Record one link crossing of packet `id`.
+    fn on_hop(&mut self, id: u64, t: u64) {
+        let i = id as usize;
+        self.taken_hops[i] += 1;
+        assert!(
+            self.taken_hops[i] <= self.planned_hops[i],
+            "invariant violated: packet {id} exceeded its planned {} hops at cycle {t}",
+            self.planned_hops[i]
+        );
+    }
+
+    /// Record the delivery of `pkt` (drained from a reception FIFO).
+    fn on_deliver(&mut self, pkt: &Packet, t: u64) {
+        let i = pkt.id as usize;
+        assert!(
+            i < self.delivered.len(),
+            "invariant violated: delivery of unknown packet {} at cycle {t}",
+            pkt.id
+        );
+        assert!(
+            !self.delivered[i],
+            "invariant violated: packet {} delivered twice (cycle {t})",
+            pkt.id
+        );
+        assert!(
+            pkt.plan.is_done(),
+            "invariant violated: packet {} delivered with hops remaining (cycle {t})",
+            pkt.id
+        );
+        assert_eq!(
+            self.taken_hops[i], self.planned_hops[i],
+            "invariant violated: packet {} took {} hops, plan was {} (cycle {t})",
+            pkt.id, self.taken_hops[i], self.planned_hops[i]
+        );
+        assert_eq!(
+            self.payload_bytes[i], pkt.payload_bytes,
+            "invariant violated: packet {} payload changed in flight (cycle {t})",
+            pkt.id
+        );
+        self.delivered[i] = true;
+        self.delivered_count += 1;
+        self.delivered_payload += pkt.payload_bytes as u64;
+    }
+}
+
 /// A lazily-cleared bitset over node indices, scanned in ascending index
 /// order (never hash order) so the active-set engine visits nodes in
 /// exactly the sequence the full scan would.
@@ -218,6 +313,9 @@ pub struct Engine {
     started: bool,
     /// Time-series sampler; `None` unless `SimConfig::trace` is set.
     tracer: Option<Box<Tracer>>,
+    /// Conservation-law oracle; `None` unless
+    /// `SimConfig::check_invariants` is set.
+    oracle: Option<Box<Oracle>>,
 }
 
 impl Engine {
@@ -265,6 +363,7 @@ impl Engine {
         };
         let full_scan = cfg.full_scan_engine;
         let tracer = cfg.trace.as_ref().map(|tc| Box::new(Tracer::new(tc)));
+        let oracle = cfg.check_invariants.then(|| Box::new(Oracle::new()));
         Engine {
             cfg,
             part,
@@ -286,6 +385,7 @@ impl Engine {
             last_progress: 0,
             started: false,
             tracer,
+            oracle,
         }
     }
 
@@ -336,6 +436,9 @@ impl Engine {
             }
             self.step();
         }
+        if self.oracle.is_some() {
+            self.oracle_quiesce_check();
+        }
         Ok(self.stats.clone())
     }
 
@@ -381,6 +484,12 @@ impl Engine {
         self.phase_cpu(t);
         self.phase_arbitration(t);
         self.now = t + 1;
+        // Cycle-boundary oracle sweep: all four phases have run, so the
+        // global counters must agree and no FIFO may be over its credit
+        // budget. Disabled, this is one predictable branch per cycle.
+        if self.oracle.is_some() {
+            self.oracle_cycle_check(t);
+        }
         // The only tracing cost in the disabled case: one predictable
         // branch per cycle (None → fall through).
         if let Some(tr) = &self.tracer {
@@ -584,6 +693,9 @@ impl Engine {
             .min(crate::stats::LATENCY_BUCKETS - 1);
         self.stats.latency_histogram[bucket] += 1;
         self.stats.completion_cycle = t;
+        if let Some(o) = &mut self.oracle {
+            o.on_deliver(&pkt, t);
+        }
         let before = node.pending.len();
         let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending);
         prog.on_packet(&mut api, &pkt);
@@ -695,6 +807,9 @@ impl Engine {
             injected_at: t,
         };
         self.next_packet_id += 1;
+        if let Some(o) = &mut self.oracle {
+            o.on_inject(&pkt);
+        }
         assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
         node.inj_mask |= 1 << f;
         self.arb_active.mark(i);
@@ -1091,6 +1206,9 @@ impl Engine {
         self.nodes[nb].vcs[vc_fifo_index(nb_port, win.vc.index())].reserve(chunks);
         pkt.vc = win.vc;
         pkt.plan.advance(d.dim);
+        if let Some(o) = &mut self.oracle {
+            o.on_hop(pkt.id, t);
+        }
         let arrive = t + chunks as u64 + self.cfg.router.hop_latency_cycles as u64;
         self.ring[(arrive % RING as u64) as usize].push(Arrival {
             node: nb as u32,
@@ -1134,6 +1252,107 @@ impl Engine {
     /// Diagnostic: per-dimension utilization so far.
     pub fn dim_utilization(&self, dim: Dim) -> f64 {
         self.stats.dim_utilization(&self.part, dim)
+    }
+
+    // ---- Invariant oracle --------------------------------------------------
+
+    /// Cycle-boundary oracle sweep (end of cycle `t`): the oracle's
+    /// independent packet ledger must agree with `NetStats`, the live
+    /// counter must telescope (injected − delivered), and every FIFO's
+    /// occupancy plus outstanding reservations must fit its capacity.
+    fn oracle_cycle_check(&self, t: u64) {
+        let o = self.oracle.as_ref().expect("caller checked");
+        let injected = o.planned_hops.len() as u64;
+        assert_eq!(
+            injected, self.stats.packets_injected,
+            "invariant violated: oracle saw {injected} injections, stats say {} (cycle {t})",
+            self.stats.packets_injected
+        );
+        assert_eq!(
+            o.delivered_count, self.stats.packets_delivered,
+            "invariant violated: oracle saw {} deliveries, stats say {} (cycle {t})",
+            o.delivered_count, self.stats.packets_delivered
+        );
+        assert_eq!(
+            self.live_packets,
+            injected - o.delivered_count,
+            "invariant violated: live packets must equal injected − delivered (cycle {t})"
+        );
+        for (ni, node) in self.nodes.iter().enumerate() {
+            for f in node
+                .vcs
+                .iter()
+                .chain(&node.inj)
+                .chain(std::iter::once(&node.reception))
+            {
+                assert!(
+                    f.occupied_chunks() + f.reserved_chunks() <= f.capacity_chunks(),
+                    "invariant violated: FIFO at node {ni} over capacity \
+                     ({} occupied + {} reserved > {}, cycle {t})",
+                    f.occupied_chunks(),
+                    f.reserved_chunks(),
+                    f.capacity_chunks()
+                );
+            }
+        }
+    }
+
+    /// Quiesce-time oracle sweep, run once the simulation reports
+    /// complete: every injected packet was delivered exactly once with
+    /// exactly its planned hops, payload bytes are conserved end-to-end,
+    /// the per-packet hop ledger sums to the `NetStats` totals, and every
+    /// FIFO has drained with all reservation credits telescoped to zero.
+    fn oracle_quiesce_check(&self) {
+        let o = self.oracle.as_ref().expect("caller checked");
+        let injected = o.planned_hops.len() as u64;
+        assert_eq!(
+            o.delivered_count,
+            injected,
+            "invariant violated: {} of {injected} packets never delivered",
+            injected - o.delivered_count
+        );
+        if let Some(id) = o.delivered.iter().position(|&d| !d) {
+            panic!("invariant violated: packet {id} not delivered at quiesce");
+        }
+        assert_eq!(
+            o.injected_payload, o.delivered_payload,
+            "invariant violated: payload bytes not conserved end-to-end"
+        );
+        assert_eq!(
+            o.delivered_payload, self.stats.payload_bytes_delivered,
+            "invariant violated: oracle payload ledger disagrees with stats"
+        );
+        let ledger_hops: u64 = o.taken_hops.iter().map(|&h| h as u64).sum();
+        let stats_hops: u64 = self.stats.hops_taken.iter().sum();
+        assert_eq!(
+            ledger_hops, stats_hops,
+            "invariant violated: per-packet hop ledger disagrees with stats"
+        );
+        for (ni, node) in self.nodes.iter().enumerate() {
+            assert!(
+                !node.holds_packets(),
+                "invariant violated: node {ni} still holds packets at quiesce"
+            );
+            for f in node
+                .vcs
+                .iter()
+                .chain(&node.inj)
+                .chain(std::iter::once(&node.reception))
+            {
+                assert!(
+                    f.is_empty() && f.occupied_chunks() == 0 && f.reserved_chunks() == 0,
+                    "invariant violated: FIFO at node {ni} not drained at quiesce \
+                     ({} packets, {} occupied, {} reserved)",
+                    f.len(),
+                    f.occupied_chunks(),
+                    f.reserved_chunks()
+                );
+            }
+        }
+        assert!(
+            self.ring.iter().all(|slot| slot.is_empty()),
+            "invariant violated: packets still in flight at quiesce"
+        );
     }
 
     // ---- Tracing -----------------------------------------------------------

@@ -47,6 +47,13 @@ impl ChunkFifo {
         self.capacity_chunks
     }
 
+    /// Chunks reserved by upstream arbitration but not yet arrived (the
+    /// outstanding credit). Zero on a quiesced FIFO.
+    #[inline]
+    pub fn reserved_chunks(&self) -> u32 {
+        self.reserved_chunks
+    }
+
     /// Whether the FIFO holds no packets (reservations may still exist).
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -1,0 +1,199 @@
+//! Parse what we print: a minimal but complete RFC-4180 reader
+//! reconstructs every [`TraceSample`] from `Trace::to_csv` output
+//! exactly — floats included, because Rust's `Display` for `f64` emits
+//! the shortest representation that parses back to the same bits. The
+//! reader itself is exercised on the quoting edge cases the trace CSV
+//! never needs (quoted commas, escaped quotes, embedded CRLF) so it
+//! stays an honest RFC-4180 implementation rather than a split-on-comma.
+
+use bgl_sim::{OccStat, Trace, TraceSample};
+
+/// RFC-4180 parser: quoted cells, `""` escapes, commas and CRLF inside
+/// quotes, both CRLF and bare-LF row endings. Returns rows of cells.
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\r' if chars.peek() == Some(&'\n') => {
+                    chars.next();
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => cell.push(c),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Rebuild one sample from a parsed CSV row, pinning the column order of
+/// `Trace::to_csv` (each `OccStat` expands to a mean,max cell pair).
+fn sample_from_row(cells: &[String]) -> TraceSample {
+    assert_eq!(cells.len(), 32, "row width must match the schema");
+    let u = |i: usize| -> u64 { cells[i].parse().expect("u64 cell") };
+    let f = |i: usize| -> f64 { cells[i].parse().expect("f64 cell") };
+    let occ = |i: usize| OccStat {
+        mean_chunks: f(i),
+        max_chunks: cells[i + 1].parse().expect("u32 cell"),
+    };
+    TraceSample {
+        cycle: u(0),
+        link_busy_delta: [u(1), u(2), u(3)],
+        hops_delta: [u(4), u(5), u(6)],
+        cpu_busy_delta: f(7),
+        reception_stall_delta: u(8),
+        injected_delta: u(9),
+        delivered_delta: u(10),
+        packets_in_flight: u(11),
+        pending_sends: u(12),
+        dyn_vc_occupancy: [occ(13), occ(15), occ(17)],
+        bubble_vc_occupancy: [occ(19), occ(21), occ(23)],
+        inj_occupancy: occ(25),
+        reception_occupancy: occ(27),
+        hol_blocked_heads: u(29),
+        phase1_in_flight: u(30),
+        phase2_in_flight: u(31),
+    }
+}
+
+fn roundtrip(trace: &Trace) -> Trace {
+    let rows = parse_csv(&trace.to_csv());
+    assert!(!rows.is_empty(), "header row expected");
+    assert_eq!(rows[0][0], "cycle", "header first column");
+    Trace {
+        interval_cycles: trace.interval_cycles,
+        samples: rows[1..].iter().map(|r| sample_from_row(r)).collect(),
+        truncated: trace.truncated,
+    }
+}
+
+/// A cheap deterministic stream for sample fields.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// Dividing by small odd constants produces floats with long decimal
+/// expansions, the hard case for print/parse exactness.
+fn lcg_f64(state: &mut u64, div: u64) -> f64 {
+    (lcg(state) % (1 << 20)) as f64 / div as f64
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+    /// Random traces survive print → parse exactly, floats included.
+    #[test]
+    fn trace_csv_round_trips(
+        n in 0usize..6,
+        interval in 1u64..5000,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let mut s = seed;
+        let occ = |s: &mut u64, div: u64| OccStat {
+            mean_chunks: lcg_f64(s, div),
+            max_chunks: (lcg(s) % 512) as u32,
+        };
+        let samples: Vec<TraceSample> = (0..n)
+            .map(|i| TraceSample {
+                cycle: i as u64 * interval + lcg(&mut s) % interval.max(1),
+                link_busy_delta: [lcg(&mut s), lcg(&mut s), lcg(&mut s)],
+                hops_delta: [lcg(&mut s), lcg(&mut s), lcg(&mut s)],
+                cpu_busy_delta: lcg_f64(&mut s, 7),
+                reception_stall_delta: lcg(&mut s),
+                injected_delta: lcg(&mut s),
+                delivered_delta: lcg(&mut s),
+                packets_in_flight: lcg(&mut s),
+                pending_sends: lcg(&mut s),
+                dyn_vc_occupancy: [occ(&mut s, 3), occ(&mut s, 11), occ(&mut s, 13)],
+                bubble_vc_occupancy: [occ(&mut s, 17), occ(&mut s, 19), occ(&mut s, 23)],
+                inj_occupancy: occ(&mut s, 29),
+                reception_occupancy: occ(&mut s, 31),
+                hol_blocked_heads: lcg(&mut s),
+                phase1_in_flight: lcg(&mut s),
+                phase2_in_flight: lcg(&mut s),
+            })
+            .collect();
+        let trace = Trace { interval_cycles: interval, samples, truncated: n % 2 == 0 };
+        proptest::prop_assert_eq!(roundtrip(&trace), trace);
+    }
+}
+
+/// A real engine run's trace round-trips too (integration of schema,
+/// writer and reader on organically produced values).
+#[test]
+fn engine_trace_round_trips() {
+    use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, TraceConfig};
+    let part: bgl_torus::Partition = "4x2x2".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.trace = Some(TraceConfig::every(64));
+    let p = part.num_nodes();
+    let programs: Vec<Box<dyn NodeProgram>> = (0..p)
+        .map(|r| {
+            let sends: Vec<SendSpec> = (0..p)
+                .filter(|&d| d != r)
+                .map(|d| SendSpec::adaptive(d, 8, 240))
+                .collect();
+            Box::new(ScriptedProgram::new(sends, p as u64 - 1)) as Box<dyn NodeProgram>
+        })
+        .collect();
+    let mut engine = Engine::new(cfg, programs);
+    engine.run().expect("run completes");
+    let trace = engine.take_trace().expect("trace recorded");
+    assert!(!trace.samples.is_empty());
+    assert_eq!(roundtrip(&trace), trace);
+}
+
+// ---- The parser itself, on quoting edge cases the trace CSV avoids ----
+
+#[test]
+fn parser_handles_quoted_commas() {
+    let rows = parse_csv("a,\"b,c\",d\r\n");
+    assert_eq!(rows, vec![vec!["a", "b,c", "d"]]);
+}
+
+#[test]
+fn parser_handles_escaped_quotes() {
+    let rows = parse_csv("\"he said \"\"hi\"\"\",2\r\n");
+    assert_eq!(rows, vec![vec!["he said \"hi\"", "2"]]);
+}
+
+#[test]
+fn parser_handles_crlf_inside_quotes() {
+    let rows = parse_csv("\"line1\r\nline2\",x\r\nnext,row\r\n");
+    assert_eq!(rows, vec![vec!["line1\r\nline2", "x"], vec!["next", "row"]]);
+}
+
+#[test]
+fn parser_handles_empty_cells_and_final_row_without_newline() {
+    let rows = parse_csv("a,,b\r\nc,d,");
+    assert_eq!(rows, vec![vec!["a", "", "b"], vec!["c", "d", ""]]);
+}

@@ -116,6 +116,44 @@ fn deterministic_ring_congestion_drains() {
     assert_eq!(stats.packets_delivered, (p as u64) * (p as u64 - 1) * 6);
 }
 
+/// Bubble-escape regression on a 2-ary dimension: with size 2 and
+/// wraparound, a dimension's plus and minus links both reach the *same*
+/// neighbor, the degenerate case for the bubble rule's cyclic-dependency
+/// argument. Deterministic (bubble-VC-only) traffic on minimally deep
+/// FIFOs (packet + slack) must still drain without deadlock, with the
+/// invariant oracle confirming full conservation.
+#[test]
+fn two_ary_wraparound_deterministic_drains() {
+    let part: Partition = "4x2".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.router.vc_fifo_chunks = 16; // the minimum admitting packet + slack
+    cfg.check_invariants = true;
+    let p = part.num_nodes();
+    let k = 8u64;
+    let programs: Vec<Box<dyn NodeProgram>> = (0..p)
+        .map(|r| {
+            let sends: Vec<SendSpec> = (0..p)
+                .filter(|&d| d != r)
+                .flat_map(|d| (0..k).map(move |_| SendSpec::deterministic(d, 8, 240)))
+                .collect();
+            boxed(ScriptedProgram::new(sends, (p as u64 - 1) * k))
+        })
+        .collect();
+    let stats = Engine::new(cfg, programs)
+        .run()
+        .expect("bubble rule keeps the 2-ary wraparound live");
+    assert_eq!(
+        stats.dynamic_hops, 0,
+        "deterministic traffic is bubble-only"
+    );
+    assert_eq!(stats.packets_delivered, p as u64 * (p as u64 - 1) * k);
+    // Every Y crossing is exactly one hop on the 2-ary dimension.
+    assert!(
+        stats.hops_taken[1] > 0,
+        "wraparound dimension must carry traffic"
+    );
+}
+
 /// Longest-first shaping override: forcing it on reduces short-dimension
 /// hops taken early... observable as identical totals (hops are minimal
 /// either way) but a different, valid completion. Both drain and deliver

@@ -1,101 +1,156 @@
-//! Determinism pin for the active-set engine across the real strategy
-//! stack: on a grid of (partition, strategy, m) configurations spanning
-//! symmetric/asymmetric shapes and full/sampled coverage, the active-set
-//! engine produces byte-identical `NetStats` — cycle counts, latency
-//! histograms, per-dimension link counters — to the reference full-scan
-//! path (`SimConfig::full_scan_engine = true`). The same grid also pins
-//! that time-series tracing is purely observational: enabling
-//! `SimConfig::trace` changes nothing in `NetStats`, in either engine
-//! mode, and the recorded per-dimension link-busy deltas sum exactly to
-//! the run's `link_busy_chunks` totals.
+//! Differential fuzzer for the engine's observational equivalences.
+//!
+//! Random (partition, strategy, message size, coverage, trace interval)
+//! configurations drawn across the real strategy stack, asserting three
+//! independences the simulator promises:
+//!
+//! 1. **Engine mode**: the active-set engine produces byte-identical
+//!    `NetStats` — cycle counts, latency histograms, per-dimension link
+//!    counters — to the reference full-scan path
+//!    (`SimConfig::full_scan_engine = true`).
+//! 2. **Tracing**: enabling `SimConfig::trace` changes nothing in
+//!    `NetStats`, in either engine mode, and the recorded per-dimension
+//!    link-busy deltas sum exactly to the run's `link_busy_chunks`.
+//! 3. **Runner parallelism**: `Runner` results are byte-identical
+//!    between `--jobs 1` and a many-thread pool.
+//!
+//! This replaces an earlier hand-picked 8-configuration grid: the fuzzer
+//! spans the same symmetric/asymmetric × full/sampled × direct/indirect
+//! space but resamples it freshly each run (seeds are deterministic per
+//! test; failing cases persist to `proptest-regressions/` for replay).
 
+use bgl_alltoall::harness::runner::{RunPoint, Runner, Scale};
 use bgl_alltoall::prelude::*;
 use bgl_sim::TraceConfig;
+use proptest::prelude::*;
 
-fn assert_modes_match(shape: &str, strategy: StrategyKind, m: u64, coverage: f64) {
-    let part: Partition = shape.parse().unwrap();
-    let workload = if coverage >= 1.0 {
-        AaWorkload::full(m)
-    } else {
-        AaWorkload::sampled(m, coverage)
-    };
-    let params = MachineParams::bgl();
-    let label = format!("{shape} {} m={m} cov={coverage}", strategy.name());
-    let active = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
-        .expect("active-set run completes");
-    let mut cfg = SimConfig::new(part);
-    cfg.full_scan_engine = true;
-    let reference =
-        run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
-    assert_eq!(active.cycles, reference.cycles, "{label}");
-    assert_eq!(active.stats, reference.stats, "{label}");
-
-    // Tracing on, both engine modes: NetStats must stay byte-identical,
-    // and the trace's busy deltas must telescope to the run totals.
-    for full_scan in [false, true] {
-        let mut cfg = SimConfig::new(part);
-        cfg.full_scan_engine = full_scan;
-        cfg.trace = Some(TraceConfig::every(500));
-        let traced =
-            run_aa(part, &workload, &strategy, &params, cfg).expect("traced run completes");
-        assert_eq!(
-            traced.stats, active.stats,
-            "{label} traced full_scan={full_scan}"
-        );
-        let trace = traced.trace.expect("trace recorded");
-        assert_eq!(
-            trace.link_busy_totals(),
-            traced.stats.link_busy_chunks,
-            "{label} busy deltas must sum to totals (full_scan={full_scan})"
-        );
-    }
-}
-
-/// Direct strategies, symmetric and asymmetric, full coverage.
-#[test]
-fn direct_strategies_full_coverage() {
-    assert_modes_match("4x4x4", StrategyKind::AdaptiveRandomized, 240, 1.0);
-    assert_modes_match("8x4x4", StrategyKind::AdaptiveRandomized, 912, 1.0);
-    assert_modes_match("4x4x4", StrategyKind::DeterministicRouted, 240, 1.0);
-}
-
-/// Indirect (forwarding) strategies: software forwarding exercises
-/// reactive sends, injection classes and the CPU re-activation paths.
-#[test]
-fn indirect_strategies_full_coverage() {
-    assert_modes_match(
-        "8x4x4",
+/// The strategy pool: every class once — direct adaptive/deterministic,
+/// throttled, and the three software-forwarding schemes.
+fn strategy_pool() -> [StrategyKind; 6] {
+    [
+        StrategyKind::AdaptiveRandomized,
+        StrategyKind::DeterministicRouted,
+        StrategyKind::ThrottledAdaptive { factor: 1.25 },
         StrategyKind::TwoPhaseSchedule {
             linear: None,
             credit: None,
         },
-        240,
-        1.0,
-    );
-    assert_modes_match(
-        "4x4",
         StrategyKind::VirtualMesh {
             layout: VmeshLayout::Auto,
         },
-        240,
-        1.0,
-    );
+        StrategyKind::XyzRouting,
+    ]
 }
 
-/// Sampled coverage on a larger partition — the sparse regime where the
-/// active sets actually skip work — for both a direct and an indirect
-/// strategy, plus a 1-byte (latency-bound) point.
-#[test]
-fn sampled_coverage_sparse_regime() {
-    assert_modes_match("8x8x8", StrategyKind::AdaptiveRandomized, 912, 0.125);
-    assert_modes_match(
-        "8x8x8",
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        64,
-        0.125,
-    );
-    assert_modes_match("8x8x4", StrategyKind::AdaptiveRandomized, 1, 0.25);
+/// Shapes spanning 1D/2D/3D, symmetric and asymmetric, torus and mesh.
+const SHAPES: [&str; 6] = ["8", "4x4", "4x4x4", "8x4x4", "4x4x8", "8x8x4M"];
+
+/// One drawn configuration, with coverage scaled down on the larger
+/// partitions so a fuzz case stays sub-second.
+fn config(
+    shape_i: usize,
+    strat_i: usize,
+    m_i: usize,
+    cov_i: usize,
+) -> (Partition, StrategyKind, u64, f64) {
+    let part: Partition = SHAPES[shape_i % SHAPES.len()].parse().unwrap();
+    let strategy = strategy_pool()[strat_i % 6].clone();
+    let m = [1u64, 64, 240, 912][m_i % 4];
+    let cov = if part.num_nodes() >= 256 {
+        [0.125, 0.25][cov_i % 2]
+    } else {
+        [1.0, 0.5][cov_i % 2]
+    };
+    (part, strategy, m, cov)
+}
+
+fn workload(m: u64, coverage: f64) -> AaWorkload {
+    if coverage >= 1.0 {
+        AaWorkload::full(m)
+    } else {
+        AaWorkload::sampled(m, coverage)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Equivalences 1 and 2: active-set vs full-scan, traced vs
+    /// untraced, on a random configuration with a random trace interval.
+    #[test]
+    fn engine_modes_and_tracing_agree(
+        shape_i in 0usize..6,
+        strat_i in 0usize..6,
+        m_i in 0usize..4,
+        cov_i in 0usize..2,
+        interval in 100u64..2000,
+    ) {
+        let (part, strategy, m, cov) = config(shape_i, strat_i, m_i, cov_i);
+        let workload = workload(m, cov);
+        let params = MachineParams::bgl();
+        let label = format!("{part} {} m={m} cov={cov} every={interval}", strategy.name());
+        let active = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
+            .expect("active-set run completes");
+        let mut cfg = SimConfig::new(part);
+        cfg.full_scan_engine = true;
+        let reference =
+            run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
+        prop_assert_eq!(active.cycles, reference.cycles, "{}", &label);
+        prop_assert_eq!(&active.stats, &reference.stats, "{}", &label);
+
+        // Tracing on, both engine modes: NetStats must stay identical and
+        // the trace's busy deltas must telescope to the run totals.
+        for full_scan in [false, true] {
+            let mut cfg = SimConfig::new(part);
+            cfg.full_scan_engine = full_scan;
+            cfg.trace = Some(TraceConfig::every(interval));
+            let traced =
+                run_aa(part, &workload, &strategy, &params, cfg).expect("traced run completes");
+            prop_assert_eq!(
+                &traced.stats, &active.stats,
+                "{} traced full_scan={}", &label, full_scan
+            );
+            let trace = traced.trace.expect("trace recorded");
+            prop_assert_eq!(
+                trace.link_busy_totals(),
+                traced.stats.link_busy_chunks,
+                "{} busy deltas must sum to totals (full_scan={})", &label, full_scan
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Equivalence 3: a random point set run through a serial and a
+    /// many-thread `Runner` yields byte-identical reports per key.
+    #[test]
+    fn runner_parallelism_is_invisible(
+        picks in proptest::arbitrary::any::<[u8; 3]>(),
+        jobs in 2usize..5,
+    ) {
+        let serial = Runner::new(Scale::Quick).with_jobs(1);
+        let parallel = Runner::new(Scale::Quick).with_jobs(jobs);
+        let points: Vec<RunPoint> = picks
+            .iter()
+            .map(|&p| {
+                let (part, strategy, m, cov) = config(
+                    p as usize,
+                    (p / 6) as usize,
+                    (p / 36) as usize,
+                    (p / 144) as usize,
+                );
+                RunPoint::new(part, strategy, m, cov)
+            })
+            .collect();
+        serial.run_points(&points);
+        parallel.run_points(&points);
+        for point in &points {
+            let a = serial.report(point).expect("serial run completes");
+            let b = parallel.report(point).expect("parallel run completes");
+            prop_assert_eq!(a.cycles, b.cycles, "{:?}", &point.key);
+            prop_assert_eq!(&a.stats, &b.stats, "{:?}", &point.key);
+        }
+    }
 }

@@ -8,6 +8,14 @@
 //! (a failing case reports its inputs but is not minimized) and a fixed
 //! deterministic seed derived from the test name, so runs are
 //! reproducible offline.
+//!
+//! Like the real crate, failing case seeds are persisted to a
+//! `proptest-regressions/` directory next to the invoking crate's
+//! `Cargo.toml` (one file per source file, `cc <hex-state>` lines) and
+//! replayed before the random cases on subsequent runs, so a CI failure
+//! reproduces locally from the committed seed. Persistence is opt-in per
+//! crate: seeds are only written when the `proptest-regressions/`
+//! directory already exists (commit it, even empty, to enable).
 
 /// Test-runner configuration and error types.
 pub mod test_runner {
@@ -65,6 +73,19 @@ pub mod test_runner {
             TestRng { state: seed }
         }
 
+        /// The current stream state. Snapshot it before sampling a case
+        /// so a failure can be persisted and replayed byte-identically
+        /// via [`TestRng::from_state`].
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// An RNG resumed from a state captured by [`TestRng::state`] (or
+        /// loaded from a `proptest-regressions/` file).
+        pub fn from_state(state: u64) -> TestRng {
+            TestRng { state }
+        }
+
         /// The next 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -78,6 +99,78 @@ pub mod test_runner {
         pub fn below(&mut self, bound: u64) -> u64 {
             self.next_u64() % bound
         }
+    }
+
+    /// Best-effort text of a caught panic payload (what the `proptest!`
+    /// runner reports when a case panics rather than `prop_assert`-fails).
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+/// Failing-seed persistence: the `proptest-regressions/` files.
+pub mod regressions {
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failing cases of the proptest suites in this source file.
+# Each `cc <hex>` line is a TestRng state; persisted cases are replayed
+# before the random cases on every run. Commit this file (the directory
+# must exist for new failures to be recorded).
+";
+
+    /// Regression file for `source_file` (a `file!()` path): one file per
+    /// source basename under `<manifest_dir>/proptest-regressions/`.
+    pub fn path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let base = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{base}.txt"))
+    }
+
+    /// Persisted seeds, oldest first. Missing/unreadable files and
+    /// non-`cc` lines are ignored.
+    pub fn load(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| {
+                l.trim()
+                    .strip_prefix("cc ")
+                    .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            })
+            .collect()
+    }
+
+    /// Record `state` as a failing seed. Returns whether it is now on
+    /// disk. No-op (returning false) when the `proptest-regressions/`
+    /// directory does not exist — persistence is opt-in per crate.
+    pub fn persist(path: &Path, state: u64) -> bool {
+        let Some(dir) = path.parent() else {
+            return false;
+        };
+        if !dir.is_dir() {
+            return false;
+        }
+        if load(path).contains(&state) {
+            return true;
+        }
+        let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| HEADER.to_string());
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&format!("cc {state:016x}\n"));
+        std::fs::write(path, text).is_ok()
     }
 }
 
@@ -379,23 +472,55 @@ macro_rules! __proptest_item {
         #[allow(unreachable_code)]
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Seeds persisted by earlier failures replay before the
+            // random cases; a fresh failure is persisted (when the
+            // crate's proptest-regressions/ directory exists) and named
+            // in the panic so it reproduces anywhere.
+            let reg_path = $crate::regressions::path(env!("CARGO_MANIFEST_DIR"), file!());
+            let persisted = $crate::regressions::load(&reg_path);
             let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
                 module_path!(), "::", stringify!($name)
             ));
-            for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
+            let total = persisted.len() as u32 + config.cases;
+            for case in 0..total {
+                let replay = (case as usize) < persisted.len();
+                let seed = if replay {
+                    persisted[case as usize]
+                } else {
+                    rng.state()
+                };
+                let mut case_rng = $crate::test_runner::TestRng::from_state(seed);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut case_rng);)+
+                if !replay {
+                    // Continue the main stream exactly where this case's
+                    // sampling left it (replays never perturb it).
+                    rng = case_rng;
+                }
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(e) = outcome {
+                    },
+                ));
+                let failure: ::std::option::Option<::std::string::String> = match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) =>
+                        ::std::option::Option::None,
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) =>
+                        ::std::option::Option::Some(::std::string::ToString::to_string(&e)),
+                    ::std::result::Result::Err(payload) => ::std::option::Option::Some(
+                        $crate::test_runner::panic_message(payload.as_ref()),
+                    ),
+                };
+                if let ::std::option::Option::Some(msg) = failure {
+                    let saved = $crate::regressions::persist(&reg_path, seed);
                     panic!(
-                        "proptest {} failed at case {}/{}: {}",
+                        "proptest {} failed at case {}/{} (seed cc {:016x}{}): {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
-                        e
+                        total,
+                        seed,
+                        if saved { ", persisted" } else { "" },
+                        msg
                     );
                 }
             }
@@ -496,6 +621,40 @@ mod tests {
             }
             prop_assert!(!flag);
         }
+    }
+
+    #[test]
+    fn regression_seeds_round_trip() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        let p = crate::regressions::path(dir.to_str().unwrap(), "tests/example.rs");
+        assert!(p.ends_with("proptest-regressions/example.txt"));
+        assert!(crate::regressions::load(&p).is_empty());
+        assert!(crate::regressions::persist(&p, 0xdead_beef));
+        assert!(crate::regressions::persist(&p, 0x1234));
+        assert!(
+            crate::regressions::persist(&p, 0x1234),
+            "dedup is idempotent"
+        );
+        assert_eq!(crate::regressions::load(&p), vec![0xdead_beef, 0x1234]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_without_directory_is_a_noop() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-no-{}", std::process::id()));
+        let p = crate::regressions::path(dir.to_str().unwrap(), "x.rs");
+        assert!(!crate::regressions::persist(&p, 7));
+        assert!(crate::regressions::load(&p).is_empty());
+    }
+
+    #[test]
+    fn replayed_state_reproduces_the_stream() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let snapshot = a.state();
+        let expected = (a.next_u64(), a.next_u64());
+        let mut b = crate::test_runner::TestRng::from_state(snapshot);
+        assert_eq!((b.next_u64(), b.next_u64()), expected);
     }
 
     #[test]
