@@ -1,7 +1,7 @@
 //! Ablation benches: how the design choices DESIGN.md calls out move the
 //! bottom line (time to drain a fixed asymmetric all-to-all).
 
-use bgl_core::{AaRun, AaWorkload, CreditConfig, StrategyKind};
+use bgl_core::{AaRun, AaWorkload, CreditConfig, Pacer, StrategyKind};
 use bgl_sim::SimConfig;
 use bgl_torus::Partition;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -29,12 +29,9 @@ fn bench_vc_depth(c: &mut Criterion) {
     for depth in [16u32, 64, 256] {
         g.bench_function(format!("vc{depth}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with(
-                    "8x4x4",
-                    &StrategyKind::AdaptiveRandomized,
-                    432,
-                    move |c| c.router.vc_fifo_chunks = depth,
-                ))
+                black_box(aa_with("8x4x4", &StrategyKind::ar(), 432, move |c| {
+                    c.router.vc_fifo_chunks = depth
+                }))
             })
         });
     }
@@ -48,12 +45,9 @@ fn bench_bias(c: &mut Criterion) {
     for (name, bias) in [("on", Some(true)), ("off", Some(false))] {
         g.bench_function(format!("bias_{name}_8x4x4"), |b| {
             b.iter(|| {
-                black_box(aa_with(
-                    "8x4x4",
-                    &StrategyKind::AdaptiveRandomized,
-                    432,
-                    move |c| c.router.longest_first_bias = bias,
-                ))
+                black_box(aa_with("8x4x4", &StrategyKind::ar(), 432, move |c| {
+                    c.router.longest_first_bias = bias
+                }))
             })
         });
     }
@@ -65,14 +59,10 @@ fn bench_bias(c: &mut Criterion) {
 fn bench_tps_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_tps");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
-    let tps_credit = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: Some(CreditConfig::default()),
-    };
+    let tps = StrategyKind::tps();
+    let tps_credit = StrategyKind::tps().with_pacer(Pacer::CreditWindow {
+        credit: CreditConfig::default(),
+    });
     g.bench_function("tps_reserved_fifos", |b| {
         b.iter(|| black_box(aa_with("8x4x4", &tps, 432, |_| {})))
     });
@@ -95,22 +85,16 @@ fn bench_tie_break(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("transit_priority_on", |b| {
         b.iter(|| {
-            black_box(aa_with(
-                "8x4x4",
-                &StrategyKind::AdaptiveRandomized,
-                432,
-                |c| c.router.transit_priority = true,
-            ))
+            black_box(aa_with("8x4x4", &StrategyKind::ar(), 432, |c| {
+                c.router.transit_priority = true
+            }))
         })
     });
     g.bench_function("transit_priority_off", |b| {
         b.iter(|| {
-            black_box(aa_with(
-                "8x4x4",
-                &StrategyKind::AdaptiveRandomized,
-                432,
-                |c| c.router.transit_priority = false,
-            ))
+            black_box(aa_with("8x4x4", &StrategyKind::ar(), 432, |c| {
+                c.router.transit_priority = false
+            }))
         })
     });
     g.finish();

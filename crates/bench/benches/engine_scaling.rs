@@ -63,7 +63,7 @@ fn bench_one_byte_aa(c: &mut Criterion) {
                     run_aa(
                         part,
                         &AaWorkload::full(1),
-                        &StrategyKind::AdaptiveRandomized,
+                        &StrategyKind::ar(),
                         &params,
                         cfg,
                     )
@@ -91,7 +91,7 @@ fn bench_dense_aa(c: &mut Criterion) {
                     run_aa(
                         part,
                         &AaWorkload::full(912),
-                        &StrategyKind::AdaptiveRandomized,
+                        &StrategyKind::ar(),
                         &params,
                         cfg,
                     )

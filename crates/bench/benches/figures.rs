@@ -22,7 +22,7 @@ fn bench_fig1_fig2(c: &mut Criterion) {
     g.sample_size(10);
     for m in [64u64, 432] {
         g.bench_function(format!("ar_4x4x4_m{m}"), |b| {
-            b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, m))
+            b.iter(|| aa("4x4x4", &StrategyKind::ar(), m))
         });
     }
     g.bench_function("model_curve_eval", |b| {
@@ -39,7 +39,7 @@ fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_throughput");
     g.sample_size(10);
     g.bench_function("ar_one_packet_4x4x4", |b| {
-        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 192))
+        b.iter(|| aa("4x4x4", &StrategyKind::ar(), 192))
     });
     g.finish();
 }
@@ -49,19 +49,13 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_direct_strategies");
     g.sample_size(10);
     g.bench_function("ar_8x4x4", |b| {
-        b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432))
+        b.iter(|| aa("8x4x4", &StrategyKind::ar(), 432))
     });
     g.bench_function("dr_8x4x4", |b| {
-        b.iter(|| aa("8x4x4", &StrategyKind::DeterministicRouted, 432))
+        b.iter(|| aa("8x4x4", &StrategyKind::dr(), 432))
     });
     g.bench_function("throttled_8x4x4", |b| {
-        b.iter(|| {
-            aa(
-                "8x4x4",
-                &StrategyKind::ThrottledAdaptive { factor: 1.0 },
-                432,
-            )
-        })
+        b.iter(|| aa("8x4x4", &StrategyKind::throttled(1.0), 432))
     });
     g.finish();
 }
@@ -86,16 +80,11 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_fig7_short_messages");
     g.sample_size(10);
-    let vmesh = StrategyKind::VirtualMesh {
-        layout: VmeshLayout::Auto,
-    };
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let vmesh = StrategyKind::vmesh();
+    let tps = StrategyKind::tps();
     g.bench_function("vmesh_4x4x4_m8", |b| b.iter(|| aa("4x4x4", &vmesh, 8)));
     g.bench_function("ar_4x4x4_m8", |b| {
-        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 8))
+        b.iter(|| aa("4x4x4", &StrategyKind::ar(), 8))
     });
     g.bench_function("tps_4x8x4_m8", |b| b.iter(|| aa("4x8x4", &tps, 8)));
     g.finish();

@@ -26,10 +26,10 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_ar_symmetric");
     g.sample_size(10);
     g.bench_function("ar_8x8_m432", |b| {
-        b.iter(|| aa("8x8", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+        b.iter(|| aa("8x8", &StrategyKind::ar(), 432, 1.0))
     });
     g.bench_function("ar_line16_m912", |b| {
-        b.iter(|| aa("16", &StrategyKind::AdaptiveRandomized, 912, 1.0))
+        b.iter(|| aa("16", &StrategyKind::ar(), 912, 1.0))
     });
     g.finish();
 }
@@ -39,10 +39,10 @@ fn bench_table2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_ar_asymmetric");
     g.sample_size(10);
     g.bench_function("ar_8x4x4_m432", |b| {
-        b.iter(|| aa("8x4x4", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+        b.iter(|| aa("8x4x4", &StrategyKind::ar(), 432, 1.0))
     });
     g.bench_function("ar_8x8x2M_m432", |b| {
-        b.iter(|| aa("8x8x2M", &StrategyKind::AdaptiveRandomized, 432, 1.0))
+        b.iter(|| aa("8x8x2M", &StrategyKind::ar(), 432, 1.0))
     });
     g.finish();
 }
@@ -51,10 +51,7 @@ fn bench_table2(c: &mut Criterion) {
 fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_tps");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let tps = StrategyKind::tps();
     g.bench_function("tps_8x4x4_m432", |b| b.iter(|| aa("8x4x4", &tps, 432, 1.0)));
     g.bench_function("tps_4x4x8_m432", |b| b.iter(|| aa("4x4x8", &tps, 432, 1.0)));
     g.finish();
@@ -64,12 +61,9 @@ fn bench_table3(c: &mut Criterion) {
 fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4_latency");
     g.sample_size(10);
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let tps = StrategyKind::tps();
     g.bench_function("ar_4x4x4_m1", |b| {
-        b.iter(|| aa("4x4x4", &StrategyKind::AdaptiveRandomized, 1, 1.0))
+        b.iter(|| aa("4x4x4", &StrategyKind::ar(), 1, 1.0))
     });
     g.bench_function("tps_4x4x4_m1", |b| b.iter(|| aa("4x4x4", &tps, 1, 1.0)));
     g.finish();

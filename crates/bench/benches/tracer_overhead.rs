@@ -31,7 +31,7 @@ fn aa(shape: &str, m: u64, coverage: f64, trace_interval: Option<u64>) -> u64 {
     run_aa(
         part,
         &workload,
-        &StrategyKind::AdaptiveRandomized,
+        &StrategyKind::ar(),
         &MachineParams::bgl(),
         cfg,
     )

@@ -179,11 +179,8 @@ fn main() {
     }
 
     eprintln!("engine-bench: {reps} reps per mode, min wall-clock reported");
-    let ar = StrategyKind::AdaptiveRandomized;
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let ar = StrategyKind::ar();
+    let tps = StrategyKind::tps();
     let results = [
         compare(
             "sparse_streams_16x8x8",

@@ -31,7 +31,7 @@ fn run_once(trace_interval: Option<u64>) -> (u64, usize) {
     let report = run_aa(
         part,
         &AaWorkload::full(912),
-        &StrategyKind::AdaptiveRandomized,
+        &StrategyKind::ar(),
         &MachineParams::bgl(),
         cfg,
     )

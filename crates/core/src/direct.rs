@@ -2,11 +2,23 @@
 //! every destination. Covers the production-MPI-like baseline, the paper's
 //! low-overhead randomized adaptive scheme (**AR**), deterministic
 //! dimension-order routing (**DR**) and bisection-paced throttling.
+//!
+//! Injection pacing is no longer a program concern: rate-window
+//! throttling is enforced by the engine from `SimConfig::flow` (see
+//! [`bgl_sim::flow`]), which strategies populate from their
+//! [`Pacer`](crate::Pacer). Under a credit-window pacer the program
+//! reserves a credit per packet toward its destination and the receiver
+//! acknowledges via small credit packets, bounding per-receiver memory.
 
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
-use bgl_sim::{NodeApi, NodeProgram, PacketMeta, RoutingMode, SendSpec};
+use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
 use bgl_torus::Partition;
+
+/// Payload packet kind.
+const KIND_DATA: u8 = 0;
+/// Credit-acknowledgement packet kind (credit-window pacing only).
+const KIND_CREDIT: u8 = 1;
 
 /// Tuning of a direct strategy.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,9 +31,6 @@ pub struct DirectConfig {
     /// Packets sent per destination before moving on (overrides the
     /// workload value when set).
     pub packets_per_visit: Option<u32>,
-    /// Injection pacing in chunks/cycle per node; `None` = unthrottled.
-    /// The throttled strategy paces at the bisection-peak rate.
-    pub pace_chunks_per_cycle: Option<f64>,
 }
 
 impl DirectConfig {
@@ -31,7 +40,6 @@ impl DirectConfig {
             routing: RoutingMode::Adaptive,
             alpha_cpu_cycles: params.alpha_direct_cycles,
             packets_per_visit: None,
-            pace_chunks_per_cycle: None,
         }
     }
 
@@ -54,31 +62,22 @@ impl DirectConfig {
             ..DirectConfig::ar(params)
         }
     }
-
-    /// AR with injection throttled to `pace` chunks/cycle per node.
-    pub fn throttled(params: &MachineParams, pace: f64) -> DirectConfig {
-        DirectConfig {
-            pace_chunks_per_cycle: Some(pace),
-            ..DirectConfig::ar(params)
-        }
-    }
 }
 
 /// Per-node program implementing a direct all-to-all.
 pub struct DirectProgram {
+    rank: u32,
     schedule: Vec<u32>,
     shapes: Vec<PacketShape>,
     routing: RoutingMode,
     longest_first: bool,
     alpha_sim_cycles: f64,
     packets_per_visit: u32,
-    pace: Option<f64>,
     // Iteration state: visit-major, destination-minor, packet within visit.
     visit: u32,
     n_visits: u32,
     idx: usize,
     in_visit: u32,
-    next_allowed: f64,
     done: bool,
 }
 
@@ -107,6 +106,7 @@ impl DirectProgram {
         let n_visits = (shapes.len() as u32).div_ceil(k);
         let done = schedule.is_empty();
         DirectProgram {
+            rank,
             schedule,
             shapes,
             routing: cfg.routing,
@@ -118,12 +118,10 @@ impl DirectProgram {
             longest_first: false,
             alpha_sim_cycles: cfg.alpha_cpu_cycles / params.cpu_cycles_per_sim_cycle(),
             packets_per_visit: k,
-            pace: cfg.pace_chunks_per_cycle,
             visit: 0,
             n_visits,
             idx: 0,
             in_visit: 0,
-            next_allowed: 0.0,
             done,
         }
     }
@@ -161,15 +159,13 @@ impl NodeProgram for DirectProgram {
         if self.done {
             return None;
         }
-        if let Some(pace) = self.pace {
-            if (api.now as f64) < self.next_allowed {
-                return None;
-            }
-            let chunks = self.shapes[self.current_packet_index()?].chunks as f64;
-            self.next_allowed = self.next_allowed.max(api.now as f64) + chunks / pace;
-        }
         let pkt_i = self.current_packet_index()?;
         let dst = self.schedule[self.idx];
+        // Under credit-window pacing the destination is the bounded
+        // "intermediate": reserve a credit or retry once acks return.
+        if !api.try_acquire_credit(dst) {
+            return None;
+        }
         let shape = self.shapes[pkt_i];
         let alpha = if pkt_i == 0 {
             self.alpha_sim_cycles
@@ -183,7 +179,7 @@ impl NodeProgram for DirectProgram {
             routing: self.routing,
             class: 0,
             meta: PacketMeta {
-                kind: 0,
+                kind: KIND_DATA,
                 a: 0,
                 b: 0,
             },
@@ -194,6 +190,31 @@ impl NodeProgram for DirectProgram {
         Some(spec)
     }
 
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
+        match pkt.meta.kind {
+            KIND_DATA => {
+                if let Some(n) = api.credit_receipt(pkt.src_rank) {
+                    api.send(SendSpec {
+                        dst_rank: pkt.src_rank,
+                        chunks: 1,
+                        payload_bytes: 0,
+                        routing: self.routing,
+                        class: 0,
+                        meta: PacketMeta {
+                            kind: KIND_CREDIT,
+                            a: self.rank,
+                            b: n,
+                        },
+                        longest_first: false,
+                        cpu_cost_cycles: 0.0,
+                    });
+                }
+            }
+            KIND_CREDIT => api.apply_credit(pkt.meta.a, pkt.meta.b),
+            other => panic!("direct program received unknown packet kind {other}"),
+        }
+    }
+
     fn is_complete(&self) -> bool {
         self.done
     }
@@ -202,6 +223,7 @@ impl NodeProgram for DirectProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgl_sim::{FlowLedger, FlowSpec};
     use std::collections::HashMap;
 
     fn params() -> MachineParams {
@@ -284,18 +306,101 @@ mod tests {
     }
 
     #[test]
-    fn throttle_declines_until_pace_allows() {
+    fn credit_window_blocks_until_ack_returns() {
+        let part: Partition = "8".parse().unwrap();
+        let w = AaWorkload::full(1000); // 5 packets per destination
+        let mut cfg = DirectConfig::ar(&params());
+        cfg.packets_per_visit = Some(u32::MAX); // whole message per visit
+        let mut prog = DirectProgram::new(0, &part, &w, &cfg, &params());
+        let mut ledger = FlowLedger::new(FlowSpec::Credit {
+            window_packets: 2,
+            credit_every: 1,
+        });
+        let mut q = std::collections::VecDeque::new();
+        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q).with_flow(&mut ledger);
+        // Two packets to the first destination fit the window; the third
+        // must block.
+        let first = prog.next_send(&mut api).expect("first send");
+        assert!(prog.next_send(&mut api).is_some());
+        assert!(prog.next_send(&mut api).is_none(), "window of 2 must close");
+        assert!(!prog.is_complete());
+        // A credit ack from that destination reopens the window.
+        let credit = Packet {
+            id: 0,
+            src_rank: first.dst_rank,
+            dst: part.coord_of(0),
+            chunks: 1,
+            payload_bytes: 0,
+            plan: bgl_torus::HopPlan::new(
+                &part,
+                part.coord_of(first.dst_rank),
+                part.coord_of(0),
+                bgl_torus::TieBreak::SrcParity,
+            ),
+            routing: RoutingMode::Adaptive,
+            vc: bgl_sim::Vc::Dynamic0,
+            class: 0,
+            meta: PacketMeta {
+                kind: KIND_CREDIT,
+                a: first.dst_rank,
+                b: 1,
+            },
+            longest_first: false,
+            injected_at: 0,
+        };
+        prog.on_packet(&mut api, &credit);
+        assert!(
+            prog.next_send(&mut api).is_some(),
+            "credit must reopen the window"
+        );
+    }
+
+    #[test]
+    fn receiver_acks_every_quantum() {
         let part: Partition = "8".parse().unwrap();
         let w = AaWorkload::full(240);
-        let cfg = DirectConfig::throttled(&params(), 0.5);
-        let mut prog = DirectProgram::new(0, &part, &w, &cfg, &params());
+        let mut prog = DirectProgram::new(1, &part, &w, &DirectConfig::ar(&params()), &params());
+        let mut ledger = FlowLedger::new(FlowSpec::Credit {
+            window_packets: 4,
+            credit_every: 2,
+        });
         let mut q = std::collections::VecDeque::new();
-        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
-        assert!(prog.next_send(&mut api).is_some());
-        // Second packet must wait chunks/pace cycles.
-        assert!(prog.next_send(&mut api).is_none());
-        let mut api_later = NodeApi::new(0, part.coord_of(0), 100, &part, &mut q);
-        assert!(prog.next_send(&mut api_later).is_some());
+        let data = Packet {
+            id: 0,
+            src_rank: 5,
+            dst: part.coord_of(1),
+            chunks: 8,
+            payload_bytes: 240,
+            plan: bgl_torus::HopPlan::new(
+                &part,
+                part.coord_of(5),
+                part.coord_of(1),
+                bgl_torus::TieBreak::SrcParity,
+            ),
+            routing: RoutingMode::Adaptive,
+            vc: bgl_sim::Vc::Dynamic0,
+            class: 0,
+            meta: PacketMeta {
+                kind: KIND_DATA,
+                a: 0,
+                b: 0,
+            },
+            longest_first: false,
+            injected_at: 0,
+        };
+        {
+            let mut api =
+                NodeApi::new(1, part.coord_of(1), 0, &part, &mut q).with_flow(&mut ledger);
+            prog.on_packet(&mut api, &data);
+            assert_eq!(api.queued(), 0, "no ack before the quantum fills");
+            prog.on_packet(&mut api, &data);
+        }
+        assert_eq!(q.len(), 1, "second receipt triggers the ack");
+        let ack = &q[0];
+        assert_eq!(ack.dst_rank, 5);
+        assert_eq!(ack.meta.kind, KIND_CREDIT);
+        assert_eq!(ack.meta.a, 1);
+        assert_eq!(ack.meta.b, 2);
     }
 
     #[test]

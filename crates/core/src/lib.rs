@@ -26,7 +26,7 @@
 //!
 //! let part = "4x4x4".parse().unwrap();
 //! let report = AaRun::builder(part, AaWorkload::full(1872)) // ~8 full packets/destination
-//!     .strategy(StrategyKind::AdaptiveRandomized)
+//!     .strategy(StrategyKind::ar())
 //!     .run()
 //!     .unwrap();
 //! assert!(report.percent_of_peak > 70.0);
@@ -39,7 +39,7 @@
 //!
 //! let part = "4x4".parse().unwrap();
 //! let report = AaRun::builder(part, AaWorkload::full(240))
-//!     .strategy(StrategyKind::DeterministicRouted)
+//!     .strategy(StrategyKind::dr())
 //!     .sim(|cfg| cfg.router.vc_fifo_chunks = 64)
 //!     .run()
 //!     .unwrap();
@@ -48,6 +48,7 @@
 
 pub mod direct;
 pub mod fit;
+pub mod flow;
 pub mod patterns;
 pub mod select;
 pub mod strategy;
@@ -58,12 +59,13 @@ pub mod xyz;
 
 pub use direct::{DirectConfig, DirectProgram};
 pub use fit::{fit_ptp_params, FittedModel};
+pub use flow::{CreditConfig, Pacer};
 pub use patterns::{run_pattern, Pattern, PatternReport};
 pub use select::{auto_select, combining_crossover_bytes};
 pub use strategy::{
     peak_cycles_for, peak_injection_rate, run_aa, AaReport, AaRun, AaRunBuilder, StrategyKind,
 };
-pub use tps::{choose_linear_dim, tps_inj_class_masks, CreditConfig, TpsConfig, TpsProgram};
+pub use tps::{choose_linear_dim, tps_inj_class_masks, TpsConfig, TpsProgram};
 pub use vmesh::{VmeshConfig, VmeshProgram};
 pub use workload::{destination_schedule, packetize, total_chunks, AaWorkload, PacketShape};
 pub use xyz::{xyz_inj_class_masks, XyzProgram};

@@ -21,17 +21,12 @@ pub fn combining_crossover_bytes(part: &Partition, params: &MachineParams) -> u6
 /// Pick the paper's best strategy for `(part, m)`.
 pub fn auto_select(part: &Partition, m: u64, params: &MachineParams) -> StrategyKind {
     if part.num_nodes() >= 16 && m <= combining_crossover_bytes(part, params) {
-        return StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        };
+        return StrategyKind::vmesh();
     }
     if part.is_symmetric() {
-        StrategyKind::AdaptiveRandomized
+        StrategyKind::ar()
     } else {
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        }
+        StrategyKind::tps()
     }
 }
 
@@ -45,8 +40,8 @@ mod tests {
 
     #[test]
     fn symmetric_large_message_uses_ar() {
-        assert_eq!(sel("8x8x8", 4096), StrategyKind::AdaptiveRandomized);
-        assert_eq!(sel("16x16", 1024), StrategyKind::AdaptiveRandomized);
+        assert_eq!(sel("8x8x8", 4096), StrategyKind::ar());
+        assert_eq!(sel("16x16", 1024), StrategyKind::ar());
     }
 
     #[test]
@@ -83,6 +78,6 @@ mod tests {
     #[test]
     fn tiny_partitions_never_combine() {
         // Combining gains nothing on a couple of nodes.
-        assert_eq!(sel("4", 8), StrategyKind::AdaptiveRandomized);
+        assert_eq!(sel("4", 8), StrategyKind::ar());
     }
 }

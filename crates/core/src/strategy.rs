@@ -2,7 +2,8 @@
 //! configure the simulator, run, and report percent-of-peak.
 
 use crate::direct::{DirectConfig, DirectProgram};
-use crate::tps::{tps_inj_class_masks, CreditConfig, TpsConfig, TpsProgram};
+use crate::flow::{CreditConfig, Pacer};
+use crate::tps::{tps_inj_class_masks, TpsConfig, TpsProgram};
 use crate::vmesh::{VmeshConfig, VmeshProgram};
 use crate::workload::AaWorkload;
 use bgl_model::MachineParams;
@@ -11,38 +12,60 @@ use bgl_torus::{AaLoadAnalysis, Dim, Partition, VmeshLayout};
 
 /// The all-to-all strategies of the paper (plus automatic selection).
 ///
-/// `Eq`/`Hash` are implemented manually (the throttling factor is hashed
-/// by bit pattern) so a strategy can key caches and deduplicated run sets;
-/// a NaN factor is not meaningful and must not be constructed.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Every concrete strategy carries a [`Pacer`] describing its injection
+/// flow control; construct the common combinations through
+/// [`StrategyKind::ar`], [`StrategyKind::throttled`],
+/// [`StrategyKind::tps`] and friends, and attach a pacer to any strategy
+/// with [`StrategyKind::with_pacer`].
+///
+/// `Eq`/`Hash` are implemented manually (the pacer's rate factor is
+/// hashed by bit pattern) so a strategy can key caches and deduplicated
+/// run sets; a NaN factor is not meaningful and must not be constructed.
+#[derive(Debug, Clone, PartialEq)]
 pub enum StrategyKind {
     /// Production-MPI-like randomized direct baseline.
-    MpiBaseline,
-    /// The paper's low-overhead randomized adaptive direct scheme (AR).
-    AdaptiveRandomized,
-    /// Deterministic dimension-order direct scheme (DR).
-    DeterministicRouted,
-    /// AR with injection paced at `factor ×` the bisection-peak rate.
-    ThrottledAdaptive {
-        /// Pacing multiplier (1.0 = exactly the peak rate).
-        factor: f64,
+    MpiBaseline {
+        /// Injection flow control.
+        pacer: Pacer,
     },
-    /// Two Phase Schedule (Section 4.1).
+    /// The paper's low-overhead randomized adaptive direct scheme (AR).
+    /// With [`Pacer::RateWindow`] this is the historical
+    /// "ThrottledAdaptive" strategy: injection paced at `factor ×` the
+    /// bisection-peak rate.
+    AdaptiveRandomized {
+        /// Injection flow control.
+        pacer: Pacer,
+    },
+    /// Deterministic dimension-order direct scheme (DR).
+    DeterministicRouted {
+        /// Injection flow control.
+        pacer: Pacer,
+    },
+    /// Two Phase Schedule (Section 4.1). A [`Pacer::CreditWindow`]
+    /// bounds per-intermediate memory (the paper's future-work credit
+    /// flow control).
     TwoPhaseSchedule {
         /// Phase-1 dimension (`None` = automatic).
         linear: Option<Dim>,
-        /// Optional credit-based intermediate-memory flow control.
-        credit: Option<CreditConfig>,
+        /// Injection flow control.
+        pacer: Pacer,
     },
-    /// Virtual-mesh message combining (Section 4.2).
+    /// Virtual-mesh message combining (Section 4.2). A
+    /// [`Pacer::CreditWindow`] bounds phase-1 reception memory, which is
+    /// what lets full-coverage runs survive large asymmetric tori.
     VirtualMesh {
         /// Row/column factorization.
         layout: VmeshLayout,
+        /// Injection flow control.
+        pacer: Pacer,
     },
     /// Three-phase XYZ software routing (the HPCC-Randomaccess-style
     /// scheme Section 4.1 contrasts TPS against: two forwarding phases
     /// instead of one).
-    XyzRouting,
+    XyzRouting {
+        /// Injection flow control.
+        pacer: Pacer,
+    },
     /// The paper's recommendation: VMesh below the combining crossover,
     /// a direct scheme on symmetric tori, TPS on asymmetric partitions.
     Auto,
@@ -54,34 +77,260 @@ impl std::hash::Hash for StrategyKind {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         std::mem::discriminant(self).hash(state);
         match self {
-            StrategyKind::MpiBaseline
-            | StrategyKind::AdaptiveRandomized
-            | StrategyKind::DeterministicRouted
-            | StrategyKind::XyzRouting
-            | StrategyKind::Auto => {}
-            // `+ 0.0` collapses -0.0 onto 0.0 so Hash stays consistent
-            // with the derived PartialEq.
-            StrategyKind::ThrottledAdaptive { factor } => (factor + 0.0).to_bits().hash(state),
-            StrategyKind::TwoPhaseSchedule { linear, credit } => {
+            StrategyKind::MpiBaseline { pacer }
+            | StrategyKind::AdaptiveRandomized { pacer }
+            | StrategyKind::DeterministicRouted { pacer }
+            | StrategyKind::XyzRouting { pacer } => pacer.hash(state),
+            StrategyKind::TwoPhaseSchedule { linear, pacer } => {
                 linear.hash(state);
-                credit.hash(state);
+                pacer.hash(state);
             }
-            StrategyKind::VirtualMesh { layout } => layout.hash(state),
+            StrategyKind::VirtualMesh { layout, pacer } => {
+                layout.hash(state);
+                pacer.hash(state);
+            }
+            StrategyKind::Auto => {}
+        }
+    }
+}
+
+/// Wire format: the historical encodings are preserved exactly so stored
+/// run keys and golden fingerprints survive the pacer refactor. Unpaced
+/// strategies serialize as bare variant names, AR with a rate window as
+/// the old `ThrottledAdaptive { factor }` form, and TPS's credit window
+/// as the old `credit: Option<CreditConfig>` field; only combinations
+/// that could not be expressed before gain a `pacer` field.
+impl serde::Serialize for StrategyKind {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        fn unit_or_paced(name: &str, pacer: &Pacer) -> Value {
+            if pacer.is_unpaced() {
+                Value::Str(name.to_string())
+            } else {
+                Value::Object(vec![(
+                    name.to_string(),
+                    Value::Object(vec![("pacer".to_string(), pacer.to_value())]),
+                )])
+            }
+        }
+        match self {
+            StrategyKind::MpiBaseline { pacer } => unit_or_paced("MpiBaseline", pacer),
+            StrategyKind::AdaptiveRandomized {
+                pacer: Pacer::RateWindow { factor },
+            } => Value::Object(vec![(
+                "ThrottledAdaptive".to_string(),
+                Value::Object(vec![("factor".to_string(), factor.to_value())]),
+            )]),
+            StrategyKind::AdaptiveRandomized { pacer } => {
+                unit_or_paced("AdaptiveRandomized", pacer)
+            }
+            StrategyKind::DeterministicRouted { pacer } => {
+                unit_or_paced("DeterministicRouted", pacer)
+            }
+            StrategyKind::TwoPhaseSchedule { linear, pacer } => {
+                let mut fields = vec![("linear".to_string(), linear.to_value())];
+                match pacer {
+                    Pacer::Unpaced => fields.push(("credit".to_string(), Value::Null)),
+                    Pacer::CreditWindow { credit } => {
+                        fields.push(("credit".to_string(), credit.to_value()))
+                    }
+                    rate => fields.push(("pacer".to_string(), rate.to_value())),
+                }
+                Value::Object(vec![(
+                    "TwoPhaseSchedule".to_string(),
+                    Value::Object(fields),
+                )])
+            }
+            StrategyKind::VirtualMesh { layout, pacer } => {
+                let mut fields = vec![("layout".to_string(), layout.to_value())];
+                if !pacer.is_unpaced() {
+                    fields.push(("pacer".to_string(), pacer.to_value()));
+                }
+                Value::Object(vec![("VirtualMesh".to_string(), Value::Object(fields))])
+            }
+            StrategyKind::XyzRouting { pacer } => unit_or_paced("XyzRouting", pacer),
+            StrategyKind::Auto => Value::Str("Auto".to_string()),
+        }
+    }
+}
+
+impl serde::Deserialize for StrategyKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Value;
+        fn opt_pacer(inner: &Value) -> Result<Pacer, serde::Error> {
+            Ok(serde::de_field::<Option<Pacer>>(inner, "pacer")?.unwrap_or_default())
+        }
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "MpiBaseline" => Ok(StrategyKind::mpi()),
+                "AdaptiveRandomized" => Ok(StrategyKind::ar()),
+                "DeterministicRouted" => Ok(StrategyKind::dr()),
+                "XyzRouting" => Ok(StrategyKind::xyz()),
+                "Auto" => Ok(StrategyKind::Auto),
+                other => Err(serde::Error::custom(format!(
+                    "unknown variant `{other}` of StrategyKind"
+                ))),
+            },
+            Value::Object(fields) if fields.len() == 1 => {
+                let (variant, inner) = &fields[0];
+                match variant.as_str() {
+                    "MpiBaseline" => Ok(StrategyKind::MpiBaseline {
+                        pacer: opt_pacer(inner)?,
+                    }),
+                    "AdaptiveRandomized" => Ok(StrategyKind::AdaptiveRandomized {
+                        pacer: opt_pacer(inner)?,
+                    }),
+                    "DeterministicRouted" => Ok(StrategyKind::DeterministicRouted {
+                        pacer: opt_pacer(inner)?,
+                    }),
+                    "ThrottledAdaptive" => {
+                        Ok(StrategyKind::throttled(serde::de_field(inner, "factor")?))
+                    }
+                    "XyzRouting" => Ok(StrategyKind::XyzRouting {
+                        pacer: opt_pacer(inner)?,
+                    }),
+                    "TwoPhaseSchedule" => {
+                        let pacer = match serde::de_field::<Option<Pacer>>(inner, "pacer")? {
+                            Some(p) => p,
+                            None => {
+                                match serde::de_field::<Option<CreditConfig>>(inner, "credit")? {
+                                    Some(credit) => Pacer::CreditWindow { credit },
+                                    None => Pacer::Unpaced,
+                                }
+                            }
+                        };
+                        Ok(StrategyKind::TwoPhaseSchedule {
+                            linear: serde::de_field(inner, "linear")?,
+                            pacer,
+                        })
+                    }
+                    "VirtualMesh" => Ok(StrategyKind::VirtualMesh {
+                        layout: serde::de_field(inner, "layout")?,
+                        pacer: opt_pacer(inner)?,
+                    }),
+                    other => Err(serde::Error::custom(format!(
+                        "unknown variant `{other}` of StrategyKind"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected StrategyKind, got {other:?}"
+            ))),
         }
     }
 }
 
 impl StrategyKind {
+    /// Unpaced MPI-like baseline.
+    pub fn mpi() -> StrategyKind {
+        StrategyKind::MpiBaseline {
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// Unpaced AR.
+    pub fn ar() -> StrategyKind {
+        StrategyKind::AdaptiveRandomized {
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// Unpaced DR.
+    pub fn dr() -> StrategyKind {
+        StrategyKind::DeterministicRouted {
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// Unpaced XYZ routing.
+    pub fn xyz() -> StrategyKind {
+        StrategyKind::XyzRouting {
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// AR paced at `factor ×` the bisection-peak injection rate (the
+    /// historical "ThrottledAdaptive" strategy).
+    pub fn throttled(factor: f64) -> StrategyKind {
+        StrategyKind::AdaptiveRandomized {
+            pacer: Pacer::rate(factor),
+        }
+    }
+
+    /// TPS with automatic linear dimension, unpaced.
+    pub fn tps() -> StrategyKind {
+        StrategyKind::TwoPhaseSchedule {
+            linear: None,
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// TPS with an explicit linear dimension and pacer.
+    pub fn tps_with(linear: Option<Dim>, pacer: Pacer) -> StrategyKind {
+        StrategyKind::TwoPhaseSchedule { linear, pacer }
+    }
+
+    /// VMesh with automatic layout, unpaced.
+    pub fn vmesh() -> StrategyKind {
+        StrategyKind::VirtualMesh {
+            layout: VmeshLayout::Auto,
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// VMesh with an explicit layout, unpaced.
+    pub fn vmesh_with(layout: VmeshLayout) -> StrategyKind {
+        StrategyKind::VirtualMesh {
+            layout,
+            pacer: Pacer::Unpaced,
+        }
+    }
+
+    /// The same strategy with `pacer` attached.
+    ///
+    /// # Panics
+    ///
+    /// [`StrategyKind::Auto`] carries no pacer (the resolved strategy
+    /// decides); attaching one panics.
+    pub fn with_pacer(self, pacer: Pacer) -> StrategyKind {
+        match self {
+            StrategyKind::MpiBaseline { .. } => StrategyKind::MpiBaseline { pacer },
+            StrategyKind::AdaptiveRandomized { .. } => StrategyKind::AdaptiveRandomized { pacer },
+            StrategyKind::DeterministicRouted { .. } => StrategyKind::DeterministicRouted { pacer },
+            StrategyKind::TwoPhaseSchedule { linear, .. } => {
+                StrategyKind::TwoPhaseSchedule { linear, pacer }
+            }
+            StrategyKind::VirtualMesh { layout, .. } => StrategyKind::VirtualMesh { layout, pacer },
+            StrategyKind::XyzRouting { .. } => StrategyKind::XyzRouting { pacer },
+            StrategyKind::Auto => panic!("Auto resolves to a concrete strategy; pace that instead"),
+        }
+    }
+
+    /// The strategy's pacer ([`Pacer::Unpaced`] for `Auto`).
+    pub fn pacer(&self) -> Pacer {
+        match self {
+            StrategyKind::MpiBaseline { pacer }
+            | StrategyKind::AdaptiveRandomized { pacer }
+            | StrategyKind::DeterministicRouted { pacer }
+            | StrategyKind::TwoPhaseSchedule { pacer, .. }
+            | StrategyKind::VirtualMesh { pacer, .. }
+            | StrategyKind::XyzRouting { pacer } => *pacer,
+            StrategyKind::Auto => Pacer::Unpaced,
+        }
+    }
+
     /// Canonical short name for reports.
     pub fn name(&self) -> &'static str {
         match self {
-            StrategyKind::MpiBaseline => "MPI",
-            StrategyKind::AdaptiveRandomized => "AR",
-            StrategyKind::DeterministicRouted => "DR",
-            StrategyKind::ThrottledAdaptive { .. } => "AR-throttled",
+            StrategyKind::MpiBaseline { .. } => "MPI",
+            StrategyKind::AdaptiveRandomized {
+                pacer: Pacer::RateWindow { .. },
+            } => "AR-throttled",
+            StrategyKind::AdaptiveRandomized { .. } => "AR",
+            StrategyKind::DeterministicRouted { .. } => "DR",
             StrategyKind::TwoPhaseSchedule { .. } => "TPS",
             StrategyKind::VirtualMesh { .. } => "VMesh",
-            StrategyKind::XyzRouting => "XYZ",
+            StrategyKind::XyzRouting { .. } => "XYZ",
             StrategyKind::Auto => "Auto",
         }
     }
@@ -133,7 +382,7 @@ pub struct AaReport {
 ///
 /// let part = "4x4".parse().unwrap();
 /// let report = AaRun::builder(part, AaWorkload::full(240))
-///     .strategy(StrategyKind::AdaptiveRandomized)
+///     .strategy(StrategyKind::ar())
 ///     .sim(|cfg| cfg.router.vc_fifo_chunks = 64)
 ///     .run()
 ///     .unwrap();
@@ -194,6 +443,13 @@ impl AaRunBuilder {
         self
     }
 
+    /// Attach a pacer to the current strategy (see
+    /// [`StrategyKind::with_pacer`]).
+    pub fn pacer(mut self, pacer: Pacer) -> Self {
+        self.strategy = self.strategy.with_pacer(pacer);
+        self
+    }
+
     /// Set the machine parameters (default [`MachineParams::bgl`]).
     pub fn params(mut self, params: MachineParams) -> Self {
         self.params = Some(params);
@@ -247,8 +503,9 @@ impl AaRunBuilder {
 ///
 /// `base` lets callers tweak the simulator (FIFO depths, CPU model,
 /// ablations); pass `SimConfig::new(part)` for the defaults. Strategy
-/// requirements (TPS injection-FIFO reservation) are applied on top.
-/// Equivalent to the [`AaRun::builder`] chain with an explicit config.
+/// requirements (TPS injection-FIFO reservation, the strategy's pacer)
+/// are applied on top. Equivalent to the [`AaRun::builder`] chain with
+/// an explicit config.
 pub fn run_aa(
     part: Partition,
     workload: &AaWorkload,
@@ -272,31 +529,27 @@ fn execute(
     assert!(p >= 2, "all-to-all needs at least two nodes");
     base.partition = part;
 
+    // The strategy's pacer becomes the engine-enforced flow spec. An
+    // unpaced strategy leaves `base.flow` alone so ablations can still
+    // set `SimConfig::flow` directly.
+    let pacer = strategy.pacer();
+    if !pacer.is_unpaced() {
+        base.flow = pacer.resolve(peak_injection_rate(&part, workload, params));
+    }
+
     let programs: Vec<Box<dyn NodeProgram>> = match &strategy {
-        StrategyKind::MpiBaseline => {
+        StrategyKind::MpiBaseline { .. } => {
             build_direct(&part, workload, &DirectConfig::mpi(params), params)
         }
-        StrategyKind::AdaptiveRandomized => {
+        StrategyKind::AdaptiveRandomized { .. } => {
             build_direct(&part, workload, &DirectConfig::ar(params), params)
         }
-        StrategyKind::DeterministicRouted => {
+        StrategyKind::DeterministicRouted { .. } => {
             build_direct(&part, workload, &DirectConfig::dr(params), params)
         }
-        StrategyKind::ThrottledAdaptive { factor } => {
-            let pace = peak_injection_rate(&part, workload, params) * factor;
-            build_direct(
-                &part,
-                workload,
-                &DirectConfig::throttled(params, pace),
-                params,
-            )
-        }
-        StrategyKind::TwoPhaseSchedule { linear, credit } => {
+        StrategyKind::TwoPhaseSchedule { linear, .. } => {
             base.inj_class_masks = tps_inj_class_masks(base.inj_fifo_count);
-            let cfg = TpsConfig {
-                linear: *linear,
-                credit: *credit,
-            };
+            let cfg = TpsConfig { linear: *linear };
             (0..p)
                 .map(|r| {
                     Box::new(TpsProgram::new(r, &part, workload, &cfg, params))
@@ -304,7 +557,7 @@ fn execute(
                 })
                 .collect()
         }
-        StrategyKind::VirtualMesh { layout } => {
+        StrategyKind::VirtualMesh { layout, .. } => {
             let cfg = VmeshConfig {
                 layout: *layout,
                 ..VmeshConfig::default()
@@ -316,7 +569,7 @@ fn execute(
                 })
                 .collect()
         }
-        StrategyKind::XyzRouting => {
+        StrategyKind::XyzRouting { .. } => {
             base.inj_class_masks = crate::xyz::xyz_inj_class_masks(base.inj_fifo_count);
             (0..p)
                 .map(|r| {
@@ -380,7 +633,7 @@ pub fn peak_cycles_for(part: &Partition, workload: &AaWorkload, params: &Machine
 }
 
 /// Per-node injection rate (chunks/cycle) at which the network runs exactly
-/// at its bisection peak — the throttled strategy's pacing target.
+/// at its bisection peak — the rate-window pacer's reference rate.
 pub fn peak_injection_rate(part: &Partition, workload: &AaWorkload, params: &MachineParams) -> f64 {
     let p = part.num_nodes();
     let peak = peak_cycles_for(part, workload, params);
@@ -415,7 +668,7 @@ mod tests {
 
     #[test]
     fn ar_on_a_line_delivers_everything() {
-        let r = quick("8", 240, StrategyKind::AdaptiveRandomized);
+        let r = quick("8", 240, StrategyKind::ar());
         assert_eq!(r.stats.packets_delivered, r.stats.packets_injected);
         assert_eq!(r.stats.payload_bytes_delivered, 8 * 7 * 240);
         assert!(r.percent_of_peak > 40.0, "{}", r.percent_of_peak);
@@ -424,7 +677,7 @@ mod tests {
 
     #[test]
     fn dr_on_a_line_delivers_everything() {
-        let r = quick("8", 240, StrategyKind::DeterministicRouted);
+        let r = quick("8", 240, StrategyKind::dr());
         assert_eq!(r.stats.payload_bytes_delivered, 8 * 7 * 240);
         // DR rides the bubble VC exclusively.
         assert_eq!(r.stats.dynamic_hops, 0);
@@ -433,14 +686,7 @@ mod tests {
 
     #[test]
     fn tps_on_small_torus_delivers_everything() {
-        let r = quick(
-            "4x2x2",
-            240,
-            StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            },
-        );
+        let r = quick("4x2x2", 240, StrategyKind::tps());
         // Payload is delivered once via phase 1/direct and once more after
         // forwarding, so delivered bytes ≥ the application total.
         assert!(r.stats.payload_bytes_delivered >= 16 * 15 * 240);
@@ -452,41 +698,64 @@ mod tests {
         let r = quick(
             "4x2x2",
             960,
-            StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: Some(CreditConfig {
-                    window_packets: 4,
-                    credit_every: 2,
-                }),
-            },
+            StrategyKind::tps().with_pacer(Pacer::credit(4, 2)),
         );
         assert!(r.cycles > 0);
+        assert!(
+            r.stats.credit_blocked_events > 0,
+            "a 4-packet window on a 960-byte message must close at least once"
+        );
     }
 
     #[test]
     fn vmesh_on_small_plane_completes() {
-        let r = quick(
-            "4x4",
-            8,
-            StrategyKind::VirtualMesh {
-                layout: VmeshLayout::Auto,
-            },
-        );
+        let r = quick("4x4", 8, StrategyKind::vmesh());
         assert!(r.cycles > 0);
         assert_eq!(r.stats.packets_delivered, r.stats.packets_injected);
     }
 
     #[test]
-    fn throttled_completes_and_is_not_faster_than_ar() {
-        let ar = quick("4x4x2", 480, StrategyKind::AdaptiveRandomized);
-        let th = quick(
-            "4x4x2",
-            480,
-            StrategyKind::ThrottledAdaptive { factor: 1.0 },
+    fn vmesh_with_credit_window_completes() {
+        let r = quick(
+            "4x4",
+            64,
+            StrategyKind::vmesh().with_pacer(Pacer::credit(2, 1)),
         );
+        assert!(r.cycles > 0);
+        // Credit acks ride the network as extra packets; the payload still
+        // arrives in full.
+        let unpaced = quick("4x4", 64, StrategyKind::vmesh());
+        assert_eq!(
+            r.stats.payload_bytes_delivered,
+            unpaced.stats.payload_bytes_delivered
+        );
+    }
+
+    #[test]
+    fn xyz_with_credit_window_completes() {
+        let r = quick(
+            "4x2x2",
+            480,
+            StrategyKind::xyz().with_pacer(Pacer::credit(2, 1)),
+        );
+        let unpaced = quick("4x2x2", 480, StrategyKind::xyz());
+        assert_eq!(
+            r.stats.payload_bytes_delivered,
+            unpaced.stats.payload_bytes_delivered
+        );
+    }
+
+    #[test]
+    fn throttled_completes_and_is_not_faster_than_ar() {
+        let ar = quick("4x4x2", 480, StrategyKind::ar());
+        let th = quick("4x4x2", 480, StrategyKind::throttled(1.0));
         assert_eq!(
             th.stats.payload_bytes_delivered,
             ar.stats.payload_bytes_delivered
+        );
+        assert!(
+            th.stats.pacing_blocked_cycles > 0,
+            "pacing at the peak rate must block at least one pull"
         );
         // Pacing at the peak rate can't beat the unthrottled run by much.
         assert!(th.cycles as f64 >= ar.cycles as f64 * 0.5);
@@ -494,8 +763,8 @@ mod tests {
 
     #[test]
     fn mpi_baseline_is_slower_than_ar_for_short_messages() {
-        let ar = quick("4x4", 64, StrategyKind::AdaptiveRandomized);
-        let mpi = quick("4x4", 64, StrategyKind::MpiBaseline);
+        let ar = quick("4x4", 64, StrategyKind::ar());
+        let mpi = quick("4x4", 64, StrategyKind::mpi());
         assert!(
             mpi.cycles > ar.cycles,
             "MPI {} vs AR {}",
@@ -506,8 +775,8 @@ mod tests {
 
     #[test]
     fn reports_are_deterministic() {
-        let a = quick("4x4", 240, StrategyKind::AdaptiveRandomized);
-        let b = quick("4x4", 240, StrategyKind::AdaptiveRandomized);
+        let a = quick("4x4", 240, StrategyKind::ar());
+        let b = quick("4x4", 240, StrategyKind::ar());
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.stats, b.stats);
     }
@@ -527,7 +796,7 @@ mod tests {
     fn builder_matches_run_aa() {
         let part: Partition = "4x4".parse().unwrap();
         let w = AaWorkload::full(240);
-        let s = StrategyKind::AdaptiveRandomized;
+        let s = StrategyKind::ar();
         let direct = run_aa(part, &w, &s, &params(), SimConfig::new(part)).unwrap();
         let built = AaRun::builder(part, w)
             .strategy(s)
@@ -539,18 +808,34 @@ mod tests {
     }
 
     #[test]
+    fn builder_pacer_matches_throttled_constructor() {
+        let part: Partition = "4x4".parse().unwrap();
+        let via_builder = AaRun::builder(part, AaWorkload::full(480))
+            .strategy(StrategyKind::ar())
+            .pacer(Pacer::rate(1.0))
+            .run()
+            .unwrap();
+        let via_ctor = AaRun::builder(part, AaWorkload::full(480))
+            .strategy(StrategyKind::throttled(1.0))
+            .run()
+            .unwrap();
+        assert_eq!(via_builder.cycles, via_ctor.cycles);
+        assert_eq!(via_builder.stats, via_ctor.stats);
+    }
+
+    #[test]
     fn builder_sim_tweaks_apply_in_order() {
         let part: Partition = "4x4".parse().unwrap();
         // Two queued tweaks of the same knob: the later one wins, so the
         // run must be cycle-identical to setting only the final value.
         let chained = AaRun::builder(part, AaWorkload::full(240))
-            .strategy(StrategyKind::AdaptiveRandomized)
+            .strategy(StrategyKind::ar())
             .sim(|c| c.router.vc_fifo_chunks = 256)
             .sim(|c| c.router.vc_fifo_chunks = 8)
             .run()
             .unwrap();
         let last_only = AaRun::builder(part, AaWorkload::full(240))
-            .strategy(StrategyKind::AdaptiveRandomized)
+            .strategy(StrategyKind::ar())
             .sim(|c| c.router.vc_fifo_chunks = 8)
             .run()
             .unwrap();
@@ -562,34 +847,50 @@ mod tests {
     fn strategy_hash_matches_eq() {
         use std::collections::HashSet;
         let mut set = HashSet::new();
-        set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
-        set.insert(StrategyKind::ThrottledAdaptive { factor: 1.0 });
-        set.insert(StrategyKind::ThrottledAdaptive { factor: 0.5 });
-        set.insert(StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        });
-        set.insert(StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        });
+        set.insert(StrategyKind::throttled(1.0));
+        set.insert(StrategyKind::throttled(1.0));
+        set.insert(StrategyKind::throttled(0.5));
+        set.insert(StrategyKind::tps());
+        set.insert(StrategyKind::tps());
         assert_eq!(set.len(), 3);
         // -0.0 and 0.0 compare equal and must hash equal.
         set.clear();
-        set.insert(StrategyKind::ThrottledAdaptive { factor: 0.0 });
-        assert!(set.contains(&StrategyKind::ThrottledAdaptive { factor: -0.0 }));
+        set.insert(StrategyKind::throttled(0.0));
+        assert!(set.contains(&StrategyKind::throttled(-0.0)));
+        // A paced strategy never collides with its unpaced form.
+        set.clear();
+        set.insert(StrategyKind::ar());
+        set.insert(StrategyKind::ar().with_pacer(Pacer::credit(4, 2)));
+        set.insert(StrategyKind::vmesh());
+        set.insert(StrategyKind::vmesh().with_pacer(Pacer::credit(4, 2)));
+        assert_eq!(set.len(), 4);
     }
 
     #[test]
     fn strategy_and_report_round_trip_json() {
-        let s = StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: Some(CreditConfig::default()),
-        };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StrategyKind = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
-        let r = quick("4x4", 240, StrategyKind::AdaptiveRandomized);
+        for s in [
+            StrategyKind::ar(),
+            StrategyKind::mpi(),
+            StrategyKind::throttled(1.25),
+            StrategyKind::tps(),
+            StrategyKind::tps_with(
+                None,
+                Pacer::CreditWindow {
+                    credit: CreditConfig::default(),
+                },
+            ),
+            StrategyKind::tps_with(Some(Dim::Y), Pacer::rate(0.75)),
+            StrategyKind::vmesh(),
+            StrategyKind::vmesh().with_pacer(Pacer::credit(8, 2)),
+            StrategyKind::xyz().with_pacer(Pacer::credit(8, 2)),
+            StrategyKind::dr().with_pacer(Pacer::rate(0.5)),
+            StrategyKind::Auto,
+        ] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: StrategyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back, "{json}");
+        }
+        let r = quick("4x4", 240, StrategyKind::ar());
         let json = serde_json::to_string(&r).unwrap();
         let back: AaReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r.cycles, back.cycles);
@@ -597,14 +898,39 @@ mod tests {
     }
 
     #[test]
+    fn legacy_wire_forms_still_parse_and_reserialize() {
+        // The pre-pacer encodings must keep deserializing (stored run
+        // keys, golden files) AND re-serializing byte-identically so run
+        // keys don't silently rename.
+        for (json, want) in [
+            ("\"AdaptiveRandomized\"", StrategyKind::ar()),
+            ("\"MpiBaseline\"", StrategyKind::mpi()),
+            (
+                "{\"ThrottledAdaptive\":{\"factor\":1.25}}",
+                StrategyKind::throttled(1.25),
+            ),
+            (
+                "{\"TwoPhaseSchedule\":{\"linear\":null,\"credit\":null}}",
+                StrategyKind::tps(),
+            ),
+            (
+                "{\"TwoPhaseSchedule\":{\"linear\":null,\"credit\":{\"window_packets\":4,\"credit_every\":2}}}",
+                StrategyKind::tps_with(None, Pacer::credit(4, 2)),
+            ),
+        ] {
+            let back: StrategyKind = serde_json::from_str(json).unwrap();
+            assert_eq!(back, want, "{json}");
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
     fn strategy_names() {
-        assert_eq!(StrategyKind::AdaptiveRandomized.name(), "AR");
+        assert_eq!(StrategyKind::ar().name(), "AR");
+        assert_eq!(StrategyKind::throttled(0.9).name(), "AR-throttled");
+        assert_eq!(StrategyKind::tps().name(), "TPS");
         assert_eq!(
-            StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None
-            }
-            .name(),
+            StrategyKind::tps().with_pacer(Pacer::credit(4, 2)).name(),
             "TPS"
         );
     }

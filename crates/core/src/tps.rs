@@ -14,7 +14,8 @@ use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
 use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
 use bgl_torus::{Coord, Dim, Partition, ALL_DIMS};
-use std::collections::HashMap;
+
+pub use crate::flow::CreditConfig;
 
 /// Injection class of phase-1 (linear-dimension) packets and credits.
 pub const CLASS_LINEAR: u8 = 0;
@@ -26,38 +27,14 @@ const KIND_PHASE1: u8 = 1;
 const KIND_PHASE2: u8 = 2;
 const KIND_CREDIT: u8 = 3;
 
-/// Credit-based flow control bounding intermediate-node memory (the
-/// paper's future-work sketch): a source may have at most
-/// `window_packets` unacknowledged phase-1 packets outstanding per
-/// intermediate; intermediates return one small credit packet per
-/// `credit_every` packets received from a source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub struct CreditConfig {
-    /// Max unacknowledged phase-1 packets per (source, intermediate) pair.
-    pub window_packets: u32,
-    /// Intermediate acknowledges every this-many packets from a source
-    /// (the paper's example: one 32-byte credit per ten 256-byte packets
-    /// ≈ 1 % bandwidth overhead).
-    pub credit_every: u32,
-}
-
-impl Default for CreditConfig {
-    fn default() -> Self {
-        CreditConfig {
-            window_packets: 40,
-            credit_every: 10,
-        }
-    }
-}
-
-/// TPS tuning.
+/// TPS tuning. Credit-based flow control is no longer configured here:
+/// attach a [`Pacer::CreditWindow`](crate::Pacer) to the strategy and the
+/// engine enforces the window (see [`bgl_sim::flow`]).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TpsConfig {
     /// Linear (phase-1) dimension; `None` picks automatically via
     /// [`choose_linear_dim`].
     pub linear: Option<Dim>,
-    /// Optional credit-based flow control.
-    pub credit: Option<CreditConfig>,
 }
 
 /// The paper's linear-dimension choice: prefer the dimension whose removal
@@ -115,13 +92,6 @@ pub struct TpsProgram {
     alpha_sim_cycles: f64,
     copy_cycles_per_chunk: f64,
     planar_longest_first: bool,
-    credit: Option<CreditConfig>,
-    /// Outstanding unacked phase-1 packets per intermediate, keyed by the
-    /// intermediate's linear coordinate (all of a node's intermediates lie
-    /// on its own line).
-    outstanding: HashMap<u16, u32>,
-    /// Packets received per source (intermediate side), for credit acks.
-    recv_counts: HashMap<u32, u32>,
     idx: usize,
     pkt_i: usize,
     done_sending: bool,
@@ -159,9 +129,6 @@ impl TpsProgram {
             alpha_sim_cycles: params.alpha_direct_cycles / params.cpu_cycles_per_sim_cycle(),
             copy_cycles_per_chunk: params.gamma_ns_per_byte * params.chunk_bytes as f64 * 1e-9
                 / params.secs_per_sim_cycle(),
-            credit: cfg.credit,
-            outstanding: HashMap::new(),
-            recv_counts: HashMap::new(),
             idx: 0,
             pkt_i: 0,
             done_sending,
@@ -227,16 +194,15 @@ impl NodeProgram for TpsProgram {
             }
         } else {
             // Phase 1: travel the linear dimension to the intermediate.
-            let lin = inter.get(self.linear);
-            if let Some(cr) = self.credit {
-                let out = self.outstanding.entry(lin).or_insert(0);
-                if *out >= cr.window_packets {
-                    return None; // window closed; retry when credits return
-                }
-                *out += 1;
+            // Under credit-window pacing, reserve a credit toward the
+            // intermediate first; a closed window blocks the pull until
+            // acknowledgements return.
+            let inter_rank = part.rank_of(inter);
+            if !api.try_acquire_credit(inter_rank) {
+                return None;
             }
             SendSpec {
-                dst_rank: part.rank_of(inter),
+                dst_rank: inter_rank,
                 chunks: shape.chunks,
                 payload_bytes: shape.payload,
                 routing: RoutingMode::Adaptive,
@@ -259,26 +225,21 @@ impl NodeProgram for TpsProgram {
             KIND_PHASE1 => {
                 // Credit accounting happens for every linear-phase packet,
                 // whether or not it needs forwarding.
-                if let Some(cr) = self.credit {
-                    let src = pkt.meta.b;
-                    let c = self.recv_counts.entry(src).or_insert(0);
-                    *c += 1;
-                    if (*c).is_multiple_of(cr.credit_every) {
-                        api.send(SendSpec {
-                            dst_rank: src,
-                            chunks: 1,
-                            payload_bytes: 0,
-                            routing: RoutingMode::Adaptive,
-                            class: CLASS_LINEAR,
-                            meta: PacketMeta {
-                                kind: KIND_CREDIT,
-                                a: self.rank,
-                                b: cr.credit_every,
-                            },
-                            longest_first: false,
-                            cpu_cost_cycles: 0.0,
-                        });
-                    }
+                if let Some(n) = api.credit_receipt(pkt.meta.b) {
+                    api.send(SendSpec {
+                        dst_rank: pkt.meta.b,
+                        chunks: 1,
+                        payload_bytes: 0,
+                        routing: RoutingMode::Adaptive,
+                        class: CLASS_LINEAR,
+                        meta: PacketMeta {
+                            kind: KIND_CREDIT,
+                            a: self.rank,
+                            b: n,
+                        },
+                        longest_first: false,
+                        cpu_cost_cycles: 0.0,
+                    });
                 }
                 if pkt.meta.a != self.rank {
                     // Software-forward across the plane (phase 2); the copy
@@ -300,12 +261,7 @@ impl NodeProgram for TpsProgram {
                 }
             }
             KIND_PHASE2 => {} // final delivery
-            KIND_CREDIT => {
-                let inter_lin = api.partition().coord_of(pkt.meta.a).get(self.linear);
-                if let Some(out) = self.outstanding.get_mut(&inter_lin) {
-                    *out = out.saturating_sub(pkt.meta.b);
-                }
-            }
+            KIND_CREDIT => api.apply_credit(pkt.meta.a, pkt.meta.b),
             other => panic!("TPS received unknown packet kind {other}"),
         }
     }
@@ -363,7 +319,6 @@ mod tests {
         let w = AaWorkload::full(100);
         let cfg = TpsConfig {
             linear: Some(Dim::X),
-            credit: None,
         };
         let mut prog = TpsProgram::new(0, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
@@ -395,7 +350,6 @@ mod tests {
         let w = AaWorkload::full(64);
         let cfg = TpsConfig {
             linear: Some(Dim::X),
-            credit: None,
         };
         // Node 1 acts as intermediate for a packet whose final dest is 5.
         let mut prog = TpsProgram::new(1, &part, &w, &cfg, &MachineParams::bgl());
@@ -442,7 +396,6 @@ mod tests {
         let w = AaWorkload::full(64);
         let cfg = TpsConfig {
             linear: Some(Dim::X),
-            credit: None,
         };
         let mut prog = TpsProgram::new(1, &part, &w, &cfg, &MachineParams::bgl());
         let mut q = std::collections::VecDeque::new();
@@ -481,14 +434,16 @@ mod tests {
         let w = AaWorkload::full(240 * 20); // many packets per destination
         let cfg = TpsConfig {
             linear: Some(Dim::X),
-            credit: Some(CreditConfig {
-                window_packets: 3,
-                credit_every: 1,
-            }),
         };
         let mut prog = TpsProgram::new(0, &part, &w, &cfg, &MachineParams::bgl());
+        // The credit window now lives in the engine's per-node ledger,
+        // surfaced to the program through the NodeApi.
+        let mut ledger = bgl_sim::FlowLedger::new(bgl_sim::FlowSpec::Credit {
+            window_packets: 3,
+            credit_every: 1,
+        });
         let mut q = std::collections::VecDeque::new();
-        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
+        let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q).with_flow(&mut ledger);
         // On a line, every destination IS its own intermediate; pull sends
         // until the first window closes.
         let mut sent = 0;

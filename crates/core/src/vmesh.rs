@@ -21,6 +21,8 @@ use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
 const KIND_ROW: u8 = 1;
 /// Phase-2 (column) packet kind.
 const KIND_COL: u8 = 2;
+/// Credit-acknowledgement packet kind (credit-window pacing only).
+const KIND_CREDIT: u8 = 3;
 
 /// VMesh tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,9 +128,17 @@ impl VmeshProgram {
 }
 
 impl NodeProgram for VmeshProgram {
-    fn next_send(&mut self, _api: &mut NodeApi<'_>) -> Option<SendSpec> {
+    fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
         if !self.p1_done() {
             let dst = self.p1_targets[self.p1_idx];
+            // Under credit-window pacing, row receivers are the bounded
+            // intermediates: every row member bursts Pvy·m bytes at every
+            // other member at t=0, which is exactly the reception-memory
+            // blow-up that stalls full-coverage runs on large asymmetric
+            // tori. Reserve a credit or retry once acks return.
+            if !api.try_acquire_credit(dst) {
+                return None;
+            }
             let shape = self.p1_shapes[self.p1_pkt];
             let alpha = if self.p1_pkt == 0 {
                 self.alpha_sim_cycles
@@ -195,10 +205,31 @@ impl NodeProgram for VmeshProgram {
         })
     }
 
-    fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: &Packet) {
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
         match pkt.meta.kind {
-            KIND_ROW => self.got_p1_packets += 1,
+            KIND_ROW => {
+                // Credit packets never count toward `expect_p1_packets`:
+                // only real row data advances the phase-2 barrier.
+                self.got_p1_packets += 1;
+                if let Some(n) = api.credit_receipt(pkt.meta.a) {
+                    api.send(SendSpec {
+                        dst_rank: pkt.meta.a,
+                        chunks: 1,
+                        payload_bytes: 0,
+                        routing: RoutingMode::Adaptive,
+                        class: 0,
+                        meta: PacketMeta {
+                            kind: KIND_CREDIT,
+                            a: self.rank,
+                            b: n,
+                        },
+                        longest_first: false,
+                        cpu_cost_cycles: 0.0,
+                    });
+                }
+            }
             KIND_COL => {} // final delivery
+            KIND_CREDIT => api.apply_credit(pkt.meta.a, pkt.meta.b),
             other => panic!("VMesh received unknown packet kind {other}"),
         }
     }

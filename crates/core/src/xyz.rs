@@ -28,6 +28,12 @@ pub const CLASS_Z: u8 = 2;
 const KIND_X: u8 = 1;
 const KIND_Y: u8 = 2;
 const KIND_Z: u8 = 3;
+/// Credit-acknowledgement packet kind (credit-window pacing only).
+const KIND_CREDIT: u8 = 4;
+/// Kind-byte flag marking a source-leg packet that reserved a credit
+/// toward its first-hop intermediate; the intermediate acknowledges and
+/// forwards with the flag cleared (later legs hold no reservation).
+const FRESH: u8 = 0x80;
 
 /// Injection-FIFO class masks splitting the FIFOs across the three phases.
 pub fn xyz_inj_class_masks(fifo_count: u32) -> Vec<u8> {
@@ -130,9 +136,22 @@ impl NodeProgram for XyzProgram {
         };
         let (hop, class, kind) =
             Self::next_leg(&part, self.coord, dst).expect("schedule never includes self");
+        let hop_rank = part.rank_of(hop);
+        // Under credit-window pacing, reserve a credit toward the first-hop
+        // intermediate (not a final destination — those hold no forwarding
+        // memory) and mark the packet FRESH so the intermediate knows an
+        // acknowledgement is owed.
+        let kind = if hop_rank != dst_rank {
+            if !api.try_acquire_credit(hop_rank) {
+                return None;
+            }
+            kind | FRESH
+        } else {
+            kind
+        };
         self.advance();
         Some(SendSpec {
-            dst_rank: part.rank_of(hop),
+            dst_rank: hop_rank,
             chunks: shape.chunks,
             payload_bytes: shape.payload,
             routing: RoutingMode::Adaptive,
@@ -148,7 +167,31 @@ impl NodeProgram for XyzProgram {
     }
 
     fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
-        debug_assert!(matches!(pkt.meta.kind, KIND_X | KIND_Y | KIND_Z));
+        if pkt.meta.kind == KIND_CREDIT {
+            api.apply_credit(pkt.meta.a, pkt.meta.b);
+            return;
+        }
+        debug_assert!(matches!(pkt.meta.kind & !FRESH, KIND_X | KIND_Y | KIND_Z));
+        if pkt.meta.kind & FRESH != 0 {
+            // We are the source's first-hop intermediate: acknowledge its
+            // reservation once the quantum fills.
+            if let Some(n) = api.credit_receipt(pkt.meta.b) {
+                api.send(SendSpec {
+                    dst_rank: pkt.meta.b,
+                    chunks: 1,
+                    payload_bytes: 0,
+                    routing: RoutingMode::Adaptive,
+                    class: pkt.class,
+                    meta: PacketMeta {
+                        kind: KIND_CREDIT,
+                        a: self.rank,
+                        b: n,
+                    },
+                    longest_first: false,
+                    cpu_cost_cycles: 0.0,
+                });
+            }
+        }
         if pkt.meta.a == self.rank {
             return; // final delivery
         }

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--jobs N] [--csv|--json]
+//!              [--pacer none|rate:F|credit:W,E] [--credit W,E]
 //!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
 //! bglsim fit   --shape 8x8x8
 //! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
-//! bglsim validate [--tier quick|full] [--jobs N] [--bless]
+//! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json]
 //! ```
+//!
+//! Pacing: `--pacer` overrides every swept strategy's injection pacing —
+//! `none` strips it, `rate:F` throttles injection to `F×` the bisection-
+//! derived peak rate, `credit:W,E` bounds each intermediate's unacked
+//! window at `W` packets with acknowledgements every `E` (the `--credit
+//! W,E` shorthand is equivalent). `--pacer` and `--credit` together, a
+//! malformed spec, or pacing `auto` exit with status 2.
 //!
 //! Sweep points run across `--jobs` worker threads (default: all
 //! cores); results are identical for any thread count. `--json` emits
@@ -33,7 +41,7 @@ use bgl_harness::conformance::{run_validation, Tier};
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_model::MachineParams;
 use bgl_sim::SimConfig;
-use bgl_torus::{Dim, Partition, VmeshLayout};
+use bgl_torus::{Dim, Partition};
 use std::collections::HashMap;
 
 /// Print a one-line error and exit with the conventional usage status.
@@ -81,23 +89,100 @@ fn parse_shape(s: &str) -> Partition {
 
 fn strategy_by_name(name: &str) -> StrategyKind {
     match name.trim().to_ascii_lowercase().as_str() {
-        "ar" => StrategyKind::AdaptiveRandomized,
-        "dr" => StrategyKind::DeterministicRouted,
-        "mpi" => StrategyKind::MpiBaseline,
-        "throttle" | "thr" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-        "tps" => StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        "vmesh" | "vm" => StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        "xyz" => StrategyKind::XyzRouting,
+        "ar" => StrategyKind::ar(),
+        "dr" => StrategyKind::dr(),
+        "mpi" => StrategyKind::mpi(),
+        "throttle" | "thr" => StrategyKind::throttled(1.0),
+        "tps" => StrategyKind::tps(),
+        "vmesh" | "vm" => StrategyKind::vmesh(),
+        "xyz" => StrategyKind::xyz(),
         "auto" => StrategyKind::Auto,
         other => fail(&format!(
             "unknown strategy {other:?} (ar|dr|mpi|thr|tps|vmesh|xyz|auto)"
         )),
     }
+}
+
+/// Parse `--pacer none|rate:<factor>|credit:<window>,<every>`.
+fn parse_pacer(spec: &str) -> Pacer {
+    let s = spec.trim();
+    if s.eq_ignore_ascii_case("none") {
+        return Pacer::Unpaced;
+    }
+    if let Some(f) = s.strip_prefix("rate:") {
+        let factor = f
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|x| *x > 0.0 && x.is_finite())
+            .unwrap_or_else(|| fail(&format!("--pacer rate: needs a positive factor, got {f:?}")));
+        return Pacer::rate(factor);
+    }
+    if let Some(c) = s.strip_prefix("credit:") {
+        return parse_credit(c);
+    }
+    fail(&format!(
+        "--pacer must be none, rate:<factor> or credit:<window>,<every>, got {spec:?}"
+    ))
+}
+
+/// Parse the `--credit <window>,<every>` shorthand.
+fn parse_credit(spec: &str) -> Pacer {
+    let (w, e) = spec.split_once(',').unwrap_or_else(|| {
+        fail(&format!(
+            "credit pacing needs <window>,<every>, got {spec:?}"
+        ))
+    });
+    let window = w
+        .trim()
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "credit window must be a positive integer, got {w:?}"
+            ))
+        });
+    let every = e
+        .trim()
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "credit quantum must be a positive integer, got {e:?}"
+            ))
+        });
+    if every > window {
+        fail(&format!(
+            "credit quantum {every} must not exceed the window {window} \
+             (the receiver would never owe an acknowledgement)"
+        ));
+    }
+    Pacer::credit(window, every)
+}
+
+/// Resolve the sweep's pacer flags: `--pacer` and `--credit` conflict,
+/// and `auto` picks its own pacing so an explicit pacer is an error.
+fn apply_pacer_flags(
+    flags: &HashMap<String, String>,
+    strategies: Vec<StrategyKind>,
+) -> Vec<StrategyKind> {
+    let pacer = match (flags.get("pacer"), flags.get("credit")) {
+        (Some(_), Some(_)) => fail("--pacer and --credit conflict; pass exactly one"),
+        (Some(p), None) => parse_pacer(p),
+        (None, Some(c)) => parse_credit(c),
+        (None, None) => return strategies,
+    };
+    strategies
+        .into_iter()
+        .map(|s| {
+            if matches!(s, StrategyKind::Auto) {
+                fail("--pacer/--credit cannot apply to strategy \"auto\"; name a strategy");
+            }
+            s.with_pacer(pacer)
+        })
+        .collect()
 }
 
 fn cmd_sweep(flags: &HashMap<String, String>) {
@@ -110,6 +195,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
         .split(',')
         .map(strategy_by_name)
         .collect();
+    let strategies = apply_pacer_flags(flags, strategies);
     let sizes: Vec<u64> = flags
         .get("sizes")
         .map(String::as_str)
@@ -333,6 +419,11 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     }
     let report = run_validation(&runner, tier, flags.contains_key("bless"));
     print!("{}", report.render());
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| fail(&format!("--out: cannot write {path:?}: {e}")));
+        eprintln!("bglsim: wrote check results to {path}");
+    }
     if report.failures() > 0 {
         std::process::exit(1);
     }
@@ -351,6 +442,8 @@ fn main() {
                 "sizes",
                 "coverage",
                 "jobs",
+                "pacer",
+                "credit",
                 "trace-interval",
                 "trace-out",
             ],
@@ -358,16 +451,17 @@ fn main() {
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(rest, &["shape", "pattern", "m"], &[])),
-        "validate" => cmd_validate(&parse_flags(rest, &["tier", "jobs"], &["bless"])),
+        "validate" => cmd_validate(&parse_flags(rest, &["tier", "jobs", "out"], &["bless"])),
         _ => {
             eprintln!("usage: bglsim sweep|fit|pattern|validate [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
+            eprintln!("          [--pacer none|rate:F|credit:W,E] [--credit W,E]");
             eprintln!(
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
             eprintln!("  fit     --shape 8x8x8");
             eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
-            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless]");
+            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json]");
             std::process::exit(2);
         }
     }

@@ -64,17 +64,12 @@ fn main() {
     let strategies: Vec<StrategyKind> = strats
         .split(',')
         .map(|s| match s.trim() {
-            "AR" => StrategyKind::AdaptiveRandomized,
-            "DR" => StrategyKind::DeterministicRouted,
-            "TPS" => StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            },
-            "VM" => StrategyKind::VirtualMesh {
-                layout: bgl_torus::VmeshLayout::Auto,
-            },
-            "THR" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-            "MPI" => StrategyKind::MpiBaseline,
+            "AR" => StrategyKind::ar(),
+            "DR" => StrategyKind::dr(),
+            "TPS" => StrategyKind::tps(),
+            "VM" => StrategyKind::vmesh_with(bgl_torus::VmeshLayout::Auto),
+            "THR" => StrategyKind::throttled(1.0),
+            "MPI" => StrategyKind::mpi(),
             other => fail(&format!(
                 "unknown strategy {other:?} (AR|DR|TPS|VM|THR|MPI)"
             )),

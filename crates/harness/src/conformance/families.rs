@@ -15,8 +15,8 @@
 
 use super::{CheckResult, Tier};
 use crate::runner::{RunPoint, Runner};
-use bgl_core::StrategyKind;
-use bgl_torus::{Partition, VmeshLayout};
+use bgl_core::{Pacer, StrategyKind};
+use bgl_torus::Partition;
 
 /// Variant label for the invariant-checked runs the grid is made of.
 pub const INVARIANTS: &str = "invariants";
@@ -24,24 +24,30 @@ pub const INVARIANTS: &str = "invariants";
 pub const INVARIANTS_FULL_SCAN: &str = "invariants-fullscan";
 
 fn ar() -> StrategyKind {
-    StrategyKind::AdaptiveRandomized
+    StrategyKind::ar()
 }
 fn dr() -> StrategyKind {
-    StrategyKind::DeterministicRouted
+    StrategyKind::dr()
 }
 fn thr() -> StrategyKind {
-    StrategyKind::ThrottledAdaptive { factor: 1.0 }
+    StrategyKind::throttled(1.0)
 }
 fn tps() -> StrategyKind {
-    StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    }
+    StrategyKind::tps()
 }
 fn vmesh() -> StrategyKind {
-    StrategyKind::VirtualMesh {
-        layout: VmeshLayout::Auto,
-    }
+    StrategyKind::vmesh()
+}
+
+/// VMesh with the stop-and-wait credit window that keeps a full-coverage
+/// exchange live on the paper's 4096-node 8x32x16: each phase-1 row
+/// message there is two packets, so any window ≥ 2 never closes and the
+/// unpaced burst of 127 concurrent row messages per node wedges the
+/// dynamic-VC FIFOs (~390 k frozen packets). A window of one packet per
+/// intermediate serializes each row hand-off behind its ack and the
+/// exchange completes — still ~3× faster than TPS at 8 B.
+fn vmesh_paced() -> StrategyKind {
+    StrategyKind::vmesh().with_pacer(Pacer::credit(1, 1))
 }
 
 /// A budgeted point with the invariant oracle enabled.
@@ -96,25 +102,23 @@ struct Grid {
     vm_small: u64,
     vm_large: u64,
     /// §7.5 three-strategy short-message shape (Figure 7). VMesh runs at
-    /// full coverage here, so the shape must keep a full combining
-    /// exchange tractable (see the stall note on [`grid`]).
+    /// full coverage here.
     vm_tri: &'static str,
-    /// §7.5 full-tier only: the paper's 4096-node Figure-7 shape, where
-    /// TPS beats AR at 8 B (AR and TPS run budget-sampled).
-    tps_rescue_8b: Option<&'static str>,
+    /// §7.5 full-tier only: the paper's 4096-node Figure-7 shape. VMesh
+    /// runs full-coverage under the stop-and-wait credit window (see
+    /// [`vmesh_paced`]); AR and TPS run budget-sampled.
+    vm_tri_4096: Option<&'static str>,
 }
 
 /// The tier grids.
 ///
-/// Known limitation, found by this suite: a full-coverage VMesh exchange
-/// on the paper's 4096-node 8x32x16 stalls the simulated network
-/// (watchdog: ~390 k live packets frozen near cycle 200 k) — the unpaced
-/// phase-1 burst of 63 combined messages per node wedges the dynamic-VC
-/// FIFOs. VMesh cannot be destination-sampled (a combined message carries
-/// a whole column's data), so the three-strategy Figure-7 comparison runs
-/// on the 1024-node 8x16x8 instead, and the 4096-node shape contributes
-/// the budget-sampled TPS-vs-AR half of the ordering. Tracked in
-/// ROADMAP.md; EXPERIMENTS.md has the stall diagnostics.
+/// The full tier checks the Figure-7 three-way ordering on both the
+/// 1024-node 8x16x8 (everything full-speed) and the paper's 4096-node
+/// 8x32x16, where the full-coverage VMesh exchange needs the credit
+/// pacer to stay live — an earlier revision of this suite documented the
+/// unpaced stall (~390 k frozen packets) as a known limitation; the
+/// flow-control layer closed it (EXPERIMENTS.md §Flow control & pacing
+/// has the before/after).
 fn grid(tier: Tier) -> Grid {
     match tier {
         Tier::Quick => Grid {
@@ -129,7 +133,7 @@ fn grid(tier: Tier) -> Grid {
             vm_small: 8,
             vm_large: 256,
             vm_tri: "4x8x4",
-            tps_rescue_8b: None,
+            vm_tri_4096: None,
         },
         Tier::Full => Grid {
             sym_ladder: ["8", "8x8", "8x8x8"],
@@ -143,7 +147,7 @@ fn grid(tier: Tier) -> Grid {
             vm_small: 8,
             vm_large: 256,
             vm_tri: "8x16x8",
-            tps_rescue_8b: Some("8x32x16"),
+            vm_tri_4096: Some("8x32x16"),
         },
     }
 }
@@ -209,7 +213,8 @@ pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
     for s in [ar(), tps()] {
         pts.push(checked(runner, g.vm_tri, &s, g.vm_small));
     }
-    if let Some(shape) = g.tps_rescue_8b {
+    if let Some(shape) = g.vm_tri_4096 {
+        pts.push(checked_full_cov(shape, &vmesh_paced(), g.vm_small));
         pts.push(checked(runner, shape, &ar(), g.vm_small));
         pts.push(checked(runner, shape, &tps(), g.vm_small));
     }
@@ -438,8 +443,8 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
     let tri_tps = f.ms(g.vm_tri, &tps(), g.vm_small);
     // TPS's forwarding overhead amortizes only at the paper's 4096-node
     // scale, so "VMesh fastest" is the stable assertion on this shape;
-    // the TPS-vs-AR half of the Figure-7 ordering is checked on the
-    // 4096-node shape below (where VMesh itself stalls — see `grid`).
+    // the full three-way ordering (VMesh < TPS < AR) is asserted on the
+    // 4096-node shape below.
     out.push(CheckResult::new(
         fam,
         format!("{} B ordering on {}", g.vm_small, g.vm_tri),
@@ -447,15 +452,16 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
         format!("VMesh {tri_vm:.3} ms, TPS {tri_tps:.3} ms, AR {tri_ar:.3} ms"),
         "VMesh fastest",
     ));
-    if let Some(shape) = g.tps_rescue_8b {
-        let rescue_ar = f.ms(shape, &ar(), g.vm_small);
-        let rescue_tps = f.ms(shape, &tps(), g.vm_small);
+    if let Some(shape) = g.vm_tri_4096 {
+        let big_vm = f.ms_full(shape, &vmesh_paced(), g.vm_small);
+        let big_ar = f.ms(shape, &ar(), g.vm_small);
+        let big_tps = f.ms(shape, &tps(), g.vm_small);
         out.push(CheckResult::new(
             fam,
-            format!("TPS beats AR at {} B on {}", g.vm_small, shape),
-            rescue_tps < rescue_ar,
-            format!("TPS {rescue_tps:.3} ms vs AR {rescue_ar:.3} ms"),
-            "forwarding wins over collapsed AR at 4096 nodes",
+            format!("{} B Figure-7 ordering on {}", g.vm_small, shape),
+            big_vm < big_tps && big_tps < big_ar,
+            format!("VMesh {big_vm:.3} ms, TPS {big_tps:.3} ms, AR {big_ar:.3} ms"),
+            "VMesh (credit-paced, full coverage) < TPS < AR at 4096 nodes",
         ));
     }
 

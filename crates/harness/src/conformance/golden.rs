@@ -17,9 +17,8 @@
 
 use super::CheckResult;
 use crate::runner::{RunKey, RunPoint, Runner};
-use bgl_core::StrategyKind;
+use bgl_core::{Pacer, StrategyKind};
 use bgl_sim::NetStats;
-use bgl_torus::VmeshLayout;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -35,25 +34,29 @@ fn grid() -> Vec<RunPoint> {
         RunPoint::new(shape.parse().expect("valid shape"), strategy, m, 1.0)
     };
     vec![
-        pt("4x4", StrategyKind::AdaptiveRandomized, 240),
-        pt("4x2x2", StrategyKind::DeterministicRouted, 240),
+        pt("4x4", StrategyKind::ar(), 240),
+        pt("4x2x2", StrategyKind::dr(), 240),
+        pt("8", StrategyKind::tps(), 64),
+        pt("4x4x4", StrategyKind::vmesh(), 8),
+        pt("4x4", StrategyKind::throttled(1.0), 240),
+        pt("3x3x2", StrategyKind::xyz(), 64),
+        // Paced points pin the flow-control layer itself: a credit
+        // window on each forwarding class (TPS acks every other packet,
+        // VMesh stop-and-wait as on the 8x32x16), so drift in the
+        // ledger or ack path moves these fingerprints even when the
+        // unpaced grid is untouched. TPS needs a 3-D shape here — on a
+        // line partition it never forwards, so the ledger stays idle
+        // and the paced fingerprint would collapse into the unpaced one.
         pt(
-            "8",
-            StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            },
+            "4x2x2",
+            StrategyKind::tps().with_pacer(Pacer::credit(4, 2)),
             64,
         ),
         pt(
             "4x4x4",
-            StrategyKind::VirtualMesh {
-                layout: VmeshLayout::Auto,
-            },
+            StrategyKind::vmesh().with_pacer(Pacer::credit(1, 1)),
             8,
         ),
-        pt("4x4", StrategyKind::ThrottledAdaptive { factor: 1.0 }, 240),
-        pt("3x3x2", StrategyKind::XyzRouting, 64),
     ]
 }
 
@@ -82,7 +85,16 @@ fn hex(fp: u64) -> String {
 }
 
 fn label(key: &RunKey) -> String {
-    format!("{} {} m={}", key.part, key.strategy.name(), key.m)
+    // `name()` already folds the rate window in ("AR-throttled"); spell
+    // out credit windows so the paced and unpaced rows stay tellable
+    // apart in the rendered table.
+    let pacer = match key.strategy.pacer() {
+        Pacer::CreditWindow { credit } => {
+            format!(" credit:{},{}", credit.window_packets, credit.credit_every)
+        }
+        _ => String::new(),
+    };
+    format!("{} {}{} m={}", key.part, key.strategy.name(), pacer, key.m)
 }
 
 fn load(path: &Path) -> Result<HashMap<RunKey, String>, String> {

@@ -77,7 +77,7 @@ impl Tier {
 /// One machine-checked conformance assertion: which §7 family it belongs
 /// to, what it asserts, and the measured-vs-expected shape rendered for
 /// the report (and for diagnosing a FAIL without re-running anything).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct CheckResult {
     /// Family id, e.g. `"F2 dr-orientation"`.
     pub family: &'static str,
@@ -123,6 +123,31 @@ impl ValidationReport {
     /// Number of failed checks.
     pub fn failures(&self) -> usize {
         self.results.iter().filter(|r| !r.passed).count()
+    }
+
+    /// The machine-readable form: tier, per-check results, and the
+    /// summary counts. `bglsim validate --out FILE` writes this so CI can
+    /// archive the full check table alongside the rendered log.
+    pub fn to_json(&self) -> String {
+        let doc = serde_json::Value::Object(vec![
+            (
+                "tier".to_string(),
+                serde_json::Value::Str(self.tier.name().to_string()),
+            ),
+            (
+                "checks".to_string(),
+                serde_json::Value::U64(self.results.len() as u64),
+            ),
+            (
+                "failures".to_string(),
+                serde_json::Value::U64(self.failures() as u64),
+            ),
+            (
+                "results".to_string(),
+                serde::Serialize::to_value(&self.results),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("serialize validation report")
     }
 
     /// Render the aligned PASS/FAIL table plus a summary line.

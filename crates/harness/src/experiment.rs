@@ -78,30 +78,17 @@ impl ExperimentReport {
         out
     }
 
-    /// Render as CSV with RFC 4180 quoting: cells containing commas,
-    /// quotes, or line breaks are wrapped in double quotes with inner
-    /// quotes doubled, so no cell content is ever altered.
+    /// Render as CSV with RFC 4180 quoting (shared writer in
+    /// [`bgl_sim::csv`]): cells containing commas, quotes, or line breaks
+    /// are wrapped in double quotes with inner quotes doubled, so no cell
+    /// content is ever altered. Rows end in a bare `\n` (the simulator's
+    /// trace export keeps RFC 4180's CRLF; both parse back with
+    /// [`bgl_sim::csv::parse`]).
     pub fn to_csv(&self) -> String {
-        let quote = |s: &str| -> String {
-            if s.contains([',', '"', '\n', '\r']) {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .columns
-                .iter()
-                .map(|c| quote(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
+        bgl_sim::csv::push_row(&mut out, self.columns.iter().map(String::as_str), "\n");
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
-            out.push('\n');
+            bgl_sim::csv::push_row(&mut out, row.iter().map(String::as_str), "\n");
         }
         out
     }
@@ -163,5 +150,44 @@ mod tests {
         let mut r = ExperimentReport::new("t", "s", &["m (B)"]);
         r.push_row(vec!["8x8x8".into()]);
         assert_eq!(r.to_csv(), "m (B)\n8x8x8\n");
+    }
+
+    /// Cells over a charset stacked with CSV specials (commas, quotes,
+    /// CR, LF, Unicode) — the adversarial inputs for RFC-4180 quoting.
+    fn cell_strategy() -> impl proptest::strategy::Strategy<Value = String> {
+        use proptest::strategy::Strategy as _;
+        const CHARS: [char; 9] = ['a', 'z', '0', ' ', ',', '"', '\r', '\n', 'é'];
+        proptest::collection::vec(0usize..CHARS.len(), 0..9)
+            .prop_map(|idxs| idxs.into_iter().map(|i| CHARS[i]).collect())
+    }
+
+    proptest::proptest! {
+        /// Any cell content — commas, quotes, CR/LF, Unicode — survives
+        /// the shared writer/parser pair exactly, through the report's
+        /// LF-terminated rendering. (The CRLF-terminated trace export is
+        /// covered by the same pairing in `bgl-sim`'s csv_roundtrip.)
+        #[test]
+        fn csv_parses_back_verbatim(
+            header in proptest::collection::vec(cell_strategy(), 1..4),
+            body in proptest::collection::vec(cell_strategy(), 1..13),
+        ) {
+            let width = header.len();
+            let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut r = ExperimentReport::new("t", "s", &cols);
+            for chunk_start in (0..body.len()).step_by(width) {
+                let mut row: Vec<String> =
+                    body[chunk_start..(chunk_start + width).min(body.len())].to_vec();
+                row.resize(width, String::new());
+                // A single empty cell renders as a blank line, which the
+                // dialect (like RFC 4180) cannot distinguish from no row.
+                if width == 1 && row[0].is_empty() {
+                    continue;
+                }
+                r.push_row(row);
+            }
+            let parsed = bgl_sim::csv::parse(&r.to_csv());
+            proptest::prop_assert_eq!(&parsed[0], &header);
+            proptest::prop_assert_eq!(&parsed[1..], &r.rows[..]);
+        }
     }
 }

@@ -16,7 +16,7 @@
 use crate::experiment::ExperimentReport;
 use crate::experiments::pct;
 use crate::runner::{RunPoint, Runner, Scale};
-use bgl_core::{CreditConfig, StrategyKind};
+use bgl_core::{CreditConfig, Pacer, StrategyKind};
 use bgl_sim::SimConfig;
 use bgl_torus::Partition;
 use std::sync::Arc;
@@ -58,15 +58,11 @@ impl Case {
 
 /// The budgeted sweep on the scale-dependent asymmetric testbed.
 fn budget_cases() -> Vec<Case> {
-    let ar = StrategyKind::AdaptiveRandomized;
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
-    let tps_credit = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: Some(CreditConfig::default()),
-    };
+    let ar = StrategyKind::ar();
+    let tps = StrategyKind::tps();
+    let tps_credit = StrategyKind::tps().with_pacer(Pacer::CreditWindow {
+        credit: CreditConfig::default(),
+    });
     vec![
         Case::new("baseline", ar.clone(), tweak(|_| {})),
         Case::new(
@@ -114,7 +110,7 @@ fn budget_cases() -> Vec<Case> {
         // The HPCC-Randomaccess-style three-phase scheme the paper argues
         // TPS beats ("gains from lower overheads as it has only one
         // forwarding phase"): two software forwarding hops instead of one.
-        Case::new("xyz-three-phase", StrategyKind::XyzRouting, tweak(|_| {})),
+        Case::new("xyz-three-phase", StrategyKind::xyz(), tweak(|_| {})),
     ]
 }
 
@@ -123,7 +119,7 @@ fn budget_cases() -> Vec<Case> {
 /// longest-first mitigation, and the textbook deadlock (no bubble slack,
 /// tight VC FIFOs) all need the full pressure to show at small scale.
 fn pinned_cases() -> Vec<Case> {
-    let ar = StrategyKind::AdaptiveRandomized;
+    let ar = StrategyKind::ar();
     let mut cases: Vec<Case> = [
         ("pinned-baseline (full AA 8x4x4)", false),
         ("pinned-shaped (full AA 8x4x4)", true),

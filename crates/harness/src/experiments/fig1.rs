@@ -23,7 +23,7 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
     sizes(runner.scale)
         .iter()
-        .map(|&m| runner.point(SHAPE, &StrategyKind::AdaptiveRandomized, m))
+        .map(|&m| runner.point(SHAPE, &StrategyKind::ar(), m))
         .collect()
 }
 
@@ -51,7 +51,7 @@ pub(crate) fn ar_vs_model(
     for &m in sizes {
         let t_model = direct::aa_direct_time_secs(&part, m, &params) * 1e3;
         let t_peak = peak::aa_peak_time_secs(&part, m, &params) * 1e3;
-        match runner.aa(shape, &StrategyKind::AdaptiveRandomized, m) {
+        match runner.aa(shape, &StrategyKind::ar(), m) {
             Ok(r) => {
                 let t_meas = r.time_secs * 1e3 / r.workload.coverage;
                 rep.push_row(vec![

@@ -26,7 +26,7 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
     sizes(runner.scale)
         .iter()
-        .map(|&m| runner.point(shape(runner.scale), &StrategyKind::AdaptiveRandomized, m))
+        .map(|&m| runner.point(shape(runner.scale), &StrategyKind::ar(), m))
         .collect()
 }
 

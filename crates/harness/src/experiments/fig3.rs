@@ -25,7 +25,7 @@ pub const ONE_PACKET_M: u64 = 192;
 
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
-    let ar = StrategyKind::AdaptiveRandomized;
+    let ar = StrategyKind::ar();
     shapes(runner.scale)
         .iter()
         .flat_map(|shape| {
@@ -56,8 +56,8 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         let part: Partition = shape.parse().unwrap();
         let m_large = runner.large_m_for(&part);
         let peak_bw = peak::peak_per_node_bandwidth(&part, &runner.params) / 1e6;
-        let one = runner.aa(shape, &StrategyKind::AdaptiveRandomized, ONE_PACKET_M);
-        let large = runner.aa(shape, &StrategyKind::AdaptiveRandomized, m_large);
+        let one = runner.aa(shape, &StrategyKind::ar(), ONE_PACKET_M);
+        let large = runner.aa(shape, &StrategyKind::ar(), m_large);
         let fmt_bw = |r: &Result<bgl_core::AaReport, bgl_sim::SimError>| match r {
             Ok(r) => format!("{:.1}", r.per_node_bandwidth / 1e6),
             Err(e) => format!("ERROR: {e}"),

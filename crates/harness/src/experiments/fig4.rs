@@ -9,9 +9,9 @@ use bgl_core::StrategyKind;
 /// The three direct strategies this figure compares.
 fn strategies() -> [StrategyKind; 3] {
     [
-        StrategyKind::AdaptiveRandomized,
-        StrategyKind::DeterministicRouted,
-        StrategyKind::ThrottledAdaptive { factor: 1.0 },
+        StrategyKind::ar(),
+        StrategyKind::dr(),
+        StrategyKind::throttled(1.0),
     ]
 }
 
@@ -50,9 +50,9 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         };
         rep.push_row(vec![
             shape.to_string(),
-            cell(&StrategyKind::AdaptiveRandomized),
-            cell(&StrategyKind::DeterministicRouted),
-            cell(&StrategyKind::ThrottledAdaptive { factor: 1.0 }),
+            cell(&StrategyKind::ar()),
+            cell(&StrategyKind::dr()),
+            cell(&StrategyKind::throttled(1.0)),
         ]);
     }
     rep.note("DR is best when X is the longest dimension (packets start on the bottleneck links)");

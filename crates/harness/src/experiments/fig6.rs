@@ -4,7 +4,6 @@
 use crate::experiment::ExperimentReport;
 use crate::runner::{RunPoint, Runner, Scale};
 use bgl_core::StrategyKind;
-use bgl_torus::VmeshLayout;
 
 /// The partition (shrunk for quick scale).
 pub fn shape(scale: Scale) -> &'static str {
@@ -25,10 +24,8 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
     let shape = shape(runner.scale);
-    let vmesh = StrategyKind::VirtualMesh {
-        layout: VmeshLayout::Auto,
-    };
-    let ar = StrategyKind::AdaptiveRandomized;
+    let vmesh = StrategyKind::vmesh();
+    let ar = StrategyKind::ar();
     sizes(runner.scale)
         .iter()
         .flat_map(|&m| [runner.point(shape, &vmesh, m), runner.point(shape, &ar, m)])
@@ -44,10 +41,8 @@ pub fn run(runner: &Runner) -> ExperimentReport {
         &["m (B)", "VMesh ms", "AR ms", "AR/VMesh", "winner"],
     );
     let shape = shape(runner.scale);
-    let vmesh = StrategyKind::VirtualMesh {
-        layout: VmeshLayout::Auto,
-    };
-    let ar = StrategyKind::AdaptiveRandomized;
+    let vmesh = StrategyKind::vmesh();
+    let ar = StrategyKind::ar();
     for m in sizes(runner.scale) {
         let v = runner.aa(shape, &vmesh, m);
         let a = runner.aa(shape, &ar, m);

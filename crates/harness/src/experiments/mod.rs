@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod flow_ablation;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -31,6 +32,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig6",
     "fig7",
     "ablations",
+    "flow",
 ];
 
 /// The simulation points one experiment needs, by id. Feeding these to
@@ -51,6 +53,7 @@ pub fn points_by_id(runner: &Runner, id: &str) -> Option<Vec<RunPoint>> {
         "fig6" => fig6::points(runner),
         "fig7" => fig7::points(runner),
         "ablations" => ablations::points(runner),
+        "flow" => flow_ablation::points(runner),
         _ => return None,
     })
 }
@@ -70,6 +73,7 @@ pub fn run_by_id(runner: &Runner, id: &str) -> Option<ExperimentReport> {
         "fig6" => fig6::run(runner),
         "fig7" => fig7::run(runner),
         "ablations" => ablations::run(runner),
+        "flow" => flow_ablation::run(runner),
         _ => return None,
     })
 }

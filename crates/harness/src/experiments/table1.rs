@@ -21,7 +21,7 @@ pub fn points(runner: &Runner) -> Vec<RunPoint> {
         .iter()
         .map(|shape| {
             let m = runner.large_m_for(&shape.parse().unwrap());
-            runner.point(shape, &StrategyKind::AdaptiveRandomized, m)
+            runner.point(shape, &StrategyKind::ar(), m)
         })
         .collect()
 }
@@ -47,7 +47,7 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             .find(|(s, _)| *s == shape)
             .map(|(_, v)| pct(*v))
             .unwrap_or_else(|| "-".into());
-        match runner.aa(shape, &StrategyKind::AdaptiveRandomized, m) {
+        match runner.aa(shape, &StrategyKind::ar(), m) {
             Ok(r) => rep.push_row(vec![
                 shape.to_string(),
                 pct(r.percent_of_peak),

@@ -18,10 +18,7 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
 
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
-    let strategy = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let strategy = StrategyKind::tps();
     shapes(runner.scale)
         .iter()
         .map(|shape| {
@@ -47,10 +44,7 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             "coverage",
         ],
     );
-    let strategy = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
+    let strategy = StrategyKind::tps();
     for shape in shapes(runner.scale) {
         let part: Partition = shape.parse().unwrap();
         let m = runner.large_m_for(&part);

@@ -19,11 +19,8 @@ pub fn shapes(scale: Scale) -> Vec<&'static str> {
 
 /// Declare every simulation point this experiment needs.
 pub fn points(runner: &Runner) -> Vec<RunPoint> {
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
-    let ar = StrategyKind::AdaptiveRandomized;
+    let tps = StrategyKind::tps();
+    let ar = StrategyKind::ar();
     shapes(runner.scale)
         .iter()
         .flat_map(|shape| [runner.point(shape, &tps, 1), runner.point(shape, &ar, 1)])
@@ -45,11 +42,8 @@ pub fn run(runner: &Runner) -> ExperimentReport {
             "TPS/AR (sim)",
         ],
     );
-    let tps = StrategyKind::TwoPhaseSchedule {
-        linear: None,
-        credit: None,
-    };
-    let ar = StrategyKind::AdaptiveRandomized;
+    let tps = StrategyKind::tps();
+    let ar = StrategyKind::ar();
     for shape in shapes(runner.scale) {
         let (p_tps, p_ar) = TABLE4_LATENCY_MS
             .iter()

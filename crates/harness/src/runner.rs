@@ -469,6 +469,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgl_core::Pacer;
 
     #[test]
     fn budget_coverage_full_for_small() {
@@ -491,8 +492,8 @@ mod tests {
     #[test]
     fn cache_hits_return_identical_reports() {
         let r = Runner::new(Scale::Quick);
-        let a = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
-        let b = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
+        let a = r.aa("4x4", &StrategyKind::ar(), 240).unwrap();
+        let b = r.aa("4x4", &StrategyKind::ar(), 240).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(r.cached_runs(), 1);
     }
@@ -501,46 +502,22 @@ mod tests {
     fn variants_do_not_collide() {
         let r = Runner::new(Scale::Quick);
         let base = r
-            .aa_variant(
-                "4x4",
-                &StrategyKind::AdaptiveRandomized,
-                240,
-                1.0,
-                "",
-                |_| {},
-            )
+            .aa_variant("4x4", &StrategyKind::ar(), 240, 1.0, "", |_| {})
             .unwrap();
         let tweaked = r
-            .aa_variant(
-                "4x4",
-                &StrategyKind::AdaptiveRandomized,
-                240,
-                1.0,
-                "vc8",
-                |c| c.router.vc_fifo_chunks = 8,
-            )
+            .aa_variant("4x4", &StrategyKind::ar(), 240, 1.0, "vc8", |c| {
+                c.router.vc_fifo_chunks = 8
+            })
             .unwrap();
         assert_eq!(r.cached_runs(), 2);
         // Each label re-fetches its own cached result.
         let base2 = r
-            .aa_variant(
-                "4x4",
-                &StrategyKind::AdaptiveRandomized,
-                240,
-                1.0,
-                "",
-                |_| {},
-            )
+            .aa_variant("4x4", &StrategyKind::ar(), 240, 1.0, "", |_| {})
             .unwrap();
         let tweaked2 = r
-            .aa_variant(
-                "4x4",
-                &StrategyKind::AdaptiveRandomized,
-                240,
-                1.0,
-                "vc8",
-                |c| c.router.vc_fifo_chunks = 8,
-            )
+            .aa_variant("4x4", &StrategyKind::ar(), 240, 1.0, "vc8", |c| {
+                c.router.vc_fifo_chunks = 8
+            })
             .unwrap();
         assert_eq!(base.cycles, base2.cycles);
         assert_eq!(tweaked.cycles, tweaked2.cycles);
@@ -551,9 +528,7 @@ mod tests {
     #[test]
     fn quick_scale_is_cheap() {
         let r = Runner::new(Scale::Quick);
-        let rep = r
-            .aa("8x8x8", &StrategyKind::AdaptiveRandomized, 912)
-            .unwrap();
+        let rep = r.aa("8x8x8", &StrategyKind::ar(), 912).unwrap();
         // Budgeted coverage keeps the run small.
         assert!(rep.workload.coverage < 1.0);
     }
@@ -568,10 +543,10 @@ mod tests {
         fn quantize_coverage_round_trips(ppm in 1u32..=COVERAGE_PPM_FULL) {
             let part: Partition = "4x4".parse().unwrap();
             let coverage = ppm as f64 / COVERAGE_PPM_FULL as f64;
-            let key = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, coverage);
+            let key = RunKey::new(part, StrategyKind::ar(), 240, coverage);
             proptest::prop_assert_eq!(key.coverage_ppm, ppm);
             let rekeyed =
-                RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, key.coverage());
+                RunKey::new(part, StrategyKind::ar(), 240, key.coverage());
             proptest::prop_assert_eq!(&rekeyed, &key);
         }
 
@@ -593,7 +568,7 @@ mod tests {
         #[test]
         fn runkey_serde_round_trips(
             shape_i in 0usize..4,
-            strat_i in 0usize..5,
+            strat_i in 0usize..9,
             variant_i in 0usize..3,
             m in 1u64..100_000,
             ppm in 1u32..=COVERAGE_PPM_FULL,
@@ -601,11 +576,17 @@ mod tests {
         ) {
             let shapes = ["4x4", "8x4x4", "8", "3x3x2"];
             let strategies = [
-                StrategyKind::AdaptiveRandomized,
-                StrategyKind::DeterministicRouted,
-                StrategyKind::ThrottledAdaptive { factor: 1.25 },
-                StrategyKind::TwoPhaseSchedule { linear: None, credit: None },
+                // The legacy wire forms (bare names, ThrottledAdaptive,
+                // TPS's `credit` field) plus every pacer attachment.
+                StrategyKind::ar(),
+                StrategyKind::dr(),
+                StrategyKind::throttled(1.25),
+                StrategyKind::tps(),
                 StrategyKind::Auto,
+                StrategyKind::tps().with_pacer(Pacer::credit(12, 3)),
+                StrategyKind::tps().with_pacer(Pacer::rate(0.75)),
+                StrategyKind::vmesh().with_pacer(Pacer::credit(4, 2)),
+                StrategyKind::xyz().with_pacer(Pacer::rate(1.5)),
             ];
             let key = RunKey {
                 part: shapes[shape_i].parse().unwrap(),
@@ -632,8 +613,8 @@ mod tests {
     #[test]
     fn keys_quantize_coverage_to_ppm() {
         let part: Partition = "4x4".parse().unwrap();
-        let a = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, 0.2500004);
-        let b = RunKey::new(part, StrategyKind::AdaptiveRandomized, 240, 0.2499996);
+        let a = RunKey::new(part, StrategyKind::ar(), 240, 0.2500004);
+        let b = RunKey::new(part, StrategyKind::ar(), 240, 0.2499996);
         // Sub-ppm noise maps to the same key — and the same workload.
         assert_eq!(a, b);
         assert_eq!(a.coverage_ppm, 250_000);
@@ -644,25 +625,21 @@ mod tests {
     #[test]
     fn run_points_dedups_and_fills_cache() {
         let r = Runner::new(Scale::Quick).with_jobs(2);
-        let p1 = r.point("4x4", &StrategyKind::AdaptiveRandomized, 240);
-        let p2 = r.point("4x4", &StrategyKind::AdaptiveRandomized, 240);
-        let p3 = r.point("4x4", &StrategyKind::DeterministicRouted, 240);
+        let p1 = r.point("4x4", &StrategyKind::ar(), 240);
+        let p2 = r.point("4x4", &StrategyKind::ar(), 240);
+        let p3 = r.point("4x4", &StrategyKind::dr(), 240);
         r.run_points(&[p1.clone(), p2, p3]);
         assert_eq!(r.cached_runs(), 2);
         // The sequential fetch is now a pure cache hit.
         let warm = r.report(&p1).unwrap();
-        let direct = r.aa("4x4", &StrategyKind::AdaptiveRandomized, 240).unwrap();
+        let direct = r.aa("4x4", &StrategyKind::ar(), 240).unwrap();
         assert_eq!(warm.cycles, direct.cycles);
         assert_eq!(r.cached_runs(), 2);
     }
 
     #[test]
     fn parallel_and_serial_results_match() {
-        let strategies = [
-            StrategyKind::AdaptiveRandomized,
-            StrategyKind::DeterministicRouted,
-            StrategyKind::XyzRouting,
-        ];
+        let strategies = [StrategyKind::ar(), StrategyKind::dr(), StrategyKind::xyz()];
         let serial = Runner::new(Scale::Quick).with_jobs(1);
         let parallel = Runner::new(Scale::Quick).with_jobs(4);
         for r in [&serial, &parallel] {
@@ -681,7 +658,7 @@ mod tests {
     fn errors_are_cached_too() {
         let r = Runner::new(Scale::Quick);
         let point = r
-            .point("4x4", &StrategyKind::AdaptiveRandomized, 240)
+            .point("4x4", &StrategyKind::ar(), 240)
             .variant("deadlock", |c| {
                 c.router.bubble_slack_chunks = 0;
                 c.router.vc_fifo_chunks = 32;

@@ -193,7 +193,7 @@ mod tests {
     fn traced_report() -> AaReport {
         let part: Partition = "4x4".parse().unwrap();
         AaRun::builder(part, AaWorkload::full(240))
-            .strategy(StrategyKind::AdaptiveRandomized)
+            .strategy(StrategyKind::ar())
             .sim(|c| {
                 c.trace = Some(TraceConfig::every(200));
                 c.detailed_link_stats = true;
@@ -217,7 +217,7 @@ mod tests {
     fn report_without_trace_suggests_flag() {
         let part: Partition = "4x4".parse().unwrap();
         let report = AaRun::builder(part, AaWorkload::full(240))
-            .strategy(StrategyKind::AdaptiveRandomized)
+            .strategy(StrategyKind::ar())
             .run()
             .unwrap();
         let text = render_run_report(&report);
@@ -228,10 +228,7 @@ mod tests {
     fn tps_report_shows_phase_spans() {
         let part: Partition = "4x2x2".parse().unwrap();
         let report = AaRun::builder(part, AaWorkload::full(240))
-            .strategy(StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            })
+            .strategy(StrategyKind::tps())
             .sim(|c| c.trace = Some(TraceConfig::every(100)))
             .run()
             .unwrap();

@@ -58,6 +58,86 @@ fn bglsim_rejects_malformed_input() {
 }
 
 #[test]
+fn bglsim_rejects_malformed_pacer_flags() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let sweep = |extra: &[&'static str]| -> Vec<&'static str> {
+        let mut args = vec![
+            "sweep",
+            "--shape",
+            "4x4",
+            "--strategies",
+            "ar",
+            "--sizes",
+            "64",
+        ];
+        args.extend_from_slice(extra);
+        args
+    };
+    assert_clean_failure(bin, &sweep(&["--pacer", "warp"]), "must be none, rate:");
+    assert_clean_failure(bin, &sweep(&["--pacer", "rate:fast"]), "positive factor");
+    assert_clean_failure(bin, &sweep(&["--pacer", "rate:-1"]), "positive factor");
+    assert_clean_failure(bin, &sweep(&["--pacer", "rate:0"]), "positive factor");
+    assert_clean_failure(bin, &sweep(&["--pacer", "credit:8"]), "<window>,<every>");
+    assert_clean_failure(bin, &sweep(&["--pacer", "credit:0,1"]), "positive integer");
+    assert_clean_failure(
+        bin,
+        &sweep(&["--pacer", "credit:4,zero"]),
+        "positive integer",
+    );
+    assert_clean_failure(
+        bin,
+        &sweep(&["--pacer", "credit:2,5"]),
+        "must not exceed the window",
+    );
+    assert_clean_failure(
+        bin,
+        &sweep(&["--credit", "2,5"]),
+        "must not exceed the window",
+    );
+    assert_clean_failure(
+        bin,
+        &sweep(&["--pacer", "credit:4,2", "--credit", "4,2"]),
+        "conflict",
+    );
+    assert_clean_failure(bin, &sweep(&["--pacer"]), "needs a value");
+    // Pacing `auto` is meaningless: the resolved strategy picks its own.
+    let mut auto_args = vec![
+        "sweep",
+        "--shape",
+        "4x4",
+        "--strategies",
+        "auto",
+        "--sizes",
+        "64",
+    ];
+    auto_args.extend_from_slice(&["--pacer", "rate:1.0"]);
+    assert_clean_failure(bin, &auto_args, "auto");
+}
+
+#[test]
+fn bglsim_pacer_happy_paths() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    for pacer in ["none", "rate:1.0", "credit:4,2"] {
+        let (code, stdout, stderr) = run(
+            bin,
+            &[
+                "sweep",
+                "--shape",
+                "4x4",
+                "--strategies",
+                "tps",
+                "--sizes",
+                "64",
+                "--pacer",
+                pacer,
+            ],
+        );
+        assert_eq!(code, Some(0), "--pacer {pacer} failed: {stderr}");
+        assert!(stdout.contains("TPS"), "--pacer {pacer}: {stdout}");
+    }
+}
+
+#[test]
 fn bglsim_usage_exits_2_without_panicking() {
     let bin = env!("CARGO_BIN_EXE_bglsim");
     let (code, _stdout, stderr) = run(bin, &[]);

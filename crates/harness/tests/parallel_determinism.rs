@@ -6,35 +6,20 @@
 use bgl_core::StrategyKind;
 use bgl_harness::run_suite;
 use bgl_harness::runner::{RunPoint, Runner, Scale};
-use bgl_torus::VmeshLayout;
-
 /// A point set that crosses shapes, strategies, message sizes, sampled
 /// coverage, and a config variant — the kinds of runs a real suite mixes.
 fn point_set(runner: &Runner) -> Vec<RunPoint> {
     let mut pts = vec![
-        runner.point("4x4", &StrategyKind::AdaptiveRandomized, 240),
-        runner.point("4x4", &StrategyKind::DeterministicRouted, 240),
-        runner.point(
-            "4x4x2",
-            &StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            },
-            240,
-        ),
-        runner.point(
-            "4x4",
-            &StrategyKind::VirtualMesh {
-                layout: VmeshLayout::Auto,
-            },
-            32,
-        ),
-        runner.point("4x4x4", &StrategyKind::XyzRouting, 64),
-        runner.point("8x8x8", &StrategyKind::AdaptiveRandomized, 912), // coverage-sampled at Quick
+        runner.point("4x4", &StrategyKind::ar(), 240),
+        runner.point("4x4", &StrategyKind::dr(), 240),
+        runner.point("4x4x2", &StrategyKind::tps(), 240),
+        runner.point("4x4", &StrategyKind::vmesh(), 32),
+        runner.point("4x4x4", &StrategyKind::xyz(), 64),
+        runner.point("8x8x8", &StrategyKind::ar(), 912), // coverage-sampled at Quick
     ];
     pts.push(
         runner
-            .point("4x4", &StrategyKind::AdaptiveRandomized, 240)
+            .point("4x4", &StrategyKind::ar(), 240)
             .variant("vc8", |c| c.router.vc_fifo_chunks = 8),
     );
     pts

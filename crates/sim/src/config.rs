@@ -6,6 +6,7 @@
 //! `bgl_model::MachineParams` for conversions). All buffer capacities are in
 //! chunks; all CPU costs are in (fractional) cycles.
 
+use crate::flow::FlowSpec;
 use crate::trace::TraceConfig;
 use bgl_torus::Partition;
 use serde::{Deserialize, Serialize};
@@ -152,6 +153,12 @@ pub struct SimConfig {
     /// FIFO accepts every class. The Two Phase Schedule reserves disjoint
     /// FIFO subsets for its two phases through this knob.
     pub inj_class_masks: Vec<u8>,
+    /// Injection flow control, enforced by the engine for every node (see
+    /// [`crate::flow`]): [`FlowSpec::Unpaced`] (the default) lets programs
+    /// inject as fast as the CPU and FIFOs allow; [`FlowSpec::Rate`]
+    /// throttles pulls to a chunks-per-cycle budget; [`FlowSpec::Credit`]
+    /// bounds unacknowledged packets per intermediate node.
+    pub flow: FlowSpec,
     /// RNG seed: identical (config, seed, programs) runs produce identical
     /// cycle counts.
     pub seed: u64,
@@ -202,6 +209,7 @@ impl SimConfig {
             inj_fifo_chunks: 16,
             reception_fifo_chunks: 64,
             inj_class_masks: Vec::new(),
+            flow: FlowSpec::Unpaced,
             seed: 0x5eed_b61c,
             watchdog_cycles: 200_000,
             max_cycles: 2_000_000_000,

@@ -1,0 +1,153 @@
+//! Shared RFC-4180 CSV writing and parsing.
+//!
+//! One writer serves every CSV the workspace emits ([`Trace::to_csv`]
+//! and the harness's experiment-report renderer), so quoting rules
+//! cannot drift between them. Callers pick the line terminator —
+//! RFC 4180 specifies CRLF, which trace exports use; experiment reports
+//! keep their historical LF.
+//!
+//! [`Trace::to_csv`]: crate::Trace::to_csv
+
+/// Append one CSV row to `out`: cells joined by commas, each quoted iff
+/// it contains a comma, quote, CR or LF (inner quotes doubled per
+/// RFC 4180), followed by `terminator`.
+pub fn push_row<I, S>(out: &mut String, cells: I, terminator: &str)
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut first = true;
+    for cell in cells {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let s = cell.as_ref();
+        if s.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            for ch in s.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(s);
+        }
+    }
+    out.push_str(terminator);
+}
+
+/// Parse RFC-4180 CSV text into rows of cells. Accepts CRLF or bare LF
+/// row terminators; quoted cells may contain either, plus commas and
+/// doubled quotes. A trailing terminator does not produce an empty row.
+pub fn parse(csv: &str) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    // Whether the current (unflushed) row has seen any content, so a
+    // trailing terminator is not mistaken for a final empty row.
+    let mut row_started = false;
+    let mut chars = csv.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push(c);
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                row_started = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut cell));
+                row_started = true;
+            }
+            '\r' | '\n' => {
+                if c == '\r' && chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                row_started = false;
+            }
+            other => {
+                cell.push(other);
+                row_started = true;
+            }
+        }
+    }
+    if row_started || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(rows: &[Vec<&str>], terminator: &str) -> String {
+        let mut out = String::new();
+        for row in rows {
+            push_row(&mut out, row.iter().copied(), terminator);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_cells_stay_unquoted() {
+        let out = render(&[vec!["a", "b"], vec!["1", "2"]], "\n");
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn specials_are_quoted_and_doubled() {
+        let mut out = String::new();
+        push_row(&mut out, ["he said \"hi\"", "a,b", "x\ny"], "\r\n");
+        assert_eq!(out, "\"he said \"\"hi\"\"\",\"a,b\",\"x\ny\"\r\n");
+    }
+
+    #[test]
+    fn parse_round_trips_both_terminators() {
+        let rows = vec![
+            vec!["plain", "with,comma", "with\"quote"],
+            vec!["", "multi\r\nline", "end"],
+        ];
+        for terminator in ["\r\n", "\n"] {
+            let text = render(&rows, terminator);
+            let back = parse(&text);
+            assert_eq!(
+                back,
+                rows.iter()
+                    .map(|r| r.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                "terminator {terminator:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_terminator_is_not_an_empty_row() {
+        assert_eq!(parse("a,b\r\n"), vec![vec!["a", "b"]]);
+        assert_eq!(parse("a,b"), vec![vec!["a", "b"]]);
+        assert_eq!(parse(""), Vec::<Vec<String>>::new());
+    }
+
+    #[test]
+    fn trailing_empty_cell_survives() {
+        assert_eq!(parse("a,\n"), vec![vec!["a", ""]]);
+    }
+}

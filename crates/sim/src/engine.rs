@@ -27,6 +27,7 @@
 //! interval — purely observational sampling that never changes results.
 
 use crate::config::{SimConfig, Vc, NUM_VCS};
+use crate::flow::FlowSpec;
 use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
 use crate::packet::{Packet, RoutingMode};
 use crate::program::{NodeApi, NodeProgram};
@@ -36,6 +37,38 @@ use bgl_torus::{Coord, Dim, Direction, HopPlan, Partition, TieBreak, ALL_DIMS, A
 
 /// In-flight ring size; must exceed max packet chunks + hop latency.
 const RING: usize = 64;
+
+/// Why frozen traffic is frozen, computed from the queue state at the
+/// moment the watchdog fires so a stall is diagnosable without a trace
+/// run. The three causes are not exclusive and do not partition the live
+/// packets — each counts a distinct blocking condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Incomplete programs with at least one full credit window (their
+    /// next sends are flow-control blocked, see [`crate::flow`]).
+    pub credit_blocked_nodes: usize,
+    /// Total full credit windows across those nodes.
+    pub closed_credit_windows: u64,
+    /// Transit-FIFO head packets with every allowed output direction
+    /// busy or out of downstream VC credit (head-of-line blocking).
+    pub hol_blocked_heads: u64,
+    /// VC FIFOs whose deliverable head found the reception FIFO full.
+    pub reception_stalled_fifos: u64,
+}
+
+impl std::fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes credit-blocked ({} closed windows), {} HOL-blocked heads, \
+             {} reception-stalled FIFOs",
+            self.credit_blocked_nodes,
+            self.closed_credit_windows,
+            self.hol_blocked_heads,
+            self.reception_stalled_fifos
+        )
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +82,9 @@ pub enum SimError {
         live_packets: u64,
         /// Programs not yet complete.
         incomplete_programs: usize,
+        /// Why the frozen traffic is frozen (credit vs HOL vs reception),
+        /// snapshotted at the watchdog.
+        breakdown: StallBreakdown,
         /// With tracing enabled, compact summaries of the last few
         /// [`TraceSample`]s (the final one taken at the stall itself), so
         /// a deadlock is debuggable from the error text alone. Empty when
@@ -69,12 +105,13 @@ impl std::fmt::Display for SimError {
                 cycle,
                 live_packets,
                 incomplete_programs,
+                breakdown,
                 trace_tail,
             } => {
                 write!(
                     f,
                     "simulation stalled at cycle {cycle}: {live_packets} live packets, \
-                     {incomplete_programs} incomplete programs"
+                     {incomplete_programs} incomplete programs; {breakdown}"
                 )?;
                 for line in trace_tail {
                     write!(f, "\n  trace {line}")?;
@@ -123,6 +160,8 @@ struct Tracer {
     last_stalls: u64,
     last_injected: u64,
     last_delivered: u64,
+    last_pacing_blocked: u64,
+    last_credit_blocked: u64,
     trace: Trace,
 }
 
@@ -139,6 +178,8 @@ impl Tracer {
             last_stalls: 0,
             last_injected: 0,
             last_delivered: 0,
+            last_pacing_blocked: 0,
+            last_credit_blocked: 0,
             trace: Trace {
                 interval_cycles: cfg.interval_cycles,
                 samples: Vec::new(),
@@ -337,6 +378,7 @@ impl Engine {
             "CPU bandwidth must be positive"
         );
         assert!(cfg.inj_fifo_count <= 32, "inj_mask is a u32 bitmask");
+        cfg.flow.validate();
         let nodes: Vec<NodeState> = (0..p as u32)
             .map(|r| NodeState::new(part.coord_of(r), &cfg))
             .collect();
@@ -431,6 +473,7 @@ impl Engine {
                     cycle: self.now,
                     live_packets: self.live_packets + self.pending_total,
                     incomplete_programs: self.programs.len() - self.done_programs,
+                    breakdown: self.stall_breakdown(),
                     trace_tail,
                 });
             }
@@ -457,9 +500,11 @@ impl Engine {
         for (i, prog) in programs.iter_mut().enumerate() {
             let node = &mut self.nodes[i];
             let before = node.pending.len();
-            let mut api = NodeApi::new(i as u32, node.coord, 0, &self.part, &mut node.pending);
+            let mut api = NodeApi::new(i as u32, node.coord, 0, &self.part, &mut node.pending)
+                .with_flow(&mut node.flow);
             prog.start(&mut api);
             let extra = api.take_extra_cpu();
+            self.stats.credit_blocked_events += api.take_credit_blocked();
             let after = node.pending.len();
             // Anchoring at `max(cpu_free, now)` is implicit here: `start`
             // runs at cycle 0 with every `cpu_free` still 0.0.
@@ -639,30 +684,47 @@ impl Engine {
                 && !self.nodes[i].program_done
                 && !declined
             {
-                let node = &mut self.nodes[i];
-                let before = node.pending.len();
-                let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending);
-                let spec = prog.next_send(&mut api);
-                let extra = api.take_extra_cpu();
-                let after = node.pending.len();
-                if extra > 0.0 {
-                    // Anchor at now: a node idle since an earlier cycle
-                    // must not absorb the charge retroactively (its stale
-                    // `cpu_free` may lie far in the past).
-                    node.cpu_free = node.cpu_free.max(t as f64) + extra;
-                    self.stats.cpu_busy_cycles += extra;
-                }
-                self.pending_total += (after - before) as u64;
-                match spec {
-                    Some(s) => {
-                        self.nodes[i].pulled.push_back(s);
-                        self.pending_total += 1;
+                if self.rate_blocked(i, t) {
+                    // Engine-enforced rate window: the program is not
+                    // polled for new sends until `next_allowed`. The
+                    // completion check still runs, exactly as if the
+                    // program had declined the pull itself.
+                    declined = true;
+                    self.stats.pacing_blocked_cycles += 1;
+                    if prog.is_complete() && !self.nodes[i].program_done {
+                        self.nodes[i].program_done = true;
+                        self.done_programs += 1;
                     }
-                    None => {
-                        declined = true;
-                        if prog.is_complete() && !self.nodes[i].program_done {
-                            self.nodes[i].program_done = true;
-                            self.done_programs += 1;
+                } else {
+                    let node = &mut self.nodes[i];
+                    let before = node.pending.len();
+                    let mut api =
+                        NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending)
+                            .with_flow(&mut node.flow);
+                    let spec = prog.next_send(&mut api);
+                    let extra = api.take_extra_cpu();
+                    self.stats.credit_blocked_events += api.take_credit_blocked();
+                    let after = node.pending.len();
+                    if extra > 0.0 {
+                        // Anchor at now: a node idle since an earlier cycle
+                        // must not absorb the charge retroactively (its stale
+                        // `cpu_free` may lie far in the past).
+                        node.cpu_free = node.cpu_free.max(t as f64) + extra;
+                        self.stats.cpu_busy_cycles += extra;
+                    }
+                    self.pending_total += (after - before) as u64;
+                    match spec {
+                        Some(s) => {
+                            self.rate_charge(i, t, s.chunks);
+                            self.nodes[i].pulled.push_back(s);
+                            self.pending_total += 1;
+                        }
+                        None => {
+                            declined = true;
+                            if prog.is_complete() && !self.nodes[i].program_done {
+                                self.nodes[i].program_done = true;
+                                self.done_programs += 1;
+                            }
                         }
                     }
                 }
@@ -673,6 +735,23 @@ impl Engine {
             if !self.cpu_inject_one(i, t) {
                 break; // no injection FIFO can take any queued packet now
             }
+        }
+    }
+
+    /// Whether the engine-level rate window ([`FlowSpec::Rate`]) blocks
+    /// pulling new sends from node `i`'s program at cycle `t`.
+    fn rate_blocked(&self, i: usize, t: u64) -> bool {
+        matches!(self.cfg.flow, FlowSpec::Rate { .. })
+            && (t as f64) < self.nodes[i].flow.next_allowed
+    }
+
+    /// Advance node `i`'s rate window after pulling a `chunks`-chunk send
+    /// at cycle `t`. No-op unless the flow spec is [`FlowSpec::Rate`].
+    fn rate_charge(&mut self, i: usize, t: u64, chunks: u8) {
+        if let FlowSpec::Rate { chunks_per_cycle } = self.cfg.flow {
+            let ledger = &mut self.nodes[i].flow;
+            ledger.next_allowed =
+                ledger.next_allowed.max(t as f64) + chunks as f64 / chunks_per_cycle;
         }
     }
 
@@ -697,9 +776,11 @@ impl Engine {
             o.on_deliver(&pkt, t);
         }
         let before = node.pending.len();
-        let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending);
+        let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending)
+            .with_flow(&mut node.flow);
         prog.on_packet(&mut api, &pkt);
         let extra = api.take_extra_cpu();
+        self.stats.credit_blocked_events += api.take_credit_blocked();
         let after = node.pending.len();
         node.cpu_free += extra;
         self.stats.cpu_busy_cycles += extra;
@@ -1254,6 +1335,34 @@ impl Engine {
         self.stats.dim_utilization(&self.part, dim)
     }
 
+    /// Diagnostic snapshot of why live traffic is blocked, taken when the
+    /// watchdog fires (also usable from tests via [`Engine::run`]'s
+    /// [`SimError::Stalled`] payload).
+    fn stall_breakdown(&self) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if !node.program_done {
+                let closed = node.flow.closed_windows();
+                if closed > 0 {
+                    b.credit_blocked_nodes += 1;
+                    b.closed_credit_windows += closed as u64;
+                }
+            }
+            b.reception_stalled_fifos += node.blocked_deliveries.len() as u64;
+            let mut mask = node.vc_mask;
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(head) = node.vcs[f].head() {
+                    if !head.plan.is_done() && self.head_is_hol_blocked(ni, f, head) {
+                        b.hol_blocked_heads += 1;
+                    }
+                }
+            }
+        }
+        b
+    }
+
     // ---- Invariant oracle --------------------------------------------------
 
     /// Cycle-boundary oracle sweep (end of cycle `t`): the oracle's
@@ -1386,6 +1495,8 @@ impl Engine {
             || self.stats.reception_stall_events != tr.last_stalls
             || self.stats.packets_injected != tr.last_injected
             || self.stats.packets_delivered != tr.last_delivered
+            || self.stats.pacing_blocked_cycles != tr.last_pacing_blocked
+            || self.stats.credit_blocked_events != tr.last_credit_blocked
     }
 
     /// Record one sample at the current cycle. Periodic calls (`force ==
@@ -1423,6 +1534,8 @@ impl Engine {
             reception_stall_delta: s.reception_stall_events - tracer.last_stalls,
             injected_delta: s.packets_injected - tracer.last_injected,
             delivered_delta: s.packets_delivered - tracer.last_delivered,
+            pacing_blocked_delta: s.pacing_blocked_cycles - tracer.last_pacing_blocked,
+            credit_blocked_delta: s.credit_blocked_events - tracer.last_credit_blocked,
             packets_in_flight: self.live_packets,
             pending_sends: self.pending_total,
             ..TraceSample::default()
@@ -1433,6 +1546,8 @@ impl Engine {
         tracer.last_stalls = s.reception_stall_events;
         tracer.last_injected = s.packets_injected;
         tracer.last_delivered = s.packets_delivered;
+        tracer.last_pacing_blocked = s.pacing_blocked_cycles;
+        tracer.last_credit_blocked = s.credit_blocked_events;
 
         // Instantaneous FIFO occupancy, split by input-port dimension and
         // by bubble-vs-dynamic VC.

@@ -1,0 +1,245 @@
+//! Engine-level injection flow control.
+//!
+//! Strategies describe *how much* a node may inject through a
+//! [`FlowSpec`]; the engine owns the per-node state (a [`FlowLedger`])
+//! and enforces the spec on the hot injection path:
+//!
+//! * [`FlowSpec::Rate`] — a rate window. The engine stops pulling new
+//!   sends from a node's program while `now < next_allowed`, and each
+//!   pulled packet advances `next_allowed` by `chunks / rate`. This is
+//!   the bisection-bandwidth throttle of the paper's AR-throttled
+//!   scheme, now available to every strategy.
+//! * [`FlowSpec::Credit`] — credit-based bounds on intermediate-node
+//!   memory (the paper's future-work item). A program reserves a credit
+//!   per in-flight packet to each intermediate via
+//!   [`NodeApi::try_acquire_credit`](crate::NodeApi::try_acquire_credit);
+//!   the intermediate acknowledges every `credit_every` receipts
+//!   ([`NodeApi::credit_receipt`](crate::NodeApi::credit_receipt)) with a
+//!   strategy-defined credit packet that reopens the window
+//!   ([`NodeApi::apply_credit`](crate::NodeApi::apply_credit)).
+//!
+//! The ledger lives in [`NodeState`](crate::node::NodeState) so both
+//! engine modes (active-set and full-scan) see identical state, and the
+//! counters it feeds ([`NetStats::pacing_blocked_cycles`] and
+//! [`NetStats::credit_blocked_events`](crate::NetStats)) stay
+//! byte-identical across modes.
+//!
+//! [`NetStats::pacing_blocked_cycles`]: crate::NetStats
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An injection flow-control policy, resolved to engine units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum FlowSpec {
+    /// No pacing: programs inject as fast as the CPU and FIFOs allow.
+    #[default]
+    Unpaced,
+    /// Rate window: cap sustained injection at `chunks_per_cycle`.
+    Rate {
+        /// Injection budget in 32-byte chunks per cycle (> 0).
+        chunks_per_cycle: f64,
+    },
+    /// Credit window: at most `window_packets` unacknowledged packets
+    /// outstanding per intermediate node; receivers acknowledge every
+    /// `credit_every` receipts.
+    Credit {
+        /// Outstanding-packet bound per intermediate (≥ 1).
+        window_packets: u32,
+        /// Receipts per acknowledgement (1 ..= `window_packets`, or the
+        /// window can close forever).
+        credit_every: u32,
+    },
+}
+
+impl FlowSpec {
+    /// Whether this spec imposes any pacing at all.
+    pub fn is_unpaced(&self) -> bool {
+        matches!(self, FlowSpec::Unpaced)
+    }
+
+    /// Panics if the spec is internally inconsistent (zero rate, or a
+    /// credit quantum larger than the window — a guaranteed deadlock).
+    pub fn validate(&self) {
+        match *self {
+            FlowSpec::Unpaced => {}
+            FlowSpec::Rate { chunks_per_cycle } => {
+                assert!(
+                    chunks_per_cycle > 0.0 && chunks_per_cycle.is_finite(),
+                    "flow rate must be positive and finite, got {chunks_per_cycle}"
+                );
+            }
+            FlowSpec::Credit {
+                window_packets,
+                credit_every,
+            } => {
+                assert!(window_packets >= 1, "credit window must be at least 1");
+                assert!(
+                    (1..=window_packets).contains(&credit_every),
+                    "credit_every must be in 1..={window_packets}, got {credit_every} \
+                     (an ack quantum above the window deadlocks the sender)"
+                );
+            }
+        }
+    }
+}
+
+/// Per-node flow-control state, owned by the engine.
+///
+/// `outstanding` and `recv_counts` are keyed by node rank (the
+/// intermediate being bounded, resp. the source being counted). Both are
+/// empty unless the spec is [`FlowSpec::Credit`].
+#[derive(Debug, Clone)]
+pub struct FlowLedger {
+    /// The policy in force (copied from `SimConfig::flow`).
+    pub spec: FlowSpec,
+    /// First cycle the next pull is allowed ([`FlowSpec::Rate`] only).
+    pub next_allowed: f64,
+    /// Unacknowledged packets per intermediate rank.
+    outstanding: HashMap<u32, u32>,
+    /// Receipts per source rank since the last acknowledgement.
+    recv_counts: HashMap<u32, u32>,
+}
+
+impl FlowLedger {
+    /// A fresh ledger for `spec`.
+    pub fn new(spec: FlowSpec) -> FlowLedger {
+        FlowLedger {
+            spec,
+            next_allowed: 0.0,
+            outstanding: HashMap::new(),
+            recv_counts: HashMap::new(),
+        }
+    }
+
+    /// Reserve one credit toward `intermediate`. `true` when the send may
+    /// proceed (always, unless the spec is [`FlowSpec::Credit`] and the
+    /// window is full).
+    pub(crate) fn try_acquire(&mut self, intermediate: u32) -> bool {
+        let FlowSpec::Credit { window_packets, .. } = self.spec else {
+            return true;
+        };
+        let out = self.outstanding.entry(intermediate).or_insert(0);
+        if *out >= window_packets {
+            return false;
+        }
+        *out += 1;
+        true
+    }
+
+    /// Count one receipt from `src`; `Some(n)` when an acknowledgement
+    /// worth `n` credits is now due back to `src`.
+    pub(crate) fn receipt(&mut self, src: u32) -> Option<u32> {
+        let FlowSpec::Credit { credit_every, .. } = self.spec else {
+            return None;
+        };
+        let c = self.recv_counts.entry(src).or_insert(0);
+        *c += 1;
+        (*c).is_multiple_of(credit_every).then_some(credit_every)
+    }
+
+    /// Apply `n` returned credits from `intermediate`.
+    pub(crate) fn apply_credit(&mut self, intermediate: u32, n: u32) {
+        if let Some(out) = self.outstanding.get_mut(&intermediate) {
+            *out = out.saturating_sub(n);
+        }
+    }
+
+    /// Number of intermediates whose credit window is currently full
+    /// (stall diagnostics).
+    pub(crate) fn closed_windows(&self) -> usize {
+        let FlowSpec::Credit { window_packets, .. } = self.spec else {
+            return 0;
+        };
+        self.outstanding
+            .values()
+            .filter(|&&out| out >= window_packets)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpaced_ledger_always_grants() {
+        let mut l = FlowLedger::new(FlowSpec::Unpaced);
+        for _ in 0..1000 {
+            assert!(l.try_acquire(7));
+        }
+        assert_eq!(l.receipt(3), None);
+        assert_eq!(l.closed_windows(), 0);
+    }
+
+    #[test]
+    fn credit_window_blocks_then_reopens() {
+        let mut l = FlowLedger::new(FlowSpec::Credit {
+            window_packets: 2,
+            credit_every: 2,
+        });
+        assert!(l.try_acquire(5));
+        assert!(l.try_acquire(5));
+        assert!(!l.try_acquire(5), "window of 2 must block the third");
+        assert!(l.try_acquire(6), "windows are per intermediate");
+        assert_eq!(l.closed_windows(), 1);
+        l.apply_credit(5, 2);
+        assert_eq!(l.closed_windows(), 0);
+        assert!(l.try_acquire(5));
+    }
+
+    #[test]
+    fn receipts_ack_every_quantum() {
+        let mut l = FlowLedger::new(FlowSpec::Credit {
+            window_packets: 4,
+            credit_every: 3,
+        });
+        assert_eq!(l.receipt(9), None);
+        assert_eq!(l.receipt(9), None);
+        assert_eq!(l.receipt(9), Some(3));
+        assert_eq!(l.receipt(9), None);
+        // Independent per source.
+        assert_eq!(l.receipt(8), None);
+    }
+
+    #[test]
+    fn rate_spec_validates() {
+        FlowSpec::Rate {
+            chunks_per_cycle: 0.5,
+        }
+        .validate();
+        FlowSpec::Credit {
+            window_packets: 4,
+            credit_every: 4,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocks")]
+    fn oversized_credit_quantum_rejected() {
+        FlowSpec::Credit {
+            window_packets: 2,
+            credit_every: 3,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn flow_spec_round_trips_serde() {
+        for spec in [
+            FlowSpec::Unpaced,
+            FlowSpec::Rate {
+                chunks_per_cycle: 1.25,
+            },
+            FlowSpec::Credit {
+                window_packets: 8,
+                credit_every: 2,
+            },
+        ] {
+            let v = serde::Serialize::to_value(&spec);
+            let back: FlowSpec = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -32,8 +32,10 @@
 //! ```
 
 pub mod config;
+pub mod csv;
 pub mod engine;
 pub mod fifo;
+pub mod flow;
 pub mod node;
 pub mod packet;
 pub mod program;
@@ -41,8 +43,9 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{CpuConfig, RouterConfig, SimConfig, Vc, NUM_VCS};
-pub use engine::{Engine, SimError};
+pub use engine::{Engine, SimError, StallBreakdown};
 pub use fifo::ChunkFifo;
+pub use flow::{FlowLedger, FlowSpec};
 pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec};
 pub use program::{NodeApi, NodeProgram, ScriptedProgram};
 pub use stats::NetStats;

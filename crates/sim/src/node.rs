@@ -3,6 +3,7 @@
 
 use crate::config::{SimConfig, NUM_VCS};
 use crate::fifo::ChunkFifo;
+use crate::flow::FlowLedger;
 use crate::packet::SendSpec;
 use bgl_torus::Coord;
 use std::collections::VecDeque;
@@ -51,6 +52,9 @@ pub struct NodeState {
     /// VC FIFO indices whose head is deliverable but found the reception
     /// FIFO full; retried after the CPU drains a packet.
     pub blocked_deliveries: Vec<u8>,
+    /// Injection flow-control state (see [`crate::flow`]): the engine's
+    /// rate window and the program-visible credit ledger.
+    pub flow: FlowLedger,
     /// Cached program completion flag.
     pub program_done: bool,
 }
@@ -88,6 +92,7 @@ impl NodeState {
             rr: [0; 6],
             inj_rr: 0,
             blocked_deliveries: Vec::new(),
+            flow: FlowLedger::new(cfg.flow),
             program_done: false,
         }
     }

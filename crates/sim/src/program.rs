@@ -6,6 +6,7 @@
 //! [`NodeProgram`] models exactly that: the engine charges CPU time for
 //! every action and calls the program's hooks from the simulated CPU.
 
+use crate::flow::FlowLedger;
 use crate::packet::{Packet, SendSpec};
 use bgl_torus::{Coord, Partition};
 use std::collections::VecDeque;
@@ -53,11 +54,16 @@ pub struct NodeApi<'a> {
     part: &'a Partition,
     sends: &'a mut VecDeque<SendSpec>,
     extra_cpu: f64,
+    /// Flow-control ledger, attached by the engine. `None` (tests that
+    /// drive programs directly) behaves like an unpaced ledger.
+    flow: Option<&'a mut FlowLedger>,
+    credit_blocked: u64,
 }
 
 impl<'a> NodeApi<'a> {
     /// Construct an API view. Used by the engine each time it runs a hook;
     /// public so strategy crates can drive programs directly in their tests.
+    /// No flow-control ledger is attached: every credit is granted.
     pub fn new(
         rank: u32,
         coord: Coord,
@@ -72,7 +78,16 @@ impl<'a> NodeApi<'a> {
             part,
             sends,
             extra_cpu: 0.0,
+            flow: None,
+            credit_blocked: 0,
         }
+    }
+
+    /// Attach a flow-control ledger (engine use, and tests exercising
+    /// credit windows): subsequent credit calls consult `ledger`.
+    pub fn with_flow(mut self, ledger: &'a mut FlowLedger) -> NodeApi<'a> {
+        self.flow = Some(ledger);
+        self
     }
 
     /// The partition being simulated.
@@ -87,6 +102,12 @@ impl<'a> NodeApi<'a> {
         self.sends.push_back(spec);
     }
 
+    /// Number of sends enqueued and not yet taken by the engine (useful
+    /// to tests that drive programs directly).
+    pub fn queued(&self) -> usize {
+        self.sends.len()
+    }
+
     /// Charge additional CPU time (cycles) to this node right now —
     /// software copies, message bookkeeping, etc.
     pub fn charge_cpu(&mut self, cycles: f64) {
@@ -97,6 +118,45 @@ impl<'a> NodeApi<'a> {
     /// Total extra CPU charged during this hook invocation (engine use).
     pub(crate) fn take_extra_cpu(&mut self) -> f64 {
         std::mem::take(&mut self.extra_cpu)
+    }
+
+    /// Reserve one flow-control credit toward `intermediate` before
+    /// sending it a packet that occupies its memory. Returns `true` when
+    /// the send may proceed — always, unless the node is configured with
+    /// [`FlowSpec::Credit`](crate::FlowSpec::Credit) and `intermediate`'s
+    /// window is full (decline the send and retry later).
+    pub fn try_acquire_credit(&mut self, intermediate: u32) -> bool {
+        let Some(flow) = self.flow.as_deref_mut() else {
+            return true;
+        };
+        if flow.try_acquire(intermediate) {
+            true
+        } else {
+            self.credit_blocked += 1;
+            false
+        }
+    }
+
+    /// Count one credited receipt from `src`. `Some(n)` means an
+    /// acknowledgement worth `n` credits is due: the program must send
+    /// `src` a credit packet that ends in [`NodeApi::apply_credit`] on the
+    /// other side. Always `None` without credit flow control.
+    pub fn credit_receipt(&mut self, src: u32) -> Option<u32> {
+        self.flow.as_deref_mut()?.receipt(src)
+    }
+
+    /// Apply `n` returned credits from `intermediate`, reopening its
+    /// window. No-op without credit flow control.
+    pub fn apply_credit(&mut self, intermediate: u32, n: u32) {
+        if let Some(flow) = self.flow.as_deref_mut() {
+            flow.apply_credit(intermediate, n);
+        }
+    }
+
+    /// Credit acquisitions denied during this hook invocation (engine
+    /// use: feeds `NetStats::credit_blocked_events`).
+    pub(crate) fn take_credit_blocked(&mut self) -> u64 {
+        std::mem::take(&mut self.credit_blocked)
     }
 }
 

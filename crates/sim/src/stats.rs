@@ -34,6 +34,15 @@ pub struct NetStats {
     pub max_latency_cycles: u64,
     /// Cycles some delivery was blocked on a full reception FIFO.
     pub reception_stall_events: u64,
+    /// Node-cycles the engine's rate window (`SimConfig::flow` =
+    /// [`FlowSpec::Rate`](crate::FlowSpec::Rate)) kept a node from pulling
+    /// new sends from its program.
+    pub pacing_blocked_cycles: u64,
+    /// Credit acquisitions denied because an intermediate's window was
+    /// full (`SimConfig::flow` =
+    /// [`FlowSpec::Credit`](crate::FlowSpec::Credit)); one event per
+    /// declined `NodeApi::try_acquire_credit` call.
+    pub credit_blocked_events: u64,
     /// CPU-cycles (in simulation-cycle units) the node CPUs were busy.
     pub cpu_busy_cycles: f64,
     /// Power-of-two latency histogram (see [`LATENCY_BUCKETS`]).

@@ -93,6 +93,12 @@ pub struct TraceSample {
     pub injected_delta: u64,
     /// Packets delivered during the window.
     pub delivered_delta: u64,
+    /// Node-cycles the engine's rate window blocked program pulls during
+    /// the window (see `NetStats::pacing_blocked_cycles`).
+    pub pacing_blocked_delta: u64,
+    /// Credit acquisitions denied during the window (see
+    /// `NetStats::credit_blocked_events`).
+    pub credit_blocked_delta: u64,
     /// Packets alive in the network (injected, not yet drained) at the
     /// sampling instant.
     pub packets_in_flight: u64,
@@ -159,7 +165,7 @@ pub struct Trace {
 
 /// CSV column order; kept next to [`Trace::to_csv`] so the header and the
 /// row writer cannot drift apart.
-const CSV_COLUMNS: [&str; 32] = [
+const CSV_COLUMNS: [&str; 34] = [
     "cycle",
     "busy_x",
     "busy_y",
@@ -171,6 +177,8 @@ const CSV_COLUMNS: [&str; 32] = [
     "recv_stalls",
     "injected",
     "delivered",
+    "pacing_blocked",
+    "credit_blocked",
     "in_flight",
     "pending",
     "dyn_x_mean",
@@ -239,16 +247,15 @@ impl Trace {
         self.samples[start..].iter().map(|s| s.summary()).collect()
     }
 
-    /// RFC-4180 CSV rendering: header row plus one row per sample. All
-    /// cells are plain numerics, so no quoting is ever required; floats
-    /// are written with enough precision to round-trip.
+    /// RFC-4180 CSV rendering (CRLF rows, via the shared
+    /// [`crate::csv::push_row`] writer): header row plus one row per
+    /// sample. All cells are plain numerics, so quoting never triggers;
+    /// floats are written with enough precision to round-trip.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&CSV_COLUMNS.join(","));
-        out.push_str("\r\n");
+        crate::csv::push_row(&mut out, CSV_COLUMNS, "\r\n");
         for s in &self.samples {
-            let occ = |o: &OccStat| format!("{},{}", o.mean_chunks, o.max_chunks);
-            let row = [
+            let mut row: Vec<String> = vec![
                 s.cycle.to_string(),
                 s.link_busy_delta[0].to_string(),
                 s.link_busy_delta[1].to_string(),
@@ -260,22 +267,25 @@ impl Trace {
                 s.reception_stall_delta.to_string(),
                 s.injected_delta.to_string(),
                 s.delivered_delta.to_string(),
+                s.pacing_blocked_delta.to_string(),
+                s.credit_blocked_delta.to_string(),
                 s.packets_in_flight.to_string(),
                 s.pending_sends.to_string(),
-                occ(&s.dyn_vc_occupancy[0]),
-                occ(&s.dyn_vc_occupancy[1]),
-                occ(&s.dyn_vc_occupancy[2]),
-                occ(&s.bubble_vc_occupancy[0]),
-                occ(&s.bubble_vc_occupancy[1]),
-                occ(&s.bubble_vc_occupancy[2]),
-                occ(&s.inj_occupancy),
-                occ(&s.reception_occupancy),
-                s.hol_blocked_heads.to_string(),
-                s.phase1_in_flight.to_string(),
-                s.phase2_in_flight.to_string(),
             ];
-            out.push_str(&row.join(","));
-            out.push_str("\r\n");
+            for o in s
+                .dyn_vc_occupancy
+                .iter()
+                .chain(&s.bubble_vc_occupancy)
+                .chain([&s.inj_occupancy, &s.reception_occupancy])
+            {
+                row.push(o.mean_chunks.to_string());
+                row.push(o.max_chunks.to_string());
+            }
+            row.push(s.hol_blocked_heads.to_string());
+            row.push(s.phase1_in_flight.to_string());
+            row.push(s.phase2_in_flight.to_string());
+            debug_assert_eq!(row.len(), CSV_COLUMNS.len());
+            crate::csv::push_row(&mut out, &row, "\r\n");
         }
         out
     }

@@ -1,61 +1,18 @@
-//! Parse what we print: a minimal but complete RFC-4180 reader
+//! Parse what we print: the shared RFC-4180 reader (`bgl_sim::csv`)
 //! reconstructs every [`TraceSample`] from `Trace::to_csv` output
 //! exactly — floats included, because Rust's `Display` for `f64` emits
 //! the shortest representation that parses back to the same bits. The
-//! reader itself is exercised on the quoting edge cases the trace CSV
+//! parser itself is exercised on the quoting edge cases the trace CSV
 //! never needs (quoted commas, escaped quotes, embedded CRLF) so it
 //! stays an honest RFC-4180 implementation rather than a split-on-comma.
 
+use bgl_sim::csv::parse as parse_csv;
 use bgl_sim::{OccStat, Trace, TraceSample};
-
-/// RFC-4180 parser: quoted cells, `""` escapes, commas and CRLF inside
-/// quotes, both CRLF and bare-LF row endings. Returns rows of cells.
-fn parse_csv(text: &str) -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    let mut row: Vec<String> = Vec::new();
-    let mut cell = String::new();
-    let mut in_quotes = false;
-    let mut chars = text.chars().peekable();
-    while let Some(c) = chars.next() {
-        if in_quotes {
-            if c == '"' {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    cell.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            } else {
-                cell.push(c);
-            }
-        } else {
-            match c {
-                '"' => in_quotes = true,
-                ',' => row.push(std::mem::take(&mut cell)),
-                '\r' if chars.peek() == Some(&'\n') => {
-                    chars.next();
-                    row.push(std::mem::take(&mut cell));
-                    rows.push(std::mem::take(&mut row));
-                }
-                '\n' => {
-                    row.push(std::mem::take(&mut cell));
-                    rows.push(std::mem::take(&mut row));
-                }
-                _ => cell.push(c),
-            }
-        }
-    }
-    if !cell.is_empty() || !row.is_empty() {
-        row.push(cell);
-        rows.push(row);
-    }
-    rows
-}
 
 /// Rebuild one sample from a parsed CSV row, pinning the column order of
 /// `Trace::to_csv` (each `OccStat` expands to a mean,max cell pair).
 fn sample_from_row(cells: &[String]) -> TraceSample {
-    assert_eq!(cells.len(), 32, "row width must match the schema");
+    assert_eq!(cells.len(), 34, "row width must match the schema");
     let u = |i: usize| -> u64 { cells[i].parse().expect("u64 cell") };
     let f = |i: usize| -> f64 { cells[i].parse().expect("f64 cell") };
     let occ = |i: usize| OccStat {
@@ -70,15 +27,17 @@ fn sample_from_row(cells: &[String]) -> TraceSample {
         reception_stall_delta: u(8),
         injected_delta: u(9),
         delivered_delta: u(10),
-        packets_in_flight: u(11),
-        pending_sends: u(12),
-        dyn_vc_occupancy: [occ(13), occ(15), occ(17)],
-        bubble_vc_occupancy: [occ(19), occ(21), occ(23)],
-        inj_occupancy: occ(25),
-        reception_occupancy: occ(27),
-        hol_blocked_heads: u(29),
-        phase1_in_flight: u(30),
-        phase2_in_flight: u(31),
+        pacing_blocked_delta: u(11),
+        credit_blocked_delta: u(12),
+        packets_in_flight: u(13),
+        pending_sends: u(14),
+        dyn_vc_occupancy: [occ(15), occ(17), occ(19)],
+        bubble_vc_occupancy: [occ(21), occ(23), occ(25)],
+        inj_occupancy: occ(27),
+        reception_occupancy: occ(29),
+        hol_blocked_heads: u(31),
+        phase1_in_flight: u(32),
+        phase2_in_flight: u(33),
     }
 }
 
@@ -131,6 +90,8 @@ proptest::proptest! {
                 reception_stall_delta: lcg(&mut s),
                 injected_delta: lcg(&mut s),
                 delivered_delta: lcg(&mut s),
+                pacing_blocked_delta: lcg(&mut s),
+                credit_blocked_delta: lcg(&mut s),
                 packets_in_flight: lcg(&mut s),
                 pending_sends: lcg(&mut s),
                 dyn_vc_occupancy: [occ(&mut s, 3), occ(&mut s, 11), occ(&mut s, 13)],

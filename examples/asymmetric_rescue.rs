@@ -37,24 +37,14 @@ fn main() {
     println!("(Equation 2: C = M/8 on a torus whose longest dimension is M)\n");
 
     for strategy in [
-        StrategyKind::AdaptiveRandomized,
-        StrategyKind::DeterministicRouted,
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: Some(CreditConfig::default()),
-        },
+        StrategyKind::ar(),
+        StrategyKind::dr(),
+        StrategyKind::tps(),
+        StrategyKind::tps().with_pacer(Pacer::CreditWindow {
+            credit: CreditConfig::default(),
+        }),
     ] {
-        let credit = matches!(
-            strategy,
-            StrategyKind::TwoPhaseSchedule {
-                credit: Some(_),
-                ..
-            }
-        );
+        let credit = strategy.pacer().credit_config().is_some();
         let report = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
             .expect("simulation completes");
         let utils: Vec<String> = ALL_DIMS

@@ -10,18 +10,13 @@ use bgl_alltoall::prelude::*;
 
 fn parse_strategy(name: &str) -> StrategyKind {
     match name.to_ascii_lowercase().as_str() {
-        "ar" => StrategyKind::AdaptiveRandomized,
-        "dr" => StrategyKind::DeterministicRouted,
-        "mpi" => StrategyKind::MpiBaseline,
-        "throttle" => StrategyKind::ThrottledAdaptive { factor: 1.0 },
-        "tps" => StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        "vmesh" => StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        "xyz" => StrategyKind::XyzRouting,
+        "ar" => StrategyKind::ar(),
+        "dr" => StrategyKind::dr(),
+        "mpi" => StrategyKind::mpi(),
+        "throttle" => StrategyKind::throttled(1.0),
+        "tps" => StrategyKind::tps(),
+        "vmesh" => StrategyKind::vmesh(),
+        "xyz" => StrategyKind::xyz(),
         "auto" => StrategyKind::Auto,
         other => panic!("unknown strategy {other:?} (ar|dr|mpi|throttle|tps|vmesh|xyz|auto)"),
     }

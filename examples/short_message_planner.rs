@@ -36,16 +36,11 @@ fn main() {
     }
 
     let direct_pick = if part.is_symmetric() {
-        StrategyKind::AdaptiveRandomized
+        StrategyKind::ar()
     } else {
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        }
+        StrategyKind::tps()
     };
-    let vmesh = StrategyKind::VirtualMesh {
-        layout: VmeshLayout::Auto,
-    };
+    let vmesh = StrategyKind::vmesh();
     let coverage = (150_000.0 / p as f64).clamp(0.05, 1.0);
 
     println!(

@@ -44,7 +44,7 @@ pub use bgl_torus as torus;
 /// The names most programs need.
 pub mod prelude {
     pub use bgl_core::{
-        auto_select, run_aa, AaReport, AaRun, AaWorkload, CreditConfig, StrategyKind,
+        auto_select, run_aa, AaReport, AaRun, AaWorkload, CreditConfig, Pacer, StrategyKind,
     };
     pub use bgl_model::MachineParams;
     pub use bgl_sim::{Engine, NodeApi, NodeProgram, SendSpec, SimConfig};
@@ -61,6 +61,6 @@ mod tests {
         let analysis = AaLoadAnalysis::new(part);
         assert!(analysis.bottleneck().load_factor > 0.0);
         let strategy = auto_select(&part, 4096, &MachineParams::bgl());
-        assert_eq!(strategy, StrategyKind::AdaptiveRandomized);
+        assert_eq!(strategy, StrategyKind::ar());
     }
 }

@@ -25,24 +25,13 @@ fn all_strategies_conserve_payload() {
     let m = 100u64;
     let app_bytes = p * (p - 1) * m;
     for (name, strategy, multiplier) in [
-        ("AR", StrategyKind::AdaptiveRandomized, 1.0),
-        ("DR", StrategyKind::DeterministicRouted, 1.0),
-        ("MPI", StrategyKind::MpiBaseline, 1.0),
-        (
-            "throttled",
-            StrategyKind::ThrottledAdaptive { factor: 1.0 },
-            1.0,
-        ),
+        ("AR", StrategyKind::ar(), 1.0),
+        ("DR", StrategyKind::dr(), 1.0),
+        ("MPI", StrategyKind::mpi(), 1.0),
+        ("throttled", StrategyKind::throttled(1.0), 1.0),
         // TPS delivers forwarded bytes twice (once at the intermediate,
         // once at the destination); only a fraction are forwarded.
-        (
-            "TPS",
-            StrategyKind::TwoPhaseSchedule {
-                linear: None,
-                credit: None,
-            },
-            1.0,
-        ),
+        ("TPS", StrategyKind::tps(), 1.0),
     ] {
         let r = report(shape, &strategy, m);
         assert!(
@@ -61,13 +50,7 @@ fn all_strategies_conserve_payload() {
 /// application byte once.
 #[test]
 fn vmesh_moves_each_byte_twice() {
-    let r = report(
-        "4x4",
-        &StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        64,
-    );
+    let r = report("4x4", &StrategyKind::vmesh(), 64);
     // Phase 1: P·(pvx-1)/pvx ... easier from program structure: every node
     // sends (pvx-1) row messages of pvy·m plus (pvy-1) column messages of
     // pvx·m. For 4x4 → vmesh 4x4: 16 nodes × (3·4·64 + 3·4·64).
@@ -81,8 +64,8 @@ fn vmesh_moves_each_byte_twice() {
 #[test]
 fn strategy_ordering_matches_paper_shape() {
     // Symmetric: AR beats DR.
-    let ar_sym = report("4x4x4", &StrategyKind::AdaptiveRandomized, 432);
-    let dr_sym = report("4x4x4", &StrategyKind::DeterministicRouted, 432);
+    let ar_sym = report("4x4x4", &StrategyKind::ar(), 432);
+    let dr_sym = report("4x4x4", &StrategyKind::dr(), 432);
     assert!(
         ar_sym.percent_of_peak > dr_sym.percent_of_peak,
         "AR {} vs DR {}",
@@ -90,31 +73,19 @@ fn strategy_ordering_matches_paper_shape() {
         dr_sym.percent_of_peak
     );
     // Short messages: combining beats direct.
-    let vm_short = report(
-        "4x4x4",
-        &StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        8,
-    );
-    let ar_short = report("4x4x4", &StrategyKind::AdaptiveRandomized, 8);
+    let vm_short = report("4x4x4", &StrategyKind::vmesh(), 8);
+    let ar_short = report("4x4x4", &StrategyKind::ar(), 8);
     assert!(vm_short.cycles < ar_short.cycles);
     // Large messages: direct beats combining.
-    let vm_large = report(
-        "4x4x4",
-        &StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        432,
-    );
+    let vm_large = report("4x4x4", &StrategyKind::vmesh(), 432);
     assert!(ar_sym.cycles < vm_large.cycles);
 }
 
 /// DR's dimension-order asymmetry: better when X is the longest dimension.
 #[test]
 fn dr_prefers_x_longest() {
-    let x_long = report("8x4x4", &StrategyKind::DeterministicRouted, 432);
-    let z_long = report("4x4x8", &StrategyKind::DeterministicRouted, 432);
+    let x_long = report("8x4x4", &StrategyKind::dr(), 432);
+    let z_long = report("4x4x8", &StrategyKind::dr(), 432);
     assert!(
         x_long.percent_of_peak > z_long.percent_of_peak + 5.0,
         "X-longest {} vs Z-longest {}",
@@ -138,9 +109,9 @@ fn auto_dispatch_runs_the_right_strategy() {
 /// the dynamic VCs.
 #[test]
 fn vc_discipline() {
-    let dr = report("4x4x2", &StrategyKind::DeterministicRouted, 240);
+    let dr = report("4x4x2", &StrategyKind::dr(), 240);
     assert_eq!(dr.stats.dynamic_hops, 0);
-    let ar = report("4x4x2", &StrategyKind::AdaptiveRandomized, 240);
+    let ar = report("4x4x2", &StrategyKind::ar(), 240);
     assert!(ar.stats.dynamic_hops > 100 * ar.stats.bubble_hops.max(1) / 10);
 }
 
@@ -148,23 +119,10 @@ fn vc_discipline() {
 /// and costs only a small slowdown.
 #[test]
 fn credit_flow_control_overhead_is_small() {
-    let tps = report(
-        "4x4x2",
-        &StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        432,
-    );
+    let tps = report("4x4x2", &StrategyKind::tps(), 432);
     let credit = report(
         "4x4x2",
-        &StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: Some(CreditConfig {
-                window_packets: 40,
-                credit_every: 10,
-            }),
-        },
+        &StrategyKind::tps().with_pacer(Pacer::credit(40, 10)),
         432,
     );
     let slowdown = credit.cycles as f64 / tps.cycles as f64;
@@ -175,22 +133,8 @@ fn credit_flow_control_overhead_is_small() {
 /// reproducible across the whole stack.
 #[test]
 fn end_to_end_determinism() {
-    let a = report(
-        "4x4x2",
-        &StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        240,
-    );
-    let b = report(
-        "4x4x2",
-        &StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        240,
-    );
+    let a = report("4x4x2", &StrategyKind::tps(), 240);
+    let b = report("4x4x2", &StrategyKind::tps(), 240);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.stats, b.stats);
 }
@@ -200,7 +144,7 @@ fn end_to_end_determinism() {
 fn peak_bound_is_respected() {
     for shape in ["4", "4x4", "4x4x4", "8x4x4", "4x2M"] {
         for m in [8u64, 240] {
-            let r = report(shape, &StrategyKind::AdaptiveRandomized, m);
+            let r = report(shape, &StrategyKind::ar(), m);
             assert!(
                 r.percent_of_peak > 0.0 && r.percent_of_peak <= 102.0,
                 "{shape} m={m}: {}",
@@ -251,7 +195,7 @@ fn facade_exposes_routing_mode() {
 #[test]
 fn builder_matches_run_aa() {
     let part: Partition = "4x4x2".parse().unwrap();
-    let strategy = StrategyKind::AdaptiveRandomized;
+    let strategy = StrategyKind::ar();
     let direct = {
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = 16;

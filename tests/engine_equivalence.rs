@@ -28,17 +28,12 @@ use proptest::prelude::*;
 /// throttled, and the three software-forwarding schemes.
 fn strategy_pool() -> [StrategyKind; 6] {
     [
-        StrategyKind::AdaptiveRandomized,
-        StrategyKind::DeterministicRouted,
-        StrategyKind::ThrottledAdaptive { factor: 1.25 },
-        StrategyKind::TwoPhaseSchedule {
-            linear: None,
-            credit: None,
-        },
-        StrategyKind::VirtualMesh {
-            layout: VmeshLayout::Auto,
-        },
-        StrategyKind::XyzRouting,
+        StrategyKind::ar(),
+        StrategyKind::dr(),
+        StrategyKind::throttled(1.25),
+        StrategyKind::tps(),
+        StrategyKind::vmesh(),
+        StrategyKind::xyz(),
     ]
 }
 

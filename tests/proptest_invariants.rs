@@ -173,7 +173,7 @@ proptest! {
         let r = run_aa(
             part,
             &AaWorkload::full(m),
-            &StrategyKind::AdaptiveRandomized,
+            &StrategyKind::ar(),
             &MachineParams::bgl(),
             SimConfig::new(part),
         ).expect("completes");

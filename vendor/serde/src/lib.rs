@@ -86,6 +86,18 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Types that can rebuild themselves from a [`Value`].
 pub trait Deserialize: Sized {
     /// Rebuild from the value tree.
