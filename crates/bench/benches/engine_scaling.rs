@@ -1,20 +1,24 @@
 //! Engine scaling: per-cycle cost must track *active* nodes, not
-//! partition size. Each workload runs under both the default active-set
-//! engine and the reference full-scan mode
-//! (`SimConfig::full_scan_engine`), so the criterion report shows the
-//! win in the sparse regime and the (absence of) overhead in the dense
-//! one. `engine-bench` produces the same comparison as a one-shot JSON
-//! (`BENCH_engine.json`).
+//! partition size. Each workload runs under all three engine modes
+//! (`SimConfig::engine`): the reference full-scan core, the default
+//! active-set core, and the event-driven skip-ahead core — so the
+//! criterion report shows the win in the sparse regime and the (absence
+//! of) overhead in the dense one. `engine-bench` produces the same
+//! comparison as a one-shot JSON (`BENCH_engine.json`).
 
 use bgl_core::{run_aa, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_sim::{Engine, EngineMode, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
 use bgl_torus::Partition;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn modes() -> [(&'static str, bool); 2] {
-    [("active_set", false), ("full_scan", true)]
+fn modes() -> [(&'static str, EngineMode); 3] {
+    [
+        ("full_scan", EngineMode::FullScan),
+        ("active_set", EngineMode::ActiveSet),
+        ("event", EngineMode::EventDriven),
+    ]
 }
 
 /// Sparse extreme: two long streams on an otherwise idle 16x8x8
@@ -22,13 +26,13 @@ fn modes() -> [(&'static str, bool); 2] {
 fn bench_sparse_streams(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_scaling/sparse_streams_16x8x8");
     g.sample_size(10);
-    for (label, full_scan) in modes() {
+    for (label, engine) in modes() {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let part: Partition = "16x8x8".parse().unwrap();
                 let p = part.num_nodes();
                 let mut cfg = SimConfig::new(part);
-                cfg.full_scan_engine = full_scan;
+                cfg.engine = engine;
                 let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
                     .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
                     .collect();
@@ -53,12 +57,12 @@ fn bench_one_byte_aa(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_scaling/aa_1byte_8x8x8");
     g.sample_size(10);
     let params = MachineParams::bgl();
-    for (label, full_scan) in modes() {
+    for (label, engine) in modes() {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let part: Partition = "8x8x8".parse().unwrap();
                 let mut cfg = SimConfig::new(part);
-                cfg.full_scan_engine = full_scan;
+                cfg.engine = engine;
                 black_box(
                     run_aa(
                         part,
@@ -81,12 +85,12 @@ fn bench_dense_aa(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_scaling/aa_dense_4x4x4_m912");
     g.sample_size(10);
     let params = MachineParams::bgl();
-    for (label, full_scan) in modes() {
+    for (label, engine) in modes() {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let part: Partition = "4x4x4".parse().unwrap();
                 let mut cfg = SimConfig::new(part);
-                cfg.full_scan_engine = full_scan;
+                cfg.engine = engine;
                 black_box(
                     run_aa(
                         part,

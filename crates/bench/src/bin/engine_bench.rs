@@ -1,20 +1,28 @@
-//! `engine-bench` — before/after wall-clock comparison of the engine's
-//! reference full-scan mode (`SimConfig::full_scan_engine = true`)
-//! against the default active-set mode, on workloads spanning the sparse
-//! regime (where per-cycle cost should scale with *active* nodes) and
-//! the dense regime (where the bookkeeping must not regress).
+//! `engine-bench` — wall-clock comparison of the three engine modes
+//! (`SimConfig::engine`, see [`EngineMode`]): the reference `full-scan`
+//! core, the default `active-set` core (per-cycle cost scales with
+//! *active* nodes), and the `event`-driven core (cycles with no state
+//! change are skipped outright). Workloads span the sparse regime, where
+//! both optimizations should win, and the dense regime, where their
+//! bookkeeping must not regress.
 //!
 //! ```text
-//! engine-bench [--reps N] [--out FILE]
+//! engine-bench [--reps N] [--out FILE] [--full-scale] [--engine full-scan|active-set|event]
 //! ```
 //!
 //! Writes a JSON report (default `BENCH_engine.json` in the current
 //! directory): per workload, the minimum-of-`reps` wall-clock for each
-//! mode, the speedup, and the (identical) simulated cycle counts.
+//! mode, the active-set-vs-full-scan and event-vs-active-set speedups,
+//! and the (identical) simulated cycle counts. `--full-scale` adds the
+//! paper's full 20,480-node machine (32x32x20, Table 2) as a final row,
+//! timed once per mode regardless of `--reps`. `--engine` narrows the
+//! run to a single mode (a profiling aid: the JSON then carries one
+//! seconds column and no speedups); an unknown mode exits with
+//! status 2.
 
 use bgl_core::{run_aa, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_sim::{Engine, EngineMode, FlowSpec, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
 use bgl_torus::{Coord, Partition};
 use std::time::Instant;
 
@@ -29,11 +37,18 @@ struct Outcome {
     cycles: u64,
     full_scan_secs: f64,
     active_set_secs: f64,
+    event_secs: f64,
 }
 
 impl Outcome {
-    fn speedup(&self) -> f64 {
+    /// Active-set win over the reference core.
+    fn active_speedup(&self) -> f64 {
         self.full_scan_secs / self.active_set_secs
+    }
+
+    /// Event-driven win over the already-optimized active-set core.
+    fn event_speedup(&self) -> f64 {
+        self.active_set_secs / self.event_secs
     }
 }
 
@@ -55,25 +70,32 @@ fn time_runs(reps: u32, mut run: impl FnMut() -> u64) -> (f64, u64) {
     (best, cycles)
 }
 
-/// Time one workload in both engine modes and check they simulate the
-/// exact same number of cycles (the equivalence tests pin full stats;
-/// here the cycle count guards against benchmarking two different runs).
+/// Time one workload in all three engine modes and check they simulate
+/// the exact same number of cycles (the equivalence tests pin full
+/// stats; here the cycle count guards against benchmarking two
+/// different runs).
 fn compare(
     name: &'static str,
     description: &'static str,
     reps: u32,
-    run: impl Fn(bool) -> u64,
+    run: impl Fn(EngineMode) -> u64,
 ) -> Outcome {
-    let (full_scan_secs, full_cycles) = time_runs(reps, || run(true));
-    let (active_set_secs, active_cycles) = time_runs(reps, || run(false));
+    let (full_scan_secs, full_cycles) = time_runs(reps, || run(EngineMode::FullScan));
+    let (active_set_secs, active_cycles) = time_runs(reps, || run(EngineMode::ActiveSet));
+    let (event_secs, event_cycles) = time_runs(reps, || run(EngineMode::EventDriven));
     assert_eq!(
         active_cycles, full_cycles,
-        "{name}: modes disagree on cycles"
+        "{name}: active-set disagrees with full-scan on cycles"
+    );
+    assert_eq!(
+        event_cycles, full_cycles,
+        "{name}: event-driven disagrees with full-scan on cycles"
     );
     eprintln!(
         "  {name}: full-scan {full_scan_secs:.3}s  active-set {active_set_secs:.3}s  \
-         ({:.2}x, {full_cycles} cycles)",
-        full_scan_secs / active_set_secs
+         event {event_secs:.3}s  (active {:.2}x, event {:.2}x, {full_cycles} cycles)",
+        full_scan_secs / active_set_secs,
+        active_set_secs / event_secs
     );
     Outcome {
         name,
@@ -81,25 +103,37 @@ fn compare(
         cycles: full_cycles,
         full_scan_secs,
         active_set_secs,
+        event_secs,
     }
 }
 
-fn aa_cycles(shape: &str, strategy: &StrategyKind, workload: &AaWorkload, full_scan: bool) -> u64 {
+fn aa_cycles(
+    shape: &str,
+    strategy: &StrategyKind,
+    workload: &AaWorkload,
+    engine: EngineMode,
+) -> u64 {
     let part: Partition = shape.parse().unwrap();
     let mut cfg = SimConfig::new(part);
-    cfg.full_scan_engine = full_scan;
+    cfg.engine = engine;
     run_aa(part, workload, strategy, &MachineParams::bgl(), cfg)
         .expect("run completes")
         .cycles
 }
 
-/// A handful of long point-to-point streams on an otherwise idle 16x8x8
-/// partition: the extreme sparse case (8 of 1024 nodes ever active).
-fn stream_cycles(full_scan: bool) -> u64 {
+/// A handful of long rate-paced point-to-point streams on an otherwise
+/// idle 16x8x8 partition: the extreme sparse case (8 of 1024 nodes ever
+/// active), with the injection window throttled to 1/32 chunk per cycle
+/// so even the busy nodes spend most cycles waiting — the regime the
+/// event-driven core skips outright.
+fn stream_cycles(engine: EngineMode) -> u64 {
     let part: Partition = "16x8x8".parse().unwrap();
     let p = part.num_nodes();
     let mut cfg = SimConfig::new(part);
-    cfg.full_scan_engine = full_scan;
+    cfg.engine = engine;
+    cfg.flow = FlowSpec::Rate {
+        chunks_per_cycle: 1.0 / 32.0,
+    };
     let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
         .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
         .collect();
@@ -121,11 +155,11 @@ fn stream_cycles(full_scan: bool) -> u64 {
 /// subcommunicator (the paper's smallest Table 4 partition) embedded in
 /// an otherwise idle 2048-node machine, repeated 200 times back-to-back
 /// the way latency benchmarks measure — long run, 8 active nodes.
-fn subcomm_aa_cycles(full_scan: bool) -> u64 {
+fn subcomm_aa_cycles(engine: EngineMode) -> u64 {
     let part: Partition = "16x16x8".parse().unwrap();
     let p = part.num_nodes();
     let mut cfg = SimConfig::new(part);
-    cfg.full_scan_engine = full_scan;
+    cfg.engine = engine;
     let comm: Vec<u32> = (0..8u16)
         .map(|x| part.rank_of(Coord::new(x, 0, 0)))
         .collect();
@@ -156,10 +190,21 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One benchmark row: name, description, reps, and the run closure
+/// (returns the simulated cycle count, asserted equal across modes).
+type Workload = (
+    &'static str,
+    &'static str,
+    u32,
+    Box<dyn Fn(EngineMode) -> u64>,
+);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps = 3u32;
     let mut out = "BENCH_engine.json".to_string();
+    let mut full_scale = false;
+    let mut only: Option<EngineMode> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -174,6 +219,11 @@ fn main() {
                 Some(p) if !p.is_empty() && !p.starts_with("--") => out = p,
                 _ => fail("--out needs a file path"),
             },
+            "--full-scale" => full_scale = true,
+            "--engine" => {
+                let v = it.next().unwrap_or_default();
+                only = Some(v.parse().unwrap_or_else(|e: String| fail(&e)));
+            }
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -181,60 +231,121 @@ fn main() {
     eprintln!("engine-bench: {reps} reps per mode, min wall-clock reported");
     let ar = StrategyKind::ar();
     let tps = StrategyKind::tps();
-    let results = [
-        compare(
+    let mut workloads: Vec<Workload> = vec![
+        (
             "sparse_streams_16x8x8",
-            "4 long adaptive streams on an idle 1024-node partition (8 nodes ever active)",
+            "4 long rate-paced adaptive streams (1/32 chunk per cycle) on an idle \
+             1024-node partition (8 nodes ever active)",
             reps,
-            stream_cycles,
+            Box::new(stream_cycles),
         ),
-        compare(
+        (
             "subcomm_aa_1byte_16x16x8",
             "Table 4 latency shape: 200 back-to-back 1-byte all-to-alls among an \
              8-node subcommunicator of an idle 2048-node machine",
             reps,
-            subcomm_aa_cycles,
+            Box::new(subcomm_aa_cycles),
         ),
-        compare(
+        (
             "aa_1byte_8x8x8_ar",
             "Table 4 shape: 1-byte all-to-all on 8x8x8, adaptive randomized",
             reps,
-            |fs| aa_cycles("8x8x8", &ar, &AaWorkload::full(1), fs),
+            Box::new({
+                let ar = ar.clone();
+                move |e| aa_cycles("8x8x8", &ar, &AaWorkload::full(1), e)
+            }),
         ),
-        compare(
+        (
             "aa_sampled_8x8x8_m912_tps",
             "sampled Table 3 shape: m=912 on 8x8x8 at 1/16 coverage, two-phase schedule",
             reps,
-            |fs| aa_cycles("8x8x8", &tps, &AaWorkload::sampled(912, 1.0 / 16.0), fs),
+            Box::new(move |e| aa_cycles("8x8x8", &tps, &AaWorkload::sampled(912, 1.0 / 16.0), e)),
         ),
-        compare(
+        (
             "aa_dense_8x8x8_m912_ar",
             "dense regression guard: full-coverage m=912 all-to-all on 8x8x8",
             reps,
-            |fs| aa_cycles("8x8x8", &ar, &AaWorkload::full(912), fs),
+            Box::new({
+                let ar = ar.clone();
+                move |e| aa_cycles("8x8x8", &ar, &AaWorkload::full(912), e)
+            }),
         ),
     ];
-
-    let mut body = String::from("{\n");
-    body.push_str("  \"benchmark\": \"engine full-scan vs active-set\",\n");
-    body.push_str("  \"tool\": \"engine-bench\",\n");
-    body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
-    body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
-    body.push_str("  \"workloads\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"description\": \"{}\", \"cycles\": {}, \
-             \"full_scan_secs\": {:.4}, \"active_set_secs\": {:.4}, \"speedup\": {:.3}}}{}\n",
-            json_escape(r.name),
-            json_escape(r.description),
-            r.cycles,
-            r.full_scan_secs,
-            r.active_set_secs,
-            r.speedup(),
-            if i + 1 == results.len() { "" } else { "," },
+    if full_scale {
+        // The full BG/L machine of the paper's Table 2: 20,480 nodes.
+        // Destination sampling (16 per node) keeps the run in budget;
+        // one rep per mode — the full-scan reference alone is minutes.
+        workloads.push((
+            "table2_full_machine_32x32x20_ar",
+            "paper's full 20,480-node machine (32x32x20, Table 2): sampled \
+             1-byte adaptive all-to-all, 16 destinations per node",
+            1,
+            Box::new(move |e| {
+                aa_cycles("32x32x20", &ar, &AaWorkload::sampled(1, 16.0 / 20_479.0), e)
+            }),
         ));
     }
-    body.push_str("  ]\n}\n");
+
+    let body = match only {
+        Some(mode) => {
+            // Single-mode profiling run: one seconds column, no speedups.
+            let mut body = String::from("{\n");
+            body.push_str(&format!("  \"benchmark\": \"engine {mode} mode\",\n"));
+            body.push_str("  \"tool\": \"engine-bench\",\n");
+            body.push_str(&format!("  \"engine\": \"{mode}\",\n"));
+            body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
+            body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
+            body.push_str("  \"workloads\": [\n");
+            let last = workloads.len();
+            for (i, (name, description, reps, run)) in workloads.iter().enumerate() {
+                let (secs, cycles) = time_runs(*reps, || run(mode));
+                eprintln!("  {name}: {mode} {secs:.3}s ({cycles} cycles)");
+                body.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"description\": \"{}\", \"cycles\": {}, \
+                     \"secs\": {:.4}}}{}\n",
+                    json_escape(name),
+                    json_escape(description),
+                    cycles,
+                    secs,
+                    if i + 1 == last { "" } else { "," },
+                ));
+            }
+            body.push_str("  ]\n}\n");
+            body
+        }
+        None => {
+            let results: Vec<Outcome> = workloads
+                .iter()
+                .map(|(name, description, reps, run)| compare(name, description, *reps, run))
+                .collect();
+            let mut body = String::from("{\n");
+            body.push_str(
+                "  \"benchmark\": \"engine modes: full-scan vs active-set vs event-driven\",\n",
+            );
+            body.push_str("  \"tool\": \"engine-bench\",\n");
+            body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
+            body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
+            body.push_str("  \"workloads\": [\n");
+            for (i, r) in results.iter().enumerate() {
+                body.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"description\": \"{}\", \"cycles\": {}, \
+                     \"full_scan_secs\": {:.4}, \"active_set_secs\": {:.4}, \"event_secs\": {:.4}, \
+                     \"active_speedup\": {:.3}, \"event_speedup\": {:.3}}}{}\n",
+                    json_escape(r.name),
+                    json_escape(r.description),
+                    r.cycles,
+                    r.full_scan_secs,
+                    r.active_set_secs,
+                    r.event_secs,
+                    r.active_speedup(),
+                    r.event_speedup(),
+                    if i + 1 == results.len() { "" } else { "," },
+                ));
+            }
+            body.push_str("  ]\n}\n");
+            body
+        }
+    };
     if let Err(e) = std::fs::write(&out, &body) {
         fail(&format!("cannot write {out}: {e}"));
     }

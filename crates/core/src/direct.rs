@@ -12,7 +12,7 @@
 
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
-use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
+use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
 use bgl_torus::Partition;
 
 /// Payload packet kind.
@@ -155,6 +155,12 @@ impl DirectProgram {
 }
 
 impl NodeProgram for DirectProgram {
+    /// Declines only while credit-blocked, and the credit ack arrives as
+    /// a delivered packet — so sleeping until the next delivery is exact.
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
     fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
         if self.done {
             return None;

@@ -12,7 +12,7 @@
 
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
-use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
+use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
 use bgl_torus::{Coord, Dim, Partition, ALL_DIMS};
 
 pub use crate::flow::CreditConfig;
@@ -162,6 +162,13 @@ impl TpsProgram {
 }
 
 impl NodeProgram for TpsProgram {
+    /// Declines only when done sending or credit-blocked toward a linear
+    /// intermediate; the ack arrives as a delivered credit packet, so
+    /// sleeping until the next delivery is exact.
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
     fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
         if self.done_sending {
             return None;

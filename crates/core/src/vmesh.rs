@@ -14,7 +14,7 @@
 
 use crate::workload::{packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
-use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
+use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
 use bgl_torus::{Partition, VirtualMesh, VmeshLayout};
 
 /// Phase-1 (row) packet kind.
@@ -128,6 +128,13 @@ impl VmeshProgram {
 }
 
 impl NodeProgram for VmeshProgram {
+    /// Declines only when credit-blocked (the ack is a delivered credit
+    /// packet), waiting on row messages before phase 2 (delivery-driven),
+    /// or finished — sleeping until the next delivery is exact.
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
     fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
         if !self.p1_done() {
             let dst = self.p1_targets[self.p1_idx];

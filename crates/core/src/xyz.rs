@@ -13,7 +13,7 @@
 
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
-use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, RoutingMode, SendSpec};
+use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
 use bgl_torus::{Coord, Dim, Partition};
 
 /// Injection classes, one per software-routing dimension, so an X-phase
@@ -121,6 +121,13 @@ impl XyzProgram {
 }
 
 impl NodeProgram for XyzProgram {
+    /// Declines only when done sending or credit-blocked toward the
+    /// first-hop intermediate; the ack arrives as a delivered credit
+    /// packet, so sleeping until the next delivery is exact.
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
     fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
         if self.done_sending {
             return None;

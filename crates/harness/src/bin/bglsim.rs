@@ -4,10 +4,17 @@
 //! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--jobs N] [--csv|--json]
 //!              [--pacer none|rate:F|credit:W,E] [--credit W,E]
 //!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
+//!              [--engine full-scan|active-set|event]
 //! bglsim fit   --shape 8x8x8
-//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480
-//! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json]
+//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE]
+//! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE]
 //! ```
+//!
+//! `--engine` selects the simulator scheduling core
+//! ([`EngineMode`](bgl_sim::EngineMode)): the `full-scan` reference, the
+//! default `active-set`, or the `event`-driven skip-ahead engine. Every
+//! mode produces byte-identical results; the flag only changes
+//! wall-clock. An unknown mode exits with status 2.
 //!
 //! Pacing: `--pacer` overrides every swept strategy's injection pacing —
 //! `none` strips it, `rate:F` throttles injection to `F×` the bisection-
@@ -40,7 +47,7 @@ use bgl_core::*;
 use bgl_harness::conformance::{run_validation, Tier};
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_model::MachineParams;
-use bgl_sim::SimConfig;
+use bgl_sim::{EngineMode, SimConfig};
 use bgl_torus::{Dim, Partition};
 use std::collections::HashMap;
 
@@ -85,6 +92,13 @@ fn parse_flags(
 fn parse_shape(s: &str) -> Partition {
     s.parse()
         .unwrap_or_else(|e| fail(&format!("invalid shape {s:?}: {e}")))
+}
+
+/// Resolve `--engine full-scan|active-set|event` (default: active-set).
+fn parse_engine(flags: &HashMap<String, String>) -> EngineMode {
+    flags.get("engine").map_or_else(EngineMode::default, |s| {
+        s.parse().unwrap_or_else(|e: String| fail(&e))
+    })
 }
 
 fn strategy_by_name(name: &str) -> StrategyKind {
@@ -228,7 +242,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     // --trace-out and --report both imply tracing; --trace-interval alone
     // also enables it (the trace then rides the --json output).
     let tracing = trace_out.is_some() || report || flags.contains_key("trace-interval");
-    let mut runner = Runner::new(Scale::Paper);
+    let mut runner = Runner::new(Scale::Paper).with_engine(parse_engine(flags));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -392,7 +406,9 @@ fn cmd_pattern(flags: &HashMap<String, String>) {
             "unknown pattern {other:?} (a2a|shift|transpose|random|plane)"
         )),
     };
-    match run_pattern(part, &pattern, m, &params, SimConfig::new(part), 7) {
+    let mut cfg = SimConfig::new(part);
+    cfg.engine = parse_engine(flags);
+    match run_pattern(part, &pattern, m, &params, cfg, 7) {
         Ok(rep) => {
             println!("{pattern:?} on {part}, m={m} B/pair:");
             println!("  pairs            : {}", rep.pairs);
@@ -408,7 +424,7 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     let tier = flags.get("tier").map_or(Tier::Quick, |s| {
         Tier::parse(s).unwrap_or_else(|| fail(&format!("--tier must be quick or full, got {s:?}")))
     });
-    let mut runner = Runner::new(tier.scale());
+    let mut runner = Runner::new(tier.scale()).with_engine(parse_engine(flags));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -446,12 +462,21 @@ fn main() {
                 "credit",
                 "trace-interval",
                 "trace-out",
+                "engine",
             ],
             &["csv", "json", "report"],
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
-        "pattern" => cmd_pattern(&parse_flags(rest, &["shape", "pattern", "m"], &[])),
-        "validate" => cmd_validate(&parse_flags(rest, &["tier", "jobs", "out"], &["bless"])),
+        "pattern" => cmd_pattern(&parse_flags(
+            rest,
+            &["shape", "pattern", "m", "engine"],
+            &[],
+        )),
+        "validate" => cmd_validate(&parse_flags(
+            rest,
+            &["tier", "jobs", "out", "engine"],
+            &["bless"],
+        )),
         _ => {
             eprintln!("usage: bglsim sweep|fit|pattern|validate [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
@@ -459,9 +484,10 @@ fn main() {
             eprintln!(
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
+            eprintln!("          [--engine full-scan|active-set|event]");
             eprintln!("  fit     --shape 8x8x8");
-            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480");
-            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json]");
+            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE]");
+            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE]");
             std::process::exit(2);
         }
     }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! calib <shape> <AR|DR|TPS|VM|THR|MPI>[,<...>] <m_bytes> <coverage> [--jobs N] [--json]
+//!       [--engine full-scan|active-set|event]
 //! ```
 //!
 //! Several strategies (comma-separated) run concurrently across
@@ -15,6 +16,7 @@
 
 use bgl_core::*;
 use bgl_harness::runner::{RunPoint, Runner, Scale};
+use bgl_sim::EngineMode;
 use bgl_torus::{Partition, ALL_DIMS};
 
 fn fail(msg: &str) -> ! {
@@ -27,10 +29,15 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut json = false;
     let mut jobs: Option<usize> = None;
+    let mut engine = EngineMode::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--engine" => {
+                let v = it.next().unwrap_or_default();
+                engine = v.parse().unwrap_or_else(|e: String| fail(&e));
+            }
             "--jobs" => {
                 let v = it.next().unwrap_or_default();
                 match v.parse::<usize>() {
@@ -75,7 +82,7 @@ fn main() {
             )),
         })
         .collect();
-    let mut runner = Runner::new(Scale::Paper);
+    let mut runner = Runner::new(Scale::Paper).with_engine(engine);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro list
-//! repro <id>... [--scale quick|paper] [--jobs N] [--json] [--out DIR]
-//! repro all     [--scale quick|paper] [--jobs N] [--json] [--out DIR]
+//! repro <id>... [--scale quick|paper] [--jobs N] [--json] [--out DIR] [--engine full-scan|active-set|event]
+//! repro all     [--scale quick|paper] [--jobs N] [--json] [--out DIR] [--engine full-scan|active-set|event]
 //! ```
 //!
 //! All experiments' simulation points are executed as one deduplicated
@@ -11,9 +11,12 @@
 //! are identical for any thread count. `--json` replaces the text
 //! tables on stdout with a machine-readable JSON array. With `--out`,
 //! each report is written as `<id>.txt` and `<id>.csv` plus a combined
-//! `results.json`.
+//! `results.json`. `--engine` picks the simulator scheduling core
+//! ([`EngineMode`](bgl_sim::EngineMode)); every mode produces identical
+//! results, so the flag only changes wall-clock.
 
 use bgl_harness::{experiments, run_suite, Runner, Scale};
+use bgl_sim::EngineMode;
 use std::path::PathBuf;
 
 fn fail(msg: &str) -> ! {
@@ -25,7 +28,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
         eprintln!(
-            "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR]"
+            "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR] \
+             [--engine full-scan|active-set|event]"
         );
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         std::process::exit(2);
@@ -35,9 +39,14 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut json = false;
     let mut out: Option<PathBuf> = None;
+    let mut engine = EngineMode::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => {
+                let v = it.next().unwrap_or_default();
+                engine = v.parse().unwrap_or_else(|e: String| fail(&e));
+            }
             "--scale" => {
                 let v = it.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -71,7 +80,7 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    let mut runner = Runner::new(scale);
+    let mut runner = Runner::new(scale).with_engine(engine);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }

@@ -16,12 +16,15 @@
 use super::{CheckResult, Tier};
 use crate::runner::{RunPoint, Runner};
 use bgl_core::{Pacer, StrategyKind};
+use bgl_sim::EngineMode;
 use bgl_torus::Partition;
 
 /// Variant label for the invariant-checked runs the grid is made of.
 pub const INVARIANTS: &str = "invariants";
 /// Variant label for the reference-engine twin of a grid point.
 pub const INVARIANTS_FULL_SCAN: &str = "invariants-fullscan";
+/// Variant label for the event-driven-engine twin of a grid point.
+pub const INVARIANTS_EVENT: &str = "invariants-event";
 
 fn ar() -> StrategyKind {
     StrategyKind::ar()
@@ -78,7 +81,17 @@ pub fn checked_full_scan(
         .point(shape, strategy, m)
         .variant(INVARIANTS_FULL_SCAN, |c| {
             c.check_invariants = true;
-            c.full_scan_engine = true;
+            c.engine = EngineMode::FullScan;
+        })
+}
+
+/// The same point under the event-driven engine (oracle still on).
+pub fn checked_event(runner: &Runner, shape: &str, strategy: &StrategyKind, m: u64) -> RunPoint {
+    runner
+        .point(shape, strategy, m)
+        .variant(INVARIANTS_EVENT, |c| {
+            c.check_invariants = true;
+            c.engine = EngineMode::EventDriven;
         })
 }
 
@@ -218,10 +231,12 @@ pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
         pts.push(checked(runner, shape, &ar(), g.vm_small));
         pts.push(checked(runner, shape, &tps(), g.vm_small));
     }
-    // F6: active-set and full-scan twins of the equivalence slice.
+    // F6: active-set, full-scan, and event-driven twins of the
+    // equivalence slice.
     for (shape, strategy, m) in equivalence_grid(runner) {
         pts.push(checked(runner, shape, &strategy, m));
         pts.push(checked_full_scan(runner, shape, &strategy, m));
+        pts.push(checked_event(runner, shape, &strategy, m));
     }
     pts
 }
@@ -468,26 +483,37 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
     // ---- F6: engine-mode/oracle equivalence ---------------------------
     let fam = "F6 engine-equivalence";
     for (shape, strategy, m) in equivalence_grid(runner) {
-        let active = runner.report(&checked(runner, shape, &strategy, m));
         let reference = runner.report(&checked_full_scan(runner, shape, &strategy, m));
-        let (passed, measured) = match (&active, &reference) {
-            (Ok(a), Ok(r)) if a.stats == r.stats => (true, "identical NetStats".to_string()),
-            (Ok(a), Ok(r)) => (
-                false,
-                format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+        let twins = [
+            (
+                "active-set",
+                runner.report(&checked(runner, shape, &strategy, m)),
             ),
-            (a, r) => (
-                false,
-                format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+            (
+                "event",
+                runner.report(&checked_event(runner, shape, &strategy, m)),
             ),
-        };
-        out.push(CheckResult::new(
-            fam,
-            format!("{} {} m={m}", shape, strategy.name()),
-            passed,
-            measured,
-            "active-set == full-scan under the oracle",
-        ));
+        ];
+        for (label, twin) in &twins {
+            let (passed, measured) = match (twin, &reference) {
+                (Ok(a), Ok(r)) if a.stats == r.stats => (true, "identical NetStats".to_string()),
+                (Ok(a), Ok(r)) => (
+                    false,
+                    format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+                ),
+                (a, r) => (
+                    false,
+                    format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+                ),
+            };
+            out.push(CheckResult::new(
+                fam,
+                format!("{} {} m={m} {label}", shape, strategy.name()),
+                passed,
+                measured,
+                "every engine mode == full-scan under the oracle",
+            ));
+        }
     }
 
     out

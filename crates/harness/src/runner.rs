@@ -21,7 +21,7 @@
 
 use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{SimConfig, SimError, TraceConfig};
+use bgl_sim::{EngineMode, SimConfig, SimError, TraceConfig};
 use bgl_torus::Partition;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -239,6 +239,9 @@ pub struct Runner {
     pub scale: Scale,
     /// Workload/schedule seed.
     pub seed: u64,
+    /// Engine mode applied to every run before the point's own tweak
+    /// (so a variant that pins a specific mode still wins).
+    pub engine: EngineMode,
     jobs: usize,
     shards: [Mutex<HashMap<RunKey, Result<AaReport, SimError>>>; SHARDS],
 }
@@ -254,9 +257,19 @@ impl Runner {
             params: MachineParams::bgl(),
             scale,
             seed: 0xaa11,
+            engine: EngineMode::default(),
             jobs,
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Select the [`EngineMode`] for every run this runner executes.
+    /// Results are byte-identical across modes (pinned by the engine
+    /// equivalence suite), so the cache key does not include it — the
+    /// mode only changes wall-clock.
+    pub fn with_engine(mut self, engine: EngineMode) -> Runner {
+        self.engine = engine;
+        self
     }
 
     /// Set the worker-thread count for [`Runner::run_points`] (clamped
@@ -456,6 +469,7 @@ impl Runner {
         };
         workload.seed = self.seed;
         let mut cfg = SimConfig::new(key.part);
+        cfg.engine = self.engine;
         tweak(&mut cfg);
         // The key's trace interval wins over any tweak: the key is the
         // identity of the run, so what it says must be what executes.

@@ -190,6 +190,50 @@ fn repro_rejects_malformed_input() {
     assert_clean_failure(bin, &["table3", "--frobnicate"], "unknown flag");
 }
 
+/// Every simulation CLI accepts `--engine` and rejects an unknown mode
+/// with the one-line exit-2 contract.
+#[test]
+fn engine_flag_rejects_unknown_mode() {
+    let bglsim = env!("CARGO_BIN_EXE_bglsim");
+    assert_clean_failure(bglsim, &["sweep", "--engine", "warp"], "unknown engine");
+    assert_clean_failure(bglsim, &["sweep", "--engine"], "needs a value");
+    assert_clean_failure(bglsim, &["pattern", "--engine", "warp"], "unknown engine");
+    assert_clean_failure(bglsim, &["validate", "--engine", "warp"], "unknown engine");
+    let calib = env!("CARGO_BIN_EXE_calib");
+    assert_clean_failure(
+        calib,
+        &["4x4", "AR", "64", "1.0", "--engine", "warp"],
+        "unknown engine",
+    );
+    let repro = env!("CARGO_BIN_EXE_repro");
+    assert_clean_failure(repro, &["table3", "--engine", "warp"], "unknown engine");
+}
+
+/// Each named engine mode runs a small sweep to completion and prints
+/// the same table (the modes are observationally equivalent).
+#[test]
+fn engine_flag_happy_paths() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    for engine in ["full-scan", "active-set", "event"] {
+        let (code, stdout, stderr) = run(
+            bin,
+            &[
+                "sweep",
+                "--shape",
+                "4x4",
+                "--strategies",
+                "ar",
+                "--sizes",
+                "64",
+                "--engine",
+                engine,
+            ],
+        );
+        assert_eq!(code, Some(0), "--engine {engine} failed: {stderr}");
+        assert!(stdout.contains("of peak"), "--engine {engine}: {stdout}");
+    }
+}
+
 /// A tiny happy-path smoke so the suite also proves the binaries still
 /// *work* after the flag-parsing rewrite (quick fit, no simulation).
 #[test]

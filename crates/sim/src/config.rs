@@ -55,6 +55,106 @@ impl Vc {
     pub const DYNAMIC: [Vc; 2] = [Vc::Dynamic0, Vc::Dynamic1];
 }
 
+/// Engine scheduling mode: how the simulator finds work each cycle.
+///
+/// All three modes produce byte-identical results — `NetStats`, traces,
+/// error cycles — on every workload; they differ only in wall-clock cost.
+/// The differential fuzzer (`tests/engine_equivalence.rs`) and conformance
+/// family F6 pin the equivalence.
+///
+/// * [`EngineMode::FullScan`] visits every node in every phase of every
+///   cycle: the reference semantics, O(nodes) per cycle regardless of
+///   activity. Exists for equivalence testing and before/after
+///   benchmarking, never for speed.
+/// * [`EngineMode::ActiveSet`] (the default) keeps lazily-pruned worklists
+///   of nodes with CPU or arbitration work, skipping idle *space* while
+///   still ticking every cycle.
+/// * [`EngineMode::EventDriven`] additionally skips idle *time*: when
+///   every component is asleep — FIFOs empty or blocked, no pending
+///   credits, no open pacer window — the simulator computes the earliest
+///   next wake-up (arrival, credit ack, rate-window boundary, trace
+///   boundary) and jumps straight to it. Latency-dominated workloads with
+///   long quiet gaps run order-of-magnitude faster; saturated workloads
+///   pay a small bookkeeping overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// Reference engine: scan every node every cycle.
+    FullScan,
+    /// Active-set worklists, cycle-stepped time.
+    #[default]
+    ActiveSet,
+    /// Active-set worklists plus event-driven time skipping.
+    EventDriven,
+}
+
+impl EngineMode {
+    /// All modes, in reference-to-fastest order (handy for equivalence
+    /// loops in tests and benches).
+    pub const ALL: [EngineMode; 3] = [
+        EngineMode::FullScan,
+        EngineMode::ActiveSet,
+        EngineMode::EventDriven,
+    ];
+
+    /// The CLI/config spelling: `full-scan`, `active-set` or `event`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::FullScan => "full-scan",
+            EngineMode::ActiveSet => "active-set",
+            EngineMode::EventDriven => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses the CLI spelling (`full-scan|active-set|event`); the error
+/// message lists the accepted values for the binaries' exit-2 path.
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineMode, String> {
+        match s {
+            "full-scan" => Ok(EngineMode::FullScan),
+            "active-set" => Ok(EngineMode::ActiveSet),
+            "event" => Ok(EngineMode::EventDriven),
+            other => Err(format!(
+                "unknown engine {other:?} (full-scan|active-set|event)"
+            )),
+        }
+    }
+}
+
+impl Serialize for EngineMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for EngineMode {
+    fn from_value(v: &serde::Value) -> Result<EngineMode, serde::Error> {
+        match v {
+            serde::Value::Str(s) => s.parse().map_err(|e: String| serde::Error::custom(e)),
+            // Legacy alias: configs serialized before the `EngineMode`
+            // redesign carried `full_scan_engine: bool` in this slot.
+            serde::Value::Bool(true) => Ok(EngineMode::FullScan),
+            serde::Value::Bool(false) => Ok(EngineMode::ActiveSet),
+            other => Err(serde::Error::custom(format!(
+                "expected engine mode string, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Configs predating the field deserialize to the default mode.
+    fn from_missing(_field: &str) -> Result<EngineMode, serde::Error> {
+        Ok(EngineMode::ActiveSet)
+    }
+}
+
 /// Node CPU model: the cores inject packets into injection FIFOs, drain
 /// reception FIFOs and perform software copies; BG/L has no DMA engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,13 +279,11 @@ pub struct SimConfig {
     /// Tracing never perturbs results: `NetStats` is byte-identical with
     /// tracing on or off.
     pub trace: Option<TraceConfig>,
-    /// Validation/benchmark knob: disable the active-node worklists and
-    /// scan every node in every phase of every cycle (the reference
-    /// full-scan engine). Results are byte-identical either way — the
-    /// active-set engine only skips nodes that provably have no work —
-    /// so this exists for equivalence tests and before/after
-    /// benchmarking, never for correctness.
-    pub full_scan_engine: bool,
+    /// Engine scheduling mode (see [`EngineMode`]). Results are
+    /// byte-identical across all three modes — they differ only in
+    /// wall-clock cost — so this is a performance knob, never a
+    /// correctness one.
+    pub engine: EngineMode,
     /// Invariant oracle: independently re-derive the simulator's
     /// conservation laws and panic on the first violation — every injected
     /// packet delivered exactly once, payload bytes conserved end-to-end,
@@ -215,9 +313,22 @@ impl SimConfig {
             max_cycles: 2_000_000_000,
             detailed_link_stats: false,
             trace: None,
-            full_scan_engine: false,
+            engine: EngineMode::default(),
             check_invariants: false,
         }
+    }
+
+    /// Back-compat shim for the retired `full_scan_engine: bool` knob.
+    #[deprecated(
+        since = "0.6.0",
+        note = "set `engine = EngineMode::FullScan` / `EngineMode::ActiveSet` instead"
+    )]
+    pub fn set_full_scan_engine(&mut self, full_scan: bool) {
+        self.engine = if full_scan {
+            EngineMode::FullScan
+        } else {
+            EngineMode::ActiveSet
+        };
     }
 }
 
@@ -246,6 +357,42 @@ mod tests {
         assert!(c.router.adaptive_bubble_escape);
         assert_eq!(c.cpu.chunks_per_cycle, 4.0);
         assert_eq!(c.inj_fifo_count, 6);
+    }
+
+    #[test]
+    fn engine_mode_round_trips_and_accepts_legacy_bool() {
+        for mode in EngineMode::ALL {
+            let v = mode.to_value();
+            assert_eq!(EngineMode::from_value(&v).unwrap(), mode);
+            assert_eq!(mode.name().parse::<EngineMode>().unwrap(), mode);
+        }
+        // Stored configs from before the redesign spelled the knob as a
+        // bool; both polarities keep deserializing.
+        assert_eq!(
+            EngineMode::from_value(&serde::Value::Bool(true)).unwrap(),
+            EngineMode::FullScan
+        );
+        assert_eq!(
+            EngineMode::from_value(&serde::Value::Bool(false)).unwrap(),
+            EngineMode::ActiveSet
+        );
+        // Absent field → default mode.
+        assert_eq!(
+            EngineMode::from_missing("engine").unwrap(),
+            EngineMode::ActiveSet
+        );
+        assert!("warp-drive".parse::<EngineMode>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn full_scan_shim_maps_onto_engine_mode() {
+        let mut c = SimConfig::new("4x4".parse().unwrap());
+        assert_eq!(c.engine, EngineMode::ActiveSet);
+        c.set_full_scan_engine(true);
+        assert_eq!(c.engine, EngineMode::FullScan);
+        c.set_full_scan_engine(false);
+        assert_eq!(c.engine, EngineMode::ActiveSet);
     }
 
     #[test]

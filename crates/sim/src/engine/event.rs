@@ -1,0 +1,332 @@
+//! Event-driven time: skip from interesting cycle to interesting cycle.
+//!
+//! [`EngineMode::EventDriven`](crate::EngineMode) keeps the four
+//! cycle-stepped phases untouched and adds a *skip-ahead* layer on top:
+//! after each stepped cycle, [`Engine::fast_forward`] computes a
+//! conservative earliest next-event cycle from per-component wake-ups —
+//! in-flight arrivals (the ring), pending deliveries, CPU timelines,
+//! program poll hints, rate windows, and link-busy horizons — and jumps
+//! `now` straight there.
+//!
+//! ## Why the skip is exact
+//!
+//! A cycle may be skipped only when the cycle-stepped engine, run over
+//! that same cycle, would have mutated *nothing* except two closed-form
+//! counters:
+//!
+//! - no arrivals (the in-flight ring is empty until the next wake-up),
+//! - no deliveries (`deliver_q` empty, and stalled deliveries are only
+//!   re-queued by a CPU drain, which is itself a stepped event),
+//! - every CPU visit is a blocked poll — a rate-window check or a pure
+//!   `next_send` decline ([`PollHint::SleepUntilDelivery`]) — whose only
+//!   effect is incrementing `pacing_blocked_cycles` /
+//!   `credit_blocked_events` by a per-cycle constant, replayed in closed
+//!   form by [`Engine::replay_blocked_counters`],
+//! - no arbitration win is possible: every candidate head lost its last
+//!   stepped arbitration on *feasibility* (downstream credit), which only
+//!   changes when a downstream FIFO pops or reserves — both stepped
+//!   events that mark the affected node *fresh* — or on a busy link,
+//!   whose release cycle is known exactly (`link_busy_until`).
+//!
+//! The wake-up invariant (see DESIGN.md): **no component may be woken
+//! later than its true next state change.** Waking too early merely steps
+//! a provably-inert cycle (identical to what the cycle-stepped engines
+//! do); waking too late would diverge. Every bound below is therefore
+//! conservative — `u64::MAX` is only ever reported by a component that
+//! provably cannot act until another component's stepped event re-marks
+//! it.
+//!
+//! Trace samples land at exactly the cycles the stepped engines would
+//! produce: a skip is segmented at every tracer `next_at` boundary and a
+//! periodic sample (frozen deltas, live occupancy snapshot) is recorded
+//! there, so traced runs are byte-identical too.
+
+use super::{Engine, Win, WinSource, RING};
+use crate::config::NUM_VCS;
+
+/// What the last completed CPU visit learned about a node's ability to
+/// make progress on its own (without a delivery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(super) enum PollState {
+    /// No standing decline: the node may accept a pull whenever its CPU is
+    /// free (also the conservative state for programs that decline with
+    /// [`PollHint::EveryCycle`](crate::PollHint) — they force a wake every
+    /// cycle, trading skips for unconditional correctness).
+    #[default]
+    Open,
+    /// The engine-level rate window was closed; re-poll no earlier than
+    /// `next_allowed` (read live from the node's flow ledger at wake
+    /// computation, since `rate_charge` may move it).
+    Rate,
+    /// The program declined with `SleepUntilDelivery`: no timed wake at
+    /// all. `denials` credit acquisitions failed during the declining
+    /// poll; the decline is pure, so the cycle-stepped engines would
+    /// repeat exactly that count every idle cycle — replayed in closed
+    /// form over skipped windows.
+    Asleep { denials: u64 },
+}
+
+/// Per-node event-mode bookkeeping, rewritten at each CPU visit.
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct NodeEvent {
+    pub(super) poll: PollState,
+    /// The last visit ended with queued sends that no injection FIFO
+    /// could take: pulling more is pointless until an arbitration win
+    /// drains an injection FIFO (which clears this).
+    pub(super) inject_blocked: bool,
+}
+
+/// Engine-wide event-mode state: per-node wake hints plus a one-cycle
+/// "freshness" bitset of nodes whose arbitration inputs changed during
+/// the current stepped cycle (downstream pop or reservation). A fresh
+/// node must be re-arbitrated next cycle, so any freshness suppresses
+/// skipping entirely.
+pub(super) struct EventState {
+    pub(super) nodes: Vec<NodeEvent>,
+    fresh: Vec<u64>,
+    any_fresh: bool,
+}
+
+impl EventState {
+    pub(super) fn new(n: usize) -> EventState {
+        EventState {
+            nodes: vec![NodeEvent::default(); n],
+            fresh: vec![0; n.div_ceil(64)],
+            any_fresh: false,
+        }
+    }
+
+    #[inline]
+    fn mark_fresh(&mut self, i: usize) {
+        self.fresh[i >> 6] |= 1 << (i & 63);
+        self.any_fresh = true;
+    }
+
+    /// Forget last cycle's freshness marks (called at the start of each
+    /// stepped cycle; the marks have served their purpose by suppressing
+    /// the skip decision at the previous cycle boundary).
+    pub(super) fn clear_fresh(&mut self) {
+        if self.any_fresh {
+            self.fresh.fill(0);
+            self.any_fresh = false;
+        }
+    }
+}
+
+impl Engine {
+    /// Note an arbitration win out of node `n` toward `nb` (event mode):
+    /// the pop changed `n`'s own head lineup mid-visit (directions the
+    /// per-visit summary already passed must be retried next cycle), a
+    /// transit pop freed upstream credit, an injection pop freed local
+    /// injection space, and the reservation at `nb` may flip the
+    /// bubble-escape eligibility (`preferred_blocked`) of any of `nb`'s
+    /// neighbours.
+    pub(super) fn event_note_win(&mut self, n: usize, nb: usize, win: Win) {
+        let ev = self.events.as_mut().expect("event mode");
+        ev.mark_fresh(n);
+        match win.source {
+            WinSource::Transit { fifo } => {
+                let up = self.neighbors[n][fifo as usize / NUM_VCS];
+                if up != u32::MAX {
+                    ev.mark_fresh(up as usize);
+                }
+            }
+            WinSource::Inject { .. } => {
+                ev.nodes[n].inject_blocked = false;
+            }
+        }
+        for &m in &self.neighbors[nb] {
+            if m != u32::MAX {
+                ev.mark_fresh(m as usize);
+            }
+        }
+    }
+
+    /// Note a delivery pop out of transit FIFO `fifo` at `node` (event
+    /// mode): the freed space is new credit for the upstream neighbour on
+    /// that port.
+    pub(super) fn event_note_vc_pop(&mut self, node: usize, fifo: usize) {
+        let up = self.neighbors[node][fifo / NUM_VCS];
+        if up != u32::MAX {
+            self.events
+                .as_mut()
+                .expect("event mode")
+                .mark_fresh(up as usize);
+        }
+    }
+
+    /// Earliest cycle at which any component can change state, evaluated
+    /// at a cycle boundary (`self.now` is the next unstepped cycle).
+    /// Returns `self.now` as soon as any immediate work is found.
+    fn next_event_cycle(&self) -> u64 {
+        let now = self.now;
+        let ev = self.events.as_ref().expect("event mode");
+        if ev.any_fresh || !self.deliver_q.is_empty() {
+            return now;
+        }
+        // Earliest in-flight arrival. Every launched packet lands within
+        // RING cycles (asserted at construction), so one lap suffices.
+        let mut e = u64::MAX;
+        for off in 0..RING as u64 {
+            if !self.ring[((now + off) % RING as u64) as usize].is_empty() {
+                e = now + off;
+                break;
+            }
+        }
+        if e == now {
+            return now;
+        }
+        for w in 0..self.cpu_active.words.len() {
+            let mut bits = self.cpu_active.words[w];
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                e = e.min(self.cpu_wake(i));
+                if e <= now {
+                    return now;
+                }
+            }
+        }
+        for w in 0..self.arb_active.words.len() {
+            let mut bits = self.arb_active.words[w];
+            while bits != 0 {
+                let n = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                e = e.min(self.arb_wake(n));
+                if e <= now {
+                    return now;
+                }
+            }
+        }
+        e
+    }
+
+    /// Next cycle node `i`'s CPU phase could do anything but a replayable
+    /// blocked poll. `cpu_visit` skips cycles with `cpu_free >= t + 1`,
+    /// so the first visitable cycle is `floor(cpu_free)` — before that,
+    /// even a pending drain cannot run.
+    fn cpu_wake(&self, i: usize) -> u64 {
+        let n = &self.nodes[i];
+        let ev = self.events.as_ref().expect("event mode").nodes[i];
+        let ready = (n.cpu_free as u64).max(self.now);
+        if !n.reception.is_empty() {
+            // A drain mutates real state: never skip past it.
+            return ready;
+        }
+        let mut wake = u64::MAX;
+        if (!n.pending.is_empty() || !n.pulled.is_empty()) && !ev.inject_blocked {
+            // Queued sends with injection space available: injections
+            // happen as soon as the CPU frees up.
+            wake = ready;
+        }
+        if !n.program_done && n.pulled.len() < Self::PULL_THRESHOLD {
+            match ev.poll {
+                PollState::Open => wake = wake.min(ready),
+                PollState::Rate => {
+                    // First cycle `t` with `t >= next_allowed`; every
+                    // earlier visit is a pure `pacing_blocked_cycles`
+                    // increment, replayed in closed form.
+                    let open = n.flow.next_allowed.ceil() as u64;
+                    wake = wake.min(ready.max(open));
+                }
+                PollState::Asleep { .. } => {}
+            }
+        }
+        wake
+    }
+
+    /// Next cycle node `n`'s arbitration could win an output. Heads on
+    /// *free* links already lost their last stepped arbitration on
+    /// downstream feasibility, which only a stepped event can change
+    /// (fresh marks handle that); so the only timed wake is a busy link
+    /// becoming usable. `busy_until == now` must wake now: the link was
+    /// busy during the last stepped cycle but is usable this cycle.
+    fn arb_wake(&self, n: usize) -> u64 {
+        let node = &self.nodes[n];
+        if node.vc_mask == 0 && node.inj_mask == 0 {
+            return u64::MAX;
+        }
+        let dirs = self.sendable_dirs(n);
+        let mut wake = u64::MAX;
+        for d in 0..6usize {
+            if dirs & (1 << d) == 0 || self.neighbors[n][d] == u32::MAX {
+                continue;
+            }
+            let busy = self.link_busy_until[n * 6 + d];
+            if busy >= self.now {
+                wake = wake.min(busy);
+            }
+        }
+        wake
+    }
+
+    /// Apply the per-cycle blocked-poll counter increments the
+    /// cycle-stepped engines would have made over the skipped window
+    /// `[self.now, stop)`, in closed form. For each cpu-active node the
+    /// eligible cycles are those from `max(now, floor(cpu_free))` on
+    /// (earlier ones are CPU-booked no-ops); `stop` never exceeds the
+    /// node's own wake, so a `Rate` window is closed and an `Asleep`
+    /// decline repeats verbatim across the whole eligible span.
+    fn replay_blocked_counters(&mut self, stop: u64) {
+        for w in 0..self.cpu_active.words.len() {
+            let mut bits = self.cpu_active.words[w];
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let n = &self.nodes[i];
+                if n.program_done
+                    || n.pulled.len() >= Self::PULL_THRESHOLD
+                    || !n.reception.is_empty()
+                {
+                    continue;
+                }
+                let from = (n.cpu_free as u64).max(self.now);
+                if stop <= from {
+                    continue;
+                }
+                let cycles = stop - from;
+                match self.events.as_ref().expect("event mode").nodes[i].poll {
+                    PollState::Rate => self.stats.pacing_blocked_cycles += cycles,
+                    PollState::Asleep { denials } if denials > 0 => {
+                        self.stats.credit_blocked_events += denials * cycles;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Jump `now` to the next event cycle, replaying blocked-poll
+    /// counters over the skipped window and recording the periodic trace
+    /// samples that fall inside it. Bounded so the `run` loop's watchdog
+    /// and cycle-limit checks fire at exactly the cycle the cycle-stepped
+    /// engines would report.
+    pub(super) fn fast_forward(&mut self) {
+        let mut e = self.next_event_cycle();
+        if e <= self.now {
+            return;
+        }
+        let watchdog_fire = self
+            .last_progress
+            .saturating_add(self.cfg.watchdog_cycles)
+            .saturating_add(1);
+        e = e.min(watchdog_fire).min(self.cfg.max_cycles);
+        while self.now < e {
+            let stop = match &self.tracer {
+                Some(tr) => e.min(tr.next_at),
+                None => e,
+            };
+            // `next_at > now` is an invariant here: `step`/`fast_forward`
+            // record any due sample immediately, and recording advances
+            // `next_at` past the sample cycle.
+            debug_assert!(stop > self.now, "tracer boundary must advance");
+            self.replay_blocked_counters(stop);
+            self.now = stop;
+            if let Some(tr) = &self.tracer {
+                if self.now >= tr.next_at {
+                    self.record_trace_sample(false);
+                }
+            }
+        }
+    }
+}

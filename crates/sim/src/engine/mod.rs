@@ -1,0 +1,486 @@
+//! The simulation engine.
+//!
+//! One cycle is the time a 32-byte chunk takes to cross a link. Each cycle
+//! runs four phases (see [`phases`]), in an order fixed for determinism:
+//!
+//! 1. **Arrivals** — packets whose last chunk crossed a link this cycle are
+//!    committed into the downstream VC FIFO (space was reserved at
+//!    arbitration time, so credits are never oversubscribed).
+//! 2. **Deliveries** — VC-FIFO heads that have reached their destination
+//!    move into the reception FIFO (or stall, back-pressuring the network,
+//!    when it is full).
+//! 3. **CPU** — each node's simulated cores drain the reception FIFO
+//!    (running the program's `on_packet` hook), pull new sends from the
+//!    program and pay the injection costs to place packets into injection
+//!    FIFOs. All costs are charged against a single per-node CPU timeline.
+//! 4. **Arbitration** — every idle output link picks, round-robin, a
+//!    feasible head among the 18 transit VC FIFOs and the injection FIFOs.
+//!    Adaptive packets choose a dynamic VC by join-shortest-queue, with an
+//!    optional dimension-ordered bubble-VC escape; deterministic packets
+//!    use the bubble VC only, honouring the bubble deadlock-avoidance rule.
+//!
+//! How *time* advances between those phases is the
+//! [`EngineMode`](crate::EngineMode): the full scan visits every node every
+//! cycle, the active-set mode visits only marked nodes every cycle, and the
+//! event-driven mode additionally skips from stepped cycle to stepped cycle
+//! when it can prove the intervening cycles inert (see [`event`]). All
+//! three produce byte-identical [`NetStats`] and traces.
+//!
+//! The run ends when every program reports complete and no packet remains
+//! anywhere; a watchdog aborts with diagnostics if traffic stops moving.
+//!
+//! With [`SimConfig::trace`] set, the engine additionally records a
+//! [`TraceSample`](crate::trace::TraceSample) time series (see
+//! [`crate::trace`]) at a fixed cycle interval — purely observational
+//! sampling that never changes results.
+
+mod event;
+mod oracle;
+mod phases;
+mod tracer;
+
+use crate::config::{EngineMode, SimConfig, Vc};
+use crate::node::NodeState;
+use crate::packet::Packet;
+use crate::program::{NodeApi, NodeProgram};
+use crate::stats::NetStats;
+use bgl_torus::{Coord, Dim, Partition, ALL_DIRECTIONS};
+use event::EventState;
+use oracle::Oracle;
+use tracer::Tracer;
+
+/// In-flight ring size; must exceed max packet chunks + hop latency.
+const RING: usize = 64;
+
+/// Why frozen traffic is frozen, computed from the queue state at the
+/// moment the watchdog fires so a stall is diagnosable without a trace
+/// run. The three causes are not exclusive and do not partition the live
+/// packets — each counts a distinct blocking condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Incomplete programs with at least one full credit window (their
+    /// next sends are flow-control blocked, see [`crate::flow`]).
+    pub credit_blocked_nodes: usize,
+    /// Total full credit windows across those nodes.
+    pub closed_credit_windows: u64,
+    /// Transit-FIFO head packets with every allowed output direction
+    /// busy or out of downstream VC credit (head-of-line blocking).
+    pub hol_blocked_heads: u64,
+    /// VC FIFOs whose deliverable head found the reception FIFO full.
+    pub reception_stalled_fifos: u64,
+}
+
+impl std::fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes credit-blocked ({} closed windows), {} HOL-blocked heads, \
+             {} reception-stalled FIFOs",
+            self.credit_blocked_nodes,
+            self.closed_credit_windows,
+            self.hol_blocked_heads,
+            self.reception_stalled_fifos
+        )
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No packet moved and no CPU work happened for `watchdog_cycles`
+    /// while traffic remained (deadlock or stuck program).
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Packets still alive in FIFOs or flight.
+        live_packets: u64,
+        /// Programs not yet complete.
+        incomplete_programs: usize,
+        /// Why the frozen traffic is frozen (credit vs HOL vs reception),
+        /// snapshotted at the watchdog.
+        breakdown: StallBreakdown,
+        /// With tracing enabled, compact summaries of the last few
+        /// [`TraceSample`](crate::trace::TraceSample)s (the final one
+        /// taken at the stall itself), so a deadlock is debuggable from
+        /// the error text alone. Empty when tracing was off.
+        trace_tail: Vec<String>,
+    },
+    /// `max_cycles` exceeded.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled {
+                cycle,
+                live_packets,
+                incomplete_programs,
+                breakdown,
+                trace_tail,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled at cycle {cycle}: {live_packets} live packets, \
+                     {incomplete_programs} incomplete programs; {breakdown}"
+                )?;
+                for line in trace_tail {
+                    write!(f, "\n  trace {line}")?;
+                }
+                Ok(())
+            }
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct Arrival {
+    node: u32,
+    port: u8,
+    pkt: Packet,
+}
+
+#[derive(Clone, Copy)]
+enum WinSource {
+    Transit { fifo: u8 },
+    Inject { fifo: u8 },
+}
+
+#[derive(Clone, Copy)]
+struct Win {
+    source: WinSource,
+    vc: Vc,
+}
+
+/// A lazily-cleared bitset over node indices, scanned in ascending index
+/// order (never hash order) so the active-set engine visits nodes in
+/// exactly the sequence the full scan would.
+///
+/// The engine maintains the invariant that every node with work is marked;
+/// a marked node that turns out to be idle is cleared when visited. Bits
+/// are only ever *set* for other nodes between phases (arrivals mark
+/// arbitration work, deliveries mark CPU work), so a phase can iterate a
+/// snapshot of each word without missing work.
+struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// A set over `n` nodes with every node marked (the engine prunes
+    /// lazily from the conservative side).
+    fn all(n: usize) -> ActiveSet {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        ActiveSet { words }
+    }
+
+    #[inline]
+    fn mark(&mut self, i: usize) {
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+}
+
+/// The simulator.
+pub struct Engine {
+    cfg: SimConfig,
+    part: Partition,
+    now: u64,
+    nodes: Vec<NodeState>,
+    programs: Vec<Box<dyn NodeProgram>>,
+    /// `neighbors[n][dir]`: node on the other end of the link, or
+    /// `u32::MAX` at a mesh edge.
+    neighbors: Vec<[u32; 6]>,
+    /// `busy_until[n*6+dir]`.
+    link_busy_until: Vec<u64>,
+    ring: Vec<Vec<Arrival>>,
+    deliver_q: Vec<(u32, u8)>,
+    /// Nodes that may have CPU work (non-empty reception/pending/pulled
+    /// queues, or a program that has not declared completion).
+    cpu_active: ActiveSet,
+    /// Nodes that may have a packet to arbitrate out (non-zero `vc_mask`
+    /// or `inj_mask`).
+    arb_active: ActiveSet,
+    /// Reference mode: scan every node every cycle (see
+    /// [`EngineMode::FullScan`]).
+    full_scan: bool,
+    /// Event-driven wake bookkeeping; `None` unless `cfg.engine` is
+    /// [`EngineMode::EventDriven`].
+    events: Option<Box<EventState>>,
+    live_packets: u64,
+    pending_total: u64,
+    done_programs: usize,
+    next_packet_id: u64,
+    stats: NetStats,
+    last_progress: u64,
+    started: bool,
+    /// Time-series sampler; `None` unless `SimConfig::trace` is set.
+    tracer: Option<Box<Tracer>>,
+    /// Conservation-law oracle; `None` unless
+    /// `SimConfig::check_invariants` is set.
+    oracle: Option<Box<Oracle>>,
+}
+
+impl Engine {
+    /// Build an engine over `cfg` with one program per node (rank order).
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != partition.num_nodes()` or the
+    /// configuration is internally inconsistent.
+    pub fn new(cfg: SimConfig, programs: Vec<Box<dyn NodeProgram>>) -> Engine {
+        let part = cfg.partition;
+        let p = part.num_nodes() as usize;
+        assert_eq!(programs.len(), p, "need exactly one program per node");
+        assert!(
+            (8 + cfg.router.hop_latency_cycles as usize) < RING,
+            "hop latency too large for the in-flight ring"
+        );
+        assert!(
+            cfg.cpu.chunks_per_cycle > 0.0,
+            "CPU bandwidth must be positive"
+        );
+        assert!(cfg.inj_fifo_count <= 32, "inj_mask is a u32 bitmask");
+        cfg.flow.validate();
+        let nodes: Vec<NodeState> = (0..p as u32)
+            .map(|r| NodeState::new(part.coord_of(r), &cfg))
+            .collect();
+        let neighbors: Vec<[u32; 6]> = (0..p as u32)
+            .map(|r| {
+                let c = part.coord_of(r);
+                let mut row = [u32::MAX; 6];
+                for d in ALL_DIRECTIONS {
+                    if let Some(nc) = part.neighbor(c, d) {
+                        row[d.index()] = part.rank_of(nc);
+                    }
+                }
+                row
+            })
+            .collect();
+        let stats = NetStats {
+            latency_histogram: vec![0; crate::stats::LATENCY_BUCKETS],
+            link_busy_per_link: if cfg.detailed_link_stats {
+                vec![0; p * 6]
+            } else {
+                Vec::new()
+            },
+            ..NetStats::default()
+        };
+        let full_scan = cfg.engine == EngineMode::FullScan;
+        let events = (cfg.engine == EngineMode::EventDriven).then(|| Box::new(EventState::new(p)));
+        let tracer = cfg.trace.as_ref().map(|tc| Box::new(Tracer::new(tc)));
+        let oracle = cfg.check_invariants.then(|| Box::new(Oracle::new()));
+        Engine {
+            cfg,
+            part,
+            now: 0,
+            nodes,
+            programs,
+            neighbors,
+            link_busy_until: vec![0; p * 6],
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            deliver_q: Vec::new(),
+            cpu_active: ActiveSet::all(p),
+            arb_active: ActiveSet::all(p),
+            full_scan,
+            events,
+            live_packets: 0,
+            pending_total: 0,
+            done_programs: 0,
+            next_packet_id: 0,
+            stats,
+            last_progress: 0,
+            started: false,
+            tracer,
+            oracle,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Run to completion. Returns the final statistics.
+    pub fn run(&mut self) -> Result<NetStats, SimError> {
+        if !self.started {
+            self.start_programs();
+        }
+        while !self.is_complete() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            if self.now.saturating_sub(self.last_progress) > self.cfg.watchdog_cycles {
+                // Capture the stalled queue state itself as a final
+                // sample, then report the tail: the last windows before
+                // the deadlock plus the frozen snapshot.
+                if self.tracer.is_some() {
+                    self.record_trace_sample(true);
+                }
+                let trace_tail = self
+                    .tracer
+                    .as_ref()
+                    .map(|t| t.trace.summary_tail(4))
+                    .unwrap_or_default();
+                return Err(SimError::Stalled {
+                    cycle: self.now,
+                    live_packets: self.live_packets + self.pending_total,
+                    incomplete_programs: self.programs.len() - self.done_programs,
+                    breakdown: self.stall_breakdown(),
+                    trace_tail,
+                });
+            }
+            self.step();
+            // Event-driven mode: jump over cycles no component can act in.
+            // Stepped cycles behave identically in every mode, so this is
+            // the *only* place the modes differ.
+            if self.events.is_some() && !self.is_complete() {
+                self.fast_forward();
+            }
+        }
+        if self.oracle.is_some() {
+            self.oracle_quiesce_check();
+        }
+        Ok(self.stats.clone())
+    }
+
+    /// Whether the simulation has fully drained and every program reports
+    /// complete.
+    pub fn is_complete(&self) -> bool {
+        self.started
+            && self.live_packets == 0
+            && self.pending_total == 0
+            && self.done_programs == self.programs.len()
+    }
+
+    fn start_programs(&mut self) {
+        self.started = true;
+        let mut programs = std::mem::take(&mut self.programs);
+        for (i, prog) in programs.iter_mut().enumerate() {
+            let node = &mut self.nodes[i];
+            let before = node.pending.len();
+            let mut api = NodeApi::new(i as u32, node.coord, 0, &self.part, &mut node.pending)
+                .with_flow(&mut node.flow);
+            prog.start(&mut api);
+            let extra = api.take_extra_cpu();
+            self.stats.credit_blocked_events += api.take_credit_blocked();
+            let after = node.pending.len();
+            // Anchoring at `max(cpu_free, now)` is implicit here: `start`
+            // runs at cycle 0 with every `cpu_free` still 0.0.
+            node.cpu_free += extra;
+            self.pending_total += (after - before) as u64;
+            if prog.is_complete() {
+                node.program_done = true;
+                self.done_programs += 1;
+            }
+        }
+        self.programs = programs;
+    }
+
+    /// Advance one cycle (starting the programs first if needed).
+    pub fn step(&mut self) {
+        if !self.started {
+            self.start_programs();
+        }
+        if let Some(ev) = &mut self.events {
+            ev.clear_fresh();
+        }
+        let t = self.now;
+        self.phase_arrivals(t);
+        self.phase_deliveries(t);
+        self.phase_cpu(t);
+        self.phase_arbitration(t);
+        self.now = t + 1;
+        // Cycle-boundary oracle sweep: all four phases have run, so the
+        // global counters must agree and no FIFO may be over its credit
+        // budget. Disabled, this is one predictable branch per cycle.
+        if self.oracle.is_some() {
+            self.oracle_cycle_check(t);
+        }
+        // The only tracing cost in the disabled case: one predictable
+        // branch per cycle (None → fall through).
+        if let Some(tr) = &self.tracer {
+            if self.now >= tr.next_at {
+                self.record_trace_sample(false);
+            }
+        }
+    }
+
+    /// Diagnostic: dimension utilization snapshot helper.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Diagnostic: where packets currently are (for stall reports/tests).
+    pub fn live_packet_count(&self) -> u64 {
+        self.live_packets + self.pending_total
+    }
+
+    /// Diagnostic: coordinate of a rank.
+    pub fn coord_of(&self, rank: u32) -> Coord {
+        self.part.coord_of(rank)
+    }
+
+    /// Diagnostic: hops between two ranks under the engine's partition.
+    pub fn hops_between(&self, a: u32, b: u32) -> u32 {
+        self.part.hops(self.part.coord_of(a), self.part.coord_of(b))
+    }
+
+    /// Diagnostic: per-dimension utilization so far.
+    pub fn dim_utilization(&self, dim: Dim) -> f64 {
+        self.stats.dim_utilization(&self.part, dim)
+    }
+
+    /// Diagnostic snapshot of why live traffic is blocked, taken when the
+    /// watchdog fires (also usable from tests via [`Engine::run`]'s
+    /// [`SimError::Stalled`] payload).
+    fn stall_breakdown(&self) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if !node.program_done {
+                let closed = node.flow.closed_windows();
+                if closed > 0 {
+                    b.credit_blocked_nodes += 1;
+                    b.closed_credit_windows += closed as u64;
+                }
+            }
+            b.reception_stalled_fifos += node.blocked_deliveries.len() as u64;
+            let mut mask = node.vc_mask;
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(head) = node.vcs[f].head() {
+                    if !head.plan.is_done() && self.head_is_hol_blocked(ni, f, head) {
+                        b.hol_blocked_heads += 1;
+                    }
+                }
+            }
+        }
+        b
+    }
+}

@@ -1,0 +1,208 @@
+//! The conservation-law oracle: an independent re-derivation of the
+//! simulator's invariants, checked at every cycle boundary and once more
+//! at quiesce. Enabled by [`SimConfig`](crate::SimConfig)
+//! `::check_invariants`.
+//!
+//! Under the event-driven engine mode, the per-cycle sweep runs at every
+//! *stepped* cycle. Skipped cycles need no sweep: skipping is only legal
+//! when the network state is provably frozen, so the checks would examine
+//! the same state they just passed on.
+
+use super::Engine;
+use crate::packet::Packet;
+
+/// Independent re-derivation of the simulator's conservation laws, enabled
+/// by [`SimConfig::check_invariants`](crate::SimConfig). Per-packet state
+/// lives in flat vectors indexed by the engine's sequential packet ids
+/// (`Packet` itself stays untouched — its size is pinned). Boxed behind an
+/// `Option` on the engine like the tracer: disabled, the whole oracle costs
+/// one predictable branch per cycle and per packet event.
+///
+/// Violations panic immediately with the cycle number, because a broken
+/// invariant means every statistic after that point is untrustworthy.
+pub(super) struct Oracle {
+    /// Per packet id: minimal hop count of its `HopPlan` at injection.
+    planned_hops: Vec<u32>,
+    /// Per packet id: link crossings observed so far.
+    taken_hops: Vec<u32>,
+    /// Per packet id: payload bytes recorded at injection.
+    payload_bytes: Vec<u32>,
+    /// Per packet id: whether it has been drained from a reception FIFO.
+    delivered: Vec<bool>,
+    delivered_count: u64,
+    injected_payload: u64,
+    delivered_payload: u64,
+}
+
+impl Oracle {
+    pub(super) fn new() -> Oracle {
+        Oracle {
+            planned_hops: Vec::new(),
+            taken_hops: Vec::new(),
+            payload_bytes: Vec::new(),
+            delivered: Vec::new(),
+            delivered_count: 0,
+            injected_payload: 0,
+            delivered_payload: 0,
+        }
+    }
+
+    /// Record a freshly injected packet (plan not yet advanced).
+    pub(super) fn on_inject(&mut self, pkt: &Packet) {
+        assert_eq!(
+            pkt.id as usize,
+            self.planned_hops.len(),
+            "invariant violated: packet ids must be dense and sequential"
+        );
+        self.planned_hops.push(pkt.plan.total_hops());
+        self.taken_hops.push(0);
+        self.payload_bytes.push(pkt.payload_bytes);
+        self.delivered.push(false);
+        self.injected_payload += pkt.payload_bytes as u64;
+    }
+
+    /// Record one link crossing of packet `id`.
+    pub(super) fn on_hop(&mut self, id: u64, t: u64) {
+        let i = id as usize;
+        self.taken_hops[i] += 1;
+        assert!(
+            self.taken_hops[i] <= self.planned_hops[i],
+            "invariant violated: packet {id} exceeded its planned {} hops at cycle {t}",
+            self.planned_hops[i]
+        );
+    }
+
+    /// Record the delivery of `pkt` (drained from a reception FIFO).
+    pub(super) fn on_deliver(&mut self, pkt: &Packet, t: u64) {
+        let i = pkt.id as usize;
+        assert!(
+            i < self.delivered.len(),
+            "invariant violated: delivery of unknown packet {} at cycle {t}",
+            pkt.id
+        );
+        assert!(
+            !self.delivered[i],
+            "invariant violated: packet {} delivered twice (cycle {t})",
+            pkt.id
+        );
+        assert!(
+            pkt.plan.is_done(),
+            "invariant violated: packet {} delivered with hops remaining (cycle {t})",
+            pkt.id
+        );
+        assert_eq!(
+            self.taken_hops[i], self.planned_hops[i],
+            "invariant violated: packet {} took {} hops, plan was {} (cycle {t})",
+            pkt.id, self.taken_hops[i], self.planned_hops[i]
+        );
+        assert_eq!(
+            self.payload_bytes[i], pkt.payload_bytes,
+            "invariant violated: packet {} payload changed in flight (cycle {t})",
+            pkt.id
+        );
+        self.delivered[i] = true;
+        self.delivered_count += 1;
+        self.delivered_payload += pkt.payload_bytes as u64;
+    }
+}
+
+impl Engine {
+    /// Cycle-boundary oracle sweep (end of cycle `t`): the oracle's
+    /// independent packet ledger must agree with `NetStats`, the live
+    /// counter must telescope (injected − delivered), and every FIFO's
+    /// occupancy plus outstanding reservations must fit its capacity.
+    pub(super) fn oracle_cycle_check(&self, t: u64) {
+        let o = self.oracle.as_ref().expect("caller checked");
+        let injected = o.planned_hops.len() as u64;
+        assert_eq!(
+            injected, self.stats.packets_injected,
+            "invariant violated: oracle saw {injected} injections, stats say {} (cycle {t})",
+            self.stats.packets_injected
+        );
+        assert_eq!(
+            o.delivered_count, self.stats.packets_delivered,
+            "invariant violated: oracle saw {} deliveries, stats say {} (cycle {t})",
+            o.delivered_count, self.stats.packets_delivered
+        );
+        assert_eq!(
+            self.live_packets,
+            injected - o.delivered_count,
+            "invariant violated: live packets must equal injected − delivered (cycle {t})"
+        );
+        for (ni, node) in self.nodes.iter().enumerate() {
+            for f in node
+                .vcs
+                .iter()
+                .chain(&node.inj)
+                .chain(std::iter::once(&node.reception))
+            {
+                assert!(
+                    f.occupied_chunks() + f.reserved_chunks() <= f.capacity_chunks(),
+                    "invariant violated: FIFO at node {ni} over capacity \
+                     ({} occupied + {} reserved > {}, cycle {t})",
+                    f.occupied_chunks(),
+                    f.reserved_chunks(),
+                    f.capacity_chunks()
+                );
+            }
+        }
+    }
+
+    /// Quiesce-time oracle sweep, run once the simulation reports
+    /// complete: every injected packet was delivered exactly once with
+    /// exactly its planned hops, payload bytes are conserved end-to-end,
+    /// the per-packet hop ledger sums to the `NetStats` totals, and every
+    /// FIFO has drained with all reservation credits telescoped to zero.
+    pub(super) fn oracle_quiesce_check(&self) {
+        let o = self.oracle.as_ref().expect("caller checked");
+        let injected = o.planned_hops.len() as u64;
+        assert_eq!(
+            o.delivered_count,
+            injected,
+            "invariant violated: {} of {injected} packets never delivered",
+            injected - o.delivered_count
+        );
+        if let Some(id) = o.delivered.iter().position(|&d| !d) {
+            panic!("invariant violated: packet {id} not delivered at quiesce");
+        }
+        assert_eq!(
+            o.injected_payload, o.delivered_payload,
+            "invariant violated: payload bytes not conserved end-to-end"
+        );
+        assert_eq!(
+            o.delivered_payload, self.stats.payload_bytes_delivered,
+            "invariant violated: oracle payload ledger disagrees with stats"
+        );
+        let ledger_hops: u64 = o.taken_hops.iter().map(|&h| h as u64).sum();
+        let stats_hops: u64 = self.stats.hops_taken.iter().sum();
+        assert_eq!(
+            ledger_hops, stats_hops,
+            "invariant violated: per-packet hop ledger disagrees with stats"
+        );
+        for (ni, node) in self.nodes.iter().enumerate() {
+            assert!(
+                !node.holds_packets(),
+                "invariant violated: node {ni} still holds packets at quiesce"
+            );
+            for f in node
+                .vcs
+                .iter()
+                .chain(&node.inj)
+                .chain(std::iter::once(&node.reception))
+            {
+                assert!(
+                    f.is_empty() && f.occupied_chunks() == 0 && f.reserved_chunks() == 0,
+                    "invariant violated: FIFO at node {ni} not drained at quiesce \
+                     ({} packets, {} occupied, {} reserved)",
+                    f.len(),
+                    f.occupied_chunks(),
+                    f.reserved_chunks()
+                );
+            }
+        }
+        assert!(
+            self.ring.iter().all(|slot| slot.is_empty()),
+            "invariant violated: packets still in flight at quiesce"
+        );
+    }
+}

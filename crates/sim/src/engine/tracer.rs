@@ -1,0 +1,238 @@
+//! Time-series sampling: the [`Tracer`] component and the engine's
+//! trace-recording methods.
+//!
+//! Sampling is purely observational — `NetStats` is byte-identical with
+//! tracing on or off, in every [`EngineMode`](crate::EngineMode). The
+//! event-driven engine guarantees this by treating each `next_at`
+//! boundary as a wake-up of its own: a skipped interval is split at every
+//! sample boundary and a (forced-position, regular-content) sample is
+//! recorded there, so per-window deltas telescope to the run totals
+//! exactly as they do under cycle-stepped time.
+
+use super::Engine;
+use crate::config::{Vc, NUM_VCS};
+use crate::node::{vc_fifo_index, NUM_PORTS};
+use crate::trace::{OccStat, Trace, TraceSample};
+
+/// Sampling state for an enabled tracer: the accumulating [`Trace`] plus
+/// a snapshot of every cumulative counter at the previous sample, so each
+/// [`TraceSample`] records exact per-window deltas. Boxed behind an
+/// `Option` on the engine — the disabled case costs one pointer and one
+/// predictable branch per cycle.
+pub(super) struct Tracer {
+    pub(super) interval: u64,
+    pub(super) max_samples: usize,
+    /// Cycle at which the next periodic sample fires (`u64::MAX` once the
+    /// `max_samples` cap is hit).
+    pub(super) next_at: u64,
+    pub(super) last_link_busy: [u64; 3],
+    pub(super) last_hops: [u64; 3],
+    pub(super) last_cpu_busy: f64,
+    pub(super) last_stalls: u64,
+    pub(super) last_injected: u64,
+    pub(super) last_delivered: u64,
+    pub(super) last_pacing_blocked: u64,
+    pub(super) last_credit_blocked: u64,
+    pub(super) trace: Trace,
+}
+
+impl Tracer {
+    pub(super) fn new(cfg: &crate::trace::TraceConfig) -> Tracer {
+        assert!(cfg.interval_cycles > 0, "trace interval must be positive");
+        Tracer {
+            interval: cfg.interval_cycles,
+            max_samples: cfg.max_samples,
+            next_at: cfg.interval_cycles,
+            last_link_busy: [0; 3],
+            last_hops: [0; 3],
+            last_cpu_busy: 0.0,
+            last_stalls: 0,
+            last_injected: 0,
+            last_delivered: 0,
+            last_pacing_blocked: 0,
+            last_credit_blocked: 0,
+            trace: Trace {
+                interval_cycles: cfg.interval_cycles,
+                samples: Vec::new(),
+                truncated: false,
+            },
+        }
+    }
+}
+
+impl Engine {
+    /// The trace recorded so far, if tracing is enabled. Does not include
+    /// the final partial-window sample — use [`Engine::take_trace`] after
+    /// the run for the completed series.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.tracer.as_ref().map(|t| &t.trace)
+    }
+
+    /// Finalize and return the trace: records one last partial-window
+    /// sample if any counter moved since the previous sample (so the
+    /// per-sample deltas sum exactly to the [`NetStats`](crate::NetStats)
+    /// totals), then hands the series out. Returns `None` when tracing
+    /// was disabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.as_ref()?;
+        if self.trace_counters_moved() {
+            self.record_trace_sample(true);
+        }
+        self.tracer.take().map(|t| t.trace)
+    }
+
+    /// Whether any traced cumulative counter changed since the last
+    /// recorded sample.
+    fn trace_counters_moved(&self) -> bool {
+        let Some(tr) = &self.tracer else { return false };
+        self.stats.link_busy_chunks != tr.last_link_busy
+            || self.stats.hops_taken != tr.last_hops
+            || self.stats.cpu_busy_cycles != tr.last_cpu_busy
+            || self.stats.reception_stall_events != tr.last_stalls
+            || self.stats.packets_injected != tr.last_injected
+            || self.stats.packets_delivered != tr.last_delivered
+            || self.stats.pacing_blocked_cycles != tr.last_pacing_blocked
+            || self.stats.credit_blocked_events != tr.last_credit_blocked
+    }
+
+    /// Record one sample at the current cycle. Periodic calls (`force ==
+    /// false`) stop at the `max_samples` cap; forced calls (completion /
+    /// stall snapshots) always record, folding any residual deltas into
+    /// the final sample so totals stay exact.
+    pub(super) fn record_trace_sample(&mut self, force: bool) {
+        let Some(mut tracer) = self.tracer.take() else {
+            return;
+        };
+        let at_cap = tracer.trace.samples.len() >= tracer.max_samples;
+        let dup = tracer.trace.samples.last().map(|s| s.cycle) == Some(self.now);
+        if at_cap && !force {
+            tracer.trace.truncated = true;
+            tracer.next_at = u64::MAX;
+        } else if !dup {
+            let sample = self.build_trace_sample(&mut tracer);
+            tracer.trace.samples.push(sample);
+            tracer.next_at = self.now + tracer.interval;
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Build the sample for the window ending now and advance the
+    /// tracer's counter snapshots. Read-only over the simulation state:
+    /// sampling must never perturb results.
+    fn build_trace_sample(&self, tracer: &mut Tracer) -> TraceSample {
+        let s = &self.stats;
+        let sub3 = |a: [u64; 3], b: [u64; 3]| [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        let mut sample = TraceSample {
+            cycle: self.now,
+            link_busy_delta: sub3(s.link_busy_chunks, tracer.last_link_busy),
+            hops_delta: sub3(s.hops_taken, tracer.last_hops),
+            cpu_busy_delta: s.cpu_busy_cycles - tracer.last_cpu_busy,
+            reception_stall_delta: s.reception_stall_events - tracer.last_stalls,
+            injected_delta: s.packets_injected - tracer.last_injected,
+            delivered_delta: s.packets_delivered - tracer.last_delivered,
+            pacing_blocked_delta: s.pacing_blocked_cycles - tracer.last_pacing_blocked,
+            credit_blocked_delta: s.credit_blocked_events - tracer.last_credit_blocked,
+            packets_in_flight: self.live_packets,
+            pending_sends: self.pending_total,
+            ..TraceSample::default()
+        };
+        tracer.last_link_busy = s.link_busy_chunks;
+        tracer.last_hops = s.hops_taken;
+        tracer.last_cpu_busy = s.cpu_busy_cycles;
+        tracer.last_stalls = s.reception_stall_events;
+        tracer.last_injected = s.packets_injected;
+        tracer.last_delivered = s.packets_delivered;
+        tracer.last_pacing_blocked = s.pacing_blocked_cycles;
+        tracer.last_credit_blocked = s.credit_blocked_events;
+
+        // Instantaneous FIFO occupancy, split by input-port dimension and
+        // by bubble-vs-dynamic VC.
+        let mut dyn_sum = [0u64; 3];
+        let mut dyn_max = [0u32; 3];
+        let mut bub_sum = [0u64; 3];
+        let mut bub_max = [0u32; 3];
+        let mut inj_sum = 0u64;
+        let mut inj_max = 0u32;
+        let mut recv_sum = 0u64;
+        let mut recv_max = 0u32;
+        for node in &self.nodes {
+            for port in 0..NUM_PORTS {
+                let dim = port / 2; // two directions per dimension
+                for vc in 0..NUM_VCS {
+                    let occ = node.vcs[vc_fifo_index(port, vc)].occupied_chunks();
+                    if vc == Vc::Bubble.index() {
+                        bub_sum[dim] += occ as u64;
+                        bub_max[dim] = bub_max[dim].max(occ);
+                    } else {
+                        dyn_sum[dim] += occ as u64;
+                        dyn_max[dim] = dyn_max[dim].max(occ);
+                    }
+                }
+            }
+            for fifo in &node.inj {
+                let occ = fifo.occupied_chunks();
+                inj_sum += occ as u64;
+                inj_max = inj_max.max(occ);
+            }
+            let occ = node.reception.occupied_chunks();
+            recv_sum += occ as u64;
+            recv_max = recv_max.max(occ);
+        }
+        let p = self.nodes.len() as f64;
+        let occ_stat = |sum: u64, max: u32, fifos_per_node: f64| OccStat {
+            mean_chunks: sum as f64 / (p * fifos_per_node),
+            max_chunks: max,
+        };
+        for d in 0..3 {
+            // Per node and dimension: 2 ports × 2 dynamic VCs, 2 × 1 bubble.
+            sample.dyn_vc_occupancy[d] = occ_stat(dyn_sum[d], dyn_max[d], 4.0);
+            sample.bubble_vc_occupancy[d] = occ_stat(bub_sum[d], bub_max[d], 2.0);
+        }
+        sample.inj_occupancy = occ_stat(inj_sum, inj_max, self.cfg.inj_fifo_count.max(1) as f64);
+        sample.reception_occupancy = occ_stat(recv_sum, recv_max, 1.0);
+
+        // Phase attribution and head-of-line blocking. Only occupied
+        // FIFOs (the masks) are walked, so a sample on a mostly idle
+        // partition stays cheap.
+        let mut p1 = 0u64;
+        let mut p2 = 0u64;
+        let mut count_kind = |kind: u8| match kind {
+            1 => p1 += 1,
+            2 => p2 += 1,
+            _ => {}
+        };
+        let mut hol = 0u64;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let mut mask = node.vc_mask;
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                for pkt in node.vcs[f].iter() {
+                    count_kind(pkt.meta.kind);
+                }
+                if let Some(head) = node.vcs[f].head() {
+                    if !head.plan.is_done() && self.head_is_hol_blocked(ni, f, head) {
+                        hol += 1;
+                    }
+                }
+            }
+            let mut mask = node.inj_mask;
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                for pkt in node.inj[f].iter() {
+                    count_kind(pkt.meta.kind);
+                }
+            }
+        }
+        for slot in &self.ring {
+            for arrival in slot {
+                count_kind(arrival.pkt.meta.kind);
+            }
+        }
+        sample.phase1_in_flight = p1;
+        sample.phase2_in_flight = p2;
+        sample.hol_blocked_heads = hol;
+        sample
+    }
+}

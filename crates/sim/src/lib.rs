@@ -42,12 +42,12 @@ pub mod program;
 pub mod stats;
 pub mod trace;
 
-pub use config::{CpuConfig, RouterConfig, SimConfig, Vc, NUM_VCS};
+pub use config::{CpuConfig, EngineMode, RouterConfig, SimConfig, Vc, NUM_VCS};
 pub use engine::{Engine, SimError, StallBreakdown};
 pub use fifo::ChunkFifo;
 pub use flow::{FlowLedger, FlowSpec};
 pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec};
-pub use program::{NodeApi, NodeProgram, ScriptedProgram};
+pub use program::{NodeApi, NodeProgram, PollHint, ScriptedProgram};
 pub use stats::NetStats;
 pub use trace::{OccStat, Trace, TraceConfig, TraceSample};
 

@@ -18,10 +18,12 @@
 //! for the indirect strategies, identified by `PacketMeta::kind`).
 //!
 //! Tracing is purely observational: a run produces byte-identical
-//! [`NetStats`](crate::NetStats) with tracing on or off, in both the
-//! active-set and `full_scan_engine` modes (pinned by the engine
-//! equivalence tests). With tracing disabled the engine's hot loop pays
-//! one predictable branch per cycle and nothing else.
+//! [`NetStats`](crate::NetStats) with tracing on or off, in every
+//! [`EngineMode`](crate::EngineMode) (pinned by the engine equivalence
+//! tests). In event-driven mode the engine forces a sample at each
+//! skipped-interval boundary so the delta series still telescopes. With
+//! tracing disabled the engine's hot loop pays one predictable branch
+//! per cycle and nothing else.
 
 use serde::{Deserialize, Serialize};
 

@@ -1,9 +1,9 @@
-//! The active-set engine must be a pure optimization: for any workload,
-//! every statistic it produces — cycle counts, histograms, per-link
-//! counters — is byte-identical to the reference full-scan engine
-//! (`SimConfig::full_scan_engine`).
+//! The active-set and event-driven engines must be pure optimizations:
+//! for any workload, every statistic they produce — cycle counts,
+//! histograms, per-link counters — is byte-identical to the reference
+//! full-scan engine (see [`EngineMode`]).
 
-use bgl_sim::{Engine, NetStats, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_sim::{Engine, EngineMode, NetStats, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
 use bgl_torus::Partition;
 
 fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box<dyn NodeProgram>> {
@@ -28,25 +28,33 @@ fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box
         .collect()
 }
 
-fn run_both(
-    cfg: &SimConfig,
-    programs: impl Fn() -> Vec<Box<dyn NodeProgram>>,
-) -> (NetStats, NetStats) {
-    let active = Engine::new(cfg.clone(), programs())
-        .run()
-        .expect("active-set run completes");
-    let mut full = cfg.clone();
-    full.full_scan_engine = true;
-    let reference = Engine::new(full, programs())
-        .run()
-        .expect("full-scan run completes");
-    (active, reference)
+/// Run the same workload under every [`EngineMode`] and assert all three
+/// `NetStats` are byte-identical; returns the reference (full-scan) stats.
+fn run_all_modes(cfg: &SimConfig, programs: impl Fn() -> Vec<Box<dyn NodeProgram>>) -> NetStats {
+    let mut results = EngineMode::ALL.map(|mode| {
+        let mut c = cfg.clone();
+        c.engine = mode;
+        Some(
+            Engine::new(c, programs())
+                .run()
+                .unwrap_or_else(|e| panic!("{mode} run completes: {e}")),
+        )
+    });
+    let reference = results[0].take().expect("full-scan ran");
+    for (mode, got) in EngineMode::ALL.iter().zip(&results).skip(1) {
+        assert_eq!(
+            got.as_ref().expect("ran"),
+            &reference,
+            "{mode} must match full-scan"
+        );
+    }
+    reference
 }
 
 /// Scripted all-to-alls across symmetric and asymmetric shapes, adaptive
 /// and deterministic routing, sparse and saturating load: identical stats.
 #[test]
-fn scripted_workloads_match_full_scan() {
+fn scripted_workloads_match_across_modes() {
     let grid: [(&str, u64, u8, bool); 5] = [
         ("4x4x4", 1, 8, false), // symmetric, one round, adaptive
         ("8x4x4", 4, 8, false), // asymmetric, saturating, adaptive
@@ -57,15 +65,15 @@ fn scripted_workloads_match_full_scan() {
     for (shape, k, chunks, det) in grid {
         let part: Partition = shape.parse().unwrap();
         let cfg = SimConfig::new(part);
-        let (active, reference) = run_both(&cfg, || uniform(&part, k, chunks, det));
-        assert_eq!(active, reference, "{shape} k={k} chunks={chunks} det={det}");
+        run_all_modes(&cfg, || uniform(&part, k, chunks, det));
     }
 }
 
-/// Extremely sparse traffic — the regime the active sets exist for — with
-/// detailed per-link stats enabled so the comparison covers every counter.
+/// Extremely sparse traffic — the regime the active sets and event skips
+/// exist for — with detailed per-link stats enabled so the comparison
+/// covers every counter.
 #[test]
-fn sparse_point_traffic_matches_full_scan() {
+fn sparse_point_traffic_matches_across_modes() {
     let part: Partition = "8x8x4".parse().unwrap();
     let p = part.num_nodes();
     let mut cfg = SimConfig::new(part);
@@ -86,11 +94,10 @@ fn sparse_point_traffic_matches_full_scan() {
         }
         programs
     };
-    let (active, reference) = run_both(&cfg, programs);
-    assert_eq!(active, reference);
-    assert_eq!(active.packets_delivered, 60);
+    let reference = run_all_modes(&cfg, programs);
+    assert_eq!(reference.packets_delivered, 60);
     assert!(
-        !active.link_busy_per_link.is_empty(),
+        !reference.link_busy_per_link.is_empty(),
         "detailed stats compared"
     );
 }
@@ -98,7 +105,7 @@ fn sparse_point_traffic_matches_full_scan() {
 /// Backpressure corner: a hot sink with a tiny reception FIFO exercises
 /// blocked-delivery retries and CPU re-activation; stats stay identical.
 #[test]
-fn hotspot_backpressure_matches_full_scan() {
+fn hotspot_backpressure_matches_across_modes() {
     let part: Partition = "4x4".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.reception_fifo_chunks = 8;
@@ -117,7 +124,6 @@ fn hotspot_backpressure_matches_full_scan() {
             })
             .collect()
     };
-    let (active, reference) = run_both(&cfg, programs);
-    assert_eq!(active, reference);
-    assert!(active.reception_stall_events > 0);
+    let reference = run_all_modes(&cfg, programs);
+    assert!(reference.reception_stall_events > 0);
 }

@@ -1,0 +1,243 @@
+//! Regression tests for the event-driven engine's hard corners: the
+//! closed-form replay of per-cycle blocked counters under rate pacing,
+//! credit stop-and-wait wake-ups (the ack is itself a packet), tracer
+//! sample boundaries that do not divide the skip intervals, and the
+//! watchdog firing at the same cycle whether or not cycles were stepped.
+//!
+//! Each test pins the event-driven engine byte-for-byte against the
+//! full-scan reference and the active-set engine on a workload that
+//! specifically exercises the skip-ahead machinery.
+
+use std::collections::VecDeque;
+
+use bgl_sim::{
+    Engine, EngineMode, FlowSpec, NetStats, NodeApi, NodeProgram, Packet, PacketMeta, PollHint,
+    ScriptedProgram, SendSpec, SimConfig, SimError, Trace, TraceConfig,
+};
+use bgl_torus::Partition;
+
+/// Run the same workload under every [`EngineMode`]; assert byte-equal
+/// `NetStats` and return the full-scan reference.
+fn run_all_modes(cfg: &SimConfig, programs: impl Fn() -> Vec<Box<dyn NodeProgram>>) -> NetStats {
+    let mut reference: Option<NetStats> = None;
+    for mode in EngineMode::ALL {
+        let mut c = cfg.clone();
+        c.engine = mode;
+        let stats = Engine::new(c, programs())
+            .run()
+            .unwrap_or_else(|e| panic!("{mode} run completes: {e}"));
+        match &reference {
+            None => reference = Some(stats),
+            Some(r) => assert_eq!(&stats, r, "{mode} must match full-scan"),
+        }
+    }
+    reference.expect("full-scan ran")
+}
+
+/// Sparse streams on an idle partition: the event engine's best case.
+fn stream_programs(part: &Partition, packets: u64) -> Vec<Box<dyn NodeProgram>> {
+    let p = part.num_nodes();
+    let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
+        .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+        .collect();
+    for (src, dst) in [(0u32, p - 1), (1, p / 2)] {
+        programs[src as usize] = Box::new(ScriptedProgram::new(
+            (0..packets)
+                .map(|_| SendSpec::adaptive(dst, 8, 240))
+                .collect(),
+            0,
+        ));
+        programs[dst as usize] = Box::new(ScriptedProgram::new(vec![], packets));
+    }
+    programs
+}
+
+/// Rate pacing makes `pacing_blocked_cycles` a per-cycle counter; in
+/// event mode those cycles are skipped and replayed in closed form, so
+/// any off-by-one in the replay window shows up as a counter mismatch.
+#[test]
+fn rate_paced_streams_replay_blocked_cycles_exactly() {
+    let part: Partition = "8x4x4".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.flow = FlowSpec::Rate {
+        chunks_per_cycle: 1.0 / 64.0,
+    };
+    let reference = run_all_modes(&cfg, || stream_programs(&part, 24));
+    assert!(
+        reference.pacing_blocked_cycles > 0,
+        "rate window must actually block: {reference:?}"
+    );
+    assert_eq!(reference.packets_delivered, 48);
+}
+
+/// Stop-and-wait source: one outstanding packet toward `dst`, each
+/// acknowledged by a credit packet the sink sends back. Declines only
+/// while the window is closed, which a delivery (the ack) reopens.
+struct StopAndWaitSource {
+    dst: u32,
+    total: u32,
+    sent: u32,
+    acks: u32,
+}
+
+const KIND_ACK: u8 = 9;
+
+impl NodeProgram for StopAndWaitSource {
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
+    fn next_send(&mut self, api: &mut NodeApi<'_>) -> Option<SendSpec> {
+        if self.sent >= self.total || !api.try_acquire_credit(self.dst) {
+            return None;
+        }
+        self.sent += 1;
+        Some(SendSpec::adaptive(self.dst, 8, 240))
+    }
+
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
+        if pkt.meta.kind == KIND_ACK {
+            api.apply_credit(pkt.src_rank, pkt.meta.a);
+            self.acks += 1;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.sent >= self.total && self.acks >= self.total
+    }
+}
+
+/// The sink half: counts data packets and queues one credit packet back
+/// per receipt (window 1, ack every 1).
+struct AckingSink {
+    expect: u64,
+    received: u64,
+    pending: VecDeque<SendSpec>,
+}
+
+impl NodeProgram for AckingSink {
+    fn poll_hint(&self) -> PollHint {
+        PollHint::SleepUntilDelivery
+    }
+
+    fn next_send(&mut self, _api: &mut NodeApi<'_>) -> Option<SendSpec> {
+        self.pending.pop_front()
+    }
+
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: &Packet) {
+        if pkt.meta.kind != KIND_ACK {
+            self.received += 1;
+            if let Some(n) = api.credit_receipt(pkt.src_rank) {
+                let mut ack = SendSpec::adaptive(pkt.src_rank, 1, 1);
+                ack.meta = PacketMeta {
+                    kind: KIND_ACK,
+                    a: n,
+                    b: api.rank,
+                };
+                self.pending.push_back(ack);
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.received >= self.expect && self.pending.is_empty()
+    }
+}
+
+/// Credit stop-and-wait is the hardest wake-up case: the source sleeps
+/// with a closed window and *must* be woken by the ack delivery, while
+/// `credit_blocked_events` accrues per denial per cycle — replayed in
+/// closed form across skipped intervals.
+#[test]
+fn credit_stop_and_wait_matches_across_modes() {
+    let part: Partition = "8x4x4".parse().unwrap();
+    let p = part.num_nodes();
+    let mut cfg = SimConfig::new(part);
+    cfg.flow = FlowSpec::Credit {
+        window_packets: 1,
+        credit_every: 1,
+    };
+    let programs = || {
+        let mut programs: Vec<Box<dyn NodeProgram>> = (0..p)
+            .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+            .collect();
+        programs[0] = Box::new(StopAndWaitSource {
+            dst: p - 1,
+            total: 12,
+            sent: 0,
+            acks: 0,
+        });
+        programs[(p - 1) as usize] = Box::new(AckingSink {
+            expect: 12,
+            received: 0,
+            pending: VecDeque::new(),
+        });
+        programs
+    };
+    let reference = run_all_modes(&cfg, programs);
+    assert!(
+        reference.credit_blocked_events > 0,
+        "window of 1 must block between ack round-trips: {reference:?}"
+    );
+    // 12 data packets one way, 12 acks back.
+    assert_eq!(reference.packets_delivered, 24);
+}
+
+/// A sampling interval that divides nothing forces the event engine to
+/// segment every skip at tracer boundaries; the recorded series must be
+/// identical to the cycle-stepped engines', sample for sample.
+#[test]
+fn traced_odd_interval_produces_identical_series() {
+    let part: Partition = "8x4x4".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.flow = FlowSpec::Rate {
+        chunks_per_cycle: 1.0 / 32.0,
+    };
+    cfg.trace = Some(TraceConfig::every(7));
+    let mut reference: Option<(NetStats, Trace)> = None;
+    for mode in EngineMode::ALL {
+        let mut c = cfg.clone();
+        c.engine = mode;
+        let mut engine = Engine::new(c, stream_programs(&part, 16));
+        let stats = engine.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+        let trace = engine.take_trace().expect("trace recorded");
+        match &reference {
+            None => reference = Some((stats, trace)),
+            Some((r_stats, r_trace)) => {
+                assert_eq!(&stats, r_stats, "{mode} stats");
+                assert_eq!(&trace, r_trace, "{mode} trace series");
+            }
+        }
+    }
+}
+
+/// A deadlocked workload must stall at the same watchdog cycle in every
+/// mode: the event engine may never skip past `last_progress +
+/// watchdog_cycles`, or the error (and its cycle stamp) would drift.
+#[test]
+fn watchdog_fires_at_the_same_cycle_in_event_mode() {
+    let part: Partition = "4x4".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.watchdog_cycles = 500;
+    let programs = || {
+        let mut programs: Vec<Box<dyn NodeProgram>> = (0..16)
+            .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+            .collect();
+        // Node 5 waits for packets nobody sends, forever.
+        programs[5] = Box::new(ScriptedProgram::new(vec![], 3));
+        programs
+    };
+    let mut reference: Option<SimError> = None;
+    for mode in EngineMode::ALL {
+        let mut c = cfg.clone();
+        c.engine = mode;
+        let err = Engine::new(c, programs())
+            .run()
+            .expect_err("run must stall");
+        assert!(matches!(err, SimError::Stalled { .. }), "{mode}: {err}");
+        match &reference {
+            None => reference = Some(err),
+            Some(r) => assert_eq!(&err, r, "{mode} must stall identically"),
+        }
+    }
+}

@@ -1,9 +1,11 @@
 //! The invariant oracle (`SimConfig::check_invariants`): runs green on
-//! random configurations in both engine modes, never perturbs results,
+//! random configurations in all three engine modes, never perturbs results,
 //! composes with tracing, and tolerates error paths (a stalled run
 //! reports its watchdog error rather than a spurious quiesce violation).
 
-use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError, TraceConfig};
+use bgl_sim::{
+    Engine, EngineMode, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError, TraceConfig,
+};
 use bgl_torus::Partition;
 
 fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box<dyn NodeProgram>> {
@@ -31,7 +33,8 @@ fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box
 proptest::proptest! {
     #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
 
-    /// Random shapes × routing modes × FIFO depths × engine modes: the
+    /// Random shapes × routing modes × FIFO depths × all three engine
+    /// modes: the
     /// oracle's conservation sweeps stay green end-to-end, and enabling
     /// them changes nothing observable.
     #[test]
@@ -39,13 +42,13 @@ proptest::proptest! {
         shape_i in 0usize..4,
         vc_chunks in 16u32..128,
         deterministic in proptest::arbitrary::any::<bool>(),
-        full_scan in proptest::arbitrary::any::<bool>(),
+        engine_i in 0usize..EngineMode::ALL.len(),
     ) {
         let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
         let part: Partition = shapes[shape_i].parse().unwrap();
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = vc_chunks;
-        cfg.full_scan_engine = full_scan;
+        cfg.engine = EngineMode::ALL[engine_i];
         let plain = Engine::new(cfg.clone(), uniform(&part, 2, 8, deterministic))
             .run()
             .expect("plain run completes");

@@ -4,7 +4,8 @@
 //! watchdog's stall error carries the trace tail.
 
 use bgl_sim::{
-    Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError, Trace, TraceConfig,
+    Engine, EngineMode, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError, Trace,
+    TraceConfig,
 };
 use bgl_torus::Partition;
 
@@ -97,19 +98,19 @@ proptest::proptest! {
     #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
 
     /// Random shapes × FIFO depths × sampling intervals: the schema
-    /// invariants hold for every configuration, in both engine modes.
+    /// invariants hold for every configuration, in all three engine modes.
     #[test]
     fn trace_invariants_hold(
         shape_i in 0usize..4,
         interval in 1u64..2000,
         vc_chunks in 16u32..128,
-        full_scan in proptest::arbitrary::any::<bool>(),
+        engine_i in 0usize..EngineMode::ALL.len(),
     ) {
         let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
         let part: Partition = shapes[shape_i].parse().unwrap();
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = vc_chunks;
-        cfg.full_scan_engine = full_scan;
+        cfg.engine = EngineMode::ALL[engine_i];
         let (stats, trace) = traced_run(&cfg, interval);
         proptest::prop_assert_eq!(trace.interval_cycles, interval);
         check_invariants(&cfg, &stats, &trace);

@@ -4,12 +4,12 @@
 //! configurations drawn across the real strategy stack, asserting three
 //! independences the simulator promises:
 //!
-//! 1. **Engine mode**: the active-set engine produces byte-identical
-//!    `NetStats` — cycle counts, latency histograms, per-dimension link
-//!    counters — to the reference full-scan path
-//!    (`SimConfig::full_scan_engine = true`).
+//! 1. **Engine mode**: the active-set and event-driven engines produce
+//!    byte-identical `NetStats` — cycle counts, latency histograms,
+//!    per-dimension link counters — to the reference full-scan path
+//!    (`SimConfig::engine`, see `EngineMode`).
 //! 2. **Tracing**: enabling `SimConfig::trace` changes nothing in
-//!    `NetStats`, in either engine mode, and the recorded per-dimension
+//!    `NetStats`, in any engine mode, and the recorded per-dimension
 //!    link-busy deltas sum exactly to the run's `link_busy_chunks`.
 //! 3. **Runner parallelism**: `Runner` results are byte-identical
 //!    between `--jobs 1` and a many-thread pool.
@@ -21,7 +21,7 @@
 
 use bgl_alltoall::harness::runner::{RunPoint, Runner, Scale};
 use bgl_alltoall::prelude::*;
-use bgl_sim::TraceConfig;
+use bgl_sim::{EngineMode, TraceConfig};
 use proptest::prelude::*;
 
 /// The strategy pool: every class once — direct adaptive/deterministic,
@@ -70,8 +70,9 @@ fn workload(m: u64, coverage: f64) -> AaWorkload {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Equivalences 1 and 2: active-set vs full-scan, traced vs
-    /// untraced, on a random configuration with a random trace interval.
+    /// Equivalences 1 and 2: every engine mode vs the full-scan
+    /// reference, traced and untraced, on a random configuration with a
+    /// random trace interval.
     #[test]
     fn engine_modes_and_tracing_agree(
         shape_i in 0usize..6,
@@ -84,32 +85,37 @@ proptest! {
         let workload = workload(m, cov);
         let params = MachineParams::bgl();
         let label = format!("{part} {} m={m} cov={cov} every={interval}", strategy.name());
-        let active = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
-            .expect("active-set run completes");
         let mut cfg = SimConfig::new(part);
-        cfg.full_scan_engine = true;
+        cfg.engine = EngineMode::FullScan;
         let reference =
             run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
-        prop_assert_eq!(active.cycles, reference.cycles, "{}", &label);
-        prop_assert_eq!(&active.stats, &reference.stats, "{}", &label);
-
-        // Tracing on, both engine modes: NetStats must stay identical and
-        // the trace's busy deltas must telescope to the run totals.
-        for full_scan in [false, true] {
+        for mode in [EngineMode::ActiveSet, EngineMode::EventDriven] {
             let mut cfg = SimConfig::new(part);
-            cfg.full_scan_engine = full_scan;
+            cfg.engine = mode;
+            let got = run_aa(part, &workload, &strategy, &params, cfg)
+                .expect("optimized run completes");
+            prop_assert_eq!(got.cycles, reference.cycles, "{} {}", &label, mode);
+            prop_assert_eq!(&got.stats, &reference.stats, "{} {}", &label, mode);
+        }
+
+        // Tracing on, all three engine modes: NetStats must stay
+        // identical and the trace's busy deltas must telescope to the
+        // run totals.
+        for mode in EngineMode::ALL {
+            let mut cfg = SimConfig::new(part);
+            cfg.engine = mode;
             cfg.trace = Some(TraceConfig::every(interval));
             let traced =
                 run_aa(part, &workload, &strategy, &params, cfg).expect("traced run completes");
             prop_assert_eq!(
-                &traced.stats, &active.stats,
-                "{} traced full_scan={}", &label, full_scan
+                &traced.stats, &reference.stats,
+                "{} traced {}", &label, mode
             );
             let trace = traced.trace.expect("trace recorded");
             prop_assert_eq!(
                 trace.link_busy_totals(),
                 traced.stats.link_busy_chunks,
-                "{} busy deltas must sum to totals (full_scan={})", &label, full_scan
+                "{} busy deltas must sum to totals ({})", &label, mode
             );
         }
     }
