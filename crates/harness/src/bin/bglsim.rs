@@ -4,10 +4,10 @@
 //! bglsim sweep --shape 8x8x8 --strategies ar,dr,tps --sizes 64,240,912 [--coverage 0.25] [--jobs N] [--csv|--json]
 //!              [--pacer none|rate:F|credit:W,E] [--credit W,E]
 //!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
-//!              [--engine full-scan|active-set|event]
+//!              [--engine full-scan|active-set|event] [--shards N]
 //! bglsim fit   --shape 8x8x8
-//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE]
-//! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE]
+//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE] [--shards N]
+//! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N]
 //! ```
 //!
 //! `--engine` selects the simulator scheduling core
@@ -15,6 +15,12 @@
 //! default `active-set`, or the `event`-driven skip-ahead engine. Every
 //! mode produces byte-identical results; the flag only changes
 //! wall-clock. An unknown mode exits with status 2.
+//!
+//! `--shards N` splits each simulated torus into `N` rank slabs stepped
+//! on `N` threads (`SimConfig::shards`). Orthogonal to `--jobs`, which
+//! parallelizes *across* sweep points: use `--shards` when one big run
+//! dominates, `--jobs` when many small runs do. Results are
+//! byte-identical for every `N`; `--shards 0` exits with status 2.
 //!
 //! Pacing: `--pacer` overrides every swept strategy's injection pacing —
 //! `none` strips it, `rate:F` throttles injection to `F×` the bisection-
@@ -99,6 +105,20 @@ fn parse_engine(flags: &HashMap<String, String>) -> EngineMode {
     flags.get("engine").map_or_else(EngineMode::default, |s| {
         s.parse().unwrap_or_else(|e: String| fail(&e))
     })
+}
+
+/// Resolve `--shards N` (default 1): intra-run torus sharding, run on N
+/// threads when N > 1. Results are byte-identical for every N; zero or a
+/// non-number exits with status 2.
+fn parse_shards(flags: &HashMap<String, String>) -> std::num::NonZeroUsize {
+    flags
+        .get("shards")
+        .map_or(std::num::NonZeroUsize::MIN, |s| {
+            s.parse::<usize>()
+                .ok()
+                .and_then(std::num::NonZeroUsize::new)
+                .unwrap_or_else(|| fail(&format!("--shards needs a positive integer, got {s:?}")))
+        })
 }
 
 fn strategy_by_name(name: &str) -> StrategyKind {
@@ -242,7 +262,9 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     // --trace-out and --report both imply tracing; --trace-interval alone
     // also enables it (the trace then rides the --json output).
     let tracing = trace_out.is_some() || report || flags.contains_key("trace-interval");
-    let mut runner = Runner::new(Scale::Paper).with_engine(parse_engine(flags));
+    let mut runner = Runner::new(Scale::Paper)
+        .with_engine(parse_engine(flags))
+        .with_shards(parse_shards(flags));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -408,6 +430,7 @@ fn cmd_pattern(flags: &HashMap<String, String>) {
     };
     let mut cfg = SimConfig::new(part);
     cfg.engine = parse_engine(flags);
+    cfg.shards = parse_shards(flags);
     match run_pattern(part, &pattern, m, &params, cfg, 7) {
         Ok(rep) => {
             println!("{pattern:?} on {part}, m={m} B/pair:");
@@ -424,7 +447,9 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     let tier = flags.get("tier").map_or(Tier::Quick, |s| {
         Tier::parse(s).unwrap_or_else(|| fail(&format!("--tier must be quick or full, got {s:?}")))
     });
-    let mut runner = Runner::new(tier.scale()).with_engine(parse_engine(flags));
+    let mut runner = Runner::new(tier.scale())
+        .with_engine(parse_engine(flags))
+        .with_shards(parse_shards(flags));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -463,18 +488,19 @@ fn main() {
                 "trace-interval",
                 "trace-out",
                 "engine",
+                "shards",
             ],
             &["csv", "json", "report"],
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(
             rest,
-            &["shape", "pattern", "m", "engine"],
+            &["shape", "pattern", "m", "engine", "shards"],
             &[],
         )),
         "validate" => cmd_validate(&parse_flags(
             rest,
-            &["tier", "jobs", "out", "engine"],
+            &["tier", "jobs", "out", "engine", "shards"],
             &["bless"],
         )),
         _ => {
@@ -484,10 +510,10 @@ fn main() {
             eprintln!(
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
-            eprintln!("          [--engine full-scan|active-set|event]");
+            eprintln!("          [--engine full-scan|active-set|event] [--shards N]");
             eprintln!("  fit     --shape 8x8x8");
-            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE]");
-            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE]");
+            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE] [--shards N]");
+            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N]");
             std::process::exit(2);
         }
     }

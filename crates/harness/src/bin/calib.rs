@@ -2,13 +2,15 @@
 //! single (shape, strategies, m, coverage) point set.
 //!
 //! ```text
-//! calib <shape> <AR|DR|TPS|VM|THR|MPI>[,<...>] <m_bytes> <coverage> [--jobs N] [--json]
-//!       [--engine full-scan|active-set|event]
+//! calib <shape> <AR|DR|TPS|VM|THR|MPI>[,<...>] <m_bytes> <coverage> [--jobs N] [--shards N]
+//!       [--json] [--engine full-scan|active-set|event]
 //! ```
 //!
 //! Several strategies (comma-separated) run concurrently across
 //! `--jobs` worker threads; results are identical for any thread
-//! count. `--json` emits the full [`AaReport`](bgl_core::AaReport)
+//! count. `--shards` splits each individual simulation across N
+//! threads (orthogonal to `--jobs`) without changing any output.
+//! `--json` emits the full [`AaReport`](bgl_core::AaReport)
 //! per strategy.
 //!
 //! Malformed input never panics: every parse failure prints a one-line
@@ -30,6 +32,7 @@ fn main() {
     let mut json = false;
     let mut jobs: Option<usize> = None;
     let mut engine = EngineMode::default();
+    let mut shards = std::num::NonZeroUsize::MIN;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,6 +40,16 @@ fn main() {
             "--engine" => {
                 let v = it.next().unwrap_or_default();
                 engine = v.parse().unwrap_or_else(|e: String| fail(&e));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(std::num::NonZeroUsize::new)
+                    .unwrap_or_else(|| {
+                        fail(&format!("--shards needs a positive integer, got {v:?}"))
+                    });
             }
             "--jobs" => {
                 let v = it.next().unwrap_or_default();
@@ -82,7 +95,9 @@ fn main() {
             )),
         })
         .collect();
-    let mut runner = Runner::new(Scale::Paper).with_engine(engine);
+    let mut runner = Runner::new(Scale::Paper)
+        .with_engine(engine)
+        .with_shards(shards);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! repro list
-//! repro <id>... [--scale quick|paper] [--jobs N] [--json] [--out DIR] [--engine full-scan|active-set|event]
-//! repro all     [--scale quick|paper] [--jobs N] [--json] [--out DIR] [--engine full-scan|active-set|event]
+//! repro <id>... [--scale quick|paper] [--jobs N] [--shards N] [--json] [--out DIR]
+//!               [--engine full-scan|active-set|event]
+//! repro all     [--scale quick|paper] [--jobs N] [--shards N] [--json] [--out DIR]
+//!               [--engine full-scan|active-set|event]
 //! ```
 //!
 //! All experiments' simulation points are executed as one deduplicated
@@ -13,7 +15,10 @@
 //! each report is written as `<id>.txt` and `<id>.csv` plus a combined
 //! `results.json`. `--engine` picks the simulator scheduling core
 //! ([`EngineMode`](bgl_sim::EngineMode)); every mode produces identical
-//! results, so the flag only changes wall-clock.
+//! results, so the flag only changes wall-clock. `--shards` splits each
+//! individual simulation across N threads (orthogonal to `--jobs`, which
+//! parallelizes *across* simulations); results are byte-identical for
+//! any shard count.
 
 use bgl_harness::{experiments, run_suite, Runner, Scale};
 use bgl_sim::EngineMode;
@@ -28,8 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
         eprintln!(
-            "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--json] [--out DIR] \
-             [--engine full-scan|active-set|event]"
+            "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--shards N] [--json] \
+             [--out DIR] [--engine full-scan|active-set|event]"
         );
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         std::process::exit(2);
@@ -40,12 +45,23 @@ fn main() {
     let mut json = false;
     let mut out: Option<PathBuf> = None;
     let mut engine = EngineMode::default();
+    let mut shards = std::num::NonZeroUsize::MIN;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
                 let v = it.next().unwrap_or_default();
                 engine = v.parse().unwrap_or_else(|e: String| fail(&e));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(std::num::NonZeroUsize::new)
+                    .unwrap_or_else(|| {
+                        fail(&format!("--shards needs a positive integer, got {v:?}"))
+                    });
             }
             "--scale" => {
                 let v = it.next().unwrap_or_default();
@@ -80,7 +96,7 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    let mut runner = Runner::new(scale).with_engine(engine);
+    let mut runner = Runner::new(scale).with_engine(engine).with_shards(shards);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }

@@ -1,5 +1,6 @@
 //! The five DESIGN.md §7 validation-target families, plus the
-//! engine-mode/oracle equivalence family, as tier-parameterized checks.
+//! engine-mode/oracle equivalence family and the shard-count
+//! equivalence family, as tier-parameterized checks.
 //!
 //! All thresholds assert *shape* — orderings, bands, crossover
 //! directions — not absolute paper numbers: the quick tier is calibrated
@@ -25,6 +26,10 @@ pub const INVARIANTS: &str = "invariants";
 pub const INVARIANTS_FULL_SCAN: &str = "invariants-fullscan";
 /// Variant label for the event-driven-engine twin of a grid point.
 pub const INVARIANTS_EVENT: &str = "invariants-event";
+/// Variant label for the slab-sharded twin of a grid point
+/// (`SimConfig::shards` = 4, oracle still on — the oracle additionally
+/// checks per-cell credit conservation against the sharded structure).
+pub const INVARIANTS_SHARDED: &str = "invariants-shards4";
 
 fn ar() -> StrategyKind {
     StrategyKind::ar()
@@ -92,6 +97,20 @@ pub fn checked_event(runner: &Runner, shape: &str, strategy: &StrategyKind, m: u
         .variant(INVARIANTS_EVENT, |c| {
             c.check_invariants = true;
             c.engine = EngineMode::EventDriven;
+        })
+}
+
+/// The same point with the torus split into four rank slabs
+/// (`SimConfig::shards`), oracle still on. The oracle forces the sharded
+/// structure onto one thread, so this certifies the staged-arrival drain
+/// order, the packet-id fix-up, and the deferred credit releases — not
+/// thread scheduling.
+pub fn checked_sharded(runner: &Runner, shape: &str, strategy: &StrategyKind, m: u64) -> RunPoint {
+    runner
+        .point(shape, strategy, m)
+        .variant(INVARIANTS_SHARDED, |c| {
+            c.check_invariants = true;
+            c.shards = std::num::NonZeroUsize::new(4).expect("nonzero");
         })
 }
 
@@ -232,11 +251,12 @@ pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
         pts.push(checked(runner, shape, &tps(), g.vm_small));
     }
     // F6: active-set, full-scan, and event-driven twins of the
-    // equivalence slice.
+    // equivalence slice. F7: the slab-sharded twin of the same slice.
     for (shape, strategy, m) in equivalence_grid(runner) {
         pts.push(checked(runner, shape, &strategy, m));
         pts.push(checked_full_scan(runner, shape, &strategy, m));
         pts.push(checked_event(runner, shape, &strategy, m));
+        pts.push(checked_sharded(runner, shape, &strategy, m));
     }
     pts
 }
@@ -514,6 +534,35 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
                 "every engine mode == full-scan under the oracle",
             ));
         }
+    }
+
+    // ---- F7: shard-count equivalence ----------------------------------
+    // Splitting the torus into rank slabs (`SimConfig::shards`) must be
+    // observationally invisible: the 4-shard oracle-checked twin of each
+    // equivalence point produces the exact NetStats of its unsharded
+    // oracle-checked twin.
+    let fam = "F7 shard-equivalence";
+    for (shape, strategy, m) in equivalence_grid(runner) {
+        let unsharded = runner.report(&checked(runner, shape, &strategy, m));
+        let sharded = runner.report(&checked_sharded(runner, shape, &strategy, m));
+        let (passed, measured) = match (&sharded, &unsharded) {
+            (Ok(a), Ok(r)) if a.stats == r.stats => (true, "identical NetStats".to_string()),
+            (Ok(a), Ok(r)) => (
+                false,
+                format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+            ),
+            (a, r) => (
+                false,
+                format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+            ),
+        };
+        out.push(CheckResult::new(
+            fam,
+            format!("{} {} m={m} shards=4", shape, strategy.name()),
+            passed,
+            measured,
+            "sharded run == unsharded run under the oracle",
+        ));
     }
 
     out

@@ -242,6 +242,10 @@ pub struct Runner {
     /// Engine mode applied to every run before the point's own tweak
     /// (so a variant that pins a specific mode still wins).
     pub engine: EngineMode,
+    /// Intra-run torus shard count applied to every run (see
+    /// `SimConfig::shards`). Like [`engine`](Self::engine), results are
+    /// byte-identical across values, so it is not part of the cache key.
+    pub sim_shards: std::num::NonZeroUsize,
     jobs: usize,
     shards: [Mutex<HashMap<RunKey, Result<AaReport, SimError>>>; SHARDS],
 }
@@ -258,6 +262,7 @@ impl Runner {
             scale,
             seed: 0xaa11,
             engine: EngineMode::default(),
+            sim_shards: std::num::NonZeroUsize::MIN,
             jobs,
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
@@ -269,6 +274,17 @@ impl Runner {
     /// mode only changes wall-clock.
     pub fn with_engine(mut self, engine: EngineMode) -> Runner {
         self.engine = engine;
+        self
+    }
+
+    /// Select the intra-run torus shard count for every run this runner
+    /// executes (`SimConfig::shards`). Orthogonal to
+    /// [`with_jobs`](Self::with_jobs): jobs parallelize *across* runs,
+    /// shards parallelize *within* one. Results are byte-identical across
+    /// shard counts (pinned by the engine equivalence suite), so the
+    /// cache key does not include it — sharding only changes wall-clock.
+    pub fn with_shards(mut self, shards: std::num::NonZeroUsize) -> Runner {
+        self.sim_shards = shards;
         self
     }
 
@@ -470,6 +486,7 @@ impl Runner {
         workload.seed = self.seed;
         let mut cfg = SimConfig::new(key.part);
         cfg.engine = self.engine;
+        cfg.shards = self.sim_shards;
         tweak(&mut cfg);
         // The key's trace interval wins over any tweak: the key is the
         // identity of the run, so what it says must be what executes.

@@ -209,6 +209,59 @@ fn engine_flag_rejects_unknown_mode() {
     assert_clean_failure(repro, &["table3", "--engine", "warp"], "unknown engine");
 }
 
+/// Every simulation CLI accepts `--shards` and rejects zero or garbage
+/// with the one-line exit-2 contract.
+#[test]
+fn shards_flag_rejects_malformed_counts() {
+    let bglsim = env!("CARGO_BIN_EXE_bglsim");
+    for bad in ["0", "-4", "many"] {
+        assert_clean_failure(bglsim, &["sweep", "--shards", bad], "positive integer");
+    }
+    assert_clean_failure(bglsim, &["pattern", "--shards", "0"], "positive integer");
+    assert_clean_failure(bglsim, &["validate", "--shards", "0"], "positive integer");
+    let calib = env!("CARGO_BIN_EXE_calib");
+    assert_clean_failure(
+        calib,
+        &["4x4", "AR", "64", "1.0", "--shards", "0"],
+        "positive integer",
+    );
+    let repro = env!("CARGO_BIN_EXE_repro");
+    assert_clean_failure(repro, &["table3", "--shards", "0"], "positive integer");
+}
+
+/// Sharding is observationally invisible: the same tiny sweep prints a
+/// byte-identical table at 1 and 4 shards, in every engine mode.
+#[test]
+fn shards_flag_output_is_identical() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let sweep = |extra: &[&str]| {
+        let mut args = vec![
+            "sweep",
+            "--shape",
+            "4x4x4",
+            "--strategies",
+            "ar",
+            "--sizes",
+            "64",
+        ];
+        args.extend_from_slice(extra);
+        let (code, stdout, stderr) = run(bin, &args);
+        assert_eq!(code, Some(0), "{args:?} failed: {stderr}");
+        stdout
+    };
+    let reference = sweep(&[]);
+    assert!(reference.contains("of peak"), "{reference}");
+    for engine in ["full-scan", "active-set", "event"] {
+        for shards in ["1", "4"] {
+            let got = sweep(&["--engine", engine, "--shards", shards]);
+            assert_eq!(
+                got, reference,
+                "--engine {engine} --shards {shards} must not change the table"
+            );
+        }
+    }
+}
+
 /// Each named engine mode runs a small sweep to completion and prints
 /// the same table (the modes are observationally equivalent).
 #[test]

@@ -284,6 +284,18 @@ pub struct SimConfig {
     /// wall-clock cost — so this is a performance knob, never a
     /// correctness one.
     pub engine: EngineMode,
+    /// Intra-run parallelism: partition the torus into this many
+    /// contiguous-rank slabs, each running the phase pipeline on its own
+    /// thread with boundary arrivals exchanged at a per-cycle barrier.
+    /// Like [`engine`](Self::engine), this is a performance knob and never
+    /// a correctness one: `NetStats` and traces are byte-identical for any
+    /// shard count (pinned by the differential fuzzer and conformance F7).
+    /// Clamped to the node count; `1` (the default, and what configs
+    /// serialized before the knob existed deserialize to) disables
+    /// threading entirely. Runs with `check_invariants` keep the sharded
+    /// *structure* but execute the shards on one thread, because the
+    /// oracle's ledger is inherently sequential.
+    pub shards: std::num::NonZeroUsize,
     /// Invariant oracle: independently re-derive the simulator's
     /// conservation laws and panic on the first violation — every injected
     /// packet delivered exactly once, payload bytes conserved end-to-end,
@@ -314,6 +326,7 @@ impl SimConfig {
             detailed_link_stats: false,
             trace: None,
             engine: EngineMode::default(),
+            shards: std::num::NonZeroUsize::new(1).expect("1 is non-zero"),
             check_invariants: false,
         }
     }
@@ -393,6 +406,33 @@ mod tests {
         assert_eq!(c.engine, EngineMode::FullScan);
         c.set_full_scan_engine(false);
         assert_eq!(c.engine, EngineMode::ActiveSet);
+    }
+
+    #[test]
+    fn shards_knob_round_trips_and_defaults_to_one() {
+        let mut c = SimConfig::new("4x4".parse().unwrap());
+        c.shards = std::num::NonZeroUsize::new(4).unwrap();
+        let v = c.to_value();
+        assert_eq!(SimConfig::from_value(&v).unwrap(), c);
+        // Configs serialized before the knob existed have no `shards`
+        // field: they must keep deserializing, with sharding off.
+        let serde::Value::Object(mut fields) = v else {
+            panic!("config serializes as an object")
+        };
+        fields.retain(|(k, _)| k != "shards");
+        let legacy = SimConfig::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(legacy.shards.get(), 1);
+        // Zero shards is not a meaningful configuration; the wire format
+        // rejects it rather than silently clamping.
+        let mut zeroed = c.to_value();
+        if let serde::Value::Object(fields) = &mut zeroed {
+            for (k, v) in fields.iter_mut() {
+                if k == "shards" {
+                    *v = serde::Value::U64(0);
+                }
+            }
+        }
+        assert!(SimConfig::from_value(&zeroed).is_err());
     }
 
     #[test]

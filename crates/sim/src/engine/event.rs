@@ -4,9 +4,13 @@
 //! cycle-stepped phases untouched and adds a *skip-ahead* layer on top:
 //! after each stepped cycle, [`Engine::fast_forward`] computes a
 //! conservative earliest next-event cycle from per-component wake-ups —
-//! in-flight arrivals (the ring), pending deliveries, CPU timelines,
+//! in-flight arrivals (the rings), pending deliveries, CPU timelines,
 //! program poll hints, rate windows, and link-busy horizons — and jumps
 //! `now` straight there.
+//!
+//! Event mode always executes the shards *sequentially* (see the module
+//! docs of [`super`]): freshness marks cross shard boundaries freely, so
+//! the bookkeeping here stays plain single-threaded state.
 //!
 //! ## Why the skip is exact
 //!
@@ -14,9 +18,10 @@
 //! that same cycle, would have mutated *nothing* except two closed-form
 //! counters:
 //!
-//! - no arrivals (the in-flight ring is empty until the next wake-up),
-//! - no deliveries (`deliver_q` empty, and stalled deliveries are only
-//!   re-queued by a CPU drain, which is itself a stepped event),
+//! - no arrivals (the in-flight rings are empty until the next wake-up),
+//! - no deliveries (every shard's `deliver_q` empty, and stalled
+//!   deliveries are only re-queued by a CPU drain, which is itself a
+//!   stepped event),
 //! - every CPU visit is a blocked poll — a rate-window check or a pure
 //!   `next_send` decline ([`PollHint::SleepUntilDelivery`]) — whose only
 //!   effect is incrementing `pacing_blocked_cycles` /
@@ -24,9 +29,9 @@
 //!   form by [`Engine::replay_blocked_counters`],
 //! - no arbitration win is possible: every candidate head lost its last
 //!   stepped arbitration on *feasibility* (downstream credit), which only
-//!   changes when a downstream FIFO pops or reserves — both stepped
-//!   events that mark the affected node *fresh* — or on a busy link,
-//!   whose release cycle is known exactly (`link_busy_until`).
+//!   changes when a downstream FIFO pops or a win spends credit — both
+//!   stepped events that mark the affected node *fresh* — or on a busy
+//!   link, whose release cycle is known exactly (`link_busy_until`).
 //!
 //! The wake-up invariant (see DESIGN.md): **no component may be woken
 //! later than its true next state change.** Waking too early merely steps
@@ -41,8 +46,8 @@
 //! periodic sample (frozen deltas, live occupancy snapshot) is recorded
 //! there, so traced runs are byte-identical too.
 
-use super::{Engine, Win, WinSource, RING};
-use crate::config::NUM_VCS;
+use super::phases::{sendable_dirs, PULL_THRESHOLD};
+use super::{Engine, RING};
 
 /// What the last completed CPU visit learned about a node's ability to
 /// make progress on its own (without a delivery).
@@ -78,9 +83,9 @@ pub(super) struct NodeEvent {
 
 /// Engine-wide event-mode state: per-node wake hints plus a one-cycle
 /// "freshness" bitset of nodes whose arbitration inputs changed during
-/// the current stepped cycle (downstream pop or reservation). A fresh
+/// the current stepped cycle (downstream pop or credit spend). A fresh
 /// node must be re-arbitrated next cycle, so any freshness suppresses
-/// skipping entirely.
+/// skipping entirely. Indexed by *global* rank.
 pub(super) struct EventState {
     pub(super) nodes: Vec<NodeEvent>,
     fresh: Vec<u64>,
@@ -97,7 +102,7 @@ impl EventState {
     }
 
     #[inline]
-    fn mark_fresh(&mut self, i: usize) {
+    pub(super) fn mark_fresh(&mut self, i: usize) {
         self.fresh[i >> 6] |= 1 << (i & 63);
         self.any_fresh = true;
     }
@@ -114,100 +119,63 @@ impl EventState {
 }
 
 impl Engine {
-    /// Note an arbitration win out of node `n` toward `nb` (event mode):
-    /// the pop changed `n`'s own head lineup mid-visit (directions the
-    /// per-visit summary already passed must be retried next cycle), a
-    /// transit pop freed upstream credit, an injection pop freed local
-    /// injection space, and the reservation at `nb` may flip the
-    /// bubble-escape eligibility (`preferred_blocked`) of any of `nb`'s
-    /// neighbours.
-    pub(super) fn event_note_win(&mut self, n: usize, nb: usize, win: Win) {
-        let ev = self.events.as_mut().expect("event mode");
-        ev.mark_fresh(n);
-        match win.source {
-            WinSource::Transit { fifo } => {
-                let up = self.neighbors[n][fifo as usize / NUM_VCS];
-                if up != u32::MAX {
-                    ev.mark_fresh(up as usize);
-                }
-            }
-            WinSource::Inject { .. } => {
-                ev.nodes[n].inject_blocked = false;
-            }
-        }
-        for &m in &self.neighbors[nb] {
-            if m != u32::MAX {
-                ev.mark_fresh(m as usize);
-            }
-        }
-    }
-
-    /// Note a delivery pop out of transit FIFO `fifo` at `node` (event
-    /// mode): the freed space is new credit for the upstream neighbour on
-    /// that port.
-    pub(super) fn event_note_vc_pop(&mut self, node: usize, fifo: usize) {
-        let up = self.neighbors[node][fifo / NUM_VCS];
-        if up != u32::MAX {
-            self.events
-                .as_mut()
-                .expect("event mode")
-                .mark_fresh(up as usize);
-        }
-    }
-
     /// Earliest cycle at which any component can change state, evaluated
     /// at a cycle boundary (`self.now` is the next unstepped cycle).
     /// Returns `self.now` as soon as any immediate work is found.
     fn next_event_cycle(&self) -> u64 {
         let now = self.now;
         let ev = self.events.as_ref().expect("event mode");
-        if ev.any_fresh || !self.deliver_q.is_empty() {
+        if ev.any_fresh || self.shards.iter().any(|sd| !sd.deliver_q.is_empty()) {
             return now;
         }
         // Earliest in-flight arrival. Every launched packet lands within
         // RING cycles (asserted at construction), so one lap suffices.
         let mut e = u64::MAX;
-        for off in 0..RING as u64 {
-            if !self.ring[((now + off) % RING as u64) as usize].is_empty() {
+        'lap: for off in 0..RING as u64 {
+            let slot = ((now + off) % RING as u64) as usize;
+            if self.shards.iter().any(|sd| !sd.ring[slot].is_empty()) {
                 e = now + off;
-                break;
+                break 'lap;
             }
         }
         if e == now {
             return now;
         }
-        for w in 0..self.cpu_active.words.len() {
-            let mut bits = self.cpu_active.words[w];
-            while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                e = e.min(self.cpu_wake(i));
-                if e <= now {
-                    return now;
+        for (s, sd) in self.shards.iter().enumerate() {
+            let base = self.bounds[s];
+            for w in 0..sd.cpu_active.words.len() {
+                let mut bits = sd.cpu_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    e = e.min(self.cpu_wake(base + i));
+                    if e <= now {
+                        return now;
+                    }
                 }
             }
-        }
-        for w in 0..self.arb_active.words.len() {
-            let mut bits = self.arb_active.words[w];
-            while bits != 0 {
-                let n = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                e = e.min(self.arb_wake(n));
-                if e <= now {
-                    return now;
+            for w in 0..sd.arb_active.words.len() {
+                let mut bits = sd.arb_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    e = e.min(self.arb_wake(base + i));
+                    if e <= now {
+                        return now;
+                    }
                 }
             }
         }
         e
     }
 
-    /// Next cycle node `i`'s CPU phase could do anything but a replayable
-    /// blocked poll. `cpu_visit` skips cycles with `cpu_free >= t + 1`,
-    /// so the first visitable cycle is `floor(cpu_free)` — before that,
-    /// even a pending drain cannot run.
-    fn cpu_wake(&self, i: usize) -> u64 {
-        let n = &self.nodes[i];
-        let ev = self.events.as_ref().expect("event mode").nodes[i];
+    /// Next cycle global node `g`'s CPU phase could do anything but a
+    /// replayable blocked poll. `cpu_visit` skips cycles with
+    /// `cpu_free >= t + 1`, so the first visitable cycle is
+    /// `floor(cpu_free)` — before that, even a pending drain cannot run.
+    fn cpu_wake(&self, g: usize) -> u64 {
+        let n = &self.nodes[g];
+        let ev = self.events.as_ref().expect("event mode").nodes[g];
         let ready = (n.cpu_free as u64).max(self.now);
         if !n.reception.is_empty() {
             // A drain mutates real state: never skip past it.
@@ -219,7 +187,7 @@ impl Engine {
             // happen as soon as the CPU frees up.
             wake = ready;
         }
-        if !n.program_done && n.pulled.len() < Self::PULL_THRESHOLD {
+        if !n.program_done && n.pulled.len() < PULL_THRESHOLD {
             match ev.poll {
                 PollState::Open => wake = wake.min(ready),
                 PollState::Rate => {
@@ -235,24 +203,24 @@ impl Engine {
         wake
     }
 
-    /// Next cycle node `n`'s arbitration could win an output. Heads on
-    /// *free* links already lost their last stepped arbitration on
-    /// downstream feasibility, which only a stepped event can change
+    /// Next cycle global node `g`'s arbitration could win an output.
+    /// Heads on *free* links already lost their last stepped arbitration
+    /// on downstream feasibility, which only a stepped event can change
     /// (fresh marks handle that); so the only timed wake is a busy link
     /// becoming usable. `busy_until == now` must wake now: the link was
     /// busy during the last stepped cycle but is usable this cycle.
-    fn arb_wake(&self, n: usize) -> u64 {
-        let node = &self.nodes[n];
+    fn arb_wake(&self, g: usize) -> u64 {
+        let node = &self.nodes[g];
         if node.vc_mask == 0 && node.inj_mask == 0 {
             return u64::MAX;
         }
-        let dirs = self.sendable_dirs(n);
+        let dirs = sendable_dirs(node);
         let mut wake = u64::MAX;
         for d in 0..6usize {
-            if dirs & (1 << d) == 0 || self.neighbors[n][d] == u32::MAX {
+            if dirs & (1 << d) == 0 || self.neighbors[g][d] == u32::MAX {
                 continue;
             }
-            let busy = self.link_busy_until[n * 6 + d];
+            let busy = self.link_busy_until[g * 6 + d];
             if busy >= self.now {
                 wake = wake.min(busy);
             }
@@ -268,29 +236,31 @@ impl Engine {
     /// node's own wake, so a `Rate` window is closed and an `Asleep`
     /// decline repeats verbatim across the whole eligible span.
     fn replay_blocked_counters(&mut self, stop: u64) {
-        for w in 0..self.cpu_active.words.len() {
-            let mut bits = self.cpu_active.words[w];
-            while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let n = &self.nodes[i];
-                if n.program_done
-                    || n.pulled.len() >= Self::PULL_THRESHOLD
-                    || !n.reception.is_empty()
-                {
-                    continue;
-                }
-                let from = (n.cpu_free as u64).max(self.now);
-                if stop <= from {
-                    continue;
-                }
-                let cycles = stop - from;
-                match self.events.as_ref().expect("event mode").nodes[i].poll {
-                    PollState::Rate => self.stats.pacing_blocked_cycles += cycles,
-                    PollState::Asleep { denials } if denials > 0 => {
-                        self.stats.credit_blocked_events += denials * cycles;
+        for s in 0..self.shards.len() {
+            let base = self.bounds[s];
+            for w in 0..self.shards[s].cpu_active.words.len() {
+                let mut bits = self.shards[s].cpu_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let g = base + i;
+                    let n = &self.nodes[g];
+                    if n.program_done || n.pulled.len() >= PULL_THRESHOLD || !n.reception.is_empty()
+                    {
+                        continue;
                     }
-                    _ => {}
+                    let from = (n.cpu_free as u64).max(self.now);
+                    if stop <= from {
+                        continue;
+                    }
+                    let cycles = stop - from;
+                    match self.events.as_ref().expect("event mode").nodes[g].poll {
+                        PollState::Rate => self.stats.pacing_blocked_cycles += cycles,
+                        PollState::Asleep { denials } if denials > 0 => {
+                            self.stats.credit_blocked_events += denials * cycles;
+                        }
+                        _ => {}
+                    }
                 }
             }
         }

@@ -26,6 +26,37 @@
 //! when it can prove the intervening cycles inert (see [`event`]). All
 //! three produce byte-identical [`NetStats`] and traces.
 //!
+//! ## Sharding
+//!
+//! The torus is partitioned into `SimConfig::shards` contiguous rank
+//! ranges (slabs along the outermost dimension, since ranks are
+//! x-innermost). Each cycle runs as three *sections* per shard:
+//!
+//! - **A** (phases 1–3): touches only the shard's own nodes, plus
+//!   commutative cross-shard effects (credit releases on this shard's own
+//!   cells, event freshness marks);
+//! - **B** (packet-id fix-up + phase 4): arbitration reads neighbour
+//!   state *only* through the shared credit array, whose cells each have
+//!   exactly one reading/spending shard (the unique upstream of the
+//!   FIFO), and stages cross-shard arrivals into per-(src,dst) outboxes;
+//! - **C**: drains staged arrivals in ascending source-shard order (which
+//!   reproduces the global ascending-node win order exactly) and applies
+//!   the cycle's deferred credit releases.
+//!
+//! With `shards > 1` (and neither the invariant oracle nor event-driven
+//! time in play) the sections run on one thread per shard, separated by
+//! barriers; otherwise they run on the caller's thread in ascending shard
+//! order. Both drive the *same* section code over the same data layout,
+//! so results are byte-identical for every shard count, threaded or not.
+//!
+//! Two accounting rules make the sections order-independent (and apply
+//! identically at `shards = 1`): credit freed by a phase-4 pop is
+//! released at the cycle boundary, not mid-phase, so arbitration sees a
+//! fixed credit snapshot regardless of node visit order; and CPU-busy
+//! time accumulates per node, folded into `NetStats::cpu_busy_cycles` in
+//! ascending node order only at observation points, so the float sum
+//! never depends on execution interleaving.
+//!
 //! The run ends when every program reports complete and no packet remains
 //! anywhere; a watchdog aborts with diagnostics if traffic stops moving.
 //!
@@ -36,21 +67,28 @@
 
 mod event;
 mod oracle;
+mod parallel;
 mod phases;
 mod tracer;
 
 use crate::config::{EngineMode, SimConfig, Vc};
-use crate::node::NodeState;
+use crate::node::{NodeState, NUM_PORTS};
 use crate::packet::Packet;
 use crate::program::{NodeApi, NodeProgram};
-use crate::stats::NetStats;
+use crate::stats::{NetStats, LATENCY_BUCKETS};
 use bgl_torus::{Coord, Dim, Partition, ALL_DIRECTIONS};
 use event::EventState;
 use oracle::Oracle;
+use phases::{Router, Shard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 use tracer::Tracer;
 
 /// In-flight ring size; must exceed max packet chunks + hop latency.
 const RING: usize = 64;
+
+/// Credit cells per node (one per transit VC FIFO).
+const VC_CELLS: usize = NUM_PORTS * crate::config::NUM_VCS;
 
 /// Why frozen traffic is frozen, computed from the queue state at the
 /// moment the watchdog fires so a stall is diagnosable without a trace
@@ -145,6 +183,14 @@ struct Arrival {
     pkt: Packet,
 }
 
+/// A staged cross-shard (or same-shard) arrival: phase 4 appends these to
+/// the winner shard's outbox; section C moves them into the destination
+/// shard's in-flight ring.
+struct OutMsg {
+    arrive: u64,
+    arr: Arrival,
+}
+
 #[derive(Clone, Copy)]
 enum WinSource {
     Transit { fifo: u8 },
@@ -163,9 +209,9 @@ struct Win {
 ///
 /// The engine maintains the invariant that every node with work is marked;
 /// a marked node that turns out to be idle is cleared when visited. Bits
-/// are only ever *set* for other nodes between phases (arrivals mark
-/// arbitration work, deliveries mark CPU work), so a phase can iterate a
-/// snapshot of each word without missing work.
+/// are only ever *set* for nodes of the same shard between phases
+/// (arrivals mark arbitration work, deliveries mark CPU work), so a phase
+/// can iterate a snapshot of each word without missing work.
 struct ActiveSet {
     words: Vec<u64>,
 }
@@ -193,6 +239,75 @@ impl ActiveSet {
     fn clear(&mut self, i: usize) {
         self.words[i >> 6] &= !(1 << (i & 63));
     }
+
+    /// Marked-node count. Conservative marks make this an upper bound on
+    /// real work — exactly the right direction for the threading gate.
+    fn popcount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Per-shard simulation state. Indices stored here (`deliver_q`, ring
+/// arrivals) are *global* node ranks; the active sets use shard-local bit
+/// positions (`global - base`).
+struct ShardData {
+    /// In-flight ring: slot `t % RING` holds the packets arriving at this
+    /// shard's nodes at cycle `t`.
+    ring: Vec<Vec<Arrival>>,
+    deliver_q: Vec<(u32, u8)>,
+    /// Nodes that may have CPU work (non-empty reception/pending/pulled
+    /// queues, or a program that has not declared completion).
+    cpu_active: ActiveSet,
+    /// Nodes that may have a packet to arbitrate out (non-zero `vc_mask`
+    /// or `inj_mask`).
+    arb_active: ActiveSet,
+    /// Per-destination-shard staged wins of the current cycle.
+    outbox: Vec<Vec<OutMsg>>,
+    /// Packets injected this cycle, in injection order: `(local node,
+    /// fifo, queue position)` of each provisional-id packet, rewritten to
+    /// its final global id at the section-B fix-up.
+    injected: Vec<(u32, u8, u16)>,
+    /// Credit releases from this cycle's phase-4 pops, applied at the
+    /// cycle boundary (section C): `(credit cell, chunks)`.
+    deferred: Vec<(u32, u32)>,
+}
+
+impl ShardData {
+    fn new(len: usize, nshards: usize) -> ShardData {
+        ShardData {
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            deliver_q: Vec::new(),
+            cpu_active: ActiveSet::all(len),
+            arb_active: ActiveSet::all(len),
+            outbox: (0..nshards).map(|_| Vec::new()).collect(),
+            injected: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+}
+
+/// Statistics a single shard accumulates over one cycle, merged into the
+/// engine's `NetStats` (in ascending shard order, though every merge is
+/// order-independent) at the cycle boundary.
+#[derive(Default)]
+struct CycleStats {
+    progress: bool,
+    live: i64,
+    pending: i64,
+    done: usize,
+    injected: u64,
+    delivered: u64,
+    payload: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    hist: [u64; LATENCY_BUCKETS],
+    reception_stalls: u64,
+    pacing: u64,
+    credit_blocked: u64,
+    link_busy: [u64; 3],
+    hops: [u64; 3],
+    bubble: u64,
+    dynamic: u64,
 }
 
 /// The simulator.
@@ -207,14 +322,36 @@ pub struct Engine {
     neighbors: Vec<[u32; 6]>,
     /// `busy_until[n*6+dir]`.
     link_busy_until: Vec<u64>,
-    ring: Vec<Vec<Arrival>>,
-    deliver_q: Vec<(u32, u8)>,
-    /// Nodes that may have CPU work (non-empty reception/pending/pulled
-    /// queues, or a program that has not declared completion).
-    cpu_active: ActiveSet,
-    /// Nodes that may have a packet to arbitrate out (non-zero `vc_mask`
-    /// or `inj_mask`).
-    arb_active: ActiveSet,
+    /// Available downstream space per transit VC FIFO, indexed
+    /// `node * VC_CELLS + vc_fifo_index(port, vc)`, counting in-flight
+    /// reservations (spent at the upstream win, released when the packet
+    /// is popped). Atomic so threaded shards can share it, but every cell
+    /// has a single accessor per section: the unique upstream node's
+    /// shard spends during phase 4, the owning node's shard releases
+    /// during phase 2 and at the boundary — so plain relaxed ordering is
+    /// exact, not approximate.
+    credits: Vec<AtomicU32>,
+    /// Shard boundaries: shard `s` owns global ranks
+    /// `bounds[s]..bounds[s+1]`.
+    bounds: Vec<usize>,
+    /// Owning shard of each global rank.
+    shard_of: Vec<u16>,
+    shards: Vec<ShardData>,
+    /// Per-(src,dst)-shard mailboxes (`src * nshards + dst`), swapped
+    /// against shard outboxes at the end of section B and drained by the
+    /// destination in section C. Uncontended by construction; the mutex
+    /// exists to let threaded shards exchange the vectors safely.
+    staging: Vec<Mutex<Vec<OutMsg>>>,
+    /// Per-shard injection counts of the current cycle, published at the
+    /// end of section A and prefix-summed by every shard in section B to
+    /// place its packet ids.
+    counts: Vec<AtomicU64>,
+    cycle_stats: Vec<CycleStats>,
+    /// Run sections on one thread per shard. Requires > 1 shard and
+    /// neither the oracle (whose ledgers are inherently global) nor
+    /// event-driven time (whose skip decisions are global); both of those
+    /// still run the sharded *structure* sequentially, byte-identically.
+    parallel: bool,
     /// Reference mode: scan every node every cycle (see
     /// [`EngineMode::FullScan`]).
     full_scan: bool,
@@ -271,7 +408,7 @@ impl Engine {
             })
             .collect();
         let stats = NetStats {
-            latency_histogram: vec![0; crate::stats::LATENCY_BUCKETS],
+            latency_histogram: vec![0; LATENCY_BUCKETS],
             link_busy_per_link: if cfg.detailed_link_stats {
                 vec![0; p * 6]
             } else {
@@ -279,10 +416,25 @@ impl Engine {
             },
             ..NetStats::default()
         };
+        // Contiguous rank slabs; u16::MAX shards is plenty and keeps the
+        // ownership map compact.
+        let nshards = cfg.shards.get().min(p).min(u16::MAX as usize);
+        let bounds: Vec<usize> = (0..=nshards).map(|s| s * p / nshards).collect();
+        let mut shard_of = vec![0u16; p];
+        for s in 0..nshards {
+            shard_of[bounds[s]..bounds[s + 1]].fill(s as u16);
+        }
+        let shards = (0..nshards)
+            .map(|s| ShardData::new(bounds[s + 1] - bounds[s], nshards))
+            .collect();
+        let credits = (0..p * VC_CELLS)
+            .map(|_| AtomicU32::new(cfg.router.vc_fifo_chunks))
+            .collect();
         let full_scan = cfg.engine == EngineMode::FullScan;
         let events = (cfg.engine == EngineMode::EventDriven).then(|| Box::new(EventState::new(p)));
         let tracer = cfg.trace.as_ref().map(|tc| Box::new(Tracer::new(tc)));
         let oracle = cfg.check_invariants.then(|| Box::new(Oracle::new()));
+        let parallel = nshards > 1 && oracle.is_none() && events.is_none();
         Engine {
             cfg,
             part,
@@ -291,10 +443,16 @@ impl Engine {
             programs,
             neighbors,
             link_busy_until: vec![0; p * 6],
-            ring: (0..RING).map(|_| Vec::new()).collect(),
-            deliver_q: Vec::new(),
-            cpu_active: ActiveSet::all(p),
-            arb_active: ActiveSet::all(p),
+            credits,
+            bounds,
+            shard_of,
+            shards,
+            staging: (0..nshards * nshards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            counts: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            cycle_stats: (0..nshards).map(|_| CycleStats::default()).collect(),
+            parallel,
             full_scan,
             events,
             live_packets: 0,
@@ -319,9 +477,16 @@ impl Engine {
         self.now
     }
 
-    /// Statistics so far.
+    /// Statistics so far. `cpu_busy_cycles` is folded from the per-node
+    /// accumulators only at observation points (trace samples, run end),
+    /// so mid-run reads of that one field may lag.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Number of shards in use (after clamping to the node count).
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len() - 1
     }
 
     /// Run to completion. Returns the final statistics.
@@ -331,6 +496,7 @@ impl Engine {
         }
         while !self.is_complete() {
             if self.now >= self.cfg.max_cycles {
+                self.sync_cpu_busy();
                 return Err(SimError::CycleLimit {
                     limit: self.cfg.max_cycles,
                 });
@@ -342,6 +508,7 @@ impl Engine {
                 if self.tracer.is_some() {
                     self.record_trace_sample(true);
                 }
+                self.sync_cpu_busy();
                 let trace_tail = self
                     .tracer
                     .as_ref()
@@ -363,6 +530,7 @@ impl Engine {
                 self.fast_forward();
             }
         }
+        self.sync_cpu_busy();
         if self.oracle.is_some() {
             self.oracle_quiesce_check();
         }
@@ -402,6 +570,75 @@ impl Engine {
         self.programs = programs;
     }
 
+    /// Fold the per-node CPU-busy accumulators into
+    /// `stats.cpu_busy_cycles`, in ascending node order — the one float
+    /// reduction in the stats, pinned to a shard-independent order.
+    fn sync_cpu_busy(&mut self) {
+        self.stats.cpu_busy_cycles = self.nodes.iter().map(|n| n.cpu_busy).sum();
+    }
+
+    /// Borrow shard `s`'s slice of the engine as a section context.
+    fn shard_ctx(&mut self, s: usize) -> Shard<'_> {
+        let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
+        Shard {
+            router: Router {
+                cfg: &self.cfg,
+                neighbors: &self.neighbors,
+                credits: &self.credits,
+            },
+            part: &self.part,
+            shard_of: &self.shard_of,
+            counts: &self.counts,
+            staging: &self.staging,
+            nshards: self.bounds.len() - 1,
+            si: s,
+            base: lo,
+            next_id0: self.next_packet_id,
+            full_scan: self.full_scan,
+            nodes: &mut self.nodes[lo..hi],
+            programs: &mut self.programs[lo..hi],
+            link_busy_until: &mut self.link_busy_until[lo * 6..hi * 6],
+            link_stats: if self.cfg.detailed_link_stats {
+                &mut self.stats.link_busy_per_link[lo * 6..hi * 6]
+            } else {
+                &mut []
+            },
+            sd: &mut self.shards[s],
+            cs: &mut self.cycle_stats[s],
+            events: self.events.as_deref_mut(),
+            oracle: self.oracle.as_deref_mut(),
+        }
+    }
+
+    /// Per-cycle gate for the threaded path: spawning the shard threads
+    /// costs tens of microseconds, so thin cycles — sparse traffic,
+    /// warm-up, drain tails — run the same three sections inline on this
+    /// thread instead. Both paths execute identical section code in the
+    /// same order, so the choice is invisible in every statistic; it only
+    /// moves wall-clock. The estimate is the marked active-set population
+    /// plus the pending delivery retries and this cycle's ring arrivals,
+    /// an upper bound on nodes actually visited.
+    fn cycle_is_wide(&self, t: u64) -> bool {
+        /// Minimum estimated active nodes per shard before threads pay.
+        const MIN_ACTIVE_PER_SHARD: usize = 128;
+        let floor = (self.bounds.len() - 1) * MIN_ACTIVE_PER_SHARD;
+        if self.full_scan {
+            // The full scan visits every node every cycle by definition.
+            return self.nodes.len() >= floor;
+        }
+        let mut active = 0usize;
+        for sd in &self.shards {
+            active += sd.cpu_active.popcount()
+                + sd.arb_active.popcount()
+                + sd.deliver_q.len()
+                + sd.ring[(t % RING as u64) as usize].len();
+            if active >= floor {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Advance one cycle (starting the programs first if needed).
     pub fn step(&mut self) {
         if !self.started {
@@ -411,10 +648,24 @@ impl Engine {
             ev.clear_fresh();
         }
         let t = self.now;
-        self.phase_arrivals(t);
-        self.phase_deliveries(t);
-        self.phase_cpu(t);
-        self.phase_arbitration(t);
+        for cs in &mut self.cycle_stats {
+            *cs = CycleStats::default();
+        }
+        let nshards = self.bounds.len() - 1;
+        if self.parallel && self.cycle_is_wide(t) {
+            self.step_parallel(t);
+        } else {
+            for s in 0..nshards {
+                self.shard_ctx(s).section_a(t);
+            }
+            for s in 0..nshards {
+                self.shard_ctx(s).section_b(t);
+            }
+            for s in 0..nshards {
+                self.shard_ctx(s).section_c();
+            }
+        }
+        self.merge_cycle(t);
         self.now = t + 1;
         // Cycle-boundary oracle sweep: all four phases have run, so the
         // global counters must agree and no FIFO may be over its credit
@@ -429,6 +680,44 @@ impl Engine {
                 self.record_trace_sample(false);
             }
         }
+    }
+
+    /// Fold the cycle's per-shard statistics into the run totals. Every
+    /// merge is order-independent (sums, maxima), so the ascending shard
+    /// order here is a convention, not a requirement.
+    fn merge_cycle(&mut self, t: u64) {
+        let mut id_total = 0;
+        for (s, cs) in self.cycle_stats.iter().enumerate() {
+            id_total += self.counts[s].load(Relaxed);
+            if cs.progress {
+                self.last_progress = t;
+            }
+            self.live_packets = (self.live_packets as i64 + cs.live) as u64;
+            self.pending_total = (self.pending_total as i64 + cs.pending) as u64;
+            self.done_programs += cs.done;
+            let st = &mut self.stats;
+            st.packets_injected += cs.injected;
+            st.packets_delivered += cs.delivered;
+            st.payload_bytes_delivered += cs.payload;
+            st.total_latency_cycles += cs.latency_sum;
+            st.max_latency_cycles = st.max_latency_cycles.max(cs.latency_max);
+            if cs.delivered > 0 {
+                st.completion_cycle = t;
+            }
+            for (h, d) in st.latency_histogram.iter_mut().zip(cs.hist) {
+                *h += d;
+            }
+            st.reception_stall_events += cs.reception_stalls;
+            st.pacing_blocked_cycles += cs.pacing;
+            st.credit_blocked_events += cs.credit_blocked;
+            for d in 0..3 {
+                st.link_busy_chunks[d] += cs.link_busy[d];
+                st.hops_taken[d] += cs.hops[d];
+            }
+            st.bubble_hops += cs.bubble;
+            st.dynamic_hops += cs.dynamic;
+        }
+        self.next_packet_id += id_total;
     }
 
     /// Diagnostic: dimension utilization snapshot helper.
@@ -454,6 +743,47 @@ impl Engine {
     /// Diagnostic: per-dimension utilization so far.
     pub fn dim_utilization(&self, dim: Dim) -> f64 {
         self.stats.dim_utilization(&self.part, dim)
+    }
+
+    /// The routing-feasibility view shared by phase 4 and the engine-side
+    /// diagnostics (HOL probes read only the credit array, never another
+    /// node's FIFO state).
+    fn router(&self) -> Router<'_> {
+        Router {
+            cfg: &self.cfg,
+            neighbors: &self.neighbors,
+            credits: &self.credits,
+        }
+    }
+
+    /// Whether the head packet of transit FIFO `fifo` at node `n` cannot
+    /// move right now: every output direction its routing mode allows
+    /// (its minimal quadrant, shaped by the longest-first bias /
+    /// dimension order) is either mid-transmission or out of downstream
+    /// VC credit. This is the paper's head-of-line blocking signal —
+    /// packets parked behind saturated long-dimension links.
+    fn head_is_hol_blocked(&self, n: usize, fifo: usize, pkt: &Packet) -> bool {
+        let router = self.router();
+        let from_dim = Some(fifo / crate::config::NUM_VCS / 2); // port index / 2 = dimension
+        let mut any_dir = false;
+        for d in ALL_DIRECTIONS {
+            if !router.wants(pkt, d) {
+                continue;
+            }
+            let nb = self.neighbors[n][d.index()];
+            if nb == u32::MAX {
+                continue;
+            }
+            any_dir = true;
+            if self.link_busy_until[n * 6 + d.index()] <= self.now
+                && router
+                    .feasible_vc(pkt, n, from_dim, d, nb as usize)
+                    .is_some()
+            {
+                return false;
+            }
+        }
+        any_dir
     }
 
     /// Diagnostic snapshot of why live traffic is blocked, taken when the

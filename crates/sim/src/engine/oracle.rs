@@ -7,9 +7,16 @@
 //! *stepped* cycle. Skipped cycles need no sweep: skipping is only legal
 //! when the network state is provably frozen, so the checks would examine
 //! the same state they just passed on.
+//!
+//! Oracle runs execute the sharded engine *sequentially* regardless of
+//! the configured shard count (see the module docs of [`super`]): the
+//! hooks fire in the exact global order the checks assume, and the
+//! cycle-boundary sweep can read the credit array at rest.
 
-use super::Engine;
+use super::{Engine, VC_CELLS};
+use crate::node::vc_fifo_index;
 use crate::packet::Packet;
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Independent re-derivation of the simulator's conservation laws, enabled
 /// by [`SimConfig::check_invariants`](crate::SimConfig). Per-packet state
@@ -47,7 +54,8 @@ impl Oracle {
         }
     }
 
-    /// Record a freshly injected packet (plan not yet advanced).
+    /// Record a freshly injected packet (plan not yet advanced). Called at
+    /// the section-B id fix-up — the first point the final id exists.
     pub(super) fn on_inject(&mut self, pkt: &Packet) {
         assert_eq!(
             pkt.id as usize,
@@ -109,8 +117,13 @@ impl Oracle {
 impl Engine {
     /// Cycle-boundary oracle sweep (end of cycle `t`): the oracle's
     /// independent packet ledger must agree with `NetStats`, the live
-    /// counter must telescope (injected − delivered), and every FIFO's
-    /// occupancy plus outstanding reservations must fit its capacity.
+    /// counter must telescope (injected − delivered), every FIFO's
+    /// occupancy must fit its capacity, and every transit-VC credit cell
+    /// must conserve chunks: available credit + physically occupied +
+    /// in flight toward the cell = capacity. The conservation law is the
+    /// sharded engine's load-bearing invariant — a credit leaked (or
+    /// double-released) by any section of any shard breaks it at the very
+    /// next boundary.
     pub(super) fn oracle_cycle_check(&self, t: u64) {
         let o = self.oracle.as_ref().expect("caller checked");
         let injected = o.planned_hops.len() as u64;
@@ -129,19 +142,40 @@ impl Engine {
             injected - o.delivered_count,
             "invariant violated: live packets must equal injected − delivered (cycle {t})"
         );
+        // Chunks launched toward each transit cell but not yet arrived:
+        // at a cycle boundary every such packet sits in some shard's
+        // in-flight ring (outboxes and staging mailboxes drain within
+        // the cycle that filled them).
+        let mut inflight = vec![0u64; self.nodes.len() * VC_CELLS];
+        for sd in &self.shards {
+            for slot in &sd.ring {
+                for arr in slot {
+                    let cell = arr.node as usize * VC_CELLS
+                        + vc_fifo_index(arr.port as usize, arr.pkt.vc.index());
+                    inflight[cell] += arr.pkt.chunks as u64;
+                }
+            }
+        }
         for (ni, node) in self.nodes.iter().enumerate() {
-            for f in node
-                .vcs
-                .iter()
-                .chain(&node.inj)
-                .chain(std::iter::once(&node.reception))
-            {
+            for (c, f) in node.vcs.iter().enumerate() {
+                let cell = ni * VC_CELLS + c;
+                let credit = self.credits[cell].load(Relaxed) as u64;
+                let occupied = f.occupied_chunks() as u64;
+                assert_eq!(
+                    credit + occupied + inflight[cell],
+                    f.capacity_chunks() as u64,
+                    "invariant violated: credit cell (node {ni}, fifo {c}) leaked \
+                     ({credit} credit + {occupied} occupied + {} in flight ≠ {} capacity, cycle {t})",
+                    inflight[cell],
+                    f.capacity_chunks()
+                );
+            }
+            for f in node.inj.iter().chain(std::iter::once(&node.reception)) {
                 assert!(
-                    f.occupied_chunks() + f.reserved_chunks() <= f.capacity_chunks(),
+                    f.occupied_chunks() <= f.capacity_chunks(),
                     "invariant violated: FIFO at node {ni} over capacity \
-                     ({} occupied + {} reserved > {}, cycle {t})",
+                     ({} occupied > {}, cycle {t})",
                     f.occupied_chunks(),
-                    f.reserved_chunks(),
                     f.capacity_chunks()
                 );
             }
@@ -151,8 +185,9 @@ impl Engine {
     /// Quiesce-time oracle sweep, run once the simulation reports
     /// complete: every injected packet was delivered exactly once with
     /// exactly its planned hops, payload bytes are conserved end-to-end,
-    /// the per-packet hop ledger sums to the `NetStats` totals, and every
-    /// FIFO has drained with all reservation credits telescoped to zero.
+    /// the per-packet hop ledger sums to the `NetStats` totals, every
+    /// FIFO has drained, every credit cell has telescoped back to full
+    /// capacity, and no packets remain in flight.
     pub(super) fn oracle_quiesce_check(&self) {
         let o = self.oracle.as_ref().expect("caller checked");
         let injected = o.planned_hops.len() as u64;
@@ -184,24 +219,31 @@ impl Engine {
                 !node.holds_packets(),
                 "invariant violated: node {ni} still holds packets at quiesce"
             );
-            for f in node
-                .vcs
-                .iter()
-                .chain(&node.inj)
-                .chain(std::iter::once(&node.reception))
-            {
+            for (c, f) in node.vcs.iter().enumerate() {
+                let credit = self.credits[ni * VC_CELLS + c].load(Relaxed);
                 assert!(
-                    f.is_empty() && f.occupied_chunks() == 0 && f.reserved_chunks() == 0,
-                    "invariant violated: FIFO at node {ni} not drained at quiesce \
-                     ({} packets, {} occupied, {} reserved)",
+                    f.is_empty() && f.occupied_chunks() == 0 && credit == f.capacity_chunks(),
+                    "invariant violated: transit FIFO (node {ni}, fifo {c}) not drained at \
+                     quiesce ({} packets, {} occupied, {credit} of {} credits returned)",
                     f.len(),
                     f.occupied_chunks(),
-                    f.reserved_chunks()
+                    f.capacity_chunks()
+                );
+            }
+            for f in node.inj.iter().chain(std::iter::once(&node.reception)) {
+                assert!(
+                    f.is_empty() && f.occupied_chunks() == 0,
+                    "invariant violated: FIFO at node {ni} not drained at quiesce \
+                     ({} packets, {} occupied)",
+                    f.len(),
+                    f.occupied_chunks()
                 );
             }
         }
         assert!(
-            self.ring.iter().all(|slot| slot.is_empty()),
+            self.shards
+                .iter()
+                .all(|sd| sd.ring.iter().all(|slot| slot.is_empty())),
             "invariant violated: packets still in flight at quiesce"
         );
     }

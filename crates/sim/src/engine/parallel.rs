@@ -1,0 +1,118 @@
+//! Threaded execution of the sharded cycle: one scoped thread per shard,
+//! two barriers per cycle (A→B and B→C; the scope join is the closing
+//! barrier).
+//!
+//! This file contains *no simulation logic*. It only partitions the
+//! engine's per-node storage into the same disjoint slices
+//! [`Engine::shard_ctx`](super::Engine) hands out sequentially, and runs
+//! the identical [`Shard`] section methods on worker threads. Correctness
+//! therefore reduces to one claim, checked by the conformance suite and
+//! the equivalence fuzzer: the sections never race. Section A touches
+//! only a shard's own slices plus its own credit cells; section B reads
+//! foreign state only through credit cells whose unique reader is the
+//! executing shard; section C touches only mailboxes addressed to the
+//! executing shard. The barriers order A's credit releases before B's
+//! credit reads, and B's mailbox hand-off before C's drain.
+//!
+//! Threads are spawned fresh each cycle. That costs a few microseconds of
+//! spawn/join per cycle — noise against the multi-millisecond cycles of
+//! the large-torus workloads sharding exists for, and it keeps the engine
+//! free of persistent worker state (no channels, no parked threads to
+//! poison on panic: a panicking section propagates out of the scope
+//! immediately).
+
+use super::phases::{Router, Shard};
+use super::Engine;
+use std::sync::Barrier;
+
+/// Split `slice` into one chunk per shard, cutting at `bounds[s] * scale`.
+fn split_by_bounds<'a, T>(
+    mut slice: &'a mut [T],
+    bounds: &[usize],
+    scale: usize,
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len() - 1);
+    let mut off = 0;
+    for s in 0..bounds.len() - 1 {
+        let end = bounds[s + 1] * scale;
+        let (head, tail) = slice.split_at_mut(end - off);
+        out.push(head);
+        slice = tail;
+        off = end;
+    }
+    debug_assert!(slice.is_empty(), "bounds must cover the whole slice");
+    out
+}
+
+impl Engine {
+    /// Run one cycle's three sections with one thread per shard. Only
+    /// called when `self.parallel` holds, which guarantees the oracle and
+    /// the event-driven bookkeeping are absent — the two components whose
+    /// state is inherently global.
+    pub(super) fn step_parallel(&mut self, t: u64) {
+        let nshards = self.bounds.len() - 1;
+        let router = Router {
+            cfg: &self.cfg,
+            neighbors: &self.neighbors,
+            credits: &self.credits,
+        };
+        let part = &self.part;
+        let shard_of = &self.shard_of[..];
+        let counts = &self.counts[..];
+        let staging = &self.staging[..];
+        let next_id0 = self.next_packet_id;
+        let full_scan = self.full_scan;
+        let nodes = split_by_bounds(&mut self.nodes, &self.bounds, 1);
+        let programs = split_by_bounds(&mut self.programs, &self.bounds, 1);
+        let link_busy = split_by_bounds(&mut self.link_busy_until, &self.bounds, 6);
+        let link_stats: Vec<&mut [u64]> = if self.cfg.detailed_link_stats {
+            split_by_bounds(&mut self.stats.link_busy_per_link, &self.bounds, 6)
+        } else {
+            (0..nshards).map(|_| -> &mut [u64] { &mut [] }).collect()
+        };
+        let ctxs: Vec<Shard<'_>> = nodes
+            .into_iter()
+            .zip(programs)
+            .zip(link_busy)
+            .zip(link_stats)
+            .zip(self.shards.iter_mut())
+            .zip(self.cycle_stats.iter_mut())
+            .enumerate()
+            .map(
+                |(s, (((((nodes, programs), link_busy_until), link_stats), sd), cs))| Shard {
+                    router,
+                    part,
+                    shard_of,
+                    counts,
+                    staging,
+                    nshards,
+                    si: s,
+                    base: self.bounds[s],
+                    next_id0,
+                    full_scan,
+                    nodes,
+                    programs,
+                    link_busy_until,
+                    link_stats,
+                    sd,
+                    cs,
+                    events: None,
+                    oracle: None,
+                },
+            )
+            .collect();
+        let barrier = Barrier::new(nshards);
+        std::thread::scope(|scope| {
+            for mut shard in ctxs {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    shard.section_a(t);
+                    barrier.wait();
+                    shard.section_b(t);
+                    barrier.wait();
+                    shard.section_c();
+                });
+            }
+        });
+    }
+}

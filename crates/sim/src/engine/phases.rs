@@ -1,606 +1,80 @@
 //! The four per-cycle phases (arrivals → deliveries → CPU → arbitration)
-//! and their helpers. Identical code serves all three
-//! [`EngineMode`](crate::EngineMode)s — the full scan and the active-set
-//! scan differ only in which nodes a phase visits, and the event-driven
-//! mode steps the same phases at the cycles it cannot prove frozen. The
-//! only event-mode additions here are bookkeeping hooks (poll outcomes,
-//! freshness marks) that feed `engine::event`; they never change what a
-//! phase does.
+//! and their helpers, expressed over one shard of the torus. Identical
+//! code serves all three [`EngineMode`](crate::EngineMode)s — the full
+//! scan and the active-set scan differ only in which nodes a phase
+//! visits, and the event-driven mode steps the same phases at the cycles
+//! it cannot prove frozen — and every shard count, threaded or not.
+//!
+//! ## Section layout
+//!
+//! A cycle is three sections per shard (see the module docs of
+//! [`super`]): **A** = phases 1–3, **B** = packet-id fix-up + phase 4,
+//! **C** = staged-arrival drain + deferred credit releases. Cross-shard
+//! state is touched only through:
+//!
+//! - the shared **credit array** ([`Router::credit`]): during phase 4 a
+//!   cell is read and spent exclusively by the unique upstream node of
+//!   its FIFO; releases happen in phase 2 (section A) or at the cycle
+//!   boundary (section C), never concurrently with the reads;
+//! - the **staging mailboxes**: written at the end of section B, drained
+//!   in section C in ascending source-shard order, which reproduces the
+//!   global ascending-node win order of an unsharded engine exactly;
+//! - event **freshness marks** (sequential execution only — the
+//!   event-driven mode never runs threaded).
+//!
+//! Arbitration never reads another node's FIFOs directly; every
+//! downstream-feasibility probe ([`Router::feasible_vc`] and friends) is
+//! a credit-array load. That single indirection is what makes the phase
+//! order within a cycle immaterial across shards.
 
-use super::event::{NodeEvent, PollState};
-use super::{Arrival, Engine, Win, WinSource, RING};
-use crate::config::{Vc, NUM_VCS};
+use super::event::{EventState, NodeEvent, PollState};
+use super::{Arrival, CycleStats, OutMsg, ShardData, Win, WinSource, RING, VC_CELLS};
+use crate::config::{SimConfig, Vc, NUM_VCS};
 use crate::flow::FlowSpec;
 use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
 use crate::packet::{Packet, RoutingMode};
 use crate::program::{NodeApi, NodeProgram, PollHint};
-use bgl_torus::{Direction, HopPlan, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
+use bgl_torus::{Direction, HopPlan, Partition, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
-impl Engine {
-    // ---- Phase 1: arrivals -------------------------------------------------
+/// Below this pending-queue depth the engine keeps pulling the
+/// program's own sends, so reactive sends waiting for FIFO space do not
+/// starve a node's proactive schedule.
+pub(super) const PULL_THRESHOLD: usize = 8;
 
-    pub(super) fn phase_arrivals(&mut self, t: u64) {
-        let slot = (t % RING as u64) as usize;
-        let mut arrivals = std::mem::take(&mut self.ring[slot]);
-        for Arrival { node, port, pkt } in arrivals.drain(..) {
-            let n = &mut self.nodes[node as usize];
-            let fi = vc_fifo_index(port as usize, pkt.vc.index());
-            let was_empty = n.vcs[fi].is_empty();
-            let done = pkt.plan.is_done();
-            n.vcs[fi].push_reserved(pkt);
-            n.vc_mask |= 1 << fi;
-            self.arb_active.mark(node as usize);
-            if was_empty && done {
-                self.deliver_q.push((node, fi as u8));
-            }
-            self.last_progress = t;
-        }
-        self.ring[slot] = arrivals; // hand the allocation back
-    }
+/// How far into the pending queue the injector looks for a packet whose
+/// class FIFO has room: without this, one full class FIFO would
+/// head-of-line block packets of other classes (e.g. TPS phase-1
+/// packets stuck behind a congested phase-2 forward).
+const INJECT_SCAN: usize = 16;
 
-    // ---- Phase 2: deliveries ----------------------------------------------
+/// Occupied-FIFO count above which the sendable-directions summary is
+/// skipped. Building the summary costs one pass over every head; the
+/// per-direction probes it can skip are passes that *stop at the
+/// first winner*. With many heads queued, probes win almost
+/// immediately and the full build costs more than it saves — the
+/// summary pays off exactly in the sparse regime it exists for.
+const SUMMARY_MAX_HEADS: u32 = 6;
 
-    pub(super) fn phase_deliveries(&mut self, t: u64) {
-        if self.deliver_q.is_empty() {
-            return;
-        }
-        let mut dq = std::mem::take(&mut self.deliver_q);
-        for (node, fi) in dq.drain(..) {
-            self.try_deliver(node as usize, fi as usize, t);
-        }
-        // Hand the allocation back. `try_deliver` parks stalled FIFOs in
-        // the node's `blocked_deliveries` (re-queued here only after the
-        // CPU frees reception space), so nothing lands in `deliver_q`
-        // during the loop above.
-        debug_assert!(self.deliver_q.is_empty());
-        self.deliver_q = dq;
-    }
+/// The read-only routing-feasibility view: configuration, topology and
+/// the shared downstream-credit array. Everything phase 4 needs to know
+/// about *other* nodes flows through here, which is why it is equally
+/// usable from a shard section and from the engine's own diagnostics
+/// (HOL probes, stall breakdowns).
+#[derive(Clone, Copy)]
+pub(super) struct Router<'a> {
+    pub(super) cfg: &'a SimConfig,
+    pub(super) neighbors: &'a [[u32; 6]],
+    pub(super) credits: &'a [AtomicU32],
+}
 
-    /// Move deliverable head packets of `fifo` into the reception FIFO.
-    fn try_deliver(&mut self, node: usize, fifo: usize, t: u64) {
-        loop {
-            let n = &mut self.nodes[node];
-            let Some(head) = n.vcs[fifo].head() else {
-                return;
-            };
-            if !head.plan.is_done() {
-                return;
-            }
-            let chunks = head.chunks as u32;
-            if n.reception.free_chunks() < chunks {
-                self.stats.reception_stall_events += 1;
-                if !n.blocked_deliveries.contains(&(fifo as u8)) {
-                    n.blocked_deliveries.push(fifo as u8);
-                }
-                return;
-            }
-            let pkt = n.vcs[fifo].pop().expect("head exists");
-            if n.vcs[fifo].is_empty() {
-                n.vc_mask &= !(1 << fifo);
-            }
-            assert!(n.reception.try_push(pkt).is_ok(), "space checked");
-            self.cpu_active.mark(node);
-            if self.events.is_some() {
-                // The pop freed downstream credit: the upstream neighbour
-                // may be able to win this link again.
-                self.event_note_vc_pop(node, fifo);
-            }
-            self.last_progress = t;
-        }
-    }
-
-    // ---- Phase 3: CPU ------------------------------------------------------
-
-    pub(super) fn phase_cpu(&mut self, t: u64) {
-        let mut programs = std::mem::take(&mut self.programs);
-        if self.full_scan {
-            for (i, prog) in programs.iter_mut().enumerate() {
-                self.cpu_visit(i, prog, t, false);
-            }
-        } else {
-            // A node acquires CPU work only through a reception-FIFO push
-            // (which marks it) or through its own hooks (it is being
-            // visited), so iterating a snapshot of each word misses
-            // nothing. Idle marked nodes are cleared as they are visited.
-            for w in 0..self.cpu_active.words.len() {
-                let mut bits = self.cpu_active.words[w];
-                while bits != 0 {
-                    let i = (w << 6) + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    self.cpu_visit(i, &mut programs[i], t, true);
-                }
-            }
-        }
-        self.programs = programs;
-    }
-
-    /// Run one node's CPU for cycle `t` if it has work; with `prune`,
-    /// drop provably workless nodes from the active set.
-    fn cpu_visit(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64, prune: bool) {
-        let horizon = (t + 1) as f64;
-        {
-            let n = &self.nodes[i];
-            if n.cpu_free >= horizon {
-                // Still booked into the future: keep it marked.
-                return;
-            }
-            if n.reception.is_empty()
-                && n.pending.is_empty()
-                && n.pulled.is_empty()
-                && n.program_done
-            {
-                if prune {
-                    // Only a delivery can give this node CPU work again,
-                    // and deliveries re-mark it.
-                    self.cpu_active.clear(i);
-                }
-                return;
-            }
-        }
-        self.cpu_node(i, prog, t);
-    }
-
-    /// Below this pending-queue depth the engine keeps pulling the
-    /// program's own sends, so reactive sends waiting for FIFO space do not
-    /// starve a node's proactive schedule.
-    pub(super) const PULL_THRESHOLD: usize = 8;
-
-    fn cpu_node(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
-        let horizon = (t + 1) as f64;
-        let mut declined = false;
-        if let Some(ev) = &mut self.events {
-            // Re-derive this node's sleep hints from scratch: the branches
-            // below overwrite the defaults with whatever actually blocked.
-            ev.nodes[i] = NodeEvent::default();
-        }
-        for _guard in 0..64 {
-            if self.nodes[i].cpu_free >= horizon {
-                break;
-            }
-            // Reception drain has priority: it keeps the network moving.
-            if !self.nodes[i].reception.is_empty() {
-                self.cpu_drain_one(i, prog, t);
-                continue;
-            }
-            // Top up the pulled queue from the program's schedule.
-            if self.nodes[i].pulled.len() < Self::PULL_THRESHOLD
-                && !self.nodes[i].program_done
-                && !declined
-            {
-                if self.rate_blocked(i, t) {
-                    // Engine-enforced rate window: the program is not
-                    // polled for new sends until `next_allowed`. The
-                    // completion check still runs, exactly as if the
-                    // program had declined the pull itself.
-                    declined = true;
-                    self.stats.pacing_blocked_cycles += 1;
-                    if let Some(ev) = &mut self.events {
-                        ev.nodes[i].poll = PollState::Rate;
-                    }
-                    if prog.is_complete() && !self.nodes[i].program_done {
-                        self.nodes[i].program_done = true;
-                        self.done_programs += 1;
-                    }
-                } else {
-                    let node = &mut self.nodes[i];
-                    let before = node.pending.len();
-                    let mut api =
-                        NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending)
-                            .with_flow(&mut node.flow);
-                    let spec = prog.next_send(&mut api);
-                    let extra = api.take_extra_cpu();
-                    let denials = api.take_credit_blocked();
-                    self.stats.credit_blocked_events += denials;
-                    let after = node.pending.len();
-                    if extra > 0.0 {
-                        // Anchor at now: a node idle since an earlier cycle
-                        // must not absorb the charge retroactively (its stale
-                        // `cpu_free` may lie far in the past).
-                        node.cpu_free = node.cpu_free.max(t as f64) + extra;
-                        self.stats.cpu_busy_cycles += extra;
-                    }
-                    self.pending_total += (after - before) as u64;
-                    match spec {
-                        Some(s) => {
-                            self.rate_charge(i, t, s.chunks);
-                            self.nodes[i].pulled.push_back(s);
-                            self.pending_total += 1;
-                        }
-                        None => {
-                            declined = true;
-                            if let Some(ev) = &mut self.events {
-                                if prog.poll_hint() == PollHint::SleepUntilDelivery {
-                                    // The SleepUntilDelivery contract: a decline
-                                    // is pure (frozen program state, repeatable
-                                    // denial count) until a delivery.
-                                    debug_assert!(
-                                        extra == 0.0 && after == before,
-                                        "SleepUntilDelivery program mutated state on decline"
-                                    );
-                                    ev.nodes[i].poll = PollState::Asleep { denials };
-                                }
-                            }
-                            if prog.is_complete() && !self.nodes[i].program_done {
-                                self.nodes[i].program_done = true;
-                                self.done_programs += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            if self.nodes[i].pending.is_empty() && self.nodes[i].pulled.is_empty() {
-                break;
-            }
-            if !self.cpu_inject_one(i, t) {
-                if let Some(ev) = &mut self.events {
-                    // Every queued packet is stuck on injection-FIFO space;
-                    // only an arbitration win here can free some.
-                    ev.nodes[i].inject_blocked = true;
-                }
-                break; // no injection FIFO can take any queued packet now
-            }
-        }
-    }
-
-    /// Whether the engine-level rate window ([`FlowSpec::Rate`]) blocks
-    /// pulling new sends from node `i`'s program at cycle `t`.
-    fn rate_blocked(&self, i: usize, t: u64) -> bool {
-        matches!(self.cfg.flow, FlowSpec::Rate { .. })
-            && (t as f64) < self.nodes[i].flow.next_allowed
-    }
-
-    /// Advance node `i`'s rate window after pulling a `chunks`-chunk send
-    /// at cycle `t`. No-op unless the flow spec is [`FlowSpec::Rate`].
-    fn rate_charge(&mut self, i: usize, t: u64, chunks: u8) {
-        if let FlowSpec::Rate { chunks_per_cycle } = self.cfg.flow {
-            let ledger = &mut self.nodes[i].flow;
-            ledger.next_allowed =
-                ledger.next_allowed.max(t as f64) + chunks as f64 / chunks_per_cycle;
-        }
-    }
-
-    /// Drain one packet from the reception FIFO and run `on_packet`.
-    fn cpu_drain_one(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
-        let cpu = &self.cfg.cpu;
-        let node = &mut self.nodes[i];
-        let pkt = node.reception.pop().expect("checked non-empty");
-        let cost = cpu.per_packet_receive_cycles + pkt.chunks as f64 / cpu.chunks_per_cycle;
-        node.cpu_free = node.cpu_free.max(t as f64) + cost;
-        self.stats.cpu_busy_cycles += cost;
-        self.stats.packets_delivered += 1;
-        self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
-        let latency = t - pkt.injected_at;
-        self.stats.total_latency_cycles += latency;
-        self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(latency);
-        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
-            .min(crate::stats::LATENCY_BUCKETS - 1);
-        self.stats.latency_histogram[bucket] += 1;
-        self.stats.completion_cycle = t;
-        if let Some(o) = &mut self.oracle {
-            o.on_deliver(&pkt, t);
-        }
-        let before = node.pending.len();
-        let mut api = NodeApi::new(i as u32, node.coord, t, &self.part, &mut node.pending)
-            .with_flow(&mut node.flow);
-        prog.on_packet(&mut api, &pkt);
-        let extra = api.take_extra_cpu();
-        self.stats.credit_blocked_events += api.take_credit_blocked();
-        let after = node.pending.len();
-        node.cpu_free += extra;
-        self.stats.cpu_busy_cycles += extra;
-        self.pending_total += (after - before) as u64;
-        self.live_packets -= 1;
-        if !node.program_done && prog.is_complete() {
-            node.program_done = true;
-            self.done_programs += 1;
-        }
-        // Freed reception space: retry stalled deliveries.
-        let blocked = std::mem::take(&mut self.nodes[i].blocked_deliveries);
-        self.deliver_q
-            .extend(blocked.into_iter().map(|f| (i as u32, f)));
-        self.last_progress = t;
-    }
-
-    /// How far into the pending queue the injector looks for a packet whose
-    /// class FIFO has room: without this, one full class FIFO would
-    /// head-of-line block packets of other classes (e.g. TPS phase-1
-    /// packets stuck behind a congested phase-2 forward).
-    const INJECT_SCAN: usize = 16;
-
-    /// Pay for and inject the first injectable pending send. Returns false
-    /// if no injection FIFO currently accepts any of the first
-    /// [`INJECT_SCAN`](Self::INJECT_SCAN) pending packets.
-    fn cpu_inject_one(&mut self, i: usize, t: u64) -> bool {
-        let nfifos = self.nodes[i].inj.len();
-        let mut chosen = None;
-        let reactive_len = self.nodes[i].pending.len().min(Self::INJECT_SCAN);
-        let pulled_len = self.nodes[i].pulled.len().min(Self::INJECT_SCAN);
-        'scan: for qi in 0..reactive_len + pulled_len {
-            let spec = if qi < reactive_len {
-                &self.nodes[i].pending[qi]
-            } else {
-                &self.nodes[i].pulled[qi - reactive_len]
-            };
-            let chunks = spec.chunks;
-            let class = spec.class;
-            debug_assert!((1..=8).contains(&chunks), "packet must be 1..=8 chunks");
-            // Direction-affine placement: BG/L messaging software binds
-            // injection FIFOs to link directions so one FIFO's blocked head
-            // never starves an idle link of a different direction. Map the
-            // packet's first route direction onto the FIFOs of its class,
-            // falling back to any class FIFO with space.
-            let dst = self.part.coord_of(spec.dst_rank);
-            let plan = HopPlan::new(&self.part, self.nodes[i].coord, dst, TieBreak::SrcParity);
-            let primary = plan.dimension_order_next().map_or(0, |d| d.index());
-            let mask = 1u8 << class;
-            let node = &self.nodes[i];
-            let eligible_count = (0..nfifos)
-                .filter(|&f| node.inj_class[f] & mask != 0)
-                .count();
-            if eligible_count == 0 {
-                continue;
-            }
-            let target = primary % eligible_count;
-            let pref = (0..nfifos)
-                .filter(|&f| node.inj_class[f] & mask != 0)
-                .nth(target)
-                .expect("target < eligible_count");
-            if node.inj[pref].free_chunks() >= chunks as u32 {
-                chosen = Some((qi, pref, plan));
-                break 'scan;
-            }
-            for f in 0..nfifos {
-                if node.inj_class[f] & mask != 0 && node.inj[f].free_chunks() >= chunks as u32 {
-                    chosen = Some((qi, f, plan));
-                    break 'scan;
-                }
-            }
-        }
-        let Some((qi, f, plan)) = chosen else {
-            return false;
-        };
-        let node = &mut self.nodes[i];
-        let spec = if qi < reactive_len {
-            node.pending.remove(qi).expect("scanned index exists")
-        } else {
-            node.pulled
-                .remove(qi - reactive_len)
-                .expect("scanned index exists")
-        };
-        self.pending_total -= 1;
-        let cpu = &self.cfg.cpu;
-        let cost = spec.cpu_cost_cycles
-            + cpu.per_packet_inject_cycles
-            + spec.chunks as f64 / cpu.chunks_per_cycle;
-        node.cpu_free = node.cpu_free.max(t as f64) + cost;
-        self.stats.cpu_busy_cycles += cost;
-        let dst = self.part.coord_of(spec.dst_rank);
-        assert_ne!(dst, node.coord, "programs must not send to themselves");
-        let pkt = Packet {
-            id: self.next_packet_id,
-            src_rank: i as u32,
-            dst,
-            chunks: spec.chunks,
-            payload_bytes: spec.payload_bytes,
-            // The plan computed for FIFO affinity during the scan, reused.
-            plan,
-            routing: spec.routing,
-            vc: Vc::Dynamic0,
-            class: spec.class,
-            meta: spec.meta,
-            longest_first: spec.longest_first,
-            injected_at: t,
-        };
-        self.next_packet_id += 1;
-        if let Some(o) = &mut self.oracle {
-            o.on_inject(&pkt);
-        }
-        assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
-        node.inj_mask |= 1 << f;
-        self.arb_active.mark(i);
-        self.live_packets += 1;
-        self.stats.packets_injected += 1;
-        self.last_progress = t;
-        true
-    }
-
-    // ---- Phase 4: arbitration ----------------------------------------------
-
-    pub(super) fn phase_arbitration(&mut self, t: u64) {
-        if self.full_scan {
-            for n in 0..self.nodes.len() {
-                // Quick skip: nothing to move out of this node.
-                if self.nodes[n].vc_mask == 0 && self.nodes[n].inj_mask == 0 {
-                    continue;
-                }
-                self.arbitrate_node(n, t, false);
-            }
-        } else {
-            // A node acquires arbitration work only through an arrival
-            // commit (which marks it) or its own injections (phase 3
-            // marks it), never from another node's arbitration — wins
-            // hand packets to the in-flight ring, not directly to the
-            // neighbour's FIFOs — so a snapshot scan misses nothing.
-            for w in 0..self.arb_active.words.len() {
-                let mut bits = self.arb_active.words[w];
-                while bits != 0 {
-                    let n = (w << 6) + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    if self.nodes[n].vc_mask == 0 && self.nodes[n].inj_mask == 0 {
-                        self.arb_active.clear(n);
-                        continue;
-                    }
-                    self.arbitrate_node(n, t, true);
-                }
-            }
-        }
-    }
-
-    /// Occupied-FIFO count above which the sendable-directions summary is
-    /// skipped. Building the summary costs one pass over every head; the
-    /// per-direction probes it can skip are passes that *stop at the
-    /// first winner*. With many heads queued, probes win almost
-    /// immediately and the full build costs more than it saves — the
-    /// summary pays off exactly in the sparse regime it exists for.
-    const SUMMARY_MAX_HEADS: u32 = 6;
-
-    /// Arbitrate every output link of node `n`. With `use_summary`, probe
-    /// only the directions some queued head actually wants (a 6-bit
-    /// summary built from the FIFO heads, extended when a win exposes a
-    /// new head) instead of scanning all FIFOs per link. The summary is
-    /// built lazily, on the first *free* link: under saturation most
-    /// links are mid-transmission and the busy check alone disposes of
-    /// them, so an eager build would cost a head scan per node-cycle for
-    /// nothing. Nodes with many occupied FIFOs skip it entirely (see
-    /// [`SUMMARY_MAX_HEADS`](Self::SUMMARY_MAX_HEADS)).
-    fn arbitrate_node(&mut self, n: usize, t: u64, use_summary: bool) {
-        let use_summary = use_summary && {
-            let node = &self.nodes[n];
-            node.vc_mask.count_ones() + node.inj_mask.count_ones() <= Self::SUMMARY_MAX_HEADS
-        };
-        let mut summary: Option<u8> = if use_summary { None } else { Some(0x3f) };
-        for d in ALL_DIRECTIONS {
-            let link = n * 6 + d.index();
-            if self.link_busy_until[link] > t {
-                continue;
-            }
-            let nb = self.neighbors[n][d.index()];
-            if nb == u32::MAX {
-                continue;
-            }
-            let s = match summary {
-                Some(s) => s,
-                None => {
-                    let s = self.sendable_dirs(n);
-                    summary = Some(s);
-                    s
-                }
-            };
-            if s & (1 << d.index()) == 0 {
-                continue;
-            }
-            if let Some(win) = self.arbitrate_output(n, d, nb as usize, t) {
-                self.apply_win(n, d, nb as usize, win, t);
-                if use_summary && s != 0x3f {
-                    // The pop exposed a new head whose wanted directions
-                    // the start-of-visit summary may not cover.
-                    let head = match win.source {
-                        WinSource::Transit { fifo } => self.nodes[n].vcs[fifo as usize].head(),
-                        WinSource::Inject { fifo } => self.nodes[n].inj[fifo as usize].head(),
-                    };
-                    if let Some(pkt) = head {
-                        summary = Some(s | Self::wanted_dirs(pkt));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Union of [`wanted_dirs`](Self::wanted_dirs) over every FIFO head of
-    /// node `n`: the only output directions arbitration could possibly
-    /// assign this cycle. Stops as soon as all six directions are covered
-    /// — under saturation a couple of heads suffice, so the build stays
-    /// O(1) in the dense regime where the summary cannot skip anything.
-    pub(super) fn sendable_dirs(&self, n: usize) -> u8 {
-        const ALL: u8 = 0x3f;
-        let node = &self.nodes[n];
-        let mut dirs = 0u8;
-        let mut vcs = node.vc_mask;
-        while vcs != 0 && dirs != ALL {
-            let f = vcs.trailing_zeros() as usize;
-            vcs &= vcs - 1;
-            dirs |= Self::wanted_dirs(node.vcs[f].head().expect("mask says non-empty"));
-        }
-        let mut inj = node.inj_mask;
-        while inj != 0 && dirs != ALL {
-            let f = inj.trailing_zeros() as usize;
-            inj &= inj - 1;
-            dirs |= Self::wanted_dirs(node.inj[f].head().expect("mask says non-empty"));
-        }
-        dirs
-    }
-
-    /// Bitmask of output directions `pkt` may take: a conservative
-    /// superset of the directions [`wants`](Self::wants) approves. Every
-    /// direction `wants` can return true for — preferred, unshaped
-    /// minimal, dimension-ordered escape, deterministic next hop — lies
-    /// along the packet's remaining minimal quadrant, so the quadrant
-    /// bits suffice. Over-inclusion only costs a wasted probe (identical
-    /// to what the full scan does on every direction); under-inclusion
-    /// would change results, so this must stay a superset of `wants`.
-    fn wanted_dirs(pkt: &Packet) -> u8 {
-        let mut dirs = 0u8;
-        for d in pkt.plan.minimal_directions() {
-            dirs |= 1 << d.index();
-        }
-        dirs
-    }
-
-    /// Pick a winner for output `d` of node `n`, or `None`.
-    fn arbitrate_output(&self, n: usize, d: Direction, nb: usize, t: u64) -> Option<Win> {
-        let inject_first = !self.cfg.router.transit_priority && (t & 1) == 1;
-        if inject_first {
-            if let Some(w) = self.arbitrate_inject(n, d, nb) {
-                return Some(w);
-            }
-        }
-        if let Some(w) = self.arbitrate_transit(n, d, nb) {
-            return Some(w);
-        }
-        if !inject_first {
-            return self.arbitrate_inject(n, d, nb);
-        }
-        None
-    }
-
-    fn arbitrate_transit(&self, n: usize, d: Direction, nb: usize) -> Option<Win> {
-        let node = &self.nodes[n];
-        if node.vc_mask == 0 {
-            return None;
-        }
-        let total = NUM_PORTS * NUM_VCS;
-        let start = node.rr[d.index()] as usize % total;
-        // Visit only the set bits, in round-robin order from `start`:
-        // first the bits at indices >= start (ascending), then the wrap.
-        let below_start = node.vc_mask & ((1u32 << start) - 1);
-        for mut half in [node.vc_mask ^ below_start, below_start] {
-            while half != 0 {
-                let f = half.trailing_zeros() as usize;
-                half &= half - 1;
-                let pkt = node.vcs[f].head().expect("mask says non-empty");
-                if !self.wants(pkt, d) {
-                    continue;
-                }
-                let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
-                if let Some(vc) = self.feasible_vc(pkt, n, from_dim, d, nb) {
-                    return Some(Win {
-                        source: WinSource::Transit { fifo: f as u8 },
-                        vc,
-                    });
-                }
-            }
-        }
-        None
-    }
-
-    fn arbitrate_inject(&self, n: usize, d: Direction, nb: usize) -> Option<Win> {
-        let node = &self.nodes[n];
-        let mut mask = node.inj_mask;
-        while mask != 0 {
-            let f = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            let pkt = node.inj[f].head().expect("mask says non-empty");
-            if !self.wants(pkt, d) {
-                continue;
-            }
-            if let Some(vc) = self.feasible_vc(pkt, n, None, d, nb) {
-                return Some(Win {
-                    source: WinSource::Inject { fifo: f as u8 },
-                    vc,
-                });
-            }
-        }
-        None
+impl Router<'_> {
+    /// Available space (counting in-flight reservations) of the transit
+    /// VC FIFO at global node `n`, input port `port`, VC `vc`.
+    #[inline]
+    fn credit(&self, n: usize, port: usize, vc: usize) -> u32 {
+        self.credits[n * VC_CELLS + vc_fifo_index(port, vc)].load(Relaxed)
     }
 
     /// Whether this packet routes with the longest-first shaping (its own
@@ -638,10 +112,9 @@ impl Engine {
             if nb == u32::MAX {
                 continue;
             }
-            let nb_node = &self.nodes[nb as usize];
             let nb_port = dir.opposite().index();
             for vc in 0..2 {
-                if nb_node.vcs[vc_fifo_index(nb_port, vc)].free_chunks() >= chunks {
+                if self.credit(nb as usize, nb_port, vc) >= chunks {
                     return false;
                 }
             }
@@ -653,7 +126,7 @@ impl Engine {
     /// under the longest-first bias move only along preferred (longest
     /// remaining) dimensions, plus the dimension-ordered direction, which
     /// stays available as the deadlock-free bubble escape.
-    fn wants(&self, pkt: &Packet, d: Direction) -> bool {
+    pub(super) fn wants(&self, pkt: &Packet, d: Direction) -> bool {
         match pkt.routing {
             RoutingMode::Adaptive => {
                 if pkt.plan.direction(d.dim) != Some(d) {
@@ -670,8 +143,9 @@ impl Engine {
 
     /// Choose the downstream VC for `pkt` over output `d`, or `None` if no
     /// VC has credit. `from_dim` is the dimension of the input port the
-    /// packet currently occupies (`None` for injection).
-    fn feasible_vc(
+    /// packet currently occupies (`None` for injection); `n` and `nb` are
+    /// global ranks.
+    pub(super) fn feasible_vc(
         &self,
         pkt: &Packet,
         n: usize,
@@ -681,7 +155,6 @@ impl Engine {
     ) -> Option<Vc> {
         let chunks = pkt.chunks as u32;
         let nb_port = d.opposite().index();
-        let nb_node = &self.nodes[nb];
         match pkt.routing {
             RoutingMode::Adaptive => {
                 // Under the bias, a non-preferred (dimension-order-only)
@@ -695,12 +168,12 @@ impl Engine {
                         && pkt.plan.dimension_order_next() == Some(d)
                         && self.preferred_blocked(n, pkt)
                     {
-                        return self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port);
+                        return self.bubble_feasible(pkt, from_dim, d, nb, nb_port);
                     }
                     return None;
                 }
-                let f0 = nb_node.vcs[vc_fifo_index(nb_port, 0)].free_chunks();
-                let f1 = nb_node.vcs[vc_fifo_index(nb_port, 1)].free_chunks();
+                let f0 = self.credit(nb, nb_port, 0);
+                let f1 = self.credit(nb, nb_port, 1);
                 let c0 = f0 >= chunks;
                 let c1 = f1 >= chunks;
                 match (c0, c1) {
@@ -723,14 +196,14 @@ impl Engine {
                         if self.cfg.router.adaptive_bubble_escape
                             && pkt.plan.dimension_order_next() == Some(d)
                         {
-                            self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port)
+                            self.bubble_feasible(pkt, from_dim, d, nb, nb_port)
                         } else {
                             None
                         }
                     }
                 }
             }
-            RoutingMode::Deterministic => self.bubble_feasible(pkt, from_dim, d, nb_node, nb_port),
+            RoutingMode::Deterministic => self.bubble_feasible(pkt, from_dim, d, nb, nb_port),
         }
     }
 
@@ -743,7 +216,7 @@ impl Engine {
         pkt: &Packet,
         from_dim: Option<usize>,
         d: Direction,
-        nb_node: &NodeState,
+        nb: usize,
         nb_port: usize,
     ) -> Option<Vc> {
         let chunks = pkt.chunks as u32;
@@ -754,30 +227,723 @@ impl Engine {
             } else {
                 self.cfg.router.bubble_slack_chunks
             };
-        if nb_node.vcs[vc_fifo_index(nb_port, Vc::Bubble.index())].free_chunks() >= required {
+        if self.credit(nb, nb_port, Vc::Bubble.index()) >= required {
             Some(Vc::Bubble)
         } else {
             None
         }
     }
+}
 
-    fn apply_win(&mut self, n: usize, d: Direction, nb: usize, win: Win, t: u64) {
+/// Bitmask of output directions `pkt` may take: a conservative
+/// superset of the directions [`Router::wants`] approves. Every
+/// direction `wants` can return true for — preferred, unshaped
+/// minimal, dimension-ordered escape, deterministic next hop — lies
+/// along the packet's remaining minimal quadrant, so the quadrant
+/// bits suffice. Over-inclusion only costs a wasted probe (identical
+/// to what the full scan does on every direction); under-inclusion
+/// would change results, so this must stay a superset of `wants`.
+fn wanted_dirs(pkt: &Packet) -> u8 {
+    let mut dirs = 0u8;
+    for d in pkt.plan.minimal_directions() {
+        dirs |= 1 << d.index();
+    }
+    dirs
+}
+
+/// Union of [`wanted_dirs`] over every FIFO head of `node`: the only
+/// output directions arbitration could possibly assign this cycle.
+/// Stops as soon as all six directions are covered — under saturation a
+/// couple of heads suffice, so the build stays O(1) in the dense regime
+/// where the summary cannot skip anything.
+pub(super) fn sendable_dirs(node: &NodeState) -> u8 {
+    const ALL: u8 = 0x3f;
+    let mut dirs = 0u8;
+    let mut vcs = node.vc_mask;
+    while vcs != 0 && dirs != ALL {
+        let f = vcs.trailing_zeros() as usize;
+        vcs &= vcs - 1;
+        dirs |= wanted_dirs(node.vcs[f].head().expect("mask says non-empty"));
+    }
+    let mut inj = node.inj_mask;
+    while inj != 0 && dirs != ALL {
+        let f = inj.trailing_zeros() as usize;
+        inj &= inj - 1;
+        dirs |= wanted_dirs(node.inj[f].head().expect("mask says non-empty"));
+    }
+    dirs
+}
+
+/// One shard's view of the engine for the duration of a section: shared
+/// read-only state (topology, credits, mailboxes), exclusive slices of
+/// the per-node state for the shard's own rank range, and the shard's
+/// private scratch. `nodes`/`programs`/`link_busy_until`/`link_stats`
+/// are indexed *locally* (global rank − `base`); everything else uses
+/// global ranks.
+pub(super) struct Shard<'a> {
+    pub(super) router: Router<'a>,
+    pub(super) part: &'a Partition,
+    pub(super) shard_of: &'a [u16],
+    pub(super) counts: &'a [AtomicU64],
+    pub(super) staging: &'a [Mutex<Vec<OutMsg>>],
+    pub(super) nshards: usize,
+    pub(super) si: usize,
+    pub(super) base: usize,
+    pub(super) next_id0: u64,
+    pub(super) full_scan: bool,
+    pub(super) nodes: &'a mut [NodeState],
+    pub(super) programs: &'a mut [Box<dyn NodeProgram>],
+    pub(super) link_busy_until: &'a mut [u64],
+    /// Shard's slice of `NetStats::link_busy_per_link`; empty when
+    /// detailed link stats are off.
+    pub(super) link_stats: &'a mut [u64],
+    pub(super) sd: &'a mut ShardData,
+    pub(super) cs: &'a mut CycleStats,
+    /// Event-driven bookkeeping (global node indices). `Some` only under
+    /// sequential execution — the event mode never runs threaded.
+    pub(super) events: Option<&'a mut EventState>,
+    /// Invariant oracle. `Some` only under sequential execution.
+    pub(super) oracle: Option<&'a mut crate::engine::oracle::Oracle>,
+}
+
+impl Shard<'_> {
+    /// Section A: phases 1–3 over this shard's nodes, then publish the
+    /// cycle's injection count for the section-B id fix-up.
+    pub(super) fn section_a(&mut self, t: u64) {
+        self.phase_arrivals(t);
+        self.phase_deliveries(t);
+        self.phase_cpu(t);
+        self.counts[self.si].store(self.sd.injected.len() as u64, Relaxed);
+    }
+
+    /// Section B: rewrite this cycle's provisional packet ids to their
+    /// final global values (prefix sum over the published per-shard
+    /// counts), run phase 4, and hand the staged wins to the mailboxes.
+    pub(super) fn section_b(&mut self, t: u64) {
+        self.fixup_ids();
+        self.phase_arbitration(t);
+        for dest in 0..self.nshards {
+            let cell = &self.staging[self.si * self.nshards + dest];
+            std::mem::swap(
+                &mut *cell.lock().expect("staging poisoned"),
+                &mut self.sd.outbox[dest],
+            );
+        }
+    }
+
+    /// Section C: move staged arrivals (ascending source shard — the
+    /// global win order) into this shard's in-flight ring, and release
+    /// the credits freed by this shard's phase-4 pops.
+    pub(super) fn section_c(&mut self) {
+        for src in 0..self.nshards {
+            let cell = &self.staging[src * self.nshards + self.si];
+            let mut inbox = cell.lock().expect("staging poisoned");
+            for OutMsg { arrive, arr } in inbox.drain(..) {
+                self.sd.ring[(arrive % RING as u64) as usize].push(arr);
+            }
+        }
+        for (cell, chunks) in self.sd.deferred.drain(..) {
+            self.router.credits[cell as usize].fetch_add(chunks, Relaxed);
+        }
+    }
+
+    /// Assign final ids to this cycle's injections, in global injection
+    /// order: ids are dense and ascend with (cycle, shard, node,
+    /// injection order), exactly the sequence an unsharded phase 3
+    /// produces. The oracle learns of injections here — the earliest
+    /// point the final ids exist.
+    fn fixup_ids(&mut self) {
+        let mut b = self.next_id0;
+        for k in 0..self.si {
+            b += self.counts[k].load(Relaxed);
+        }
+        let mut injected = std::mem::take(&mut self.sd.injected);
+        for (j, &(i, f, pos)) in injected.iter().enumerate() {
+            let pkt = self.nodes[i as usize].inj[f as usize]
+                .get_mut(pos as usize)
+                .expect("injected this cycle, not yet arbitrated");
+            pkt.id = b + j as u64;
+            if let Some(o) = self.oracle.as_deref_mut() {
+                o.on_inject(pkt);
+            }
+        }
+        injected.clear();
+        self.sd.injected = injected; // hand the allocation back
+    }
+
+    // ---- Phase 1: arrivals -------------------------------------------------
+
+    fn phase_arrivals(&mut self, t: u64) {
+        let slot = (t % RING as u64) as usize;
+        let mut arrivals = std::mem::take(&mut self.sd.ring[slot]);
+        for Arrival { node, port, pkt } in arrivals.drain(..) {
+            let i = node as usize - self.base;
+            let n = &mut self.nodes[i];
+            let fi = vc_fifo_index(port as usize, pkt.vc.index());
+            let was_empty = n.vcs[fi].is_empty();
+            let done = pkt.plan.is_done();
+            // Space was spent from the credit cell at the upstream win.
+            n.vcs[fi].push(pkt);
+            n.vc_mask |= 1 << fi;
+            self.sd.arb_active.mark(i);
+            if was_empty && done {
+                self.sd.deliver_q.push((node, fi as u8));
+            }
+            self.cs.progress = true;
+        }
+        self.sd.ring[slot] = arrivals; // hand the allocation back
+    }
+
+    // ---- Phase 2: deliveries ----------------------------------------------
+
+    fn phase_deliveries(&mut self, t: u64) {
+        if self.sd.deliver_q.is_empty() {
+            return;
+        }
+        let mut dq = std::mem::take(&mut self.sd.deliver_q);
+        for (node, fi) in dq.drain(..) {
+            self.try_deliver(node as usize - self.base, fi as usize, t);
+        }
+        // Hand the allocation back. `try_deliver` parks stalled FIFOs in
+        // the node's `blocked_deliveries` (re-queued here only after the
+        // CPU frees reception space), so nothing lands in `deliver_q`
+        // during the loop above.
+        debug_assert!(self.sd.deliver_q.is_empty());
+        self.sd.deliver_q = dq;
+    }
+
+    /// Move deliverable head packets of `fifo` into the reception FIFO.
+    /// `i` is shard-local.
+    fn try_deliver(&mut self, i: usize, fifo: usize, t: u64) {
+        let g = self.base + i;
+        loop {
+            let n = &mut self.nodes[i];
+            let Some(head) = n.vcs[fifo].head() else {
+                return;
+            };
+            if !head.plan.is_done() {
+                return;
+            }
+            let chunks = head.chunks as u32;
+            if n.reception.free_chunks() < chunks {
+                self.cs.reception_stalls += 1;
+                if !n.blocked_deliveries.contains(&(fifo as u8)) {
+                    n.blocked_deliveries.push(fifo as u8);
+                }
+                return;
+            }
+            let pkt = n.vcs[fifo].pop().expect("head exists");
+            if n.vcs[fifo].is_empty() {
+                n.vc_mask &= !(1 << fifo);
+            }
+            assert!(n.reception.try_push(pkt).is_ok(), "space checked");
+            // The pop freed downstream space: release the credit now —
+            // the upstream reads it only in section B, barrier-ordered
+            // after every shard's phase 2, matching the unsharded
+            // same-cycle visibility of a phase-2 pop.
+            self.router.credits[g * VC_CELLS + fifo].fetch_add(chunks, Relaxed);
+            self.sd.cpu_active.mark(i);
+            if self.events.is_some() {
+                // The freed credit means the upstream neighbour may win
+                // this link again.
+                self.event_note_vc_pop(g, fifo);
+            }
+            self.cs.progress = true;
+            let _ = t;
+        }
+    }
+
+    // ---- Phase 3: CPU ------------------------------------------------------
+
+    fn phase_cpu(&mut self, t: u64) {
+        let programs = std::mem::take(&mut self.programs);
+        if self.full_scan {
+            for (i, prog) in programs.iter_mut().enumerate() {
+                self.cpu_visit(i, prog, t, false);
+            }
+        } else {
+            // A node acquires CPU work only through a reception-FIFO push
+            // (which marks it) or through its own hooks (it is being
+            // visited), so iterating a snapshot of each word misses
+            // nothing. Idle marked nodes are cleared as they are visited.
+            for w in 0..self.sd.cpu_active.words.len() {
+                let mut bits = self.sd.cpu_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.cpu_visit(i, &mut programs[i], t, true);
+                }
+            }
+        }
+        self.programs = programs;
+    }
+
+    /// Run one node's CPU for cycle `t` if it has work; with `prune`,
+    /// drop provably workless nodes from the active set. `i` is
+    /// shard-local.
+    fn cpu_visit(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64, prune: bool) {
+        let horizon = (t + 1) as f64;
+        {
+            let n = &self.nodes[i];
+            if n.cpu_free >= horizon {
+                // Still booked into the future: keep it marked.
+                return;
+            }
+            if n.reception.is_empty()
+                && n.pending.is_empty()
+                && n.pulled.is_empty()
+                && n.program_done
+            {
+                if prune {
+                    // Only a delivery can give this node CPU work again,
+                    // and deliveries re-mark it.
+                    self.sd.cpu_active.clear(i);
+                }
+                return;
+            }
+        }
+        self.cpu_node(i, prog, t);
+    }
+
+    fn cpu_node(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
+        let g = self.base + i;
+        let horizon = (t + 1) as f64;
+        let mut declined = false;
+        if let Some(ev) = self.events.as_deref_mut() {
+            // Re-derive this node's sleep hints from scratch: the branches
+            // below overwrite the defaults with whatever actually blocked.
+            ev.nodes[g] = NodeEvent::default();
+        }
+        for _guard in 0..64 {
+            if self.nodes[i].cpu_free >= horizon {
+                break;
+            }
+            // Reception drain has priority: it keeps the network moving.
+            if !self.nodes[i].reception.is_empty() {
+                self.cpu_drain_one(i, prog, t);
+                continue;
+            }
+            // Top up the pulled queue from the program's schedule.
+            if self.nodes[i].pulled.len() < PULL_THRESHOLD
+                && !self.nodes[i].program_done
+                && !declined
+            {
+                if self.rate_blocked(i, t) {
+                    // Engine-enforced rate window: the program is not
+                    // polled for new sends until `next_allowed`. The
+                    // completion check still runs, exactly as if the
+                    // program had declined the pull itself.
+                    declined = true;
+                    self.cs.pacing += 1;
+                    if let Some(ev) = self.events.as_deref_mut() {
+                        ev.nodes[g].poll = PollState::Rate;
+                    }
+                    if prog.is_complete() && !self.nodes[i].program_done {
+                        self.nodes[i].program_done = true;
+                        self.cs.done += 1;
+                    }
+                } else {
+                    let node = &mut self.nodes[i];
+                    let before = node.pending.len();
+                    let mut api =
+                        NodeApi::new(g as u32, node.coord, t, self.part, &mut node.pending)
+                            .with_flow(&mut node.flow);
+                    let spec = prog.next_send(&mut api);
+                    let extra = api.take_extra_cpu();
+                    let denials = api.take_credit_blocked();
+                    self.cs.credit_blocked += denials;
+                    let after = node.pending.len();
+                    if extra > 0.0 {
+                        // Anchor at now: a node idle since an earlier cycle
+                        // must not absorb the charge retroactively (its stale
+                        // `cpu_free` may lie far in the past).
+                        node.cpu_free = node.cpu_free.max(t as f64) + extra;
+                        node.cpu_busy += extra;
+                    }
+                    self.cs.pending += (after - before) as i64;
+                    match spec {
+                        Some(s) => {
+                            self.rate_charge(i, t, s.chunks);
+                            self.nodes[i].pulled.push_back(s);
+                            self.cs.pending += 1;
+                        }
+                        None => {
+                            declined = true;
+                            if let Some(ev) = self.events.as_deref_mut() {
+                                if prog.poll_hint() == PollHint::SleepUntilDelivery {
+                                    // The SleepUntilDelivery contract: a decline
+                                    // is pure (frozen program state, repeatable
+                                    // denial count) until a delivery.
+                                    debug_assert!(
+                                        extra == 0.0 && after == before,
+                                        "SleepUntilDelivery program mutated state on decline"
+                                    );
+                                    ev.nodes[g].poll = PollState::Asleep { denials };
+                                }
+                            }
+                            if prog.is_complete() && !self.nodes[i].program_done {
+                                self.nodes[i].program_done = true;
+                                self.cs.done += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.nodes[i].pending.is_empty() && self.nodes[i].pulled.is_empty() {
+                break;
+            }
+            if !self.cpu_inject_one(i, t) {
+                if let Some(ev) = self.events.as_deref_mut() {
+                    // Every queued packet is stuck on injection-FIFO space;
+                    // only an arbitration win here can free some.
+                    ev.nodes[g].inject_blocked = true;
+                }
+                break; // no injection FIFO can take any queued packet now
+            }
+        }
+    }
+
+    /// Whether the engine-level rate window ([`FlowSpec::Rate`]) blocks
+    /// pulling new sends from local node `i`'s program at cycle `t`.
+    fn rate_blocked(&self, i: usize, t: u64) -> bool {
+        matches!(self.router.cfg.flow, FlowSpec::Rate { .. })
+            && (t as f64) < self.nodes[i].flow.next_allowed
+    }
+
+    /// Advance local node `i`'s rate window after pulling a `chunks`-chunk
+    /// send at cycle `t`. No-op unless the flow spec is [`FlowSpec::Rate`].
+    fn rate_charge(&mut self, i: usize, t: u64, chunks: u8) {
+        if let FlowSpec::Rate { chunks_per_cycle } = self.router.cfg.flow {
+            let ledger = &mut self.nodes[i].flow;
+            ledger.next_allowed =
+                ledger.next_allowed.max(t as f64) + chunks as f64 / chunks_per_cycle;
+        }
+    }
+
+    /// Drain one packet from the reception FIFO and run `on_packet`.
+    fn cpu_drain_one(&mut self, i: usize, prog: &mut Box<dyn NodeProgram>, t: u64) {
+        let g = self.base + i;
+        let cpu = &self.router.cfg.cpu;
+        let node = &mut self.nodes[i];
+        let pkt = node.reception.pop().expect("checked non-empty");
+        let cost = cpu.per_packet_receive_cycles + pkt.chunks as f64 / cpu.chunks_per_cycle;
+        node.cpu_free = node.cpu_free.max(t as f64) + cost;
+        node.cpu_busy += cost;
+        self.cs.delivered += 1;
+        self.cs.payload += pkt.payload_bytes as u64;
+        let latency = t - pkt.injected_at;
+        self.cs.latency_sum += latency;
+        self.cs.latency_max = self.cs.latency_max.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
+            .min(crate::stats::LATENCY_BUCKETS - 1);
+        self.cs.hist[bucket] += 1;
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.on_deliver(&pkt, t);
+        }
+        let node = &mut self.nodes[i];
+        let before = node.pending.len();
+        let mut api = NodeApi::new(g as u32, node.coord, t, self.part, &mut node.pending)
+            .with_flow(&mut node.flow);
+        prog.on_packet(&mut api, &pkt);
+        let extra = api.take_extra_cpu();
+        self.cs.credit_blocked += api.take_credit_blocked();
+        let after = node.pending.len();
+        node.cpu_free += extra;
+        node.cpu_busy += extra;
+        self.cs.pending += (after - before) as i64;
+        self.cs.live -= 1;
+        if !node.program_done && prog.is_complete() {
+            node.program_done = true;
+            self.cs.done += 1;
+        }
+        // Freed reception space: retry stalled deliveries.
+        let blocked = std::mem::take(&mut self.nodes[i].blocked_deliveries);
+        self.sd
+            .deliver_q
+            .extend(blocked.into_iter().map(|f| (g as u32, f)));
+        self.cs.progress = true;
+    }
+
+    /// Pay for and inject the first injectable pending send. Returns false
+    /// if no injection FIFO currently accepts any of the first
+    /// [`INJECT_SCAN`] pending packets. The packet id written here is
+    /// *provisional* (this cycle's shard-local injection index); the
+    /// section-B fix-up rewrites it before anything reads it.
+    fn cpu_inject_one(&mut self, i: usize, t: u64) -> bool {
+        let g = self.base + i;
+        let nfifos = self.nodes[i].inj.len();
+        let mut chosen = None;
+        let reactive_len = self.nodes[i].pending.len().min(INJECT_SCAN);
+        let pulled_len = self.nodes[i].pulled.len().min(INJECT_SCAN);
+        'scan: for qi in 0..reactive_len + pulled_len {
+            let spec = if qi < reactive_len {
+                &self.nodes[i].pending[qi]
+            } else {
+                &self.nodes[i].pulled[qi - reactive_len]
+            };
+            let chunks = spec.chunks;
+            let class = spec.class;
+            debug_assert!((1..=8).contains(&chunks), "packet must be 1..=8 chunks");
+            // Direction-affine placement: BG/L messaging software binds
+            // injection FIFOs to link directions so one FIFO's blocked head
+            // never starves an idle link of a different direction. Map the
+            // packet's first route direction onto the FIFOs of its class,
+            // falling back to any class FIFO with space.
+            let dst = self.part.coord_of(spec.dst_rank);
+            let plan = HopPlan::new(self.part, self.nodes[i].coord, dst, TieBreak::SrcParity);
+            let primary = plan.dimension_order_next().map_or(0, |d| d.index());
+            let mask = 1u8 << class;
+            let node = &self.nodes[i];
+            let eligible_count = (0..nfifos)
+                .filter(|&f| node.inj_class[f] & mask != 0)
+                .count();
+            if eligible_count == 0 {
+                continue;
+            }
+            let target = primary % eligible_count;
+            let pref = (0..nfifos)
+                .filter(|&f| node.inj_class[f] & mask != 0)
+                .nth(target)
+                .expect("target < eligible_count");
+            if node.inj[pref].free_chunks() >= chunks as u32 {
+                chosen = Some((qi, pref, plan));
+                break 'scan;
+            }
+            for f in 0..nfifos {
+                if node.inj_class[f] & mask != 0 && node.inj[f].free_chunks() >= chunks as u32 {
+                    chosen = Some((qi, f, plan));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((qi, f, plan)) = chosen else {
+            return false;
+        };
+        let node = &mut self.nodes[i];
+        let spec = if qi < reactive_len {
+            node.pending.remove(qi).expect("scanned index exists")
+        } else {
+            node.pulled
+                .remove(qi - reactive_len)
+                .expect("scanned index exists")
+        };
+        self.cs.pending -= 1;
+        let cpu = &self.router.cfg.cpu;
+        let cost = spec.cpu_cost_cycles
+            + cpu.per_packet_inject_cycles
+            + spec.chunks as f64 / cpu.chunks_per_cycle;
+        node.cpu_free = node.cpu_free.max(t as f64) + cost;
+        node.cpu_busy += cost;
+        let dst = self.part.coord_of(spec.dst_rank);
+        assert_ne!(dst, node.coord, "programs must not send to themselves");
+        let pkt = Packet {
+            // Provisional: shard-local injection index of this cycle,
+            // rewritten to the dense global id by `fixup_ids` before
+            // phase 4 (the first reader) runs.
+            id: self.sd.injected.len() as u64,
+            src_rank: g as u32,
+            dst,
+            chunks: spec.chunks,
+            payload_bytes: spec.payload_bytes,
+            // The plan computed for FIFO affinity during the scan, reused.
+            plan,
+            routing: spec.routing,
+            vc: Vc::Dynamic0,
+            class: spec.class,
+            meta: spec.meta,
+            longest_first: spec.longest_first,
+            injected_at: t,
+        };
+        assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
+        let pos = node.inj[f].len() - 1;
+        self.sd.injected.push((i as u32, f as u8, pos as u16));
+        node.inj_mask |= 1 << f;
+        self.sd.arb_active.mark(i);
+        self.cs.live += 1;
+        self.cs.injected += 1;
+        self.cs.progress = true;
+        true
+    }
+
+    // ---- Phase 4: arbitration ----------------------------------------------
+
+    fn phase_arbitration(&mut self, t: u64) {
+        if self.full_scan {
+            for i in 0..self.nodes.len() {
+                // Quick skip: nothing to move out of this node.
+                if self.nodes[i].vc_mask == 0 && self.nodes[i].inj_mask == 0 {
+                    continue;
+                }
+                self.arbitrate_node(i, t, false);
+            }
+        } else {
+            // A node acquires arbitration work only through an arrival
+            // commit (which marks it) or its own injections (phase 3
+            // marks it), never from another node's arbitration — wins
+            // hand packets to the staged outboxes, not directly to the
+            // neighbour's FIFOs — so a snapshot scan misses nothing.
+            for w in 0..self.sd.arb_active.words.len() {
+                let mut bits = self.sd.arb_active.words[w];
+                while bits != 0 {
+                    let i = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if self.nodes[i].vc_mask == 0 && self.nodes[i].inj_mask == 0 {
+                        self.sd.arb_active.clear(i);
+                        continue;
+                    }
+                    self.arbitrate_node(i, t, true);
+                }
+            }
+        }
+    }
+
+    /// Arbitrate every output link of local node `i`. With `use_summary`,
+    /// probe only the directions some queued head actually wants (a 6-bit
+    /// summary built from the FIFO heads, extended when a win exposes a
+    /// new head) instead of scanning all FIFOs per link. The summary is
+    /// built lazily, on the first *free* link: under saturation most
+    /// links are mid-transmission and the busy check alone disposes of
+    /// them, so an eager build would cost a head scan per node-cycle for
+    /// nothing. Nodes with many occupied FIFOs skip it entirely (see
+    /// [`SUMMARY_MAX_HEADS`]).
+    fn arbitrate_node(&mut self, i: usize, t: u64, use_summary: bool) {
+        let g = self.base + i;
+        let use_summary = use_summary && {
+            let node = &self.nodes[i];
+            node.vc_mask.count_ones() + node.inj_mask.count_ones() <= SUMMARY_MAX_HEADS
+        };
+        let mut summary: Option<u8> = if use_summary { None } else { Some(0x3f) };
+        for d in ALL_DIRECTIONS {
+            let link = i * 6 + d.index();
+            if self.link_busy_until[link] > t {
+                continue;
+            }
+            let nb = self.router.neighbors[g][d.index()];
+            if nb == u32::MAX {
+                continue;
+            }
+            let s = match summary {
+                Some(s) => s,
+                None => {
+                    let s = sendable_dirs(&self.nodes[i]);
+                    summary = Some(s);
+                    s
+                }
+            };
+            if s & (1 << d.index()) == 0 {
+                continue;
+            }
+            if let Some(win) = self.arbitrate_output(i, d, nb as usize, t) {
+                self.apply_win(i, d, nb as usize, win, t);
+                if use_summary && s != 0x3f {
+                    // The pop exposed a new head whose wanted directions
+                    // the start-of-visit summary may not cover.
+                    let head = match win.source {
+                        WinSource::Transit { fifo } => self.nodes[i].vcs[fifo as usize].head(),
+                        WinSource::Inject { fifo } => self.nodes[i].inj[fifo as usize].head(),
+                    };
+                    if let Some(pkt) = head {
+                        summary = Some(s | wanted_dirs(pkt));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick a winner for output `d` of local node `i`, or `None`.
+    fn arbitrate_output(&self, i: usize, d: Direction, nb: usize, t: u64) -> Option<Win> {
+        let inject_first = !self.router.cfg.router.transit_priority && (t & 1) == 1;
+        if inject_first {
+            if let Some(w) = self.arbitrate_inject(i, d, nb) {
+                return Some(w);
+            }
+        }
+        if let Some(w) = self.arbitrate_transit(i, d, nb) {
+            return Some(w);
+        }
+        if !inject_first {
+            return self.arbitrate_inject(i, d, nb);
+        }
+        None
+    }
+
+    fn arbitrate_transit(&self, i: usize, d: Direction, nb: usize) -> Option<Win> {
+        let node = &self.nodes[i];
+        if node.vc_mask == 0 {
+            return None;
+        }
+        let g = self.base + i;
+        let total = NUM_PORTS * NUM_VCS;
+        let start = node.rr[d.index()] as usize % total;
+        // Visit only the set bits, in round-robin order from `start`:
+        // first the bits at indices >= start (ascending), then the wrap.
+        let below_start = node.vc_mask & ((1u32 << start) - 1);
+        for mut half in [node.vc_mask ^ below_start, below_start] {
+            while half != 0 {
+                let f = half.trailing_zeros() as usize;
+                half &= half - 1;
+                let pkt = node.vcs[f].head().expect("mask says non-empty");
+                if !self.router.wants(pkt, d) {
+                    continue;
+                }
+                let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
+                if let Some(vc) = self.router.feasible_vc(pkt, g, from_dim, d, nb) {
+                    return Some(Win {
+                        source: WinSource::Transit { fifo: f as u8 },
+                        vc,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn arbitrate_inject(&self, i: usize, d: Direction, nb: usize) -> Option<Win> {
+        let node = &self.nodes[i];
+        let g = self.base + i;
+        let mut mask = node.inj_mask;
+        while mask != 0 {
+            let f = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let pkt = node.inj[f].head().expect("mask says non-empty");
+            if !self.router.wants(pkt, d) {
+                continue;
+            }
+            if let Some(vc) = self.router.feasible_vc(pkt, g, None, d, nb) {
+                return Some(Win {
+                    source: WinSource::Inject { fifo: f as u8 },
+                    vc,
+                });
+            }
+        }
+        None
+    }
+
+    fn apply_win(&mut self, i: usize, d: Direction, nb: usize, win: Win, t: u64) {
+        let g = self.base + i;
         // Pop the winner from its source FIFO.
         let mut pkt = match win.source {
             WinSource::Transit { fifo } => {
                 let f = fifo as usize;
-                let node = &mut self.nodes[n];
+                let node = &mut self.nodes[i];
                 node.rr[d.index()] = fifo.wrapping_add(1);
                 let pkt = node.vcs[f].pop().expect("winner exists");
                 if node.vcs[f].is_empty() {
                     node.vc_mask &= !(1 << f);
                 } else if node.vcs[f].head().expect("non-empty").plan.is_done() {
-                    self.deliver_q.push((n as u32, fifo));
+                    self.sd.deliver_q.push((g as u32, fifo));
                 }
+                // The freed space becomes upstream credit only at the
+                // cycle boundary: deferring the release gives arbitration
+                // a credit snapshot independent of node visit order, the
+                // invariant that makes sharded cycles byte-identical.
+                self.sd
+                    .deferred
+                    .push(((g * VC_CELLS + f) as u32, pkt.chunks as u32));
                 pkt
             }
             WinSource::Inject { fifo } => {
-                let node = &mut self.nodes[n];
+                let node = &mut self.nodes[i];
                 let pkt = node.inj[fifo as usize].pop().expect("winner exists");
                 if node.inj[fifo as usize].is_empty() {
                     node.inj_mask &= !(1 << fifo);
@@ -785,62 +951,84 @@ impl Engine {
                 pkt
             }
         };
-        // Reserve downstream space and launch.
+        // Spend downstream credit and launch.
         let nb_port = d.opposite().index();
         let chunks = pkt.chunks as u32;
-        self.nodes[nb].vcs[vc_fifo_index(nb_port, win.vc.index())].reserve(chunks);
+        let cell = &self.router.credits[nb * VC_CELLS + vc_fifo_index(nb_port, win.vc.index())];
+        debug_assert!(cell.load(Relaxed) >= chunks, "feasible_vc checked credit");
+        cell.fetch_sub(chunks, Relaxed);
         pkt.vc = win.vc;
         pkt.plan.advance(d.dim);
-        if let Some(o) = &mut self.oracle {
+        if let Some(o) = self.oracle.as_deref_mut() {
             o.on_hop(pkt.id, t);
         }
         if self.events.is_some() {
-            self.event_note_win(n, nb, win);
+            self.event_note_win(g, nb, win);
         }
-        let arrive = t + chunks as u64 + self.cfg.router.hop_latency_cycles as u64;
-        self.ring[(arrive % RING as u64) as usize].push(Arrival {
-            node: nb as u32,
-            port: nb_port as u8,
-            pkt,
+        let arrive = t + chunks as u64 + self.router.cfg.router.hop_latency_cycles as u64;
+        self.sd.outbox[self.shard_of[nb] as usize].push(OutMsg {
+            arrive,
+            arr: Arrival {
+                node: nb as u32,
+                port: nb_port as u8,
+                pkt,
+            },
         });
-        self.link_busy_until[n * 6 + d.index()] = t + chunks as u64;
+        self.link_busy_until[i * 6 + d.index()] = t + chunks as u64;
         let di = d.dim.index();
-        self.stats.link_busy_chunks[di] += chunks as u64;
-        if self.cfg.detailed_link_stats {
-            self.stats.link_busy_per_link[n * 6 + d.index()] += chunks as u64;
+        self.cs.link_busy[di] += chunks as u64;
+        if !self.link_stats.is_empty() {
+            self.link_stats[i * 6 + d.index()] += chunks as u64;
         }
-        self.stats.hops_taken[di] += 1;
+        self.cs.hops[di] += 1;
         match win.vc {
-            Vc::Bubble => self.stats.bubble_hops += 1,
-            _ => self.stats.dynamic_hops += 1,
+            Vc::Bubble => self.cs.bubble += 1,
+            _ => self.cs.dynamic += 1,
         }
-        self.last_progress = t;
+        self.cs.progress = true;
     }
 
-    /// Whether the head packet of transit FIFO `fifo` at node `n` cannot
-    /// move right now: every output direction its routing mode allows
-    /// (its minimal quadrant, shaped by the longest-first bias /
-    /// dimension order) is either mid-transmission or out of downstream
-    /// VC credit. This is the paper's head-of-line blocking signal —
-    /// packets parked behind saturated long-dimension links.
-    pub(super) fn head_is_hol_blocked(&self, n: usize, fifo: usize, pkt: &Packet) -> bool {
-        let from_dim = Some(fifo / NUM_VCS / 2); // port index / 2 = dimension
-        let mut any_dir = false;
-        for d in ALL_DIRECTIONS {
-            if !self.wants(pkt, d) {
-                continue;
+    // ---- Event-mode bookkeeping hooks -------------------------------------
+
+    /// Note an arbitration win out of global node `g` toward `nb` (event
+    /// mode): the pop changed `g`'s own head lineup mid-visit (directions
+    /// the per-visit summary already passed must be retried next cycle), a
+    /// transit pop freed upstream credit, an injection pop freed local
+    /// injection space, and the reservation at `nb` may flip the
+    /// bubble-escape eligibility (`preferred_blocked`) of any of `nb`'s
+    /// neighbours.
+    fn event_note_win(&mut self, g: usize, nb: usize, win: Win) {
+        let neighbors = self.router.neighbors;
+        let ev = self.events.as_deref_mut().expect("event mode");
+        ev.mark_fresh(g);
+        match win.source {
+            WinSource::Transit { fifo } => {
+                let up = neighbors[g][fifo as usize / NUM_VCS];
+                if up != u32::MAX {
+                    ev.mark_fresh(up as usize);
+                }
             }
-            let nb = self.neighbors[n][d.index()];
-            if nb == u32::MAX {
-                continue;
-            }
-            any_dir = true;
-            if self.link_busy_until[n * 6 + d.index()] <= self.now
-                && self.feasible_vc(pkt, n, from_dim, d, nb as usize).is_some()
-            {
-                return false;
+            WinSource::Inject { .. } => {
+                ev.nodes[g].inject_blocked = false;
             }
         }
-        any_dir
+        for &m in &neighbors[nb] {
+            if m != u32::MAX {
+                ev.mark_fresh(m as usize);
+            }
+        }
+    }
+
+    /// Note a delivery pop out of transit FIFO `fifo` at global node `g`
+    /// (event mode): the freed space is new credit for the upstream
+    /// neighbour on that port.
+    fn event_note_vc_pop(&mut self, g: usize, fifo: usize) {
+        let up = self.router.neighbors[g][fifo / NUM_VCS];
+        if up != u32::MAX {
+            self.events
+                .as_deref_mut()
+                .expect("event mode")
+                .mark_fresh(up as usize);
+        }
     }
 }

@@ -75,6 +75,7 @@ impl Engine {
     /// was disabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.tracer.as_ref()?;
+        self.sync_cpu_busy();
         if self.trace_counters_moved() {
             self.record_trace_sample(true);
         }
@@ -100,6 +101,13 @@ impl Engine {
     /// stall snapshots) always record, folding any residual deltas into
     /// the final sample so totals stay exact.
     pub(super) fn record_trace_sample(&mut self, force: bool) {
+        if self.tracer.is_none() {
+            return;
+        }
+        // Fold the per-node CPU ledgers into `stats.cpu_busy_cycles` so
+        // the sampled delta is exact (the fold order is fixed ascending,
+        // independent of sharding).
+        self.sync_cpu_busy();
         let Some(mut tracer) = self.tracer.take() else {
             return;
         };
@@ -225,9 +233,11 @@ impl Engine {
                 }
             }
         }
-        for slot in &self.ring {
-            for arrival in slot {
-                count_kind(arrival.pkt.meta.kind);
+        for sd in &self.shards {
+            for slot in &sd.ring {
+                for arrival in slot {
+                    count_kind(arrival.pkt.meta.kind);
+                }
             }
         }
         sample.phase1_in_flight = p1;

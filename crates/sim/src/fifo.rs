@@ -1,21 +1,25 @@
-//! Chunk-accounted packet FIFOs with space reservation (credit) support.
+//! Chunk-accounted packet FIFOs.
 //!
 //! Used for VC FIFOs, injection FIFOs and reception FIFOs. Capacity is in
-//! chunks, not packets, matching the byte-granular BG/L buffers. Space for
-//! an in-flight packet is *reserved* when its upstream arbitration wins and
-//! *committed* when the packet physically arrives, so credits are never
-//! oversubscribed.
+//! chunks, not packets, matching the byte-granular BG/L buffers. The FIFO
+//! itself tracks only *physical* occupancy; in-flight credit for the
+//! transit VC FIFOs (space spent by an upstream arbitration win before the
+//! packet physically arrives) lives in the engine's shared credit array
+//! (see `engine`), which is what makes the sharded engine's credit
+//! accounting a single source of truth for sequential and parallel
+//! execution alike. Injection and reception FIFOs are only ever probed by
+//! their own node, so plain occupancy-based `free_chunks`/`try_push`
+//! remain the right interface for them.
 
 use crate::packet::Packet;
 use std::collections::VecDeque;
 
-/// A packet FIFO with chunk-granular occupancy and reservations.
+/// A packet FIFO with chunk-granular occupancy.
 #[derive(Debug, Default)]
 pub struct ChunkFifo {
     queue: VecDeque<Packet>,
     capacity_chunks: u32,
     occupied_chunks: u32,
-    reserved_chunks: u32,
 }
 
 impl ChunkFifo {
@@ -25,14 +29,16 @@ impl ChunkFifo {
             queue: VecDeque::new(),
             capacity_chunks,
             occupied_chunks: 0,
-            reserved_chunks: 0,
         }
     }
 
-    /// Chunks neither occupied nor reserved.
+    /// Chunks not physically occupied. For transit VC FIFOs this is *not*
+    /// the available credit — in-flight reservations live in the engine's
+    /// credit array — so only same-node users (injection/reception) should
+    /// gate on it.
     #[inline]
     pub fn free_chunks(&self) -> u32 {
-        self.capacity_chunks - self.occupied_chunks - self.reserved_chunks
+        self.capacity_chunks - self.occupied_chunks
     }
 
     /// Chunks physically present.
@@ -47,14 +53,7 @@ impl ChunkFifo {
         self.capacity_chunks
     }
 
-    /// Chunks reserved by upstream arbitration but not yet arrived (the
-    /// outstanding credit). Zero on a quiesced FIFO.
-    #[inline]
-    pub fn reserved_chunks(&self) -> u32 {
-        self.reserved_chunks
-    }
-
-    /// Whether the FIFO holds no packets (reservations may still exist).
+    /// Whether the FIFO holds no packets.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
@@ -66,37 +65,22 @@ impl ChunkFifo {
         self.queue.len()
     }
 
-    /// Reserve space for an in-flight packet of `chunks`.
-    ///
-    /// # Panics
-    /// Panics if insufficient free space — callers must check
-    /// [`free_chunks`](Self::free_chunks) first; reservation is the credit
-    /// the upstream arbiter spends.
+    /// Push a packet whose space was already accounted for externally
+    /// (transit-VC arrival: the upstream arbiter spent the credit before
+    /// launch, so physical space is guaranteed).
     #[inline]
-    pub fn reserve(&mut self, chunks: u32) {
-        assert!(chunks <= self.free_chunks(), "FIFO credit oversubscribed");
-        self.reserved_chunks += chunks;
-    }
-
-    /// Cancel a reservation (packet rerouted or dropped before arrival).
-    #[inline]
-    pub fn unreserve(&mut self, chunks: u32) {
-        debug_assert!(self.reserved_chunks >= chunks);
-        self.reserved_chunks -= chunks;
-    }
-
-    /// Commit a previously reserved packet that has now arrived.
-    #[inline]
-    pub fn push_reserved(&mut self, pkt: Packet) {
+    pub fn push(&mut self, pkt: Packet) {
         let chunks = pkt.chunks as u32;
-        debug_assert!(self.reserved_chunks >= chunks, "push without reservation");
-        self.reserved_chunks -= chunks;
+        debug_assert!(
+            self.occupied_chunks + chunks <= self.capacity_chunks,
+            "externally credited push exceeds capacity"
+        );
         self.occupied_chunks += chunks;
         self.queue.push_back(pkt);
     }
 
-    /// Push without a prior reservation (injection-side use). Returns the
-    /// packet back if there is no space.
+    /// Push without external credit (injection/reception-side use).
+    /// Returns the packet back if there is no space.
     pub fn try_push(&mut self, pkt: Packet) -> Result<(), Packet> {
         let chunks = pkt.chunks as u32;
         if chunks > self.free_chunks() {
@@ -117,6 +101,14 @@ impl ChunkFifo {
     #[inline]
     pub fn head_mut(&mut self) -> Option<&mut Packet> {
         self.queue.front_mut()
+    }
+
+    /// Mutable access to the packet at queue position `idx` (head = 0).
+    /// The sharded engine uses this to rewrite provisional packet ids in
+    /// place during the per-cycle id fix-up.
+    #[inline]
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Packet> {
+        self.queue.get_mut(idx)
     }
 
     /// Remove and return the head packet, freeing its chunks.
@@ -188,33 +180,26 @@ mod tests {
     }
 
     #[test]
-    fn reservation_holds_space() {
+    fn credited_push_accounts_occupancy() {
         let mut f = ChunkFifo::new(16);
-        f.reserve(8);
-        assert_eq!(f.free_chunks(), 8);
-        assert!(f.try_push(pkt(1, 12)).is_err());
-        f.try_push(pkt(1, 8)).unwrap();
-        assert_eq!(f.free_chunks(), 0);
-        f.push_reserved(pkt(2, 8));
+        f.push(pkt(1, 8));
+        f.push(pkt(2, 8));
         assert_eq!(f.occupied_chunks(), 16);
         assert_eq!(f.len(), 2);
+        assert_eq!(f.pop().unwrap().id, 1);
+        assert_eq!(f.occupied_chunks(), 8);
     }
 
     #[test]
-    fn unreserve_returns_credit() {
-        let mut f = ChunkFifo::new(8);
-        f.reserve(8);
-        assert_eq!(f.free_chunks(), 0);
-        f.unreserve(8);
-        assert_eq!(f.free_chunks(), 8);
-    }
-
-    #[test]
-    #[should_panic(expected = "oversubscribed")]
-    fn over_reservation_panics() {
-        let mut f = ChunkFifo::new(8);
-        f.reserve(6);
-        f.reserve(6);
+    fn get_mut_rewrites_in_place() {
+        let mut f = ChunkFifo::new(32);
+        for i in 0..3 {
+            f.try_push(pkt(i, 2)).unwrap();
+        }
+        f.get_mut(1).unwrap().id = 42;
+        assert!(f.get_mut(3).is_none());
+        f.pop();
+        assert_eq!(f.head().unwrap().id, 42);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct NodeState {
     pub pulled: VecDeque<SendSpec>,
     /// Absolute time (cycles, fractional) the CPU becomes free.
     pub cpu_free: f64,
+    /// Total CPU-cycles this node has been charged so far. Kept per node
+    /// (not accumulated straight into `NetStats`) so the global
+    /// `cpu_busy_cycles` float is always the ascending-node-order fold of
+    /// these values — an order that does not depend on how the torus is
+    /// sharded, keeping the statistic byte-identical for any shard count.
+    pub cpu_busy: f64,
     /// Round-robin arbitration pointers, one per output direction.
     pub rr: [u8; 6],
     /// Round-robin pointer over injection FIFOs for placement.
@@ -89,6 +95,7 @@ impl NodeState {
             pending: VecDeque::new(),
             pulled: VecDeque::new(),
             cpu_free: 0.0,
+            cpu_busy: 0.0,
             rr: [0; 6],
             inj_rr: 0,
             blocked_deliveries: Vec::new(),

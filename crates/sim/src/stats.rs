@@ -100,28 +100,34 @@ impl NetStats {
     }
 
     /// The `n` busiest directed links as `(node, direction, utilization)`,
-    /// sorted hottest first. Empty unless detailed link stats were
+    /// sorted hottest first; ties break by ascending (node, direction) so
+    /// the order is total and reproducible. Sorting happens on the integer
+    /// busy counters, never on derived floats, so equal-busy links can
+    /// never reorder between runs and nothing here can panic on a
+    /// non-finite comparison. Empty unless detailed link stats were
     /// collected.
     pub fn hottest_links(&self, n: usize) -> Vec<(u32, Direction, f64)> {
         if self.completion_cycle == 0 {
             return Vec::new();
         }
-        let mut v: Vec<(u32, Direction, f64)> = self
+        let mut v: Vec<(u64, u32, usize)> = self
             .link_busy_per_link
             .iter()
             .enumerate()
             .filter(|&(_, &busy)| busy > 0)
-            .map(|(i, &busy)| {
+            .map(|(i, &busy)| (busy, (i / 6) as u32, i % 6))
+            .collect();
+        v.sort_by_key(|&(busy, node, dir)| (std::cmp::Reverse(busy), node, dir));
+        v.truncate(n);
+        v.into_iter()
+            .map(|(busy, node, dir)| {
                 (
-                    (i / 6) as u32,
-                    Direction::from_index(i % 6),
+                    node,
+                    Direction::from_index(dir),
                     busy as f64 / self.completion_cycle as f64,
                 )
             })
-            .collect();
-        v.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
-        v.truncate(n);
-        v
+            .collect()
     }
 
     /// Fraction of delivered hops that used the bubble VC.
@@ -208,6 +214,27 @@ mod tests {
         assert_eq!(hot[0].0, 1); // link index 7 = node 1
         assert!((hot[0].2 - 1.0).abs() < 1e-12);
         assert_eq!(hot[1].0, 0);
+    }
+
+    #[test]
+    fn hottest_links_ties_break_by_node_then_direction() {
+        // Four links with identical busy counters: the order must be the
+        // total (node, direction) order, not insertion or sort-internal
+        // order.
+        let mut per_link = vec![0u64; 24];
+        per_link[14] = 50; // node 2, dir 2
+        per_link[3] = 50; // node 0, dir 3
+        per_link[13] = 50; // node 2, dir 1
+        per_link[7] = 50; // node 1, dir 1
+        let s = NetStats {
+            completion_cycle: 100,
+            link_busy_per_link: per_link,
+            ..Default::default()
+        };
+        let hot = s.hottest_links(10);
+        let order: Vec<(u32, usize)> = hot.iter().map(|&(n, d, _)| (n, d.index())).collect();
+        assert_eq!(order, vec![(0, 3), (1, 1), (2, 1), (2, 2)]);
+        assert!(hot.iter().all(|&(_, _, u)| (u - 0.5).abs() < 1e-12));
     }
 
     #[test]

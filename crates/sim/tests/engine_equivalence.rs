@@ -5,6 +5,7 @@
 
 use bgl_sim::{Engine, EngineMode, NetStats, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
 use bgl_torus::Partition;
+use std::num::NonZeroUsize;
 
 fn uniform(part: &Partition, k: u64, chunks: u8, deterministic: bool) -> Vec<Box<dyn NodeProgram>> {
     let p = part.num_nodes();
@@ -100,6 +101,64 @@ fn sparse_point_traffic_matches_across_modes() {
         !reference.link_busy_per_link.is_empty(),
         "detailed stats compared"
     );
+}
+
+/// Pinned shard-count grid: the same workloads under every engine mode ×
+/// shard count in {1, 2, 4, 7} (even splits and a prime that leaves
+/// uneven slabs) must produce one byte-identical `NetStats`. This is the
+/// committed regression for the sharded engine's ordering guarantees —
+/// staged-arrival drain order, the section-B id fix-up, deferred credit
+/// releases — independent of the randomized fuzzer.
+#[test]
+fn shard_counts_are_invisible() {
+    let grid: [(&str, u64, u8, bool); 3] = [
+        ("8x4x4", 2, 8, false), // asymmetric, saturating, adaptive
+        ("4x4x4", 1, 4, true),  // symmetric, deterministic (bubble VC)
+        ("4x3x2", 1, 2, false), // odd shape: 7 shards > 24/7 nodes each
+    ];
+    for (shape, k, chunks, det) in grid {
+        let part: Partition = shape.parse().unwrap();
+        let mut reference: Option<NetStats> = None;
+        for shards in [1usize, 2, 4, 7] {
+            for mode in EngineMode::ALL {
+                let mut cfg = SimConfig::new(part);
+                cfg.engine = mode;
+                cfg.shards = NonZeroUsize::new(shards).unwrap();
+                cfg.detailed_link_stats = true;
+                let stats = Engine::new(cfg, uniform(&part, k, chunks, det))
+                    .run()
+                    .unwrap_or_else(|e| panic!("{shape} shards={shards} {mode}: {e}"));
+                match &reference {
+                    None => reference = Some(stats),
+                    Some(r) => {
+                        assert_eq!(&stats, r, "{shape} shards={shards} {mode} must match");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The invariant oracle must hold on a sharded engine too (it forces the
+/// sharded structure onto one thread and additionally checks per-cell
+/// credit conservation every cycle), and its presence must not change
+/// results.
+#[test]
+fn sharded_run_passes_the_oracle() {
+    let part: Partition = "8x4x4".parse().unwrap();
+    let mut reference: Option<NetStats> = None;
+    for (shards, check) in [(1, false), (1, true), (4, true), (7, true)] {
+        let mut cfg = SimConfig::new(part);
+        cfg.shards = NonZeroUsize::new(shards).unwrap();
+        cfg.check_invariants = check;
+        let stats = Engine::new(cfg, uniform(&part, 2, 8, false))
+            .run()
+            .unwrap_or_else(|e| panic!("shards={shards} oracle={check}: {e}"));
+        match &reference {
+            None => reference = Some(stats),
+            Some(r) => assert_eq!(&stats, r, "shards={shards} oracle={check} must match"),
+        }
+    }
 }
 
 /// Backpressure corner: a hot sink with a tiny reception FIFO exercises

@@ -211,6 +211,90 @@ fn traced_odd_interval_produces_identical_series() {
     }
 }
 
+/// Pin the link-release wake edge: `link_busy_until == now` means the
+/// link was busy *through the previous cycle* and is usable this cycle,
+/// so `arb_wake` must wake at exactly `busy_until`, not one later. A
+/// back-to-back stream over a single link is paced purely by that edge —
+/// one win every `chunks` cycles — so an off-by-one would delay every
+/// subsequent win and shift the completion cycle visibly.
+#[test]
+fn link_release_edge_wakes_exactly_on_busy_until() {
+    let part: Partition = "8".parse().unwrap();
+    let cfg = SimConfig::new(part);
+    let programs = || {
+        let mut programs: Vec<Box<dyn NodeProgram>> = (0..8)
+            .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+            .collect();
+        programs[0] = Box::new(ScriptedProgram::new(
+            (0..16).map(|_| SendSpec::adaptive(1, 8, 240)).collect(),
+            0,
+        ));
+        programs[1] = Box::new(ScriptedProgram::new(vec![], 16));
+        programs
+    };
+    let reference = run_all_modes(&cfg, programs);
+    assert_eq!(reference.packets_delivered, 16);
+    // 16 packets × 8 chunks back-to-back over one link: the stream must
+    // sustain one win per 8 cycles, so completion stays close to the
+    // 128-cycle serialization floor. A wake-edge off-by-one adds a cycle
+    // per packet and pushes this past the bound.
+    assert!(
+        reference.completion_cycle < 128 + 24,
+        "link must go back-to-back at the busy_until edge: completed at {}",
+        reference.completion_cycle
+    );
+}
+
+/// Pin the watchdog clamp in `fast_forward`: with a *timed* wake far
+/// beyond the watchdog horizon (a rate window that re-opens after tens
+/// of thousands of cycles), the event engine must not jump past
+/// `last_progress + watchdog_cycles + 1` — unclamped it would sail to
+/// the rate wake, send the second packet, and *complete* instead of
+/// reporting the same stall the cycle-stepped engines see.
+#[test]
+fn watchdog_clamps_skips_with_a_distant_timed_wake() {
+    let part: Partition = "4x4".parse().unwrap();
+    let mut cfg = SimConfig::new(part);
+    cfg.watchdog_cycles = 300;
+    cfg.flow = FlowSpec::Rate {
+        chunks_per_cycle: 1.0 / 4096.0, // next_allowed jumps ~32k cycles per 8-chunk send
+    };
+    let programs = || {
+        let mut programs: Vec<Box<dyn NodeProgram>> = (0..16)
+            .map(|_| Box::new(ScriptedProgram::idle()) as Box<dyn NodeProgram>)
+            .collect();
+        programs[0] = Box::new(ScriptedProgram::new(
+            (0..2).map(|_| SendSpec::adaptive(15, 8, 240)).collect(),
+            0,
+        ));
+        programs[15] = Box::new(ScriptedProgram::new(vec![], 2));
+        programs
+    };
+    let mut reference: Option<SimError> = None;
+    for mode in EngineMode::ALL {
+        let mut c = cfg.clone();
+        c.engine = mode;
+        let err = Engine::new(c, programs())
+            .run()
+            .expect_err("rate window far exceeds the watchdog: run must stall");
+        match (&err, &reference) {
+            (SimError::Stalled { cycle, .. }, None) => {
+                // The stepped engines fire at the first cycle with
+                // now − last_progress > watchdog_cycles; the clamp must
+                // hold the event engine to the same horizon.
+                assert!(
+                    *cycle < 1000,
+                    "{mode}: stall must fire near the watchdog horizon, not the rate wake \
+                     (cycle {cycle})"
+                );
+                reference = Some(err);
+            }
+            (_, None) => panic!("{mode}: expected a stall, got {err}"),
+            (_, Some(r)) => assert_eq!(&err, r, "{mode} must stall identically"),
+        }
+    }
+}
+
 /// A deadlocked workload must stall at the same watchdog cycle in every
 /// mode: the event engine may never skip past `last_progress +
 /// watchdog_cycles`, or the error (and its cycle stamp) would drift.

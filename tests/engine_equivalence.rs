@@ -23,6 +23,11 @@ use bgl_alltoall::harness::runner::{RunPoint, Runner, Scale};
 use bgl_alltoall::prelude::*;
 use bgl_sim::{EngineMode, TraceConfig};
 use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// Shard counts drawn by the fuzzer: the sequential baseline, even splits,
+/// and a prime that never divides the node counts (uneven slabs).
+const SHARD_POOL: [usize; 4] = [1, 2, 4, 7];
 
 /// The strategy pool: every class once — direct adaptive/deterministic,
 /// throttled, and the three software-forwarding schemes.
@@ -72,7 +77,9 @@ proptest! {
 
     /// Equivalences 1 and 2: every engine mode vs the full-scan
     /// reference, traced and untraced, on a random configuration with a
-    /// random trace interval.
+    /// random trace interval — and, for every comparison run, a random
+    /// shard count (the reference always runs unsharded, so every drawn
+    /// case also checks sharding changes nothing).
     #[test]
     fn engine_modes_and_tracing_agree(
         shape_i in 0usize..6,
@@ -80,18 +87,27 @@ proptest! {
         m_i in 0usize..4,
         cov_i in 0usize..2,
         interval in 100u64..2000,
+        shard_i in 0usize..4,
     ) {
         let (part, strategy, m, cov) = config(shape_i, strat_i, m_i, cov_i);
+        let shards = NonZeroUsize::new(SHARD_POOL[shard_i]).unwrap();
         let workload = workload(m, cov);
         let params = MachineParams::bgl();
-        let label = format!("{part} {} m={m} cov={cov} every={interval}", strategy.name());
+        let label = format!(
+            "{part} {} m={m} cov={cov} every={interval} shards={shards}",
+            strategy.name()
+        );
         let mut cfg = SimConfig::new(part);
         cfg.engine = EngineMode::FullScan;
         let reference =
             run_aa(part, &workload, &strategy, &params, cfg).expect("full-scan run completes");
-        for mode in [EngineMode::ActiveSet, EngineMode::EventDriven] {
+        for mode in EngineMode::ALL {
+            if mode == EngineMode::FullScan && shards.get() == 1 {
+                continue; // identical to the reference run by construction
+            }
             let mut cfg = SimConfig::new(part);
             cfg.engine = mode;
+            cfg.shards = shards;
             let got = run_aa(part, &workload, &strategy, &params, cfg)
                 .expect("optimized run completes");
             prop_assert_eq!(got.cycles, reference.cycles, "{} {}", &label, mode);
@@ -104,6 +120,7 @@ proptest! {
         for mode in EngineMode::ALL {
             let mut cfg = SimConfig::new(part);
             cfg.engine = mode;
+            cfg.shards = shards;
             cfg.trace = Some(TraceConfig::every(interval));
             let traced =
                 run_aa(part, &workload, &strategy, &params, cfg).expect("traced run completes");

@@ -138,6 +138,26 @@ macro_rules! impl_unsigned {
 }
 impl_unsigned!(u8, u16, u32, u64, usize);
 
+impl Serialize for std::num::NonZeroUsize {
+    fn to_value(&self) -> Value {
+        Value::U64(self.get() as u64)
+    }
+}
+
+impl Deserialize for std::num::NonZeroUsize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = usize::from_value(v)?;
+        std::num::NonZeroUsize::new(n)
+            .ok_or_else(|| Error::custom("expected non-zero integer, got 0"))
+    }
+
+    /// Absent fields default to one: pre-existing configs written before a
+    /// `NonZeroUsize` knob was added keep deserializing with the knob off.
+    fn from_missing(_field: &str) -> Result<Self, Error> {
+        Ok(std::num::NonZeroUsize::new(1).expect("1 is non-zero"))
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
