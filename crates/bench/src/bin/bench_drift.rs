@@ -1,0 +1,135 @@
+//! `bench-drift` — warn-only comparison of a fresh `engine-bench` JSON
+//! report against a committed baseline (`BENCH_engine.json`).
+//!
+//! ```text
+//! bench-drift <baseline.json> <fresh.json> [--tolerance X]
+//! ```
+//!
+//! For each workload present in both reports, every shared `*_secs`
+//! column is compared as a ratio; anything outside `[1/X, X]` (default
+//! 3.0 — wall-clock on shared CI runners is noisy, so the net is wide)
+//! is reported as drift. A changed cycle count is also flagged: that is
+//! never noise, it means the simulation itself changed. The exit status
+//! is 0 in every comparable case — this is a canary, not a gate — and 2
+//! only for unusable input (missing file, bad JSON, bad flags).
+
+use serde::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-drift: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path:?}: {e}")));
+    serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("cannot parse {path:?}: {e}")))
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// The report's workload rows keyed by name.
+fn workloads<'a>(report: &'a Value, path: &str) -> Vec<(&'a str, &'a Value)> {
+    report
+        .get("workloads")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path:?} has no \"workloads\" array")))
+        .iter()
+        .filter_map(|w| w.get("name").and_then(as_str).map(|n| (n, w)))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 3.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it.next().unwrap_or_default();
+                tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| *x > 1.0 && x.is_finite())
+                    .unwrap_or_else(|| fail(&format!("--tolerance needs a ratio > 1, got {v:?}")));
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = &paths[..] else {
+        fail("usage: bench-drift <baseline.json> <fresh.json> [--tolerance X]");
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let base_rows = workloads(&baseline, baseline_path);
+    let fresh_rows = workloads(&fresh, fresh_path);
+
+    let mut drifts = 0u32;
+    let mut compared = 0u32;
+    for (name, base) in &base_rows {
+        let Some((_, new)) = fresh_rows.iter().find(|(n, _)| n == name) else {
+            eprintln!("bench-drift: note: workload {name:?} absent from fresh report");
+            continue;
+        };
+        let base_fields = base.as_object().unwrap_or(&[]);
+        for (key, bv) in base_fields {
+            if key == "cycles" {
+                if new.get(key) != Some(bv) {
+                    drifts += 1;
+                    eprintln!(
+                        "bench-drift: WARNING {name}: cycle count changed \
+                         ({:?} -> {:?}) — the simulation itself differs",
+                        bv,
+                        new.get(key),
+                    );
+                }
+                continue;
+            }
+            if !key.ends_with("_secs") {
+                continue;
+            }
+            let (Some(b), Some(f)) = (as_f64(bv), new.get(key).and_then(as_f64)) else {
+                continue;
+            };
+            compared += 1;
+            if b <= 0.0 || f <= 0.0 {
+                continue;
+            }
+            let ratio = f / b;
+            if ratio > tolerance || ratio < 1.0 / tolerance {
+                drifts += 1;
+                eprintln!(
+                    "bench-drift: WARNING {name}.{key}: {b:.4}s -> {f:.4}s \
+                     ({ratio:.2}x, tolerance {tolerance:.1}x)"
+                );
+            }
+        }
+    }
+    if drifts == 0 {
+        eprintln!(
+            "bench-drift: OK — {compared} timing column(s) within {tolerance:.1}x \
+             of {baseline_path}"
+        );
+    } else {
+        eprintln!(
+            "bench-drift: {drifts} drift warning(s) over {compared} timing column(s) \
+             (warn-only; not failing the build)"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! engine-bench [--reps N] [--out FILE] [--full-scale] [--shards N]
-//!              [--engine full-scan|active-set|event]
+//!              [--engine full-scan|active-set|event] [--perf]
 //! ```
 //!
 //! Writes a JSON report (default `BENCH_engine.json` in the current
@@ -23,16 +23,36 @@
 //! run to a single mode (a profiling aid: the JSON then carries one
 //! seconds column and no speedups, timed at `--shards`); an unknown
 //! mode or a zero shard count exits with status 2.
+//!
+//! `--perf` enables `SimConfig::perf` host profiling inside every timed
+//! run. Results stay byte-identical (the cycle assertions still hold);
+//! the point is to measure what profiling itself costs — diff a `--perf`
+//! report against a plain one. The JSON records the flag, and every
+//! report carries a `"host"` stamp (logical CPUs, git commit, argv) so
+//! committed numbers stay interpretable.
 
+use bgl_bench::{host_meta_json, json_escape};
 use bgl_core::{run_aa, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{Engine, EngineMode, FlowSpec, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_sim::{
+    Engine, EngineMode, FlowSpec, NodeProgram, PerfConfig, ScriptedProgram, SendSpec, SimConfig,
+};
 use bgl_torus::{Coord, Partition};
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// The sequential baseline: one shard.
 const ONE: NonZeroUsize = NonZeroUsize::MIN;
+
+/// Whether `--perf` was passed: every timed run then collects a host
+/// profile (the overhead-measurement mode; results stay byte-identical).
+static PERF: AtomicBool = AtomicBool::new(false);
+
+/// The `SimConfig::perf` knob for the current invocation.
+fn perf_knob() -> Option<PerfConfig> {
+    PERF.load(Ordering::Relaxed).then(PerfConfig::default)
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("engine-bench: {msg}");
@@ -141,6 +161,7 @@ fn aa_cycles(
     let mut cfg = SimConfig::new(part);
     cfg.engine = engine;
     cfg.shards = shards;
+    cfg.perf = perf_knob();
     run_aa(part, workload, strategy, &MachineParams::bgl(), cfg)
         .expect("run completes")
         .cycles
@@ -157,6 +178,7 @@ fn stream_cycles(engine: EngineMode, shards: NonZeroUsize) -> u64 {
     let mut cfg = SimConfig::new(part);
     cfg.engine = engine;
     cfg.shards = shards;
+    cfg.perf = perf_knob();
     cfg.flow = FlowSpec::Rate {
         chunks_per_cycle: 1.0 / 32.0,
     };
@@ -187,6 +209,7 @@ fn subcomm_aa_cycles(engine: EngineMode, shards: NonZeroUsize) -> u64 {
     let mut cfg = SimConfig::new(part);
     cfg.engine = engine;
     cfg.shards = shards;
+    cfg.perf = perf_knob();
     let comm: Vec<u32> = (0..8u16)
         .map(|x| part.rank_of(Coord::new(x, 0, 0)))
         .collect();
@@ -211,10 +234,6 @@ fn subcomm_aa_cycles(engine: EngineMode, shards: NonZeroUsize) -> u64 {
         .run()
         .expect("completes")
         .completion_cycle
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// One benchmark row: name, description, reps, and the run closure
@@ -248,6 +267,7 @@ fn main() {
                 _ => fail("--out needs a file path"),
             },
             "--full-scale" => full_scale = true,
+            "--perf" => PERF.store(true, Ordering::Relaxed),
             "--engine" => {
                 let v = it.next().unwrap_or_default();
                 only = Some(v.parse().unwrap_or_else(|e: String| fail(&e)));
@@ -366,6 +386,8 @@ fn main() {
             body.push_str(&format!("  \"engine\": \"{mode}\",\n"));
             body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
             body.push_str(&format!("  \"shards\": {shards},\n"));
+            body.push_str(&format!("  \"perf\": {},\n", PERF.load(Ordering::Relaxed)));
+            body.push_str(&format!("  {},\n", host_meta_json()));
             body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
             body.push_str("  \"workloads\": [\n");
             let last = workloads.len();
@@ -400,6 +422,8 @@ fn main() {
             body.push_str("  \"tool\": \"engine-bench\",\n");
             body.push_str(&format!("  \"reps_per_mode\": {reps},\n"));
             body.push_str(&format!("  \"shards\": {shards},\n"));
+            body.push_str(&format!("  \"perf\": {},\n", PERF.load(Ordering::Relaxed)));
+            body.push_str(&format!("  {},\n", host_meta_json()));
             body.push_str("  \"metric\": \"min wall-clock seconds per full simulation\",\n");
             body.push_str("  \"workloads\": [\n");
             for (i, r) in results.iter().enumerate() {

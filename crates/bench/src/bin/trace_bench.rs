@@ -10,8 +10,10 @@
 //! ```
 //!
 //! Writes `BENCH_trace.json` (default) with min-of-`reps` wall-clock
-//! per variant; methodology in EXPERIMENTS.md.
+//! per variant plus a `"host"` stamp (logical CPUs, git commit, argv);
+//! methodology in EXPERIMENTS.md.
 
+use bgl_bench::host_meta_json;
 use bgl_core::{run_aa, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
 use bgl_sim::{SimConfig, TraceConfig};
@@ -90,13 +92,14 @@ fn main() {
 
     let body = format!(
         "{{\n  \"benchmark\": \"tracer overhead, dense 8x8x8 AR all-to-all m=912\",\n  \
-         \"tool\": \"trace-bench\",\n  \"reps_per_variant\": {reps},\n  \
+         \"tool\": \"trace-bench\",\n  \"reps_per_variant\": {reps},\n  {host},\n  \
          \"metric\": \"min wall-clock seconds per full simulation\",\n  \
          \"simulated_cycles\": {cycles},\n  \"variants\": [\n    \
          {{\"name\": \"trace_disabled\", \"secs\": {disabled_secs:.4}}},\n    \
          {{\"name\": \"trace_interval_1000\", \"secs\": {traced_secs:.4}, \
          \"samples\": {samples}}}\n  ],\n  \
-         \"sampling_overhead_percent\": {overhead:.2}\n}}\n"
+         \"sampling_overhead_percent\": {overhead:.2}\n}}\n",
+        host = host_meta_json(),
     );
     if let Err(e) = std::fs::write(&out, &body) {
         fail(&format!("cannot write {out}: {e}"));

@@ -370,6 +370,12 @@ pub struct AaReport {
     /// [`bgl_sim::trace`]). Purely observational: `stats` is
     /// byte-identical whether or not a trace was recorded.
     pub trace: Option<bgl_sim::Trace>,
+    /// Host-side wall-clock profile, present iff `SimConfig::perf` was
+    /// set (see [`bgl_sim::perf`]). Like the trace, purely observational:
+    /// `stats` is byte-identical with profiling on or off. Host times are
+    /// machine-dependent by nature, so this field never participates in
+    /// golden fingerprints or run-cache identity.
+    pub perf: Option<bgl_sim::PerfProfile>,
 }
 
 /// A fully specified all-to-all run; build one with [`AaRun::builder`].
@@ -584,6 +590,7 @@ fn execute(
     let mut engine = Engine::new(base, programs);
     let stats = engine.run()?;
     let trace = engine.take_trace();
+    let perf = engine.take_perf();
     let peak_cycles = peak_cycles_for(&part, workload, params);
     let cycles = stats.completion_cycle;
     let time_secs = cycles as f64 * params.secs_per_sim_cycle();
@@ -603,6 +610,7 @@ fn execute(
         },
         stats,
         trace,
+        perf,
     })
 }
 

@@ -8,6 +8,7 @@
 //! bglsim fit   --shape 8x8x8
 //! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE] [--shards N]
 //! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N]
+//! bglsim profile --shape 8x8x8 --strategy ar --m 240 [--coverage F] [--engine MODE] [--shards N] [--json|--csv] [--out FILE]
 //! ```
 //!
 //! `--engine` selects the simulator scheduling core
@@ -39,6 +40,18 @@
 //! RFC-4180 CSV when the path ends in `.csv`; `--report` prints the
 //! human-readable run report (utilization timeline, phase boundaries,
 //! FIFO highlights, hottest links) per point.
+//!
+//! Profiling: `--perf` (on `sweep` and `validate`) collects the host-side
+//! performance profile of every run — results stay byte-identical; the
+//! profile rides `--json` output per report and a runner timing summary
+//! (points executed, execute seconds, queue wait, cache hits) goes to
+//! stderr. `profile` runs a single point with profiling on and renders
+//! the human-readable report (per-phase/per-shard wall-clock breakdown,
+//! event-engine skip histogram); `--json` emits the full report, `--csv`
+//! the profile as RFC-4180 `metric,value` rows. `--progress` (also on
+//! `sweep` and `validate`) prints a rate-limited stderr heartbeat for
+//! long runs. All profile times are *host* seconds, distinct from the
+//! simulated cycles/ms in the results themselves.
 //!
 //! `validate` runs the paper-conformance suite (DESIGN.md §7 targets as
 //! machine-checked assertions, plus the golden `NetStats` fingerprints):
@@ -264,7 +277,9 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     let tracing = trace_out.is_some() || report || flags.contains_key("trace-interval");
     let mut runner = Runner::new(Scale::Paper)
         .with_engine(parse_engine(flags))
-        .with_shards(parse_shards(flags));
+        .with_shards(parse_shards(flags))
+        .with_perf(flags.contains_key("perf"))
+        .with_progress(flags.contains_key("progress"));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -290,6 +305,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
         })
         .collect();
     runner.run_points(&points);
+    print_perf_summary(&runner);
     if let Some(path) = &trace_out {
         write_traces(path, &points, &runner);
     }
@@ -340,6 +356,21 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
             }
         }
     }
+}
+
+/// With `--perf`, one stderr line of runner-level host timing: points
+/// executed vs served from cache, execute seconds, and queue wait
+/// (summed across workers, so it can exceed wall-clock under `--jobs`).
+fn print_perf_summary(runner: &Runner) {
+    if !runner.perf_enabled() {
+        return;
+    }
+    let t = runner.timing();
+    eprintln!(
+        "bglsim: perf: {} point(s) executed in {:.3}s host time \
+         (queue wait {:.3}s), {} cache hit(s)",
+        t.points_executed, t.execute_secs, t.queue_wait_secs, t.cache_hits,
+    );
 }
 
 /// Write traced runs to `path`: RFC-4180 CSV for a `.csv` path (exactly
@@ -449,7 +480,9 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     });
     let mut runner = Runner::new(tier.scale())
         .with_engine(parse_engine(flags))
-        .with_shards(parse_shards(flags));
+        .with_shards(parse_shards(flags))
+        .with_perf(flags.contains_key("perf"))
+        .with_progress(flags.contains_key("progress"));
     if let Some(n) = flags.get("jobs") {
         let jobs = n
             .parse::<usize>()
@@ -459,6 +492,7 @@ fn cmd_validate(flags: &HashMap<String, String>) {
         runner = runner.with_jobs(jobs);
     }
     let report = run_validation(&runner, tier, flags.contains_key("bless"));
+    print_perf_summary(&runner);
     print!("{}", report.render());
     if let Some(path) = flags.get("out") {
         std::fs::write(path, report.to_json())
@@ -468,6 +502,54 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     if report.failures() > 0 {
         std::process::exit(1);
     }
+}
+
+/// `bglsim profile`: run one point with profiling on and render the
+/// host-side report ([`bgl_harness::render_perf_report`]); `--json` emits
+/// the full report, `--csv` the profile as `metric,value` rows.
+fn cmd_profile(flags: &HashMap<String, String>) {
+    let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
+    let part = parse_shape(shape);
+    let strategy = strategy_by_name(flags.get("strategy").map(String::as_str).unwrap_or("ar"));
+    let m: u64 = flags.get("m").map_or(240, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("--m needs numeric bytes, got {s:?}")))
+    });
+    let coverage: f64 = flags.get("coverage").map_or(1.0, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("--coverage needs a fraction, got {s:?}")))
+    });
+    if !(0.0..=1.0).contains(&coverage) {
+        fail(&format!("--coverage must be within 0..=1, got {coverage}"));
+    }
+    if flags.contains_key("json") && flags.contains_key("csv") {
+        fail("--json and --csv conflict; pass at most one");
+    }
+    let runner = Runner::new(Scale::Paper)
+        .with_engine(parse_engine(flags))
+        .with_shards(parse_shards(flags))
+        .with_perf(true)
+        .with_progress(flags.contains_key("progress"));
+    let point = RunPoint::new(part, strategy, m, coverage);
+    let report = runner
+        .report(&point)
+        .unwrap_or_else(|e| fail(&format!("profile run failed: {e}")));
+    let body = if flags.contains_key("json") {
+        serde_json::to_string_pretty(&report).expect("serialize")
+    } else if flags.contains_key("csv") {
+        report.perf.as_ref().expect("profiling was on").to_csv()
+    } else {
+        bgl_harness::render_perf_report(&report)
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .unwrap_or_else(|e| fail(&format!("--out: cannot write {path:?}: {e}")));
+            eprintln!("bglsim: wrote profile to {path}");
+        }
+        None => print!("{body}"),
+    }
+    print_perf_summary(&runner);
 }
 
 fn main() {
@@ -490,7 +572,7 @@ fn main() {
                 "engine",
                 "shards",
             ],
-            &["csv", "json", "report"],
+            &["csv", "json", "report", "perf", "progress"],
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(
@@ -501,19 +583,27 @@ fn main() {
         "validate" => cmd_validate(&parse_flags(
             rest,
             &["tier", "jobs", "out", "engine", "shards"],
-            &["bless"],
+            &["bless", "perf", "progress"],
+        )),
+        "profile" => cmd_profile(&parse_flags(
+            rest,
+            &[
+                "shape", "strategy", "m", "coverage", "engine", "shards", "out",
+            ],
+            &["json", "csv", "progress"],
         )),
         _ => {
-            eprintln!("usage: bglsim sweep|fit|pattern|validate [--flags]");
+            eprintln!("usage: bglsim sweep|fit|pattern|validate|profile [--flags]");
             eprintln!("  sweep   --shape 8x8x8 --strategies ar,dr,tps,vmesh,xyz --sizes 64,912 [--coverage 0.25] [--jobs N] [--csv|--json]");
             eprintln!("          [--pacer none|rate:F|credit:W,E] [--credit W,E]");
             eprintln!(
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
-            eprintln!("          [--engine full-scan|active-set|event] [--shards N]");
+            eprintln!("          [--engine full-scan|active-set|event] [--shards N] [--perf] [--progress]");
             eprintln!("  fit     --shape 8x8x8");
             eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE] [--shards N]");
-            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N]");
+            eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N] [--perf] [--progress]");
+            eprintln!("  profile --shape 8x8x8 --strategy ar --m 240 [--coverage F] [--engine MODE] [--shards N] [--json|--csv] [--out FILE]");
             std::process::exit(2);
         }
     }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! calib <shape> <AR|DR|TPS|VM|THR|MPI>[,<...>] <m_bytes> <coverage> [--jobs N] [--shards N]
-//!       [--json] [--engine full-scan|active-set|event]
+//!       [--json] [--engine full-scan|active-set|event] [--perf] [--progress]
 //! ```
 //!
 //! Several strategies (comma-separated) run concurrently across
@@ -11,7 +11,10 @@
 //! count. `--shards` splits each individual simulation across N
 //! threads (orthogonal to `--jobs`) without changing any output.
 //! `--json` emits the full [`AaReport`](bgl_core::AaReport)
-//! per strategy.
+//! per strategy. `--perf` collects host-side profiles (results stay
+//! byte-identical; the profile rides `--json` output) and prints a
+//! runner timing summary to stderr; `--progress` adds a rate-limited
+//! stderr heartbeat to each run.
 //!
 //! Malformed input never panics: every parse failure prints a one-line
 //! error to stderr and exits with status 2. Unknown flags are rejected.
@@ -33,10 +36,14 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut engine = EngineMode::default();
     let mut shards = std::num::NonZeroUsize::MIN;
+    let mut perf = false;
+    let mut progress = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--perf" => perf = true,
+            "--progress" => progress = true,
             "--engine" => {
                 let v = it.next().unwrap_or_default();
                 engine = v.parse().unwrap_or_else(|e: String| fail(&e));
@@ -97,7 +104,9 @@ fn main() {
         .collect();
     let mut runner = Runner::new(Scale::Paper)
         .with_engine(engine)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_perf(perf)
+        .with_progress(progress);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }
@@ -108,6 +117,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     runner.run_points(&points);
     let elapsed = t0.elapsed();
+    if perf {
+        let t = runner.timing();
+        eprintln!(
+            "calib: perf: {} point(s) executed in {:.3}s host time \
+             (queue wait {:.3}s), {} cache hit(s)",
+            t.points_executed, t.execute_secs, t.queue_wait_secs, t.cache_hits,
+        );
+    }
     if json {
         let reports: Vec<AaReport> = points
             .iter()

@@ -3,9 +3,9 @@
 //! ```text
 //! repro list
 //! repro <id>... [--scale quick|paper] [--jobs N] [--shards N] [--json] [--out DIR]
-//!               [--engine full-scan|active-set|event]
+//!               [--engine full-scan|active-set|event] [--perf] [--progress]
 //! repro all     [--scale quick|paper] [--jobs N] [--shards N] [--json] [--out DIR]
-//!               [--engine full-scan|active-set|event]
+//!               [--engine full-scan|active-set|event] [--perf] [--progress]
 //! ```
 //!
 //! All experiments' simulation points are executed as one deduplicated
@@ -18,7 +18,9 @@
 //! results, so the flag only changes wall-clock. `--shards` splits each
 //! individual simulation across N threads (orthogonal to `--jobs`, which
 //! parallelizes *across* simulations); results are byte-identical for
-//! any shard count.
+//! any shard count. `--perf` collects host-side profiles (results stay
+//! byte-identical) and prints a runner timing summary to stderr;
+//! `--progress` adds a rate-limited stderr heartbeat to each run.
 
 use bgl_harness::{experiments, run_suite, Runner, Scale};
 use bgl_sim::EngineMode;
@@ -34,7 +36,7 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
         eprintln!(
             "usage: repro <id>...|all|list [--scale quick|paper] [--jobs N] [--shards N] [--json] \
-             [--out DIR] [--engine full-scan|active-set|event]"
+             [--out DIR] [--engine full-scan|active-set|event] [--perf] [--progress]"
         );
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         std::process::exit(2);
@@ -46,6 +48,8 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut engine = EngineMode::default();
     let mut shards = std::num::NonZeroUsize::MIN;
+    let mut perf = false;
+    let mut progress = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +83,8 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--perf" => perf = true,
+            "--progress" => progress = true,
             "--out" => match it.next() {
                 Some(dir) if !dir.is_empty() && !dir.starts_with("--") => {
                     out = Some(PathBuf::from(dir));
@@ -96,13 +102,25 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    let mut runner = Runner::new(scale).with_engine(engine).with_shards(shards);
+    let mut runner = Runner::new(scale)
+        .with_engine(engine)
+        .with_shards(shards)
+        .with_perf(perf)
+        .with_progress(progress);
     if let Some(n) = jobs {
         runner = runner.with_jobs(n);
     }
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
     let t0 = std::time::Instant::now();
     let reports = run_suite(&runner, &id_refs);
+    if perf {
+        let t = runner.timing();
+        eprintln!(
+            "repro: perf: {} point(s) executed in {:.3}s host time \
+             (queue wait {:.3}s), {} cache hit(s)",
+            t.points_executed, t.execute_secs, t.queue_wait_secs, t.cache_hits,
+        );
+    }
     eprintln!(
         "[{} experiments, {} simulation runs, {} jobs, {:.1?}]",
         reports.len(),

@@ -22,12 +22,14 @@ pub mod conformance;
 pub mod experiment;
 pub mod experiments;
 pub mod paper;
+pub mod perf_report;
 pub mod runner;
 pub mod trace_report;
 
 pub use conformance::{run_validation, Tier, ValidationReport};
 pub use experiment::ExperimentReport;
-pub use runner::{Runner, Scale};
+pub use perf_report::render_perf_report;
+pub use runner::{Runner, RunnerTiming, Scale};
 pub use trace_report::render_run_report;
 
 /// Run a set of experiment ids, in order, sharing one runner/cache.

@@ -1,0 +1,242 @@
+//! Human-readable host-profiling reports.
+//!
+//! [`render_perf_report`] turns an [`AaReport`] that carries a
+//! [`PerfProfile`](bgl_sim::PerfProfile) into the `bglsim profile` text:
+//! a per-phase wall-clock breakdown, the per-shard busy/barrier-wait
+//! split with the load-imbalance ratio, and — for event-mode runs — the
+//! wake-cause breakdown and the power-of-two skip-length histogram.
+//! Everything here is *host* time (seconds on the machine running the
+//! simulator); the simulated-cycle figures next to it exist precisely so
+//! the two are never confused.
+
+use bgl_core::AaReport;
+use bgl_sim::{EventPerf, PerfProfile};
+use std::fmt::Write as _;
+
+/// Width of the share bars, characters at 100 %.
+const BAR_WIDTH: usize = 24;
+
+/// Render the full profile report. Falls back to a one-line hint when the
+/// report carries no profile (the run was made without `SimConfig::perf`).
+pub fn render_perf_report(report: &AaReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "perf profile: {} on {}, m={} B/dest, coverage {:.4}",
+        report.strategy.name(),
+        report.partition,
+        report.workload.m_bytes,
+        report.workload.coverage,
+    );
+    let Some(p) = &report.perf else {
+        let _ = writeln!(out, "(no profile recorded — rerun with --perf)");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "  simulated {} cycles ({:.3} ms of machine time) in {:.3} s of host wall-clock",
+        report.cycles,
+        report.time_secs * 1e3,
+        p.total_secs,
+    );
+    let _ = writeln!(
+        out,
+        "  stepped {} cycles ({} wide, {} inline), skipped {} cycles",
+        p.stepped_cycles,
+        p.wide_cycles,
+        p.inline_cycles,
+        p.skipped_cycles(),
+    );
+    let _ = writeln!(
+        out,
+        "  active set: mean {:.1}, max {} marked nodes per stepped cycle",
+        p.active_occupancy_mean, p.active_occupancy_max,
+    );
+    out.push('\n');
+    render_phase_breakdown(&mut out, p);
+    render_shard_balance(&mut out, p);
+    if let Some(ev) = &p.event {
+        render_event_counters(&mut out, ev);
+    }
+    out
+}
+
+/// A `#`/`-` bar whose fill is `share` of [`BAR_WIDTH`].
+fn bar(share: f64) -> String {
+    let filled = ((share.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+    "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled)
+}
+
+/// Per-phase host seconds summed over all shards, as shares of the
+/// phase-attributed busy total.
+fn render_phase_breakdown(out: &mut String, p: &PerfProfile) {
+    let totals = p.phase_totals();
+    let busy = totals.total();
+    let _ = writeln!(
+        out,
+        "phase breakdown (host seconds, all shards; bar = share of busy time):"
+    );
+    for (label, secs) in totals.named() {
+        let share = if busy > 0.0 { secs / busy } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {label:<12} {}  {secs:>9.4}s  {:>5.1}%",
+            bar(share),
+            100.0 * share,
+        );
+    }
+    let attributed = if p.total_secs > 0.0 {
+        100.0 * busy / p.total_secs
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  busy {busy:.4}s ({attributed:.1}% of wall-clock), barrier wait {:.4}s",
+        p.barrier_wait_secs(),
+    );
+}
+
+/// Per-shard busy/barrier table plus the imbalance ratio. Barrier-wait
+/// columns only accumulate on threaded (wide) cycles.
+fn render_shard_balance(out: &mut String, p: &PerfProfile) {
+    let _ = writeln!(
+        out,
+        "shard balance ({} shard{}):",
+        p.shards.len(),
+        if p.shards.len() == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6}  {:>10}  {:>12}  {:>12}",
+        "shard", "busy s", "barrier A s", "barrier B s",
+    );
+    for (i, s) in p.shards.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {i:>6}  {:>10.4}  {:>12.4}  {:>12.4}",
+            s.busy_secs(),
+            s.barrier_a_wait_secs,
+            s.barrier_b_wait_secs,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  imbalance ratio (busiest / mean busy): {:.3}",
+        p.shard_imbalance(),
+    );
+}
+
+/// Event-engine section: jump totals, wake-cause breakdown and the
+/// skip-length histogram (only non-empty buckets are printed).
+fn render_event_counters(out: &mut String, ev: &EventPerf) {
+    let avg = if ev.skips > 0 {
+        ev.skipped_cycles as f64 / ev.skips as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "event engine: {} cycles skipped in {} jumps (avg {avg:.1} cycles/jump), \
+         {} fresh suppressions",
+        ev.skipped_cycles, ev.skips, ev.fresh_suppressions,
+    );
+    let _ = writeln!(out, "wake causes (what bounded each jump):");
+    for (label, count) in ev.wake_causes() {
+        let share = if ev.skips > 0 {
+            count as f64 / ev.skips as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {label:<18} {}  {count:>8}  {:>5.1}%",
+            bar(share),
+            100.0 * share,
+        );
+    }
+    let _ = writeln!(out, "skip-length histogram (cycles per jump):");
+    let max = ev.skip_histogram.iter().copied().max().unwrap_or(0);
+    for (k, &count) in ev.skip_histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let share = if max > 0 {
+            count as f64 / max as f64
+        } else {
+            0.0
+        };
+        let lo = 1u64 << k;
+        let label = if k + 1 == ev.skip_histogram.len() {
+            format!("{lo}+")
+        } else {
+            format!("{lo}..{}", (lo << 1) - 1)
+        };
+        let _ = writeln!(out, "  {label:>14} {}  {count:>8}", bar(share));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_core::{AaRun, AaWorkload, StrategyKind};
+    use bgl_sim::{EngineMode, PerfConfig};
+    use bgl_torus::Partition;
+
+    fn profiled_report(engine: EngineMode) -> AaReport {
+        let part: Partition = "4x4".parse().unwrap();
+        AaRun::builder(part, AaWorkload::full(240))
+            .strategy(StrategyKind::ar())
+            .sim(move |c| {
+                c.engine = engine;
+                c.perf = Some(PerfConfig::default());
+            })
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn report_renders_phase_and_shard_sections() {
+        let report = profiled_report(EngineMode::ActiveSet);
+        assert!(report.perf.is_some(), "profile must be recorded");
+        let text = render_perf_report(&report);
+        assert!(text.contains("perf profile: AR on 4x4"), "{text}");
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("arbitration"), "{text}");
+        assert!(text.contains("imbalance ratio"), "{text}");
+        assert!(
+            !text.contains("event engine:"),
+            "no event section outside event mode: {text}"
+        );
+    }
+
+    #[test]
+    fn event_mode_report_has_wake_causes_and_histogram() {
+        let report = profiled_report(EngineMode::EventDriven);
+        let text = render_perf_report(&report);
+        assert!(text.contains("event engine:"), "{text}");
+        assert!(text.contains("wake causes"), "{text}");
+        assert!(text.contains("skip-length histogram"), "{text}");
+    }
+
+    #[test]
+    fn report_without_profile_suggests_flag() {
+        let part: Partition = "4x4".parse().unwrap();
+        let report = AaRun::builder(part, AaWorkload::full(240))
+            .strategy(StrategyKind::ar())
+            .run()
+            .unwrap();
+        let text = render_perf_report(&report);
+        assert!(text.contains("no profile recorded"), "{text}");
+    }
+
+    #[test]
+    fn bars_are_bounded() {
+        let report = profiled_report(EngineMode::EventDriven);
+        let text = render_perf_report(&report);
+        for line in text.lines() {
+            let hashes = line.chars().filter(|&c| c == '#').count();
+            assert!(hashes <= BAR_WIDTH, "{line}");
+        }
+    }
+}

@@ -21,12 +21,13 @@
 
 use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{EngineMode, SimConfig, SimError, TraceConfig};
+use bgl_sim::{EngineMode, PerfConfig, ProgressConfig, SimConfig, SimError, TraceConfig};
 use bgl_torus::Partition;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Coverage is stored in parts per million: f64 never enters the key.
 pub const COVERAGE_PPM_FULL: u32 = 1_000_000;
@@ -231,6 +232,25 @@ impl std::fmt::Debug for RunPoint {
     }
 }
 
+/// Wall-clock accounting of a profiling-enabled runner
+/// ([`Runner::with_perf`]), aggregated across every worker thread of
+/// [`Runner::run_points`] and every sequential `aa*` call. Queue wait is
+/// the time a declared point sat behind other points before a worker
+/// picked it up; execute time is the simulation call itself. Cache hits
+/// cost neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunnerTiming {
+    /// Points actually simulated (cache misses).
+    pub points_executed: u64,
+    /// Lookups answered straight from the memo cache.
+    pub cache_hits: u64,
+    /// Total seconds points spent queued behind other work (summed over
+    /// points, so with `--jobs > 1` this can exceed wall time).
+    pub queue_wait_secs: f64,
+    /// Total seconds spent inside simulation runs (summed over points).
+    pub execute_secs: f64,
+}
+
 /// The memoizing parallel runner.
 pub struct Runner {
     /// Machine parameters used for every run.
@@ -247,6 +267,15 @@ pub struct Runner {
     /// byte-identical across values, so it is not part of the cache key.
     pub sim_shards: std::num::NonZeroUsize,
     jobs: usize,
+    /// Host profiling: pass `SimConfig::perf` to every run (so reports
+    /// carry `AaReport::perf`) and aggregate [`RunnerTiming`]. Results
+    /// are byte-identical on or off, so — like `engine` and `sim_shards`
+    /// — it is not part of the cache key.
+    perf: bool,
+    /// Opt-in stderr heartbeat (`SimConfig::progress`) for every run.
+    /// Like `perf`, byte-identical results — not part of the cache key.
+    progress: bool,
+    timing: Mutex<RunnerTiming>,
     shards: [Mutex<HashMap<RunKey, Result<AaReport, SimError>>>; SHARDS],
 }
 
@@ -264,6 +293,9 @@ impl Runner {
             engine: EngineMode::default(),
             sim_shards: std::num::NonZeroUsize::MIN,
             jobs,
+            perf: false,
+            progress: false,
+            timing: Mutex::new(RunnerTiming::default()),
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
     }
@@ -293,6 +325,35 @@ impl Runner {
     pub fn with_jobs(mut self, jobs: usize) -> Runner {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// Enable host profiling for every run this runner executes: reports
+    /// carry `AaReport::perf` and the runner aggregates a
+    /// [`RunnerTiming`] across all workers (read it with
+    /// [`Runner::timing`]). Results are byte-identical on or off, so the
+    /// cache key does not include it.
+    pub fn with_perf(mut self, perf: bool) -> Runner {
+        self.perf = perf;
+        self
+    }
+
+    /// Whether host profiling is on (see [`Runner::with_perf`]).
+    pub fn perf_enabled(&self) -> bool {
+        self.perf
+    }
+
+    /// Enable the rate-limited stderr progress heartbeat
+    /// (`SimConfig::progress`) for every run this runner executes. Purely
+    /// observational: results are byte-identical on or off.
+    pub fn with_progress(mut self, progress: bool) -> Runner {
+        self.progress = progress;
+        self
+    }
+
+    /// Snapshot of the aggregated wall-clock accounting. All zeros
+    /// unless [`Runner::with_perf`] was enabled.
+    pub fn timing(&self) -> RunnerTiming {
+        *self.timing.lock().expect("timing lock")
     }
 
     /// The worker-thread count used by [`Runner::run_points`].
@@ -395,9 +456,20 @@ impl Runner {
         if todo.is_empty() {
             return;
         }
+        // Queue wait is measured from when the whole batch was enqueued
+        // (here) to when a worker picks each point up, so it sums the time
+        // points spent waiting behind other points across all workers.
+        let enqueued = self.perf.then(Instant::now);
+        let note_pickup = |enqueued: Option<Instant>| {
+            if let Some(t0) = enqueued {
+                self.timing.lock().expect("timing lock").queue_wait_secs +=
+                    t0.elapsed().as_secs_f64();
+            }
+        };
         let jobs = self.jobs.min(todo.len()).max(1);
         if jobs == 1 {
             for p in todo {
+                note_pickup(enqueued);
                 let _ = self.report(p);
             }
             return;
@@ -409,6 +481,7 @@ impl Runner {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     match todo.get(i) {
                         Some(p) => {
+                            note_pickup(enqueued);
                             let _ = self.report(p);
                         }
                         None => break,
@@ -464,9 +537,18 @@ impl Runner {
         tweak: &dyn Fn(&mut SimConfig),
     ) -> Result<AaReport, SimError> {
         if let Some(hit) = self.lookup(key) {
+            if self.perf {
+                self.timing.lock().expect("timing lock").cache_hits += 1;
+            }
             return hit;
         }
+        let t0 = self.perf.then(Instant::now);
         let result = self.execute(key, tweak);
+        if let Some(t0) = t0 {
+            let mut timing = self.timing.lock().expect("timing lock");
+            timing.points_executed += 1;
+            timing.execute_secs += t0.elapsed().as_secs_f64();
+        }
         self.shard(key)
             .lock()
             .expect("cache lock")
@@ -487,6 +569,8 @@ impl Runner {
         let mut cfg = SimConfig::new(key.part);
         cfg.engine = self.engine;
         cfg.shards = self.sim_shards;
+        cfg.perf = self.perf.then(PerfConfig::default);
+        cfg.progress = self.progress.then(ProgressConfig::default);
         tweak(&mut cfg);
         // The key's trace interval wins over any tweak: the key is the
         // identity of the run, so what it says must be what executes.
@@ -666,6 +750,49 @@ mod tests {
         let direct = r.aa("4x4", &StrategyKind::ar(), 240).unwrap();
         assert_eq!(warm.cycles, direct.cycles);
         assert_eq!(r.cached_runs(), 2);
+    }
+
+    #[test]
+    fn perf_timing_counts_executions_and_cache_hits() {
+        let r = Runner::new(Scale::Quick).with_perf(true);
+        let p = r.point("4x4", &StrategyKind::ar(), 240);
+        let first = r.report(&p).expect("runs");
+        assert!(first.perf.is_some(), "profile must ride the report");
+        let _ = r.report(&p).expect("cached");
+        let t = r.timing();
+        assert_eq!(t.points_executed, 1);
+        assert_eq!(t.cache_hits, 1);
+        assert!(t.execute_secs > 0.0);
+    }
+
+    #[test]
+    fn perf_off_is_free_and_profile_free() {
+        let r = Runner::new(Scale::Quick);
+        assert!(!r.perf_enabled());
+        let report = r.aa("4x4", &StrategyKind::ar(), 240).expect("runs");
+        assert!(report.perf.is_none(), "no profile unless asked");
+        assert_eq!(r.timing(), RunnerTiming::default());
+    }
+
+    #[test]
+    fn perf_does_not_change_results() {
+        let plain = Runner::new(Scale::Quick);
+        let profiled = Runner::new(Scale::Quick).with_perf(true).with_jobs(2);
+        let strategies = [StrategyKind::ar(), StrategyKind::tps()];
+        let pts: Vec<RunPoint> = strategies
+            .iter()
+            .map(|s| profiled.point("4x4", s, 240))
+            .collect();
+        profiled.run_points(&pts);
+        for s in &strategies {
+            let a = plain.aa("4x4", s, 240).unwrap();
+            let b = profiled.aa("4x4", s, 240).unwrap();
+            assert_eq!(a.cycles, b.cycles, "{}", s.name());
+            assert_eq!(a.stats, b.stats, "{}", s.name());
+        }
+        let t = profiled.timing();
+        assert_eq!(t.points_executed, 2);
+        assert!(t.queue_wait_secs >= 0.0);
     }
 
     #[test]

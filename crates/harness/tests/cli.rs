@@ -386,6 +386,119 @@ fn bglsim_trace_out_writes_csv_and_json() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `profile` renders the host-side report for one point in every mode,
+/// with the event section appearing exactly in event mode.
+#[test]
+fn bglsim_profile_happy_paths() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    for engine in ["full-scan", "active-set", "event"] {
+        let (code, stdout, stderr) = run(
+            bin,
+            &[
+                "profile",
+                "--shape",
+                "4x4",
+                "--strategy",
+                "ar",
+                "--m",
+                "240",
+                "--engine",
+                engine,
+            ],
+        );
+        assert_eq!(code, Some(0), "--engine {engine} failed: {stderr}");
+        assert!(
+            stdout.contains("perf profile: AR on 4x4"),
+            "--engine {engine}: {stdout}"
+        );
+        assert!(stdout.contains("phase breakdown"), "{stdout}");
+        assert!(stdout.contains("imbalance ratio"), "{stdout}");
+        assert_eq!(
+            stdout.contains("skip-length histogram"),
+            engine == "event",
+            "--engine {engine}: {stdout}"
+        );
+        assert!(stderr.contains("bglsim: perf:"), "{stderr}");
+    }
+}
+
+/// `profile --csv` emits RFC-4180 `metric,value` rows; `--json` a full
+/// report whose profile round-trips through the serde stubs.
+#[test]
+fn bglsim_profile_exports_csv_and_json() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let base = [
+        "profile",
+        "--shape",
+        "4x4",
+        "--strategy",
+        "ar",
+        "--m",
+        "240",
+    ];
+    let mut csv_args = base.to_vec();
+    csv_args.push("--csv");
+    let (code, csv, stderr) = run(bin, &csv_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(csv.starts_with("metric,value"), "{csv}");
+    assert!(csv.contains("\r\n"), "RFC-4180 wants CRLF");
+    assert!(csv.contains("total_secs,"), "{csv}");
+    let mut json_args = base.to_vec();
+    json_args.push("--json");
+    let (code, json, stderr) = run(bin, &json_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let report: bgl_core::AaReport = serde_json::from_str(&json).expect("round-trips");
+    let perf = report.perf.as_ref().expect("profile present");
+    assert!(perf.stepped_cycles > 0);
+    assert_eq!(perf.wide_cycles + perf.inline_cycles, perf.stepped_cycles);
+}
+
+/// `profile` obeys the one-line exit-2 contract on malformed input.
+#[test]
+fn bglsim_profile_rejects_malformed_input() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    assert_clean_failure(bin, &["profile", "--shape", "8xbogus"], "invalid shape");
+    assert_clean_failure(bin, &["profile", "--m", "lots"], "numeric bytes");
+    assert_clean_failure(bin, &["profile", "--coverage", "2.0"], "within 0..=1");
+    assert_clean_failure(bin, &["profile", "--engine", "warp"], "unknown engine");
+    assert_clean_failure(bin, &["profile", "--shards", "0"], "positive integer");
+    assert_clean_failure(bin, &["profile", "--strategy", "warp"], "unknown strategy");
+    assert_clean_failure(bin, &["profile", "--frobnicate"], "unknown flag");
+    assert_clean_failure(bin, &["profile", "--json", "--csv"], "conflict");
+    // --perf belongs to sweep/validate; profile is always profiled.
+    assert_clean_failure(bin, &["profile", "--perf"], "unknown flag");
+}
+
+/// `--perf` is observational: a sweep's stdout table is byte-identical
+/// with and without it (the timing summary goes to stderr), and
+/// `--progress` is accepted without polluting stdout.
+#[test]
+fn bglsim_perf_and_progress_do_not_change_sweep_output() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let base = [
+        "sweep",
+        "--shape",
+        "4x4",
+        "--strategies",
+        "ar",
+        "--sizes",
+        "240",
+    ];
+    let (code, reference, stderr) = run(bin, &base);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let mut perf_args = base.to_vec();
+    perf_args.push("--perf");
+    let (code, stdout, stderr) = run(bin, &perf_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert_eq!(stdout, reference, "--perf must not change the table");
+    assert!(stderr.contains("bglsim: perf:"), "{stderr}");
+    let mut progress_args = base.to_vec();
+    progress_args.push("--progress");
+    let (code, stdout, stderr) = run(bin, &progress_args);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert_eq!(stdout, reference, "--progress must not change the table");
+}
+
 /// CSV export is single-series by design: two points must fail cleanly.
 #[test]
 fn bglsim_trace_out_csv_rejects_multiple_points() {

@@ -7,6 +7,7 @@
 //! chunks; all CPU costs are in (fractional) cycles.
 
 use crate::flow::FlowSpec;
+use crate::perf::{PerfConfig, ProgressConfig};
 use crate::trace::TraceConfig;
 use bgl_torus::Partition;
 use serde::{Deserialize, Serialize};
@@ -306,6 +307,20 @@ pub struct SimConfig {
     /// tracing; never perturbs results. Off (the default) it costs one
     /// predictable branch per cycle, like the tracer.
     pub check_invariants: bool,
+    /// Host-side performance profiling: `Some(cfg)` makes the engine
+    /// record where *wall-clock* time goes (per-phase/per-shard timing,
+    /// barrier waits, event-engine skip and wake counters — see
+    /// [`crate::perf`]), retrievable after the run via
+    /// `Engine::take_perf`. `None` (the default) costs one predictable
+    /// branch beside the tracer's. Profiling never perturbs results:
+    /// `NetStats` is byte-identical with profiling on or off, in every
+    /// engine mode and at every shard count.
+    pub perf: Option<PerfConfig>,
+    /// Opt-in progress heartbeat: `Some(cfg)` makes the engine print a
+    /// rate-limited status line (cycle, packets delivered, elapsed, ETA)
+    /// to **stderr** during the run. Stdout and results are untouched, so
+    /// piped output stays byte-identical. `None` (the default) is silent.
+    pub progress: Option<ProgressConfig>,
 }
 
 impl SimConfig {
@@ -328,6 +343,8 @@ impl SimConfig {
             engine: EngineMode::default(),
             shards: std::num::NonZeroUsize::new(1).expect("1 is non-zero"),
             check_invariants: false,
+            perf: None,
+            progress: None,
         }
     }
 
@@ -433,6 +450,24 @@ mod tests {
             }
         }
         assert!(SimConfig::from_value(&zeroed).is_err());
+    }
+
+    #[test]
+    fn perf_knobs_round_trip_and_default_to_off() {
+        let mut c = SimConfig::new("4x4".parse().unwrap());
+        c.perf = Some(PerfConfig::default());
+        c.progress = Some(ProgressConfig { interval_secs: 2.5 });
+        let v = c.to_value();
+        assert_eq!(SimConfig::from_value(&v).unwrap(), c);
+        // Configs serialized before the profiling layer existed have
+        // neither field: they must keep deserializing, with both off.
+        let serde::Value::Object(mut fields) = v else {
+            panic!("config serializes as an object")
+        };
+        fields.retain(|(k, _)| k != "perf" && k != "progress");
+        let legacy = SimConfig::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(legacy.perf, None);
+        assert_eq!(legacy.progress, None);
     }
 
     #[test]

@@ -118,28 +118,56 @@ impl EventState {
     }
 }
 
+/// Which component's bound won the earliest-event minimum. Tracked for
+/// the host profiler's wake-cause breakdown only — the skip logic itself
+/// never consults it, so profiling cannot perturb skip decisions. Ties
+/// keep the earlier-evaluated cause (strict-`<` updates below leave the
+/// minimum value itself exactly as the plain `min` fold computed it).
+#[derive(Clone, Copy)]
+pub(super) enum WakeCause {
+    /// Freshness marks forced an immediate re-step.
+    Fresh,
+    /// A pending delivery forced an immediate re-step.
+    DeliverQ,
+    /// The earliest in-flight ring arrival.
+    Arrival,
+    /// A CPU-phase wake of global node `g` (classified for the profile by
+    /// the node's [`PollState`] at skip time).
+    Cpu(usize),
+    /// A busy output link's release cycle.
+    LinkBusy,
+    /// No component has any scheduled wake at all.
+    Idle,
+}
+
 impl Engine {
     /// Earliest cycle at which any component can change state, evaluated
     /// at a cycle boundary (`self.now` is the next unstepped cycle).
-    /// Returns `self.now` as soon as any immediate work is found.
-    fn next_event_cycle(&self) -> u64 {
+    /// Returns `self.now` as soon as any immediate work is found, along
+    /// with the component that set the bound.
+    fn next_event_cycle(&self) -> (u64, WakeCause) {
         let now = self.now;
         let ev = self.events.as_ref().expect("event mode");
-        if ev.any_fresh || self.shards.iter().any(|sd| !sd.deliver_q.is_empty()) {
-            return now;
+        if ev.any_fresh {
+            return (now, WakeCause::Fresh);
+        }
+        if self.shards.iter().any(|sd| !sd.deliver_q.is_empty()) {
+            return (now, WakeCause::DeliverQ);
         }
         // Earliest in-flight arrival. Every launched packet lands within
         // RING cycles (asserted at construction), so one lap suffices.
         let mut e = u64::MAX;
+        let mut cause = WakeCause::Idle;
         'lap: for off in 0..RING as u64 {
             let slot = ((now + off) % RING as u64) as usize;
             if self.shards.iter().any(|sd| !sd.ring[slot].is_empty()) {
                 e = now + off;
+                cause = WakeCause::Arrival;
                 break 'lap;
             }
         }
         if e == now {
-            return now;
+            return (now, cause);
         }
         for (s, sd) in self.shards.iter().enumerate() {
             let base = self.bounds[s];
@@ -148,9 +176,13 @@ impl Engine {
                 while bits != 0 {
                     let i = (w << 6) + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    e = e.min(self.cpu_wake(base + i));
+                    let wake = self.cpu_wake(base + i);
+                    if wake < e {
+                        e = wake;
+                        cause = WakeCause::Cpu(base + i);
+                    }
                     if e <= now {
-                        return now;
+                        return (now, cause);
                     }
                 }
             }
@@ -159,14 +191,18 @@ impl Engine {
                 while bits != 0 {
                     let i = (w << 6) + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    e = e.min(self.arb_wake(base + i));
+                    let wake = self.arb_wake(base + i);
+                    if wake < e {
+                        e = wake;
+                        cause = WakeCause::LinkBusy;
+                    }
                     if e <= now {
-                        return now;
+                        return (now, cause);
                     }
                 }
             }
         }
-        e
+        (e, cause)
     }
 
     /// Next cycle global node `g`'s CPU phase could do anything but a
@@ -272,15 +308,23 @@ impl Engine {
     /// and cycle-limit checks fire at exactly the cycle the cycle-stepped
     /// engines would report.
     pub(super) fn fast_forward(&mut self) {
-        let mut e = self.next_event_cycle();
-        if e <= self.now {
+        let (raw, cause) = self.next_event_cycle();
+        if raw <= self.now {
+            // Profiling only: count the skips suppressed purely by a
+            // freshness mark (arbitration inputs changed last cycle).
+            if matches!(cause, WakeCause::Fresh) && self.perf.is_some() {
+                self.perf_note_fresh_suppression();
+            }
             return;
         }
         let watchdog_fire = self
             .last_progress
             .saturating_add(self.cfg.watchdog_cycles)
             .saturating_add(1);
-        e = e.min(watchdog_fire).min(self.cfg.max_cycles);
+        let e = raw.min(watchdog_fire).min(self.cfg.max_cycles);
+        if self.perf.is_some() {
+            self.perf_note_skip(raw, e, watchdog_fire, cause);
+        }
         while self.now < e {
             let stop = match &self.tracer {
                 Some(tr) => e.min(tr.next_at),

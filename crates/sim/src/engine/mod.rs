@@ -68,6 +68,7 @@
 mod event;
 mod oracle;
 mod parallel;
+mod perf;
 mod phases;
 mod tracer;
 
@@ -79,6 +80,7 @@ use crate::stats::{NetStats, LATENCY_BUCKETS};
 use bgl_torus::{Coord, Dim, Partition, ALL_DIRECTIONS};
 use event::EventState;
 use oracle::Oracle;
+use perf::{PerfState, ProgressState};
 use phases::{Router, Shard};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
@@ -370,6 +372,12 @@ pub struct Engine {
     /// Conservation-law oracle; `None` unless
     /// `SimConfig::check_invariants` is set.
     oracle: Option<Box<Oracle>>,
+    /// Host-side wall-clock profiler; `None` unless `SimConfig::perf` is
+    /// set (see [`crate::perf`]).
+    perf: Option<Box<PerfState>>,
+    /// Stderr progress heartbeat; `None` unless `SimConfig::progress` is
+    /// set.
+    progress: Option<Box<ProgressState>>,
 }
 
 impl Engine {
@@ -434,6 +442,14 @@ impl Engine {
         let events = (cfg.engine == EngineMode::EventDriven).then(|| Box::new(EventState::new(p)));
         let tracer = cfg.trace.as_ref().map(|tc| Box::new(Tracer::new(tc)));
         let oracle = cfg.check_invariants.then(|| Box::new(Oracle::new()));
+        let perf = cfg
+            .perf
+            .is_some()
+            .then(|| Box::new(PerfState::new(nshards, events.is_some())));
+        let progress = cfg
+            .progress
+            .as_ref()
+            .map(|pc| Box::new(ProgressState::new(pc)));
         let parallel = nshards > 1 && oracle.is_none() && events.is_none();
         Engine {
             cfg,
@@ -464,6 +480,8 @@ impl Engine {
             started: false,
             tracer,
             oracle,
+            perf,
+            progress,
         }
     }
 
@@ -491,10 +509,26 @@ impl Engine {
 
     /// Run to completion. Returns the final statistics.
     pub fn run(&mut self) -> Result<NetStats, SimError> {
+        // Time the whole call — every exit path included — when profiling
+        // is on; off, this is one branch and no clock read.
+        let t0 = self.perf.as_ref().map(|_| std::time::Instant::now());
+        let result = self.run_inner();
+        if let Some(t0) = t0 {
+            if let Some(p) = self.perf.as_deref_mut() {
+                p.profile.total_secs += t0.elapsed().as_secs_f64();
+            }
+        }
+        result
+    }
+
+    fn run_inner(&mut self) -> Result<NetStats, SimError> {
         if !self.started {
             self.start_programs();
         }
         while !self.is_complete() {
+            if self.progress_due() {
+                self.progress_heartbeat();
+            }
             if self.now >= self.cfg.max_cycles {
                 self.sync_cpu_busy();
                 return Err(SimError::CycleLimit {
@@ -607,6 +641,7 @@ impl Engine {
             cs: &mut self.cycle_stats[s],
             events: self.events.as_deref_mut(),
             oracle: self.oracle.as_deref_mut(),
+            perf: self.perf.as_deref_mut().map(|p| &mut p.profile.shards[s]),
         }
     }
 
@@ -652,7 +687,11 @@ impl Engine {
             *cs = CycleStats::default();
         }
         let nshards = self.bounds.len() - 1;
-        if self.parallel && self.cycle_is_wide(t) {
+        let wide = self.parallel && self.cycle_is_wide(t);
+        if self.perf.is_some() {
+            self.perf_note_step(wide);
+        }
+        if wide {
             self.step_parallel(t);
         } else {
             for s in 0..nshards {

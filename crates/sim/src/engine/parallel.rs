@@ -23,6 +23,7 @@
 
 use super::phases::{Router, Shard};
 use super::Engine;
+use crate::perf::ShardPerf;
 use std::sync::Barrier;
 
 /// Split `slice` into one chunk per shard, cutting at `bounds[s] * scale`.
@@ -70,6 +71,10 @@ impl Engine {
         } else {
             (0..nshards).map(|_| -> &mut [u64] { &mut [] }).collect()
         };
+        let perf: Vec<Option<&mut ShardPerf>> = match self.perf.as_deref_mut() {
+            Some(p) => p.profile.shards.iter_mut().map(Some).collect(),
+            None => (0..nshards).map(|_| None).collect(),
+        };
         let ctxs: Vec<Shard<'_>> = nodes
             .into_iter()
             .zip(programs)
@@ -77,27 +82,31 @@ impl Engine {
             .zip(link_stats)
             .zip(self.shards.iter_mut())
             .zip(self.cycle_stats.iter_mut())
+            .zip(perf)
             .enumerate()
             .map(
-                |(s, (((((nodes, programs), link_busy_until), link_stats), sd), cs))| Shard {
-                    router,
-                    part,
-                    shard_of,
-                    counts,
-                    staging,
-                    nshards,
-                    si: s,
-                    base: self.bounds[s],
-                    next_id0,
-                    full_scan,
-                    nodes,
-                    programs,
-                    link_busy_until,
-                    link_stats,
-                    sd,
-                    cs,
-                    events: None,
-                    oracle: None,
+                |(s, ((((((nodes, programs), link_busy_until), link_stats), sd), cs), perf))| {
+                    Shard {
+                        router,
+                        part,
+                        shard_of,
+                        counts,
+                        staging,
+                        nshards,
+                        si: s,
+                        base: self.bounds[s],
+                        next_id0,
+                        full_scan,
+                        nodes,
+                        programs,
+                        link_busy_until,
+                        link_stats,
+                        sd,
+                        cs,
+                        events: None,
+                        oracle: None,
+                        perf,
+                    }
                 },
             )
             .collect();
@@ -107,12 +116,40 @@ impl Engine {
                 let barrier = &barrier;
                 scope.spawn(move || {
                     shard.section_a(t);
-                    barrier.wait();
+                    shard.timed_wait(barrier, BarrierSlot::A);
                     shard.section_b(t);
-                    barrier.wait();
+                    shard.timed_wait(barrier, BarrierSlot::B);
                     shard.section_c();
                 });
             }
         });
+    }
+}
+
+/// Which per-cycle barrier a [`Shard::timed_wait`] call is parked at.
+#[derive(Clone, Copy)]
+enum BarrierSlot {
+    /// The section A→B barrier.
+    A,
+    /// The section B→C barrier.
+    B,
+}
+
+impl Shard<'_> {
+    /// `barrier.wait()`, attributing the park time to this shard's
+    /// profiler slot when profiling is on. With profiling off this is the
+    /// bare wait plus one predictable branch.
+    fn timed_wait(&mut self, barrier: &Barrier, slot: BarrierSlot) {
+        let Some(p) = self.perf.as_deref_mut() else {
+            barrier.wait();
+            return;
+        };
+        let t0 = std::time::Instant::now();
+        barrier.wait();
+        let waited = t0.elapsed().as_secs_f64();
+        match slot {
+            BarrierSlot::A => p.barrier_a_wait_secs += waited,
+            BarrierSlot::B => p.barrier_b_wait_secs += waited,
+        }
     }
 }

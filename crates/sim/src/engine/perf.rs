@@ -1,0 +1,211 @@
+//! Engine-side state for the host profiler and the progress heartbeat
+//! (the public data model lives in [`crate::perf`]).
+//!
+//! Both are observers in the tracer/oracle mould: `Option<Box<...>>`
+//! fields on the engine, one predictable branch per cycle when disabled,
+//! and no reads of (let alone writes to) simulation state that could
+//! perturb results — the profiler touches only the host clock and its own
+//! counters, the heartbeat only stderr.
+
+use super::event::{PollState, WakeCause};
+use super::Engine;
+use crate::perf::{EventPerf, PerfProfile, ProgressConfig, ShardPerf};
+use std::time::Instant;
+
+/// Live profiler state: the profile under construction plus accumulators
+/// that only make sense mid-run (the occupancy sum becomes a mean in
+/// [`Engine::take_perf`]).
+pub(super) struct PerfState {
+    pub(super) profile: PerfProfile,
+    /// Sum of per-cycle marked active-set populations over stepped cycles.
+    pub(super) occupancy_sum: u64,
+}
+
+impl PerfState {
+    pub(super) fn new(nshards: usize, event_mode: bool) -> PerfState {
+        PerfState {
+            profile: PerfProfile {
+                shards: vec![ShardPerf::default(); nshards],
+                event: event_mode.then(EventPerf::default),
+                ..PerfProfile::default()
+            },
+            occupancy_sum: 0,
+        }
+    }
+}
+
+/// Rate-limited stderr heartbeat. Consulting the host clock every cycle
+/// would dominate thin cycles, so the state adapts a cycle stride aimed at
+/// a handful of clock reads per emit interval.
+pub(super) struct ProgressState {
+    interval_secs: f64,
+    started: Instant,
+    last_emit: Instant,
+    /// Next cycle at which to consult the host clock.
+    next_check: u64,
+    /// Current stride between clock checks, in cycles.
+    stride: u64,
+}
+
+impl ProgressState {
+    pub(super) fn new(cfg: &ProgressConfig) -> ProgressState {
+        let now = Instant::now();
+        ProgressState {
+            interval_secs: cfg.interval_secs.max(0.01),
+            started: now,
+            last_emit: now,
+            next_check: 0,
+            stride: 1024,
+        }
+    }
+}
+
+impl Engine {
+    /// The profile collected so far; `None` unless `SimConfig::perf` was
+    /// set (or after [`Engine::take_perf`]). Derived fields (occupancy
+    /// mean) are only finalized by `take_perf`.
+    pub fn perf(&self) -> Option<&PerfProfile> {
+        self.perf.as_ref().map(|p| &p.profile)
+    }
+
+    /// Detach the collected [`PerfProfile`], finalizing derived fields.
+    /// Returns `None` if profiling was off or the profile was already
+    /// taken. Call after [`Engine::run`] (also meaningful after an `Err`:
+    /// the profile covers the cycles that did run).
+    pub fn take_perf(&mut self) -> Option<PerfProfile> {
+        let state = self.perf.take()?;
+        let mut profile = state.profile;
+        if profile.stepped_cycles > 0 {
+            profile.active_occupancy_mean =
+                state.occupancy_sum as f64 / profile.stepped_cycles as f64;
+        }
+        Some(profile)
+    }
+
+    /// Per-stepped-cycle bookkeeping: occupancy sample plus the
+    /// spawn-vs-inline decision. Only called when profiling is on.
+    pub(super) fn perf_note_step(&mut self, wide: bool) {
+        let occ: u64 = self
+            .shards
+            .iter()
+            .map(|sd| (sd.cpu_active.popcount() + sd.arb_active.popcount()) as u64)
+            .sum();
+        let p = self
+            .perf
+            .as_deref_mut()
+            .expect("perf_note_step requires profiling on");
+        p.profile.stepped_cycles += 1;
+        if wide {
+            p.profile.wide_cycles += 1;
+        } else {
+            p.profile.inline_cycles += 1;
+        }
+        p.occupancy_sum += occ;
+        p.profile.active_occupancy_max = p.profile.active_occupancy_max.max(occ);
+    }
+
+    /// Count a fast-forward suppressed purely by a freshness mark. Only
+    /// called in event mode with profiling on.
+    pub(super) fn perf_note_fresh_suppression(&mut self) {
+        if let Some(evp) = self.perf_event_counters() {
+            evp.fresh_suppressions += 1;
+        }
+    }
+
+    /// Record one fast-forward jump: `raw` is the unclamped earliest
+    /// event, `clamped` what the engine will actually jump to, `cause`
+    /// the component that set the raw bound. Called before `now` moves.
+    /// Only called in event mode with profiling on.
+    pub(super) fn perf_note_skip(
+        &mut self,
+        raw: u64,
+        clamped: u64,
+        watchdog_fire: u64,
+        cause: WakeCause,
+    ) {
+        let len = clamped - self.now;
+        // Classify before touching the profile so the event-state read
+        // and the profile write never borrow `self` simultaneously.
+        let poll = match cause {
+            WakeCause::Cpu(g) => Some(self.events.as_ref().expect("event mode").nodes[g].poll),
+            _ => None,
+        };
+        let Some(evp) = self.perf_event_counters() else {
+            return;
+        };
+        evp.record_skip(len);
+        if clamped < raw {
+            // The jump was cut short by a safety horizon, not a wake.
+            if clamped == watchdog_fire {
+                evp.wake_watchdog_clamp += 1;
+            } else {
+                evp.wake_cycle_limit_clamp += 1;
+            }
+            return;
+        }
+        match cause {
+            WakeCause::Arrival => evp.wake_arrival_ring += 1,
+            WakeCause::Cpu(_) => match poll.expect("classified above") {
+                PollState::Open => evp.wake_open_poll += 1,
+                PollState::Rate => evp.wake_rate_window += 1,
+                PollState::Asleep { .. } => evp.wake_credit_sleeper += 1,
+            },
+            WakeCause::LinkBusy => evp.wake_link_busy += 1,
+            // Fresh/DeliverQ return `now` (never a jump); Idle without a
+            // clamp cannot reach here because `u64::MAX` always clamps.
+            WakeCause::Fresh | WakeCause::DeliverQ | WakeCause::Idle => {}
+        }
+    }
+
+    /// The event-counter block of the profile, if both profiling and
+    /// event mode are on.
+    fn perf_event_counters(&mut self) -> Option<&mut EventPerf> {
+        self.perf.as_deref_mut()?.profile.event.as_mut()
+    }
+
+    /// Rate-limited heartbeat, called from the run loop whenever
+    /// `now >= next_check`. Reads the host clock, and if the configured
+    /// interval has elapsed prints one status line to stderr; either way
+    /// it re-aims the cycle stride at ~8 clock reads per interval.
+    pub(super) fn progress_heartbeat(&mut self) {
+        let Some(pr) = self.progress.as_deref_mut() else {
+            return;
+        };
+        let since_emit = pr.last_emit.elapsed().as_secs_f64();
+        if since_emit >= pr.interval_secs {
+            let elapsed = pr.started.elapsed().as_secs_f64();
+            let done = self.done_programs;
+            let total = self.programs.len();
+            let eta = if done > 0 && done < total && elapsed > 0.0 {
+                let rate = done as f64 / elapsed;
+                format!("~{:.0}s", (total - done) as f64 / rate)
+            } else {
+                "?".to_string()
+            };
+            eprintln!(
+                "progress: cycle {}, {} packets delivered, {}/{} programs done, \
+                 elapsed {:.1}s, eta {}",
+                self.now, self.stats.packets_delivered, done, total, elapsed, eta
+            );
+            pr.last_emit = Instant::now();
+        } else {
+            // Aim the stride so ~8 checks span each interval, using the
+            // run-average cycle rate, clamped to stay responsive yet cheap.
+            let elapsed = pr.started.elapsed().as_secs_f64();
+            let cycles_per_sec = self.now as f64 / elapsed.max(1e-6);
+            let want = (cycles_per_sec * pr.interval_secs / 8.0) as u64;
+            pr.stride = want.clamp(256, 1 << 24);
+        }
+        pr.next_check = self.now + pr.stride;
+    }
+
+    /// Whether the run loop should consult [`Engine::progress_heartbeat`]
+    /// this cycle. Off-path cost: one predictable branch.
+    #[inline]
+    pub(super) fn progress_due(&self) -> bool {
+        match &self.progress {
+            Some(pr) => self.now >= pr.next_check,
+            None => false,
+        }
+    }
+}

@@ -33,6 +33,7 @@ use crate::config::{SimConfig, Vc, NUM_VCS};
 use crate::flow::FlowSpec;
 use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
 use crate::packet::{Packet, RoutingMode};
+use crate::perf::ShardPerf;
 use crate::program::{NodeApi, NodeProgram, PollHint};
 use bgl_torus::{Direction, HopPlan, Partition, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
@@ -304,23 +305,59 @@ pub(super) struct Shard<'a> {
     pub(super) events: Option<&'a mut EventState>,
     /// Invariant oracle. `Some` only under sequential execution.
     pub(super) oracle: Option<&'a mut crate::engine::oracle::Oracle>,
+    /// This shard's slot of the host profiler (`SimConfig::perf`). The
+    /// profiler only reads the host clock and writes its own accumulator,
+    /// so enabling it can never perturb simulation results.
+    pub(super) perf: Option<&'a mut ShardPerf>,
 }
 
 impl Shard<'_> {
+    /// Start a lap clock — `Some` only when profiling is on, so the
+    /// off-path cost of every lap call site is one predictable branch.
+    #[inline]
+    fn perf_clock(&self) -> Option<std::time::Instant> {
+        self.perf.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Accumulate the time since the last lap into the phase slot chosen
+    /// by `slot`, and restart the clock.
+    #[inline]
+    fn perf_lap(
+        &mut self,
+        clk: &mut Option<std::time::Instant>,
+        slot: fn(&mut ShardPerf) -> &mut f64,
+    ) {
+        if let Some(t0) = clk {
+            let p = self
+                .perf
+                .as_deref_mut()
+                .expect("lap clock only runs with profiling on");
+            let now = std::time::Instant::now();
+            *slot(p) += now.duration_since(*t0).as_secs_f64();
+            *t0 = now;
+        }
+    }
+
     /// Section A: phases 1–3 over this shard's nodes, then publish the
     /// cycle's injection count for the section-B id fix-up.
     pub(super) fn section_a(&mut self, t: u64) {
+        let mut clk = self.perf_clock();
         self.phase_arrivals(t);
+        self.perf_lap(&mut clk, |p| &mut p.phases.arrivals);
         self.phase_deliveries(t);
+        self.perf_lap(&mut clk, |p| &mut p.phases.deliveries);
         self.phase_cpu(t);
         self.counts[self.si].store(self.sd.injected.len() as u64, Relaxed);
+        self.perf_lap(&mut clk, |p| &mut p.phases.cpu);
     }
 
     /// Section B: rewrite this cycle's provisional packet ids to their
     /// final global values (prefix sum over the published per-shard
     /// counts), run phase 4, and hand the staged wins to the mailboxes.
     pub(super) fn section_b(&mut self, t: u64) {
+        let mut clk = self.perf_clock();
         self.fixup_ids();
+        self.perf_lap(&mut clk, |p| &mut p.phases.id_fixup);
         self.phase_arbitration(t);
         for dest in 0..self.nshards {
             let cell = &self.staging[self.si * self.nshards + dest];
@@ -329,12 +366,14 @@ impl Shard<'_> {
                 &mut self.sd.outbox[dest],
             );
         }
+        self.perf_lap(&mut clk, |p| &mut p.phases.arbitration);
     }
 
     /// Section C: move staged arrivals (ascending source shard — the
     /// global win order) into this shard's in-flight ring, and release
     /// the credits freed by this shard's phase-4 pops.
     pub(super) fn section_c(&mut self) {
+        let mut clk = self.perf_clock();
         for src in 0..self.nshards {
             let cell = &self.staging[src * self.nshards + self.si];
             let mut inbox = cell.lock().expect("staging poisoned");
@@ -345,6 +384,7 @@ impl Shard<'_> {
         for (cell, chunks) in self.sd.deferred.drain(..) {
             self.router.credits[cell as usize].fetch_add(chunks, Relaxed);
         }
+        self.perf_lap(&mut clk, |p| &mut p.phases.drain);
     }
 
     /// Assign final ids to this cycle's injections, in global injection

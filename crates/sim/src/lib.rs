@@ -38,6 +38,7 @@ pub mod fifo;
 pub mod flow;
 pub mod node;
 pub mod packet;
+pub mod perf;
 pub mod program;
 pub mod stats;
 pub mod trace;
@@ -47,6 +48,7 @@ pub use engine::{Engine, SimError, StallBreakdown};
 pub use fifo::ChunkFifo;
 pub use flow::{FlowLedger, FlowSpec};
 pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec};
+pub use perf::{EventPerf, PerfConfig, PerfProfile, PhaseSecs, ProgressConfig, ShardPerf};
 pub use program::{NodeApi, NodeProgram, PollHint, ScriptedProgram};
 pub use stats::NetStats;
 pub use trace::{OccStat, Trace, TraceConfig, TraceSample};

@@ -1,0 +1,443 @@
+//! Host-side performance profiling: where *wall-clock* time goes inside
+//! the engine, as opposed to [`crate::trace`], which records *simulated*
+//! time. A [`Trace`](crate::Trace) answers "at which cycle did the Y
+//! FIFOs fill up?"; a [`PerfProfile`] answers "which engine phase, shard
+//! or skip decision did the host spend its seconds on?".
+//!
+//! Enable collection by setting [`SimConfig::perf`](crate::SimConfig::perf)
+//! to a [`PerfConfig`]; retrieve the profile after the run via
+//! [`Engine::take_perf`](crate::Engine::take_perf). The collector records:
+//!
+//! * per-phase wall-clock time for every engine phase (arrivals,
+//!   deliveries, CPU, packet-id fix-up, arbitration, staged-arrival
+//!   drain), accumulated per shard;
+//! * per-shard section timing with barrier-wait attribution for threaded
+//!   cycles — the numbers that finally measure the multi-core scaling
+//!   story of `SimConfig::shards`;
+//! * event-engine counters: a power-of-two skip-length histogram, the
+//!   wake-up cause breakdown (arrival ring, open poll, rate window,
+//!   credit sleeper, link busy, watchdog/cycle-limit clamps) and
+//!   fresh-activity suppressions;
+//! * active-set occupancy and the per-cycle `cycle_is_wide`
+//!   spawn-vs-inline decisions.
+//!
+//! Collection is purely observational: the profiler reads the host clock
+//! and its own counters, never simulation state, so `NetStats`, traces
+//! and error cycles are byte-identical with profiling on or off in every
+//! engine mode and at every shard count (pinned by the engine
+//! equivalence tests). Disabled, it costs one predictable branch beside
+//! the tracer's. Wall-clock fields are host-dependent by nature and are
+//! excluded from golden fingerprints and run-cache identity.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two skip-length buckets in
+/// [`EventPerf::skip_histogram`]: bucket `k` counts fast-forward jumps of
+/// `c` cycles with `floor(log2(c)) == k` (bucket 0 holds length-1 skips).
+/// 24 buckets cover skips up to 16M cycles, far beyond the watchdog clamp.
+pub const SKIP_BUCKETS: usize = 24;
+
+/// Profiler configuration; attach to
+/// [`SimConfig::perf`](crate::SimConfig::perf) to enable collection.
+/// Carries no knobs today — the struct exists so future sampling options
+/// (e.g. occupancy sampling stride) extend the wire format compatibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PerfConfig {}
+
+/// Progress-heartbeat configuration; attach to
+/// [`SimConfig::progress`](crate::SimConfig::progress) to make the engine
+/// print a rate-limited status line to **stderr** during long runs
+/// (current cycle, packets delivered, elapsed wall time, ETA). Stdout is
+/// never touched, so piped output stays byte-identical. Off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressConfig {
+    /// Minimum wall-clock seconds between heartbeat lines.
+    pub interval_secs: f64,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig { interval_secs: 1.0 }
+    }
+}
+
+/// Wall-clock seconds spent in each engine phase (see the phase walk in
+/// `crates/sim/src/engine/phases.rs`). Section A of a cycle is
+/// `arrivals + deliveries + cpu`, section B is `id_fixup + arbitration`,
+/// section C is `drain`, so the six slots also reconstruct the
+/// per-section split exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseSecs {
+    /// Phase 1: committing in-flight ring arrivals into VC FIFOs.
+    pub arrivals: f64,
+    /// Phase 2: moving deliverable FIFO heads into reception FIFOs.
+    pub deliveries: f64,
+    /// Phase 3: reception drains, program pulls and injections.
+    pub cpu: f64,
+    /// Section-B packet-id fix-up (prefix sum + provisional-id rewrite).
+    pub id_fixup: f64,
+    /// Phase 4: output-link arbitration, including the staging-mailbox
+    /// hand-off at the end of section B.
+    pub arbitration: f64,
+    /// Section C: staged-arrival inbox drain + deferred credit releases.
+    pub drain: f64,
+}
+
+impl PhaseSecs {
+    /// Sum of all six phase slots.
+    pub fn total(&self) -> f64 {
+        self.arrivals + self.deliveries + self.cpu + self.id_fixup + self.arbitration + self.drain
+    }
+
+    /// Accumulate another record into this one.
+    pub fn add(&mut self, other: &PhaseSecs) {
+        self.arrivals += other.arrivals;
+        self.deliveries += other.deliveries;
+        self.cpu += other.cpu;
+        self.id_fixup += other.id_fixup;
+        self.arbitration += other.arbitration;
+        self.drain += other.drain;
+    }
+
+    /// `(label, seconds)` pairs in phase order, for reports and CSV.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("arrivals", self.arrivals),
+            ("deliveries", self.deliveries),
+            ("cpu", self.cpu),
+            ("id_fixup", self.id_fixup),
+            ("arbitration", self.arbitration),
+            ("drain", self.drain),
+        ]
+    }
+}
+
+/// One shard's wall-clock account: phase time plus, for threaded cycles,
+/// the time the shard's thread spent parked at the two per-cycle
+/// barriers. High `barrier_wait` relative to `busy` on one shard means
+/// the others are the bottleneck — the load-imbalance signal.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardPerf {
+    /// Phase-attributed busy time of this shard.
+    pub phases: PhaseSecs,
+    /// Seconds parked at the section A→B barrier (threaded cycles only;
+    /// inline cycles have no barrier).
+    pub barrier_a_wait_secs: f64,
+    /// Seconds parked at the section B→C barrier.
+    pub barrier_b_wait_secs: f64,
+}
+
+impl ShardPerf {
+    /// Total busy (non-waiting) seconds of this shard.
+    pub fn busy_secs(&self) -> f64 {
+        self.phases.total()
+    }
+
+    /// Total barrier-wait seconds of this shard.
+    pub fn barrier_wait_secs(&self) -> f64 {
+        self.barrier_a_wait_secs + self.barrier_b_wait_secs
+    }
+}
+
+/// Event-engine counters: what the skip-ahead layer did and why it woke.
+/// Wake-cause counts classify each actual fast-forward jump by the
+/// component whose bound won the earliest-event minimum; clamp counts
+/// record jumps cut short by the watchdog or cycle-limit horizon.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EventPerf {
+    /// Cycles the engine never stepped (total fast-forward distance).
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub skips: u64,
+    /// Power-of-two histogram of jump lengths (see [`SKIP_BUCKETS`]).
+    pub skip_histogram: [u64; SKIP_BUCKETS],
+    /// Skip decisions suppressed because a stepped event marked a node
+    /// fresh during the previous cycle (arbitration inputs changed — the
+    /// engine must re-arbitrate next cycle).
+    pub fresh_suppressions: u64,
+    /// Jumps bounded by the earliest in-flight ring arrival.
+    pub wake_arrival_ring: u64,
+    /// Jumps bounded by a CPU-ready node with an open poll (queued sends
+    /// or a program that may accept a pull as soon as its CPU frees up).
+    pub wake_open_poll: u64,
+    /// Jumps bounded by a closed rate window's `next_allowed` boundary.
+    pub wake_rate_window: u64,
+    /// Jumps bounded by a `SleepUntilDelivery` sleeper (typically a
+    /// credit-window-blocked program) whose reception FIFO has work.
+    pub wake_credit_sleeper: u64,
+    /// Jumps bounded by a busy output link's release cycle.
+    pub wake_link_busy: u64,
+    /// Jumps clamped to the watchdog horizon
+    /// (`last_progress + watchdog_cycles + 1`).
+    pub wake_watchdog_clamp: u64,
+    /// Jumps clamped to the `max_cycles` safety limit.
+    pub wake_cycle_limit_clamp: u64,
+}
+
+impl EventPerf {
+    /// Record one fast-forward jump of `len` cycles (`len > 0`).
+    pub fn record_skip(&mut self, len: u64) {
+        debug_assert!(len > 0, "a skip must move the clock");
+        self.skipped_cycles += len;
+        self.skips += 1;
+        let bucket = (63 - len.max(1).leading_zeros() as usize).min(SKIP_BUCKETS - 1);
+        self.skip_histogram[bucket] += 1;
+    }
+
+    /// `(label, count)` pairs for the wake-cause breakdown, in the order
+    /// reports render them.
+    pub fn wake_causes(&self) -> [(&'static str, u64); 7] {
+        [
+            ("arrival_ring", self.wake_arrival_ring),
+            ("open_poll", self.wake_open_poll),
+            ("rate_window", self.wake_rate_window),
+            ("credit_sleeper", self.wake_credit_sleeper),
+            ("link_busy", self.wake_link_busy),
+            ("watchdog_clamp", self.wake_watchdog_clamp),
+            ("cycle_limit_clamp", self.wake_cycle_limit_clamp),
+        ]
+    }
+}
+
+/// A completed run's host-side performance profile (see the module docs
+/// for what is collected). All times are wall-clock seconds on the host;
+/// none of this data describes *simulated* time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerfProfile {
+    /// Wall-clock seconds of the whole `Engine::run` call, every exit
+    /// path included (completion, stall, cycle limit).
+    pub total_secs: f64,
+    /// Cycles actually stepped through the four phases. Equals the final
+    /// cycle count except in event mode, where skipped cycles are absent.
+    pub stepped_cycles: u64,
+    /// Stepped cycles that ran threaded (`cycle_is_wide` said the
+    /// active-set estimate justified spawning shard threads).
+    pub wide_cycles: u64,
+    /// Stepped cycles that ran inline on the caller's thread.
+    pub inline_cycles: u64,
+    /// Mean marked active-set population (CPU + arbitration sets, all
+    /// shards) over the stepped cycles — the quantity `cycle_is_wide`
+    /// estimates from.
+    pub active_occupancy_mean: f64,
+    /// Largest marked active-set population seen in any stepped cycle.
+    pub active_occupancy_max: u64,
+    /// One record per shard (a single entry when sharding is off).
+    pub shards: Vec<ShardPerf>,
+    /// Event-engine counters; `None` unless the run used
+    /// [`EngineMode::EventDriven`](crate::EngineMode).
+    pub event: Option<EventPerf>,
+}
+
+impl PerfProfile {
+    /// Phase times summed over every shard.
+    pub fn phase_totals(&self) -> PhaseSecs {
+        let mut t = PhaseSecs::default();
+        for s in &self.shards {
+            t.add(&s.phases);
+        }
+        t
+    }
+
+    /// Total phase-attributed busy seconds across all shards.
+    pub fn busy_secs(&self) -> f64 {
+        self.shards.iter().map(ShardPerf::busy_secs).sum()
+    }
+
+    /// Total barrier-wait seconds across all shards.
+    pub fn barrier_wait_secs(&self) -> f64 {
+        self.shards.iter().map(ShardPerf::barrier_wait_secs).sum()
+    }
+
+    /// Cycles skipped by the event engine (0 outside event mode).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.event.as_ref().map_or(0, |e| e.skipped_cycles)
+    }
+
+    /// Load-imbalance ratio: the busiest shard's phase time over the
+    /// mean shard phase time. 1.0 means perfectly balanced (and is also
+    /// returned for the degenerate no-work cases).
+    pub fn shard_imbalance(&self) -> f64 {
+        let n = self.shards.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let busiest = self
+            .shards
+            .iter()
+            .map(ShardPerf::busy_secs)
+            .fold(0.0f64, f64::max);
+        let mean = self.busy_secs() / n as f64;
+        if mean > 0.0 {
+            busiest / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// RFC-4180 CSV rendering (CRLF rows, via the shared
+    /// [`crate::csv::push_row`] writer): a `metric,value` pair per row —
+    /// run totals, per-phase totals, per-shard busy/barrier splits, and
+    /// the event counters + skip histogram when present.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut row = |metric: String, value: String| {
+            crate::csv::push_row(&mut out, [metric, value], "\r\n");
+        };
+        row("metric".into(), "value".into());
+        row("total_secs".into(), self.total_secs.to_string());
+        row("stepped_cycles".into(), self.stepped_cycles.to_string());
+        row("wide_cycles".into(), self.wide_cycles.to_string());
+        row("inline_cycles".into(), self.inline_cycles.to_string());
+        row(
+            "active_occupancy_mean".into(),
+            self.active_occupancy_mean.to_string(),
+        );
+        row(
+            "active_occupancy_max".into(),
+            self.active_occupancy_max.to_string(),
+        );
+        for (label, secs) in self.phase_totals().named() {
+            row(format!("phase_{label}_secs"), secs.to_string());
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            row(format!("shard{i}_busy_secs"), s.busy_secs().to_string());
+            row(
+                format!("shard{i}_barrier_a_wait_secs"),
+                s.barrier_a_wait_secs.to_string(),
+            );
+            row(
+                format!("shard{i}_barrier_b_wait_secs"),
+                s.barrier_b_wait_secs.to_string(),
+            );
+        }
+        if let Some(ev) = &self.event {
+            row("skipped_cycles".into(), ev.skipped_cycles.to_string());
+            row("skips".into(), ev.skips.to_string());
+            row(
+                "fresh_suppressions".into(),
+                ev.fresh_suppressions.to_string(),
+            );
+            for (label, count) in ev.wake_causes() {
+                row(format!("wake_{label}"), count.to_string());
+            }
+            for (k, count) in ev.skip_histogram.iter().enumerate() {
+                row(format!("skip_len_2e{k}"), count.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(busy: f64) -> ShardPerf {
+        ShardPerf {
+            phases: PhaseSecs {
+                cpu: busy * 0.5,
+                arbitration: busy * 0.5,
+                ..PhaseSecs::default()
+            },
+            ..ShardPerf::default()
+        }
+    }
+
+    #[test]
+    fn skip_histogram_buckets_are_powers_of_two() {
+        let mut ev = EventPerf::default();
+        for len in [1, 2, 3, 4, 7, 8, 1 << 20, 1 << 40] {
+            ev.record_skip(len);
+        }
+        assert_eq!(ev.skips, 8);
+        assert_eq!(ev.skip_histogram[0], 1); // 1
+        assert_eq!(ev.skip_histogram[1], 2); // 2, 3
+        assert_eq!(ev.skip_histogram[2], 2); // 4, 7
+        assert_eq!(ev.skip_histogram[3], 1); // 8
+        assert_eq!(ev.skip_histogram[20], 1);
+        // Out-of-range lengths land in the last bucket.
+        assert_eq!(ev.skip_histogram[SKIP_BUCKETS - 1], 1);
+        assert_eq!(
+            ev.skipped_cycles,
+            1 + 2 + 3 + 4 + 7 + 8 + (1 << 20) + (1 << 40)
+        );
+    }
+
+    #[test]
+    fn phase_totals_sum_shards() {
+        let p = PerfProfile {
+            shards: vec![shard(1.0), shard(3.0)],
+            ..PerfProfile::default()
+        };
+        let t = p.phase_totals();
+        assert!((t.cpu - 2.0).abs() < 1e-12);
+        assert!((t.total() - 4.0).abs() < 1e-12);
+        assert!((p.busy_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let p = PerfProfile {
+            shards: vec![shard(1.0), shard(3.0)],
+            ..PerfProfile::default()
+        };
+        // Mean busy 2.0, busiest 3.0.
+        assert!((p.shard_imbalance() - 1.5).abs() < 1e-12);
+        // Degenerate cases report balance.
+        assert_eq!(PerfProfile::default().shard_imbalance(), 1.0);
+        let idle = PerfProfile {
+            shards: vec![ShardPerf::default(); 4],
+            ..PerfProfile::default()
+        };
+        assert_eq!(idle.shard_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn csv_is_metric_value_pairs() {
+        let p = PerfProfile {
+            total_secs: 0.5,
+            stepped_cycles: 100,
+            shards: vec![shard(0.25)],
+            event: Some(EventPerf::default()),
+            ..PerfProfile::default()
+        };
+        let csv = p.to_csv();
+        let rows = crate::csv::parse(&csv);
+        assert_eq!(rows[0], vec!["metric", "value"]);
+        for r in &rows {
+            assert_eq!(r.len(), 2, "{r:?}");
+        }
+        assert!(rows.iter().any(|r| r[0] == "total_secs" && r[1] == "0.5"));
+        assert!(rows.iter().any(|r| r[0] == "phase_cpu_secs"));
+        assert!(rows.iter().any(|r| r[0] == "shard0_busy_secs"));
+        assert!(rows.iter().any(|r| r[0] == "wake_rate_window"));
+        assert!(rows.iter().any(|r| r[0] == "skip_len_2e0"));
+        // No quoting ever triggers: metrics and numbers are comma-free.
+        assert!(!csv.contains('"'));
+    }
+
+    #[test]
+    fn profile_round_trips_json() {
+        let mut ev = EventPerf::default();
+        ev.record_skip(37);
+        ev.wake_rate_window += 1;
+        let p = PerfProfile {
+            total_secs: 1.25,
+            stepped_cycles: 10,
+            wide_cycles: 4,
+            inline_cycles: 6,
+            active_occupancy_mean: 3.5,
+            active_occupancy_max: 9,
+            shards: vec![shard(0.5), shard(0.75)],
+            event: Some(ev),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PerfProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        // The config structs round-trip through the value tree too.
+        let cfg = PerfConfig::default();
+        assert_eq!(PerfConfig::from_value(&cfg.to_value()).unwrap(), cfg);
+        let pr = ProgressConfig::default();
+        assert_eq!(ProgressConfig::from_value(&pr.to_value()).unwrap(), pr);
+    }
+}

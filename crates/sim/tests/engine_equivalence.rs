@@ -3,7 +3,9 @@
 //! histograms, per-link counters — is byte-identical to the reference
 //! full-scan engine (see [`EngineMode`]).
 
-use bgl_sim::{Engine, EngineMode, NetStats, NodeProgram, ScriptedProgram, SendSpec, SimConfig};
+use bgl_sim::{
+    Engine, EngineMode, NetStats, NodeProgram, PerfConfig, ScriptedProgram, SendSpec, SimConfig,
+};
 use bgl_torus::Partition;
 use std::num::NonZeroUsize;
 
@@ -158,6 +160,121 @@ fn sharded_run_passes_the_oracle() {
             None => reference = Some(stats),
             Some(r) => assert_eq!(&stats, r, "shards={shards} oracle={check} must match"),
         }
+    }
+}
+
+/// Host profiling must be provably non-perturbing: the same workload with
+/// `SimConfig::perf` on and off, across every engine mode × shard count
+/// in {1, 4}, produces byte-identical `NetStats` — and the collected
+/// profile is internally consistent (every stepped cycle classified as
+/// wide or inline, one record per shard, event counters present exactly
+/// in event mode, per-shard busy time bounded by the run's wall-clock;
+/// wall-clock bounds are deliberately loose upper bounds — threaded
+/// shards time in parallel, so only gross misattribution would trip
+/// them).
+#[test]
+fn perf_profiling_is_invisible_and_consistent() {
+    let grid: [(&str, u64, u8, bool); 2] = [
+        ("8x4x4", 2, 8, false), // asymmetric, saturating, adaptive
+        ("4x3x2", 1, 2, true),  // odd shape, deterministic (bubble VC)
+    ];
+    for (shape, k, chunks, det) in grid {
+        let part: Partition = shape.parse().unwrap();
+        for shards in [1usize, 4] {
+            for mode in EngineMode::ALL {
+                let mut cfg = SimConfig::new(part);
+                cfg.engine = mode;
+                cfg.shards = NonZeroUsize::new(shards).unwrap();
+                cfg.detailed_link_stats = true;
+                let plain = Engine::new(cfg.clone(), uniform(&part, k, chunks, det))
+                    .run()
+                    .unwrap_or_else(|e| panic!("{shape} shards={shards} {mode} plain: {e}"));
+                cfg.perf = Some(PerfConfig::default());
+                let mut engine = Engine::new(cfg, uniform(&part, k, chunks, det));
+                let profiled = engine
+                    .run()
+                    .unwrap_or_else(|e| panic!("{shape} shards={shards} {mode} profiled: {e}"));
+                assert_eq!(
+                    profiled, plain,
+                    "{shape} shards={shards} {mode}: --perf must not perturb NetStats"
+                );
+                let p = engine.take_perf().expect("profile collected");
+                let ctx = format!("{shape} shards={shards} {mode}");
+                assert_eq!(
+                    p.wide_cycles + p.inline_cycles,
+                    p.stepped_cycles,
+                    "{ctx}: every stepped cycle is wide or inline"
+                );
+                assert!(p.stepped_cycles > 0, "{ctx}: cycles were stepped");
+                assert_eq!(p.shards.len(), shards, "{ctx}: one record per shard");
+                assert_eq!(
+                    p.event.is_some(),
+                    mode == EngineMode::EventDriven,
+                    "{ctx}: event counters iff event mode"
+                );
+                assert!(p.total_secs > 0.0, "{ctx}: wall-clock measured");
+                assert!(
+                    p.active_occupancy_mean <= p.active_occupancy_max as f64,
+                    "{ctx}: occupancy mean bounded by max"
+                );
+                // Loose timing sanity: phase laps are disjoint slices of
+                // each shard thread's time, so no shard's busy total can
+                // (grossly) exceed the whole run's wall-clock. A little
+                // slack absorbs clock quantization on near-zero laps.
+                let slack = 1e-3 + p.total_secs;
+                for (i, s) in p.shards.iter().enumerate() {
+                    assert!(
+                        s.busy_secs() <= slack,
+                        "{ctx}: shard {i} busy {} vs total {}",
+                        s.busy_secs(),
+                        p.total_secs
+                    );
+                }
+                // Outside event mode every stepped cycle's work happens
+                // inside a timed phase lap, so the phase sum must account
+                // for the bulk of the wall-clock (10 % is far below the
+                // ~90 % seen in practice; event mode spends its time in
+                // fast-forward, which is deliberately not a phase).
+                if mode != EngineMode::EventDriven {
+                    assert!(
+                        p.busy_secs() >= 0.1 * p.total_secs,
+                        "{ctx}: phases sum to {} of total {}",
+                        p.busy_secs(),
+                        p.total_secs
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(12))]
+
+    /// Randomized equivalence fuzzer with a perf on/off dimension: any
+    /// (shape, routing, engine mode, shard count, perf) cell must match
+    /// the byte-identical reference stats of its perf-off sibling.
+    #[test]
+    fn fuzzed_configs_match_with_and_without_perf(
+        shape_i in 0usize..4,
+        deterministic in proptest::arbitrary::any::<bool>(),
+        engine_i in 0usize..EngineMode::ALL.len(),
+        shards_i in 0usize..3,
+        perf in proptest::arbitrary::any::<bool>(),
+    ) {
+        let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
+        let part: Partition = shapes[shape_i].parse().unwrap();
+        let mut cfg = SimConfig::new(part);
+        cfg.engine = EngineMode::ALL[engine_i];
+        cfg.shards = NonZeroUsize::new([1usize, 2, 4][shards_i]).unwrap();
+        let reference = Engine::new(cfg.clone(), uniform(&part, 1, 4, deterministic))
+            .run()
+            .expect("reference run completes");
+        cfg.perf = perf.then(PerfConfig::default);
+        let got = Engine::new(cfg, uniform(&part, 1, 4, deterministic))
+            .run()
+            .expect("run completes");
+        proptest::prop_assert_eq!(got, reference);
     }
 }
 

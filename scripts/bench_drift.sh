@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Warn-only bench-drift canary: time a quick (1-rep) engine-bench pass and
+# compare it against the committed BENCH_engine.json with a generous
+# tolerance. Wall-clock on shared runners is noisy, so this never fails
+# the build — it exists to surface order-of-magnitude regressions (or a
+# changed simulated cycle count, which is never noise) in the CI log.
+#
+# Usage: scripts/bench_drift.sh [tolerance]   (default 3.0)
+set -eu
+cd "$(dirname "$0")/.."
+tolerance="${1:-3.0}"
+fresh="$(mktemp /tmp/bench_engine_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+cargo run --release -q -p bgl-bench --bin engine-bench -- --reps 1 --out "$fresh"
+cargo run --release -q -p bgl-bench --bin bench-drift -- \
+    BENCH_engine.json "$fresh" --tolerance "$tolerance"
