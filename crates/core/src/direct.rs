@@ -353,6 +353,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         prog.on_packet(&mut api, &credit);
         assert!(
@@ -393,6 +394,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         {
             let mut api =

@@ -384,6 +384,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         prog.on_packet(&mut api, &pkt);
         assert_eq!(q.len(), 1);
@@ -430,6 +431,7 @@ mod tests {
             meta: pkt_meta,
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         prog.on_packet(&mut api, &pkt);
         assert!(q.is_empty());
@@ -484,6 +486,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         prog.on_packet(&mut api, &credit);
         assert!(

@@ -285,6 +285,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         }
     }
 

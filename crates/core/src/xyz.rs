@@ -307,6 +307,7 @@ mod tests {
             },
             longest_first: false,
             injected_at: 0,
+            detour: bgl_sim::NO_DETOUR,
         };
         prog.on_packet(&mut api, &pkt);
         assert_eq!(q.len(), 1);

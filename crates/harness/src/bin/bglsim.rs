@@ -5,8 +5,9 @@
 //!              [--pacer none|rate:F|credit:W,E] [--credit W,E]
 //!              [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]
 //!              [--engine full-scan|active-set|event] [--shards N]
+//!              [--fault link:X,Y,Z,DIR[:@FAIL[-RECOVER]]] [--fault node:RANK[:@FAIL[-RECOVER]]]
 //! bglsim fit   --shape 8x8x8
-//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE] [--shards N]
+//! bglsim pattern --shape 4x4x4 --pattern transpose:8|shift:3|random:8|plane:z --m 480 [--engine MODE] [--shards N] [--fault SPEC]
 //! bglsim validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N]
 //! bglsim profile --shape 8x8x8 --strategy ar --m 240 [--coverage F] [--engine MODE] [--shards N] [--json|--csv] [--out FILE]
 //! ```
@@ -29,6 +30,18 @@
 //! window at `W` packets with acknowledgements every `E` (the `--credit
 //! W,E` shorthand is equivalent). `--pacer` and `--credit` together, a
 //! malformed spec, or pacing `auto` exit with status 2.
+//!
+//! Fault injection: `--fault` (repeatable, or several `;`-separated
+//! specs in one flag) kills links mid-run — `link:X,Y,Z,DIR` one
+//! directed link at coordinate (X,Y,Z) with DIR in `x+ x- y+ y- z+ z-`,
+//! `node:RANK` every link of one node. An optional `:@FAIL[-RECOVER]`
+//! suffix schedules the outage window in cycles; without it the link is
+//! dead from cycle 0 forever. Adaptive strategies route around the
+//! faults; deterministic ones report the unreachable pairs. The plan is
+//! part of the run's cache key, so faulty and healthy runs never alias.
+//! A malformed spec, an out-of-range coordinate or rank, a mesh-edge
+//! link, a duplicate fault, or a recovery at or before its failure
+//! exits with status 2.
 //!
 //! Sweep points run across `--jobs` worker threads (default: all
 //! cores); results are identical for any thread count. `--json` emits
@@ -66,8 +79,8 @@ use bgl_core::*;
 use bgl_harness::conformance::{run_validation, Tier};
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_model::MachineParams;
-use bgl_sim::{EngineMode, SimConfig};
-use bgl_torus::{Dim, Partition};
+use bgl_sim::{EngineMode, FaultPlan, LinkFault, NodeFault, SimConfig};
+use bgl_torus::{Coord, Dim, Direction, Partition, Sign};
 use std::collections::HashMap;
 
 /// Print a one-line error and exit with the conventional usage status.
@@ -75,6 +88,10 @@ fn fail(msg: &str) -> ! {
     eprintln!("bglsim: {msg}");
     std::process::exit(2);
 }
+
+/// Value flags that may repeat on the command line; repeats accumulate
+/// into one `;`-joined value (every other flag is last-wins).
+const REPEAT_FLAGS: [&str; 1] = ["fault"];
 
 /// Parse `--flag value` / `--flag` pairs against the declared flag sets.
 /// Anything not listed — including bare positionals — is an error, as is
@@ -84,7 +101,7 @@ fn parse_flags(
     value_flags: &[&str],
     bool_flags: &[&str],
 ) -> HashMap<String, String> {
-    let mut map = HashMap::new();
+    let mut map: HashMap<String, String> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let Some(key) = args[i].strip_prefix("--") else {
@@ -96,7 +113,15 @@ fn parse_flags(
         } else if value_flags.contains(&key) {
             match args.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
-                    map.insert(key.to_string(), v.clone());
+                    match map.get_mut(key) {
+                        Some(prev) if REPEAT_FLAGS.contains(&key) => {
+                            prev.push(';');
+                            prev.push_str(v);
+                        }
+                        _ => {
+                            map.insert(key.to_string(), v.clone());
+                        }
+                    }
                     i += 2;
                 }
                 _ => fail(&format!("--{key} needs a value")),
@@ -132,6 +157,126 @@ fn parse_shards(flags: &HashMap<String, String>) -> std::num::NonZeroUsize {
                 .and_then(std::num::NonZeroUsize::new)
                 .unwrap_or_else(|| fail(&format!("--shards needs a positive integer, got {s:?}")))
         })
+}
+
+/// Parse a fault direction token: `x+ x- y+ y- z+ z-`.
+fn parse_fault_dir(s: &str, spec: &str) -> Direction {
+    let dim = match s.as_bytes().first() {
+        Some(b'x') | Some(b'X') => Dim::X,
+        Some(b'y') | Some(b'Y') => Dim::Y,
+        Some(b'z') | Some(b'Z') => Dim::Z,
+        _ => fail(&format!(
+            "--fault {spec:?}: direction must be x+|x-|y+|y-|z+|z-, got {s:?}"
+        )),
+    };
+    let sign = match &s[1..] {
+        "+" => Sign::Plus,
+        "-" => Sign::Minus,
+        _ => fail(&format!(
+            "--fault {spec:?}: direction must be x+|x-|y+|y-|z+|z-, got {s:?}"
+        )),
+    };
+    Direction { dim, sign }
+}
+
+/// Parse the optional `@FAIL[-RECOVER]` window suffix of a fault spec.
+/// Absent = statically dead from cycle 0, never recovering.
+fn parse_fault_window(window: Option<&str>, spec: &str) -> (u64, Option<u64>) {
+    let Some(w) = window else {
+        return (0, None);
+    };
+    let Some(w) = w.strip_prefix('@') else {
+        fail(&format!(
+            "--fault {spec:?}: schedule must be @FAIL or @FAIL-RECOVER, got {w:?}"
+        ));
+    };
+    let cycle = |s: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            fail(&format!(
+                "--fault {spec:?}: schedule cycles must be numeric, got {s:?}"
+            ))
+        })
+    };
+    match w.split_once('-') {
+        Some((f, r)) => (cycle(f), Some(cycle(r))),
+        None => (cycle(w), None),
+    }
+}
+
+/// Parse the repeatable `--fault` flag into a validated [`FaultPlan`].
+///
+/// Grammar (specs separated by `;` or by repeating the flag):
+///   `link:X,Y,Z,DIR[:@FAIL[-RECOVER]]` — one directed link at coordinate
+///   (X,Y,Z), DIR in `x+ x- y+ y- z+ z-`;
+///   `node:RANK[:@FAIL[-RECOVER]]` — every link of one node.
+/// No schedule means dead from cycle 0 forever. Any malformed spec, an
+/// out-of-range coordinate or rank, a mesh-edge link, a duplicate, or a
+/// recovery at or before its failure exits with status 2.
+fn parse_fault(flags: &HashMap<String, String>, part: &Partition) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    let Some(specs) = flags.get("fault") else {
+        return plan;
+    };
+    for spec in specs.split(';') {
+        let spec = spec.trim();
+        let Some((kind, rest)) = spec.split_once(':') else {
+            fail(&format!(
+                "--fault must be link:X,Y,Z,DIR[:@FAIL[-RECOVER]] or \
+                 node:RANK[:@FAIL[-RECOVER]], got {spec:?}"
+            ));
+        };
+        let (body, window) = match rest.split_once(':') {
+            Some((b, w)) => (b, Some(w)),
+            None => (rest, None),
+        };
+        let (fail_at, recover_at) = parse_fault_window(window, spec);
+        match kind {
+            "link" => {
+                let fields: Vec<&str> = body.split(',').collect();
+                let [x, y, z, d] = fields[..] else {
+                    fail(&format!(
+                        "--fault link needs X,Y,Z,DIR (4 fields), got {body:?}"
+                    ));
+                };
+                let coord = |s: &str| -> u16 {
+                    s.parse().unwrap_or_else(|_| {
+                        fail(&format!(
+                            "--fault {spec:?}: coordinates must be numeric, got {s:?}"
+                        ))
+                    })
+                };
+                let c = Coord::new(coord(x), coord(y), coord(z));
+                if !part.contains(c) {
+                    fail(&format!(
+                        "--fault {spec:?}: coordinate {c} outside partition {part}"
+                    ));
+                }
+                plan.links.push(LinkFault {
+                    node: part.rank_of(c),
+                    dir: parse_fault_dir(d, spec),
+                    fail_at,
+                    recover_at,
+                });
+            }
+            "node" => {
+                let rank = body.parse().unwrap_or_else(|_| {
+                    fail(&format!(
+                        "--fault {spec:?}: node rank must be numeric, got {body:?}"
+                    ))
+                });
+                plan.nodes.push(NodeFault {
+                    rank,
+                    fail_at,
+                    recover_at,
+                });
+            }
+            other => fail(&format!("--fault kind must be link or node, got {other:?}")),
+        }
+    }
+    if let Err(e) = plan.validate(part) {
+        fail(&format!("--fault: {e}"));
+    }
+    plan
 }
 
 fn strategy_by_name(name: &str) -> StrategyKind {
@@ -275,6 +420,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     // --trace-out and --report both imply tracing; --trace-interval alone
     // also enables it (the trace then rides the --json output).
     let tracing = trace_out.is_some() || report || flags.contains_key("trace-interval");
+    let fault = parse_fault(flags, &part);
     let mut runner = Runner::new(Scale::Paper)
         .with_engine(parse_engine(flags))
         .with_shards(parse_shards(flags))
@@ -291,8 +437,12 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     let points: Vec<RunPoint> = sizes
         .iter()
         .flat_map(|&m| {
+            let fault = fault.clone();
             strategies.iter().map(move |s| {
                 let mut p = RunPoint::new(part, s.clone(), m, coverage);
+                if !fault.is_empty() {
+                    p = p.with_fault(fault.clone());
+                }
                 if tracing {
                     p = p.traced(trace_interval);
                 }
@@ -462,6 +612,7 @@ fn cmd_pattern(flags: &HashMap<String, String>) {
     let mut cfg = SimConfig::new(part);
     cfg.engine = parse_engine(flags);
     cfg.shards = parse_shards(flags);
+    cfg.fault = parse_fault(flags, &part);
     match run_pattern(part, &pattern, m, &params, cfg, 7) {
         Ok(rep) => {
             println!("{pattern:?} on {part}, m={m} B/pair:");
@@ -571,13 +722,14 @@ fn main() {
                 "trace-out",
                 "engine",
                 "shards",
+                "fault",
             ],
             &["csv", "json", "report", "perf", "progress"],
         )),
         "fit" => cmd_fit(&parse_flags(rest, &["shape"], &[])),
         "pattern" => cmd_pattern(&parse_flags(
             rest,
-            &["shape", "pattern", "m", "engine", "shards"],
+            &["shape", "pattern", "m", "engine", "shards", "fault"],
             &[],
         )),
         "validate" => cmd_validate(&parse_flags(
@@ -600,8 +752,9 @@ fn main() {
                 "          [--trace-interval CYCLES] [--trace-out FILE.json|FILE.csv] [--report]"
             );
             eprintln!("          [--engine full-scan|active-set|event] [--shards N] [--perf] [--progress]");
+            eprintln!("          [--fault link:X,Y,Z,DIR[:@FAIL[-RECOVER]]] [--fault node:RANK[:@FAIL[-RECOVER]]]");
             eprintln!("  fit     --shape 8x8x8");
-            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE] [--shards N]");
+            eprintln!("  pattern --shape 4x4x4 --pattern a2a|shift:3|transpose:8|random:8|plane:z --m 480 [--engine MODE] [--shards N] [--fault SPEC]");
             eprintln!("  validate [--tier quick|full] [--jobs N] [--bless] [--out FILE.json] [--engine MODE] [--shards N] [--perf] [--progress]");
             eprintln!("  profile --shape 8x8x8 --strategy ar --m 240 [--coverage F] [--engine MODE] [--shards N] [--json|--csv] [--out FILE]");
             std::process::exit(2);

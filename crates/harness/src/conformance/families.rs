@@ -1,6 +1,6 @@
 //! The five DESIGN.md §7 validation-target families, plus the
-//! engine-mode/oracle equivalence family and the shard-count
-//! equivalence family, as tier-parameterized checks.
+//! engine-mode/oracle equivalence family, the shard-count equivalence
+//! family, and the fault-injection family, as tier-parameterized checks.
 //!
 //! All thresholds assert *shape* — orderings, bands, crossover
 //! directions — not absolute paper numbers: the quick tier is calibrated
@@ -17,8 +17,8 @@
 use super::{CheckResult, Tier};
 use crate::runner::{RunPoint, Runner};
 use bgl_core::{Pacer, StrategyKind};
-use bgl_sim::EngineMode;
-use bgl_torus::Partition;
+use bgl_sim::{EngineMode, FaultPlan, LinkFault, SimError};
+use bgl_torus::{Dim, Direction, Partition, Sign};
 
 /// Variant label for the invariant-checked runs the grid is made of.
 pub const INVARIANTS: &str = "invariants";
@@ -112,6 +112,121 @@ pub fn checked_sharded(runner: &Runner, shape: &str, strategy: &StrategyKind, m:
             c.check_invariants = true;
             c.shards = std::num::NonZeroUsize::new(4).expect("nonzero");
         })
+}
+
+/// The F8 fault grid: one small shape at full coverage, identical at
+/// both tiers (like the golden grid — fault semantics do not scale).
+const F8_SHAPE: &str = "4x4x4";
+/// Message size of every F8 point.
+const F8_M: u64 = 240;
+
+/// The statically dead directed link every F8 degraded-mode point
+/// shares: dead from cycle 0, never recovering.
+fn f8_dead_link() -> FaultPlan {
+    FaultPlan {
+        links: vec![LinkFault::dead(
+            0,
+            Direction {
+                dim: Dim::X,
+                sign: Sign::Plus,
+            },
+        )],
+        nodes: vec![],
+    }
+}
+
+/// The same link scheduled dead only at a cycle no run reaches: the
+/// degraded-mode arbitration code runs, the result must not move.
+fn f8_noop_plan() -> FaultPlan {
+    FaultPlan {
+        links: f8_dead_link()
+            .links
+            .into_iter()
+            .map(|l| LinkFault {
+                fail_at: 1 << 40,
+                recover_at: None,
+                ..l
+            })
+            .collect(),
+        nodes: vec![],
+    }
+}
+
+/// Mid-run outages inside the ~620-cycle healthy F8 run: one link fails
+/// and recovers while traffic is heavy, a second fails and stays dead.
+fn f8_midrun_plan() -> FaultPlan {
+    FaultPlan {
+        links: vec![
+            LinkFault {
+                node: 0,
+                dir: Direction {
+                    dim: Dim::X,
+                    sign: Sign::Plus,
+                },
+                fail_at: 200,
+                recover_at: Some(400),
+            },
+            LinkFault {
+                node: 21,
+                dir: Direction {
+                    dim: Dim::Y,
+                    sign: Sign::Minus,
+                },
+                fail_at: 250,
+                recover_at: None,
+            },
+        ],
+        nodes: vec![],
+    }
+}
+
+/// Engine-mode and shard twins of the dead-link AR point (oracle on in
+/// every one). The baseline runs the default active-set engine.
+fn f8_twins() -> Vec<(&'static str, RunPoint)> {
+    let part: Partition = F8_SHAPE.parse().expect("valid shape");
+    vec![
+        (
+            "full-scan",
+            RunPoint::new(part, ar(), F8_M, 1.0)
+                .variant(INVARIANTS_FULL_SCAN, |c| {
+                    c.check_invariants = true;
+                    c.engine = EngineMode::FullScan;
+                })
+                .with_fault(f8_dead_link()),
+        ),
+        (
+            "event",
+            RunPoint::new(part, ar(), F8_M, 1.0)
+                .variant(INVARIANTS_EVENT, |c| {
+                    c.check_invariants = true;
+                    c.engine = EngineMode::EventDriven;
+                })
+                .with_fault(f8_dead_link()),
+        ),
+        (
+            "shards4",
+            RunPoint::new(part, ar(), F8_M, 1.0)
+                .variant(INVARIANTS_SHARDED, |c| {
+                    c.check_invariants = true;
+                    c.shards = std::num::NonZeroUsize::new(4).expect("nonzero");
+                })
+                .with_fault(f8_dead_link()),
+        ),
+    ]
+}
+
+/// Every F8 simulation point (the fault plan rides the cache key, so
+/// none of these alias the healthy grid).
+fn fault_points() -> Vec<RunPoint> {
+    let mut pts = vec![
+        checked_full_cov(F8_SHAPE, &ar(), F8_M),
+        checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_noop_plan()),
+        checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_dead_link()),
+        checked_full_cov(F8_SHAPE, &dr(), F8_M).with_fault(f8_dead_link()),
+        checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_midrun_plan()),
+    ];
+    pts.extend(f8_twins().into_iter().map(|(_, p)| p));
+    pts
 }
 
 /// The tier-specific fixture grid, named by what each slot is for.
@@ -258,6 +373,10 @@ pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
         pts.push(checked_event(runner, shape, &strategy, m));
         pts.push(checked_sharded(runner, shape, &strategy, m));
     }
+    // F8: fault injection — healthy/noop twins, degraded-mode AR vs DR
+    // on a dead link, a mid-run fail→recover window, and engine/shard
+    // twins under the same fault plan.
+    pts.extend(fault_points());
     pts
 }
 
@@ -562,6 +681,139 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
             passed,
             measured,
             "sharded run == unsharded run under the oracle",
+        ));
+    }
+
+    // ---- F8: fault injection ------------------------------------------
+    // Degraded-mode routing, oracle on for every point: a fault plan is
+    // part of the run's cache key, so none of these share a slot with
+    // the healthy grid.
+    let fam = "F8 fault-injection";
+    let healthy = runner.report(&checked_full_cov(F8_SHAPE, &ar(), F8_M));
+    let nooped = runner.report(&checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_noop_plan()));
+    let (passed, measured) = match (&healthy, &nooped) {
+        (Ok(h), Ok(n)) if h.stats == n.stats => (true, "identical NetStats".to_string()),
+        (Ok(h), Ok(n)) => (
+            false,
+            format!("diverged: {} vs {} cycles", h.cycles, n.cycles),
+        ),
+        (h, n) => (
+            false,
+            format!("run failed: {:?} / {:?}", h.is_ok(), n.is_ok()),
+        ),
+    };
+    out.push(CheckResult::new(
+        fam,
+        format!("{F8_SHAPE} AR noop fault plan is byte-invisible"),
+        passed,
+        measured,
+        "fault scheduled past completion == healthy run",
+    ));
+
+    let ar_dead =
+        runner.report(&checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_dead_link()));
+    let (passed, measured) = match (&ar_dead, &healthy) {
+        (Ok(d), Ok(h))
+            if d.stats.dropped_by_fault == 0
+                && d.stats.packets_delivered == h.stats.packets_delivered =>
+        {
+            (
+                true,
+                format!("{} packets delivered, 0 dropped", d.stats.packets_delivered),
+            )
+        }
+        (Ok(d), Ok(_)) => (
+            false,
+            format!(
+                "{} delivered, {} dropped",
+                d.stats.packets_delivered, d.stats.dropped_by_fault
+            ),
+        ),
+        (d, h) => (
+            false,
+            format!("run failed: {:?} / {:?}", d.is_ok(), h.is_ok()),
+        ),
+    };
+    out.push(CheckResult::new(
+        fam,
+        format!("{F8_SHAPE} AR routes around a statically dead link"),
+        passed,
+        measured,
+        "full delivery, nothing dropped (never in flight on a dead link)",
+    ));
+
+    let dr_dead =
+        runner.report(&checked_full_cov(F8_SHAPE, &dr(), F8_M).with_fault(f8_dead_link()));
+    let (passed, measured) = match &dr_dead {
+        Err(SimError::Unreachable {
+            cycle: 0,
+            blocked_packets,
+            faults,
+        }) if !faults.is_empty() => (
+            true,
+            format!("Unreachable at cycle 0, {blocked_packets} packets blocked"),
+        ),
+        Err(e) => (false, format!("wrong error: {e}")),
+        Ok(r) => (false, format!("completed in {} cycles", r.cycles)),
+    };
+    out.push(CheckResult::new(
+        fam,
+        format!("{F8_SHAPE} DR reports the dead link as unreachable"),
+        passed,
+        measured,
+        "instant Unreachable with a per-fault breakdown",
+    ));
+
+    let midrun =
+        runner.report(&checked_full_cov(F8_SHAPE, &ar(), F8_M).with_fault(f8_midrun_plan()));
+    let (passed, measured) = match &midrun {
+        Ok(r)
+            if r.stats.packets_injected == r.stats.packets_delivered + r.stats.dropped_by_fault =>
+        {
+            (
+                true,
+                format!(
+                    "{} delivered + {} dropped == {} injected",
+                    r.stats.packets_delivered, r.stats.dropped_by_fault, r.stats.packets_injected
+                ),
+            )
+        }
+        Ok(r) => (
+            false,
+            format!(
+                "{} delivered + {} dropped != {} injected",
+                r.stats.packets_delivered, r.stats.dropped_by_fault, r.stats.packets_injected
+            ),
+        ),
+        Err(e) => (false, format!("run failed: {e}")),
+    };
+    out.push(CheckResult::new(
+        fam,
+        format!("{F8_SHAPE} AR survives a mid-run fail→recover window"),
+        passed,
+        measured,
+        "oracle green; delivered + dropped_by_fault telescopes to injected",
+    ));
+
+    for (label, twin) in f8_twins() {
+        let got = runner.report(&twin);
+        let (passed, measured) = match (&got, &ar_dead) {
+            (Ok(a), Ok(r)) if a.stats == r.stats => (true, "identical NetStats".to_string()),
+            (Ok(a), Ok(r)) => (
+                false,
+                format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+            ),
+            (a, r) => (
+                false,
+                format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+            ),
+        };
+        out.push(CheckResult::new(
+            fam,
+            format!("{F8_SHAPE} AR dead-link twin {label}"),
+            passed,
+            measured,
+            "every engine mode and shard count == baseline under the fault",
         ));
     }
 

@@ -18,7 +18,7 @@
 use super::CheckResult;
 use crate::runner::{RunKey, RunPoint, Runner};
 use bgl_core::{Pacer, StrategyKind};
-use bgl_sim::NetStats;
+use bgl_sim::{FaultPlan, LinkFault, NetStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -57,6 +57,14 @@ fn grid() -> Vec<RunPoint> {
             StrategyKind::vmesh().with_pacer(Pacer::credit(1, 1)),
             8,
         ),
+        // Fault injection: AR around one statically dead link pins the
+        // degraded-mode arbitration, detour replanning, and suppressed
+        // return-bounce bit-for-bit (the plan rides the RunKey, so this
+        // never aliases the healthy 4x4 AR point above).
+        pt("4x4", StrategyKind::ar(), 240).with_fault(FaultPlan {
+            links: vec![LinkFault::dead(0, bgl_torus::Direction::from_index(0))],
+            nodes: vec![],
+        }),
     ]
 }
 
@@ -94,7 +102,22 @@ fn label(key: &RunKey) -> String {
         }
         _ => String::new(),
     };
-    format!("{} {}{} m={}", key.part, key.strategy.name(), pacer, key.m)
+    let fault = if key.fault.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " fault:{}",
+            key.fault.links.len() + key.fault.nodes.len() * 12
+        )
+    };
+    format!(
+        "{} {}{}{} m={}",
+        key.part,
+        key.strategy.name(),
+        pacer,
+        fault,
+        key.m
+    )
 }
 
 fn load(path: &Path) -> Result<HashMap<RunKey, String>, String> {

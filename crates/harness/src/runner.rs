@@ -21,7 +21,9 @@
 
 use bgl_core::{peak_cycles_for, run_aa, AaReport, AaWorkload, StrategyKind};
 use bgl_model::MachineParams;
-use bgl_sim::{EngineMode, PerfConfig, ProgressConfig, SimConfig, SimError, TraceConfig};
+use bgl_sim::{
+    EngineMode, FaultPlan, PerfConfig, ProgressConfig, SimConfig, SimError, TraceConfig,
+};
 use bgl_torus::Partition;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -86,6 +88,11 @@ pub struct RunKey {
     /// `NetStats` are identical by construction, but only the former
     /// carries an `AaReport::trace`).
     pub trace_interval: u64,
+    /// Injected faults (empty = healthy run). Unlike engine mode or
+    /// shard count, a fault plan *changes the result*, so it is part of
+    /// the key: a faulty run and its healthy twin never share a cache
+    /// slot.
+    pub fault: FaultPlan,
 }
 
 impl RunKey {
@@ -98,6 +105,7 @@ impl RunKey {
             coverage_ppm: RunKey::quantize(coverage),
             variant: "",
             trace_interval: 0,
+            fault: FaultPlan::default(),
         }
     }
 
@@ -149,6 +157,7 @@ impl serde::Serialize for RunKey {
             ("coverage_ppm".to_string(), self.coverage_ppm.to_value()),
             ("variant".to_string(), self.variant.to_value()),
             ("trace_interval".to_string(), self.trace_interval.to_value()),
+            ("fault".to_string(), self.fault.to_value()),
         ])
     }
 }
@@ -162,6 +171,8 @@ impl serde::Deserialize for RunKey {
             coverage_ppm: serde::de_field(v, "coverage_ppm")?,
             variant: intern_variant(&serde::de_field::<String>(v, "variant")?),
             trace_interval: serde::de_field(v, "trace_interval")?,
+            // Keys stored before fault injection existed parse as healthy.
+            fault: serde::de_field(v, "fault")?,
         })
     }
 }
@@ -213,6 +224,16 @@ impl RunPoint {
     pub fn traced(mut self, interval_cycles: u64) -> RunPoint {
         assert!(interval_cycles > 0, "trace interval must be positive");
         self.key.trace_interval = interval_cycles;
+        self
+    }
+
+    /// Inject `fault` into this point's run. The plan is part of the
+    /// cache key ([`RunKey::fault`]), so a faulty point and its healthy
+    /// twin are always distinct runs. The plan is validated against the
+    /// partition when the run executes (`Engine::new` panics on an
+    /// invalid plan — validate earlier for a friendly error).
+    pub fn with_fault(mut self, fault: FaultPlan) -> RunPoint {
+        self.key.fault = fault;
         self
     }
 
@@ -432,6 +453,7 @@ impl Runner {
             coverage_ppm: RunKey::quantize(coverage),
             variant,
             trace_interval: 0,
+            fault: FaultPlan::default(),
         };
         self.run_keyed(&key, &tweak)
     }
@@ -572,10 +594,14 @@ impl Runner {
         cfg.perf = self.perf.then(PerfConfig::default);
         cfg.progress = self.progress.then(ProgressConfig::default);
         tweak(&mut cfg);
-        // The key's trace interval wins over any tweak: the key is the
-        // identity of the run, so what it says must be what executes.
+        // The key's trace interval and fault plan win over any tweak:
+        // the key is the identity of the run, so what it says must be
+        // what executes.
         if key.trace_interval > 0 {
             cfg.trace = Some(TraceConfig::every(key.trace_interval));
+        }
+        if !key.fault.is_empty() {
+            cfg.fault = key.fault.clone();
         }
         run_aa(key.part, &workload, &key.strategy, &self.params, cfg)
     }
@@ -688,6 +714,7 @@ mod tests {
             m in 1u64..100_000,
             ppm in 1u32..=COVERAGE_PPM_FULL,
             interval in 0u64..5000,
+            fault_i in 0usize..3,
         ) {
             let shapes = ["4x4", "8x4x4", "8", "3x3x2"];
             let strategies = [
@@ -703,6 +730,22 @@ mod tests {
                 StrategyKind::vmesh().with_pacer(Pacer::credit(4, 2)),
                 StrategyKind::xyz().with_pacer(Pacer::rate(1.5)),
             ];
+            let faults = [
+                FaultPlan::default(),
+                FaultPlan {
+                    links: vec![bgl_sim::LinkFault {
+                        node: 3,
+                        dir: bgl_torus::Direction::from_index(1),
+                        fail_at: 100,
+                        recover_at: Some(900),
+                    }],
+                    nodes: vec![],
+                },
+                FaultPlan {
+                    links: vec![],
+                    nodes: vec![bgl_sim::NodeFault::dead(7)],
+                },
+            ];
             let key = RunKey {
                 part: shapes[shape_i].parse().unwrap(),
                 strategy: strategies[strat_i].clone(),
@@ -710,11 +753,40 @@ mod tests {
                 coverage_ppm: ppm,
                 variant: ["", "invariants", "vc8"][variant_i],
                 trace_interval: interval,
+                fault: faults[fault_i].clone(),
             };
             let json = serde_json::to_string(&key).expect("serializes");
             let back: RunKey = serde_json::from_str(&json).expect("parses");
             proptest::prop_assert_eq!(back, key);
         }
+    }
+
+    #[test]
+    fn faulty_and_healthy_runs_never_share_a_cache_slot() {
+        let r = Runner::new(Scale::Quick);
+        let healthy = r.point("4x4", &StrategyKind::ar(), 240);
+        let faulty = healthy.clone().with_fault(FaultPlan {
+            links: vec![bgl_sim::LinkFault::dead(
+                0,
+                bgl_torus::Direction::from_index(0),
+            )],
+            nodes: vec![],
+        });
+        assert_ne!(healthy.key, faulty.key);
+        let h = r.report(&healthy).expect("healthy run completes");
+        let f = r.report(&faulty).expect("AR routes around one dead link");
+        assert_eq!(r.cached_runs(), 2, "distinct cache slots");
+        assert_eq!(h.stats.dropped_by_fault, 0);
+        // The plan is static-dead from cycle 0: nothing is ever in
+        // flight on the link, so nothing drops — but the link counters
+        // must differ (traffic detoured around it).
+        assert_ne!(h.stats, f.stats, "the fault must change the run");
+        // Re-fetching each key is a pure cache hit onto its own slot.
+        let h2 = r.report(&healthy).unwrap();
+        let f2 = r.report(&faulty).unwrap();
+        assert_eq!(h.stats, h2.stats);
+        assert_eq!(f.stats, f2.stats);
+        assert_eq!(r.cached_runs(), 2);
     }
 
     #[test]

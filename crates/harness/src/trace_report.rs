@@ -46,6 +46,14 @@ pub fn render_run_report(report: &AaReport) -> String {
         s.reception_stall_events,
         s.bubble_fraction(),
     );
+    if s.dropped_by_fault > 0 {
+        let _ = writeln!(
+            out,
+            "  fault injection: {} packets dropped in flight by link faults \
+             (delivered + dropped == injected)",
+            s.dropped_by_fault,
+        );
+    }
     let util: Vec<String> = ALL_DIMS
         .into_iter()
         .map(|d| format!("{d:?} {:.1}%", 100.0 * s.dim_utilization(&part, d)))

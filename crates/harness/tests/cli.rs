@@ -137,6 +137,94 @@ fn bglsim_pacer_happy_paths() {
     }
 }
 
+/// Every malformed `--fault` spec obeys the one-line exit-2 contract:
+/// bad grammar, bad direction, out-of-range coordinate or rank, a
+/// mesh-edge link, a duplicate, and an inverted schedule window.
+#[test]
+fn bglsim_rejects_malformed_fault_specs() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let sweep = |shape: &'static str, fault: &'static str| -> Vec<&'static str> {
+        vec![
+            "sweep",
+            "--shape",
+            shape,
+            "--strategies",
+            "ar",
+            "--sizes",
+            "64",
+            "--fault",
+            fault,
+        ]
+    };
+    assert_clean_failure(bin, &sweep("4x4x4", "x+"), "link:X,Y,Z,DIR");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:"), "4 fields");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:0,0,0"), "4 fields");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:0,0,zero,x+"), "numeric");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:9,0,0,x+"), "outside partition");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:0,0,0,w+"), "x+|x-|y+|y-|z+|z-");
+    assert_clean_failure(bin, &sweep("4x4x4", "link:0,0,0,x"), "x+|x-|y+|y-|z+|z-");
+    assert_clean_failure(bin, &sweep("4x4x4", "node:999"), "out of range");
+    assert_clean_failure(bin, &sweep("4x4x4", "node:five"), "numeric");
+    assert_clean_failure(bin, &sweep("4x4x4", "node:5:@900-100"), "not after fail");
+    assert_clean_failure(bin, &sweep("4x4x4", "node:5:@soon"), "numeric");
+    assert_clean_failure(bin, &sweep("4x4x4", "node:5:100"), "@FAIL");
+    assert_clean_failure(bin, &sweep("4x4x4", "disk:3"), "link or node");
+    assert_clean_failure(
+        bin,
+        &sweep("4x4x4", "link:0,0,0,x+;link:0,0,0,x+"),
+        "duplicate fault",
+    );
+    // The mesh dimension of 8x8x4M has no wrap link at its edge.
+    assert_clean_failure(bin, &sweep("8x8x4M", "link:0,0,3,z+"), "mesh edge");
+    assert_clean_failure(bin, &sweep("4x4x4", ""), "got \"\"");
+    // Repeated flags accumulate, so a duplicate across two --fault
+    // occurrences is caught exactly like one within a single spec.
+    let mut repeated = sweep("4x4x4", "link:0,0,0,x+");
+    repeated.extend_from_slice(&["--fault", "link:0,0,0,x+"]);
+    assert_clean_failure(bin, &repeated, "duplicate fault");
+    // The flag only exists where a simulation runs.
+    assert_clean_failure(bin, &["fit", "--fault", "node:5"], "unknown flag");
+}
+
+/// Fault injection happy paths: AR completes around a statically dead
+/// link (different table than healthy), DR reports the unreachable
+/// pairs, and a scheduled node outage sweeps clean.
+#[test]
+fn bglsim_fault_happy_paths() {
+    let bin = env!("CARGO_BIN_EXE_bglsim");
+    let sweep = |strategies: &'static str, extra: &[&'static str]| {
+        let mut args = vec![
+            "sweep",
+            "--shape",
+            "4x4x4",
+            "--strategies",
+            strategies,
+            "--sizes",
+            "240",
+        ];
+        args.extend_from_slice(extra);
+        run(bin, &args)
+    };
+    // The human table rounds to fractions of a percent, so compare the
+    // full JSON reports: the detoured traffic must move link counters.
+    let (code, healthy, stderr) = sweep("ar", &["--json"]);
+    assert_eq!(code, Some(0), "healthy sweep failed: {stderr}");
+
+    let (code, ar, stderr) = sweep("ar", &["--fault", "link:0,0,0,x+", "--json"]);
+    assert_eq!(code, Some(0), "faulty AR sweep failed: {stderr}");
+    assert!(ar.contains("cycles"), "{ar}");
+    assert_ne!(ar, healthy, "the dead link must change the run");
+
+    let (code, dr, stderr) = sweep("dr", &["--fault", "link:0,0,0,x+"]);
+    assert_eq!(code, Some(0), "DR sweep reports per-point errors: {stderr}");
+    assert!(dr.contains("ERROR"), "{dr}");
+    assert!(dr.contains("unreachable"), "{dr}");
+
+    let (code, out, stderr) = sweep("ar", &["--fault", "node:5:@100-900"]);
+    assert_eq!(code, Some(0), "scheduled node fault failed: {stderr}");
+    assert!(out.contains("of peak"), "{out}");
+}
+
 #[test]
 fn bglsim_usage_exits_2_without_panicking() {
     let bin = env!("CARGO_BIN_EXE_bglsim");

@@ -6,6 +6,7 @@
 //! `bgl_model::MachineParams` for conversions). All buffer capacities are in
 //! chunks; all CPU costs are in (fractional) cycles.
 
+use crate::fault::FaultPlan;
 use crate::flow::FlowSpec;
 use crate::perf::{PerfConfig, ProgressConfig};
 use crate::trace::TraceConfig;
@@ -321,6 +322,13 @@ pub struct SimConfig {
     /// to **stderr** during the run. Stdout and results are untouched, so
     /// piped output stays byte-identical. `None` (the default) is silent.
     pub progress: Option<ProgressConfig>,
+    /// Fault injection plan (see [`crate::fault`]): directed links and
+    /// whole nodes that are dead from the start or fail/recover at
+    /// scheduled cycles. The empty plan (the default, and what configs
+    /// serialized before fault injection deserialize to) is the healthy
+    /// machine and costs nothing. Fault semantics are identical in every
+    /// engine mode and at every shard count.
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -345,6 +353,7 @@ impl SimConfig {
             check_invariants: false,
             perf: None,
             progress: None,
+            fault: FaultPlan::default(),
         }
     }
 
@@ -468,6 +477,33 @@ mod tests {
         let legacy = SimConfig::from_value(&serde::Value::Object(fields)).unwrap();
         assert_eq!(legacy.perf, None);
         assert_eq!(legacy.progress, None);
+    }
+
+    #[test]
+    fn fault_plan_round_trips_and_defaults_to_empty() {
+        use crate::fault::{LinkFault, NodeFault};
+        use bgl_torus::{Dim, Direction, Sign};
+        let mut c = SimConfig::new("4x4".parse().unwrap());
+        c.fault.links.push(LinkFault {
+            node: 2,
+            dir: Direction {
+                dim: Dim::X,
+                sign: Sign::Minus,
+            },
+            fail_at: 100,
+            recover_at: Some(400),
+        });
+        c.fault.nodes.push(NodeFault::dead(5));
+        let v = c.to_value();
+        assert_eq!(SimConfig::from_value(&v).unwrap(), c);
+        // Configs serialized before fault injection existed have no
+        // `fault` field: they must keep deserializing, healthy.
+        let serde::Value::Object(mut fields) = v else {
+            panic!("config serializes as an object")
+        };
+        fields.retain(|(k, _)| k != "fault");
+        let legacy = SimConfig::from_value(&serde::Value::Object(fields)).unwrap();
+        assert!(legacy.fault.is_empty());
     }
 
     #[test]

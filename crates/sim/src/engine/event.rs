@@ -250,7 +250,17 @@ impl Engine {
         if node.vc_mask == 0 && node.inj_mask == 0 {
             return u64::MAX;
         }
-        let dirs = sendable_dirs(node);
+        // Under an active fault plan, fault detours may route heads along
+        // directions outside their minimal quadrant, so the sendable
+        // summary is no longer a superset of what arbitration may try:
+        // consider every direction (waking early is always safe). Fault
+        // transitions themselves mark both endpoints fresh, so dead links
+        // becoming live never rely on this bound.
+        let dirs = if self.fault_alive.is_empty() {
+            sendable_dirs(node)
+        } else {
+            0x3f
+        };
         let mut wake = u64::MAX;
         for d in 0..6usize {
             if dirs & (1 << d) == 0 || self.neighbors[g][d] == u32::MAX {
@@ -321,7 +331,13 @@ impl Engine {
             .last_progress
             .saturating_add(self.cfg.watchdog_cycles)
             .saturating_add(1);
-        let e = raw.min(watchdog_fire).min(self.cfg.max_cycles);
+        // Never skip over a scheduled fault transition: the transition
+        // cycle is stepped in every engine mode, keeping fault runs
+        // byte-identical across modes.
+        let e = raw
+            .min(watchdog_fire)
+            .min(self.cfg.max_cycles)
+            .min(self.next_fault_cycle());
         if self.perf.is_some() {
             self.perf_note_skip(raw, e, watchdog_fire, cause);
         }

@@ -73,11 +73,11 @@ mod phases;
 mod tracer;
 
 use crate::config::{EngineMode, SimConfig, Vc};
-use crate::node::{NodeState, NUM_PORTS};
-use crate::packet::Packet;
+use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
+use crate::packet::{Packet, RoutingMode, DETOUR_BUDGET};
 use crate::program::{NodeApi, NodeProgram};
 use crate::stats::{NetStats, LATENCY_BUCKETS};
-use bgl_torus::{Coord, Dim, Partition, ALL_DIRECTIONS};
+use bgl_torus::{Coord, Dim, Direction, Partition, ALL_DIRECTIONS};
 use event::EventState;
 use oracle::Oracle;
 use perf::{PerfState, ProgressState};
@@ -108,6 +108,12 @@ pub struct StallBreakdown {
     pub hol_blocked_heads: u64,
     /// VC FIFOs whose deliverable head found the reception FIFO full.
     pub reception_stalled_fifos: u64,
+    /// Transit- or injection-FIFO head packets parked purely behind
+    /// faulted links (every direction their routing allows is dead and,
+    /// for adaptive packets, no detour move remains). Counted separately
+    /// from `hol_blocked_heads`: a fault park is a topology problem, not
+    /// congestion.
+    pub fault_blocked_heads: u64,
 }
 
 impl std::fmt::Display for StallBreakdown {
@@ -115,13 +121,26 @@ impl std::fmt::Display for StallBreakdown {
         write!(
             f,
             "{} nodes credit-blocked ({} closed windows), {} HOL-blocked heads, \
-             {} reception-stalled FIFOs",
+             {} reception-stalled FIFOs, {} fault-blocked heads",
             self.credit_blocked_nodes,
             self.closed_credit_windows,
             self.hol_blocked_heads,
-            self.reception_stalled_fifos
+            self.reception_stalled_fifos,
+            self.fault_blocked_heads
         )
     }
+}
+
+/// One dead directed link and how many queued packets it is blocking, in
+/// the per-fault breakdown of [`SimError::Unreachable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBlock {
+    /// Rank of the node the dead link leaves.
+    pub node: u32,
+    /// Output direction of the dead link.
+    pub dir: Direction,
+    /// FIFO-head packets parked behind it at the watchdog snapshot.
+    pub blocked: u64,
 }
 
 /// Simulation failure.
@@ -150,6 +169,20 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// Traffic froze behind permanently dead links with no recovery
+    /// scheduled: deterministic routing cannot leave its dimension-ordered
+    /// path, and adaptive packets exhausted their detour options. Reported
+    /// instead of [`SimError::Stalled`] so a fault-induced park is never
+    /// mistaken for congestion deadlock.
+    Unreachable {
+        /// Cycle at which the watchdog classified the park.
+        cycle: u64,
+        /// Packets that will never be delivered (queued plus pending).
+        blocked_packets: u64,
+        /// Per-dead-link breakdown of the parked FIFO heads, sorted by
+        /// (node, direction).
+        faults: Vec<FaultBlock>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -173,6 +206,25 @@ impl std::fmt::Display for SimError {
                 Ok(())
             }
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            SimError::Unreachable {
+                cycle,
+                blocked_packets,
+                faults,
+            } => {
+                write!(
+                    f,
+                    "destination unreachable at cycle {cycle}: {blocked_packets} packets \
+                     blocked behind dead links with no recovery scheduled"
+                )?;
+                for fb in faults {
+                    write!(
+                        f,
+                        "\n  dead link {}:{} blocking {} queued packets",
+                        fb.node, fb.dir, fb.blocked
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -203,6 +255,9 @@ enum WinSource {
 struct Win {
     source: WinSource,
     vc: Vc,
+    /// Non-minimal fault sidestep: the winner re-plans its route from the
+    /// downstream node (see `apply_win`). Always false on a healthy run.
+    detour: bool,
 }
 
 /// A lazily-cleared bitset over node indices, scanned in ascending index
@@ -312,6 +367,15 @@ struct CycleStats {
     dynamic: u64,
 }
 
+/// One scheduled liveness flip of one directed link, expanded from the
+/// [`FaultPlan`](crate::FaultPlan) at engine construction.
+#[derive(Debug, Clone, Copy)]
+struct FaultEvent {
+    cycle: u64,
+    link: u32,
+    alive: bool,
+}
+
 /// The simulator.
 pub struct Engine {
     cfg: SimConfig,
@@ -378,6 +442,16 @@ pub struct Engine {
     /// Stderr progress heartbeat; `None` unless `SimConfig::progress` is
     /// set.
     progress: Option<Box<ProgressState>>,
+    /// Per-directed-link liveness (`node·6 + dir`), *empty* on a healthy
+    /// run so the hot paths keep a `None` fast path instead of a bounds
+    /// check per probe. Mutated only by `apply_fault_transitions`, at the
+    /// top of a cycle, single-threaded.
+    fault_alive: Vec<bool>,
+    /// The fault plan expanded to per-link liveness flips, sorted by
+    /// (cycle, link).
+    fault_schedule: Vec<FaultEvent>,
+    /// First unapplied entry of `fault_schedule`.
+    fault_cursor: usize,
 }
 
 impl Engine {
@@ -400,6 +474,9 @@ impl Engine {
         );
         assert!(cfg.inj_fifo_count <= 32, "inj_mask is a u32 bitmask");
         cfg.flow.validate();
+        if let Err(e) = cfg.fault.validate(&part) {
+            panic!("invalid fault plan: {e}");
+        }
         let nodes: Vec<NodeState> = (0..p as u32)
             .map(|r| NodeState::new(part.coord_of(r), &cfg))
             .collect();
@@ -451,6 +528,26 @@ impl Engine {
             .as_ref()
             .map(|pc| Box::new(ProgressState::new(pc)));
         let parallel = nshards > 1 && oracle.is_none() && events.is_none();
+        let mut fault_alive = Vec::new();
+        let mut fault_schedule = Vec::new();
+        if !cfg.fault.is_empty() {
+            fault_alive = vec![true; p * 6];
+            for s in cfg.fault.link_schedules(&part) {
+                fault_schedule.push(FaultEvent {
+                    cycle: s.fail_at,
+                    link: s.link as u32,
+                    alive: false,
+                });
+                if let Some(r) = s.recover_at {
+                    fault_schedule.push(FaultEvent {
+                        cycle: r,
+                        link: s.link as u32,
+                        alive: true,
+                    });
+                }
+            }
+            fault_schedule.sort_by_key(|e| (e.cycle, e.link));
+        }
         Engine {
             cfg,
             part,
@@ -482,6 +579,9 @@ impl Engine {
             oracle,
             perf,
             progress,
+            fault_alive,
+            fault_schedule,
+            fault_cursor: 0,
         }
     }
 
@@ -543,6 +643,18 @@ impl Engine {
                     self.record_trace_sample(true);
                 }
                 self.sync_cpu_busy();
+                let breakdown = self.stall_breakdown();
+                // Heads parked purely behind dead links, with no recovery
+                // left in the schedule, will never move: report the
+                // topology problem (with its per-link breakdown) rather
+                // than a generic stall.
+                if breakdown.fault_blocked_heads > 0 && !self.fault_recovery_pending() {
+                    return Err(SimError::Unreachable {
+                        cycle: self.now,
+                        blocked_packets: self.live_packets + self.pending_total,
+                        faults: self.fault_block_report(),
+                    });
+                }
                 let trace_tail = self
                     .tracer
                     .as_ref()
@@ -552,7 +664,7 @@ impl Engine {
                     cycle: self.now,
                     live_packets: self.live_packets + self.pending_total,
                     incomplete_programs: self.programs.len() - self.done_programs,
-                    breakdown: self.stall_breakdown(),
+                    breakdown,
                     trace_tail,
                 });
             }
@@ -611,6 +723,115 @@ impl Engine {
         self.stats.cpu_busy_cycles = self.nodes.iter().map(|n| n.cpu_busy).sum();
     }
 
+    /// The shared link-liveness view, `None` on a healthy run so the hot
+    /// paths keep a branch-free fast path.
+    fn fault_link_alive(&self) -> Option<&[bool]> {
+        (!self.fault_alive.is_empty()).then_some(&self.fault_alive[..])
+    }
+
+    /// Cycle of the next unapplied fault transition (`u64::MAX` once the
+    /// schedule is exhausted) — the event-driven skip must never jump over
+    /// it.
+    fn next_fault_cycle(&self) -> u64 {
+        self.fault_schedule
+            .get(self.fault_cursor)
+            .map_or(u64::MAX, |e| e.cycle)
+    }
+
+    /// Apply every fault transition scheduled at or before the current
+    /// cycle: flip link liveness, drop packets in flight on dying links,
+    /// and wake the affected endpoints. Runs at the top of `step()` —
+    /// before any phase, on one thread — so every engine mode and shard
+    /// count observes transitions at exactly the same point and results
+    /// stay byte-identical.
+    fn apply_fault_transitions(&mut self) {
+        while let Some(&ev) = self.fault_schedule.get(self.fault_cursor) {
+            if ev.cycle > self.now {
+                break;
+            }
+            self.fault_cursor += 1;
+            let link = ev.link as usize;
+            self.fault_alive[link] = ev.alive;
+            let u = link / 6;
+            let d = Direction::from_index(link % 6);
+            let v = self.neighbors[u][d.index()];
+            debug_assert_ne!(v, u32::MAX, "validated plans never fault mesh edges");
+            if !ev.alive {
+                self.drop_in_flight(d, v as usize);
+            }
+            // A transition is progress: the topology changed, so the
+            // watchdog clock restarts (a long wait for a scheduled
+            // recovery must not fire it).
+            self.last_progress = self.now;
+            self.wake_for_fault(u, v as usize);
+        }
+    }
+
+    /// Mark both endpoints of a flipped link active (and event-fresh):
+    /// a recovery can unpark their heads, a failure changes what their
+    /// arbitration may do.
+    fn wake_for_fault(&mut self, u: usize, v: usize) {
+        for g in [u, v] {
+            if let Some(ev) = &mut self.events {
+                ev.mark_fresh(g);
+            }
+            let s = self.shard_of[g] as usize;
+            let local = g - self.bounds[s];
+            self.shards[s].arb_active.mark(local);
+            self.shards[s].cpu_active.mark(local);
+        }
+    }
+
+    /// Remove every packet still crossing a link into `v` on port `dp`
+    /// (the receive port of a link that just died). Dropped packets
+    /// release their reserved downstream credit, count into
+    /// `NetStats::dropped_by_fault`, and notify the destination program —
+    /// exactly-once delivery becomes "delivered or dropped, exactly
+    /// once", which the oracle checks at quiesce.
+    fn drop_in_flight(&mut self, d: Direction, v: usize) {
+        let dp = d.opposite().index();
+        let sv = self.shard_of[v] as usize;
+        let keep = (self.now % RING as u64) as usize;
+        let mut dropped: Vec<Packet> = Vec::new();
+        for (slot, ring) in self.shards[sv].ring.iter_mut().enumerate() {
+            // Arrivals of the current cycle finished crossing before the
+            // transition; they arrive normally. Every other slot holds
+            // future arrivals: chunks still on the dying wire.
+            if slot == keep {
+                continue;
+            }
+            let mut i = 0;
+            while i < ring.len() {
+                if ring[i].node as usize == v && ring[i].port as usize == dp {
+                    dropped.push(ring.remove(i).pkt);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for pkt in dropped {
+            let cell = v * VC_CELLS + vc_fifo_index(dp, pkt.vc.index());
+            self.credits[cell].fetch_add(pkt.chunks as u32, Relaxed);
+            self.live_packets -= 1;
+            self.stats.dropped_by_fault += 1;
+            if let Some(o) = self.oracle.as_deref_mut() {
+                o.on_drop(&pkt);
+            }
+            let dst = self.part.rank_of(pkt.dst) as usize;
+            let prog = &mut self.programs[dst];
+            prog.on_packet_dropped(&pkt);
+            if prog.is_complete() && !self.nodes[dst].program_done {
+                self.nodes[dst].program_done = true;
+                self.done_programs += 1;
+            }
+            if let Some(ev) = &mut self.events {
+                ev.mark_fresh(dst);
+            }
+            let s = self.shard_of[dst] as usize;
+            self.shards[s].cpu_active.mark(dst - self.bounds[s]);
+        }
+    }
+
     /// Borrow shard `s`'s slice of the engine as a section context.
     fn shard_ctx(&mut self, s: usize) -> Shard<'_> {
         let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
@@ -619,6 +840,7 @@ impl Engine {
                 cfg: &self.cfg,
                 neighbors: &self.neighbors,
                 credits: &self.credits,
+                link_alive: (!self.fault_alive.is_empty()).then_some(&self.fault_alive[..]),
             },
             part: &self.part,
             shard_of: &self.shard_of,
@@ -681,6 +903,9 @@ impl Engine {
         }
         if let Some(ev) = &mut self.events {
             ev.clear_fresh();
+        }
+        if self.fault_cursor < self.fault_schedule.len() {
+            self.apply_fault_transitions();
         }
         let t = self.now;
         for cs in &mut self.cycle_stats {
@@ -792,6 +1017,7 @@ impl Engine {
             cfg: &self.cfg,
             neighbors: &self.neighbors,
             credits: &self.credits,
+            link_alive: self.fault_link_alive(),
         }
     }
 
@@ -813,6 +1039,12 @@ impl Engine {
             if nb == u32::MAX {
                 continue;
             }
+            // A dead link is not congestion: faulted directions neither
+            // count as available nor as HOL evidence (the fault-blocked
+            // classifier owns them).
+            if !router.alive(n, d) {
+                continue;
+            }
             any_dir = true;
             if self.link_busy_until[n * 6 + d.index()] <= self.now
                 && router
@@ -823,6 +1055,108 @@ impl Engine {
             }
         }
         any_dir
+    }
+
+    /// Whether `pkt`, queued at node `n`, is parked purely behind dead
+    /// links: every direction its routing allows is faulted and, for an
+    /// adaptive packet with detour budget left, no live link is available
+    /// to sidestep through either. Returns the first dead direction the
+    /// packet wanted, attributing the park to that link.
+    fn head_is_fault_blocked(&self, n: usize, pkt: &Packet) -> Option<Direction> {
+        if self.fault_alive.is_empty() {
+            return None;
+        }
+        let router = self.router();
+        let mut first_dead = None;
+        for d in ALL_DIRECTIONS {
+            if !router.wants(pkt, d) {
+                continue;
+            }
+            if self.neighbors[n][d.index()] == u32::MAX {
+                continue;
+            }
+            if router.alive(n, d) {
+                // A live wanted direction exists: any park here is
+                // congestion (HOL/credit), not the fault's fault.
+                return None;
+            }
+            if first_dead.is_none() {
+                first_dead = Some(d);
+            }
+        }
+        let first_dead = first_dead?;
+        if pkt.routing == RoutingMode::Adaptive && pkt.detour_count() < DETOUR_BUDGET {
+            for d in ALL_DIRECTIONS {
+                if self.neighbors[n][d.index()] != u32::MAX
+                    && router.alive(n, d)
+                    && pkt.detour_from() != Some(d.index())
+                {
+                    // A detour move is still open; the packet is waiting
+                    // on credit or a busy wire, not unroutable.
+                    return None;
+                }
+            }
+        }
+        Some(first_dead)
+    }
+
+    /// Visit every fault-blocked transit- and injection-FIFO head with
+    /// the dead link it is parked behind.
+    fn scan_fault_blocked<F: FnMut(usize, Direction)>(&self, mut f: F) {
+        if self.fault_alive.is_empty() {
+            return;
+        }
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let mut mask = node.vc_mask;
+            while mask != 0 {
+                let fifo = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(head) = node.vcs[fifo].head() {
+                    if !head.plan.is_done() {
+                        if let Some(d) = self.head_is_fault_blocked(ni, head) {
+                            f(ni, d);
+                        }
+                    }
+                }
+            }
+            let mut imask = node.inj_mask;
+            while imask != 0 {
+                let fifo = imask.trailing_zeros() as usize;
+                imask &= imask - 1;
+                if let Some(head) = node.inj[fifo].head() {
+                    if let Some(d) = self.head_is_fault_blocked(ni, head) {
+                        f(ni, d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any recovery remains in the unapplied tail of the fault
+    /// schedule (if so, parked heads may yet move and the watchdog
+    /// reports a stall, not unreachability).
+    fn fault_recovery_pending(&self) -> bool {
+        self.fault_schedule[self.fault_cursor..]
+            .iter()
+            .any(|e| e.alive)
+    }
+
+    /// Aggregate the fault-blocked heads per dead link, sorted by
+    /// (node, direction) — the `faults` payload of
+    /// [`SimError::Unreachable`].
+    fn fault_block_report(&self) -> Vec<FaultBlock> {
+        let mut counts: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        self.scan_fault_blocked(|n, d| {
+            *counts.entry(n * 6 + d.index()).or_insert(0) += 1;
+        });
+        counts
+            .into_iter()
+            .map(|(link, blocked)| FaultBlock {
+                node: (link / 6) as u32,
+                dir: Direction::from_index(link % 6),
+                blocked,
+            })
+            .collect()
     }
 
     /// Diagnostic snapshot of why live traffic is blocked, taken when the
@@ -844,8 +1178,24 @@ impl Engine {
                 let f = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 if let Some(head) = node.vcs[f].head() {
-                    if !head.plan.is_done() && self.head_is_hol_blocked(ni, f, head) {
-                        b.hol_blocked_heads += 1;
+                    if !head.plan.is_done() {
+                        // Fault parks are classified first so a head with
+                        // only dead exits never inflates the HOL count.
+                        if self.head_is_fault_blocked(ni, head).is_some() {
+                            b.fault_blocked_heads += 1;
+                        } else if self.head_is_hol_blocked(ni, f, head) {
+                            b.hol_blocked_heads += 1;
+                        }
+                    }
+                }
+            }
+            let mut imask = node.inj_mask;
+            while imask != 0 {
+                let f = imask.trailing_zeros() as usize;
+                imask &= imask - 1;
+                if let Some(head) = node.inj[f].head() {
+                    if self.head_is_fault_blocked(ni, head).is_some() {
+                        b.fault_blocked_heads += 1;
                     }
                 }
             }

@@ -36,9 +36,13 @@ pub(super) struct Oracle {
     payload_bytes: Vec<u32>,
     /// Per packet id: whether it has been drained from a reception FIFO.
     delivered: Vec<bool>,
+    /// Per packet id: whether a link fault dropped it in flight.
+    dropped: Vec<bool>,
     delivered_count: u64,
+    dropped_count: u64,
     injected_payload: u64,
     delivered_payload: u64,
+    dropped_payload: u64,
 }
 
 impl Oracle {
@@ -48,9 +52,12 @@ impl Oracle {
             taken_hops: Vec::new(),
             payload_bytes: Vec::new(),
             delivered: Vec::new(),
+            dropped: Vec::new(),
             delivered_count: 0,
+            dropped_count: 0,
             injected_payload: 0,
             delivered_payload: 0,
+            dropped_payload: 0,
         }
     }
 
@@ -66,7 +73,37 @@ impl Oracle {
         self.taken_hops.push(0);
         self.payload_bytes.push(pkt.payload_bytes);
         self.delivered.push(false);
+        self.dropped.push(false);
         self.injected_payload += pkt.payload_bytes as u64;
+    }
+
+    /// Rebase packet `id`'s hop budget after a fault detour: the re-planned
+    /// route (`remaining` hops from the *downstream* node) supersedes the
+    /// minimal plan recorded at injection. Called immediately before the
+    /// detour hop's own `on_hop`, so afterwards the exact-hop-count check
+    /// at delivery holds again.
+    pub(super) fn on_detour(&mut self, id: u64, remaining: u32) {
+        let i = id as usize;
+        self.planned_hops[i] = self.taken_hops[i] + 1 + remaining;
+    }
+
+    /// Record that a link fault dropped `pkt` in flight: it must be a
+    /// known packet that was neither delivered nor already dropped.
+    pub(super) fn on_drop(&mut self, pkt: &Packet) {
+        let i = pkt.id as usize;
+        assert!(
+            i < self.dropped.len(),
+            "invariant violated: fault dropped unknown packet {}",
+            pkt.id
+        );
+        assert!(
+            !self.delivered[i] && !self.dropped[i],
+            "invariant violated: packet {} dropped after delivery or twice",
+            pkt.id
+        );
+        self.dropped[i] = true;
+        self.dropped_count += 1;
+        self.dropped_payload += pkt.payload_bytes as u64;
     }
 
     /// Record one link crossing of packet `id`.
@@ -91,6 +128,11 @@ impl Oracle {
         assert!(
             !self.delivered[i],
             "invariant violated: packet {} delivered twice (cycle {t})",
+            pkt.id
+        );
+        assert!(
+            !self.dropped[i],
+            "invariant violated: packet {} delivered after a fault dropped it (cycle {t})",
             pkt.id
         );
         assert!(
@@ -138,9 +180,14 @@ impl Engine {
             o.delivered_count, self.stats.packets_delivered
         );
         assert_eq!(
+            o.dropped_count, self.stats.dropped_by_fault,
+            "invariant violated: oracle saw {} fault drops, stats say {} (cycle {t})",
+            o.dropped_count, self.stats.dropped_by_fault
+        );
+        assert_eq!(
             self.live_packets,
-            injected - o.delivered_count,
-            "invariant violated: live packets must equal injected − delivered (cycle {t})"
+            injected - o.delivered_count - o.dropped_count,
+            "invariant violated: live packets must equal injected − delivered − dropped (cycle {t})"
         );
         // Chunks launched toward each transit cell but not yet arrived:
         // at a cycle boundary every such packet sits in some shard's
@@ -191,18 +238,38 @@ impl Engine {
     pub(super) fn oracle_quiesce_check(&self) {
         let o = self.oracle.as_ref().expect("caller checked");
         let injected = o.planned_hops.len() as u64;
+        // Fault-aware exactly-once: every packet was delivered or dropped
+        // by a fault, exactly once — the telescoped counts and the
+        // per-packet flags must both agree.
         assert_eq!(
-            o.delivered_count,
+            o.delivered_count + o.dropped_count,
             injected,
-            "invariant violated: {} of {injected} packets never delivered",
-            injected - o.delivered_count
+            "invariant violated: {} of {injected} packets neither delivered nor \
+             accounted as dropped_by_fault",
+            injected - o.delivered_count - o.dropped_count
         );
-        if let Some(id) = o.delivered.iter().position(|&d| !d) {
-            panic!("invariant violated: packet {id} not delivered at quiesce");
+        for (id, (&d, &x)) in o.delivered.iter().zip(&o.dropped).enumerate() {
+            assert!(
+                d ^ x,
+                "invariant violated: packet {id} {} at quiesce",
+                if d {
+                    "both delivered and dropped"
+                } else {
+                    "neither delivered nor dropped"
+                }
+            );
         }
+        // Byte conservation, fault-aware: every injected payload byte is
+        // either delivered or attributed to a fault drop.
         assert_eq!(
-            o.injected_payload, o.delivered_payload,
-            "invariant violated: payload bytes not conserved end-to-end"
+            o.injected_payload,
+            o.delivered_payload + o.dropped_payload,
+            "invariant violated: payload bytes not conserved end-to-end \
+             (delivered + dropped_by_fault ≠ injected)"
+        );
+        assert_eq!(
+            o.dropped_count, self.stats.dropped_by_fault,
+            "invariant violated: oracle drop ledger disagrees with stats"
         );
         assert_eq!(
             o.delivered_payload, self.stats.payload_bytes_delivered,

@@ -56,6 +56,9 @@ impl Engine {
             cfg: &self.cfg,
             neighbors: &self.neighbors,
             credits: &self.credits,
+            // Read-only within the cycle: liveness flips only between
+            // cycles (`apply_fault_transitions`), never inside a section.
+            link_alive: (!self.fault_alive.is_empty()).then_some(&self.fault_alive[..]),
         };
         let part = &self.part;
         let shard_of = &self.shard_of[..];

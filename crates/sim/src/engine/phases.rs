@@ -32,7 +32,7 @@ use super::{Arrival, CycleStats, OutMsg, ShardData, Win, WinSource, RING, VC_CEL
 use crate::config::{SimConfig, Vc, NUM_VCS};
 use crate::flow::FlowSpec;
 use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
-use crate::packet::{Packet, RoutingMode};
+use crate::packet::{Packet, RoutingMode, DETOUR_BUDGET, NO_DETOUR};
 use crate::perf::ShardPerf;
 use crate::program::{NodeApi, NodeProgram, PollHint};
 use bgl_torus::{Direction, HopPlan, Partition, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
@@ -68,6 +68,9 @@ pub(super) struct Router<'a> {
     pub(super) cfg: &'a SimConfig,
     pub(super) neighbors: &'a [[u32; 6]],
     pub(super) credits: &'a [AtomicU32],
+    /// Per-directed-link liveness under an active fault plan; `None` on a
+    /// healthy run, so every probe below stays one branch.
+    pub(super) link_alive: Option<&'a [bool]>,
 }
 
 impl Router<'_> {
@@ -76,6 +79,17 @@ impl Router<'_> {
     #[inline]
     fn credit(&self, n: usize, port: usize, vc: usize) -> u32 {
         self.credits[n * VC_CELLS + vc_fifo_index(port, vc)].load(Relaxed)
+    }
+
+    /// Whether the directed link out of global node `n` along `d` is up.
+    /// Arbitration refuses dead links outright; everything else (HOL
+    /// probes, escape preconditions) treats them as permanently blocked.
+    #[inline]
+    pub(super) fn alive(&self, n: usize, d: Direction) -> bool {
+        match self.link_alive {
+            None => true,
+            Some(a) => a[n * 6 + d.index()],
+        }
     }
 
     /// Whether this packet routes with the longest-first shaping (its own
@@ -111,6 +125,11 @@ impl Router<'_> {
             }
             let nb = self.neighbors[n][dir.index()];
             if nb == u32::MAX {
+                continue;
+            }
+            // A dead preferred link can never open: it counts as blocked,
+            // so the dimension-ordered escape becomes reachable.
+            if !self.alive(n, dir) {
                 continue;
             }
             let nb_port = dir.opposite().index();
@@ -233,6 +252,83 @@ impl Router<'_> {
         } else {
             None
         }
+    }
+
+    /// Whether every minimal direction of `pkt` at node `n` is a dead
+    /// link — the precondition for a non-minimal fault detour. `false` on
+    /// a healthy run (no liveness map) or while any minimal link is up.
+    fn minimal_dead(&self, n: usize, pkt: &Packet) -> bool {
+        let Some(alive) = self.link_alive else {
+            return false;
+        };
+        let mut any = false;
+        for d in pkt.plan.minimal_directions() {
+            if self.neighbors[n][d.index()] == u32::MAX {
+                continue;
+            }
+            any = true;
+            if alive[n * 6 + d.index()] {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// Fault-detour feasibility: may `pkt` take the *non-minimal* output
+    /// `d` out of node `n`, and on which VC? Allowed only for adaptive
+    /// packets whose entire minimal quadrant is dead, onto a live link
+    /// that does not immediately undo the previous detour, with budget
+    /// left ([`DETOUR_BUDGET`]) — and strictly on the dynamic VCs: the
+    /// bubble VC stays dimension-ordered, so the escape network's
+    /// deadlock freedom is untouched by rerouting. After a detour win the
+    /// packet re-plans from the downstream node (see `apply_win`).
+    pub(super) fn detour_vc(&self, pkt: &Packet, n: usize, d: Direction, nb: usize) -> Option<Vc> {
+        self.link_alive?;
+        if pkt.routing != RoutingMode::Adaptive
+            || pkt.detour_count() >= DETOUR_BUDGET
+            || pkt.detour_from() == Some(d.index())
+            || !self.alive(n, d)
+            || !self.minimal_dead(n, pkt)
+        {
+            return None;
+        }
+        let chunks = pkt.chunks as u32;
+        let nb_port = d.opposite().index();
+        let f0 = self.credit(nb, nb_port, 0);
+        let f1 = self.credit(nb, nb_port, 1);
+        match (f0 >= chunks, f1 >= chunks) {
+            (true, true) => Some(match f0.cmp(&f1) {
+                std::cmp::Ordering::Greater => Vc::Dynamic0,
+                std::cmp::Ordering::Less => Vc::Dynamic1,
+                std::cmp::Ordering::Equal => {
+                    if pkt.id & 1 == 0 {
+                        Vc::Dynamic0
+                    } else {
+                        Vc::Dynamic1
+                    }
+                }
+            }),
+            (true, false) => Some(Vc::Dynamic0),
+            (false, true) => Some(Vc::Dynamic1),
+            (false, false) => None,
+        }
+    }
+
+    /// A freshly detoured head must not immediately bounce back through
+    /// the link it arrived on while any *other* minimal direction is
+    /// structurally alive at this node: waiting for credits on a live
+    /// forward link always beats burning detour budget on a ping-pong
+    /// (the systematic bounce would exhaust [`DETOUR_BUDGET`] against a
+    /// single dead link). When the return is the only live minimal
+    /// direction it stays allowed — it is a normal minimal move and
+    /// clears the detour mark on a win.
+    pub(super) fn suppress_return(&self, pkt: &Packet, n: usize, d: Direction) -> bool {
+        if self.link_alive.is_none() || pkt.detour_from() != Some(d.index()) {
+            return false;
+        }
+        pkt.plan
+            .minimal_directions()
+            .any(|o| o != d && self.neighbors[n][o.index()] != u32::MAX && self.alive(n, o))
     }
 }
 
@@ -793,6 +889,7 @@ impl Shard<'_> {
             meta: spec.meta,
             longest_first: spec.longest_first,
             injected_at: t,
+            detour: NO_DETOUR,
         };
         assert!(node.inj[f].try_push(pkt).is_ok(), "space checked");
         let pos = node.inj[f].len() - 1;
@@ -852,7 +949,15 @@ impl Shard<'_> {
             let node = &self.nodes[i];
             node.vc_mask.count_ones() + node.inj_mask.count_ones() <= SUMMARY_MAX_HEADS
         };
-        let mut summary: Option<u8> = if use_summary { None } else { Some(0x3f) };
+        // Under an active fault plan the summary is disabled: detours send
+        // packets along directions outside their minimal quadrant, so
+        // `wanted_dirs` is no longer a superset of what arbitration may
+        // assign. Probing all six directions keeps refusal + detour exact.
+        let mut summary: Option<u8> = if use_summary && self.router.link_alive.is_none() {
+            None
+        } else {
+            Some(0x3f)
+        };
         for d in ALL_DIRECTIONS {
             let link = i * 6 + d.index();
             if self.link_busy_until[link] > t {
@@ -860,6 +965,10 @@ impl Shard<'_> {
             }
             let nb = self.router.neighbors[g][d.index()];
             if nb == u32::MAX {
+                continue;
+            }
+            // A dead output link refuses arbitration outright.
+            if !self.router.alive(g, d) {
                 continue;
             }
             let s = match summary {
@@ -923,14 +1032,23 @@ impl Shard<'_> {
                 let f = half.trailing_zeros() as usize;
                 half &= half - 1;
                 let pkt = node.vcs[f].head().expect("mask says non-empty");
-                if !self.router.wants(pkt, d) {
-                    continue;
-                }
-                let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
-                if let Some(vc) = self.router.feasible_vc(pkt, g, from_dim, d, nb) {
+                if self.router.wants(pkt, d) {
+                    if self.router.suppress_return(pkt, g, d) {
+                        continue;
+                    }
+                    let from_dim = Some(f / NUM_VCS / 2); // port index / 2 = dimension
+                    if let Some(vc) = self.router.feasible_vc(pkt, g, from_dim, d, nb) {
+                        return Some(Win {
+                            source: WinSource::Transit { fifo: f as u8 },
+                            vc,
+                            detour: false,
+                        });
+                    }
+                } else if let Some(vc) = self.router.detour_vc(pkt, g, d, nb) {
                     return Some(Win {
                         source: WinSource::Transit { fifo: f as u8 },
                         vc,
+                        detour: true,
                     });
                 }
             }
@@ -946,13 +1064,22 @@ impl Shard<'_> {
             let f = mask.trailing_zeros() as usize;
             mask &= mask - 1;
             let pkt = node.inj[f].head().expect("mask says non-empty");
-            if !self.router.wants(pkt, d) {
-                continue;
-            }
-            if let Some(vc) = self.router.feasible_vc(pkt, g, None, d, nb) {
+            if self.router.wants(pkt, d) {
+                if self.router.suppress_return(pkt, g, d) {
+                    continue;
+                }
+                if let Some(vc) = self.router.feasible_vc(pkt, g, None, d, nb) {
+                    return Some(Win {
+                        source: WinSource::Inject { fifo: f as u8 },
+                        vc,
+                        detour: false,
+                    });
+                }
+            } else if let Some(vc) = self.router.detour_vc(pkt, g, d, nb) {
                 return Some(Win {
                     source: WinSource::Inject { fifo: f as u8 },
                     vc,
+                    detour: true,
                 });
             }
         }
@@ -998,8 +1125,27 @@ impl Shard<'_> {
         debug_assert!(cell.load(Relaxed) >= chunks, "feasible_vc checked credit");
         cell.fetch_sub(chunks, Relaxed);
         pkt.vc = win.vc;
-        pkt.plan.advance(d.dim);
+        if win.detour {
+            // Non-minimal fault sidestep: re-plan the whole route from the
+            // downstream node and remember not to bounce straight back
+            // through the link just crossed (its reverse is `nb_port`).
+            pkt.plan = HopPlan::new(
+                self.part,
+                self.part.coord_of(nb as u32),
+                pkt.dst,
+                TieBreak::SrcParity,
+            );
+            pkt.note_detour(nb_port);
+        } else {
+            pkt.plan.advance(d.dim);
+            pkt.clear_detour_from();
+        }
         if let Some(o) = self.oracle.as_deref_mut() {
+            if win.detour {
+                // Rebase the hop ledger before recording the hop: the
+                // replanned route supersedes the old planned count.
+                o.on_detour(pkt.id, pkt.plan.total_hops());
+            }
             o.on_hop(pkt.id, t);
         }
         if self.events.is_some() {

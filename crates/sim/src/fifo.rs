@@ -128,7 +128,7 @@ impl ChunkFifo {
 mod tests {
     use super::*;
     use crate::config::Vc;
-    use crate::packet::{PacketMeta, RoutingMode};
+    use crate::packet::{PacketMeta, RoutingMode, NO_DETOUR};
     use bgl_torus::{Coord, HopPlan, Partition, TieBreak};
 
     fn pkt(id: u64, chunks: u8) -> Packet {
@@ -151,6 +151,7 @@ mod tests {
             meta: PacketMeta::default(),
             longest_first: false,
             injected_at: 0,
+            detour: NO_DETOUR,
         }
     }
 

@@ -34,6 +34,7 @@
 pub mod config;
 pub mod csv;
 pub mod engine;
+pub mod fault;
 pub mod fifo;
 pub mod flow;
 pub mod node;
@@ -44,10 +45,11 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{CpuConfig, EngineMode, RouterConfig, SimConfig, Vc, NUM_VCS};
-pub use engine::{Engine, SimError, StallBreakdown};
+pub use engine::{Engine, FaultBlock, SimError, StallBreakdown};
+pub use fault::{FaultPlan, LinkFault, LinkSchedule, NodeFault};
 pub use fifo::ChunkFifo;
 pub use flow::{FlowLedger, FlowSpec};
-pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec};
+pub use packet::{Packet, PacketMeta, RoutingMode, SendSpec, NO_DETOUR};
 pub use perf::{EventPerf, PerfConfig, PerfProfile, PhaseSecs, ProgressConfig, ShardPerf};
 pub use program::{NodeApi, NodeProgram, PollHint, ScriptedProgram};
 pub use stats::NetStats;

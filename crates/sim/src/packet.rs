@@ -27,6 +27,14 @@ pub struct PacketMeta {
     pub b: u32,
 }
 
+/// Non-minimal (fault-detour) hops an adaptive packet may take before it
+/// parks and waits for a recovery (or the watchdog). Bounds the packed
+/// counter in [`Packet::detour`] and rules out detour livelock.
+pub const DETOUR_BUDGET: u8 = 31;
+
+/// [`Packet::detour`] value meaning "no detour state".
+pub const NO_DETOUR: u8 = 7;
+
 /// A packet in flight or in a FIFO.
 #[derive(Debug, Clone)]
 pub struct Packet {
@@ -59,6 +67,43 @@ pub struct Packet {
     pub longest_first: bool,
     /// Cycle the packet entered an injection FIFO.
     pub injected_at: u64,
+    /// Packed fault-detour state, [`NO_DETOUR`] while unused. Low 3 bits:
+    /// the output direction the packet must not take on its next hop (the
+    /// link straight back along the detour it just made; 7 = none). High
+    /// 5 bits: non-minimal hops taken so far, capped by
+    /// [`DETOUR_BUDGET`]. One byte, so the 64-byte size pin holds.
+    pub detour: u8,
+}
+
+impl Packet {
+    /// The direction index this packet must not exit through right now
+    /// (the reverse of its last detour hop), if any.
+    #[inline]
+    pub fn detour_from(&self) -> Option<usize> {
+        let p = (self.detour & 7) as usize;
+        (p != NO_DETOUR as usize).then_some(p)
+    }
+
+    /// Non-minimal hops taken so far.
+    #[inline]
+    pub fn detour_count(&self) -> u8 {
+        self.detour >> 3
+    }
+
+    /// Record a detour hop whose reverse direction is `back`.
+    #[inline]
+    pub fn note_detour(&mut self, back: usize) {
+        debug_assert!(back < 6);
+        self.detour = ((self.detour_count() + 1) << 3) | back as u8;
+    }
+
+    /// A minimal hop clears the don't-go-back restriction (the count is
+    /// kept: the budget bounds total non-minimal hops over the packet's
+    /// whole life).
+    #[inline]
+    pub fn clear_detour_from(&mut self) {
+        self.detour |= NO_DETOUR;
+    }
 }
 
 /// What a node program asks the runtime to send.
@@ -137,6 +182,7 @@ impl SendSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgl_torus::{Partition, TieBreak};
 
     #[test]
     fn send_spec_builders() {
@@ -158,6 +204,42 @@ mod tests {
         let d = SendSpec::deterministic(3, 2, 64);
         assert_eq!(d.routing, RoutingMode::Deterministic);
         assert_eq!(d.class, 0);
+    }
+
+    #[test]
+    fn detour_state_packs_and_unpacks() {
+        let part = Partition::torus(2, 2, 2);
+        let mut k = Packet {
+            id: 0,
+            src_rank: 0,
+            dst: Coord::new(1, 0, 0),
+            chunks: 1,
+            payload_bytes: 0,
+            plan: HopPlan::new(
+                &part,
+                Coord::new(0, 0, 0),
+                Coord::new(1, 0, 0),
+                TieBreak::SrcParity,
+            ),
+            routing: RoutingMode::Adaptive,
+            vc: Vc::Dynamic0,
+            class: 0,
+            meta: PacketMeta::default(),
+            longest_first: false,
+            injected_at: 0,
+            detour: NO_DETOUR,
+        };
+        assert_eq!(k.detour_from(), None);
+        assert_eq!(k.detour_count(), 0);
+        k.note_detour(3);
+        assert_eq!(k.detour_from(), Some(3));
+        assert_eq!(k.detour_count(), 1);
+        k.note_detour(5);
+        assert_eq!(k.detour_from(), Some(5));
+        assert_eq!(k.detour_count(), 2);
+        k.clear_detour_from();
+        assert_eq!(k.detour_from(), None);
+        assert_eq!(k.detour_count(), 2);
     }
 
     #[test]

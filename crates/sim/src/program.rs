@@ -57,6 +57,17 @@ pub trait NodeProgram: Send {
         None
     }
 
+    /// A packet addressed to this node was *dropped in flight* by a link
+    /// fault (see [`crate::fault`]): it will never be delivered. Called
+    /// outside the CPU timeline (no [`NodeApi`], no CPU charge — this
+    /// models the fault notification, not software work) at the cycle the
+    /// link died. Programs that count expected deliveries should account
+    /// the loss here so completion still converges; the default ignores
+    /// the notification. Must never turn a complete program incomplete.
+    fn on_packet_dropped(&mut self, pkt: &Packet) {
+        let _ = pkt;
+    }
+
     /// `true` once this node will neither send nor expects to receive
     /// anything further. The simulation ends when every program is complete
     /// *and* the network has fully drained.
@@ -199,6 +210,9 @@ pub struct ScriptedProgram {
     pub expect: u64,
     /// Packets received so far.
     pub received: u64,
+    /// Packets bound for this node that a link fault dropped in flight
+    /// (counted toward `expect`: the loss is accounted, not awaited).
+    pub dropped: u64,
     /// Payload bytes received so far.
     pub received_bytes: u64,
 }
@@ -210,6 +224,7 @@ impl ScriptedProgram {
             to_send: sends.into(),
             expect,
             received: 0,
+            dropped: 0,
             received_bytes: 0,
         }
     }
@@ -230,8 +245,12 @@ impl NodeProgram for ScriptedProgram {
         self.to_send.pop_front()
     }
 
+    fn on_packet_dropped(&mut self, _pkt: &Packet) {
+        self.dropped += 1;
+    }
+
     fn is_complete(&self) -> bool {
-        self.to_send.is_empty() && self.received >= self.expect
+        self.to_send.is_empty() && self.received + self.dropped >= self.expect
     }
 
     /// `next_send` only declines once the script is exhausted, which no

@@ -43,6 +43,12 @@ pub struct NetStats {
     /// [`FlowSpec::Credit`](crate::FlowSpec::Credit)); one event per
     /// declined `NodeApi::try_acquire_credit` call.
     pub credit_blocked_events: u64,
+    /// Packets that were in flight on a link the moment a fault killed it
+    /// (see [`crate::fault`]). Such packets leave the network accounted
+    /// here — never silently lost: the invariant oracle checks
+    /// `injected == delivered + dropped_by_fault` at quiesce. Always zero
+    /// on a healthy run.
+    pub dropped_by_fault: u64,
     /// CPU-cycles (in simulation-cycle units) the node CPUs were busy.
     pub cpu_busy_cycles: f64,
     /// Power-of-two latency histogram (see [`LATENCY_BUCKETS`]).

@@ -1,0 +1,191 @@
+//! Fault-injection soak: a long adaptive run on a 4x4x4 torus with links
+//! failing and recovering mid-flight, oracle on. Exercises the full
+//! degraded-mode path — arbitration refusal, detours, in-flight drops,
+//! recovery — and pins the accounting identity `injected == delivered +
+//! dropped_by_fault` plus byte-equality across all three engine modes.
+
+use bgl_sim::{
+    Engine, EngineMode, FaultPlan, LinkFault, NetStats, NodeProgram, ScriptedProgram, SendSpec,
+    SimConfig,
+};
+use bgl_torus::{Dim, Direction, Partition, Sign};
+
+/// Uniform adaptive all-to-all: every node sends `k` packets of `chunks`
+/// chunks to every other node.
+fn uniform(part: &Partition, k: u64, chunks: u8) -> Vec<Box<dyn NodeProgram>> {
+    let p = part.num_nodes();
+    (0..p)
+        .map(|r| {
+            let sends: Vec<SendSpec> = (0..p)
+                .filter(|&d| d != r)
+                .flat_map(|d| {
+                    (0..k).map(move |_| SendSpec::adaptive(d, chunks, chunks as u32 * 30))
+                })
+                .collect();
+            let expect = (p as u64 - 1) * k;
+            Box::new(ScriptedProgram::new(sends, expect)) as Box<dyn NodeProgram>
+        })
+        .collect()
+}
+
+fn dir(dim: Dim, sign: Sign) -> Direction {
+    Direction { dim, sign }
+}
+
+/// Fail→recover→fail windows inside the ~2300-cycle healthy run (the
+/// simulator is deterministic, so the healthy completion cycle is a
+/// constant of the workload): two links die while traffic is heavy and
+/// come back before the drain, a third dies and never recovers (AR
+/// routes around it). The instants are chosen mid-flight so the drop
+/// path is exercised, not just the arbitration-refusal path.
+fn soak_plan() -> FaultPlan {
+    FaultPlan {
+        links: vec![
+            LinkFault {
+                node: 0,
+                dir: dir(Dim::X, Sign::Plus),
+                fail_at: 700,
+                recover_at: Some(1400),
+            },
+            LinkFault {
+                node: 21,
+                dir: dir(Dim::Y, Sign::Minus),
+                fail_at: 900,
+                recover_at: Some(1600),
+            },
+            LinkFault {
+                node: 42,
+                dir: dir(Dim::Z, Sign::Plus),
+                fail_at: 1158,
+                recover_at: None,
+            },
+        ],
+        nodes: vec![],
+    }
+}
+
+fn run(part: Partition, mode: EngineMode, plan: &FaultPlan, oracle: bool) -> NetStats {
+    let mut cfg = SimConfig::new(part);
+    cfg.engine = mode;
+    cfg.fault = plan.clone();
+    cfg.check_invariants = oracle;
+    Engine::new(cfg, uniform(&part, 4, 8))
+        .run()
+        .expect("soak run completes")
+}
+
+#[test]
+fn fault_recovery_soak_oracle_green_and_accounting_telescopes() {
+    let part: Partition = "4x4x4".parse().unwrap();
+    let healthy = run(part, EngineMode::FullScan, &FaultPlan::default(), true);
+    assert_eq!(healthy.dropped_by_fault, 0, "healthy runs never drop");
+    assert!(
+        healthy.completion_cycle > 1600,
+        "the fault windows must sit inside the run; got {} cycles",
+        healthy.completion_cycle
+    );
+
+    let plan = soak_plan();
+    plan.validate(&part).unwrap();
+
+    // Oracle-checked faulty run: the ledger (exactly-once delivery XOR
+    // exactly-once drop, byte conservation, drop counts) is asserted
+    // every cycle and at quiesce inside the engine.
+    let faulty = run(part, EngineMode::FullScan, &plan, true);
+
+    // Everything injected is either delivered or accounted to a fault.
+    assert_eq!(
+        faulty.packets_injected,
+        faulty.packets_delivered + faulty.dropped_by_fault,
+        "delivered + dropped_by_fault must telescope to injected"
+    );
+    assert_eq!(faulty.packets_injected, healthy.packets_injected);
+    // The windows open while traffic is heavy: the run must actually have
+    // exercised the drop path, not just the refusal path.
+    assert!(
+        faulty.dropped_by_fault > 0,
+        "soak windows are placed mid-flight; expected in-flight drops"
+    );
+
+    // The three engine modes agree byte-for-byte under the same plan
+    // (oracle off: the event/parallel paths are the ones being pinned).
+    let full = run(part, EngineMode::FullScan, &plan, false);
+    let active = run(part, EngineMode::ActiveSet, &plan, false);
+    let event = run(part, EngineMode::EventDriven, &plan, false);
+    assert_eq!(full, active);
+    assert_eq!(full, event);
+    // And the oracle never perturbs a faulty run.
+    assert_eq!(full, faulty);
+}
+
+#[test]
+fn node_fault_with_recovery_completes_and_accounts_drops() {
+    use bgl_sim::NodeFault;
+    let part: Partition = "4x4".parse().unwrap();
+    let plan = FaultPlan {
+        links: vec![],
+        nodes: vec![NodeFault {
+            rank: 5,
+            fail_at: 10,
+            recover_at: Some(600),
+        }],
+    };
+    let mut cfg = SimConfig::new(part);
+    cfg.fault = plan;
+    cfg.check_invariants = true;
+    let stats = Engine::new(cfg, uniform(&part, 2, 4))
+        .run()
+        .expect("traffic stranded at the dead node's edge drains after recovery");
+    assert_eq!(
+        stats.packets_injected,
+        stats.packets_delivered + stats.dropped_by_fault
+    );
+    assert!(
+        stats.dropped_by_fault > 0,
+        "killing every link of a busy node mid-run must catch packets in flight"
+    );
+}
+
+#[test]
+fn permanent_node_fault_is_reported_unreachable_with_breakdown() {
+    use bgl_sim::{NodeFault, SimError};
+    let part: Partition = "4x4".parse().unwrap();
+    let plan = FaultPlan {
+        links: vec![],
+        nodes: vec![NodeFault {
+            rank: 5,
+            fail_at: 10,
+            recover_at: None,
+        }],
+    };
+    let mut cfg = SimConfig::new(part);
+    cfg.fault = plan;
+    cfg.check_invariants = true;
+    // Packets addressed to the isolated node that were not already in
+    // flight on a dying link can be neither delivered nor dropped: the
+    // run must end in Unreachable, never a silent hang, and every
+    // blocking link in the breakdown must be incident to the dead node.
+    match Engine::new(cfg, uniform(&part, 2, 4)).run() {
+        Err(SimError::Unreachable {
+            blocked_packets,
+            faults,
+            ..
+        }) => {
+            assert!(blocked_packets > 0);
+            assert!(!faults.is_empty());
+            for f in &faults {
+                let touches_dead_node = f.node == 5
+                    || part
+                        .neighbor(part.coord_of(f.node), f.dir)
+                        .map(|c| part.rank_of(c))
+                        == Some(5);
+                assert!(
+                    touches_dead_node,
+                    "fault {}:{} does not touch the dead node",
+                    f.node, f.dir
+                );
+            }
+        }
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+}

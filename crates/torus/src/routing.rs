@@ -166,6 +166,34 @@ impl DimensionOrder {
         }
         out
     }
+
+    /// Walk the X→Y→Z dimension-ordered route from `src` to `dst` and
+    /// return the first hop refused by `is_dead(rank, direction)`, or
+    /// `None` when the whole path is alive. Deterministic routing has no
+    /// freedom to steer around a dead link, so one refused hop on this
+    /// path means the pair is unreachable — this is the static
+    /// reachability preflight used by fault-injection runs.
+    pub fn first_blocked(
+        part: &Partition,
+        src: Coord,
+        dst: Coord,
+        tie: TieBreak,
+        is_dead: impl Fn(u32, Direction) -> bool,
+    ) -> Option<(u32, Direction)> {
+        let mut plan = HopPlan::new(part, src, dst, tie);
+        let mut here = src;
+        while let Some(dir) = plan.dimension_order_next() {
+            let rank = part.rank_of(here);
+            if is_dead(rank, dir) {
+                return Some((rank, dir));
+            }
+            here = part
+                .neighbor(here, dir)
+                .expect("minimal plan stepped off the partition");
+            plan.advance(dir.dim);
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +343,33 @@ mod tests {
                 Coord::new(2, 2, 0),
                 Coord::new(2, 2, 1),
             ]
+        );
+    }
+
+    #[test]
+    fn first_blocked_finds_dead_hop_on_path_only() {
+        let p = t888();
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(2, 2, 0);
+        // Dead link on the path: second X+ hop, taken from (1,0,0).
+        let dead_rank = p.rank_of(Coord::new(1, 0, 0));
+        let hit = DimensionOrder::first_blocked(&p, src, dst, TieBreak::SrcParity, |r, d| {
+            r == dead_rank && d == Direction::new(Dim::X, Sign::Plus)
+        });
+        assert_eq!(hit, Some((dead_rank, Direction::new(Dim::X, Sign::Plus))));
+        // Same dead link does not block a pair whose path avoids it.
+        let clear = DimensionOrder::first_blocked(
+            &p,
+            Coord::new(4, 0, 0),
+            dst,
+            TieBreak::SrcParity,
+            |r, d| r == dead_rank && d == Direction::new(Dim::X, Sign::Plus),
+        );
+        assert_eq!(clear, None);
+        // No faults at all: never blocked.
+        assert_eq!(
+            DimensionOrder::first_blocked(&p, src, dst, TieBreak::SrcParity, |_, _| false),
+            None
         );
     }
 

@@ -21,7 +21,7 @@
 
 use bgl_alltoall::harness::runner::{RunPoint, Runner, Scale};
 use bgl_alltoall::prelude::*;
-use bgl_sim::{EngineMode, TraceConfig};
+use bgl_sim::{EngineMode, FaultPlan, LinkFault, TraceConfig};
 use proptest::prelude::*;
 use std::num::NonZeroUsize;
 
@@ -135,6 +135,132 @@ proptest! {
                 "{} busy deltas must sum to totals ({})", &label, mode
             );
         }
+    }
+}
+
+/// Draw up to `picks.len()` distinct, topologically present directed
+/// links from the partition (mesh edges have no wrap link and are
+/// skipped). May legitimately come up empty for unlucky draws.
+fn draw_dead_links(part: &Partition, picks: &[u32]) -> Vec<LinkFault> {
+    let n = part.num_nodes() as usize * 6;
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for &p in picks {
+        let idx = p as usize % n;
+        let node = (idx / 6) as u32;
+        let dir = bgl_torus::Direction::from_index(idx % 6);
+        if seen[idx] || part.neighbor(part.coord_of(node), dir).is_none() {
+            continue;
+        }
+        seen[idx] = true;
+        out.push(LinkFault::dead(node, dir));
+    }
+    out
+}
+
+/// Case count for the chaos suite: 8 in a normal run, raised via
+/// `PROPTEST_CASES` by the weekly chaos CI job (an explicit
+/// `with_cases` would silently override the environment variable).
+fn chaos_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Fault dimension of equivalence 1: a random set of statically dead
+    /// links must leave the run's entire `Result` — completed `NetStats`
+    /// byte-for-byte, or the exact same `SimError` — invariant across
+    /// all three engine modes and across shard counts. Also pins the
+    /// no-op guarantee: a fault scheduled far past completion runs the
+    /// degraded-mode arbitration code yet stays byte-identical to the
+    /// healthy run.
+    #[test]
+    fn fault_plans_are_engine_and_shard_invariant(
+        shape_i in 0usize..6,
+        strat_i in 0usize..6,
+        m_i in 0usize..2,
+        cov_i in 0usize..2,
+        picks in proptest::collection::vec(proptest::arbitrary::any::<u32>(), 1..4),
+        shard_i in 0usize..4,
+    ) {
+        let (part, strategy, _, cov) = config(shape_i, strat_i, 0, cov_i);
+        let m = [64u64, 240][m_i];
+        let shards = NonZeroUsize::new(SHARD_POOL[shard_i]).unwrap();
+        let workload = workload(m, cov);
+        let params = MachineParams::bgl();
+        let plan = FaultPlan {
+            links: draw_dead_links(&part, &picks),
+            nodes: vec![],
+        };
+        let label = format!(
+            "{part} {} m={m} cov={cov} shards={shards} faults={:?}",
+            strategy.name(),
+            plan.links
+        );
+
+        // An unreachable pair parks its packets until the watchdog; a
+        // short (but progress-based, so never spuriously firing) fuse
+        // keeps those fuzz cases fast. Identical in every compared run.
+        let fuse = 10_000;
+        let base = |mode: EngineMode, shards: NonZeroUsize, fault: FaultPlan| {
+            let mut cfg = SimConfig::new(part);
+            cfg.engine = mode;
+            cfg.shards = shards;
+            cfg.watchdog_cycles = fuse;
+            cfg.fault = fault;
+            cfg
+        };
+
+        let one = NonZeroUsize::new(1).unwrap();
+        let reference = run_aa(
+            part, &workload, &strategy, &params,
+            base(EngineMode::FullScan, one, plan.clone()),
+        );
+        for mode in EngineMode::ALL {
+            if mode == EngineMode::FullScan && shards.get() == 1 {
+                continue;
+            }
+            let got = run_aa(
+                part, &workload, &strategy, &params,
+                base(mode, shards, plan.clone()),
+            );
+            match (&reference, &got) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.cycles, b.cycles, "{} {}", &label, mode);
+                    prop_assert_eq!(&a.stats, &b.stats, "{} {}", &label, mode);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{} {}", &label, mode),
+                (a, b) => prop_assert!(
+                    false,
+                    "{} {}: reference {:?} vs {:?}",
+                    &label, mode, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+
+        // No-op plan: same links, dead only at a cycle no run reaches.
+        let noop = FaultPlan {
+            links: plan.links.iter().map(|l| LinkFault {
+                fail_at: 1 << 40,
+                recover_at: None,
+                ..*l
+            }).collect(),
+            nodes: vec![],
+        };
+        let healthy = run_aa(
+            part, &workload, &strategy, &params,
+            base(EngineMode::FullScan, one, FaultPlan::default()),
+        ).expect("healthy run completes");
+        let nooped = run_aa(
+            part, &workload, &strategy, &params,
+            base(EngineMode::FullScan, one, noop),
+        ).expect("noop-fault run completes");
+        prop_assert_eq!(healthy.cycles, nooped.cycles, "{} noop", &label);
+        prop_assert_eq!(&healthy.stats, &nooped.stats, "{} noop", &label);
     }
 }
 
