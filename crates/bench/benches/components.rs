@@ -70,7 +70,7 @@ fn bench_engine_cycles(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("ring8_stream_2000_packets", |b| {
         b.iter(|| {
-            let part: Partition = "8".parse().unwrap();
+            let part: Partition = "8x1x1".parse().unwrap();
             let cfg = SimConfig::new(part);
             let programs: Vec<Box<dyn NodeProgram>> = (0..8u32)
                 .map(|r| {

@@ -29,7 +29,7 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| aa("8x8", &StrategyKind::ar(), 432, 1.0))
     });
     g.bench_function("ar_line16_m912", |b| {
-        b.iter(|| aa("16", &StrategyKind::ar(), 912, 1.0))
+        b.iter(|| aa("16x1x1", &StrategyKind::ar(), 912, 1.0))
     });
     g.finish();
 }

@@ -333,6 +333,16 @@ fn main() {
                 move |e, s| aa_cycles("8x8x8", &ar, &AaWorkload::full(912), e, s)
             }),
         ),
+        (
+            "aa_4d_4x4x4x4_m64_ar",
+            "4-D torus row: full-coverage m=64 all-to-all on 4x4x4x4 \
+             (256 nodes, 8 links per node) — the arity-generalized router path",
+            reps,
+            Box::new({
+                let ar = ar.clone();
+                move |e, s| aa_cycles("4x4x4x4", &ar, &AaWorkload::full(64), e, s)
+            }),
+        ),
     ];
     if full_scale {
         // The full BG/L machine of the paper's Table 2: 20,480 nodes.

@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn packets_per_visit_interleaves_destinations() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let w = AaWorkload::full(1000); // 5 packets per message
         let mut cfg = DirectConfig::ar(&params());
         cfg.packets_per_visit = Some(1);
@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn dr_uses_deterministic_routing() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let w = AaWorkload::full(100);
         let prog = DirectProgram::new(0, &part, &w, &DirectConfig::dr(&params()), &params());
         let sends = drain_schedule(prog, &part);
@@ -313,7 +313,7 @@ mod tests {
 
     #[test]
     fn credit_window_blocks_until_ack_returns() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let w = AaWorkload::full(1000); // 5 packets per destination
         let mut cfg = DirectConfig::ar(&params());
         cfg.packets_per_visit = Some(u32::MAX); // whole message per visit
@@ -364,7 +364,7 @@ mod tests {
 
     #[test]
     fn receiver_acks_every_quantum() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let w = AaWorkload::full(240);
         let mut prog = DirectProgram::new(1, &part, &w, &DirectConfig::ar(&params()), &params());
         let mut ledger = FlowLedger::new(FlowSpec::Credit {

@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn one_way_latency_grows_with_size() {
-        let part: Partition = "4".parse().unwrap();
+        let part: Partition = "4x1x1".parse().unwrap();
         let params = MachineParams::bgl();
         let small = one_way_message_cycles(&part, 192, &params);
         let large = one_way_message_cycles(&part, 3792, &params);
@@ -124,7 +124,7 @@ mod tests {
         // The simulator serializes one 30-payload-byte chunk per cycle on
         // an idle path, so the fitted β must come out at the configured
         // 6.48 ns/B within a few percent (granularity noise).
-        let part: Partition = "4".parse().unwrap();
+        let part: Partition = "4x1x1".parse().unwrap();
         let params = MachineParams::bgl();
         let fit = fit_ptp_params(&part, &params);
         let err = (fit.beta_ns_per_byte - params.beta_ns_per_byte).abs() / params.beta_ns_per_byte;
@@ -141,7 +141,7 @@ mod tests {
     fn fit_alpha_is_positive_and_reasonable() {
         // α' = configured α (≈3.3 cycles) + per-packet handling + header
         // wire time: positive and below ~50 cycles.
-        let part: Partition = "4".parse().unwrap();
+        let part: Partition = "4x1x1".parse().unwrap();
         let params = MachineParams::bgl();
         let fit = fit_ptp_params(&part, &params);
         assert!(fit.alpha_cycles > 0.0, "{}", fit.alpha_cycles);
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn fit_samples_are_recorded() {
-        let part: Partition = "2".parse().unwrap();
+        let part: Partition = "2x1x1".parse().unwrap();
         let fit = fit_ptp_params(&part, &MachineParams::bgl());
         assert_eq!(fit.samples.len(), 7);
         assert!(fit.samples.windows(2).all(|w| w[1].1 > w[0].1));

@@ -11,7 +11,7 @@
 use crate::workload::packetize;
 use bgl_model::MachineParams;
 use bgl_sim::{Engine, NodeProgram, ScriptedProgram, SendSpec, SimConfig, SimError};
-use bgl_torus::{Partition, Rank, ALL_DIMS};
+use bgl_torus::{Partition, Rank};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -56,7 +56,10 @@ impl Pattern {
         match self {
             Pattern::AllToAll => (0..p).filter(|&d| d != rank).collect(),
             Pattern::Shift { offset } => {
-                let d = (rank + offset) % p;
+                // Widen before adding: a near-u32::MAX offset must reduce
+                // mod P, not overflow. Offsets ≡ 0 (mod P) are self-sends
+                // and yield the empty pattern.
+                let d = ((rank as u64 + *offset as u64) % p as u64) as Rank;
                 if d == rank {
                     vec![]
                 } else {
@@ -64,7 +67,13 @@ impl Pattern {
                 }
             }
             Pattern::Transpose { rows } => {
-                assert!(p.is_multiple_of(*rows), "rows must divide node count");
+                // A rows value that does not factor P (or rows == 0)
+                // admits no transpose pairing: the pattern is empty, not
+                // a panic — degenerate inputs must stay runnable (they
+                // come in from the CLI).
+                if *rows == 0 || !p.is_multiple_of(*rows) {
+                    return vec![];
+                }
                 let cols = p / rows;
                 let (i, j) = (rank / cols, rank % cols);
                 let d = j * rows + i;
@@ -104,18 +113,18 @@ impl Pattern {
     /// this pattern, computed numerically from minimal hop counts under the
     /// balanced-direction assumption, in cycles for `m` bytes per pair.
     pub fn peak_cycles(&self, part: &Partition, m: u64, params: &MachineParams, seed: u64) -> f64 {
-        let mut dim_bytes = [0f64; 3];
+        let mut dim_bytes = vec![0f64; part.ndims()];
         for src in 0..part.num_nodes() {
             let a = part.coord_of(src);
             for dst in self.destinations(part, src, seed) {
                 let b = part.coord_of(dst);
-                for d in ALL_DIMS {
+                for d in part.dims() {
                     dim_bytes[d.index()] += part.dim_hops(d, a.get(d), b.get(d)) as f64 * m as f64;
                 }
             }
         }
         let mut worst: f64 = 0.0;
-        for d in ALL_DIMS {
+        for d in part.dims() {
             let links = part.directed_links(d);
             if links > 0 {
                 worst = worst.max(dim_bytes[d.index()] / links as f64);
@@ -282,9 +291,49 @@ mod tests {
             let dests = pat.destinations(&p, r, 0);
             assert_eq!(dests.len(), 15); // 4x4 plane minus self
             for d in dests {
-                assert_eq!(p.coord_of(d).z, me.z);
+                assert_eq!(p.coord_of(d).get(Dim::Z), me.get(Dim::Z));
             }
         }
+    }
+
+    #[test]
+    fn degenerate_patterns_are_empty_not_panics() {
+        let p: Partition = "4x4".parse().unwrap();
+        let params = MachineParams::bgl();
+        // rows values that do not divide P (including 0) give the empty
+        // pattern everywhere, with a zero peak and zero pairs.
+        for rows in [0u32, 3, 7, 17] {
+            let t = Pattern::Transpose { rows };
+            for r in 0..p.num_nodes() {
+                assert!(t.destinations(&p, r, 0).is_empty(), "rows={rows}");
+            }
+            assert_eq!(t.pair_count(&p, 0), 0);
+            assert_eq!(t.peak_cycles(&p, 240, &params, 0), 0.0);
+        }
+        // A shift whose offset is ≡ 0 (mod P) is self-send only: empty.
+        for offset in [0u32, 16, 32] {
+            assert!(Pattern::Shift { offset }.destinations(&p, 5, 0).is_empty());
+        }
+        // Huge offsets reduce mod P instead of overflowing the add.
+        let d = Pattern::Shift { offset: u32::MAX }.destinations(&p, 0, 0);
+        assert_eq!(d, vec![15]);
+    }
+
+    #[test]
+    fn empty_pattern_runs_to_completion() {
+        let p: Partition = "4x4".parse().unwrap();
+        let rep = run_pattern(
+            p,
+            &Pattern::Transpose { rows: 7 },
+            240,
+            &MachineParams::bgl(),
+            SimConfig::new(p),
+            7,
+        )
+        .expect("empty pattern completes");
+        assert_eq!(rep.pairs, 0);
+        assert_eq!(rep.stats.packets_delivered, 0);
+        assert_eq!(rep.percent_of_peak, 0.0);
     }
 
     #[test]

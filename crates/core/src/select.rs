@@ -20,6 +20,14 @@ pub fn combining_crossover_bytes(part: &Partition, params: &MachineParams) -> u6
 
 /// Pick the paper's best strategy for `(part, m)`.
 pub fn auto_select(part: &Partition, m: u64, params: &MachineParams) -> StrategyKind {
+    // The indirect schedules are 3-D constructions (see
+    // [`StrategyKind::supported_dims`]); on higher-arity tori the adaptive
+    // direct scheme is the only paper strategy that generalizes, so Auto
+    // must resolve to it — Auto never yields a strategy that would reject
+    // the partition.
+    if part.ndims() > 3 {
+        return StrategyKind::ar();
+    }
     if part.num_nodes() >= 16 && m <= combining_crossover_bytes(part, params) {
         return StrategyKind::vmesh();
     }
@@ -78,6 +86,19 @@ mod tests {
     #[test]
     fn tiny_partitions_never_combine() {
         // Combining gains nothing on a couple of nodes.
-        assert_eq!(sel("4", 8), StrategyKind::ar());
+        assert_eq!(sel("4x1x1", 8), StrategyKind::ar());
+    }
+
+    #[test]
+    fn high_arity_tori_always_use_a_direct_scheme() {
+        // TPS and VMesh are 3-D-only; Auto must never resolve to them on
+        // a higher-arity torus, whatever the symmetry or message size.
+        assert_eq!(sel("4x4x4x4", 4096), StrategyKind::ar());
+        assert_eq!(sel("4x4x4x4x2", 1024), StrategyKind::ar());
+        assert_eq!(sel("4x4x4x4", 8), StrategyKind::ar());
+        let part: bgl_torus::Partition = "4x4x4x4x2".parse().unwrap();
+        assert!(sel("4x4x4x4x2", 16)
+            .supported_dims()
+            .contains(&part.ndims()));
     }
 }

@@ -343,6 +343,37 @@ impl StrategyKind {
             other => other.clone(),
         }
     }
+
+    /// Dimensionalities this strategy's schedule is defined for, as an
+    /// inclusive range. The two-phase indirect schedules (TPS factors the
+    /// torus into a linear dimension × orthogonal planes, VMesh into
+    /// rows × columns) are 3-D constructions; every direct scheme and the
+    /// XYZ software router generalize to any arity the topology supports.
+    /// `Auto` only ever resolves to a supported schedule, so it accepts
+    /// everything.
+    pub fn supported_dims(&self) -> std::ops::RangeInclusive<usize> {
+        match self {
+            StrategyKind::TwoPhaseSchedule { .. } | StrategyKind::VirtualMesh { .. } => 1..=3,
+            _ => 1..=bgl_torus::MAX_DIMS,
+        }
+    }
+
+    /// `Ok` iff this strategy supports `part`'s dimensionality; otherwise
+    /// the [`SimError::UnsupportedDims`] that a run would return. Checked
+    /// before any simulation state is built, so an unsupported pairing
+    /// fails fast instead of hanging or panicking mid-run.
+    pub fn check_dims(&self, part: &Partition) -> Result<(), SimError> {
+        let supported = self.supported_dims();
+        if supported.contains(&part.ndims()) {
+            Ok(())
+        } else {
+            Err(SimError::UnsupportedDims {
+                what: self.name(),
+                ndims: part.ndims(),
+                max_dims: *supported.end(),
+            })
+        }
+    }
 }
 
 /// Result of one all-to-all run.
@@ -531,6 +562,7 @@ fn execute(
 ) -> Result<AaReport, SimError> {
     let mut base = config.unwrap_or_else(|| SimConfig::new(part));
     let strategy = strategy.resolve(&part, workload.m_bytes);
+    strategy.check_dims(&part)?;
     let p = part.num_nodes();
     assert!(p >= 2, "all-to-all needs at least two nodes");
     base.partition = part;
@@ -587,7 +619,8 @@ fn execute(
                 .collect()
         }
         StrategyKind::XyzRouting { .. } => {
-            base.inj_class_masks = crate::xyz::xyz_inj_class_masks(base.inj_fifo_count);
+            base.inj_class_masks =
+                crate::xyz::xyz_inj_class_masks(base.inj_fifo_count, part.ndims());
             (0..p)
                 .map(|r| {
                     Box::new(crate::xyz::XyzProgram::new(r, &part, workload, params))
@@ -642,7 +675,8 @@ fn dr_static_preflight(
     if plan.is_empty() {
         return None;
     }
-    let mut dead = vec![false; part.num_nodes() as usize * 6];
+    let ports = part.ports();
+    let mut dead = vec![false; part.num_nodes() as usize * ports];
     let mut any = false;
     for s in plan.link_schedules(part) {
         if s.fail_at == 0 && s.recover_at.is_none() {
@@ -673,7 +707,7 @@ fn dr_static_preflight(
                 here,
                 part.coord_of(dst),
                 TieBreak::SrcParity,
-                |r, d| dead[r as usize * 6 + d.index()],
+                |r, d| dead[r as usize * ports + d.index()],
             );
             if let Some((rank, dir)) = hit {
                 *blocked.entry((rank, dir)).or_insert(0) += pkts_per_pair;
@@ -760,7 +794,7 @@ mod tests {
 
     #[test]
     fn ar_on_a_line_delivers_everything() {
-        let r = quick("8", 240, StrategyKind::ar());
+        let r = quick("8x1x1", 240, StrategyKind::ar());
         assert_eq!(r.stats.packets_delivered, r.stats.packets_injected);
         assert_eq!(r.stats.payload_bytes_delivered, 8 * 7 * 240);
         assert!(r.percent_of_peak > 40.0, "{}", r.percent_of_peak);
@@ -769,7 +803,7 @@ mod tests {
 
     #[test]
     fn dr_on_a_line_delivers_everything() {
-        let r = quick("8", 240, StrategyKind::dr());
+        let r = quick("8x1x1", 240, StrategyKind::dr());
         assert_eq!(r.stats.payload_bytes_delivered, 8 * 7 * 240);
         // DR rides the bubble VC exclusively.
         assert_eq!(r.stats.dynamic_hops, 0);
@@ -1082,6 +1116,42 @@ mod tests {
             }
             other => panic!("expected Unreachable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn indirect_schedules_reject_high_arity_partitions_up_front() {
+        let part: Partition = "4x4x4x4".parse().unwrap();
+        let w = AaWorkload::full(64);
+        for s in [StrategyKind::tps(), StrategyKind::vmesh()] {
+            assert_eq!(s.supported_dims(), 1..=3);
+            let err = run_aa(part, &w, &s, &params(), SimConfig::new(part)).unwrap_err();
+            match err {
+                SimError::UnsupportedDims {
+                    what,
+                    ndims,
+                    max_dims,
+                } => {
+                    assert_eq!(what, s.name());
+                    assert_eq!((ndims, max_dims), (4, 3));
+                }
+                other => panic!("expected UnsupportedDims, got {other:?}"),
+            }
+            // The error is its own one-line story.
+            assert!(s.check_dims(&part).unwrap_err().to_string().contains("4"));
+        }
+    }
+
+    #[test]
+    fn direct_schemes_run_on_high_arity_tori() {
+        // 2^4 hypercube-as-torus: every direct scheme and XYZ complete.
+        for s in [StrategyKind::ar(), StrategyKind::dr(), StrategyKind::xyz()] {
+            assert!(s.supported_dims().contains(&4));
+            let r = quick("2x2x2x2", 64, s);
+            assert_eq!(r.stats.packets_delivered, r.stats.packets_injected);
+        }
+        // Auto resolves to a supported scheme rather than erroring.
+        let r = quick("2x2x2x2", 16, StrategyKind::Auto);
+        assert_eq!(r.strategy, StrategyKind::ar());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
 use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
-use bgl_torus::{Coord, Dim, Partition, ALL_DIMS};
+use bgl_torus::{Coord, Dim, Partition};
 
 pub use crate::flow::CreditConfig;
 
@@ -43,12 +43,15 @@ pub struct TpsConfig {
 ///
 /// Reproduces every phase-1 choice in Table 3 (up to symmetric ties).
 pub fn choose_linear_dim(part: &Partition) -> Dim {
-    let active: Vec<Dim> = ALL_DIMS.into_iter().filter(|&d| part.size(d) > 1).collect();
+    let active: Vec<Dim> = part.dims().filter(|&d| part.size(d) > 1).collect();
     if active.len() == 3 {
         for &d in &active {
-            let [a, b] = d.others();
-            if part.size(a) == part.size(b) {
-                return d;
+            let mut others = d.others(part.ndims()).filter(|&o| part.size(o) > 1);
+            let (a, b) = (others.next(), others.next());
+            if let (Some(a), Some(b)) = (a, b) {
+                if part.size(a) == part.size(b) {
+                    return d;
+                }
             }
         }
     }
@@ -306,7 +309,7 @@ mod tests {
 
     #[test]
     fn linear_dim_low_dimensional() {
-        assert_eq!(choose_linear_dim(&"16".parse().unwrap()), Dim::X);
+        assert_eq!(choose_linear_dim(&"16x1x1".parse().unwrap()), Dim::X);
         assert_eq!(choose_linear_dim(&"8x32".parse().unwrap()), Dim::Y);
     }
 
@@ -336,13 +339,13 @@ mod tests {
             match s.class {
                 CLASS_LINEAR => {
                     // Intermediate differs from the source only along X.
-                    assert_eq!(dst.y, src.y);
-                    assert_eq!(dst.z, src.z);
+                    assert_eq!(dst.get(Dim::Y), src.get(Dim::Y));
+                    assert_eq!(dst.get(Dim::Z), src.get(Dim::Z));
                     assert_eq!(s.meta.kind, KIND_PHASE1);
                 }
                 CLASS_PLANAR => {
                     // Direct planar send: same X.
-                    assert_eq!(dst.x, src.x);
+                    assert_eq!(dst.get(Dim::X), src.get(Dim::X));
                     assert_eq!(s.meta.kind, KIND_PHASE2);
                 }
                 c => panic!("unexpected class {c}"),
@@ -439,7 +442,7 @@ mod tests {
 
     #[test]
     fn credit_window_blocks_and_credits_reopen() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let w = AaWorkload::full(240 * 20); // many packets per destination
         let cfg = TpsConfig {
             linear: Some(Dim::X),

@@ -52,7 +52,10 @@ impl AaWorkload {
     /// Number of destinations per node on a partition of `p` nodes.
     pub fn dests_per_node(&self, p: u32) -> u32 {
         let others = p.saturating_sub(1);
-        if self.coverage >= 1.0 {
+        // A single-node partition has nobody to send to at any coverage;
+        // guarding here also keeps `clamp(1, 0)` (min > max) from
+        // panicking on the sampled path.
+        if self.coverage >= 1.0 || others == 0 {
             others
         } else {
             ((others as f64 * self.coverage).round() as u32).clamp(1, others)
@@ -170,6 +173,15 @@ mod tests {
         let w = AaWorkload::sampled(1024, 0.25);
         assert_eq!(w.dests_per_node(4097), 1024);
         assert!((w.effective_fraction(4097) - 0.25).abs() < 0.001);
+    }
+
+    #[test]
+    fn single_node_partition_has_no_destinations() {
+        // P=1 must yield an empty destination set at every coverage —
+        // the sampled path used to hit clamp(1, 0) and panic.
+        assert_eq!(AaWorkload::full(240).dests_per_node(1), 0);
+        assert_eq!(AaWorkload::sampled(240, 0.5).dests_per_node(1), 0);
+        assert_eq!(AaWorkload::sampled(240, 0.5).effective_fraction(1), 0.0);
     }
 
     #[test]

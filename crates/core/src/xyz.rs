@@ -14,7 +14,7 @@
 use crate::workload::{destination_schedule, packetize, AaWorkload, PacketShape};
 use bgl_model::MachineParams;
 use bgl_sim::{NodeApi, NodeProgram, Packet, PacketMeta, PollHint, RoutingMode, SendSpec};
-use bgl_torus::{Coord, Dim, Partition};
+use bgl_torus::{Coord, Partition};
 
 /// Injection classes, one per software-routing dimension, so an X-phase
 /// packet is never queued behind a Z-phase packet in an injection FIFO.
@@ -24,25 +24,22 @@ pub const CLASS_Y: u8 = 1;
 /// Z-phase class.
 pub const CLASS_Z: u8 = 2;
 
-/// Packet kind: the dimension the packet is currently travelling.
+/// Packet kind: the dimension the packet is currently travelling,
+/// encoded as `dim.index() + 1` (1..=MAX_DIMS).
 const KIND_X: u8 = 1;
-const KIND_Y: u8 = 2;
-const KIND_Z: u8 = 3;
-/// Credit-acknowledgement packet kind (credit-window pacing only).
-const KIND_CREDIT: u8 = 4;
+/// Credit-acknowledgement packet kind (credit-window pacing only). Sits
+/// above every per-dimension kind, which top out at `MAX_DIMS`.
+const KIND_CREDIT: u8 = bgl_torus::MAX_DIMS as u8 + 1;
 /// Kind-byte flag marking a source-leg packet that reserved a credit
 /// toward its first-hop intermediate; the intermediate acknowledges and
 /// forwards with the flag cleared (later legs hold no reservation).
 const FRESH: u8 = 0x80;
 
-/// Injection-FIFO class masks splitting the FIFOs across the three phases.
-pub fn xyz_inj_class_masks(fifo_count: u32) -> Vec<u8> {
+/// Injection-FIFO class masks splitting the FIFOs round-robin across the
+/// per-dimension phases (class `d` for software-routing dimension `d`).
+pub fn xyz_inj_class_masks(fifo_count: u32, ndims: usize) -> Vec<u8> {
     (0..fifo_count)
-        .map(|f| match f % 3 {
-            0 => 1 << CLASS_X,
-            1 => 1 << CLASS_Y,
-            _ => 1 << CLASS_Z,
-        })
+        .map(|f| 1u8 << (f as usize % ndims.max(1)))
         .collect()
 }
 
@@ -92,20 +89,19 @@ impl XyzProgram {
     }
 
     /// The next software hop for a packet currently at `here` and finally
-    /// destined for `dst`: correct one dimension at a time, X then Y then
-    /// Z. Returns the hop target, the class/kind of that leg, or `None`
-    /// when `here == dst`.
+    /// destined for `dst`: correct one dimension at a time in ascending
+    /// dimension order (X then Y then Z on 3D, continuing through d3…
+    /// on higher-arity tori). Returns the hop target, the class/kind of
+    /// that leg, or `None` when `here == dst`.
     fn next_leg(part: &Partition, here: Coord, dst: Coord) -> Option<(Coord, u8, u8)> {
-        if here.x != dst.x {
-            Some((here.with(Dim::X, dst.x), CLASS_X, KIND_X))
-        } else if here.y != dst.y {
-            Some((here.with(Dim::Y, dst.y), CLASS_Y, KIND_Y))
-        } else if here.z != dst.z {
-            Some((here.with(Dim::Z, dst.z), CLASS_Z, KIND_Z))
-        } else {
-            let _ = part;
-            None
+        for d in part.dims() {
+            if here.get(d) != dst.get(d) {
+                let class = d.index() as u8;
+                let kind = d.index() as u8 + 1;
+                return Some((here.with(d, dst.get(d)), class, kind));
+            }
         }
+        None
     }
 
     fn advance(&mut self) {
@@ -178,7 +174,7 @@ impl NodeProgram for XyzProgram {
             api.apply_credit(pkt.meta.a, pkt.meta.b);
             return;
         }
-        debug_assert!(matches!(pkt.meta.kind & !FRESH, KIND_X | KIND_Y | KIND_Z));
+        debug_assert!((KIND_X..KIND_CREDIT).contains(&(pkt.meta.kind & !FRESH)));
         if pkt.meta.kind & FRESH != 0 {
             // We are the source's first-hop intermediate: acknowledge its
             // reservation once the quantum fills.
@@ -230,6 +226,7 @@ impl NodeProgram for XyzProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgl_torus::Dim;
     use std::collections::VecDeque;
 
     fn params() -> MachineParams {
@@ -266,10 +263,10 @@ mod tests {
             // A first leg differs from the source in exactly one dimension,
             // and if X needs correcting it is X.
             let final_dst = part.coord_of(s.meta.a);
-            if final_dst.x != me.x {
+            if final_dst.get(Dim::X) != me.get(Dim::X) {
                 assert_eq!(s.class, CLASS_X);
-                assert_eq!(hop.y, me.y);
-                assert_eq!(hop.z, me.z);
+                assert_eq!(hop.get(Dim::Y), me.get(Dim::Y));
+                assert_eq!(hop.get(Dim::Z), me.get(Dim::Z));
             }
         }
         assert!(prog.is_complete());
@@ -319,9 +316,27 @@ mod tests {
 
     #[test]
     fn class_masks_cover_three_phases() {
-        let masks = xyz_inj_class_masks(6);
+        let masks = xyz_inj_class_masks(6, 3);
         assert_eq!(masks.iter().filter(|&&m| m == 1 << CLASS_X).count(), 2);
         assert_eq!(masks.iter().filter(|&&m| m == 1 << CLASS_Y).count(), 2);
         assert_eq!(masks.iter().filter(|&&m| m == 1 << CLASS_Z).count(), 2);
+    }
+
+    #[test]
+    fn class_masks_and_legs_follow_arity() {
+        // On a 4D torus the round-robin covers four classes…
+        let masks = xyz_inj_class_masks(8, 4);
+        for c in 0..4u8 {
+            assert_eq!(masks.iter().filter(|&&m| m == 1 << c).count(), 2);
+        }
+        // …and legs continue past Z into d3.
+        let part = Partition::torus_nd(&[2, 2, 2, 2]);
+        let here = Coord::zero();
+        let dst = Coord::from_slice(&[0, 0, 0, 1]);
+        let (hop, class, kind) = XyzProgram::next_leg(&part, here, dst).unwrap();
+        assert_eq!(hop, dst);
+        assert_eq!(class, 3);
+        assert_eq!(kind, 4);
+        assert!(kind < KIND_CREDIT);
     }
 }

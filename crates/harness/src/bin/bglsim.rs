@@ -388,6 +388,13 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
         .map(strategy_by_name)
         .collect();
     let strategies = apply_pacer_flags(flags, strategies);
+    // Strategy × shape compatibility is knowable before any simulation:
+    // reject e.g. TPS on a 4-D torus here with exit 2, not mid-sweep.
+    for s in &strategies {
+        if let Err(e) = s.check_dims(&part) {
+            fail(&e.to_string());
+        }
+    }
     let sizes: Vec<u64> = flags
         .get("sizes")
         .map(String::as_str)
@@ -662,6 +669,9 @@ fn cmd_profile(flags: &HashMap<String, String>) {
     let shape = flags.get("shape").map(String::as_str).unwrap_or("8x8x8");
     let part = parse_shape(shape);
     let strategy = strategy_by_name(flags.get("strategy").map(String::as_str).unwrap_or("ar"));
+    if let Err(e) = strategy.check_dims(&part) {
+        fail(&e.to_string());
+    }
     let m: u64 = flags.get("m").map_or(240, |s| {
         s.parse()
             .unwrap_or_else(|_| fail(&format!("--m needs numeric bytes, got {s:?}")))

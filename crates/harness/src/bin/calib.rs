@@ -22,7 +22,7 @@
 use bgl_core::*;
 use bgl_harness::runner::{RunPoint, Runner, Scale};
 use bgl_sim::EngineMode;
-use bgl_torus::{Partition, ALL_DIMS};
+use bgl_torus::Partition;
 
 fn fail(msg: &str) -> ! {
     eprintln!("calib: {msg}");
@@ -102,6 +102,11 @@ fn main() {
             )),
         })
         .collect();
+    for s in &strategies {
+        if let Err(e) = s.check_dims(&part) {
+            fail(&e.to_string());
+        }
+    }
     let mut runner = Runner::new(Scale::Paper)
         .with_engine(engine)
         .with_shards(shards)
@@ -139,9 +144,9 @@ fn main() {
     for point in &points {
         match runner.report(point) {
             Ok(r) => {
-                let utils: Vec<String> = ALL_DIMS
-                    .iter()
-                    .map(|&d| format!("{}={:.2}", d, r.stats.dim_utilization(&part, d)))
+                let utils: Vec<String> = part
+                    .dims()
+                    .map(|d| format!("{}={:.2}", d, r.stats.dim_utilization(&part, d)))
                     .collect();
                 println!(
                     "{shape} {} m={m} cov={cov}: {:.1}% of peak, {} cycles, {} [{:.1?}]",

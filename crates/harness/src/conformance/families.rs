@@ -215,6 +215,57 @@ fn f8_twins() -> Vec<(&'static str, RunPoint)> {
     ]
 }
 
+/// The F9 n-dimensional grid: AR and DR on a 2-D torus and a 5-D
+/// mixed-extent shape (k = 2 included), identical at both tiers.
+const F9_SHAPES: [&str; 2] = ["8x8", "4x4x4x4x2"];
+/// Message size of every F9 point.
+const F9_M: u64 = 64;
+
+/// The engine-mode × shard-count combinations every F9 (shape, strategy)
+/// pair runs under, each with a distinct cache-key variant label and the
+/// invariant oracle on. The full-scan single-shard combination is the
+/// reference the other five must match byte-for-byte.
+fn f9_variants() -> [(&'static str, EngineMode, usize); 6] {
+    [
+        (INVARIANTS_FULL_SCAN, EngineMode::FullScan, 1),
+        (INVARIANTS, EngineMode::ActiveSet, 1),
+        (INVARIANTS_EVENT, EngineMode::EventDriven, 1),
+        ("invariants-fullscan-shards4", EngineMode::FullScan, 4),
+        ("invariants-activeset-shards4", EngineMode::ActiveSet, 4),
+        ("invariants-event-shards4", EngineMode::EventDriven, 4),
+    ]
+}
+
+/// One F9 point: full coverage, oracle on, pinned engine mode and shard
+/// count.
+fn f9_point(
+    shape: &str,
+    strategy: &StrategyKind,
+    label: &'static str,
+    engine: EngineMode,
+    shards: usize,
+) -> RunPoint {
+    let part: Partition = shape.parse().expect("valid shape");
+    RunPoint::new(part, strategy.clone(), F9_M, 1.0).variant(label, move |c| {
+        c.check_invariants = true;
+        c.engine = engine;
+        c.shards = std::num::NonZeroUsize::new(shards).expect("nonzero");
+    })
+}
+
+/// Every F9 simulation point.
+fn f9_points() -> Vec<RunPoint> {
+    let mut pts = Vec::new();
+    for shape in F9_SHAPES {
+        for s in [ar(), dr()] {
+            for (label, engine, shards) in f9_variants() {
+                pts.push(f9_point(shape, &s, label, engine, shards));
+            }
+        }
+    }
+    pts
+}
+
 /// Every F8 simulation point (the fault plan rides the cache key, so
 /// none of these alias the healthy grid).
 fn fault_points() -> Vec<RunPoint> {
@@ -269,7 +320,7 @@ struct Grid {
 fn grid(tier: Tier) -> Grid {
     match tier {
         Tier::Quick => Grid {
-            sym_ladder: ["8", "8x8", "8x8x8"],
+            sym_ladder: ["8x1x1", "8x8", "8x8x8"],
             asym: "8x4x4",
             dr_orient: ["8x4x4", "4x8x4", "4x4x8"],
             dr_sym: "4x4x4",
@@ -283,7 +334,7 @@ fn grid(tier: Tier) -> Grid {
             vm_tri_4096: None,
         },
         Tier::Full => Grid {
-            sym_ladder: ["8", "8x8", "8x8x8"],
+            sym_ladder: ["8x1x1", "8x8", "8x8x8"],
             asym: "8x4x4",
             dr_orient: ["16x8x8", "8x16x8", "8x8x16"],
             dr_sym: "8x8x8",
@@ -377,6 +428,10 @@ pub fn points(runner: &Runner, tier: Tier) -> Vec<RunPoint> {
     // on a dead link, a mid-run fail→recover window, and engine/shard
     // twins under the same fault plan.
     pts.extend(fault_points());
+    // F9: the n-dimensional generalization — AR and DR on a 2-D torus
+    // and a 5-D mixed-extent shape, across every engine mode × shard
+    // count combination.
+    pts.extend(f9_points());
     pts
 }
 
@@ -815,6 +870,98 @@ pub fn evaluate(runner: &Runner, tier: Tier) -> Vec<CheckResult> {
             measured,
             "every engine mode and shard count == baseline under the fault",
         ));
+    }
+
+    // ---- F9: n-dimensional generalization -----------------------------
+    // The topology layer generalized from a hard-coded 3-D torus to
+    // k-ary n-dimensional shapes; this family pins both halves of that
+    // contract: (a) 3-D behavior did not move a byte — the committed
+    // golden fingerprint still reproduces — and (b) the generalized
+    // machinery is genuinely n-dimensional: full oracle-checked AR and DR
+    // exchanges on a 2-D torus and a 5-D mixed-extent shape, identical
+    // across every engine mode and shard count.
+    let fam = "F9 ndim-generalization";
+    {
+        let part: Partition = "4x4x1".parse().expect("valid shape");
+        let point = RunPoint::new(part, ar(), 240, 1.0);
+        let got = runner
+            .report(&point)
+            .ok()
+            .map(|r| format!("{:016x}", super::golden::fingerprint(&r.stats)));
+        let want = super::golden::committed_fingerprint(&point.key);
+        let (passed, measured) = match (&got, &want) {
+            (Some(g), Some(w)) if g == w => (true, g.clone()),
+            (Some(g), Some(w)) => (false, format!("{g}, committed {w}")),
+            (Some(g), None) => (false, format!("{g}, no committed entry")),
+            (None, _) => (false, "run failed".to_string()),
+        };
+        out.push(CheckResult::new(
+            fam,
+            "4x4x1 AR reproduces the committed 3-D fingerprint",
+            passed,
+            measured,
+            "n-dim refactor leaves 3-D behavior byte-identical",
+        ));
+    }
+    for shape in F9_SHAPES {
+        let part: Partition = shape.parse().expect("valid shape");
+        let p = part.num_nodes() as u64;
+        let want_payload = p * (p - 1) * F9_M;
+        for s in [ar(), dr()] {
+            let reference = runner.report(&f9_point(
+                shape,
+                &s,
+                INVARIANTS_FULL_SCAN,
+                EngineMode::FullScan,
+                1,
+            ));
+            let (passed, measured) = match &reference {
+                Ok(r) if r.stats.payload_bytes_delivered == want_payload => {
+                    (true, format!("{want_payload} B delivered"))
+                }
+                Ok(r) => (
+                    false,
+                    format!(
+                        "{} B delivered, want {want_payload}",
+                        r.stats.payload_bytes_delivered
+                    ),
+                ),
+                Err(e) => (false, format!("run failed: {e}")),
+            };
+            out.push(CheckResult::new(
+                fam,
+                format!("{shape} {} full exchange, oracle on", s.name()),
+                passed,
+                measured,
+                "complete all-to-all payload under the invariant oracle",
+            ));
+            for (label, engine, shards) in f9_variants() {
+                if matches!(engine, EngineMode::FullScan) && shards == 1 {
+                    continue; // the reference itself
+                }
+                let twin = runner.report(&f9_point(shape, &s, label, engine, shards));
+                let (passed, measured) = match (&twin, &reference) {
+                    (Ok(a), Ok(r)) if a.stats == r.stats => {
+                        (true, "identical NetStats".to_string())
+                    }
+                    (Ok(a), Ok(r)) => (
+                        false,
+                        format!("diverged: {} vs {} cycles", a.cycles, r.cycles),
+                    ),
+                    (a, r) => (
+                        false,
+                        format!("run failed: {:?} / {:?}", a.is_ok(), r.is_ok()),
+                    ),
+                };
+                out.push(CheckResult::new(
+                    fam,
+                    format!("{shape} {} {label}", s.name()),
+                    passed,
+                    measured,
+                    "engine mode × shard count == full-scan reference",
+                ));
+            }
+        }
     }
 
     out

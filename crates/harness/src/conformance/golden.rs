@@ -34,11 +34,11 @@ fn grid() -> Vec<RunPoint> {
         RunPoint::new(shape.parse().expect("valid shape"), strategy, m, 1.0)
     };
     vec![
-        pt("4x4", StrategyKind::ar(), 240),
+        pt("4x4x1", StrategyKind::ar(), 240),
         pt("4x2x2", StrategyKind::dr(), 240),
-        pt("8", StrategyKind::tps(), 64),
+        pt("8x1x1", StrategyKind::tps(), 64),
         pt("4x4x4", StrategyKind::vmesh(), 8),
-        pt("4x4", StrategyKind::throttled(1.0), 240),
+        pt("4x4x1", StrategyKind::throttled(1.0), 240),
         pt("3x3x2", StrategyKind::xyz(), 64),
         // Paced points pin the flow-control layer itself: a credit
         // window on each forwarding class (TPS acks every other packet,
@@ -60,11 +60,18 @@ fn grid() -> Vec<RunPoint> {
         // Fault injection: AR around one statically dead link pins the
         // degraded-mode arbitration, detour replanning, and suppressed
         // return-bounce bit-for-bit (the plan rides the RunKey, so this
-        // never aliases the healthy 4x4 AR point above).
-        pt("4x4", StrategyKind::ar(), 240).with_fault(FaultPlan {
+        // never aliases the healthy 4x4x1 AR point above).
+        pt("4x4x1", StrategyKind::ar(), 240).with_fault(FaultPlan {
             links: vec![LinkFault::dead(0, bgl_torus::Direction::from_index(0))],
             nodes: vec![],
         }),
+        // n-dimensional pins: a true 2-D torus (4 ports per node) and a
+        // 4-D torus (8 ports), so the generalized topology layer has
+        // golden coverage beyond the historical 3-D grid. Appended after
+        // the legacy points — their committed fingerprints must never
+        // move when entries are added here.
+        pt("8x8", StrategyKind::ar(), 240),
+        pt("4x4x4x4", StrategyKind::ar(), 64),
     ]
 }
 
@@ -134,6 +141,13 @@ fn load(path: &Path) -> Result<HashMap<RunKey, String>, String> {
 /// The golden grid's simulation points (for the batched run).
 pub fn points() -> Vec<RunPoint> {
     grid()
+}
+
+/// The committed fingerprint (hex) for `key`, if the golden file holds
+/// one. The F9 family uses this to pin that the n-dimensional topology
+/// refactor reproduces the stored 3-D fingerprints byte-for-byte.
+pub fn committed_fingerprint(key: &RunKey) -> Option<String> {
+    load(Path::new(GOLDEN_PATH)).ok()?.remove(key)
 }
 
 /// Compare the measured grid against the committed file — or, with

@@ -11,9 +11,9 @@ use bgl_torus::Partition;
 /// Partitions plotted per scale (the paper plots its Table 1/2 set).
 pub fn shapes(scale: Scale) -> Vec<&'static str> {
     match scale {
-        Scale::Quick => vec!["8", "8x8", "8x8x8", "8x4x4"],
+        Scale::Quick => vec!["8x1x1", "8x8", "8x8x8", "8x4x4"],
         Scale::Paper => vec![
-            "8", "16", "8x8", "16x16", "8x8x8", "8x8x16", "8x16x16", "8x32x16", "16x16x16",
+            "8x1x1", "16x1x1", "8x8", "16x16", "8x8x8", "8x8x16", "8x16x16", "8x32x16", "16x16x16",
         ],
     }
 }
@@ -107,7 +107,7 @@ mod tests {
         };
         // 8-line and 8x8x8 share M=8: peak/node differs only by the
         // (P-1)/P self-traffic factor, so the cube is slightly higher.
-        let (line, cube) = (bw_of("8"), bw_of("8x8x8"));
+        let (line, cube) = (bw_of("8x1x1"), bw_of("8x8x8"));
         assert!(cube >= line && cube / line < 1.2, "line {line} cube {cube}");
     }
 }

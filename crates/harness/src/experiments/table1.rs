@@ -10,7 +10,7 @@ use bgl_core::StrategyKind;
 /// Partitions evaluated at each scale.
 pub fn shapes(scale: Scale) -> Vec<&'static str> {
     match scale {
-        Scale::Quick => vec!["8", "16", "8x8", "8x8x8"],
+        Scale::Quick => vec!["8x1x1", "16x1x1", "8x8", "8x8x8"],
         Scale::Paper => TABLE1_AR_SYMMETRIC.iter().map(|(s, _)| *s).collect(),
     }
 }

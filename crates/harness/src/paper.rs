@@ -8,8 +8,8 @@
 
 /// Table 1: AR percent of peak on symmetric partitions, large messages.
 pub const TABLE1_AR_SYMMETRIC: &[(&str, f64)] = &[
-    ("8", 98.2),
-    ("16", 97.7),
+    ("8x1x1", 98.2),
+    ("16x1x1", 97.7),
     ("8x8", 98.7),
     ("16x16", 99.7),
     ("8x8x8", 99.0),

@@ -716,7 +716,7 @@ mod tests {
             interval in 0u64..5000,
             fault_i in 0usize..3,
         ) {
-            let shapes = ["4x4", "8x4x4", "8", "3x3x2"];
+            let shapes = ["4x4", "8x4x4", "8x1x1", "3x3x2"];
             let strategies = [
                 // The legacy wire forms (bare names, ThrottledAdaptive,
                 // TPS's `credit` field) plus every pacer attachment.

@@ -11,7 +11,7 @@
 
 use bgl_core::AaReport;
 use bgl_sim::{NetStats, TraceSample};
-use bgl_torus::{Partition, ALL_DIMS};
+use bgl_torus::{Dim, Partition};
 use std::fmt::Write as _;
 
 /// Width of the utilization bar, characters at 100 %.
@@ -54,9 +54,9 @@ pub fn render_run_report(report: &AaReport) -> String {
             s.dropped_by_fault,
         );
     }
-    let util: Vec<String> = ALL_DIMS
-        .into_iter()
-        .map(|d| format!("{d:?} {:.1}%", 100.0 * s.dim_utilization(&part, d)))
+    let util: Vec<String> = part
+        .dims()
+        .map(|d| format!("{d} {:.1}%", 100.0 * s.dim_utilization(&part, d)))
         .collect();
     let _ = writeln!(out, "  link utilization: {}", util.join("  "));
 
@@ -71,7 +71,7 @@ pub fn render_run_report(report: &AaReport) -> String {
             let _ = writeln!(out, "\n(no trace recorded — rerun with --trace-interval)");
         }
     }
-    render_hottest_links(&mut out, s);
+    render_hottest_links(&mut out, s, &part);
     out
 }
 
@@ -86,12 +86,14 @@ fn render_timeline(out: &mut String, trace: &bgl_sim::Trace, part: &Partition) {
         trace.samples.len(),
         trace.interval_cycles,
     );
+    let dim_names: Vec<&str> = Dim::all(part.ndims()).map(|d| d.name()).collect();
     let _ = writeln!(
         out,
-        "  {:>10}  {:<bw$}  {:>5}  dynVC max x/y/z  {:>6}  {:>8}",
+        "  {:>10}  {:<bw$}  {:>5}  dynVC max {}  {:>6}  {:>8}",
         "cycle",
         "util",
         "busy%",
+        dim_names.join("/"),
         "HOL",
         "inflight",
         bw = BAR_WIDTH,
@@ -104,14 +106,17 @@ fn render_timeline(out: &mut String, trace: &bgl_sim::Trace, part: &Partition) {
         let busiest = util.into_iter().fold(0.0f64, f64::max);
         let filled = ((busiest * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
         let bar: String = "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled);
+        let occ: Vec<String> = sample
+            .dyn_vc_occupancy
+            .iter()
+            .map(|o| format!("{:>4}", o.max_chunks))
+            .collect();
         let _ = writeln!(
             out,
-            "  {:>10}  {bar}  {:>5.1}  {:>4}/{:>4}/{:>4}  {:>6}  {:>8}",
+            "  {:>10}  {bar}  {:>5.1}  {}  {:>6}  {:>8}",
             sample.cycle,
             100.0 * busiest,
-            sample.dyn_vc_occupancy[0].max_chunks,
-            sample.dyn_vc_occupancy[1].max_chunks,
-            sample.dyn_vc_occupancy[2].max_chunks,
+            occ.join("/"),
             sample.hol_blocked_heads,
             sample.packets_in_flight,
         );
@@ -122,9 +127,9 @@ fn render_timeline(out: &mut String, trace: &bgl_sim::Trace, part: &Partition) {
 }
 
 /// Per-dimension link utilization over one sample's window.
-fn window_utilization(sample: &TraceSample, part: &Partition, window: u64) -> [f64; 3] {
-    let mut util = [0.0f64; 3];
-    for d in ALL_DIMS {
+fn window_utilization(sample: &TraceSample, part: &Partition, window: u64) -> Vec<f64> {
+    let mut util = vec![0.0f64; part.ndims()];
+    for d in part.dims() {
         let links = part.directed_links(d);
         if links > 0 {
             util[d.index()] =
@@ -171,18 +176,24 @@ fn render_fifo_highlights(out: &mut String, trace: &bgl_sim::Trace) {
         .map(|s| s.hol_blocked_heads)
         .max()
         .unwrap_or(0);
+    let peaks: Vec<String> = peak.iter().map(|p| p.to_string()).collect();
+    let names: Vec<&str> = Dim::all(peak.len()).map(|d| d.name()).collect();
     let _ = writeln!(
         out,
-        "FIFO highlights: peak dynamic-VC occupancy x/y/z = {}/{}/{} chunks, \
+        "FIFO highlights: peak dynamic-VC occupancy {} = {} chunks, \
          peak bubble-VC {} chunks, peak reception {} chunks, peak HOL-blocked heads {}",
-        peak[0], peak[1], peak[2], peak_bubble, peak_recv, peak_hol,
+        names.join("/"),
+        peaks.join("/"),
+        peak_bubble,
+        peak_recv,
+        peak_hol,
     );
 }
 
 /// Top-k busiest directed links (needs `detailed_link_stats`; `--report`
 /// turns it on).
-fn render_hottest_links(out: &mut String, stats: &NetStats) {
-    let hot = stats.hottest_links(8);
+fn render_hottest_links(out: &mut String, stats: &NetStats, part: &Partition) {
+    let hot = stats.hottest_links(part.ports(), 8);
     if hot.is_empty() {
         return;
     }

@@ -225,6 +225,86 @@ fn bglsim_fault_happy_paths() {
     assert!(out.contains("of peak"), "{out}");
 }
 
+/// Shape arity contract across the CLIs: any arity from 2 to 6 parses
+/// (a true 2-D torus and a 5-D torus both run), while 1-token shapes,
+/// missing or zero sizes, and arities above `MAX_DIMS` all obey the
+/// one-line exit-2 contract.
+#[test]
+fn shape_arity_accepted_and_rejected_consistently() {
+    let bglsim = env!("CARGO_BIN_EXE_bglsim");
+    let sweep = |shape: &'static str| -> Vec<&'static str> {
+        vec![
+            "sweep",
+            "--shape",
+            shape,
+            "--strategies",
+            "ar",
+            "--sizes",
+            "64",
+        ]
+    };
+    for shape in ["32x32", "4x4x4x4x2"] {
+        let (code, stdout, stderr) = run(bglsim, &sweep(shape));
+        assert_eq!(code, Some(0), "--shape {shape} failed: {stderr}");
+        assert!(stdout.contains("of peak"), "--shape {shape}: {stdout}");
+    }
+    // 1-token shapes are rejected: spell a line "8x1x1" explicitly.
+    assert_clean_failure(bglsim, &sweep("8"), "expected 2..=6");
+    assert_clean_failure(bglsim, &sweep("4x"), "bad size");
+    assert_clean_failure(bglsim, &sweep("4x0x4"), "zero size");
+    assert_clean_failure(bglsim, &sweep("2x2x2x2x2x2x2"), "expected 2..=6");
+    assert_clean_failure(bglsim, &["profile", "--shape", "8"], "expected 2..=6");
+    assert_clean_failure(bglsim, &["fit", "--shape", "4x0x4"], "zero size");
+    let calib = env!("CARGO_BIN_EXE_calib");
+    assert_clean_failure(calib, &["8"], "expected 2..=6");
+    assert_clean_failure(calib, &["4x"], "bad size");
+    assert_clean_failure(calib, &["4x0x4"], "zero size");
+    assert_clean_failure(calib, &["2x2x2x2x2x2x2"], "expected 2..=6");
+}
+
+/// The 3-D-only indirect strategies fail fast on higher-arity tori:
+/// exit 2 with the typed one-line message, never a hang — on sweep,
+/// profile, and calib.
+#[test]
+fn indirect_strategies_on_high_arity_tori_exit_2() {
+    let bglsim = env!("CARGO_BIN_EXE_bglsim");
+    let needle = "at most 3 dimensions";
+    assert_clean_failure(
+        bglsim,
+        &[
+            "sweep",
+            "--shape",
+            "4x4x4x4",
+            "--strategies",
+            "tps",
+            "--sizes",
+            "64",
+        ],
+        needle,
+    );
+    assert_clean_failure(
+        bglsim,
+        &[
+            "sweep",
+            "--shape",
+            "4x4x4x4x2",
+            "--strategies",
+            "vm",
+            "--sizes",
+            "64",
+        ],
+        needle,
+    );
+    assert_clean_failure(
+        bglsim,
+        &["profile", "--shape", "4x4x4x4", "--strategy", "tps"],
+        needle,
+    );
+    let calib = env!("CARGO_BIN_EXE_calib");
+    assert_clean_failure(calib, &["4x4x4x4", "TPS", "64", "1.0"], needle);
+    assert_clean_failure(calib, &["4x4x4x4", "VM", "64", "1.0"], needle);
+}
+
 #[test]
 fn bglsim_usage_exits_2_without_panicking() {
     let bin = env!("CARGO_BIN_EXE_bglsim");

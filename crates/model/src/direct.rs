@@ -69,7 +69,7 @@ mod tests {
         // A 2-node line has load factor 2·2/8 < 1 per the torus formula, but
         // a message still can't move faster than β — C clamps at 1.
         let params = MachineParams::bgl();
-        let part: Partition = "2".parse().unwrap();
+        let part: Partition = "2x1x1".parse().unwrap();
         let t = aa_direct_time_secs(&part, 1000, &params);
         assert!(t >= 2.0 * 1000.0 * params.beta_secs_per_byte());
     }

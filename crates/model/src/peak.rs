@@ -46,6 +46,38 @@ mod tests {
     }
 
     #[test]
+    fn equation_2_generalizes_beyond_three_dims() {
+        // The paper's closed form T = P·(M/8)·m·β (M the longest
+        // dimension) survives the arity generalization: it holds
+        // exactly on even symmetric tori of any dimensionality.
+        let params = MachineParams::bgl();
+        let m = 1024u64;
+        for (shape, longest) in [("8x8", 8.0), ("4x4x4x4", 4.0), ("4x4x4x4x2", 4.0)] {
+            let part: Partition = shape.parse().unwrap();
+            let p = part.num_nodes() as f64;
+            let want = p * (longest / 8.0) * m as f64 * params.beta_secs_per_byte();
+            let got = aa_peak_time_secs(&part, m, &params);
+            assert!(
+                (got - want).abs() / want < 1e-12,
+                "{shape}: {got} vs {want}"
+            );
+        }
+        // A size-1 dimension carries no links: the 2-D torus and its
+        // legacy 3-D spelling share one peak.
+        let flat: Partition = "8x8".parse().unwrap();
+        let padded: Partition = "8x8x1".parse().unwrap();
+        assert_eq!(
+            aa_peak_time_secs(&flat, m, &params),
+            aa_peak_time_secs(&padded, m, &params),
+        );
+        // And the peak stays linear in m at 4-D.
+        let four: Partition = "4x4x4x4".parse().unwrap();
+        let one = aa_peak_time_secs(&four, m, &params);
+        let two = aa_peak_time_secs(&four, 2 * m, &params);
+        assert!((two / one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn cycles_and_seconds_agree() {
         let params = MachineParams::bgl();
         let part: Partition = "8x32x16".parse().unwrap();

@@ -256,17 +256,18 @@ impl Engine {
         // consider every direction (waking early is always safe). Fault
         // transitions themselves mark both endpoints fresh, so dead links
         // becoming live never rely on this bound.
+        let ports = self.ports;
         let dirs = if self.fault_alive.is_empty() {
-            sendable_dirs(node)
+            sendable_dirs(node, ports)
         } else {
-            0x3f
+            (1u16 << ports) - 1
         };
         let mut wake = u64::MAX;
-        for d in 0..6usize {
+        for d in 0..ports {
             if dirs & (1 << d) == 0 || self.neighbors[g][d] == u32::MAX {
                 continue;
             }
-            let busy = self.link_busy_until[g * 6 + d];
+            let busy = self.link_busy_until[g * ports + d];
             if busy >= self.now {
                 wake = wake.min(busy);
             }

@@ -73,11 +73,11 @@ mod phases;
 mod tracer;
 
 use crate::config::{EngineMode, SimConfig, Vc};
-use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
+use crate::node::{vc_fifo_index, NodeState};
 use crate::packet::{Packet, RoutingMode, DETOUR_BUDGET};
 use crate::program::{NodeApi, NodeProgram};
 use crate::stats::{NetStats, LATENCY_BUCKETS};
-use bgl_torus::{Coord, Dim, Direction, Partition, ALL_DIRECTIONS};
+use bgl_torus::{Coord, Dim, Direction, Partition, MAX_DIMS, MAX_PORTS};
 use event::EventState;
 use oracle::Oracle;
 use perf::{PerfState, ProgressState};
@@ -88,9 +88,6 @@ use tracer::Tracer;
 
 /// In-flight ring size; must exceed max packet chunks + hop latency.
 const RING: usize = 64;
-
-/// Credit cells per node (one per transit VC FIFO).
-const VC_CELLS: usize = NUM_PORTS * crate::config::NUM_VCS;
 
 /// Why frozen traffic is frozen, computed from the queue state at the
 /// moment the watchdog fires so a stall is diagnosable without a trace
@@ -183,6 +180,18 @@ pub enum SimError {
         /// (node, direction).
         faults: Vec<FaultBlock>,
     },
+    /// The requested component is not defined for the partition's
+    /// dimensionality (e.g. the two-phase indirect schedules factor a
+    /// 3-D torus and reject higher-arity shapes before simulating).
+    /// Raised up front, never after cycles have run.
+    UnsupportedDims {
+        /// The rejecting component (a strategy's short name).
+        what: &'static str,
+        /// The partition's dimensionality.
+        ndims: usize,
+        /// Highest dimensionality the component supports.
+        max_dims: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -225,6 +234,15 @@ impl std::fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::UnsupportedDims {
+                what,
+                ndims,
+                max_dims,
+            } => write!(
+                f,
+                "{what} supports partitions of at most {max_dims} dimensions, \
+                 got a {ndims}-dimensional shape"
+            ),
         }
     }
 }
@@ -361,8 +379,11 @@ struct CycleStats {
     reception_stalls: u64,
     pacing: u64,
     credit_blocked: u64,
-    link_busy: [u64; 3],
-    hops: [u64; 3],
+    // Fixed-size per-dimension counters (only the first `ndims` entries are
+    // used): this struct is reset and merged every cycle, so it must stay
+    // allocation-free.
+    link_busy: [u64; MAX_DIMS],
+    hops: [u64; MAX_DIMS],
     bubble: u64,
     dynamic: u64,
 }
@@ -384,12 +405,18 @@ pub struct Engine {
     nodes: Vec<NodeState>,
     programs: Vec<Box<dyn NodeProgram>>,
     /// `neighbors[n][dir]`: node on the other end of the link, or
-    /// `u32::MAX` at a mesh edge.
-    neighbors: Vec<[u32; 6]>,
-    /// `busy_until[n*6+dir]`.
+    /// `u32::MAX` at a mesh edge (and for directions beyond the
+    /// partition's `2n` ports).
+    neighbors: Vec<[u32; MAX_PORTS]>,
+    /// Directed output ports per node (`2 · partition.ndims()`): the
+    /// stride of every dense per-link array below.
+    ports: usize,
+    /// Credit cells per node (`ports · NUM_VCS`, one per transit VC FIFO).
+    vc_cells: usize,
+    /// `busy_until[n*ports+dir]`.
     link_busy_until: Vec<u64>,
     /// Available downstream space per transit VC FIFO, indexed
-    /// `node * VC_CELLS + vc_fifo_index(port, vc)`, counting in-flight
+    /// `node * vc_cells + vc_fifo_index(port, vc)`, counting in-flight
     /// reservations (spent at the upstream win, released when the packet
     /// is popped). Atomic so threaded shards can share it, but every cell
     /// has a single accessor per section: the unique upstream node's
@@ -442,7 +469,7 @@ pub struct Engine {
     /// Stderr progress heartbeat; `None` unless `SimConfig::progress` is
     /// set.
     progress: Option<Box<ProgressState>>,
-    /// Per-directed-link liveness (`node·6 + dir`), *empty* on a healthy
+    /// Per-directed-link liveness (`node·ports + dir`), *empty* on a healthy
     /// run so the hot paths keep a `None` fast path instead of a bounds
     /// check per probe. Mutated only by `apply_fault_transitions`, at the
     /// top of a cycle, single-threaded.
@@ -477,14 +504,16 @@ impl Engine {
         if let Err(e) = cfg.fault.validate(&part) {
             panic!("invalid fault plan: {e}");
         }
+        let ports = part.ports();
+        let vc_cells = ports * crate::config::NUM_VCS;
         let nodes: Vec<NodeState> = (0..p as u32)
-            .map(|r| NodeState::new(part.coord_of(r), &cfg))
+            .map(|r| NodeState::new(part.coord_of(r), &cfg, ports))
             .collect();
-        let neighbors: Vec<[u32; 6]> = (0..p as u32)
+        let neighbors: Vec<[u32; MAX_PORTS]> = (0..p as u32)
             .map(|r| {
                 let c = part.coord_of(r);
-                let mut row = [u32::MAX; 6];
-                for d in ALL_DIRECTIONS {
+                let mut row = [u32::MAX; MAX_PORTS];
+                for d in part.directions() {
                     if let Some(nc) = part.neighbor(c, d) {
                         row[d.index()] = part.rank_of(nc);
                     }
@@ -493,9 +522,11 @@ impl Engine {
             })
             .collect();
         let stats = NetStats {
+            link_busy_chunks: vec![0; part.ndims()],
+            hops_taken: vec![0; part.ndims()],
             latency_histogram: vec![0; LATENCY_BUCKETS],
             link_busy_per_link: if cfg.detailed_link_stats {
-                vec![0; p * 6]
+                vec![0; p * ports]
             } else {
                 Vec::new()
             },
@@ -512,12 +543,15 @@ impl Engine {
         let shards = (0..nshards)
             .map(|s| ShardData::new(bounds[s + 1] - bounds[s], nshards))
             .collect();
-        let credits = (0..p * VC_CELLS)
+        let credits = (0..p * vc_cells)
             .map(|_| AtomicU32::new(cfg.router.vc_fifo_chunks))
             .collect();
         let full_scan = cfg.engine == EngineMode::FullScan;
         let events = (cfg.engine == EngineMode::EventDriven).then(|| Box::new(EventState::new(p)));
-        let tracer = cfg.trace.as_ref().map(|tc| Box::new(Tracer::new(tc)));
+        let tracer = cfg
+            .trace
+            .as_ref()
+            .map(|tc| Box::new(Tracer::new(tc, part.ndims())));
         let oracle = cfg.check_invariants.then(|| Box::new(Oracle::new()));
         let perf = cfg
             .perf
@@ -531,7 +565,7 @@ impl Engine {
         let mut fault_alive = Vec::new();
         let mut fault_schedule = Vec::new();
         if !cfg.fault.is_empty() {
-            fault_alive = vec![true; p * 6];
+            fault_alive = vec![true; p * ports];
             for s in cfg.fault.link_schedules(&part) {
                 fault_schedule.push(FaultEvent {
                     cycle: s.fail_at,
@@ -555,7 +589,9 @@ impl Engine {
             nodes,
             programs,
             neighbors,
-            link_busy_until: vec![0; p * 6],
+            ports,
+            vc_cells,
+            link_busy_until: vec![0; p * ports],
             credits,
             bounds,
             shard_of,
@@ -752,8 +788,8 @@ impl Engine {
             self.fault_cursor += 1;
             let link = ev.link as usize;
             self.fault_alive[link] = ev.alive;
-            let u = link / 6;
-            let d = Direction::from_index(link % 6);
+            let u = link / self.ports;
+            let d = Direction::from_index(link % self.ports);
             let v = self.neighbors[u][d.index()];
             debug_assert_ne!(v, u32::MAX, "validated plans never fault mesh edges");
             if !ev.alive {
@@ -810,7 +846,7 @@ impl Engine {
             }
         }
         for pkt in dropped {
-            let cell = v * VC_CELLS + vc_fifo_index(dp, pkt.vc.index());
+            let cell = v * self.vc_cells + vc_fifo_index(dp, pkt.vc.index());
             self.credits[cell].fetch_add(pkt.chunks as u32, Relaxed);
             self.live_packets -= 1;
             self.stats.dropped_by_fault += 1;
@@ -835,12 +871,16 @@ impl Engine {
     /// Borrow shard `s`'s slice of the engine as a section context.
     fn shard_ctx(&mut self, s: usize) -> Shard<'_> {
         let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
+        let ports = self.ports;
         Shard {
             router: Router {
                 cfg: &self.cfg,
                 neighbors: &self.neighbors,
                 credits: &self.credits,
                 link_alive: (!self.fault_alive.is_empty()).then_some(&self.fault_alive[..]),
+                ports,
+                vc_cells: self.vc_cells,
+                ndims: self.part.ndims(),
             },
             part: &self.part,
             shard_of: &self.shard_of,
@@ -853,9 +893,9 @@ impl Engine {
             full_scan: self.full_scan,
             nodes: &mut self.nodes[lo..hi],
             programs: &mut self.programs[lo..hi],
-            link_busy_until: &mut self.link_busy_until[lo * 6..hi * 6],
+            link_busy_until: &mut self.link_busy_until[lo * ports..hi * ports],
             link_stats: if self.cfg.detailed_link_stats {
-                &mut self.stats.link_busy_per_link[lo * 6..hi * 6]
+                &mut self.stats.link_busy_per_link[lo * ports..hi * ports]
             } else {
                 &mut []
             },
@@ -974,7 +1014,7 @@ impl Engine {
             st.reception_stall_events += cs.reception_stalls;
             st.pacing_blocked_cycles += cs.pacing;
             st.credit_blocked_events += cs.credit_blocked;
-            for d in 0..3 {
+            for d in 0..st.link_busy_chunks.len() {
                 st.link_busy_chunks[d] += cs.link_busy[d];
                 st.hops_taken[d] += cs.hops[d];
             }
@@ -1018,6 +1058,9 @@ impl Engine {
             neighbors: &self.neighbors,
             credits: &self.credits,
             link_alive: self.fault_link_alive(),
+            ports: self.ports,
+            vc_cells: self.vc_cells,
+            ndims: self.part.ndims(),
         }
     }
 
@@ -1031,7 +1074,7 @@ impl Engine {
         let router = self.router();
         let from_dim = Some(fifo / crate::config::NUM_VCS / 2); // port index / 2 = dimension
         let mut any_dir = false;
-        for d in ALL_DIRECTIONS {
+        for d in self.part.directions() {
             if !router.wants(pkt, d) {
                 continue;
             }
@@ -1046,7 +1089,7 @@ impl Engine {
                 continue;
             }
             any_dir = true;
-            if self.link_busy_until[n * 6 + d.index()] <= self.now
+            if self.link_busy_until[n * self.ports + d.index()] <= self.now
                 && router
                     .feasible_vc(pkt, n, from_dim, d, nb as usize)
                     .is_some()
@@ -1068,7 +1111,7 @@ impl Engine {
         }
         let router = self.router();
         let mut first_dead = None;
-        for d in ALL_DIRECTIONS {
+        for d in self.part.directions() {
             if !router.wants(pkt, d) {
                 continue;
             }
@@ -1086,7 +1129,7 @@ impl Engine {
         }
         let first_dead = first_dead?;
         if pkt.routing == RoutingMode::Adaptive && pkt.detour_count() < DETOUR_BUDGET {
-            for d in ALL_DIRECTIONS {
+            for d in self.part.directions() {
                 if self.neighbors[n][d.index()] != u32::MAX
                     && router.alive(n, d)
                     && pkt.detour_from() != Some(d.index())
@@ -1146,14 +1189,15 @@ impl Engine {
     /// [`SimError::Unreachable`].
     fn fault_block_report(&self) -> Vec<FaultBlock> {
         let mut counts: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        let ports = self.ports;
         self.scan_fault_blocked(|n, d| {
-            *counts.entry(n * 6 + d.index()).or_insert(0) += 1;
+            *counts.entry(n * ports + d.index()).or_insert(0) += 1;
         });
         counts
             .into_iter()
             .map(|(link, blocked)| FaultBlock {
-                node: (link / 6) as u32,
-                dir: Direction::from_index(link % 6),
+                node: (link / ports) as u32,
+                dir: Direction::from_index(link % ports),
                 blocked,
             })
             .collect()

@@ -13,7 +13,7 @@
 //! hooks fire in the exact global order the checks assume, and the
 //! cycle-boundary sweep can read the credit array at rest.
 
-use super::{Engine, VC_CELLS};
+use super::Engine;
 use crate::node::vc_fifo_index;
 use crate::packet::Packet;
 use std::sync::atomic::Ordering::Relaxed;
@@ -193,11 +193,12 @@ impl Engine {
         // at a cycle boundary every such packet sits in some shard's
         // in-flight ring (outboxes and staging mailboxes drain within
         // the cycle that filled them).
-        let mut inflight = vec![0u64; self.nodes.len() * VC_CELLS];
+        let vc_cells = self.vc_cells;
+        let mut inflight = vec![0u64; self.nodes.len() * vc_cells];
         for sd in &self.shards {
             for slot in &sd.ring {
                 for arr in slot {
-                    let cell = arr.node as usize * VC_CELLS
+                    let cell = arr.node as usize * vc_cells
                         + vc_fifo_index(arr.port as usize, arr.pkt.vc.index());
                     inflight[cell] += arr.pkt.chunks as u64;
                 }
@@ -205,7 +206,7 @@ impl Engine {
         }
         for (ni, node) in self.nodes.iter().enumerate() {
             for (c, f) in node.vcs.iter().enumerate() {
-                let cell = ni * VC_CELLS + c;
+                let cell = ni * vc_cells + c;
                 let credit = self.credits[cell].load(Relaxed) as u64;
                 let occupied = f.occupied_chunks() as u64;
                 assert_eq!(
@@ -287,7 +288,7 @@ impl Engine {
                 "invariant violated: node {ni} still holds packets at quiesce"
             );
             for (c, f) in node.vcs.iter().enumerate() {
-                let credit = self.credits[ni * VC_CELLS + c].load(Relaxed);
+                let credit = self.credits[ni * self.vc_cells + c].load(Relaxed);
                 assert!(
                     f.is_empty() && f.occupied_chunks() == 0 && credit == f.capacity_chunks(),
                     "invariant violated: transit FIFO (node {ni}, fifo {c}) not drained at \

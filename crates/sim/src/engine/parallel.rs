@@ -59,6 +59,9 @@ impl Engine {
             // Read-only within the cycle: liveness flips only between
             // cycles (`apply_fault_transitions`), never inside a section.
             link_alive: (!self.fault_alive.is_empty()).then_some(&self.fault_alive[..]),
+            ports: self.ports,
+            vc_cells: self.vc_cells,
+            ndims: self.part.ndims(),
         };
         let part = &self.part;
         let shard_of = &self.shard_of[..];
@@ -68,9 +71,10 @@ impl Engine {
         let full_scan = self.full_scan;
         let nodes = split_by_bounds(&mut self.nodes, &self.bounds, 1);
         let programs = split_by_bounds(&mut self.programs, &self.bounds, 1);
-        let link_busy = split_by_bounds(&mut self.link_busy_until, &self.bounds, 6);
+        let ports = self.ports;
+        let link_busy = split_by_bounds(&mut self.link_busy_until, &self.bounds, ports);
         let link_stats: Vec<&mut [u64]> = if self.cfg.detailed_link_stats {
-            split_by_bounds(&mut self.stats.link_busy_per_link, &self.bounds, 6)
+            split_by_bounds(&mut self.stats.link_busy_per_link, &self.bounds, ports)
         } else {
             (0..nshards).map(|_| -> &mut [u64] { &mut [] }).collect()
         };

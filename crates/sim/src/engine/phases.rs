@@ -28,14 +28,14 @@
 //! order within a cycle immaterial across shards.
 
 use super::event::{EventState, NodeEvent, PollState};
-use super::{Arrival, CycleStats, OutMsg, ShardData, Win, WinSource, RING, VC_CELLS};
+use super::{Arrival, CycleStats, OutMsg, ShardData, Win, WinSource, RING};
 use crate::config::{SimConfig, Vc, NUM_VCS};
 use crate::flow::FlowSpec;
-use crate::node::{vc_fifo_index, NodeState, NUM_PORTS};
+use crate::node::{vc_fifo_index, NodeState};
 use crate::packet::{Packet, RoutingMode, DETOUR_BUDGET, NO_DETOUR};
 use crate::perf::ShardPerf;
 use crate::program::{NodeApi, NodeProgram, PollHint};
-use bgl_torus::{Direction, HopPlan, Partition, TieBreak, ALL_DIMS, ALL_DIRECTIONS};
+use bgl_torus::{Dim, Direction, HopPlan, Partition, TieBreak, MAX_DIMS, MAX_PORTS};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
 
@@ -66,11 +66,18 @@ const SUMMARY_MAX_HEADS: u32 = 6;
 #[derive(Clone, Copy)]
 pub(super) struct Router<'a> {
     pub(super) cfg: &'a SimConfig,
-    pub(super) neighbors: &'a [[u32; 6]],
+    pub(super) neighbors: &'a [[u32; MAX_PORTS]],
     pub(super) credits: &'a [AtomicU32],
     /// Per-directed-link liveness under an active fault plan; `None` on a
     /// healthy run, so every probe below stays one branch.
     pub(super) link_alive: Option<&'a [bool]>,
+    /// Directed ports per node (`2 · ndims`): stride of the per-link
+    /// arrays and bound of every direction scan.
+    pub(super) ports: usize,
+    /// Credit cells per node (`ports · NUM_VCS`).
+    pub(super) vc_cells: usize,
+    /// Partition dimensionality.
+    pub(super) ndims: usize,
 }
 
 impl Router<'_> {
@@ -78,7 +85,7 @@ impl Router<'_> {
     /// VC FIFO at global node `n`, input port `port`, VC `vc`.
     #[inline]
     fn credit(&self, n: usize, port: usize, vc: usize) -> u32 {
-        self.credits[n * VC_CELLS + vc_fifo_index(port, vc)].load(Relaxed)
+        self.credits[n * self.vc_cells + vc_fifo_index(port, vc)].load(Relaxed)
     }
 
     /// Whether the directed link out of global node `n` along `d` is up.
@@ -88,7 +95,7 @@ impl Router<'_> {
     pub(super) fn alive(&self, n: usize, d: Direction) -> bool {
         match self.link_alive {
             None => true,
-            Some(a) => a[n * 6 + d.index()],
+            Some(a) => a[n * self.ports + d.index()],
         }
     }
 
@@ -110,8 +117,11 @@ impl Router<'_> {
     /// saturation Section 3.2 of the paper describes. On a symmetric torus
     /// hop counts stay balanced, so near-full adaptivity is retained.
     fn prefers(pkt: &Packet, d: Direction) -> bool {
+        // Iterating every representable dimension is arity-correct: a
+        // HopPlan carries zero hops in dimensions beyond its partition's
+        // arity, and 0 <= here always holds.
         let here = pkt.plan.hops(d.dim);
-        ALL_DIMS.iter().all(|&o| pkt.plan.hops(o) <= here)
+        Dim::all(MAX_DIMS).all(|o| pkt.plan.hops(o) <= here)
     }
 
     /// True when every preferred direction of `pkt` at node `n` lacks
@@ -267,7 +277,7 @@ impl Router<'_> {
                 continue;
             }
             any = true;
-            if alive[n * 6 + d.index()] {
+            if alive[n * self.ports + d.index()] {
                 return false;
             }
         }
@@ -340,8 +350,8 @@ impl Router<'_> {
 /// bits suffice. Over-inclusion only costs a wasted probe (identical
 /// to what the full scan does on every direction); under-inclusion
 /// would change results, so this must stay a superset of `wants`.
-fn wanted_dirs(pkt: &Packet) -> u8 {
-    let mut dirs = 0u8;
+fn wanted_dirs(pkt: &Packet) -> u16 {
+    let mut dirs = 0u16;
     for d in pkt.plan.minimal_directions() {
         dirs |= 1 << d.index();
     }
@@ -350,20 +360,20 @@ fn wanted_dirs(pkt: &Packet) -> u8 {
 
 /// Union of [`wanted_dirs`] over every FIFO head of `node`: the only
 /// output directions arbitration could possibly assign this cycle.
-/// Stops as soon as all six directions are covered — under saturation a
-/// couple of heads suffice, so the build stays O(1) in the dense regime
-/// where the summary cannot skip anything.
-pub(super) fn sendable_dirs(node: &NodeState) -> u8 {
-    const ALL: u8 = 0x3f;
-    let mut dirs = 0u8;
+/// Stops as soon as all `ports` directions are covered — under
+/// saturation a couple of heads suffice, so the build stays O(1) in the
+/// dense regime where the summary cannot skip anything.
+pub(super) fn sendable_dirs(node: &NodeState, ports: usize) -> u16 {
+    let all: u16 = (1 << ports) - 1;
+    let mut dirs = 0u16;
     let mut vcs = node.vc_mask;
-    while vcs != 0 && dirs != ALL {
+    while vcs != 0 && dirs != all {
         let f = vcs.trailing_zeros() as usize;
         vcs &= vcs - 1;
         dirs |= wanted_dirs(node.vcs[f].head().expect("mask says non-empty"));
     }
     let mut inj = node.inj_mask;
-    while inj != 0 && dirs != ALL {
+    while inj != 0 && dirs != all {
         let f = inj.trailing_zeros() as usize;
         inj &= inj - 1;
         dirs |= wanted_dirs(node.inj[f].head().expect("mask says non-empty"));
@@ -577,7 +587,7 @@ impl Shard<'_> {
             // the upstream reads it only in section B, barrier-ordered
             // after every shard's phase 2, matching the unsharded
             // same-cycle visibility of a phase-2 pop.
-            self.router.credits[g * VC_CELLS + fifo].fetch_add(chunks, Relaxed);
+            self.router.credits[g * self.router.vc_cells + fifo].fetch_add(chunks, Relaxed);
             self.sd.cpu_active.mark(i);
             if self.events.is_some() {
                 // The freed credit means the upstream neighbour may win
@@ -935,9 +945,9 @@ impl Shard<'_> {
     }
 
     /// Arbitrate every output link of local node `i`. With `use_summary`,
-    /// probe only the directions some queued head actually wants (a 6-bit
-    /// summary built from the FIFO heads, extended when a win exposes a
-    /// new head) instead of scanning all FIFOs per link. The summary is
+    /// probe only the directions some queued head actually wants (a
+    /// per-direction bit summary built from the FIFO heads, extended when
+    /// a win exposes a new head) instead of scanning all FIFOs per link. The summary is
     /// built lazily, on the first *free* link: under saturation most
     /// links are mid-transmission and the busy check alone disposes of
     /// them, so an eager build would cost a head scan per node-cycle for
@@ -952,14 +962,16 @@ impl Shard<'_> {
         // Under an active fault plan the summary is disabled: detours send
         // packets along directions outside their minimal quadrant, so
         // `wanted_dirs` is no longer a superset of what arbitration may
-        // assign. Probing all six directions keeps refusal + detour exact.
-        let mut summary: Option<u8> = if use_summary && self.router.link_alive.is_none() {
+        // assign. Probing all 2n directions keeps refusal + detour exact.
+        let ports = self.router.ports;
+        let all_dirs: u16 = (1 << ports) - 1;
+        let mut summary: Option<u16> = if use_summary && self.router.link_alive.is_none() {
             None
         } else {
-            Some(0x3f)
+            Some(all_dirs)
         };
-        for d in ALL_DIRECTIONS {
-            let link = i * 6 + d.index();
+        for d in Direction::all(self.router.ndims) {
+            let link = i * ports + d.index();
             if self.link_busy_until[link] > t {
                 continue;
             }
@@ -974,7 +986,7 @@ impl Shard<'_> {
             let s = match summary {
                 Some(s) => s,
                 None => {
-                    let s = sendable_dirs(&self.nodes[i]);
+                    let s = sendable_dirs(&self.nodes[i], ports);
                     summary = Some(s);
                     s
                 }
@@ -984,7 +996,7 @@ impl Shard<'_> {
             }
             if let Some(win) = self.arbitrate_output(i, d, nb as usize, t) {
                 self.apply_win(i, d, nb as usize, win, t);
-                if use_summary && s != 0x3f {
+                if use_summary && s != all_dirs {
                     // The pop exposed a new head whose wanted directions
                     // the start-of-visit summary may not cover.
                     let head = match win.source {
@@ -1022,11 +1034,11 @@ impl Shard<'_> {
             return None;
         }
         let g = self.base + i;
-        let total = NUM_PORTS * NUM_VCS;
+        let total = self.router.vc_cells;
         let start = node.rr[d.index()] as usize % total;
         // Visit only the set bits, in round-robin order from `start`:
         // first the bits at indices >= start (ascending), then the wrap.
-        let below_start = node.vc_mask & ((1u32 << start) - 1);
+        let below_start = node.vc_mask & ((1u64 << start) - 1);
         for mut half in [node.vc_mask ^ below_start, below_start] {
             while half != 0 {
                 let f = half.trailing_zeros() as usize;
@@ -1106,7 +1118,7 @@ impl Shard<'_> {
                 // invariant that makes sharded cycles byte-identical.
                 self.sd
                     .deferred
-                    .push(((g * VC_CELLS + f) as u32, pkt.chunks as u32));
+                    .push(((g * self.router.vc_cells + f) as u32, pkt.chunks as u32));
                 pkt
             }
             WinSource::Inject { fifo } => {
@@ -1121,7 +1133,8 @@ impl Shard<'_> {
         // Spend downstream credit and launch.
         let nb_port = d.opposite().index();
         let chunks = pkt.chunks as u32;
-        let cell = &self.router.credits[nb * VC_CELLS + vc_fifo_index(nb_port, win.vc.index())];
+        let cell = &self.router.credits
+            [nb * self.router.vc_cells + vc_fifo_index(nb_port, win.vc.index())];
         debug_assert!(cell.load(Relaxed) >= chunks, "feasible_vc checked credit");
         cell.fetch_sub(chunks, Relaxed);
         pkt.vc = win.vc;
@@ -1160,11 +1173,12 @@ impl Shard<'_> {
                 pkt,
             },
         });
-        self.link_busy_until[i * 6 + d.index()] = t + chunks as u64;
+        let ports = self.router.ports;
+        self.link_busy_until[i * ports + d.index()] = t + chunks as u64;
         let di = d.dim.index();
         self.cs.link_busy[di] += chunks as u64;
         if !self.link_stats.is_empty() {
-            self.link_stats[i * 6 + d.index()] += chunks as u64;
+            self.link_stats[i * ports + d.index()] += chunks as u64;
         }
         self.cs.hops[di] += 1;
         match win.vc {

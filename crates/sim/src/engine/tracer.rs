@@ -11,7 +11,7 @@
 
 use super::Engine;
 use crate::config::{Vc, NUM_VCS};
-use crate::node::{vc_fifo_index, NUM_PORTS};
+use crate::node::vc_fifo_index;
 use crate::trace::{OccStat, Trace, TraceSample};
 
 /// Sampling state for an enabled tracer: the accumulating [`Trace`] plus
@@ -25,8 +25,8 @@ pub(super) struct Tracer {
     /// Cycle at which the next periodic sample fires (`u64::MAX` once the
     /// `max_samples` cap is hit).
     pub(super) next_at: u64,
-    pub(super) last_link_busy: [u64; 3],
-    pub(super) last_hops: [u64; 3],
+    pub(super) last_link_busy: Vec<u64>,
+    pub(super) last_hops: Vec<u64>,
     pub(super) last_cpu_busy: f64,
     pub(super) last_stalls: u64,
     pub(super) last_injected: u64,
@@ -37,14 +37,14 @@ pub(super) struct Tracer {
 }
 
 impl Tracer {
-    pub(super) fn new(cfg: &crate::trace::TraceConfig) -> Tracer {
+    pub(super) fn new(cfg: &crate::trace::TraceConfig, ndims: usize) -> Tracer {
         assert!(cfg.interval_cycles > 0, "trace interval must be positive");
         Tracer {
             interval: cfg.interval_cycles,
             max_samples: cfg.max_samples,
             next_at: cfg.interval_cycles,
-            last_link_busy: [0; 3],
-            last_hops: [0; 3],
+            last_link_busy: vec![0; ndims],
+            last_hops: vec![0; ndims],
             last_cpu_busy: 0.0,
             last_stalls: 0,
             last_injected: 0,
@@ -129,11 +129,12 @@ impl Engine {
     /// sampling must never perturb results.
     fn build_trace_sample(&self, tracer: &mut Tracer) -> TraceSample {
         let s = &self.stats;
-        let sub3 = |a: [u64; 3], b: [u64; 3]| [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        let sub =
+            |a: &[u64], b: &[u64]| -> Vec<u64> { a.iter().zip(b).map(|(x, y)| x - y).collect() };
         let mut sample = TraceSample {
             cycle: self.now,
-            link_busy_delta: sub3(s.link_busy_chunks, tracer.last_link_busy),
-            hops_delta: sub3(s.hops_taken, tracer.last_hops),
+            link_busy_delta: sub(&s.link_busy_chunks, &tracer.last_link_busy),
+            hops_delta: sub(&s.hops_taken, &tracer.last_hops),
             cpu_busy_delta: s.cpu_busy_cycles - tracer.last_cpu_busy,
             reception_stall_delta: s.reception_stall_events - tracer.last_stalls,
             injected_delta: s.packets_injected - tracer.last_injected,
@@ -144,8 +145,8 @@ impl Engine {
             pending_sends: self.pending_total,
             ..TraceSample::default()
         };
-        tracer.last_link_busy = s.link_busy_chunks;
-        tracer.last_hops = s.hops_taken;
+        tracer.last_link_busy = s.link_busy_chunks.clone();
+        tracer.last_hops = s.hops_taken.clone();
         tracer.last_cpu_busy = s.cpu_busy_cycles;
         tracer.last_stalls = s.reception_stall_events;
         tracer.last_injected = s.packets_injected;
@@ -155,16 +156,17 @@ impl Engine {
 
         // Instantaneous FIFO occupancy, split by input-port dimension and
         // by bubble-vs-dynamic VC.
-        let mut dyn_sum = [0u64; 3];
-        let mut dyn_max = [0u32; 3];
-        let mut bub_sum = [0u64; 3];
-        let mut bub_max = [0u32; 3];
+        let ndims = self.part.ndims();
+        let mut dyn_sum = vec![0u64; ndims];
+        let mut dyn_max = vec![0u32; ndims];
+        let mut bub_sum = vec![0u64; ndims];
+        let mut bub_max = vec![0u32; ndims];
         let mut inj_sum = 0u64;
         let mut inj_max = 0u32;
         let mut recv_sum = 0u64;
         let mut recv_max = 0u32;
         for node in &self.nodes {
-            for port in 0..NUM_PORTS {
+            for port in 0..self.ports {
                 let dim = port / 2; // two directions per dimension
                 for vc in 0..NUM_VCS {
                     let occ = node.vcs[vc_fifo_index(port, vc)].occupied_chunks();
@@ -191,11 +193,13 @@ impl Engine {
             mean_chunks: sum as f64 / (p * fifos_per_node),
             max_chunks: max,
         };
-        for d in 0..3 {
-            // Per node and dimension: 2 ports × 2 dynamic VCs, 2 × 1 bubble.
-            sample.dyn_vc_occupancy[d] = occ_stat(dyn_sum[d], dyn_max[d], 4.0);
-            sample.bubble_vc_occupancy[d] = occ_stat(bub_sum[d], bub_max[d], 2.0);
-        }
+        // Per node and dimension: 2 ports × 2 dynamic VCs, 2 × 1 bubble.
+        sample.dyn_vc_occupancy = (0..ndims)
+            .map(|d| occ_stat(dyn_sum[d], dyn_max[d], 4.0))
+            .collect();
+        sample.bubble_vc_occupancy = (0..ndims)
+            .map(|d| occ_stat(bub_sum[d], bub_max[d], 2.0))
+            .collect();
         sample.inj_occupancy = occ_stat(inj_sum, inj_max, self.cfg.inj_fifo_count.max(1) as f64);
         sample.reception_occupancy = occ_stat(recv_sum, recv_max, 1.0);
 

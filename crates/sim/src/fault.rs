@@ -17,12 +17,14 @@
 //!   silently. The destination program is told via
 //!   [`NodeProgram::on_packet_dropped`](crate::NodeProgram::on_packet_dropped).
 //! * A node fault kills all directed links incident to the node, in both
-//!   directions. The node's CPU keeps running (the BG/L failure unit is
-//!   the network interface / midplane wiring, not the compute state): its
-//!   program can still inject, but nothing can leave or reach the node
-//!   while it is down.
+//!   directions — `4n` directed links on a full k-ary n-dimensional torus
+//!   (`2n` outgoing plus `2n` incoming; 12 in the classic 3D case), fewer
+//!   when the node sits on a mesh edge. The node's CPU keeps running (the
+//!   BG/L failure unit is the network interface / midplane wiring, not the
+//!   compute state): its program can still inject, but nothing can leave
+//!   or reach the node while it is down.
 
-use bgl_torus::{Direction, Partition, ALL_DIRECTIONS};
+use bgl_torus::{Direction, Partition};
 use serde::{de_field, Deserialize, Serialize};
 
 /// A fault on one directed link, identified by its source node and output
@@ -103,10 +105,10 @@ impl Deserialize for FaultPlan {
 
 /// One directed link's fail/recover schedule, produced by
 /// [`FaultPlan::link_schedules`]. `link` is the dense directed-link index
-/// `node · 6 + direction`.
+/// `node · ports + direction` where `ports = 2n` for the partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSchedule {
-    /// Dense directed-link index (`node · 6 + dir.index()`).
+    /// Dense directed-link index (`node · ports + dir.index()`).
     pub link: usize,
     /// Cycle the link dies.
     pub fail_at: u64,
@@ -142,11 +144,12 @@ impl FaultPlan {
             }
             check_window(f.fail_at, f.recover_at)?;
         }
-        let mut seen = vec![false; part.num_nodes() as usize * 6];
+        let ports = part.ports();
+        let mut seen = vec![false; part.num_nodes() as usize * ports];
         for s in self.link_schedules(part) {
             if seen[s.link] {
-                let node = (s.link / 6) as u32;
-                let dir = Direction::from_index(s.link % 6);
+                let node = (s.link / ports) as u32;
+                let dir = Direction::from_index(s.link % ports);
                 return Err(format!("duplicate fault on link {node}:{dir}"));
             }
             seen[s.link] = true;
@@ -159,30 +162,31 @@ impl FaultPlan {
     /// both directions. Sorted by link index so downstream consumers
     /// iterate deterministically. Call only on a validated plan.
     pub fn link_schedules(&self, part: &Partition) -> Vec<LinkSchedule> {
+        let ports = part.ports();
         let mut out = Vec::new();
         for f in &self.links {
             out.push(LinkSchedule {
-                link: f.node as usize * 6 + f.dir.index(),
+                link: f.node as usize * ports + f.dir.index(),
                 fail_at: f.fail_at,
                 recover_at: f.recover_at,
             });
         }
         for f in &self.nodes {
             let c = part.coord_of(f.rank);
-            for dir in ALL_DIRECTIONS {
+            for dir in part.directions() {
                 let Some(nc) = part.neighbor(c, dir) else {
                     continue;
                 };
                 let nb = part.rank_of(nc);
                 // Outgoing link from the dead node…
                 out.push(LinkSchedule {
-                    link: f.rank as usize * 6 + dir.index(),
+                    link: f.rank as usize * ports + dir.index(),
                     fail_at: f.fail_at,
                     recover_at: f.recover_at,
                 });
                 // …and the neighbour's link back toward it.
                 out.push(LinkSchedule {
-                    link: nb as usize * 6 + dir.opposite().index(),
+                    link: nb as usize * ports + dir.opposite().index(),
                     fail_at: f.fail_at,
                     recover_at: f.recover_at,
                 });
@@ -262,7 +266,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_mesh_edge_links() {
-        let part: Partition = "4M".parse().unwrap();
+        let part = Partition::new(&[4], &[false]);
         let plan = FaultPlan {
             links: vec![LinkFault::dead(3, xplus())],
             nodes: vec![],
@@ -296,17 +300,34 @@ mod tests {
         };
         plan.validate(&part).unwrap();
         let scheds = plan.link_schedules(&part);
-        // 6 outgoing plus 6 incoming directed links on a full torus.
-        assert_eq!(scheds.len(), 12);
+        // 2n outgoing plus 2n incoming directed links on a full torus:
+        // 4n = 12 for this 3D partition.
+        assert_eq!(scheds.len(), 4 * part.ndims());
         for s in &scheds {
             assert_eq!(s.fail_at, 0);
             assert_eq!(s.recover_at, None);
         }
         // Sorted by link index.
         assert!(scheds.windows(2).all(|w| w[0].link < w[1].link));
-        // All six outgoing links of node 0 are present.
-        for d in ALL_DIRECTIONS {
+        // All 2n outgoing links of node 0 are present.
+        for d in part.directions() {
             assert!(scheds.iter().any(|s| s.link == d.index()));
+        }
+    }
+
+    #[test]
+    fn node_fault_link_count_scales_with_dimensionality() {
+        for (part, expect) in [
+            (Partition::torus_nd(&[4, 4]), 8),
+            (Partition::torus_nd(&[4, 4, 4, 4]), 16),
+            (Partition::torus_nd(&[2, 2, 2, 2, 2]), 20),
+        ] {
+            let plan = FaultPlan {
+                links: vec![],
+                nodes: vec![NodeFault::dead(0)],
+            };
+            plan.validate(&part).unwrap();
+            assert_eq!(plan.link_schedules(&part).len(), expect);
         }
     }
 }

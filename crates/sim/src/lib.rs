@@ -21,7 +21,7 @@
 //! ```
 //! use bgl_sim::{Engine, SimConfig, ScriptedProgram, SendSpec, NodeProgram};
 //!
-//! let cfg = SimConfig::new("2".parse().unwrap());
+//! let cfg = SimConfig::new("2x1x1".parse().unwrap());
 //! let programs: Vec<Box<dyn NodeProgram>> = vec![
 //!     Box::new(ScriptedProgram::new(vec![SendSpec::adaptive(1, 2, 64)], 1)),
 //!     Box::new(ScriptedProgram::new(vec![SendSpec::adaptive(0, 2, 64)], 1)),
@@ -77,14 +77,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "one program per node")]
     fn wrong_program_count_panics() {
-        let cfg = SimConfig::new("4".parse().unwrap());
+        let cfg = SimConfig::new("4x1x1".parse().unwrap());
         let _ = Engine::new(cfg, vec![boxed(ScriptedProgram::idle())]);
     }
 
     /// One packet, one hop: delivery happens and latency is sane.
     #[test]
     fn single_packet_single_hop() {
-        let cfg = SimConfig::new("2".parse().unwrap());
+        let cfg = SimConfig::new("2x1x1".parse().unwrap());
         let programs = vec![
             boxed(ScriptedProgram::new(vec![SendSpec::adaptive(1, 8, 240)], 0)),
             boxed(ScriptedProgram::new(vec![], 1)),
@@ -103,7 +103,7 @@ mod tests {
     /// Packets are conserved: everything injected is delivered exactly once.
     #[test]
     fn packet_conservation_ring_traffic() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let cfg = SimConfig::new(part);
         let programs: Vec<Box<dyn NodeProgram>> = (0..8u32)
             .map(|r| {
@@ -188,7 +188,7 @@ mod tests {
     /// A node that expects a packet that never comes trips the watchdog.
     #[test]
     fn watchdog_fires_on_stuck_program() {
-        let mut cfg = SimConfig::new("2".parse().unwrap());
+        let mut cfg = SimConfig::new("2x1x1".parse().unwrap());
         cfg.watchdog_cycles = 500;
         let programs = vec![
             boxed(ScriptedProgram::idle()),
@@ -209,7 +209,7 @@ mod tests {
     /// through the middle, never wrapping.
     #[test]
     fn mesh_does_not_wrap() {
-        let part: Partition = "4M".parse().unwrap();
+        let part: Partition = "4Mx1x1".parse().unwrap();
         let cfg = SimConfig::new(part);
         let programs = vec![
             boxed(ScriptedProgram::new(vec![SendSpec::adaptive(3, 1, 32)], 0)),
@@ -250,7 +250,7 @@ mod tests {
     /// X-link utilization.
     #[test]
     fn neighbor_stream_saturates_link() {
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         let cfg = SimConfig::new(part);
         let npkts = 200u64;
         let programs: Vec<Box<dyn NodeProgram>> = (0..8u32)
@@ -265,7 +265,7 @@ mod tests {
             })
             .collect();
         let stats = Engine::new(cfg, programs).run().unwrap();
-        let part: Partition = "8".parse().unwrap();
+        let part: Partition = "8x1x1".parse().unwrap();
         // Every node streams to its +1 neighbour: the 8 plus-links carry
         // 200×8 chunks each; utilization of the dimension (16 directed
         // links, half idle) approaches 0.5.
@@ -278,7 +278,7 @@ mod tests {
     /// mask includes class 1.
     #[test]
     fn injection_class_reservation() {
-        let mut cfg = SimConfig::new("2".parse().unwrap());
+        let mut cfg = SimConfig::new("2x1x1".parse().unwrap());
         cfg.inj_fifo_count = 2;
         // FIFO 0 takes only class 0; FIFO 1 only class 1.
         cfg.inj_class_masks = vec![0b01, 0b10];
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn cpu_bandwidth_bounds_injection_rate() {
         let time_with_bw = |bw: f64| {
-            let mut cfg = SimConfig::new("2".parse().unwrap());
+            let mut cfg = SimConfig::new("2x1x1".parse().unwrap());
             cfg.cpu.chunks_per_cycle = bw;
             cfg.cpu.per_packet_inject_cycles = 0.0;
             cfg.cpu.per_packet_receive_cycles = 0.0;

@@ -5,13 +5,12 @@ use crate::config::{SimConfig, NUM_VCS};
 use crate::fifo::ChunkFifo;
 use crate::flow::FlowLedger;
 use crate::packet::SendSpec;
-use bgl_torus::Coord;
+use bgl_torus::{Coord, MAX_PORTS};
 use std::collections::VecDeque;
 
-/// Number of input ports per node (one per incoming link direction).
-pub const NUM_PORTS: usize = 6;
-
-/// Index of the VC FIFO for (input port, VC).
+/// Index of the VC FIFO for (input port, VC). The number of ports — and so
+/// the number of VC FIFOs, `2n · NUM_VCS` — is the partition's, not a
+/// constant: a 2D node has 12 transit FIFOs, a 3D node 18, a 6D node 36.
 #[inline]
 pub fn vc_fifo_index(port: usize, vc: usize) -> usize {
     port * NUM_VCS + vc
@@ -23,8 +22,10 @@ pub struct NodeState {
     pub coord: Coord,
     /// Input VC FIFOs, indexed by [`vc_fifo_index`].
     pub vcs: Vec<ChunkFifo>,
-    /// Bitmask of non-empty VC FIFOs (bit `i` ⇔ `vcs[i]` non-empty).
-    pub vc_mask: u32,
+    /// Bitmask of non-empty VC FIFOs (bit `i` ⇔ `vcs[i]` non-empty). At the
+    /// 6-dimension maximum there are 12 ports × 3 VCs = 36 FIFOs, so this
+    /// must be wider than 32 bits.
+    pub vc_mask: u64,
     /// Injection FIFOs.
     pub inj: Vec<ChunkFifo>,
     /// Bitmask of non-empty injection FIFOs (bit `f` ⇔ `inj[f]` non-empty),
@@ -51,8 +52,9 @@ pub struct NodeState {
     /// these values — an order that does not depend on how the torus is
     /// sharded, keeping the statistic byte-identical for any shard count.
     pub cpu_busy: f64,
-    /// Round-robin arbitration pointers, one per output direction.
-    pub rr: [u8; 6],
+    /// Round-robin arbitration pointers, one per output direction (only the
+    /// first `2n` entries are used).
+    pub rr: [u8; MAX_PORTS],
     /// Round-robin pointer over injection FIFOs for placement.
     pub inj_rr: u8,
     /// VC FIFO indices whose head is deliverable but found the reception
@@ -66,9 +68,10 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    /// Fresh state per `cfg`.
-    pub fn new(coord: Coord, cfg: &SimConfig) -> NodeState {
-        let vcs = (0..NUM_PORTS * NUM_VCS)
+    /// Fresh state per `cfg`, with `ports = 2n` transit input ports.
+    pub fn new(coord: Coord, cfg: &SimConfig, ports: usize) -> NodeState {
+        debug_assert!(ports <= MAX_PORTS && ports.is_multiple_of(2));
+        let vcs = (0..ports * NUM_VCS)
             .map(|_| ChunkFifo::new(cfg.router.vc_fifo_chunks))
             .collect();
         let inj = (0..cfg.inj_fifo_count)
@@ -96,7 +99,7 @@ impl NodeState {
             pulled: VecDeque::new(),
             cpu_free: 0.0,
             cpu_busy: 0.0,
-            rr: [0; 6],
+            rr: [0; MAX_PORTS],
             inj_rr: 0,
             blocked_deliveries: Vec::new(),
             flow: FlowLedger::new(cfg.flow),

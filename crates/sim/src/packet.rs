@@ -32,8 +32,10 @@ pub struct PacketMeta {
 /// counter in [`Packet::detour`] and rules out detour livelock.
 pub const DETOUR_BUDGET: u8 = 31;
 
-/// [`Packet::detour`] value meaning "no detour state".
-pub const NO_DETOUR: u8 = 7;
+/// [`Packet::detour`] low-nibble value meaning "no detour state". With up
+/// to [`bgl_torus::MAX_PORTS`] = 12 directions, direction indices need a
+/// full nibble; 15 is the none sentinel.
+pub const NO_DETOUR: u16 = 15;
 
 /// A packet in flight or in a FIFO.
 #[derive(Debug, Clone)]
@@ -67,12 +69,11 @@ pub struct Packet {
     pub longest_first: bool,
     /// Cycle the packet entered an injection FIFO.
     pub injected_at: u64,
-    /// Packed fault-detour state, [`NO_DETOUR`] while unused. Low 3 bits:
+    /// Packed fault-detour state, [`NO_DETOUR`] while unused. Low 4 bits:
     /// the output direction the packet must not take on its next hop (the
-    /// link straight back along the detour it just made; 7 = none). High
-    /// 5 bits: non-minimal hops taken so far, capped by
-    /// [`DETOUR_BUDGET`]. One byte, so the 64-byte size pin holds.
-    pub detour: u8,
+    /// link straight back along the detour it just made; 15 = none). Bits
+    /// above: non-minimal hops taken so far, capped by [`DETOUR_BUDGET`].
+    pub detour: u16,
 }
 
 impl Packet {
@@ -80,21 +81,21 @@ impl Packet {
     /// (the reverse of its last detour hop), if any.
     #[inline]
     pub fn detour_from(&self) -> Option<usize> {
-        let p = (self.detour & 7) as usize;
+        let p = (self.detour & 15) as usize;
         (p != NO_DETOUR as usize).then_some(p)
     }
 
     /// Non-minimal hops taken so far.
     #[inline]
     pub fn detour_count(&self) -> u8 {
-        self.detour >> 3
+        (self.detour >> 4) as u8
     }
 
     /// Record a detour hop whose reverse direction is `back`.
     #[inline]
     pub fn note_detour(&mut self, back: usize) {
-        debug_assert!(back < 6);
-        self.detour = ((self.detour_count() + 1) << 3) | back as u8;
+        debug_assert!(back < bgl_torus::MAX_PORTS);
+        self.detour = ((self.detour_count() as u16 + 1) << 4) | back as u16;
     }
 
     /// A minimal hop clears the don't-go-back restriction (the count is
@@ -245,8 +246,10 @@ mod tests {
     #[test]
     fn packet_is_reasonably_small() {
         // Packets are copied through FIFOs constantly; keep them compact.
+        // (The n-dimensional Coord and HopPlan cost some bytes over the old
+        // 3D-only layout; 96 keeps a packet within two cache lines.)
         assert!(
-            std::mem::size_of::<Packet>() <= 64,
+            std::mem::size_of::<Packet>() <= 96,
             "{}",
             std::mem::size_of::<Packet>()
         );

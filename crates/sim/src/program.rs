@@ -270,7 +270,7 @@ mod tests {
     fn scripted_program_completes_when_sent_and_received() {
         let mut p = ScriptedProgram::new(vec![SendSpec::adaptive(1, 1, 32)], 2);
         assert!(!p.is_complete());
-        let part: Partition = "2".parse().unwrap();
+        let part: Partition = "2x1x1".parse().unwrap();
         let mut q = VecDeque::new();
         let mut api = NodeApi::new(0, part.coord_of(0), 0, &part, &mut q);
         assert!(p.next_send(&mut api).is_some());
@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn api_send_enqueues_and_charge_accumulates() {
-        let part: Partition = "4".parse().unwrap();
+        let part: Partition = "4x1x1".parse().unwrap();
         let mut q = VecDeque::new();
         let mut api = NodeApi::new(1, part.coord_of(1), 7, &part, &mut q);
         api.send(SendSpec::adaptive(2, 4, 100));

@@ -1,7 +1,7 @@
 //! Simulation statistics: completion time, per-dimension link utilization,
 //! latency distribution and stall accounting.
 
-use bgl_torus::{Dim, Direction, Partition, ALL_DIMS};
+use bgl_torus::{Dim, Direction, Partition};
 use serde::{Deserialize, Serialize};
 
 /// Number of power-of-two latency histogram buckets (bucket `i` counts
@@ -20,10 +20,13 @@ pub struct NetStats {
     pub packets_delivered: u64,
     /// Payload bytes delivered.
     pub payload_bytes_delivered: u64,
-    /// Chunk-cycles each dimension's links spent transmitting (x, y, z).
-    pub link_busy_chunks: [u64; 3],
-    /// Packet-hops taken per dimension.
-    pub hops_taken: [u64; 3],
+    /// Chunk-cycles each dimension's links spent transmitting, one entry
+    /// per partition dimension (index = `Dim::index()`). Serializes as a
+    /// plain JSON array, exactly as the old fixed `[u64; 3]` did on 3D
+    /// partitions, so committed golden fingerprints are unchanged.
+    pub link_busy_chunks: Vec<u64>,
+    /// Packet-hops taken per dimension (same indexing).
+    pub hops_taken: Vec<u64>,
     /// Hops taken on the bubble (escape/deterministic) VC.
     pub bubble_hops: u64,
     /// Hops taken on the dynamic VCs.
@@ -53,8 +56,9 @@ pub struct NetStats {
     pub cpu_busy_cycles: f64,
     /// Power-of-two latency histogram (see [`LATENCY_BUCKETS`]).
     pub latency_histogram: Vec<u64>,
-    /// Per-directed-link busy chunk-cycles, indexed `node·6 + direction`;
-    /// empty unless `SimConfig::detailed_link_stats` was set.
+    /// Per-directed-link busy chunk-cycles, indexed `node·2n + direction`
+    /// where `2n` is the partition's port count; empty unless
+    /// `SimConfig::detailed_link_stats` was set.
     pub link_busy_per_link: Vec<u64>,
 }
 
@@ -75,13 +79,13 @@ impl NetStats {
         if links == 0 || self.completion_cycle == 0 {
             return 0.0;
         }
-        self.link_busy_chunks[dim.index()] as f64 / (links as f64 * self.completion_cycle as f64)
+        let busy = self.link_busy_chunks.get(dim.index()).copied().unwrap_or(0);
+        busy as f64 / (links as f64 * self.completion_cycle as f64)
     }
 
     /// Utilization of the busiest dimension.
     pub fn peak_dim_utilization(&self, part: &Partition) -> f64 {
-        ALL_DIMS
-            .into_iter()
+        part.dims()
             .map(|d| self.dim_utilization(part, d))
             .fold(0.0, f64::max)
     }
@@ -111,9 +115,10 @@ impl NetStats {
     /// busy counters, never on derived floats, so equal-busy links can
     /// never reorder between runs and nothing here can panic on a
     /// non-finite comparison. Empty unless detailed link stats were
-    /// collected.
-    pub fn hottest_links(&self, n: usize) -> Vec<(u32, Direction, f64)> {
-        if self.completion_cycle == 0 {
+    /// collected. `ports` is the partition's directed-port count (`2n`),
+    /// the stride of `link_busy_per_link`.
+    pub fn hottest_links(&self, ports: usize, n: usize) -> Vec<(u32, Direction, f64)> {
+        if self.completion_cycle == 0 || ports == 0 {
             return Vec::new();
         }
         let mut v: Vec<(u64, u32, usize)> = self
@@ -121,7 +126,7 @@ impl NetStats {
             .iter()
             .enumerate()
             .filter(|&(_, &busy)| busy > 0)
-            .map(|(i, &busy)| (busy, (i / 6) as u32, i % 6))
+            .map(|(i, &busy)| (busy, (i / ports) as u32, i % ports))
             .collect();
         v.sort_by_key(|&(busy, node, dir)| (std::cmp::Reverse(busy), node, dir));
         v.truncate(n);
@@ -172,7 +177,7 @@ mod tests {
         let part: Partition = "8x8x8".parse().unwrap();
         let s = NetStats {
             completion_cycle: 100,
-            link_busy_chunks: [51_200, 0, 0], // half of 1024 X-links × 100 cycles
+            link_busy_chunks: vec![51_200, 0, 0], // half of 1024 X-links × 100 cycles
             ..Default::default()
         };
         assert!((s.dim_utilization(&part, Dim::X) - 0.5).abs() < 1e-12);
@@ -185,10 +190,25 @@ mod tests {
 
     #[test]
     fn utilization_zero_for_degenerate_cases() {
-        let part: Partition = "8".parse().unwrap();
+        let part = Partition::torus_nd(&[8]);
         let s = NetStats::default();
         assert_eq!(s.dim_utilization(&part, Dim::Y), 0.0); // no links
         assert_eq!(s.dim_utilization(&part, Dim::X), 0.0); // no cycles
+    }
+
+    #[test]
+    fn utilization_generalizes_beyond_three_dims() {
+        let part = Partition::torus_nd(&[4, 4, 4, 4]);
+        let s = NetStats {
+            completion_cycle: 100,
+            link_busy_chunks: vec![0, 0, 0, 25_600], // half of 512 directed D3-links × 100
+            ..Default::default()
+        };
+        assert!((s.dim_utilization(&part, Dim::from_index(3)) - 0.5).abs() < 1e-12);
+        assert_eq!(
+            s.peak_dim_utilization(&part),
+            s.dim_utilization(&part, Dim::from_index(3))
+        );
     }
 
     #[test]
@@ -215,7 +235,7 @@ mod tests {
             link_busy_per_link: per_link,
             ..Default::default()
         };
-        let hot = s.hottest_links(2);
+        let hot = s.hottest_links(6, 2);
         assert_eq!(hot.len(), 2);
         assert_eq!(hot[0].0, 1); // link index 7 = node 1
         assert!((hot[0].2 - 1.0).abs() < 1e-12);
@@ -237,7 +257,7 @@ mod tests {
             link_busy_per_link: per_link,
             ..Default::default()
         };
-        let hot = s.hottest_links(10);
+        let hot = s.hottest_links(6, 10);
         let order: Vec<(u32, usize)> = hot.iter().map(|&(n, d, _)| (n, d.index())).collect();
         assert_eq!(order, vec![(0, 3), (1, 1), (2, 1), (2, 2)]);
         assert!(hot.iter().all(|&(_, _, u)| (u - 0.5).abs() < 1e-12));

@@ -25,6 +25,7 @@
 //! tracing disabled the engine's hot loop pays one predictable branch
 //! per cycle and nothing else.
 
+use bgl_torus::Dim;
 use serde::{Deserialize, Serialize};
 
 /// Tracer configuration; attach to
@@ -81,12 +82,12 @@ pub struct OccStat {
 pub struct TraceSample {
     /// Cycle the sample was taken (end of its window, inclusive).
     pub cycle: u64,
-    /// Chunk-cycles each dimension's links transmitted during the window
-    /// (x, y, z); summed over all samples these equal
-    /// `NetStats::link_busy_chunks`.
-    pub link_busy_delta: [u64; 3],
+    /// Chunk-cycles each dimension's links transmitted during the window,
+    /// one entry per partition dimension; summed over all samples these
+    /// equal `NetStats::link_busy_chunks`.
+    pub link_busy_delta: Vec<u64>,
     /// Packet-hops taken per dimension during the window.
-    pub hops_delta: [u64; 3],
+    pub hops_delta: Vec<u64>,
     /// CPU-busy cycles accrued during the window.
     pub cpu_busy_delta: f64,
     /// Reception-FIFO stall events during the window.
@@ -107,10 +108,10 @@ pub struct TraceSample {
     /// Sends queued in node software (pending + pulled), not yet injected.
     pub pending_sends: u64,
     /// Dynamic-VC FIFO occupancy at the instant, split by the dimension of
-    /// the input port (x, y, z).
-    pub dyn_vc_occupancy: [OccStat; 3],
+    /// the input port (one entry per partition dimension).
+    pub dyn_vc_occupancy: Vec<OccStat>,
     /// Bubble-VC FIFO occupancy at the instant, split by dimension.
-    pub bubble_vc_occupancy: [OccStat; 3],
+    pub bubble_vc_occupancy: Vec<OccStat>,
     /// Injection-FIFO occupancy at the instant (all FIFOs, all nodes).
     pub inj_occupancy: OccStat,
     /// Reception-FIFO occupancy at the instant (one FIFO per node).
@@ -128,24 +129,31 @@ pub struct TraceSample {
 }
 
 impl TraceSample {
-    /// Compact single-line rendering for stall diagnostics and logs.
+    /// Compact single-line rendering for stall diagnostics and logs; the
+    /// bracketed lists carry one entry per partition dimension.
     pub fn summary(&self) -> String {
+        fn join_u64(v: &[u64]) -> String {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        fn join_max(v: &[OccStat]) -> String {
+            v.iter()
+                .map(|o| o.max_chunks.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
         format!(
-            "cycle {}: busy Δ[{},{},{}] inflight {} pending {} hol {} \
-             dynVC max[{},{},{}] bubbleVC max[{},{},{}] recvQ max {} p1 {} p2 {}",
+            "cycle {}: busy Δ[{}] inflight {} pending {} hol {} \
+             dynVC max[{}] bubbleVC max[{}] recvQ max {} p1 {} p2 {}",
             self.cycle,
-            self.link_busy_delta[0],
-            self.link_busy_delta[1],
-            self.link_busy_delta[2],
+            join_u64(&self.link_busy_delta),
             self.packets_in_flight,
             self.pending_sends,
             self.hol_blocked_heads,
-            self.dyn_vc_occupancy[0].max_chunks,
-            self.dyn_vc_occupancy[1].max_chunks,
-            self.dyn_vc_occupancy[2].max_chunks,
-            self.bubble_vc_occupancy[0].max_chunks,
-            self.bubble_vc_occupancy[1].max_chunks,
-            self.bubble_vc_occupancy[2].max_chunks,
+            join_max(&self.dyn_vc_occupancy),
+            join_max(&self.bubble_vc_occupancy),
             self.reception_occupancy.max_chunks,
             self.phase1_in_flight,
             self.phase2_in_flight,
@@ -165,50 +173,66 @@ pub struct Trace {
     pub truncated: bool,
 }
 
-/// CSV column order; kept next to [`Trace::to_csv`] so the header and the
-/// row writer cannot drift apart.
-const CSV_COLUMNS: [&str; 34] = [
-    "cycle",
-    "busy_x",
-    "busy_y",
-    "busy_z",
-    "hops_x",
-    "hops_y",
-    "hops_z",
-    "cpu_busy",
-    "recv_stalls",
-    "injected",
-    "delivered",
-    "pacing_blocked",
-    "credit_blocked",
-    "in_flight",
-    "pending",
-    "dyn_x_mean",
-    "dyn_x_max",
-    "dyn_y_mean",
-    "dyn_y_max",
-    "dyn_z_mean",
-    "dyn_z_max",
-    "bub_x_mean",
-    "bub_x_max",
-    "bub_y_mean",
-    "bub_y_max",
-    "bub_z_mean",
-    "bub_z_max",
-    "inj_mean",
-    "inj_max",
-    "recv_mean",
-    "recv_max",
-    "hol_blocked",
-    "phase1",
-    "phase2",
-];
+/// CSV column order for an `n`-dimensional partition; kept next to
+/// [`Trace::to_csv`] so the header and the row writer cannot drift apart.
+/// Per-dimension columns are named after [`Dim::name`] (`busy_x`,
+/// `busy_y`, `busy_z`, `busy_d3`, …), so the 3D header is byte-identical
+/// to the historical fixed 34-column layout.
+fn csv_columns(ndims: usize) -> Vec<String> {
+    let dims: Vec<&str> = Dim::all(ndims).map(|d| d.name()).collect();
+    let mut cols = vec!["cycle".to_string()];
+    cols.extend(dims.iter().map(|d| format!("busy_{d}")));
+    cols.extend(dims.iter().map(|d| format!("hops_{d}")));
+    cols.extend(
+        [
+            "cpu_busy",
+            "recv_stalls",
+            "injected",
+            "delivered",
+            "pacing_blocked",
+            "credit_blocked",
+            "in_flight",
+            "pending",
+        ]
+        .map(String::from),
+    );
+    for d in &dims {
+        cols.push(format!("dyn_{d}_mean"));
+        cols.push(format!("dyn_{d}_max"));
+    }
+    for d in &dims {
+        cols.push(format!("bub_{d}_mean"));
+        cols.push(format!("bub_{d}_max"));
+    }
+    cols.extend(
+        [
+            "inj_mean",
+            "inj_max",
+            "recv_mean",
+            "recv_max",
+            "hol_blocked",
+            "phase1",
+            "phase2",
+        ]
+        .map(String::from),
+    );
+    cols
+}
 
 impl Trace {
+    /// Number of partition dimensions the samples were recorded on (3 for
+    /// an empty trace, matching the historical default).
+    pub fn ndims(&self) -> usize {
+        self.samples
+            .first()
+            .map(|s| s.link_busy_delta.len())
+            .unwrap_or(3)
+    }
+
     /// Total link-busy chunks per dimension across all samples; equals
     /// `NetStats::link_busy_chunks` for a completed traced run.
-    pub fn link_busy_totals(&self) -> [u64; 3] {
-        let mut t = [0u64; 3];
+    pub fn link_busy_totals(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.ndims()];
         for s in &self.samples {
             for (d, total) in t.iter_mut().enumerate() {
                 *total += s.link_busy_delta[d];
@@ -219,8 +243,8 @@ impl Trace {
 
     /// The peak dynamic-VC occupancy (max chunks) seen in any sample, per
     /// dimension — the "where did packets pile up" headline number.
-    pub fn peak_dyn_occupancy(&self) -> [u32; 3] {
-        let mut t = [0u32; 3];
+    pub fn peak_dyn_occupancy(&self) -> Vec<u32> {
+        let mut t = vec![0u32; self.ndims()];
         for s in &self.samples {
             for (d, peak) in t.iter_mut().enumerate() {
                 *peak = (*peak).max(s.dyn_vc_occupancy[d].max_chunks);
@@ -254,17 +278,14 @@ impl Trace {
     /// sample. All cells are plain numerics, so quoting never triggers;
     /// floats are written with enough precision to round-trip.
     pub fn to_csv(&self) -> String {
+        let columns = csv_columns(self.ndims());
         let mut out = String::new();
-        crate::csv::push_row(&mut out, CSV_COLUMNS, "\r\n");
+        crate::csv::push_row(&mut out, &columns, "\r\n");
         for s in &self.samples {
-            let mut row: Vec<String> = vec![
-                s.cycle.to_string(),
-                s.link_busy_delta[0].to_string(),
-                s.link_busy_delta[1].to_string(),
-                s.link_busy_delta[2].to_string(),
-                s.hops_delta[0].to_string(),
-                s.hops_delta[1].to_string(),
-                s.hops_delta[2].to_string(),
+            let mut row: Vec<String> = vec![s.cycle.to_string()];
+            row.extend(s.link_busy_delta.iter().map(|v| v.to_string()));
+            row.extend(s.hops_delta.iter().map(|v| v.to_string()));
+            row.extend([
                 s.cpu_busy_delta.to_string(),
                 s.reception_stall_delta.to_string(),
                 s.injected_delta.to_string(),
@@ -273,7 +294,7 @@ impl Trace {
                 s.credit_blocked_delta.to_string(),
                 s.packets_in_flight.to_string(),
                 s.pending_sends.to_string(),
-            ];
+            ]);
             for o in s
                 .dyn_vc_occupancy
                 .iter()
@@ -286,7 +307,7 @@ impl Trace {
             row.push(s.hol_blocked_heads.to_string());
             row.push(s.phase1_in_flight.to_string());
             row.push(s.phase2_in_flight.to_string());
-            debug_assert_eq!(row.len(), CSV_COLUMNS.len());
+            debug_assert_eq!(row.len(), columns.len());
             crate::csv::push_row(&mut out, &row, "\r\n");
         }
         out
@@ -300,8 +321,9 @@ mod tests {
     fn sample(cycle: u64, busy: [u64; 3]) -> TraceSample {
         TraceSample {
             cycle,
-            link_busy_delta: busy,
-            dyn_vc_occupancy: [
+            link_busy_delta: busy.to_vec(),
+            hops_delta: vec![0; 3],
+            dyn_vc_occupancy: vec![
                 OccStat {
                     mean_chunks: 1.5,
                     max_chunks: 8,
@@ -312,6 +334,7 @@ mod tests {
                     max_chunks: 64,
                 },
             ],
+            bubble_vc_occupancy: vec![OccStat::default(); 3],
             phase1_in_flight: if cycle < 200 { 3 } else { 0 },
             phase2_in_flight: if cycle > 100 { 5 } else { 0 },
             ..TraceSample::default()
@@ -332,12 +355,29 @@ mod tests {
 
     #[test]
     fn totals_sum_deltas() {
-        assert_eq!(trace().link_busy_totals(), [16, 9, 3]);
+        assert_eq!(trace().link_busy_totals(), vec![16, 9, 3]);
     }
 
     #[test]
     fn peak_occupancy_is_max_over_samples() {
-        assert_eq!(trace().peak_dyn_occupancy(), [8, 0, 64]);
+        assert_eq!(trace().peak_dyn_occupancy(), vec![8, 0, 64]);
+    }
+
+    #[test]
+    fn csv_columns_follow_dimensionality() {
+        // 3D keeps the historical 34-column layout byte-for-byte.
+        let three = csv_columns(3);
+        assert_eq!(three.len(), 34);
+        assert_eq!(three[1], "busy_x");
+        assert_eq!(three[3], "busy_z");
+        assert_eq!(three[15], "dyn_x_mean");
+        // 2D drops the z columns; 4D gains d3 columns in each group.
+        let two = csv_columns(2);
+        assert_eq!(two.len(), 1 + 2 * 2 + 8 + 4 * 2 + 7);
+        assert!(!two.iter().any(|c| c.contains('z')));
+        let four = csv_columns(4);
+        assert!(four.iter().any(|c| c == "busy_d3"));
+        assert!(four.iter().any(|c| c == "bub_d3_max"));
     }
 
     #[test]

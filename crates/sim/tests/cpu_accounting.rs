@@ -41,7 +41,7 @@ impl NodeProgram for LateCharger {
 /// `release + charge` — visible as an early completion cycle.
 #[test]
 fn idle_node_cannot_absorb_extra_cpu_retroactively() {
-    let part: Partition = "2".parse().unwrap();
+    let part: Partition = "2x1x1".parse().unwrap();
     let release = 500u64;
     let charge = 100.0;
     let cfg = SimConfig::new(part);
@@ -78,7 +78,7 @@ fn idle_node_cannot_absorb_extra_cpu_retroactively() {
 /// incomplete receiver exactly.
 #[test]
 fn stuck_program_reports_stalled_with_accurate_counts() {
-    let part: Partition = "2".parse().unwrap();
+    let part: Partition = "2x1x1".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.inj_fifo_count = 2;
     cfg.inj_class_masks = vec![0b01, 0b01]; // class 3 has no home

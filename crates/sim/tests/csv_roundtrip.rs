@@ -21,8 +21,8 @@ fn sample_from_row(cells: &[String]) -> TraceSample {
     };
     TraceSample {
         cycle: u(0),
-        link_busy_delta: [u(1), u(2), u(3)],
-        hops_delta: [u(4), u(5), u(6)],
+        link_busy_delta: vec![u(1), u(2), u(3)],
+        hops_delta: vec![u(4), u(5), u(6)],
         cpu_busy_delta: f(7),
         reception_stall_delta: u(8),
         injected_delta: u(9),
@@ -31,8 +31,8 @@ fn sample_from_row(cells: &[String]) -> TraceSample {
         credit_blocked_delta: u(12),
         packets_in_flight: u(13),
         pending_sends: u(14),
-        dyn_vc_occupancy: [occ(15), occ(17), occ(19)],
-        bubble_vc_occupancy: [occ(21), occ(23), occ(25)],
+        dyn_vc_occupancy: vec![occ(15), occ(17), occ(19)],
+        bubble_vc_occupancy: vec![occ(21), occ(23), occ(25)],
         inj_occupancy: occ(27),
         reception_occupancy: occ(29),
         hol_blocked_heads: u(31),
@@ -84,8 +84,8 @@ proptest::proptest! {
         let samples: Vec<TraceSample> = (0..n)
             .map(|i| TraceSample {
                 cycle: i as u64 * interval + lcg(&mut s) % interval.max(1),
-                link_busy_delta: [lcg(&mut s), lcg(&mut s), lcg(&mut s)],
-                hops_delta: [lcg(&mut s), lcg(&mut s), lcg(&mut s)],
+                link_busy_delta: vec![lcg(&mut s), lcg(&mut s), lcg(&mut s)],
+                hops_delta: vec![lcg(&mut s), lcg(&mut s), lcg(&mut s)],
                 cpu_busy_delta: lcg_f64(&mut s, 7),
                 reception_stall_delta: lcg(&mut s),
                 injected_delta: lcg(&mut s),
@@ -94,8 +94,8 @@ proptest::proptest! {
                 credit_blocked_delta: lcg(&mut s),
                 packets_in_flight: lcg(&mut s),
                 pending_sends: lcg(&mut s),
-                dyn_vc_occupancy: [occ(&mut s, 3), occ(&mut s, 11), occ(&mut s, 13)],
-                bubble_vc_occupancy: [occ(&mut s, 17), occ(&mut s, 19), occ(&mut s, 23)],
+                dyn_vc_occupancy: vec![occ(&mut s, 3), occ(&mut s, 11), occ(&mut s, 13)],
+                bubble_vc_occupancy: vec![occ(&mut s, 17), occ(&mut s, 19), occ(&mut s, 23)],
                 inj_occupancy: occ(&mut s, 29),
                 reception_occupancy: occ(&mut s, 31),
                 hol_blocked_heads: lcg(&mut s),

@@ -62,7 +62,7 @@ fn scripted_workloads_match_across_modes() {
         ("4x4x4", 1, 8, false), // symmetric, one round, adaptive
         ("8x4x4", 4, 8, false), // asymmetric, saturating, adaptive
         ("8x4x4", 2, 8, true),  // asymmetric, deterministic (bubble VC)
-        ("8", 8, 8, false),     // ring
+        ("8x1x1", 8, 8, false), // ring
         ("4x3x2", 1, 2, false), // odd shape, small packets
     ];
     for (shape, k, chunks, det) in grid {
@@ -262,7 +262,7 @@ proptest::proptest! {
         shards_i in 0usize..3,
         perf in proptest::arbitrary::any::<bool>(),
     ) {
-        let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
+        let shapes = ["4x4", "4x2x2", "8x1x1", "3x3x2"];
         let part: Partition = shapes[shape_i].parse().unwrap();
         let mut cfg = SimConfig::new(part);
         cfg.engine = EngineMode::ALL[engine_i];

@@ -219,7 +219,7 @@ fn traced_odd_interval_produces_identical_series() {
 /// subsequent win and shift the completion cycle visibly.
 #[test]
 fn link_release_edge_wakes_exactly_on_busy_until() {
-    let part: Partition = "8".parse().unwrap();
+    let part: Partition = "8x1x1".parse().unwrap();
     let cfg = SimConfig::new(part);
     let programs = || {
         let mut programs: Vec<Box<dyn NodeProgram>> = (0..8)

@@ -44,7 +44,7 @@ proptest::proptest! {
         deterministic in proptest::arbitrary::any::<bool>(),
         engine_i in 0usize..EngineMode::ALL.len(),
     ) {
-        let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
+        let shapes = ["4x4", "4x2x2", "8x1x1", "3x3x2"];
         let part: Partition = shapes[shape_i].parse().unwrap();
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = vc_chunks;
@@ -84,7 +84,7 @@ fn oracle_composes_with_tracing() {
 /// only runs on successful completion.
 #[test]
 fn oracle_reports_stall_not_false_violation() {
-    let part: Partition = "2".parse().unwrap();
+    let part: Partition = "2x1x1".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.watchdog_cycles = 200;
     cfg.check_invariants = true;

@@ -53,7 +53,7 @@ fn check_invariants(cfg: &SimConfig, stats: &bgl_sim::NetStats, trace: &Trace) {
 
     // Exact telescoping of every u64 counter.
     assert_eq!(trace.link_busy_totals(), stats.link_busy_chunks);
-    let mut hops = [0u64; 3];
+    let mut hops = vec![0u64; stats.hops_taken.len()];
     let (mut stalls, mut injected, mut delivered, mut cpu) = (0u64, 0u64, 0u64, 0.0f64);
     for s in &trace.samples {
         for (d, h) in hops.iter_mut().enumerate() {
@@ -106,7 +106,7 @@ proptest::proptest! {
         vc_chunks in 16u32..128,
         engine_i in 0usize..EngineMode::ALL.len(),
     ) {
-        let shapes = ["4x4", "4x2x2", "8", "3x3x2"];
+        let shapes = ["4x4", "4x2x2", "8x1x1", "3x3x2"];
         let part: Partition = shapes[shape_i].parse().unwrap();
         let mut cfg = SimConfig::new(part);
         cfg.router.vc_fifo_chunks = vc_chunks;
@@ -154,7 +154,7 @@ fn tracing_does_not_perturb_stats() {
 /// samples so a deadlock is debuggable from stderr alone.
 #[test]
 fn stall_error_includes_trace_tail() {
-    let part: Partition = "2".parse().unwrap();
+    let part: Partition = "2x1x1".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.watchdog_cycles = 200;
     cfg.trace = Some(TraceConfig::every(100));
@@ -176,7 +176,7 @@ fn stall_error_includes_trace_tail() {
 /// Without tracing, the stall error stays a single line (no tail).
 #[test]
 fn stall_error_without_tracing_has_no_tail() {
-    let part: Partition = "2".parse().unwrap();
+    let part: Partition = "2x1x1".parse().unwrap();
     let mut cfg = SimConfig::new(part);
     cfg.watchdog_cycles = 200;
     let programs: Vec<Box<dyn NodeProgram>> = vec![

@@ -36,7 +36,7 @@
 //! link bandwidth; the paper's Equation 2 is the even-torus special case
 //! with `S = M` the longest dimension.
 
-use crate::coord::{Dim, ALL_DIMS};
+use crate::coord::Dim;
 use crate::partition::Partition;
 use serde::{Deserialize, Serialize};
 
@@ -69,56 +69,61 @@ pub struct DimLoad {
 pub struct AaLoadAnalysis {
     /// The analysed partition.
     pub partition: Partition,
-    /// Per-dimension loads, in X, Y, Z order (size-1 dimensions carry a
-    /// zero load entry).
-    pub dims: [DimLoad; 3],
+    /// Per-dimension loads, one per partition dimension in dimension
+    /// order (size-1 dimensions carry a zero load entry).
+    pub dims: Vec<DimLoad>,
 }
 
 impl AaLoadAnalysis {
-    /// Analyse `partition`.
+    /// Analyse `partition`. The Equation-2 derivation is per-dimension, so
+    /// it applies unchanged at any arity: each dimension's bottleneck link
+    /// load depends only on its own size, wrap flag and the node count.
     pub fn new(partition: Partition) -> AaLoadAnalysis {
         let p = partition.num_nodes() as f64;
-        let dims = ALL_DIMS.map(|d| {
-            let s = partition.size(d) as f64;
-            if partition.size(d) <= 1 {
-                return DimLoad {
+        let dims: Vec<DimLoad> = partition
+            .dims()
+            .map(|d| {
+                let s = partition.size(d) as f64;
+                if partition.size(d) <= 1 {
+                    return DimLoad {
+                        dim: d,
+                        size: partition.size(d),
+                        torus: false,
+                        avg_hops: 0.0,
+                        load_factor: 0.0,
+                    };
+                }
+                let torus = partition.is_torus_dim(d);
+                let (sum_hops, load_factor) = if torus {
+                    // Sum of minimal distances over all S² ordered coordinate pairs.
+                    let sum = if partition.size(d).is_multiple_of(2) {
+                        s * s * s / 4.0
+                    } else {
+                        s * (s * s - 1.0) / 4.0
+                    };
+                    // Half the hops go each direction; each of the (P/S)² node
+                    // pairs per coordinate pair contributes, spread by symmetry
+                    // over the P directed links per direction:
+                    //   load = (sum/2)·(P/S)²/P · m = sum·P/(2S²) · m.
+                    (sum, sum * p / (2.0 * s * s))
+                } else {
+                    // Mesh: Σ|a-b| over ordered pairs = S(S²-1)/3; the bottleneck
+                    // is the centre cut, ⌈S/2⌉·⌊S/2⌋ coordinate pairs per
+                    // direction, (P/S)² node pairs each, across P/S lines.
+                    let sum = s * (s * s - 1.0) / 3.0;
+                    let s_half_lo = (partition.size(d) / 2) as f64;
+                    let s_half_hi = partition.size(d).div_ceil(2) as f64;
+                    (sum, s_half_lo * s_half_hi * (p / s))
+                };
+                DimLoad {
                     dim: d,
                     size: partition.size(d),
-                    torus: false,
-                    avg_hops: 0.0,
-                    load_factor: 0.0,
-                };
-            }
-            let torus = partition.is_torus_dim(d);
-            let (sum_hops, load_factor) = if torus {
-                // Sum of minimal distances over all S² ordered coordinate pairs.
-                let sum = if partition.size(d).is_multiple_of(2) {
-                    s * s * s / 4.0
-                } else {
-                    s * (s * s - 1.0) / 4.0
-                };
-                // Half the hops go each direction; each of the (P/S)² node
-                // pairs per coordinate pair contributes, spread by symmetry
-                // over the P directed links per direction:
-                //   load = (sum/2)·(P/S)²/P · m = sum·P/(2S²) · m.
-                (sum, sum * p / (2.0 * s * s))
-            } else {
-                // Mesh: Σ|a-b| over ordered pairs = S(S²-1)/3; the bottleneck
-                // is the centre cut, ⌈S/2⌉·⌊S/2⌋ coordinate pairs per
-                // direction, (P/S)² node pairs each, across P/S lines.
-                let sum = s * (s * s - 1.0) / 3.0;
-                let s_half_lo = (partition.size(d) / 2) as f64;
-                let s_half_hi = partition.size(d).div_ceil(2) as f64;
-                (sum, s_half_lo * s_half_hi * (p / s))
-            };
-            DimLoad {
-                dim: d,
-                size: partition.size(d),
-                torus,
-                avg_hops: sum_hops / (s * s),
-                load_factor,
-            }
-        });
+                    torus,
+                    avg_hops: sum_hops / (s * s),
+                    load_factor,
+                }
+            })
+            .collect();
         AaLoadAnalysis { partition, dims }
     }
 
@@ -136,7 +141,7 @@ impl AaLoadAnalysis {
                     best
                 }
             })
-            .expect("three dims")
+            .expect("at least one dim")
     }
 
     /// The paper's contention parameter `C` (Equation 2's `M/8` for an even
@@ -246,16 +251,35 @@ mod tests {
     #[test]
     fn odd_torus_load() {
         // S=5 line, P=5: per-link load = P(S²-1)/(8S) = 5·24/40 = 3.
-        let a = analyse("5");
+        let a = AaLoadAnalysis::new(Partition::torus_nd(&[5]));
         assert!((a.dims[0].load_factor - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn line_and_plane_loads() {
         // 8-line: P·S/8 = 8.
-        assert_eq!(analyse("8").bottleneck().load_factor, 8.0);
+        let line = AaLoadAnalysis::new(Partition::torus_nd(&[8]));
+        assert_eq!(line.bottleneck().load_factor, 8.0);
         // 16x16 plane: P·16/8 = 512.
         assert_eq!(analyse("16x16").bottleneck().load_factor, 512.0);
+    }
+
+    #[test]
+    fn higher_dim_loads_follow_equation_2() {
+        // Equation 2 per dimension at any arity: even-torus load P·S/8.
+        let a = analyse("4x4x4x4");
+        assert_eq!(a.dims.len(), 4);
+        for d in &a.dims {
+            assert_eq!(d.load_factor, 256.0 * 4.0 / 8.0, "{}", d.dim);
+        }
+        // BG/Q-style 5D: the bottleneck is any of the size-4 dims (ties
+        // to X), with load P·4/8.
+        let a = analyse("4x4x4x4x2");
+        assert_eq!(a.dims.len(), 5);
+        assert_eq!(a.bottleneck().dim, Dim::X);
+        assert_eq!(a.bottleneck().load_factor, 512.0 * 4.0 / 8.0);
+        // The size-2 dimension is lighter: P·2/8.
+        assert_eq!(a.dims[4].load_factor, 512.0 * 2.0 / 8.0);
     }
 
     #[test]
@@ -277,7 +301,7 @@ mod tests {
 
     #[test]
     fn size_one_dims_carry_no_load() {
-        let a = analyse("16");
+        let a = analyse("16x1x1");
         assert_eq!(a.dims[1].load_factor, 0.0);
         assert_eq!(a.dims[2].load_factor, 0.0);
     }

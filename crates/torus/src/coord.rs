@@ -1,70 +1,153 @@
-//! Coordinates, dimensions and link directions on a 3-D partition.
+//! Coordinates, dimensions and link directions on a k-ary n-dimensional
+//! partition.
+//!
+//! The machine dimension is *runtime data*, not a type-level constant: a
+//! [`Dim`] is an index newtype in `0..MAX_DIMS`, a [`Coord`] carries one
+//! component per dimension, and a node on an n-dimensional partition has
+//! `2n` link [`Direction`]s. The first three dimensions keep their BG/L
+//! names (`x`, `y`, `z`); higher ones are named `d3`, `d4`, `d5`.
 
 use serde::{Deserialize, Serialize};
 
-/// One of the three torus dimensions.
+/// Hard upper bound on the number of torus dimensions the workspace
+/// models.
 ///
-/// BG/L routes deterministically in the order X, then Y, then Z; the
-/// `u8` discriminants give that order, so `Dim::X < Dim::Y < Dim::Z`
-/// iterates dimension-ordered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[repr(u8)]
-pub enum Dim {
-    /// The X dimension (routed first under dimension order).
-    X = 0,
-    /// The Y dimension.
-    Y = 1,
-    /// The Z dimension (routed last).
-    Z = 2,
-}
+/// Six covers every machine in the lineage (BG/L's 3D torus, BG/Q's 5D,
+/// 2D planes and meshes) while letting [`Coord`] and
+/// [`HopPlan`](crate::HopPlan) stay fixed-size `Copy` values in packet
+/// headers — no per-packet allocation on the simulator's hot path.
+pub const MAX_DIMS: usize = 6;
 
-/// All dimensions in dimension (X, Y, Z) order.
-pub const ALL_DIMS: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+/// Hard upper bound on directed links per node (`2 · MAX_DIMS`).
+pub const MAX_PORTS: usize = 2 * MAX_DIMS;
+
+/// One torus dimension, as a dense index in `0..MAX_DIMS`.
+///
+/// Dimension-ordered routing visits dimensions in increasing index order,
+/// so `Dim::X < Dim::Y < Dim::Z` iterates dimension-ordered exactly as
+/// the old 3D enum did; dimensions `3..6` extend the same order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dim(u8);
 
 impl Dim {
-    /// Index of the dimension (X=0, Y=1, Z=2), for indexing `[T; 3]` state.
-    #[inline]
-    pub const fn index(self) -> usize {
-        self as usize
-    }
+    /// The first dimension (BG/L's X, routed first under dimension order).
+    pub const X: Dim = Dim(0);
+    /// The second dimension (BG/L's Y).
+    pub const Y: Dim = Dim(1);
+    /// The third dimension (BG/L's Z).
+    pub const Z: Dim = Dim(2);
 
-    /// Dimension from an index in `0..3`.
+    /// Dimension from an index in `0..MAX_DIMS`.
     ///
     /// # Panics
-    /// Panics if `i >= 3`.
+    /// Panics if `i >= MAX_DIMS`.
+    #[inline]
+    pub const fn new(i: usize) -> Dim {
+        assert!(i < MAX_DIMS, "dimension index out of range");
+        Dim(i as u8)
+    }
+
+    /// Index of the dimension, for indexing per-dimension state.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Dimension from a dense index (alias of [`Dim::new`], kept for the
+    /// symmetry with [`Direction::from_index`]).
+    ///
+    /// # Panics
+    /// Panics if `i >= MAX_DIMS`.
     #[inline]
     pub fn from_index(i: usize) -> Dim {
-        match i {
-            0 => Dim::X,
-            1 => Dim::Y,
-            2 => Dim::Z,
-            _ => panic!("dimension index {i} out of range 0..3"),
-        }
+        assert!(
+            i < MAX_DIMS,
+            "dimension index {i} out of range 0..{MAX_DIMS}"
+        );
+        Dim(i as u8)
     }
 
-    /// Short lowercase name ("x", "y" or "z").
-    pub const fn name(self) -> &'static str {
-        match self {
-            Dim::X => "x",
-            Dim::Y => "y",
-            Dim::Z => "z",
-        }
-    }
-
-    /// The two dimensions other than `self`, in (X, Y, Z) order.
+    /// The first `n` dimensions in dimension order.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_DIMS`.
     #[inline]
-    pub const fn others(self) -> [Dim; 2] {
-        match self {
-            Dim::X => [Dim::Y, Dim::Z],
-            Dim::Y => [Dim::X, Dim::Z],
-            Dim::Z => [Dim::X, Dim::Y],
+    pub fn all(n: usize) -> impl Iterator<Item = Dim> + Clone {
+        assert!(
+            n <= MAX_DIMS,
+            "dimension count {n} out of range 0..={MAX_DIMS}"
+        );
+        (0..n as u8).map(Dim)
+    }
+
+    /// Short lowercase name: `x`, `y`, `z` for the BG/L dimensions, then
+    /// `d3`, `d4`, `d5`.
+    pub const fn name(self) -> &'static str {
+        match self.0 {
+            0 => "x",
+            1 => "y",
+            2 => "z",
+            3 => "d3",
+            4 => "d4",
+            5 => "d5",
+            _ => unreachable!(),
         }
+    }
+
+    /// Uppercase name (`X`, `Y`, `Z`, `D3`, `D4`, `D5`), the wire and
+    /// display spelling.
+    pub const fn name_upper(self) -> &'static str {
+        match self.0 {
+            0 => "X",
+            1 => "Y",
+            2 => "Z",
+            3 => "D3",
+            4 => "D4",
+            5 => "D5",
+            _ => unreachable!(),
+        }
+    }
+
+    /// The dimensions of an `n`-dimensional machine other than `self`, in
+    /// dimension order.
+    #[inline]
+    pub fn others(self, n: usize) -> impl Iterator<Item = Dim> + Clone {
+        Dim::all(n).filter(move |&d| d != self)
     }
 }
 
 impl std::fmt::Display for Dim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name().to_uppercase().as_str())
+        f.write_str(self.name_upper())
+    }
+}
+
+/// Serializes with the historical enum spelling (`"X"`, `"Y"`, `"Z"`) so
+/// committed golden RunKeys keep their bytes; higher dimensions use
+/// `"D3"`..`"D5"`.
+impl Serialize for Dim {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name_upper().to_string())
+    }
+}
+
+impl Deserialize for Dim {
+    fn from_value(v: &serde::Value) -> Result<Dim, serde::Error> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "X" | "x" => Ok(Dim::X),
+                "Y" | "y" => Ok(Dim::Y),
+                "Z" | "z" => Ok(Dim::Z),
+                "D3" | "d3" => Ok(Dim(3)),
+                "D4" | "d4" => Ok(Dim(4)),
+                "D5" | "d5" => Ok(Dim(5)),
+                other => Err(serde::Error::custom(format!("unknown dimension {other:?}"))),
+            },
+            serde::Value::U64(i) if (*i as usize) < MAX_DIMS => Ok(Dim(*i as u8)),
+            other => Err(serde::Error::custom(format!(
+                "expected dimension name, got {other:?}"
+            ))),
+        }
     }
 }
 
@@ -90,8 +173,8 @@ impl Sign {
     }
 }
 
-/// One of the six link directions leaving a node (`X+`, `X-`, `Y+`, `Y-`,
-/// `Z+`, `Z-`).
+/// One of the `2n` link directions leaving a node of an n-dimensional
+/// partition (`X+`, `X-`, `Y+`, `Y-`, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Direction {
     /// Dimension the link runs along.
@@ -100,35 +183,6 @@ pub struct Direction {
     pub sign: Sign,
 }
 
-/// All six directions, ordered X+, X-, Y+, Y-, Z+, Z- (matching
-/// [`Direction::index`]).
-pub const ALL_DIRECTIONS: [Direction; 6] = [
-    Direction {
-        dim: Dim::X,
-        sign: Sign::Plus,
-    },
-    Direction {
-        dim: Dim::X,
-        sign: Sign::Minus,
-    },
-    Direction {
-        dim: Dim::Y,
-        sign: Sign::Plus,
-    },
-    Direction {
-        dim: Dim::Y,
-        sign: Sign::Minus,
-    },
-    Direction {
-        dim: Dim::Z,
-        sign: Sign::Plus,
-    },
-    Direction {
-        dim: Dim::Z,
-        sign: Sign::Minus,
-    },
-];
-
 impl Direction {
     /// Construct a direction.
     #[inline]
@@ -136,21 +190,45 @@ impl Direction {
         Direction { dim, sign }
     }
 
-    /// Dense index in `0..6` (X+=0, X-=1, Y+=2, Y-=3, Z+=4, Z-=5), used to
-    /// index per-port state in the simulator.
+    /// Dense index in `0..2n` (X+=0, X-=1, Y+=2, Y-=3, …), used to index
+    /// per-port state in the simulator.
     #[inline]
     pub const fn index(self) -> usize {
-        (self.dim as usize) * 2 + (self.sign as usize)
+        self.dim.index() * 2 + (self.sign as usize)
     }
 
-    /// Direction from a dense index in `0..6`.
+    /// Direction from a dense index in `0..MAX_PORTS`.
     ///
     /// # Panics
-    /// Panics if `i >= 6`.
+    /// Panics if `i >= MAX_PORTS`.
     #[inline]
     pub fn from_index(i: usize) -> Direction {
-        assert!(i < 6, "direction index {i} out of range 0..6");
-        ALL_DIRECTIONS[i]
+        assert!(
+            i < MAX_PORTS,
+            "direction index {i} out of range 0..{MAX_PORTS}"
+        );
+        Direction {
+            dim: Dim((i / 2) as u8),
+            sign: if i.is_multiple_of(2) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            },
+        }
+    }
+
+    /// The `2n` directions of an `n`-dimensional machine, in dense-index
+    /// order (X+, X-, Y+, Y-, …).
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_DIMS`.
+    #[inline]
+    pub fn all(n: usize) -> impl Iterator<Item = Direction> + Clone {
+        assert!(
+            n <= MAX_DIMS,
+            "dimension count {n} out of range 0..={MAX_DIMS}"
+        );
+        (0..2 * n).map(Direction::from_index)
     }
 
     /// The reverse direction (the direction a packet *arrives from* when it
@@ -174,38 +252,52 @@ impl std::fmt::Display for Direction {
     }
 }
 
-/// A node coordinate on a 3-D partition.
+/// A node coordinate on an n-dimensional partition.
 ///
-/// Coordinates are `u16` per dimension; BG/L partitions never exceeded 64
-/// nodes per dimension, and `u16` keeps [`Coord`] at 6 bytes so packet
-/// headers in the simulator stay small.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+/// Components are `u16` per dimension and stored in a fixed
+/// `[u16; MAX_DIMS]` so [`Coord`] stays a 12-byte `Copy` value in packet
+/// headers; components beyond a partition's dimensionality are zero and
+/// ignore-equal (a 2D coordinate and the same point embedded in 3D with
+/// z = 0 compare equal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Coord {
-    /// X coordinate.
-    pub x: u16,
-    /// Y coordinate.
-    pub y: u16,
-    /// Z coordinate.
-    pub z: u16,
+    c: [u16; MAX_DIMS],
 }
 
 impl Coord {
-    /// Construct a coordinate.
+    /// A 3D coordinate (the BG/L convenience; higher components zero).
     #[inline]
     pub const fn new(x: u16, y: u16, z: u16) -> Coord {
-        Coord { x, y, z }
+        Coord {
+            c: [x, y, z, 0, 0, 0],
+        }
+    }
+
+    /// The origin.
+    #[inline]
+    pub const fn zero() -> Coord {
+        Coord { c: [0; MAX_DIMS] }
+    }
+
+    /// A coordinate from explicit components (missing components zero).
+    ///
+    /// # Panics
+    /// Panics if more than `MAX_DIMS` components are given.
+    pub fn from_slice(components: &[u16]) -> Coord {
+        assert!(
+            components.len() <= MAX_DIMS,
+            "coordinate has {} components, max {MAX_DIMS}",
+            components.len()
+        );
+        let mut c = [0u16; MAX_DIMS];
+        c[..components.len()].copy_from_slice(components);
+        Coord { c }
     }
 
     /// Component along `dim`.
     #[inline]
     pub const fn get(self, dim: Dim) -> u16 {
-        match dim {
-            Dim::X => self.x,
-            Dim::Y => self.y,
-            Dim::Z => self.z,
-        }
+        self.c[dim.index()]
     }
 
     /// Return a copy with the component along `dim` replaced by `v`.
@@ -219,17 +311,71 @@ impl Coord {
     /// Set the component along `dim`.
     #[inline]
     pub fn set(&mut self, dim: Dim, v: u16) {
-        match dim {
-            Dim::X => self.x = v,
-            Dim::Y => self.y = v,
-            Dim::Z => self.z = v,
-        }
+        self.c[dim.index()] = v;
+    }
+
+    /// All `MAX_DIMS` components (trailing ones zero for lower-dimensional
+    /// coordinates).
+    #[inline]
+    pub fn components(&self) -> &[u16; MAX_DIMS] {
+        &self.c
     }
 }
 
 impl std::fmt::Display for Coord {
+    /// Prints the components up to the last nonzero one, minimum three —
+    /// so 3D coordinates render exactly as they always did (`(4,0,15)`)
+    /// and higher-dimensional ones extend the same form.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "({},{},{})", self.x, self.y, self.z)
+        let n = (3..MAX_DIMS)
+            .rev()
+            .find(|&i| self.c[i] != 0)
+            .map_or(3, |i| i + 1);
+        write!(f, "(")?;
+        for (i, v) in self.c[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Serializes as a plain array of `MAX_DIMS` components. [`Coord`] never
+/// appears in committed golden files (packets and faults are rank-based
+/// on the wire), so the representation is free to be the simplest one.
+impl Serialize for Coord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.c
+                .iter()
+                .map(|&v| serde::Value::U64(v as u64))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Coord {
+    fn from_value(v: &serde::Value) -> Result<Coord, serde::Error> {
+        match v {
+            serde::Value::Array(items) if items.len() <= MAX_DIMS => {
+                let mut c = [0u16; MAX_DIMS];
+                for (i, item) in items.iter().enumerate() {
+                    c[i] = u16::from_value(item)?;
+                }
+                Ok(Coord { c })
+            }
+            // Legacy 3D object form `{"x":..,"y":..,"z":..}`.
+            serde::Value::Object(_) => Ok(Coord::new(
+                serde::de_field(v, "x")?,
+                serde::de_field(v, "y")?,
+                serde::de_field(v, "z")?,
+            )),
+            other => Err(serde::Error::custom(format!(
+                "expected coordinate array, got {other:?}"
+            ))),
+        }
     }
 }
 
@@ -239,45 +385,62 @@ mod tests {
 
     #[test]
     fn dim_indices_roundtrip() {
-        for (i, d) in ALL_DIMS.iter().enumerate() {
+        for (i, d) in Dim::all(MAX_DIMS).enumerate() {
             assert_eq!(d.index(), i);
-            assert_eq!(Dim::from_index(i), *d);
+            assert_eq!(Dim::from_index(i), d);
         }
+        assert_eq!(Dim::X.index(), 0);
+        assert_eq!(Dim::Y.index(), 1);
+        assert_eq!(Dim::Z.index(), 2);
     }
 
     #[test]
     fn dim_order_is_dimension_order() {
         assert!(Dim::X < Dim::Y);
         assert!(Dim::Y < Dim::Z);
+        assert!(Dim::Z < Dim::new(3));
     }
 
     #[test]
     fn dim_others_excludes_self() {
-        for d in ALL_DIMS {
-            let o = d.others();
-            assert_ne!(o[0], d);
-            assert_ne!(o[1], d);
-            assert_ne!(o[0], o[1]);
+        for n in 2..=MAX_DIMS {
+            for d in Dim::all(n) {
+                let o: Vec<Dim> = d.others(n).collect();
+                assert_eq!(o.len(), n - 1);
+                assert!(!o.contains(&d));
+            }
         }
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn dim_from_bad_index_panics() {
-        let _ = Dim::from_index(3);
+        let _ = Dim::from_index(MAX_DIMS);
+    }
+
+    #[test]
+    fn dim_serde_keeps_legacy_spelling_and_extends() {
+        assert_eq!(Dim::X.to_value(), serde::Value::Str("X".into()));
+        assert_eq!(Dim::new(4).to_value(), serde::Value::Str("D4".into()));
+        for d in Dim::all(MAX_DIMS) {
+            assert_eq!(Dim::from_value(&d.to_value()).unwrap(), d);
+        }
+        assert!(Dim::from_value(&serde::Value::Str("Q".into())).is_err());
     }
 
     #[test]
     fn direction_indices_roundtrip() {
-        for (i, d) in ALL_DIRECTIONS.iter().enumerate() {
+        for (i, d) in Direction::all(MAX_DIMS).enumerate() {
             assert_eq!(d.index(), i);
-            assert_eq!(Direction::from_index(i), *d);
+            assert_eq!(Direction::from_index(i), d);
         }
+        assert_eq!(Direction::all(3).count(), 6);
+        assert_eq!(Direction::all(5).count(), 10);
     }
 
     #[test]
     fn direction_opposite_is_involution() {
-        for d in ALL_DIRECTIONS {
+        for d in Direction::all(MAX_DIMS) {
             assert_eq!(d.opposite().opposite(), d);
             assert_eq!(d.opposite().dim, d.dim);
             assert_ne!(d.opposite().sign, d.sign);
@@ -300,18 +463,49 @@ mod tests {
         assert_eq!(c, Coord::new(1, 9, 3));
         assert_eq!(c.with(Dim::Z, 7), Coord::new(1, 9, 7));
         // `with` does not mutate.
-        assert_eq!(c.z, 3);
+        assert_eq!(c.get(Dim::Z), 3);
+    }
+
+    #[test]
+    fn coord_from_slice_pads_with_zeros() {
+        assert_eq!(Coord::from_slice(&[4, 7]), Coord::new(4, 7, 0));
+        assert_eq!(Coord::from_slice(&[]), Coord::zero());
+        let five = Coord::from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(five.get(Dim::new(4)), 5);
+        assert_eq!(five.get(Dim::new(5)), 0);
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(Dim::X.to_string(), "X");
+        assert_eq!(Dim::new(3).to_string(), "D3");
         assert_eq!(Direction::new(Dim::Y, Sign::Minus).to_string(), "Y-");
         assert_eq!(Coord::new(4, 0, 15).to_string(), "(4,0,15)");
+        assert_eq!(Coord::zero().to_string(), "(0,0,0)");
+        assert_eq!(
+            Coord::from_slice(&[1, 2, 3, 4, 5]).to_string(),
+            "(1,2,3,4,5)"
+        );
     }
 
     #[test]
-    fn coord_is_small() {
-        assert_eq!(std::mem::size_of::<Coord>(), 6);
+    fn coord_is_small_and_copy() {
+        assert_eq!(std::mem::size_of::<Coord>(), 2 * MAX_DIMS);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Coord>();
+    }
+
+    #[test]
+    fn coord_serde_roundtrip_and_legacy_object() {
+        let c = Coord::from_slice(&[3, 1, 4, 1, 5]);
+        assert_eq!(Coord::from_value(&c.to_value()).unwrap(), c);
+        // Coordinates serialized by the old 3D representation keep
+        // deserializing.
+        let legacy = serde::Value::Object(vec![
+            ("x".into(), serde::Value::U64(4)),
+            ("y".into(), serde::Value::U64(0)),
+            ("z".into(), serde::Value::U64(15)),
+        ]);
+        assert_eq!(Coord::from_value(&legacy).unwrap(), Coord::new(4, 0, 15));
     }
 }

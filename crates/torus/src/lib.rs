@@ -6,8 +6,9 @@
 //! library ([`bgl-core`](../bgl_core/index.html)). It knows nothing about
 //! packets or time; it answers purely structural questions:
 //!
-//! * coordinates, ranks and neighbours on a 3-D partition whose dimensions
-//!   may independently be a **torus** (wrap links present) or a **mesh**
+//! * coordinates, ranks and neighbours on a k-ary n-dimensional partition
+//!   (up to [`coord::MAX_DIMS`] dimensions) whose dimensions may
+//!   independently be a **torus** (wrap links present) or a **mesh**
 //!   ([`Partition`]),
 //! * minimal-hop distances, direction choices and dimension-ordered routes
 //!   ([`routing`]),
@@ -40,7 +41,7 @@ pub mod routing;
 pub mod vmesh;
 
 pub use analysis::{AaLoadAnalysis, DimLoad};
-pub use coord::{Coord, Dim, Direction, Sign, ALL_DIMS, ALL_DIRECTIONS};
+pub use coord::{Coord, Dim, Direction, Sign, MAX_DIMS, MAX_PORTS};
 pub use partition::{Partition, PartitionParseError, Rank};
 pub use routing::{DimensionOrder, HopPlan, TieBreak};
 pub use vmesh::{VirtualMesh, VmeshLayout};

@@ -1,51 +1,71 @@
-//! Partition shapes: 1-D lines, 2-D planes and 3-D blocks whose dimensions
-//! are independently torus (wrapped) or mesh (unwrapped).
+//! Partition shapes: k-ary n-dimensional blocks whose dimensions are
+//! independently torus (wrapped) or mesh (unwrapped).
 
-use crate::coord::{Coord, Dim, Direction, Sign, ALL_DIMS};
-use serde::{Deserialize, Serialize};
+use crate::coord::{Coord, Dim, Direction, Sign, MAX_DIMS};
+use serde::{de_field, Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
-/// A node's linear rank within a partition (X varies fastest, then Y, then Z).
+/// A node's linear rank within a partition (dimension 0 varies fastest).
 pub type Rank = u32;
 
-/// A BG/L partition: a 3-D block of nodes with per-dimension sizes and
-/// per-dimension wrap (torus) flags.
+/// A torus partition: an n-dimensional block of nodes with per-dimension
+/// sizes and per-dimension wrap (torus) flags, `1 <= n <= MAX_DIMS`.
 ///
-/// Lower-dimensional partitions (lines, planes) are represented with the
-/// unused dimensions set to size 1. The paper's `"8x8x2M"` notation parses
-/// via [`FromStr`]: an `M` suffix marks that dimension as a mesh, all other
-/// dimensions of size ≥ 2 are tori. Dimensions of size 1 carry no links at
-/// all, so their wrap flag is normalised to `false`.
+/// The arity is part of the value: `8x8` is a genuine 2D partition with
+/// four links per node, distinct from the 3D `8x8x1` (which carries the
+/// same nodes but six ports, the unused Z pair idle). The paper's
+/// `"8x8x2M"` notation parses via [`FromStr`]: an `M` suffix marks that
+/// dimension as a mesh, all other dimensions of size ≥ 2 are tori.
+/// Dimensions of size 1 carry no links at all, so their wrap flag is
+/// normalised to `false`.
 ///
 /// ```
 /// use bgl_torus::{Partition, Dim};
 /// let p: Partition = "8x8x2M".parse().unwrap();
 /// assert_eq!(p.num_nodes(), 128);
+/// assert_eq!(p.ndims(), 3);
 /// assert!(p.is_torus_dim(Dim::X));
 /// assert!(!p.is_torus_dim(Dim::Z));
+/// let q: Partition = "4x4x4x4x2".parse().unwrap();
+/// assert_eq!(q.ndims(), 5);
+/// assert_eq!(q.ports(), 10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Partition {
-    dims: [u16; 3],
-    wrap: [bool; 3],
+    /// Number of dimensions (`1..=MAX_DIMS`). Extents beyond `n` are 1
+    /// with wrap `false`, so derived quantities (node counts, ranks) can
+    /// ignore the boundary.
+    n: u8,
+    dims: [u16; MAX_DIMS],
+    wrap: [bool; MAX_DIMS],
 }
 
 impl Partition {
-    /// A full torus (every dimension of size ≥ 2 wraps).
+    /// A full 3D torus (the BG/L convenience; every dimension of size ≥ 2
+    /// wraps).
     ///
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn torus(x: u16, y: u16, z: u16) -> Partition {
-        Partition::new([x, y, z], [true, true, true])
+        Partition::new(&[x, y, z], &[true, true, true])
     }
 
-    /// A full mesh (no dimension wraps).
+    /// A full 3D mesh (no dimension wraps).
     ///
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn mesh(x: u16, y: u16, z: u16) -> Partition {
-        Partition::new([x, y, z], [false, false, false])
+        Partition::new(&[x, y, z], &[false, false, false])
+    }
+
+    /// A full torus of arbitrary dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, longer than `MAX_DIMS`, or contains a
+    /// zero.
+    pub fn torus_nd(dims: &[u16]) -> Partition {
+        Partition::new(dims, &vec![true; dims.len()])
     }
 
     /// A partition with explicit per-dimension sizes and wrap flags.
@@ -54,31 +74,74 @@ impl Partition {
     /// single-node dimension has no links).
     ///
     /// # Panics
-    /// Panics if any dimension is zero.
-    pub fn new(dims: [u16; 3], wrap: [bool; 3]) -> Partition {
+    /// Panics if `dims` and `wrap` differ in length, if the arity is not
+    /// `1..=MAX_DIMS`, or if any dimension is zero.
+    pub fn new(dims: &[u16], wrap: &[bool]) -> Partition {
+        assert_eq!(
+            dims.len(),
+            wrap.len(),
+            "dims and wrap must have the same arity"
+        );
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "partition must have 1..={MAX_DIMS} dimensions, got {}",
+            dims.len()
+        );
         assert!(
             dims.iter().all(|&d| d > 0),
             "partition dimensions must be positive, got {dims:?}"
         );
-        let mut wrap = wrap;
-        for i in 0..3 {
-            if dims[i] == 1 {
-                wrap[i] = false;
-            }
+        let mut d = [1u16; MAX_DIMS];
+        let mut w = [false; MAX_DIMS];
+        d[..dims.len()].copy_from_slice(dims);
+        for i in 0..dims.len() {
+            w[i] = wrap[i] && dims[i] > 1;
         }
-        Partition { dims, wrap }
+        Partition {
+            n: dims.len() as u8,
+            dims: d,
+            wrap: w,
+        }
     }
 
-    /// Size along `dim`.
+    /// Number of dimensions (the partition's arity, counting size-1
+    /// dimensions that were explicitly written).
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of link ports per node: `2 · ndims()` directed links leave
+    /// (and enter) every node, one pair per dimension.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        2 * self.n as usize
+    }
+
+    /// The partition's dimensions, in dimension order.
+    #[inline]
+    pub fn dims(&self) -> impl Iterator<Item = Dim> + Clone {
+        Dim::all(self.n as usize)
+    }
+
+    /// The `2n` link directions of this partition, in dense-index order.
+    #[inline]
+    pub fn directions(&self) -> impl Iterator<Item = Direction> + Clone {
+        Direction::all(self.n as usize)
+    }
+
+    /// Size along `dim` (1 for dimensions beyond the arity, so callers
+    /// iterating a fixed upper bound see a degenerate dimension, not a
+    /// panic).
     #[inline]
     pub fn size(&self, dim: Dim) -> u16 {
         self.dims[dim.index()]
     }
 
-    /// All three sizes `[x, y, z]`.
+    /// The sizes, one per dimension.
     #[inline]
-    pub fn sizes(&self) -> [u16; 3] {
-        self.dims
+    pub fn sizes(&self) -> &[u16] {
+        &self.dims[..self.n as usize]
     }
 
     /// Whether `dim` wraps (torus) — always `false` for size-1 dimensions.
@@ -87,29 +150,29 @@ impl Partition {
         self.wrap[dim.index()]
     }
 
-    /// Total number of nodes `P = Px · Py · Pz`.
+    /// Total number of nodes `P = ∏ Pᵢ`.
     #[inline]
     pub fn num_nodes(&self) -> u32 {
         self.dims.iter().map(|&d| d as u32).product()
     }
 
-    /// Dimensions with more than one node, in (X, Y, Z) order.
+    /// Dimensions with more than one node, in dimension order.
     pub fn active_dims(&self) -> Vec<Dim> {
-        ALL_DIMS.into_iter().filter(|d| self.size(*d) > 1).collect()
+        self.dims().filter(|d| self.size(*d) > 1).collect()
     }
 
     /// Number of active (size > 1) dimensions: 0 for a single node, 1 for a
-    /// line, 2 for a plane, 3 for a block.
+    /// line, 2 for a plane, 3 for a block, and so on.
     pub fn dimensionality(&self) -> usize {
         self.active_dims().len()
     }
 
-    /// The dimension with the most nodes, the paper's `M = max(Px,Py,Pz)`
+    /// The dimension with the most nodes, the paper's `M = max(Pᵢ)`
     /// bottleneck dimension. Ties go to the earlier dimension (X before Y
     /// before Z), matching the paper's convention of naming X first.
     pub fn longest_dim(&self) -> Dim {
         let mut best = Dim::X;
-        for d in [Dim::Y, Dim::Z] {
+        for d in self.dims().skip(1) {
             if self.size(d) > self.size(best) {
                 best = d;
             }
@@ -117,10 +180,10 @@ impl Partition {
         best
     }
 
-    /// `M = max(Px, Py, Pz)`.
+    /// `M = max(Pᵢ)`.
     #[inline]
     pub fn max_dim_size(&self) -> u16 {
-        *self.dims.iter().max().expect("three dims")
+        *self.sizes().iter().max().expect("at least one dim")
     }
 
     /// Whether this partition is *symmetric* in the paper's sense: every
@@ -138,14 +201,18 @@ impl Partition {
             .all(|&d| self.size(d) == s0 && self.is_torus_dim(d))
     }
 
-    /// Linear rank of a coordinate (X fastest, then Y, then Z).
+    /// Linear rank of a coordinate (dimension 0 varies fastest).
     ///
     /// # Panics
     /// Panics (in debug builds) if the coordinate is out of range.
     #[inline]
     pub fn rank_of(&self, c: Coord) -> Rank {
         debug_assert!(self.contains(c), "coordinate {c} outside partition {self}");
-        c.x as Rank + self.dims[0] as Rank * (c.y as Rank + self.dims[1] as Rank * c.z as Rank)
+        let mut rank: Rank = 0;
+        for i in (0..self.n as usize).rev() {
+            rank = rank * self.dims[i] as Rank + c.get(Dim::new(i)) as Rank;
+        }
+        rank
     }
 
     /// Coordinate of a linear rank.
@@ -158,17 +225,23 @@ impl Partition {
             rank < self.num_nodes(),
             "rank {rank} outside partition {self}"
         );
-        let x = (rank % self.dims[0] as Rank) as u16;
-        let rest = rank / self.dims[0] as Rank;
-        let y = (rest % self.dims[1] as Rank) as u16;
-        let z = (rest / self.dims[1] as Rank) as u16;
-        Coord::new(x, y, z)
+        let mut c = Coord::zero();
+        let mut rest = rank;
+        for i in 0..self.n as usize {
+            c.set(Dim::new(i), (rest % self.dims[i] as Rank) as u16);
+            rest /= self.dims[i] as Rank;
+        }
+        c
     }
 
-    /// Whether the coordinate lies inside the partition.
+    /// Whether the coordinate lies inside the partition (components beyond
+    /// the arity must be zero).
     #[inline]
     pub fn contains(&self, c: Coord) -> bool {
-        c.x < self.dims[0] && c.y < self.dims[1] && c.z < self.dims[2]
+        c.components()
+            .iter()
+            .zip(self.dims.iter())
+            .all(|(&v, &s)| v < s)
     }
 
     /// Iterate over every coordinate in rank order.
@@ -221,9 +294,8 @@ impl Partition {
 
     /// Total minimal hop count between two coordinates.
     pub fn hops(&self, a: Coord, b: Coord) -> u32 {
-        ALL_DIMS
-            .iter()
-            .map(|&d| self.dim_hops(d, a.get(d), b.get(d)) as u32)
+        self.dims()
+            .map(|d| self.dim_hops(d, a.get(d), b.get(d)) as u32)
             .sum()
     }
 
@@ -240,24 +312,75 @@ impl Partition {
     }
 }
 
+/// Serializes as `{"dims": [..], "wrap": [..]}` with exactly `ndims()`
+/// entries — byte-identical to the old fixed-3D representation for every
+/// 3-dimensional partition, so committed golden RunKeys keep their bytes,
+/// while higher/lower arities extend the same shape.
+impl Serialize for Partition {
+    fn to_value(&self) -> serde::Value {
+        let n = self.n as usize;
+        serde::Value::Object(vec![
+            (
+                "dims".to_string(),
+                serde::Value::Array(
+                    self.dims[..n]
+                        .iter()
+                        .map(|&d| serde::Value::U64(d as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "wrap".to_string(),
+                serde::Value::Array(
+                    self.wrap[..n]
+                        .iter()
+                        .map(|&w| serde::Value::Bool(w))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Partition {
+    fn from_value(v: &serde::Value) -> Result<Partition, serde::Error> {
+        let dims: Vec<u16> = de_field(v, "dims")?;
+        let wrap: Vec<bool> = de_field(v, "wrap")?;
+        if dims.len() != wrap.len() {
+            return Err(serde::Error::custom(format!(
+                "partition dims/wrap arity mismatch: {} vs {}",
+                dims.len(),
+                wrap.len()
+            )));
+        }
+        if dims.is_empty() || dims.len() > MAX_DIMS {
+            return Err(serde::Error::custom(format!(
+                "partition must have 1..={MAX_DIMS} dimensions, got {}",
+                dims.len()
+            )));
+        }
+        if dims.contains(&0) {
+            return Err(serde::Error::custom(format!(
+                "partition dimensions must be positive, got {dims:?}"
+            )));
+        }
+        Ok(Partition::new(&dims, &wrap))
+    }
+}
+
 impl fmt::Display for Partition {
+    /// Prints every extent, including size-1 ones (`4x4x1`, not `4x4`):
+    /// arity is part of the value, and the printed form must parse back to
+    /// an equal partition.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut first = true;
-        for d in ALL_DIMS {
-            let s = self.size(d);
-            // Trailing size-1 dimensions are omitted ("8x8", not "8x8x1"),
-            // but interior ones are kept so the shape stays unambiguous.
-            if s == 1 && ALL_DIMS.iter().skip(d.index()).all(|&e| self.size(e) == 1) && !first {
-                break;
-            }
-            if !first {
+        for (i, d) in self.dims().enumerate() {
+            if i > 0 {
                 write!(f, "x")?;
             }
-            write!(f, "{}", s)?;
-            if s > 1 && !self.is_torus_dim(d) {
+            write!(f, "{}", self.size(d))?;
+            if self.size(d) > 1 && !self.is_torus_dim(d) {
                 write!(f, "M")?;
             }
-            first = false;
         }
         Ok(())
     }
@@ -278,19 +401,24 @@ impl std::error::Error for PartitionParseError {}
 impl FromStr for Partition {
     type Err = PartitionParseError;
 
-    /// Parse the paper's partition notation: `"8"`, `"16x16"`,
-    /// `"40x32x16"`, `"8x8x2M"` (the `M` suffix marks a mesh dimension).
-    /// Whitespace around tokens is ignored (`"8 x 2M"` works too).
+    /// Parse the partition notation at any arity from 2 to [`MAX_DIMS`]:
+    /// `"16x16"`, `"40x32x16"`, `"4x4x4x4x2"`, `"8x8x2M"` (the `M` suffix
+    /// marks a mesh dimension). The arity is exactly the number of
+    /// `x`-separated tokens — `"4x4"` is 2D, `"4x4x1"` is 3D. One-token
+    /// (1D) shapes are rejected: a line has no routing choice to study,
+    /// and the explicit `"8x1x1"` spelling is available when a
+    /// line-shaped 3D partition is meant. Whitespace around tokens is
+    /// ignored (`"8 x 2M"` works too).
     fn from_str(s: &str) -> Result<Partition, PartitionParseError> {
-        let mut dims = [1u16; 3];
-        let mut wrap = [true; 3];
         let tokens: Vec<&str> = s.split('x').map(str::trim).collect();
-        if tokens.is_empty() || tokens.len() > 3 {
+        if tokens.len() < 2 || tokens.len() > MAX_DIMS {
             return Err(PartitionParseError(format!(
-                "expected 1..=3 'x'-separated sizes, got {s:?}"
+                "expected 2..={MAX_DIMS} 'x'-separated sizes, got {s:?}"
             )));
         }
-        for (i, tok) in tokens.iter().enumerate() {
+        let mut dims = Vec::with_capacity(tokens.len());
+        let mut wrap = Vec::with_capacity(tokens.len());
+        for tok in &tokens {
             let (num, mesh) = match tok.strip_suffix(['M', 'm']) {
                 Some(rest) => (rest.trim(), true),
                 None => (*tok, false),
@@ -301,56 +429,115 @@ impl FromStr for Partition {
             if size == 0 {
                 return Err(PartitionParseError(format!("zero size in {s:?}")));
             }
-            dims[i] = size;
-            wrap[i] = !mesh;
+            dims.push(size);
+            wrap.push(!mesh);
         }
-        Ok(Partition::new(dims, wrap))
+        Ok(Partition::new(&dims, &wrap))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coord::ALL_DIRECTIONS;
 
     #[test]
     fn parse_paper_notation() {
         let p: Partition = "40x32x16".parse().unwrap();
-        assert_eq!(p.sizes(), [40, 32, 16]);
+        assert_eq!(p.sizes(), &[40, 32, 16]);
         assert_eq!(p.num_nodes(), 20480);
         assert!(p.is_torus_dim(Dim::X));
 
         let p: Partition = "8x8x2M".parse().unwrap();
-        assert_eq!(p.sizes(), [8, 8, 2]);
+        assert_eq!(p.sizes(), &[8, 8, 2]);
         assert!(p.is_torus_dim(Dim::Y));
         assert!(!p.is_torus_dim(Dim::Z));
 
         let p: Partition = "8 x 4M".parse().unwrap();
-        assert_eq!(p.sizes(), [8, 4, 1]);
+        assert_eq!(p.sizes(), &[8, 4]);
+        assert_eq!(p.ndims(), 2);
         assert!(!p.is_torus_dim(Dim::Y));
+    }
 
-        let p: Partition = "16".parse().unwrap();
-        assert_eq!(p.num_nodes(), 16);
-        assert_eq!(p.dimensionality(), 1);
+    #[test]
+    fn parse_preserves_arity() {
+        let p2: Partition = "32x32".parse().unwrap();
+        assert_eq!(p2.ndims(), 2);
+        assert_eq!(p2.ports(), 4);
+        let p5: Partition = "4x4x4x4x2".parse().unwrap();
+        assert_eq!(p5.ndims(), 5);
+        assert_eq!(p5.ports(), 10);
+        assert_eq!(p5.num_nodes(), 512);
+        // Explicit trailing 1s count toward the arity: `8x8` and `8x8x1`
+        // are different partitions (four vs six ports per node).
+        let padded: Partition = "8x8x1".parse().unwrap();
+        assert_eq!(padded.ndims(), 3);
+        assert_ne!(padded, "8x8".parse().unwrap());
     }
 
     #[test]
     fn parse_rejects_garbage() {
         assert!("".parse::<Partition>().is_err());
+        assert!("8".parse::<Partition>().is_err(), "1D shapes are rejected");
         assert!("8x".parse::<Partition>().is_err());
-        assert!("8x8x8x8".parse::<Partition>().is_err());
+        assert!("4x0x4".parse::<Partition>().is_err());
         assert!("0x8".parse::<Partition>().is_err());
         assert!("8xqx8".parse::<Partition>().is_err());
+        assert!("4x4x4x4x4x4x4".parse::<Partition>().is_err(), ">6 dims");
     }
 
     #[test]
     fn display_roundtrip() {
-        for s in ["8", "16x16", "8x8x8", "40x32x16", "8x8x2M", "8x4M", "1x8x8"] {
+        for s in [
+            "16x16",
+            "8x8x8",
+            "40x32x16",
+            "8x8x2M",
+            "8x4M",
+            "1x8x8",
+            "8x1x1",
+            "4x4x4x4x2",
+            "2x2x2x2x2x2",
+        ] {
             let p: Partition = s.parse().unwrap();
             let shown = p.to_string();
             let q: Partition = shown.parse().unwrap();
             assert_eq!(p, q, "roundtrip failed for {s} -> {shown}");
+            assert_eq!(p.ndims(), q.ndims());
         }
+    }
+
+    #[test]
+    fn display_prints_every_extent() {
+        let p: Partition = "4x4x1".parse().unwrap();
+        assert_eq!(p.to_string(), "4x4x1");
+        assert_eq!("8x1x1".parse::<Partition>().unwrap().to_string(), "8x1x1");
+        assert_eq!("8x8".parse::<Partition>().unwrap().to_string(), "8x8");
+    }
+
+    #[test]
+    fn serde_matches_legacy_3d_bytes_and_extends() {
+        // The committed golden file stores 3-dim keys; the n-dim value
+        // must keep producing exactly that tree.
+        let p: Partition = "4x4x1".parse().unwrap();
+        let v = p.to_value();
+        let dims: Vec<u16> = de_field(&v, "dims").unwrap();
+        let wrap: Vec<bool> = de_field(&v, "wrap").unwrap();
+        assert_eq!(dims, vec![4, 4, 1]);
+        assert_eq!(wrap, vec![true, true, false]);
+        assert_eq!(Partition::from_value(&v).unwrap(), p);
+        // Arity survives the round trip at every dimensionality.
+        for s in ["8x8", "4x4x4x4", "4x4x4x4x2", "8x8x2M"] {
+            let p: Partition = s.parse().unwrap();
+            let q = Partition::from_value(&p.to_value()).unwrap();
+            assert_eq!(p, q, "{s}");
+            assert_eq!(p.ndims(), q.ndims(), "{s}");
+        }
+        // Degenerate wire forms are rejected, not asserted on.
+        let empty = serde::Value::Object(vec![
+            ("dims".into(), serde::Value::Array(vec![])),
+            ("wrap".into(), serde::Value::Array(vec![])),
+        ]);
+        assert!(Partition::from_value(&empty).is_err());
     }
 
     #[test]
@@ -367,15 +554,35 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "1..=6 dimensions")]
+    fn too_many_dims_panics() {
+        let _ = Partition::torus_nd(&[2; 7]);
+    }
+
+    #[test]
     fn rank_coord_roundtrip() {
         let p = Partition::torus(4, 3, 5);
         for r in 0..p.num_nodes() {
             assert_eq!(p.rank_of(p.coord_of(r)), r);
         }
-        // X varies fastest.
+        // Dimension 0 varies fastest.
         assert_eq!(p.coord_of(1), Coord::new(1, 0, 0));
         assert_eq!(p.coord_of(4), Coord::new(0, 1, 0));
         assert_eq!(p.coord_of(12), Coord::new(0, 0, 1));
+    }
+
+    #[test]
+    fn rank_coord_roundtrip_higher_dims() {
+        for shape in ["5x3", "3x2x2x3", "2x3x2x2x3", "2x2x2x2x2x2"] {
+            let p: Partition = shape.parse().unwrap();
+            for r in 0..p.num_nodes() {
+                assert_eq!(p.rank_of(p.coord_of(r)), r, "{shape} rank {r}");
+            }
+        }
+        // 4D: dimension 0 fastest, then 1, 2, 3.
+        let p: Partition = "4x4x4x4".parse().unwrap();
+        assert_eq!(p.coord_of(4), Coord::from_slice(&[0, 1, 0, 0]));
+        assert_eq!(p.coord_of(64), Coord::from_slice(&[0, 0, 0, 1]));
     }
 
     #[test]
@@ -406,11 +613,13 @@ mod tests {
 
     #[test]
     fn neighbor_relation_is_mutual() {
-        let p: Partition = "4x3Mx2".parse().unwrap();
-        for c in p.coords() {
-            for dir in ALL_DIRECTIONS {
-                if let Some(n) = p.neighbor(c, dir) {
-                    assert_eq!(p.neighbor(n, dir.opposite()), Some(c));
+        for shape in ["4x3Mx2", "3x2x2x3", "2x2x2x2x2"] {
+            let p: Partition = shape.parse().unwrap();
+            for c in p.coords() {
+                for dir in p.directions() {
+                    if let Some(n) = p.neighbor(c, dir) {
+                        assert_eq!(p.neighbor(n, dir.opposite()), Some(c), "{shape}");
+                    }
                 }
             }
         }
@@ -460,14 +669,25 @@ mod tests {
             "8x16x16".parse::<Partition>().unwrap().longest_dim(),
             Dim::Y
         );
+        assert_eq!(
+            "4x4x4x8x2".parse::<Partition>().unwrap().longest_dim(),
+            Dim::new(3)
+        );
     }
 
     #[test]
     fn symmetry_classification() {
-        for s in ["8", "16", "8x8", "16x16", "8x8x8", "16x16x16"] {
+        for s in ["8x8", "16x16", "8x8x8", "16x16x16", "4x4x4x4", "8x1x1"] {
             assert!(s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
         }
-        for s in ["16x8x8", "8x32x16", "8x8x2M", "8x4M", "40x32x16"] {
+        for s in [
+            "16x8x8",
+            "8x32x16",
+            "8x8x2M",
+            "8x4M",
+            "40x32x16",
+            "4x4x4x4x2",
+        ] {
             assert!(!s.parse::<Partition>().unwrap().is_symmetric(), "{s}");
         }
     }
@@ -480,5 +700,10 @@ mod tests {
         let m: Partition = "8Mx8x8".parse().unwrap();
         // Mesh: (S-1) links per line per direction, 64 lines.
         assert_eq!(m.directed_links(Dim::X), 2 * 64 * 7);
+        // 4D torus: every dimension carries 2·P directed links.
+        let q: Partition = "4x4x4x4".parse().unwrap();
+        for d in q.dims() {
+            assert_eq!(q.directed_links(d), 2 * 256);
+        }
     }
 }

@@ -1,13 +1,15 @@
 //! Minimal-path routing math: per-dimension hop plans, tie-breaking on the
-//! torus "equator", and dimension-ordered (X→Y→Z) next-hop selection.
+//! torus "equator", and dimension-ordered (dimension 0 first) next-hop
+//! selection.
 //!
 //! The simulator's routers consume [`HopPlan`]s carried in packet headers:
 //! the plan fixes, at injection time, the travel *sign* per dimension and the
 //! number of hops remaining, exactly like BG/L's hint bits. Adaptive routing
 //! may service the dimensions in any order; deterministic routing services
-//! them in X, Y, Z order.
+//! them in increasing dimension order (X, Y, Z on a 3D machine, continuing
+//! through D3..D5 on higher-dimensional ones).
 
-use crate::coord::{Coord, Dim, Direction, Sign, ALL_DIMS};
+use crate::coord::{Coord, Dim, Direction, Sign, MAX_DIMS};
 use crate::partition::Partition;
 use serde::{Deserialize, Serialize};
 
@@ -30,11 +32,13 @@ pub enum TieBreak {
 /// A packet's routing state: travel sign and remaining hops per dimension.
 ///
 /// `hops[d] == 0` means the packet needs no movement along `d` (and `sign[d]`
-/// is meaningless there).
+/// is meaningless there). The arrays are fixed at [`MAX_DIMS`] so the plan
+/// stays a small `Copy` value inside packet headers; dimensions beyond the
+/// partition's arity simply carry zero hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct HopPlan {
-    signs: [Sign; 3],
-    hops: [u16; 3],
+    signs: [Sign; MAX_DIMS],
+    hops: [u16; MAX_DIMS],
 }
 
 impl HopPlan {
@@ -44,9 +48,9 @@ impl HopPlan {
     /// deciding exact-half distances; mesh dimensions always travel directly
     /// towards the destination.
     pub fn new(part: &Partition, src: Coord, dst: Coord, tie: TieBreak) -> HopPlan {
-        let mut signs = [Sign::Plus; 3];
-        let mut hops = [0u16; 3];
-        for d in ALL_DIMS {
+        let mut signs = [Sign::Plus; MAX_DIMS];
+        let mut hops = [0u16; MAX_DIMS];
+        for d in part.dims() {
             let (sign, h) = dim_route(part, d, src.get(d), dst.get(d), tie);
             signs[d.index()] = sign;
             hops[d.index()] = h;
@@ -86,13 +90,15 @@ impl HopPlan {
     /// Whether the packet has arrived (no hops remaining anywhere).
     #[inline]
     pub fn is_done(&self) -> bool {
-        self.hops == [0, 0, 0]
+        self.hops == [0; MAX_DIMS]
     }
 
     /// All directions the packet may minimally take from here (dimensions
-    /// with hops remaining), in X, Y, Z order.
+    /// with hops remaining), in increasing dimension order. Dimensions
+    /// beyond the partition's arity carry no hops, so iterating the fixed
+    /// bound is arity-correct.
     pub fn minimal_directions(&self) -> impl Iterator<Item = Direction> + '_ {
-        ALL_DIMS.into_iter().filter_map(|d| self.direction(d))
+        Dim::all(MAX_DIMS).filter_map(|d| self.direction(d))
     }
 
     /// Consume one hop along `dim`.
@@ -286,7 +292,7 @@ mod tests {
     fn src_parity_balances_equator_traffic() {
         // On an even torus line, SrcParity sends exactly half the
         // equator-distance pairs each way.
-        let p: Partition = "8".parse().unwrap();
+        let p = Partition::torus_nd(&[8]);
         let mut plus = 0;
         let mut minus = 0;
         for a in 0..8u16 {
@@ -371,6 +377,32 @@ mod tests {
             DimensionOrder::first_blocked(&p, src, dst, TieBreak::SrcParity, |_, _| false),
             None
         );
+    }
+
+    #[test]
+    fn plans_generalize_to_higher_dims() {
+        for shape in ["5x4", "3x3x2x2", "2x3x2x3x2", "2x2x2x2x2x2"] {
+            let p: Partition = shape.parse().unwrap();
+            for src in p.coords() {
+                for dst in p.coords() {
+                    let plan = HopPlan::new(&p, src, dst, TieBreak::SrcParity);
+                    assert_eq!(plan.total_hops(), p.hops(src, dst), "{shape}");
+                    let path = DimensionOrder::path(&p, src, dst, TieBreak::SrcParity);
+                    assert_eq!(path.len() as u32, p.hops(src, dst) + 1, "{shape}");
+                    // Dimension order services dimensions in increasing
+                    // index order: once dimension d+1 moves, d is done.
+                    let mut max_started = 0usize;
+                    for w in path.windows(2) {
+                        let moved = p
+                            .dims()
+                            .find(|&d| w[0].get(d) != w[1].get(d))
+                            .expect("consecutive path nodes differ");
+                        assert!(moved.index() >= max_started, "{shape}");
+                        max_started = moved.index();
+                    }
+                }
+            }
+        }
     }
 
     #[test]

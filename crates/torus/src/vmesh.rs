@@ -15,9 +15,16 @@
 //!
 //! [`VirtualMesh::choose`] reproduces both choices.
 
-use crate::coord::{Coord, Dim, ALL_DIMS};
+use crate::coord::{Coord, Dim};
 use crate::partition::{Partition, Rank};
 use serde::{Deserialize, Serialize};
+
+/// The three BG/L dimensions, the only ones a virtual mesh factorises:
+/// the combining strategy's row/column geometry is defined over at most a
+/// 3D physical block (higher-dimensional machines are rejected by
+/// [`VirtualMesh::with_layout`], and the VMesh strategy declares a 3D-only
+/// `supported_dims()` capability on top of this).
+const XYZ: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
 
 /// How to lay the virtual mesh onto the physical partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -49,11 +56,21 @@ impl VirtualMesh {
     /// Build a virtual mesh with an explicit permutation and row length.
     ///
     /// # Errors
-    /// Returns `Err` if `perm` is not a permutation of X, Y, Z or `pvx` does
-    /// not divide the node count.
+    /// Returns `Err` if the partition has more than three dimensions, if
+    /// `perm` is not a permutation of X, Y, Z, or if `pvx` does not divide
+    /// the node count.
     pub fn with_layout(part: Partition, perm: [Dim; 3], pvx: u32) -> Result<VirtualMesh, String> {
+        if part.ndims() > 3 {
+            return Err(format!(
+                "virtual mesh requires at most 3 dimensions, partition {part} has {}",
+                part.ndims()
+            ));
+        }
         let mut seen = [false; 3];
         for d in perm {
+            if d.index() >= 3 {
+                return Err(format!("{perm:?} is not a permutation of X, Y, Z"));
+            }
             seen[d.index()] = true;
         }
         if seen != [true; 3] {
@@ -96,7 +113,7 @@ impl VirtualMesh {
 
     fn plane_aligned(part: Partition) -> VirtualMesh {
         let long = part.longest_dim();
-        let others = long.others();
+        let others: Vec<Dim> = long.others(3).collect();
         // Fastest-varying dims first: the two plane dims, then the long dim.
         let perm = [others[0], others[1], long];
         let pvx = part.num_nodes() / part.size(long) as u32;
@@ -141,7 +158,7 @@ impl VirtualMesh {
             }
         }
         let pvx = best.unwrap_or(p);
-        VirtualMesh::with_layout(part, ALL_DIMS, pvx).expect("balanced layout divides")
+        VirtualMesh::with_layout(part, XYZ, pvx).expect("balanced layout divides")
     }
 
     /// Row length `Pvx` (number of positions per row = number of columns).
@@ -238,7 +255,7 @@ mod tests {
         assert_eq!((vm.pvx(), vm.pvy()), (32, 16));
         // Rows are half-XY planes: 32 consecutive X-fastest ranks.
         let row0 = vm.row_members(0);
-        assert!(row0.iter().all(|c| c.z == 0 && c.y < 4));
+        assert!(row0.iter().all(|c| c.get(Dim::Z) == 0 && c.get(Dim::Y) < 4));
         assert_eq!(row0.len(), 32);
     }
 
@@ -249,11 +266,13 @@ mod tests {
         assert_eq!((vm.pvx(), vm.pvy()), (128, 32));
         // Rows are XZ planes (constant Y), columns are Y lines.
         let row0 = vm.row_members(0);
-        assert!(row0.iter().all(|c| c.y == 0));
+        assert!(row0.iter().all(|c| c.get(Dim::Y) == 0));
         let col0 = vm.col_members(0);
         assert_eq!(col0.len(), 32);
-        let (x0, z0) = (col0[0].x, col0[0].z);
-        assert!(col0.iter().all(|c| c.x == x0 && c.z == z0));
+        let (x0, z0) = (col0[0].get(Dim::X), col0[0].get(Dim::Z));
+        assert!(col0
+            .iter()
+            .all(|c| c.get(Dim::X) == x0 && c.get(Dim::Z) == z0));
     }
 
     #[test]
@@ -309,8 +328,15 @@ mod tests {
     fn with_layout_rejects_bad_args() {
         let part: Partition = "8x8x8".parse().unwrap();
         assert!(VirtualMesh::with_layout(part, [Dim::X, Dim::X, Dim::Z], 8).is_err());
-        assert!(VirtualMesh::with_layout(part, ALL_DIMS, 7).is_err());
-        assert!(VirtualMesh::with_layout(part, ALL_DIMS, 0).is_err());
+        assert!(VirtualMesh::with_layout(part, XYZ, 7).is_err());
+        assert!(VirtualMesh::with_layout(part, XYZ, 0).is_err());
+    }
+
+    #[test]
+    fn with_layout_rejects_higher_dimensional_partitions() {
+        let part: Partition = "4x4x4x4".parse().unwrap();
+        let err = VirtualMesh::with_layout(part, XYZ, 16).unwrap_err();
+        assert!(err.contains("at most 3 dimensions"), "{err}");
     }
 
     #[test]
@@ -325,6 +351,6 @@ mod tests {
         );
         assert_eq!((vm.pvx(), vm.pvy()), (64, 8));
         // Rows are YZ planes (constant X).
-        assert!(vm.row_members(0).iter().all(|c| c.x == 0));
+        assert!(vm.row_members(0).iter().all(|c| c.get(Dim::X) == 0));
     }
 }

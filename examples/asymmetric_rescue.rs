@@ -8,7 +8,6 @@
 //! ```
 
 use bgl_alltoall::prelude::*;
-use bgl_alltoall::torus::ALL_DIMS;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,9 +46,9 @@ fn main() {
         let credit = strategy.pacer().credit_config().is_some();
         let report = run_aa(part, &workload, &strategy, &params, SimConfig::new(part))
             .expect("simulation completes");
-        let utils: Vec<String> = ALL_DIMS
-            .iter()
-            .map(|&d| format!("{}={:.2}", d, report.stats.dim_utilization(&part, d)))
+        let utils: Vec<String> = part
+            .dims()
+            .map(|d| format!("{}={:.2}", d, report.stats.dim_utilization(&part, d)))
             .collect();
         println!(
             "{:22} {:6.1}% of peak   link utilization {}",

@@ -142,7 +142,7 @@ fn end_to_end_determinism() {
 /// Percent of peak is always in (0, ~100]: the Equation-2 bound holds.
 #[test]
 fn peak_bound_is_respected() {
-    for shape in ["4", "4x4", "4x4x4", "8x4x4", "4x2M"] {
+    for shape in ["4x1x1", "4x4", "4x4x4", "8x4x4", "4x2M"] {
         for m in [8u64, 240] {
             let r = report(shape, &StrategyKind::ar(), m);
             assert!(

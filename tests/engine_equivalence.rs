@@ -43,7 +43,7 @@ fn strategy_pool() -> [StrategyKind; 6] {
 }
 
 /// Shapes spanning 1D/2D/3D, symmetric and asymmetric, torus and mesh.
-const SHAPES: [&str; 6] = ["8", "4x4", "4x4x4", "8x4x4", "4x4x8", "8x8x4M"];
+const SHAPES: [&str; 6] = ["8x1x1", "4x4", "4x4x4", "8x4x4", "4x4x8", "8x8x4M"];
 
 /// One drawn configuration, with coverage scaled down on the larger
 /// partitions so a fuzz case stays sub-second.
